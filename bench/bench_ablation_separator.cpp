@@ -1,0 +1,136 @@
+// Experiment E8 — ablation of the three ideas of Section 3.3 (and the
+// practical minimization pass of DESIGN.md §3.2).
+//
+//   (i)  pair sampling vs exhaustive |T_i|² vertex-cut pairs
+//        (the paper's first idea: O(t) cut instances instead of O(t²));
+//   (ii) batched MVC(h,t) vs h sequential MVC(t) invocations
+//        (third idea; Õ(tτD + htτ) vs Õ(h·tτD) — reported as the modeled
+//        charge for the measured h);
+//   (iii) separator minimization on/off (width vs rounds trade).
+//
+// Family: k-trees, n = 1024, k sweep.
+#include "bench_common.hpp"
+
+namespace lowtw::bench {
+namespace {
+
+void run_variant(benchmark::State& state, const Instance& inst,
+                 td::TdParams params, std::uint64_t seed) {
+  td::TdBuildResult last;
+  double total = 0;
+  for (auto _ : state) {
+    EngineBundle bundle(inst);
+    util::Rng rng(seed);
+    last = td::build_hierarchy(inst.g, params, rng, bundle.engine);
+    total = bundle.ledger.total();
+  }
+  if (auto err = last.td.validate(inst.g)) {
+    state.SkipWithError(err->c_str());
+    return;
+  }
+  state.counters["n"] = inst.g.num_vertices();
+  state.counters["tau"] = inst.tau_bound;
+  state.counters["rounds"] = total;
+  state.counters["width"] = last.td.width();
+  state.counters["depth"] = last.td.depth();
+  state.counters["t_est"] = last.t_used;
+}
+
+// (i) Pair sampling vs exhaustive |T_i|² cuts. On benign families the
+// step-3 early exit bypasses the cut machinery entirely, so both arms
+// disable it (SepParams::disable_early_exit), forcing step 4 to produce
+// the separator — the regime the first idea of Section 3.3 addresses.
+void run_cut_variant(benchmark::State& state, int k, bool exhaustive) {
+  Instance inst = ktree_instance(1024, k, 500 + k);
+  td::SepParams sep = td::SepParams::practical();
+  sep.disable_early_exit = true;
+  sep.exhaustive_pairs = exhaustive;
+  std::vector<graph::VertexId> part(
+      static_cast<std::size_t>(inst.g.num_vertices()));
+  for (int v = 0; v < inst.g.num_vertices(); ++v) part[v] = v;
+  td::SeparatorResult res;
+  double rounds = 0;
+  for (auto _ : state) {
+    EngineBundle bundle(inst);
+    util::Rng rng(72);
+    res = td::find_balanced_separator(inst.g, part, part, sep, rng,
+                                      bundle.engine, 2);
+    rounds = bundle.ledger.total();
+  }
+  if (!td::is_balanced_separator(inst.g, part, part, res.separator,
+                                 sep.balance)) {
+    state.SkipWithError("unbalanced separator");
+    return;
+  }
+  state.counters["tau"] = k;
+  state.counters["rounds"] = rounds;
+  state.counters["sep_size"] = static_cast<double>(res.separator.size());
+  state.counters["t_est"] = res.t_used;
+  state.counters["attempts"] = res.attempts;
+}
+
+void BM_SepCutsSampled(benchmark::State& state) {
+  run_cut_variant(state, static_cast<int>(state.range(0)), false);
+}
+BENCHMARK(BM_SepCutsSampled)->DenseRange(1, 5)->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_SepCutsExhaustive(benchmark::State& state) {
+  run_cut_variant(state, static_cast<int>(state.range(0)), true);
+}
+BENCHMARK(BM_SepCutsExhaustive)->DenseRange(1, 5)->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+// Reference arm with the early exit enabled (the default pipeline).
+void BM_SepDefault(benchmark::State& state) {
+  int k = static_cast<int>(state.range(0));
+  Instance inst = ktree_instance(1024, k, 500 + k);
+  run_variant(state, inst, td::TdParams{}, 71);
+}
+BENCHMARK(BM_SepDefault)->DenseRange(1, 5)->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+// (iii) Separator minimization (DESIGN.md §3.2): off by default; helps
+// width on grids/banded graphs at ~3x the rounds. Shown on the grid family
+// where the effect is the largest.
+void BM_MinimizeOnGrid(benchmark::State& state) {
+  const bool minimize = state.range(0) != 0;
+  Instance inst;
+  inst.g = graph::gen::grid(128, 8);
+  inst.diameter = graph::exact_diameter(inst.g);
+  inst.tau_bound = 8;
+  td::TdParams params;
+  params.sep.minimize_rounds = minimize ? 16 : 0;
+  run_variant(state, inst, params, 73);
+}
+BENCHMARK(BM_MinimizeOnGrid)->Arg(0)->Arg(1)->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+// (ii) Batched vs sequential vertex cuts: the modeled per-level charge for
+// the h cut instances Sep actually requested, under Corollary 2 batching
+// vs naive sequential execution.
+void BM_MvcBatchingModel(benchmark::State& state) {
+  int k = static_cast<int>(state.range(0));
+  Instance inst = ktree_instance(1024, k, 500 + k);
+  primitives::CostModel cm{inst.g.num_vertices(), inst.diameter,
+                           static_cast<double>(k + 1)};
+  // Step 4 of Sep requests h = pairs · iterations cut instances with
+  // t = k+1 (practical preset: 8 pairs, t+1 iterations).
+  const double h = 8.0 * (k + 2);
+  const double batched = cm.mvc_rounds(h, k + 1);
+  const double sequential = h * cm.mvc_rounds(1, k + 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(batched);
+  }
+  state.counters["tau"] = k;
+  state.counters["h"] = h;
+  state.counters["rounds_batched"] = batched;
+  state.counters["rounds_sequential"] = sequential;
+  state.counters["speedup"] = sequential / batched;
+}
+BENCHMARK(BM_MvcBatchingModel)->DenseRange(1, 5)->Iterations(1);
+
+}  // namespace
+}  // namespace lowtw::bench
+
+BENCHMARK_MAIN();

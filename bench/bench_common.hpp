@@ -1,0 +1,73 @@
+// Shared plumbing for the experiment harness (EXPERIMENTS.md).
+//
+// Every benchmark reports CONGEST *rounds* (deterministic, charged through
+// the Engine) as user counters; wall time is incidental. The `ratio_*`
+// counters divide measured rounds by the theorem's bound instantiated with
+// the instance parameters — the reproduction criterion is that these ratios
+// stay flat (bounded) as n, τ, or D grow.
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include "graph/algorithms.hpp"
+#include "graph/generators.hpp"
+#include "primitives/engine.hpp"
+#include "td/builder.hpp"
+#include "util/math.hpp"
+#include "util/rng.hpp"
+
+namespace lowtw::bench {
+
+struct Instance {
+  graph::Graph g;
+  int diameter = 0;
+  int tau_bound = 0;  ///< known treewidth upper bound of the family
+};
+
+inline Instance ktree_instance(int n, int k, std::uint64_t seed) {
+  util::Rng rng(seed);
+  Instance inst;
+  inst.g = graph::gen::ktree(n, k, rng);
+  inst.diameter = graph::exact_diameter(inst.g);
+  inst.tau_bound = k;
+  return inst;
+}
+
+inline Instance apexed_instance(int n, int num_apex, int stride) {
+  Instance inst;
+  inst.g = graph::gen::apexed_path(n, num_apex, stride);
+  // Double-sweep suffices here (cost-model input only; exact on this
+  // family) and avoids the O(n·m) exact computation at n = 65536.
+  inst.diameter = graph::double_sweep_diameter(inst.g);
+  inst.tau_bound = 1 + num_apex;
+  return inst;
+}
+
+struct EngineBundle {
+  explicit EngineBundle(const Instance& inst)
+      : engine(primitives::EngineMode::kShortcutModel,
+               primitives::CostModel{inst.g.num_vertices(), inst.diameter,
+                                     1.0},
+               &ledger) {}
+  primitives::RoundLedger ledger;
+  primitives::Engine engine;
+};
+
+/// Theorem bounds with the Õ instantiated as log²n (one log from the
+/// decomposition depth, one from shortcut scheduling — the same convention
+/// as the cost model, so ratios are O(1) iff the *algorithm structure*
+/// matches the theorem).
+inline double bound_td(int tau, int d, int n) {  // Õ(τ²D + τ³), Theorem 1
+  double t = tau, dd = d, l = util::log2n(n);
+  return (t * t * dd + t * t * t) * l * l;
+}
+inline double bound_dl(int tau, int d, int n) {  // Õ(τ²D + τ⁵), Theorem 2
+  double t = tau, dd = d, l = util::log2n(n);
+  return (t * t * dd + t * t * t * t * t) * l * l * l;
+}
+inline double bound_matching(int tau, int d, int n) {  // Õ(τ⁴D+τ⁷), Thm 4
+  double t = tau, dd = d, l = util::log2n(n);
+  return (t * t * t * t * dd + std::pow(t, 7.0)) * l * l * l * l;
+}
+
+}  // namespace lowtw::bench

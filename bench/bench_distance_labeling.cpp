@@ -1,0 +1,89 @@
+// Experiment E2 — Theorem 2.
+//
+// Claim: exact directed distance labeling in Õ(τ²D + τ⁵) rounds with
+// labels of O(τ² log² n) bits.
+//
+// Series:
+//   TauScaling: k-trees n=1024, k=1..6, directed weighted instances
+//   NScaling:   k=3, n=256..4096
+// Counters: rounds (TD build + label construction), label entries/bits,
+// ratio against the Õ(τ²D+τ⁵) bound, label_ratio against τ² log² n.
+#include "bench_common.hpp"
+
+#include "labeling/distance_labeling.hpp"
+
+namespace lowtw::bench {
+namespace {
+
+void run_dl(benchmark::State& state, const Instance& inst,
+            std::uint64_t seed) {
+  util::Rng wrng(seed + 7);
+  graph::WeightedDigraph g =
+      graph::gen::random_orientation(inst.g, 0.7, 1, 100, wrng);
+  graph::Graph skel = g.skeleton();
+  const int skel_d = graph::exact_diameter(skel);
+
+  double total_rounds = 0;
+  labeling::DlResult dl;
+  for (auto _ : state) {
+    primitives::RoundLedger ledger;
+    primitives::Engine engine(
+        primitives::EngineMode::kShortcutModel,
+        primitives::CostModel{skel.num_vertices(), skel_d, 1.0}, &ledger);
+    util::Rng rng(seed);
+    auto td = td::build_hierarchy(skel, td::TdParams{}, rng, engine);
+    dl = labeling::build_distance_labeling(g, skel, td.hierarchy, engine);
+    total_rounds = ledger.total();
+  }
+  // Spot-verify exactness (16 pairs) — a bench that drifted from Dijkstra
+  // must not report numbers.
+  util::Rng qrng(seed + 13);
+  for (int i = 0; i < 4; ++i) {
+    auto s = static_cast<graph::VertexId>(
+        qrng.next_below(g.num_vertices()));
+    auto truth = graph::dijkstra(g, s);
+    for (int j = 0; j < 4; ++j) {
+      auto v = static_cast<graph::VertexId>(
+          qrng.next_below(g.num_vertices()));
+      if (dl.labeling.distance(s, v) != truth.dist[v]) {
+        state.SkipWithError("distance labeling mismatch vs Dijkstra");
+        return;
+      }
+    }
+  }
+  const int n = inst.g.num_vertices();
+  const double l = util::log2n(n);
+  state.counters["n"] = n;
+  state.counters["D"] = skel_d;
+  state.counters["tau"] = inst.tau_bound;
+  state.counters["rounds"] = total_rounds;
+  state.counters["label_entries"] =
+      static_cast<double>(dl.max_label_entries);
+  state.counters["label_bits"] = static_cast<double>(dl.max_label_bits);
+  state.counters["ratio_bound"] =
+      total_rounds / bound_dl(inst.tau_bound + 1, skel_d, n);
+  state.counters["label_ratio"] =
+      static_cast<double>(dl.max_label_entries) /
+      ((inst.tau_bound + 1.0) * (inst.tau_bound + 1.0) * l * l);
+}
+
+void BM_DlTauScaling(benchmark::State& state) {
+  int k = static_cast<int>(state.range(0));
+  Instance inst = ktree_instance(1024, k, 3000 + k);
+  run_dl(state, inst, 52);
+}
+BENCHMARK(BM_DlTauScaling)->DenseRange(1, 6)->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_DlNScaling(benchmark::State& state) {
+  int n = static_cast<int>(state.range(0));
+  Instance inst = ktree_instance(n, 3, 4000 + n);
+  run_dl(state, inst, 53);
+}
+BENCHMARK(BM_DlNScaling)->RangeMultiplier(2)->Range(256, 4096)->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace lowtw::bench
+
+BENCHMARK_MAIN();

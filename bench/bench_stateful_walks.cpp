@@ -1,0 +1,105 @@
+// Experiment E4 — Theorem 3.
+//
+// Claim: CDL(C) costs Õ(|Q| p_max ((|Q|τ)² D + (|Q|τ)^O(1))) rounds — a
+// polynomial-in-|Q| overhead over the unconstrained labeling.
+//
+// Series: a fixed k-tree instance, sweeping the state-space size |Q|
+// through colored walks (c = 2..6 colors → |Q| = c+2) and count walks
+// (cap = 1..6 → |Q| = cap+3).
+//
+// Reproduction criterion: rounds normalized by |Q|³ (the dominant power:
+// |Q| simulation × (|Q|τ)² D) stays bounded as |Q| grows.
+#include "bench_common.hpp"
+
+#include "walks/cdl.hpp"
+
+namespace lowtw::bench {
+namespace {
+
+struct PreparedInstance {
+  graph::WeightedDigraph g;
+  graph::Graph skel;
+  int diameter = 0;
+  td::TdBuildResult td;
+  primitives::RoundLedger ledger;
+  std::unique_ptr<primitives::Engine> engine;
+};
+
+PreparedInstance prepare(int n, int k, int num_labels, std::uint64_t seed) {
+  PreparedInstance p;
+  util::Rng rng(seed);
+  graph::Graph ug = graph::gen::ktree(n, k, rng);
+  auto edges = ug.edges();
+  std::vector<graph::Weight> w(edges.size());
+  std::vector<std::int32_t> lab(edges.size());
+  for (std::size_t i = 0; i < edges.size(); ++i) {
+    w[i] = rng.next_in(1, 20);
+    lab[i] = static_cast<std::int32_t>(rng.next_below(num_labels));
+  }
+  p.g = graph::WeightedDigraph::symmetric_from(ug, w, lab);
+  p.skel = p.g.skeleton();
+  p.diameter = graph::exact_diameter(p.skel);
+  p.engine = std::make_unique<primitives::Engine>(
+      primitives::EngineMode::kShortcutModel,
+      primitives::CostModel{p.skel.num_vertices(), p.diameter, 1.0},
+      &p.ledger);
+  p.td = td::build_hierarchy(p.skel, td::TdParams{}, rng, *p.engine);
+  return p;
+}
+
+void report(benchmark::State& state, const walks::CdlResult& cdl, int q) {
+  state.counters["Q"] = q;
+  state.counters["rounds"] = cdl.rounds;
+  state.counters["rounds_per_Q3"] =
+      cdl.rounds / (static_cast<double>(q) * q * q);
+  state.counters["label_entries"] =
+      static_cast<double>(cdl.max_label_entries);
+}
+
+void BM_ColoredWalkOverhead(benchmark::State& state) {
+  const int colors = static_cast<int>(state.range(0));
+  auto p = prepare(512, 2, colors, 70 + colors);
+  walks::ColoredWalkConstraint cons(colors);
+  walks::CdlResult cdl;
+  for (auto _ : state) {
+    cdl = walks::build_cdl(p.g, p.skel, p.td.hierarchy, cons, *p.engine);
+  }
+  report(state, cdl, cons.num_states());
+}
+BENCHMARK(BM_ColoredWalkOverhead)->DenseRange(2, 6)->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_CountWalkOverhead(benchmark::State& state) {
+  const int cap = static_cast<int>(state.range(0));
+  auto p = prepare(512, 2, 2, 80 + cap);
+  walks::CountWalkConstraint cons(cap);
+  walks::CdlResult cdl;
+  for (auto _ : state) {
+    cdl = walks::build_cdl(p.g, p.skel, p.td.hierarchy, cons, *p.engine);
+  }
+  report(state, cdl, cons.num_states());
+}
+BENCHMARK(BM_CountWalkOverhead)->DenseRange(1, 6)->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+// The unconstrained baseline on the same instance (|Q| = 1 reference row).
+void BM_UnconstrainedReference(benchmark::State& state) {
+  auto p = prepare(512, 2, 2, 90);
+  double rounds = 0;
+  for (auto _ : state) {
+    double before = p.ledger.total();
+    auto dl = labeling::build_distance_labeling(p.g, p.skel, p.td.hierarchy,
+                                                *p.engine);
+    rounds = p.ledger.total() - before;
+  }
+  state.counters["Q"] = 1;
+  state.counters["rounds"] = rounds;
+  state.counters["rounds_per_Q3"] = rounds;
+}
+BENCHMARK(BM_UnconstrainedReference)->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace lowtw::bench
+
+BENCHMARK_MAIN();

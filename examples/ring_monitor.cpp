@@ -1,0 +1,62 @@
+// Ring monitor: find the fastest failover loop (weighted girth) of a metro
+// fiber network — redundant rings with cross-connects — using Theorem 5.
+//
+//   ./ring_monitor [--n 120] [--chords 6] [--seed 11]
+//
+// The girth of the latency-weighted topology is the round-trip time of the
+// tightest protection loop; knowing it bounds failure-recovery time. The
+// undirected computation uses the probabilistic count-1 walk reduction and
+// is cross-checked against the centralized exact girth; the directed
+// variant (asymmetric latencies) uses the plain label-exchange reduction.
+#include <cstdio>
+
+#include "core/solver.hpp"
+#include "graph/algorithms.hpp"
+#include "graph/generators.hpp"
+#include "util/flags.hpp"
+
+int main(int argc, char** argv) {
+  using namespace lowtw;
+  util::Flags flags(argc, argv);
+  const int n = static_cast<int>(flags.get_int("n", 120));
+  const int chords = static_cast<int>(flags.get_int("chords", 6));
+  const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 11));
+
+  util::Rng rng(seed);
+  graph::Graph topo = graph::gen::cycle_with_chords(n, chords, rng);
+  graph::WeightedDigraph net =
+      graph::gen::random_symmetric_weights(topo, 1, 50, rng);
+  std::printf("metro ring: %d nodes, %d fiber spans (+%d cross-connects)\n",
+              n, topo.num_edges(), chords);
+
+  // Undirected (symmetric latencies).
+  SolverOptions options;
+  options.seed = seed;
+  options.girth.trials_per_scale = 8;
+  Solver solver(net, options);
+  auto res = solver.girth_undirected();
+  graph::Weight truth = graph::exact_girth_undirected(net);
+  std::printf("tightest protection loop: %lld ms RTT "
+              "(%.0f rounds, %d labelings)  [exact: %lld — %s]\n",
+              static_cast<long long>(res.girth), res.rounds, res.cdl_builds,
+              static_cast<long long>(truth),
+              res.girth == truth ? "match" : "upper bound");
+
+  // Directed variant: asymmetric latencies per direction.
+  graph::WeightedDigraph dnet(net.num_vertices());
+  util::Rng drng(seed + 1);
+  for (const graph::Arc& a : net.arcs()) {
+    dnet.add_arc(a.tail, a.head, a.weight + drng.next_in(0, 10));
+  }
+  Solver dsolver(dnet, options);
+  auto dres = dsolver.girth();
+  graph::Weight dtruth = graph::exact_girth_directed(dnet);
+  std::printf("directed loop (asymmetric latencies): %lld ms "
+              "(%.0f rounds)  [exact: %lld — %s]\n",
+              static_cast<long long>(dres.girth), dres.rounds,
+              static_cast<long long>(dtruth),
+              dres.girth == dtruth ? "match" : "MISMATCH");
+
+  bool ok = res.girth >= truth && dres.girth == dtruth;
+  return ok ? 0 : 1;
+}

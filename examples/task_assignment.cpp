@@ -1,0 +1,77 @@
+// Task assignment: maximize the number of worker-task pairs in a
+// distributed compute cluster where eligibility is local (low-treewidth
+// bipartite structure), using the exact distributed matching of Theorem 4.
+//
+//   ./task_assignment [--n 300] [--seed 3] [--faithful]
+//
+// Scenario: workers along an assembly line can take tasks at neighboring
+// stations; two "floating" coordinators can take any even/odd station task
+// (the apexed bipartite path family — treewidth <= 3, diameter <= 4, but a
+// maximum matching of size Θ(n)). The distributed divide-and-conquer is
+// compared against the Õ(s_max)-round sequential-augmentation baseline and
+// certified optimal by a König vertex cover.
+#include <cstdio>
+
+#include "graph/algorithms.hpp"
+#include "graph/generators.hpp"
+#include "matching/baseline.hpp"
+#include "matching/matching.hpp"
+#include "util/flags.hpp"
+
+int main(int argc, char** argv) {
+  using namespace lowtw;
+  util::Flags flags(argc, argv);
+  const int n = static_cast<int>(flags.get_int("n", 300));
+  const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 3));
+  const bool faithful = flags.get_bool("faithful", false);
+
+  graph::Graph g = graph::gen::apexed_bipartite_path(n);
+  const int diameter = graph::exact_diameter(g);
+  std::printf("cluster: %d stations + 2 coordinators, %d eligibility edges, "
+              "D = %d\n",
+              n, g.num_edges(), diameter);
+
+  util::Rng rng(seed);
+  primitives::RoundLedger ledger;
+  primitives::Engine engine(
+      primitives::EngineMode::kShortcutModel,
+      primitives::CostModel{g.num_vertices(), diameter, 1.0}, &ledger);
+
+  matching::MatchingParams params;
+  params.mode = faithful ? matching::MatchingMode::kFaithful
+                         : matching::MatchingMode::kFast;
+  auto ours = matching::max_bipartite_matching(g, params, rng, engine);
+  std::printf("distributed matching: size %d, %.0f rounds, "
+              "%d augmentations over %d insertion steps, %d CDL builds, "
+              "decomposition width %d\n",
+              ours.matching.size, ours.rounds, ours.augmentations,
+              ours.insertion_steps, ours.cdl_builds, ours.td_width);
+
+  primitives::RoundLedger base_ledger;
+  primitives::Engine base_engine(
+      primitives::EngineMode::kShortcutModel,
+      primitives::CostModel{g.num_vertices(), diameter, 1.0}, &base_ledger);
+  auto base =
+      matching::sequential_augmenting_matching(g, diameter, base_engine);
+  std::printf("sequential baseline:  size %d, %.0f rounds, %d augmentations\n",
+              base.matching.size, base.rounds, base.augmentations);
+
+  // Optimality certificate: a vertex cover of equal size (König).
+  auto hk = matching::hopcroft_karp(g);
+  auto cover = matching::koenig_cover(g, hk);
+  bool certified = ours.matching.size == hk.size &&
+                   static_cast<int>(cover.size()) == hk.size &&
+                   matching::is_vertex_cover(g, cover);
+  std::printf("optimality: matching %d == König cover %zu  [%s]\n", hk.size,
+              cover.size(), certified ? "certified" : "FAILED");
+
+  // Show a few assignments.
+  int shown = 0;
+  for (graph::VertexId v = 0; v < g.num_vertices() && shown < 5; ++v) {
+    if (ours.matching.mate[v] != graph::kNoVertex && v < ours.matching.mate[v]) {
+      std::printf("  station %d <-> station %d\n", v, ours.matching.mate[v]);
+      ++shown;
+    }
+  }
+  return certified ? 0 : 1;
+}

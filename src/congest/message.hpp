@@ -1,0 +1,38 @@
+// CONGEST messages.
+//
+// In the CONGEST model each edge carries one O(log n)-bit message per round
+// and direction. We materialize a message as a short vector of 64-bit words;
+// the simulator enforces a per-message word budget (default 4 words — a
+// constant number of ids/values, i.e. Θ(log n) bits) and rejects runs that
+// exceed it, so algorithm implementations cannot silently cheat on
+// bandwidth.
+#pragma once
+
+#include <cstdint>
+#include <initializer_list>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace lowtw::congest {
+
+struct Message {
+  /// Message type tag, algorithm-defined. Counted against the word budget.
+  std::int64_t tag = 0;
+  /// Payload words.
+  std::vector<std::int64_t> words;
+
+  Message() = default;
+  explicit Message(std::int64_t t, std::initializer_list<std::int64_t> w = {})
+      : tag(t), words(w) {}
+
+  std::size_t word_count() const { return 1 + words.size(); }
+};
+
+/// A delivered message together with its sender.
+struct Envelope {
+  graph::VertexId from = graph::kNoVertex;
+  Message msg;
+};
+
+}  // namespace lowtw::congest

@@ -1,0 +1,271 @@
+#include "congest/programs.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "util/check.hpp"
+
+namespace lowtw::congest {
+
+namespace {
+
+using graph::kInfinity;
+using graph::kNoVertex;
+using graph::VertexId;
+using graph::Weight;
+
+// ---------------------------------------------------------------------------
+// BFS
+// ---------------------------------------------------------------------------
+
+class BfsProgram : public NodeProgram {
+ public:
+  BfsProgram(VertexId root, std::vector<int>& dist,
+             std::vector<VertexId>& parent)
+      : root_(root), dist_(dist), parent_(parent) {}
+
+  void on_start(Context& ctx) override {
+    if (ctx.self() == root_) {
+      dist_[ctx.self()] = 0;
+      ctx.broadcast(Message{0, {0}});
+      ctx.halt();
+    }
+  }
+
+  void on_round(Context& ctx, std::span<const Envelope> inbox) override {
+    if (dist_[ctx.self()] != -1) {
+      ctx.halt();
+      return;
+    }
+    // Adopt the smallest-id sender as parent (deterministic).
+    const Envelope* best = nullptr;
+    for (const Envelope& e : inbox) {
+      if (best == nullptr || e.from < best->from) best = &e;
+    }
+    if (best != nullptr) {
+      dist_[ctx.self()] = static_cast<int>(best->msg.words[0]) + 1;
+      parent_[ctx.self()] = best->from;
+      ctx.broadcast(Message{0, {dist_[ctx.self()]}});
+      ctx.halt();
+    }
+  }
+
+ private:
+  VertexId root_;
+  std::vector<int>& dist_;
+  std::vector<VertexId>& parent_;
+};
+
+// ---------------------------------------------------------------------------
+// Bellman-Ford
+// ---------------------------------------------------------------------------
+
+class BellmanFordProgram : public NodeProgram {
+ public:
+  // out_weight: per node, minimum arc weight to each out-neighbor.
+  using OutWeights = std::vector<std::vector<std::pair<VertexId, Weight>>>;
+
+  BellmanFordProgram(VertexId source, const OutWeights& out,
+                     std::vector<Weight>& dist)
+      : source_(source), out_(out), dist_(dist) {}
+
+  void on_start(Context& ctx) override {
+    if (ctx.self() == source_) {
+      dist_[ctx.self()] = 0;
+      send_updates(ctx);
+    }
+  }
+
+  void on_round(Context& ctx, std::span<const Envelope> inbox) override {
+    bool improved = false;
+    for (const Envelope& e : inbox) {
+      Weight cand = e.msg.words[0];
+      if (cand < dist_[ctx.self()]) {
+        dist_[ctx.self()] = cand;
+        improved = true;
+      }
+    }
+    if (improved) send_updates(ctx);
+  }
+
+ private:
+  void send_updates(Context& ctx) {
+    for (auto [nbr, w] : out_[ctx.self()]) {
+      if (w >= kInfinity) continue;
+      ctx.send(nbr, Message{0, {dist_[ctx.self()] + w}});
+    }
+  }
+
+  VertexId source_;
+  const OutWeights& out_;
+  std::vector<Weight>& dist_;
+};
+
+// ---------------------------------------------------------------------------
+// Flooding broadcast
+// ---------------------------------------------------------------------------
+
+class FloodProgram : public NodeProgram {
+ public:
+  FloodProgram(VertexId root, std::int64_t value,
+               std::vector<std::int64_t>& out)
+      : root_(root), value_(value), out_(out) {}
+
+  void on_start(Context& ctx) override {
+    if (ctx.self() == root_) {
+      out_[ctx.self()] = value_;
+      ctx.broadcast(Message{0, {value_}});
+      ctx.halt();
+    }
+  }
+
+  void on_round(Context& ctx, std::span<const Envelope> inbox) override {
+    if (!inbox.empty() && out_[ctx.self()] == -1) {
+      out_[ctx.self()] = inbox.front().msg.words[0];
+      ctx.broadcast(Message{0, {out_[ctx.self()]}});
+    }
+    if (out_[ctx.self()] != -1) ctx.halt();
+  }
+
+ private:
+  VertexId root_;
+  std::int64_t value_;
+  std::vector<std::int64_t>& out_;
+};
+
+// ---------------------------------------------------------------------------
+// Tree convergecast
+// ---------------------------------------------------------------------------
+
+class ConvergecastProgram : public NodeProgram {
+ public:
+  ConvergecastProgram(const std::vector<VertexId>& parent,
+                      const std::vector<int>& num_children,
+                      const std::vector<std::int64_t>& inputs,
+                      VertexId root, std::int64_t& root_sum)
+      : parent_(parent),
+        num_children_(num_children),
+        inputs_(inputs),
+        root_(root),
+        root_sum_(root_sum) {}
+
+  void on_start(Context& ctx) override {
+    acc_ = inputs_[ctx.self()];
+    pending_ = num_children_[ctx.self()];
+    maybe_report(ctx);
+  }
+
+  void on_round(Context& ctx, std::span<const Envelope> inbox) override {
+    for (const Envelope& e : inbox) {
+      acc_ += e.msg.words[0];
+      --pending_;
+    }
+    maybe_report(ctx);
+  }
+
+ private:
+  void maybe_report(Context& ctx) {
+    if (pending_ > 0) return;
+    if (ctx.self() == root_) {
+      root_sum_ = acc_;
+    } else {
+      ctx.send(parent_[ctx.self()], Message{0, {acc_}});
+    }
+    ctx.halt();
+  }
+
+  const std::vector<VertexId>& parent_;
+  const std::vector<int>& num_children_;
+  const std::vector<std::int64_t>& inputs_;
+  VertexId root_;
+  std::int64_t& root_sum_;
+  std::int64_t acc_ = 0;
+  int pending_ = 0;
+};
+
+}  // namespace
+
+DistributedBfsOutcome run_distributed_bfs(const graph::Graph& comm,
+                                          VertexId root) {
+  DistributedBfsOutcome out;
+  out.dist.assign(static_cast<std::size_t>(comm.num_vertices()), -1);
+  out.parent.assign(static_cast<std::size_t>(comm.num_vertices()), kNoVertex);
+  SimOptions opt;
+  opt.quiescence_stop = true;
+  Simulator sim(comm, opt);
+  out.sim = sim.run([&](VertexId) {
+    return std::make_unique<BfsProgram>(root, out.dist, out.parent);
+  });
+  return out;
+}
+
+DistributedSsspOutcome run_distributed_bellman_ford(
+    const graph::WeightedDigraph& g, VertexId source) {
+  graph::Graph comm = g.skeleton();
+  // Minimum arc weight per ordered neighbor pair (multigraph collapse).
+  BellmanFordProgram::OutWeights out_w(
+      static_cast<std::size_t>(g.num_vertices()));
+  {
+    std::map<std::pair<VertexId, VertexId>, Weight> min_w;
+    for (const graph::Arc& a : g.arcs()) {
+      if (a.tail == a.head || a.weight >= kInfinity) continue;
+      auto key = std::make_pair(a.tail, a.head);
+      auto it = min_w.find(key);
+      if (it == min_w.end() || a.weight < it->second) min_w[key] = a.weight;
+    }
+    for (const auto& [key, w] : min_w) {
+      out_w[key.first].emplace_back(key.second, w);
+    }
+  }
+  DistributedSsspOutcome out;
+  out.dist.assign(static_cast<std::size_t>(g.num_vertices()), kInfinity);
+  SimOptions opt;
+  opt.quiescence_stop = true;
+  opt.message_driven = true;  // Bellman-Ford only acts on arriving messages
+  Simulator sim(comm, opt);
+  out.sim = sim.run([&](VertexId) {
+    return std::make_unique<BellmanFordProgram>(source, out_w, out.dist);
+  });
+  return out;
+}
+
+DistributedBroadcastOutcome run_flood(const graph::Graph& comm, VertexId root,
+                                      std::int64_t value) {
+  DistributedBroadcastOutcome out;
+  out.value.assign(static_cast<std::size_t>(comm.num_vertices()), -1);
+  SimOptions opt;
+  opt.quiescence_stop = true;
+  Simulator sim(comm, opt);
+  out.sim = sim.run([&](VertexId) {
+    return std::make_unique<FloodProgram>(root, value, out.value);
+  });
+  return out;
+}
+
+ConvergecastOutcome run_tree_convergecast(
+    const graph::Graph& comm, const std::vector<VertexId>& parent,
+    VertexId root, const std::vector<std::int64_t>& inputs) {
+  const auto n = static_cast<std::size_t>(comm.num_vertices());
+  LOWTW_CHECK(parent.size() == n && inputs.size() == n);
+  LOWTW_CHECK(parent[root] == root);
+  std::vector<int> num_children(n, 0);
+  for (VertexId v = 0; v < static_cast<VertexId>(n); ++v) {
+    if (v != root) {
+      LOWTW_CHECK_MSG(comm.has_edge(v, parent[v]),
+                      "tree parent " << parent[v] << " of " << v
+                                     << " is not a neighbor");
+      ++num_children[parent[v]];
+    }
+  }
+  ConvergecastOutcome out;
+  SimOptions opt;
+  opt.quiescence_stop = false;
+  Simulator sim(comm, opt);
+  out.sim = sim.run([&](VertexId) {
+    return std::make_unique<ConvergecastProgram>(parent, num_children, inputs,
+                                                 root, out.sum);
+  });
+  return out;
+}
+
+}  // namespace lowtw::congest

@@ -1,0 +1,66 @@
+// Real message-level distributed algorithms on the CONGEST kernel.
+//
+// These serve two purposes:
+//  * baselines for the separation experiments (distributed Bellman-Ford is
+//    the Θ(hop-length) SSSP competitor in bench E3);
+//  * validation of the simulator itself (round counts have exact known
+//    values: BFS = ecc(root)+1, flooding = ecc(root), ...).
+#pragma once
+
+#include <vector>
+
+#include "congest/simulator.hpp"
+#include "graph/digraph.hpp"
+#include "graph/graph.hpp"
+
+namespace lowtw::congest {
+
+struct DistributedBfsOutcome {
+  std::vector<int> dist;               ///< hops, -1 unreachable
+  std::vector<graph::VertexId> parent; ///< BFS-tree parent, kNoVertex for root
+  SimResult sim;
+};
+
+/// Flood-based BFS tree construction; every node learns its hop distance and
+/// parent. Completes in ecc(root) + 1 rounds.
+DistributedBfsOutcome run_distributed_bfs(const graph::Graph& comm,
+                                          graph::VertexId root);
+
+struct DistributedSsspOutcome {
+  std::vector<graph::Weight> dist;  ///< kInfinity if unreachable
+  SimResult sim;
+};
+
+/// Distributed Bellman-Ford on a weighted directed multigraph: messages flow
+/// over the skeleton ⟦G⟧, relaxations follow arc directions. Terminates by
+/// quiescence; the reported round count is the number of rounds until the
+/// last relaxation, which equals the maximum hop count of a minimum-hop
+/// shortest path (the standard Θ(hops) baseline the paper's SSSP result is
+/// measured against).
+DistributedSsspOutcome run_distributed_bellman_ford(
+    const graph::WeightedDigraph& g, graph::VertexId source);
+
+struct DistributedBroadcastOutcome {
+  std::vector<std::int64_t> value;  ///< received value, -1 if not reached
+  SimResult sim;
+};
+
+/// Root floods one word to all nodes; completes in ecc(root) rounds.
+DistributedBroadcastOutcome run_flood(const graph::Graph& comm,
+                                      graph::VertexId root,
+                                      std::int64_t value);
+
+struct ConvergecastOutcome {
+  std::int64_t sum = 0;  ///< learned by the root
+  SimResult sim;
+};
+
+/// Sums per-node inputs up a given spanning tree (parent pointers,
+/// parent[root] == root). Completes in height(tree) + O(1) rounds. This is
+/// the message-level realization of part-wise aggregation on a single part
+/// whose shortcut is its own spanning tree.
+ConvergecastOutcome run_tree_convergecast(
+    const graph::Graph& comm, const std::vector<graph::VertexId>& parent,
+    graph::VertexId root, const std::vector<std::int64_t>& inputs);
+
+}  // namespace lowtw::congest

@@ -1,0 +1,113 @@
+#include "congest/simulator.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace lowtw::congest {
+
+void Context::send(graph::VertexId neighbor, Message m) {
+  auto it = std::lower_bound(neighbor_index_->begin(), neighbor_index_->end(),
+                             neighbor);
+  LOWTW_CHECK_MSG(it != neighbor_index_->end() && *it == neighbor,
+                  "node " << self_ << " sending to non-neighbor " << neighbor);
+  auto pos = static_cast<std::size_t>(it - neighbor_index_->begin());
+  LOWTW_CHECK_MSG(!(*sent_to_)[pos], "node " << self_ << " sent twice to "
+                                             << neighbor << " in round "
+                                             << round_);
+  (*sent_to_)[pos] = 1;
+  outbox_->emplace_back(neighbor, std::move(m));
+}
+
+void Context::broadcast(const Message& m) {
+  for (graph::VertexId v : neighbors_) send(v, m);
+}
+
+Simulator::Simulator(const graph::Graph& comm, SimOptions options)
+    : comm_(comm), options_(options) {}
+
+SimResult Simulator::run(
+    const std::function<std::unique_ptr<NodeProgram>(graph::VertexId)>& factory) {
+  const int n = comm_.num_vertices();
+  programs_.clear();
+  programs_.reserve(static_cast<std::size_t>(n));
+  for (graph::VertexId v = 0; v < n; ++v) programs_.push_back(factory(v));
+
+  // Neighbor id vectors (sorted) per node, reused across rounds.
+  std::vector<std::vector<graph::VertexId>> nbrs(static_cast<std::size_t>(n));
+  for (graph::VertexId v = 0; v < n; ++v) {
+    auto span = comm_.neighbors(v);
+    nbrs[v].assign(span.begin(), span.end());
+  }
+
+  std::vector<std::vector<Envelope>> inbox(static_cast<std::size_t>(n));
+  std::vector<std::vector<Envelope>> next_inbox(static_cast<std::size_t>(n));
+  std::vector<char> halted(static_cast<std::size_t>(n), 0);
+
+  SimResult result;
+  int last_message_round = 0;
+
+  auto run_node = [&](graph::VertexId v, int round, bool start) {
+    std::vector<std::pair<graph::VertexId, Message>> outbox;
+    std::vector<char> sent_to(nbrs[v].size(), 0);
+    Context ctx;
+    ctx.self_ = v;
+    ctx.round_ = round;
+    ctx.neighbors_ = {nbrs[v].data(), nbrs[v].size()};
+    ctx.outbox_ = &outbox;
+    ctx.sent_to_ = &sent_to;
+    ctx.neighbor_index_ = &nbrs[v];
+    if (start) {
+      programs_[v]->on_start(ctx);
+    } else {
+      programs_[v]->on_round(ctx, {inbox[v].data(), inbox[v].size()});
+    }
+    if (ctx.halted_) halted[v] = 1;
+    for (auto& [to, msg] : outbox) {
+      LOWTW_CHECK_MSG(msg.word_count() <= options_.max_words,
+                      "bandwidth violation: " << msg.word_count()
+                                              << " words > budget "
+                                              << options_.max_words);
+      next_inbox[to].push_back(Envelope{v, std::move(msg)});
+      ++result.messages;
+    }
+  };
+
+  // Round 0: on_start.
+  for (graph::VertexId v = 0; v < n; ++v) run_node(v, 0, /*start=*/true);
+
+  int round = 0;
+  while (true) {
+    bool any_message = false;
+    for (auto& box : next_inbox) {
+      if (!box.empty()) {
+        any_message = true;
+        break;
+      }
+    }
+    bool all_halted =
+        std::all_of(halted.begin(), halted.end(), [](char h) { return h != 0; });
+    if (all_halted) {
+      result.all_halted = true;
+      break;
+    }
+    if (!any_message && options_.quiescence_stop) break;
+    LOWTW_CHECK_MSG(round < options_.max_rounds,
+                    "simulation exceeded max_rounds=" << options_.max_rounds);
+    ++round;
+    if (any_message) last_message_round = round;
+    inbox.swap(next_inbox);
+    for (auto& box : next_inbox) box.clear();
+    for (graph::VertexId v = 0; v < n; ++v) {
+      if (!halted[v] && (!options_.message_driven || !inbox[v].empty())) {
+        run_node(v, round, /*start=*/false);
+      }
+      inbox[v].clear();
+    }
+  }
+
+  result.rounds = options_.quiescence_stop ? last_message_round : round;
+  return result;
+}
+
+}  // namespace lowtw::congest

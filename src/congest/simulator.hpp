@@ -1,0 +1,110 @@
+// Synchronous message-passing simulator for the CONGEST model (Section 2.1).
+//
+// The simulator runs node programs in lockstep rounds:
+//   1. every awake node's `on_round` consumes last round's inbox and may
+//      send one message per incident edge;
+//   2. the simulator enforces the bandwidth constraint (at most one message
+//      of at most `max_words` words per edge-direction per round) and
+//      delivers messages;
+//   3. the run ends when every node has halted, or when `quiescence_stop`
+//      is enabled and no message is in flight.
+//
+// This is the *real* (non-modeled) execution substrate: the distributed
+// baselines (Bellman-Ford, BFS, broadcast) run here message-by-message, so
+// the baseline side of every separation experiment involves no cost model.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "congest/message.hpp"
+#include "graph/graph.hpp"
+
+namespace lowtw::congest {
+
+class Simulator;
+
+/// Per-node view handed to programs each round.
+class Context {
+ public:
+  graph::VertexId self() const { return self_; }
+  int round() const { return round_; }
+  /// Neighbors in the communication graph, sorted by id.
+  std::span<const graph::VertexId> neighbors() const { return neighbors_; }
+
+  /// Queues a message to a neighbor for delivery next round. At most one
+  /// message per neighbor per round; a second send to the same neighbor in
+  /// one round is an error (the model allows one message per edge-direction).
+  void send(graph::VertexId neighbor, Message m);
+
+  /// Convenience: send the same message to every neighbor.
+  void broadcast(const Message& m);
+
+  /// Marks this node as locally terminated; `on_round` is not called again.
+  void halt() { halted_ = true; }
+
+ private:
+  friend class Simulator;
+  graph::VertexId self_ = graph::kNoVertex;
+  int round_ = 0;
+  std::span<const graph::VertexId> neighbors_;
+  bool halted_ = false;
+  std::vector<std::pair<graph::VertexId, Message>>* outbox_ = nullptr;
+  std::vector<char>* sent_to_ = nullptr;  // indexed by neighbor position
+  const std::vector<graph::VertexId>* neighbor_index_ = nullptr;
+};
+
+/// A distributed algorithm, instantiated once per node.
+class NodeProgram {
+ public:
+  virtual ~NodeProgram() = default;
+  /// Round 0: runs before any message exchange; may send.
+  virtual void on_start(Context& ctx) = 0;
+  /// Rounds 1, 2, ...: consumes messages sent in the previous round.
+  virtual void on_round(Context& ctx, std::span<const Envelope> inbox) = 0;
+};
+
+struct SimOptions {
+  /// Per-message word budget (tag + payload): Θ(log n) bits.
+  std::size_t max_words = 4;
+  /// Hard round cap; exceeding it is an error (deadlock guard).
+  int max_rounds = 1 << 22;
+  /// If true, the run also ends once no node sent a message in a round
+  /// (quiescence). Round count then reports the last round in which any
+  /// message was delivered. This models algorithms with an implicit
+  /// termination-detection layer.
+  bool quiescence_stop = false;
+  /// If true, `on_round` is only invoked on nodes with a non-empty inbox —
+  /// valid for purely message-driven algorithms (Bellman-Ford, flooding)
+  /// and reduces simulation cost from O(n · rounds) to O(messages).
+  bool message_driven = false;
+};
+
+struct SimResult {
+  int rounds = 0;              ///< rounds actually executed
+  std::int64_t messages = 0;   ///< total messages delivered
+  bool all_halted = false;
+};
+
+class Simulator {
+ public:
+  Simulator(const graph::Graph& comm, SimOptions options = {});
+
+  /// Runs `factory(v)`-created programs to completion.
+  /// Programs remain owned by the simulator and can be inspected afterwards
+  /// through `program`.
+  SimResult run(
+      const std::function<std::unique_ptr<NodeProgram>(graph::VertexId)>& factory);
+
+  NodeProgram& program(graph::VertexId v) { return *programs_[v]; }
+  const NodeProgram& program(graph::VertexId v) const { return *programs_[v]; }
+
+ private:
+  const graph::Graph& comm_;
+  SimOptions options_;
+  std::vector<std::unique_ptr<NodeProgram>> programs_;
+};
+
+}  // namespace lowtw::congest

@@ -1,0 +1,99 @@
+#include "core/solver.hpp"
+
+#include <sstream>
+
+#include "graph/algorithms.hpp"
+#include "util/check.hpp"
+
+namespace lowtw {
+
+std::string RoundReport::to_string() const {
+  std::ostringstream os;
+  os << "rounds total: " << static_cast<long long>(total) << "\n";
+  for (const auto& [tag, r] : by_tag) {
+    os << "  " << tag << ": " << static_cast<long long>(r) << "\n";
+  }
+  return os.str();
+}
+
+Solver::Solver(graph::Graph g, SolverOptions options)
+    : instance_(graph::WeightedDigraph::symmetric_from(g)),
+      skeleton_(std::move(g)),
+      undirected_input_(true),
+      undirected_(skeleton_),
+      options_(options),
+      rng_(options.seed) {
+  diameter_ = options_.known_diameter.value_or(
+      graph::exact_diameter(skeleton_));
+  engine_ = std::make_unique<primitives::Engine>(
+      options_.engine,
+      primitives::CostModel{skeleton_.num_vertices(), diameter_, 1.0},
+      &ledger_);
+}
+
+Solver::Solver(graph::WeightedDigraph g, SolverOptions options)
+    : instance_(std::move(g)),
+      skeleton_(instance_.skeleton()),
+      undirected_input_(false),
+      options_(options),
+      rng_(options.seed) {
+  diameter_ = options_.known_diameter.value_or(
+      graph::exact_diameter(skeleton_));
+  engine_ = std::make_unique<primitives::Engine>(
+      options_.engine,
+      primitives::CostModel{skeleton_.num_vertices(), diameter_, 1.0},
+      &ledger_);
+}
+
+const td::TdBuildResult& Solver::tree_decomposition() {
+  if (!td_.has_value()) {
+    td_ = td::build_hierarchy(skeleton_, options_.td, rng_, *engine_);
+  }
+  return *td_;
+}
+
+const labeling::DlResult& Solver::distance_labeling() {
+  if (!dl_.has_value()) {
+    const auto& td = tree_decomposition();
+    dl_ = labeling::build_distance_labeling(instance_, skeleton_,
+                                            td.hierarchy, *engine_);
+  }
+  return *dl_;
+}
+
+labeling::SsspResult Solver::sssp(graph::VertexId source) {
+  return labeling::sssp_from_labels(distance_labeling().labeling, source,
+                                    diameter_, *engine_);
+}
+
+matching::DistributedMatchingResult Solver::max_matching(
+    matching::MatchingMode mode) {
+  LOWTW_CHECK_MSG(undirected_input_,
+                  "max_matching requires an undirected instance");
+  matching::MatchingParams params;
+  params.td = options_.td;
+  params.mode = mode;
+  return matching::max_bipartite_matching(*undirected_, params, rng_,
+                                          *engine_);
+}
+
+girth::GirthResult Solver::girth() {
+  if (undirected_input_) return girth_undirected();
+  const auto& td = tree_decomposition();
+  return girth::girth_directed(instance_, skeleton_, td.hierarchy, *engine_);
+}
+
+girth::GirthResult Solver::girth_undirected() {
+  const auto& td = tree_decomposition();
+  return girth::girth_undirected(instance_, skeleton_, td.hierarchy,
+                                 options_.girth, rng_, *engine_);
+}
+
+RoundReport Solver::report() const {
+  RoundReport r;
+  r.total = ledger_.total();
+  r.by_tag = ledger_.breakdown();
+  return r;
+}
+
+}  // namespace lowtw

@@ -1,0 +1,91 @@
+// The public facade: one entry point per paper result.
+//
+//   lowtw::Solver solver(graph);                 // or a weighted digraph
+//   auto& td  = solver.tree_decomposition();     // Theorem 1
+//   auto& dl  = solver.distance_labeling();      // Theorem 2
+//   auto sssp = solver.sssp(source);             // Section 1.2 application
+//   auto m    = solver.max_matching();           // Theorem 4 (undirected input)
+//   auto g    = solver.girth();                  // Theorem 5
+//   solver.report();                             // round breakdown
+//
+// The Solver owns the RNG, round ledger, and engine; results are cached so
+// that e.g. girth reuses the decomposition built for distance labeling.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "girth/girth.hpp"
+#include "labeling/distance_labeling.hpp"
+#include "matching/matching.hpp"
+#include "primitives/engine.hpp"
+#include "td/builder.hpp"
+#include "util/rng.hpp"
+
+namespace lowtw {
+
+struct SolverOptions {
+  primitives::EngineMode engine = primitives::EngineMode::kShortcutModel;
+  td::TdParams td;
+  std::uint64_t seed = 0x5eedULL;
+  /// Skips the O(n·m) exact diameter computation when the caller knows D.
+  std::optional<int> known_diameter;
+  girth::UndirectedGirthParams girth;
+};
+
+/// Per-phase round accounting, pretty-printable.
+struct RoundReport {
+  double total = 0;
+  std::map<std::string, double> by_tag;
+  std::string to_string() const;
+};
+
+class Solver {
+ public:
+  /// Undirected unweighted input: edges become symmetric unit arcs.
+  explicit Solver(graph::Graph g, SolverOptions options = {});
+  /// Weighted directed multigraph input. If the arc set is symmetric (each
+  /// arc has an equal-weight reverse), undirected-girth queries are allowed.
+  explicit Solver(graph::WeightedDigraph g, SolverOptions options = {});
+
+  const graph::WeightedDigraph& instance() const { return instance_; }
+  const graph::Graph& skeleton() const { return skeleton_; }
+  int diameter() const { return diameter_; }
+
+  /// Theorem 1. Cached.
+  const td::TdBuildResult& tree_decomposition();
+  /// Theorem 2. Cached; builds the decomposition on demand.
+  const labeling::DlResult& distance_labeling();
+  /// Exact SSSP (both directions) from `source` via label flooding.
+  labeling::SsspResult sssp(graph::VertexId source);
+  /// Theorem 4; requires the instance to be undirected (bipartiteness is
+  /// checked inside).
+  matching::DistributedMatchingResult max_matching(
+      matching::MatchingMode mode = matching::MatchingMode::kFast);
+  /// Theorem 5: directed reduction if the instance was directed, the
+  /// count-1 randomized reduction if undirected.
+  girth::GirthResult girth();
+  /// Forces the undirected (count-1) reduction; the instance's arcs must be
+  /// symmetric (each undirected edge = two equal-weight opposite arcs).
+  girth::GirthResult girth_undirected();
+
+  RoundReport report() const;
+  primitives::Engine& engine() { return *engine_; }
+  util::Rng& rng() { return rng_; }
+
+ private:
+  graph::WeightedDigraph instance_;
+  graph::Graph skeleton_;
+  bool undirected_input_ = false;
+  std::optional<graph::Graph> undirected_;
+  int diameter_ = 0;
+  SolverOptions options_;
+  util::Rng rng_;
+  primitives::RoundLedger ledger_;
+  std::unique_ptr<primitives::Engine> engine_;
+  std::optional<td::TdBuildResult> td_;
+  std::optional<labeling::DlResult> dl_;
+};
+
+}  // namespace lowtw

@@ -1,0 +1,62 @@
+// Weighted girth computation (Section 7, Appendix F — Theorem 5).
+//
+// Directed graphs: the shortest cycle through arc (u,v) is
+// w(u,v) + d(v,u); after the distance-labeling construction, u and v
+// exchange labels across the edge (pipelined, O(label size) rounds) and the
+// global minimum is aggregated.
+//
+// Undirected graphs: the edge (u,v) may itself realize d(v,u), so the
+// directed reduction breaks. The paper's fix: random binary edge labels and
+// *exact count-1* closed walks (Ccnt(1), queried at state "count = 1").
+// Lemma 6: any shortest exact count-1 closed walk contains a simple cycle,
+// so every g(v) upper-bounds the girth; when exactly one edge of some
+// shortest cycle is labeled 1 — which the doubling sweep over label
+// densities 1/(3ĉ) makes happen with constant probability at the right
+// scale — some vertex of that cycle attains g(v) = g.
+#pragma once
+
+#include "labeling/distance_labeling.hpp"
+#include "primitives/engine.hpp"
+#include "td/builder.hpp"
+#include "util/rng.hpp"
+
+namespace lowtw::girth {
+
+struct GirthResult {
+  graph::Weight girth = graph::kInfinity;  ///< kInfinity = acyclic
+  double rounds = 0;
+  int cdl_builds = 0;
+};
+
+/// Directed weighted girth via distance labeling. `hierarchy` decomposes
+/// ⟦g⟧ = `skeleton`.
+GirthResult girth_directed(const graph::WeightedDigraph& g,
+                           const graph::Graph& skeleton,
+                           const td::Hierarchy& hierarchy,
+                           primitives::Engine& engine);
+
+struct UndirectedGirthParams {
+  /// Trials per label-density scale ĉ; -1 = ceil(3·log2 n) (paper: Θ(log n)).
+  int trials_per_scale = -1;
+  /// Stop after this many consecutive all-failure scales past the first
+  /// success (0 = run the full paper sweep ĉ = 1, 2, ..., 2^⌈log m⌉+1).
+  int early_stop_scales = 0;
+};
+
+/// Undirected weighted girth; `g` must be a symmetric digraph (each
+/// undirected edge = two opposite arcs, as built by symmetric_from).
+GirthResult girth_undirected(const graph::WeightedDigraph& g,
+                             const graph::Graph& skeleton,
+                             const td::Hierarchy& hierarchy,
+                             const UndirectedGirthParams& params,
+                             util::Rng& rng, primitives::Engine& engine);
+
+/// Baseline round cost for girth in general graphs: the Õ(min{g·n^(1-Θ(1/g)),
+/// n}) algorithm of [CHFG+20]; we charge its n-clause (the relevant one for
+/// the weighted case) plus aggregation. Returns the exact girth (computed
+/// centrally) with the modeled round cost.
+GirthResult girth_general_baseline(const graph::WeightedDigraph& g,
+                                   bool directed, int diameter,
+                                   primitives::Engine& engine);
+
+}  // namespace lowtw::girth

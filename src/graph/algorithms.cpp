@@ -1,0 +1,325 @@
+#include "graph/algorithms.hpp"
+
+#include <algorithm>
+#include <map>
+#include <queue>
+
+#include "util/check.hpp"
+
+namespace lowtw::graph {
+
+BfsResult bfs(const Graph& g, VertexId source) {
+  const int n = g.num_vertices();
+  LOWTW_CHECK(source >= 0 && source < n);
+  BfsResult r;
+  r.dist.assign(static_cast<std::size_t>(n), -1);
+  r.parent.assign(static_cast<std::size_t>(n), kNoVertex);
+  std::queue<VertexId> q;
+  r.dist[source] = 0;
+  q.push(source);
+  while (!q.empty()) {
+    VertexId u = q.front();
+    q.pop();
+    r.eccentricity = std::max(r.eccentricity, r.dist[u]);
+    for (VertexId v : g.neighbors(u)) {
+      if (r.dist[v] == -1) {
+        r.dist[v] = r.dist[u] + 1;
+        r.parent[v] = u;
+        q.push(v);
+      }
+    }
+  }
+  return r;
+}
+
+std::vector<std::vector<VertexId>> Components::members() const {
+  std::vector<std::vector<VertexId>> out(static_cast<std::size_t>(count));
+  for (VertexId v = 0; v < static_cast<VertexId>(id.size()); ++v) {
+    out[id[v]].push_back(v);
+  }
+  return out;
+}
+
+Components connected_components(const Graph& g) {
+  const int n = g.num_vertices();
+  Components c;
+  c.id.assign(static_cast<std::size_t>(n), -1);
+  for (VertexId s = 0; s < n; ++s) {
+    if (c.id[s] != -1) continue;
+    c.id[s] = c.count;
+    std::queue<VertexId> q;
+    q.push(s);
+    while (!q.empty()) {
+      VertexId u = q.front();
+      q.pop();
+      for (VertexId v : g.neighbors(u)) {
+        if (c.id[v] == -1) {
+          c.id[v] = c.count;
+          q.push(v);
+        }
+      }
+    }
+    ++c.count;
+  }
+  return c;
+}
+
+std::vector<std::vector<VertexId>> induced_components(
+    const Graph& g, std::span<const VertexId> vertices) {
+  std::vector<char> in_set(static_cast<std::size_t>(g.num_vertices()), 0);
+  for (VertexId v : vertices) in_set[v] = 1;
+  std::vector<char> seen(static_cast<std::size_t>(g.num_vertices()), 0);
+  std::vector<std::vector<VertexId>> comps;
+  for (VertexId s : vertices) {
+    if (seen[s]) continue;
+    comps.emplace_back();
+    auto& comp = comps.back();
+    std::queue<VertexId> q;
+    seen[s] = 1;
+    q.push(s);
+    while (!q.empty()) {
+      VertexId u = q.front();
+      q.pop();
+      comp.push_back(u);
+      for (VertexId v : g.neighbors(u)) {
+        if (in_set[v] && !seen[v]) {
+          seen[v] = 1;
+          q.push(v);
+        }
+      }
+    }
+    std::sort(comp.begin(), comp.end());
+  }
+  return comps;
+}
+
+bool is_connected(const Graph& g) {
+  if (g.num_vertices() == 0) return true;
+  BfsResult r = bfs(g, 0);
+  return std::none_of(r.dist.begin(), r.dist.end(),
+                      [](int d) { return d == -1; });
+}
+
+int exact_diameter(const Graph& g) {
+  const int n = g.num_vertices();
+  if (n <= 1) return 0;
+  int diam = 0;
+  for (VertexId s = 0; s < n; ++s) {
+    BfsResult r = bfs(g, s);
+    for (int d : r.dist) {
+      LOWTW_CHECK_MSG(d != -1, "exact_diameter requires a connected graph");
+    }
+    diam = std::max(diam, r.eccentricity);
+  }
+  return diam;
+}
+
+int double_sweep_diameter(const Graph& g) {
+  if (g.num_vertices() <= 1) return 0;
+  BfsResult first = bfs(g, 0);
+  VertexId far = 0;
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    LOWTW_CHECK_MSG(first.dist[v] != -1,
+                    "double_sweep_diameter requires a connected graph");
+    if (first.dist[v] > first.dist[far]) far = v;
+  }
+  return bfs(g, far).eccentricity;
+}
+
+namespace {
+
+/// Dijkstra with an optional per-arc mask (masked arcs are skipped). Arcs of
+/// weight >= kInfinity are always skipped.
+SpResult dijkstra_impl(const WeightedDigraph& g, VertexId source, bool reversed,
+                       std::span<const EdgeId> masked_arcs) {
+  const int n = g.num_vertices();
+  LOWTW_CHECK(source >= 0 && source < n);
+  std::vector<char> masked(static_cast<std::size_t>(g.num_arcs()), 0);
+  for (EdgeId e : masked_arcs) masked[e] = 1;
+
+  SpResult r;
+  r.dist.assign(static_cast<std::size_t>(n), kInfinity);
+  r.parent_arc.assign(static_cast<std::size_t>(n), -1);
+  using Entry = std::pair<Weight, VertexId>;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> pq;
+  r.dist[source] = 0;
+  pq.emplace(0, source);
+  while (!pq.empty()) {
+    auto [d, u] = pq.top();
+    pq.pop();
+    if (d != r.dist[u]) continue;
+    auto arcs = reversed ? g.in_arcs(u) : g.out_arcs(u);
+    for (EdgeId e : arcs) {
+      if (masked[e]) continue;
+      const Arc& a = g.arc(e);
+      if (a.weight >= kInfinity) continue;
+      VertexId v = reversed ? a.tail : a.head;
+      Weight nd = d + a.weight;
+      if (nd < r.dist[v]) {
+        r.dist[v] = nd;
+        r.parent_arc[v] = e;
+        pq.emplace(nd, v);
+      }
+    }
+  }
+  return r;
+}
+
+}  // namespace
+
+SpResult dijkstra(const WeightedDigraph& g, VertexId source, bool reversed) {
+  return dijkstra_impl(g, source, reversed, {});
+}
+
+BellmanFordResult bellman_ford(const WeightedDigraph& g, VertexId source) {
+  const int n = g.num_vertices();
+  LOWTW_CHECK(source >= 0 && source < n);
+  BellmanFordResult r;
+  r.dist.assign(static_cast<std::size_t>(n), kInfinity);
+  r.hops.assign(static_cast<std::size_t>(n), -1);
+  r.dist[source] = 0;
+  r.hops[source] = 0;
+  // Round-synchronous relaxation, exactly mirroring the distributed
+  // algorithm: in round i every arc whose tail improved in round i-1 is
+  // relaxed. Terminates after max_hops+1 rounds.
+  std::vector<char> active(static_cast<std::size_t>(n), 0);
+  active[source] = 1;
+  bool any_active = true;
+  for (int round = 1; round <= n && any_active; ++round) {
+    any_active = false;
+    std::vector<Weight> new_dist = r.dist;
+    std::vector<int> new_hops = r.hops;
+    std::vector<char> new_active(static_cast<std::size_t>(n), 0);
+    for (VertexId u = 0; u < n; ++u) {
+      if (!active[u]) continue;
+      for (EdgeId e : g.out_arcs(u)) {
+        const Arc& a = g.arc(e);
+        if (a.weight >= kInfinity) continue;
+        Weight nd = r.dist[u] + a.weight;
+        if (nd < new_dist[a.head] ||
+            (nd == new_dist[a.head] && new_hops[a.head] > round)) {
+          bool improved_weight = nd < new_dist[a.head];
+          new_dist[a.head] = nd;
+          if (improved_weight || new_hops[a.head] > round) {
+            new_hops[a.head] = round;
+          }
+          if (improved_weight) {
+            new_active[a.head] = 1;
+            any_active = true;
+          }
+        }
+      }
+    }
+    r.dist = std::move(new_dist);
+    r.hops = std::move(new_hops);
+    active = std::move(new_active);
+  }
+  for (VertexId v = 0; v < n; ++v) {
+    if (r.dist[v] < kInfinity) r.max_hops = std::max(r.max_hops, r.hops[v]);
+  }
+  return r;
+}
+
+Weight exact_girth_directed(const WeightedDigraph& g) {
+  const int n = g.num_vertices();
+  Weight best = kInfinity;
+  // Group candidate arcs by head, one Dijkstra per head vertex.
+  std::vector<char> has_in(static_cast<std::size_t>(n), 0);
+  for (const Arc& a : g.arcs()) {
+    if (a.tail == a.head) {
+      best = std::min(best, a.weight);  // self-loop cycle
+    } else {
+      has_in[a.head] = 1;
+    }
+  }
+  for (VertexId v = 0; v < n; ++v) {
+    if (!has_in[v]) continue;
+    SpResult sp = dijkstra(g, v);
+    for (EdgeId e : g.in_arcs(v)) {
+      const Arc& a = g.arc(e);
+      if (a.tail == a.head || a.weight >= kInfinity) continue;
+      if (sp.dist[a.tail] < kInfinity) {
+        best = std::min(best, a.weight + sp.dist[a.tail]);
+      }
+    }
+  }
+  return best;
+}
+
+Weight exact_girth_undirected(const WeightedDigraph& g) {
+  // Collect the undirected edge set; verify simplicity and symmetry.
+  std::map<std::pair<VertexId, VertexId>, std::vector<EdgeId>> by_pair;
+  for (EdgeId e = 0; e < g.num_arcs(); ++e) {
+    const Arc& a = g.arc(e);
+    LOWTW_CHECK_MSG(a.tail != a.head, "undirected girth: self-loops unsupported");
+    auto mm = std::minmax(a.tail, a.head);
+    by_pair[{mm.first, mm.second}].push_back(e);
+  }
+  Weight best = kInfinity;
+  for (const auto& [pair, arc_ids] : by_pair) {
+    LOWTW_CHECK_MSG(arc_ids.size() == 2,
+                    "undirected girth expects a simple symmetric digraph "
+                    "(got multiplicity " << arc_ids.size() << ")");
+    const Arc& a0 = g.arc(arc_ids[0]);
+    const Arc& a1 = g.arc(arc_ids[1]);
+    LOWTW_CHECK_MSG(a0.tail == a1.head && a0.head == a1.tail &&
+                        a0.weight == a1.weight,
+                    "asymmetric arc pair for undirected girth");
+    if (a0.weight >= kInfinity) continue;
+    // Shortest u-v path avoiding this edge, plus the edge, is the shortest
+    // cycle through the edge.
+    SpResult sp = dijkstra_impl(g, pair.first, /*reversed=*/false, arc_ids);
+    if (sp.dist[pair.second] < kInfinity) {
+      best = std::min(best, a0.weight + sp.dist[pair.second]);
+    }
+  }
+  return best;
+}
+
+std::optional<std::vector<int>> bipartite_sides(const Graph& g) {
+  const int n = g.num_vertices();
+  std::vector<int> side(static_cast<std::size_t>(n), -1);
+  for (VertexId s = 0; s < n; ++s) {
+    if (side[s] != -1) continue;
+    side[s] = 0;
+    std::queue<VertexId> q;
+    q.push(s);
+    while (!q.empty()) {
+      VertexId u = q.front();
+      q.pop();
+      for (VertexId v : g.neighbors(u)) {
+        if (side[v] == -1) {
+          side[v] = 1 - side[u];
+          q.push(v);
+        } else if (side[v] == side[u]) {
+          return std::nullopt;
+        }
+      }
+    }
+  }
+  return side;
+}
+
+std::vector<VertexId> spanning_forest(const Graph& g) {
+  const int n = g.num_vertices();
+  std::vector<VertexId> parent(static_cast<std::size_t>(n), kNoVertex);
+  for (VertexId s = 0; s < n; ++s) {
+    if (parent[s] != kNoVertex) continue;
+    parent[s] = s;
+    std::queue<VertexId> q;
+    q.push(s);
+    while (!q.empty()) {
+      VertexId u = q.front();
+      q.pop();
+      for (VertexId v : g.neighbors(u)) {
+        if (parent[v] == kNoVertex) {
+          parent[v] = u;
+          q.push(v);
+        }
+      }
+    }
+  }
+  return parent;
+}
+
+}  // namespace lowtw::graph

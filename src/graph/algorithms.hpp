@@ -1,0 +1,96 @@
+// Centralized reference algorithms.
+//
+// These are *ground truth* implementations used by tests and benches to
+// validate the distributed framework, and building blocks for the logical
+// layer of the distributed algorithms (in the CONGEST simulation, nodes have
+// unbounded local computation; only communication is charged).
+#pragma once
+
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "graph/digraph.hpp"
+#include "graph/graph.hpp"
+
+namespace lowtw::graph {
+
+/// Result of a (hop-count) BFS.
+struct BfsResult {
+  std::vector<int> dist;        ///< hop distance, -1 if unreachable
+  std::vector<VertexId> parent; ///< BFS-tree parent, kNoVertex for root/unreached
+  int eccentricity = 0;         ///< max finite distance
+};
+
+BfsResult bfs(const Graph& g, VertexId source);
+
+/// Connected components: assigns each vertex a component id in
+/// [0, num_components), 0-based, in order of smallest contained vertex.
+struct Components {
+  std::vector<int> id;
+  int count = 0;
+  std::vector<std::vector<VertexId>> members() const;
+};
+
+Components connected_components(const Graph& g);
+
+/// Connected components of the subgraph induced on `vertices`.
+/// Returns the component vertex lists (global ids).
+std::vector<std::vector<VertexId>> induced_components(
+    const Graph& g, std::span<const VertexId> vertices);
+
+bool is_connected(const Graph& g);
+
+/// Exact unweighted diameter via n BFS runs. Intended for n up to a few
+/// thousand. Returns 0 for graphs with <= 1 vertex; kInfinity-like -1 never
+/// occurs: disconnected graphs are rejected by a check.
+int exact_diameter(const Graph& g);
+
+/// Double-sweep diameter estimate (two BFS runs): a lower bound on the
+/// diameter, exact on trees and typically exact on the benchmark families.
+/// Used where n·m exact computation would dominate (cost-model input only).
+int double_sweep_diameter(const Graph& g);
+
+/// Dijkstra from `source`. If `reversed`, computes distances *to* source
+/// (i.e., runs on the reverse digraph). Arcs with weight >= kInfinity are
+/// treated as absent (this is how the matching divide-and-conquer masks
+/// edges incident to not-yet-inserted separator vertices).
+struct SpResult {
+  std::vector<Weight> dist;      ///< kInfinity if unreachable
+  std::vector<EdgeId> parent_arc;///< arc used to reach the vertex, -1 if none
+};
+
+SpResult dijkstra(const WeightedDigraph& g, VertexId source,
+                  bool reversed = false);
+
+/// Bellman-Ford from `source`; also reports, for every vertex, the minimum
+/// number of hops over all shortest (minimum-weight) paths. The maximum of
+/// these hop counts is the round count a distributed Bellman-Ford needs.
+struct BellmanFordResult {
+  std::vector<Weight> dist;
+  std::vector<int> hops;  ///< hops of the minimum-hop shortest path
+  int max_hops = 0;       ///< over reachable vertices
+};
+
+BellmanFordResult bellman_ford(const WeightedDigraph& g, VertexId source);
+
+/// Exact weighted girth of a directed graph: min over arcs (u,v) of
+/// w(u,v) + d(v,u). Returns kInfinity if acyclic. Self-loop arcs count as
+/// cycles of their own weight.
+Weight exact_girth_directed(const WeightedDigraph& g);
+
+/// Exact weighted girth of an undirected graph given as a symmetric digraph
+/// (each undirected edge = two opposite arcs with equal weight, as built by
+/// WeightedDigraph::symmetric_from). A cycle must use at least three
+/// distinct undirected edges. Returns kInfinity if the graph is a forest.
+Weight exact_girth_undirected(const WeightedDigraph& g);
+
+/// Two-coloring of a connected or disconnected graph. Returns std::nullopt
+/// if g is not bipartite; otherwise side[v] in {0,1}.
+std::optional<std::vector<int>> bipartite_sides(const Graph& g);
+
+/// A spanning forest as parent pointers (parent[root] = root), BFS-built
+/// from the smallest vertex of each component.
+std::vector<VertexId> spanning_forest(const Graph& g);
+
+}  // namespace lowtw::graph

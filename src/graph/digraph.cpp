@@ -1,0 +1,63 @@
+#include "graph/digraph.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "util/check.hpp"
+
+namespace lowtw::graph {
+
+WeightedDigraph::WeightedDigraph(int num_vertices)
+    : out_(static_cast<std::size_t>(num_vertices)),
+      in_(static_cast<std::size_t>(num_vertices)) {
+  LOWTW_CHECK(num_vertices >= 0);
+}
+
+EdgeId WeightedDigraph::add_arc(VertexId tail, VertexId head, Weight weight,
+                                std::int32_t label) {
+  LOWTW_CHECK_MSG(tail >= 0 && tail < num_vertices() && head >= 0 &&
+                      head < num_vertices(),
+                  "arc (" << tail << "->" << head << ") out of range");
+  LOWTW_CHECK_MSG(weight >= 0, "negative arc weight " << weight);
+  auto id = static_cast<EdgeId>(arcs_.size());
+  arcs_.push_back(Arc{tail, head, weight, label});
+  out_[tail].push_back(id);
+  in_[head].push_back(id);
+  return id;
+}
+
+Graph WeightedDigraph::skeleton() const {
+  Graph g(num_vertices());
+  for (const Arc& a : arcs_) {
+    if (a.tail != a.head) g.add_edge(a.tail, a.head);
+  }
+  return g;
+}
+
+int WeightedDigraph::max_multiplicity() const {
+  std::map<std::pair<VertexId, VertexId>, int> count;
+  int best = 0;
+  for (const Arc& a : arcs_) {
+    auto key = std::minmax(a.tail, a.head);
+    best = std::max(best, ++count[{key.first, key.second}]);
+  }
+  return best;
+}
+
+WeightedDigraph WeightedDigraph::symmetric_from(
+    const Graph& g, std::span<const Weight> edge_weights,
+    std::span<const std::int32_t> edge_labels) {
+  auto edges = g.edges();
+  LOWTW_CHECK(edge_weights.empty() || edge_weights.size() == edges.size());
+  LOWTW_CHECK(edge_labels.empty() || edge_labels.size() == edges.size());
+  WeightedDigraph d(g.num_vertices());
+  for (std::size_t i = 0; i < edges.size(); ++i) {
+    Weight w = edge_weights.empty() ? 1 : edge_weights[i];
+    std::int32_t l = edge_labels.empty() ? 0 : edge_labels[i];
+    d.add_arc(edges[i].first, edges[i].second, w, l);
+    d.add_arc(edges[i].second, edges[i].first, w, l);
+  }
+  return d;
+}
+
+}  // namespace lowtw::graph

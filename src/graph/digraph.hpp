@@ -1,0 +1,74 @@
+// Weighted directed multigraphs — the *input instance* type of the paper
+// (Section 2.1): G = (V, E, γ) where γ maps edge ids to ordered vertex
+// pairs, with non-negative integer edge costs and optional small integer
+// edge labels (used by the stateful-walk constraints of Section 5).
+//
+// The communication network underlying an instance is its skeleton ⟦G⟧:
+// orientations dropped, multi-edges merged, self-loops removed.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace lowtw::graph {
+
+/// A directed edge of a multigraph. `γ(e) = (tail, head)` in paper notation.
+struct Arc {
+  VertexId tail = kNoVertex;
+  VertexId head = kNoVertex;
+  Weight weight = 1;
+  std::int32_t label = 0;  ///< edge label f(e) for stateful-walk constraints
+};
+
+/// Weighted directed multigraph over vertices {0, ..., n-1}.
+class WeightedDigraph {
+ public:
+  WeightedDigraph() = default;
+  explicit WeightedDigraph(int num_vertices);
+
+  int num_vertices() const { return static_cast<int>(out_.size()); }
+  int num_arcs() const { return static_cast<int>(arcs_.size()); }
+
+  /// Adds an arc; parallel arcs and (for generality of the multigraph type)
+  /// self-loops are permitted. Weights must be non-negative (the paper's
+  /// cost functions map into ℕ).
+  EdgeId add_arc(VertexId tail, VertexId head, Weight weight = 1,
+                 std::int32_t label = 0);
+
+  const Arc& arc(EdgeId e) const { return arcs_[e]; }
+  Arc& mutable_arc(EdgeId e) { return arcs_[e]; }
+  std::span<const Arc> arcs() const { return arcs_; }
+
+  /// Out-going / in-coming arc ids of v (E_G^out(u) in the paper).
+  std::span<const EdgeId> out_arcs(VertexId v) const {
+    return {out_[v].data(), out_[v].size()};
+  }
+  std::span<const EdgeId> in_arcs(VertexId v) const {
+    return {in_[v].data(), in_[v].size()};
+  }
+
+  /// The communication network ⟦G⟧: undirected, simple, unweighted.
+  Graph skeleton() const;
+
+  /// Maximum edge multiplicity p_max: the largest number of arcs (in either
+  /// direction) between any unordered vertex pair. Returns 0 for arc-less
+  /// graphs.
+  int max_multiplicity() const;
+
+  /// Builds the symmetric digraph of an undirected graph: every edge becomes
+  /// two opposite arcs with the given weight/label (weights per edge supplied
+  /// by index into g.edges() order).
+  static WeightedDigraph symmetric_from(const Graph& g,
+                                        std::span<const Weight> edge_weights = {},
+                                        std::span<const std::int32_t> edge_labels = {});
+
+ private:
+  std::vector<Arc> arcs_;
+  std::vector<std::vector<EdgeId>> out_;
+  std::vector<std::vector<EdgeId>> in_;
+};
+
+}  // namespace lowtw::graph

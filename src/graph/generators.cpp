@@ -1,0 +1,230 @@
+#include "graph/generators.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "graph/algorithms.hpp"
+#include "util/check.hpp"
+
+namespace lowtw::graph::gen {
+
+Graph path(int n) {
+  LOWTW_CHECK(n >= 1);
+  Graph g(n);
+  for (VertexId v = 0; v + 1 < n; ++v) g.add_edge(v, v + 1);
+  return g;
+}
+
+Graph cycle(int n) {
+  LOWTW_CHECK(n >= 3);
+  Graph g = path(n);
+  g.add_edge(0, n - 1);
+  return g;
+}
+
+Graph complete(int n) {
+  LOWTW_CHECK(n >= 1);
+  Graph g(n);
+  for (VertexId u = 0; u < n; ++u) {
+    for (VertexId v = u + 1; v < n; ++v) g.add_edge(u, v);
+  }
+  return g;
+}
+
+Graph binary_tree(int n) {
+  LOWTW_CHECK(n >= 1);
+  Graph g(n);
+  for (VertexId v = 1; v < n; ++v) g.add_edge(v, (v - 1) / 2);
+  return g;
+}
+
+Graph grid(int w, int h) {
+  LOWTW_CHECK(w >= 1 && h >= 1);
+  Graph g(w * h);
+  auto id = [w](int r, int c) { return static_cast<VertexId>(r * w + c); };
+  for (int r = 0; r < h; ++r) {
+    for (int c = 0; c < w; ++c) {
+      if (c + 1 < w) g.add_edge(id(r, c), id(r, c + 1));
+      if (r + 1 < h) g.add_edge(id(r, c), id(r + 1, c));
+    }
+  }
+  return g;
+}
+
+Graph ktree(int n, int k, util::Rng& rng) {
+  LOWTW_CHECK(k >= 1);
+  if (n <= k + 1) return complete(n);
+  // Grow from K_{k+1} to n vertices; `cliques` holds all k-cliques usable as
+  // attachment points (every k-subset of the initial clique, then k new ones
+  // per added vertex).
+  Graph full(n);
+  for (VertexId u = 0; u <= k; ++u) {
+    for (VertexId v = u + 1; v <= k; ++v) full.add_edge(u, v);
+  }
+  std::vector<std::vector<VertexId>> cliques;
+  {
+    std::vector<VertexId> base(static_cast<std::size_t>(k) + 1);
+    std::iota(base.begin(), base.end(), 0);
+    for (int skip = 0; skip <= k; ++skip) {
+      std::vector<VertexId> c;
+      for (int i = 0; i <= k; ++i) {
+        if (i != skip) c.push_back(base[i]);
+      }
+      cliques.push_back(std::move(c));
+    }
+  }
+  for (VertexId v = static_cast<VertexId>(k) + 1; v < n; ++v) {
+    const auto& c = cliques[rng.next_below(cliques.size())];
+    std::vector<VertexId> attached = c;  // copy: cliques vector may reallocate
+    for (VertexId u : attached) full.add_edge(v, u);
+    for (std::size_t skip = 0; skip < attached.size(); ++skip) {
+      std::vector<VertexId> nc;
+      nc.reserve(static_cast<std::size_t>(k));
+      for (std::size_t i = 0; i < attached.size(); ++i) {
+        if (i != skip) nc.push_back(attached[i]);
+      }
+      nc.push_back(v);
+      cliques.push_back(std::move(nc));
+    }
+  }
+  return full;
+}
+
+Graph partial_ktree(int n, int k, double keep_prob, util::Rng& rng) {
+  Graph full = ktree(n, k, rng);
+  std::vector<VertexId> tree_parent = spanning_forest(full);
+  Graph g(n);
+  for (VertexId v = 0; v < n; ++v) {
+    if (tree_parent[v] != v) g.add_edge(v, tree_parent[v]);
+  }
+  for (auto [u, v] : full.edges()) {
+    if (!g.has_edge(u, v) && rng.next_bool(keep_prob)) g.add_edge(u, v);
+  }
+  return g;
+}
+
+Graph banded(int n, int band) {
+  LOWTW_CHECK(n >= 1 && band >= 1);
+  Graph g(n);
+  for (VertexId u = 0; u < n; ++u) {
+    for (VertexId v = u + 1; v < n && v <= u + band; ++v) g.add_edge(u, v);
+  }
+  return g;
+}
+
+Graph apexed_path(int n, int num_apex, int stride) {
+  LOWTW_CHECK(n >= 2 && num_apex >= 0 && stride >= 1);
+  Graph g(n + num_apex);
+  for (VertexId v = 0; v + 1 < n; ++v) g.add_edge(v, v + 1);
+  for (int a = 0; a < num_apex; ++a) {
+    VertexId apex = static_cast<VertexId>(n + a);
+    int offset = (a * stride) / std::max(1, num_apex);
+    for (int v = offset; v < n; v += stride) g.add_edge(apex, v);
+    g.add_edge(apex, 0);
+    g.add_edge(apex, n - 1);
+    if (a > 0) g.add_edge(apex, static_cast<VertexId>(n + a - 1));
+  }
+  return g;
+}
+
+Graph apexed_bipartite_path(int n) {
+  LOWTW_CHECK(n >= 2);
+  Graph g(n + 2);
+  for (VertexId v = 0; v + 1 < n; ++v) g.add_edge(v, v + 1);
+  VertexId even_apex = static_cast<VertexId>(n);      // joins the odd side
+  VertexId odd_apex = static_cast<VertexId>(n) + 1;   // joins the even side
+  for (VertexId v = 0; v < n; ++v) {
+    g.add_edge(v % 2 == 0 ? even_apex : odd_apex, v);
+  }
+  return g;
+}
+
+Graph cycle_with_chords(int n, int chords, util::Rng& rng) {
+  Graph g = cycle(n);
+  int added = 0;
+  int attempts = 0;
+  while (added < chords && attempts < 100 * (chords + 1)) {
+    ++attempts;
+    auto u = static_cast<VertexId>(rng.next_below(static_cast<std::uint64_t>(n)));
+    auto v = static_cast<VertexId>(rng.next_below(static_cast<std::uint64_t>(n)));
+    if (u != v && g.add_edge(u, v)) ++added;
+  }
+  return g;
+}
+
+Graph random_connected(int n, double p, util::Rng& rng) {
+  LOWTW_CHECK(n >= 1);
+  Graph g(n);
+  for (VertexId v = 1; v < n; ++v) {
+    g.add_edge(v, static_cast<VertexId>(rng.next_below(static_cast<std::uint64_t>(v))));
+  }
+  for (VertexId u = 0; u < n; ++u) {
+    for (VertexId v = u + 1; v < n; ++v) {
+      if (!g.has_edge(u, v) && rng.next_bool(p)) g.add_edge(u, v);
+    }
+  }
+  return g;
+}
+
+Graph series_parallel(int n, util::Rng& rng) {
+  LOWTW_CHECK(n >= 2);
+  Graph g(n);
+  g.add_edge(0, 1);
+  std::vector<std::pair<VertexId, VertexId>> edges{{0, 1}};
+  for (VertexId v = 2; v < n; ++v) {
+    auto [a, b] = edges[rng.next_below(edges.size())];
+    if (rng.next_bool(0.6)) {
+      // "parallel" step: new vertex spanning an existing edge (2-tree step).
+      g.add_edge(v, a);
+      g.add_edge(v, b);
+      edges.emplace_back(v, a);
+      edges.emplace_back(v, b);
+    } else {
+      // "series" step: dangle from one endpoint.
+      g.add_edge(v, a);
+      edges.emplace_back(v, a);
+    }
+  }
+  return g;
+}
+
+WeightedDigraph random_symmetric_weights(const Graph& g, Weight lo, Weight hi,
+                                         util::Rng& rng) {
+  LOWTW_CHECK(0 <= lo && lo <= hi);
+  auto edges = g.edges();
+  std::vector<Weight> w(edges.size());
+  for (auto& x : w) x = rng.next_in(lo, hi);
+  return WeightedDigraph::symmetric_from(g, w);
+}
+
+WeightedDigraph random_orientation(const Graph& g, double both_prob, Weight lo,
+                                   Weight hi, util::Rng& rng) {
+  LOWTW_CHECK(0 <= lo && lo <= hi);
+  WeightedDigraph d(g.num_vertices());
+  for (auto [u, v] : g.edges()) {
+    Weight w = rng.next_in(lo, hi);
+    if (rng.next_bool(both_prob)) {
+      d.add_arc(u, v, w);
+      d.add_arc(v, u, rng.next_in(lo, hi));
+    } else if (rng.next_bool(0.5)) {
+      d.add_arc(u, v, w);
+    } else {
+      d.add_arc(v, u, w);
+    }
+  }
+  return d;
+}
+
+WeightedDigraph apexed_path_weights(const Graph& g, int path_len,
+                                    Weight apex_weight) {
+  auto edges = g.edges();
+  std::vector<Weight> w(edges.size());
+  for (std::size_t i = 0; i < edges.size(); ++i) {
+    auto [u, v] = edges[i];
+    bool path_edge = (v == u + 1) && v < path_len;
+    w[i] = path_edge ? 1 : apex_weight;
+  }
+  return WeightedDigraph::symmetric_from(g, w);
+}
+
+}  // namespace lowtw::graph::gen

@@ -1,0 +1,98 @@
+// Synthetic graph families with controlled treewidth and diameter.
+//
+// The paper's bounds are parameterized by (n, τ, D); these generators allow
+// sweeping each parameter independently, which is what the benchmark
+// harness (bench/) needs. Each generator documents the treewidth/diameter
+// guarantees it provides.
+#pragma once
+
+#include <cstdint>
+
+#include "graph/digraph.hpp"
+#include "graph/graph.hpp"
+#include "util/rng.hpp"
+
+namespace lowtw::graph::gen {
+
+/// Path v0-v1-...-v(n-1). Treewidth 1 (n >= 2), diameter n-1.
+Graph path(int n);
+
+/// Cycle. Treewidth 2 (n >= 3), diameter floor(n/2).
+Graph cycle(int n);
+
+/// Complete graph. Treewidth n-1, diameter 1.
+Graph complete(int n);
+
+/// Complete balanced binary tree with n vertices. Treewidth 1,
+/// diameter ~2 log2 n.
+Graph binary_tree(int n);
+
+/// w x h grid. Treewidth min(w, h), diameter w + h - 2.
+Graph grid(int w, int h);
+
+/// Random k-tree on n >= k+1 vertices: start from K_{k+1}; each new vertex
+/// is attached to a uniformly random k-clique of the current graph.
+/// Treewidth exactly k (for n > k), and with random attachment the diameter
+/// is O(log n) with high probability — the "low τ, low D" regime where the
+/// paper's algorithms shine.
+Graph ktree(int n, int k, util::Rng& rng);
+
+/// Random partial k-tree: a k-tree with each non-tree edge kept with
+/// probability keep_prob; a spanning tree of the k-tree is always kept so
+/// the result is connected. Treewidth <= k.
+Graph partial_ktree(int n, int k, double keep_prob, util::Rng& rng);
+
+/// Banded graph: edge (i, j) iff 0 < |i - j| <= band. Pathwidth (and hence
+/// treewidth) = band; diameter = ceil((n-1)/band). Sweeping `band` trades τ
+/// against D at fixed n.
+Graph banded(int n, int band);
+
+/// Path 0..n-1 plus `num_apex` apex vertices (ids n..n+num_apex-1), each
+/// adjacent to every stride-th path vertex (offset so apexes interleave).
+/// Treewidth <= 1 + num_apex; diameter <= 2*stride + 2 for num_apex >= 1.
+///
+/// With heavy apex edges and unit path edges this is the classic hard
+/// instance for distributed Bellman-Ford: hop-diameter O(stride), but
+/// shortest weighted paths have Theta(n) hops (bench E3).
+Graph apexed_path(int n, int num_apex, int stride);
+
+/// Bipartite variant: path 0..n-1 plus two apexes; apex `n` is adjacent to
+/// even path vertices, apex `n+1` to odd ones, and the apexes are not
+/// adjacent — so the graph stays bipartite. Treewidth <= 3, diameter <= 4.
+/// Maximum matching size is Theta(n) (bench E5).
+Graph apexed_bipartite_path(int n);
+
+/// Cycle of length n with `chords` uniformly random chords.
+/// Treewidth <= 2 + chords.
+Graph cycle_with_chords(int n, int chords, util::Rng& rng);
+
+/// Random connected graph: G(n, p) conditioned on connectivity by adding a
+/// uniform random spanning tree first.
+Graph random_connected(int n, double p, util::Rng& rng);
+
+/// Random series-parallel graph (treewidth <= 2): repeatedly expand a random
+/// edge by a series vertex or add a parallel path of length 2.
+Graph series_parallel(int n, util::Rng& rng);
+
+// ---------------------------------------------------------------------------
+// Weighted / directed instance builders on top of the undirected families.
+// ---------------------------------------------------------------------------
+
+/// Symmetric weighted digraph with uniform random integer weights in
+/// [lo, hi] (one weight per undirected edge; both arcs share it).
+WeightedDigraph random_symmetric_weights(const Graph& g, Weight lo, Weight hi,
+                                         util::Rng& rng);
+
+/// Directed graph: each undirected edge becomes one or two arcs. With
+/// probability `both_prob` the edge keeps both directions; otherwise a
+/// uniformly random single orientation. Weights uniform in [lo, hi].
+WeightedDigraph random_orientation(const Graph& g, double both_prob, Weight lo,
+                                   Weight hi, util::Rng& rng);
+
+/// The E3/E5 hard instance weights for apexed paths: path edges get weight 1
+/// and apex edges get weight `apex_weight` (heavy enough that all shortest
+/// paths follow the path, forcing Theta(n)-hop shortest paths).
+WeightedDigraph apexed_path_weights(const Graph& g, int path_len,
+                                    Weight apex_weight);
+
+}  // namespace lowtw::graph::gen

@@ -1,0 +1,66 @@
+#include "graph/graph.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace lowtw::graph {
+
+Graph::Graph(int num_vertices) : adj_(static_cast<std::size_t>(num_vertices)) {
+  LOWTW_CHECK(num_vertices >= 0);
+}
+
+bool Graph::add_edge(VertexId u, VertexId v) {
+  LOWTW_CHECK_MSG(u >= 0 && u < num_vertices() && v >= 0 && v < num_vertices(),
+                  "edge (" << u << "," << v << ") out of range n=" << num_vertices());
+  if (u == v) return false;
+  auto& au = adj_[u];
+  auto it = std::lower_bound(au.begin(), au.end(), v);
+  if (it != au.end() && *it == v) return false;
+  au.insert(it, v);
+  auto& av = adj_[v];
+  av.insert(std::lower_bound(av.begin(), av.end(), u), u);
+  ++num_edges_;
+  return true;
+}
+
+bool Graph::has_edge(VertexId u, VertexId v) const {
+  if (u < 0 || v < 0 || u >= num_vertices() || v >= num_vertices()) return false;
+  const auto& au = adj_[u];
+  return std::binary_search(au.begin(), au.end(), v);
+}
+
+std::vector<std::pair<VertexId, VertexId>> Graph::edges() const {
+  std::vector<std::pair<VertexId, VertexId>> result;
+  result.reserve(static_cast<std::size_t>(num_edges_));
+  for (VertexId u = 0; u < num_vertices(); ++u) {
+    for (VertexId v : adj_[u]) {
+      if (u < v) result.emplace_back(u, v);
+    }
+  }
+  return result;
+}
+
+Graph Graph::induced_subgraph(std::span<const VertexId> vertices,
+                              std::vector<VertexId>* to_local) const {
+  std::vector<VertexId> local(static_cast<std::size_t>(num_vertices()), kNoVertex);
+  for (std::size_t i = 0; i < vertices.size(); ++i) {
+    VertexId v = vertices[i];
+    LOWTW_CHECK_MSG(v >= 0 && v < num_vertices(), "vertex " << v << " out of range");
+    LOWTW_CHECK_MSG(local[v] == kNoVertex, "duplicate vertex " << v);
+    local[v] = static_cast<VertexId>(i);
+  }
+  Graph sub(static_cast<int>(vertices.size()));
+  for (std::size_t i = 0; i < vertices.size(); ++i) {
+    for (VertexId w : neighbors(vertices[i])) {
+      VertexId lw = local[w];
+      if (lw != kNoVertex && lw > static_cast<VertexId>(i)) {
+        sub.add_edge(static_cast<VertexId>(i), lw);
+      }
+    }
+  }
+  if (to_local != nullptr) *to_local = std::move(local);
+  return sub;
+}
+
+}  // namespace lowtw::graph

@@ -1,0 +1,67 @@
+// Simple undirected graphs — the communication-network type of the CONGEST
+// model (Section 2.1 of the paper): unweighted, no self-loops, no multi-edges.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace lowtw::graph {
+
+using VertexId = std::int32_t;
+using EdgeId = std::int32_t;
+using Weight = std::int64_t;
+
+/// "Infinite" distance. Chosen so that kInfinity + kInfinity does not
+/// overflow an int64 (distances are summed in decoder formulas before being
+/// compared against kInfinity).
+inline constexpr Weight kInfinity = std::numeric_limits<Weight>::max() / 4;
+
+inline constexpr VertexId kNoVertex = -1;
+
+/// An undirected simple graph over vertices {0, ..., n-1}.
+///
+/// Adjacency lists are kept sorted, giving O(log deg) `has_edge` and
+/// deterministic iteration order (important: all tie-breaking in the library
+/// is by vertex id, so results are reproducible).
+class Graph {
+ public:
+  Graph() = default;
+  explicit Graph(int num_vertices);
+
+  int num_vertices() const { return static_cast<int>(adj_.size()); }
+  int num_edges() const { return num_edges_; }
+
+  /// Adds an undirected edge. Returns false (and leaves the graph unchanged)
+  /// for self-loops and already-present edges.
+  bool add_edge(VertexId u, VertexId v);
+
+  bool has_edge(VertexId u, VertexId v) const;
+
+  int degree(VertexId v) const { return static_cast<int>(adj_[v].size()); }
+
+  /// Sorted neighbor list of v.
+  std::span<const VertexId> neighbors(VertexId v) const {
+    return {adj_[v].data(), adj_[v].size()};
+  }
+
+  /// All edges as (u, v) pairs with u < v, lexicographically sorted.
+  std::vector<std::pair<VertexId, VertexId>> edges() const;
+
+  /// Subgraph induced on `vertices` (need not be sorted; duplicates are an
+  /// error). Vertex i of the result corresponds to vertices[i]. If
+  /// `to_local` is non-null it receives the inverse map, sized num_vertices()
+  /// with kNoVertex for vertices outside the set.
+  Graph induced_subgraph(std::span<const VertexId> vertices,
+                         std::vector<VertexId>* to_local = nullptr) const;
+
+  bool operator==(const Graph& other) const = default;
+
+ private:
+  std::vector<std::vector<VertexId>> adj_;
+  int num_edges_ = 0;
+};
+
+}  // namespace lowtw::graph

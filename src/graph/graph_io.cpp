@@ -1,0 +1,98 @@
+#include "graph/graph_io.hpp"
+
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace lowtw::graph::io {
+
+void write_graph(std::ostream& os, const Graph& g) {
+  os << "ugraph " << g.num_vertices() << "\n";
+  for (auto [u, v] : g.edges()) os << "e " << u << " " << v << "\n";
+}
+
+Graph read_graph(std::istream& is) {
+  std::string line;
+  Graph g;
+  bool have_header = false;
+  while (std::getline(is, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream ls(line);
+    std::string tag;
+    ls >> tag;
+    if (tag == "ugraph") {
+      int n = 0;
+      ls >> n;
+      LOWTW_CHECK_MSG(!have_header, "duplicate ugraph header");
+      g = Graph(n);
+      have_header = true;
+    } else if (tag == "e") {
+      LOWTW_CHECK_MSG(have_header, "edge before ugraph header");
+      VertexId u = 0, v = 0;
+      ls >> u >> v;
+      g.add_edge(u, v);
+    } else {
+      LOWTW_CHECK_MSG(false, "unknown record '" << tag << "'");
+    }
+  }
+  LOWTW_CHECK_MSG(have_header, "missing ugraph header");
+  return g;
+}
+
+void write_digraph(std::ostream& os, const WeightedDigraph& g) {
+  os << "digraph " << g.num_vertices() << "\n";
+  for (const Arc& a : g.arcs()) {
+    os << "a " << a.tail << " " << a.head << " " << a.weight << " " << a.label
+       << "\n";
+  }
+}
+
+WeightedDigraph read_digraph(std::istream& is) {
+  std::string line;
+  WeightedDigraph g;
+  bool have_header = false;
+  while (std::getline(is, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream ls(line);
+    std::string tag;
+    ls >> tag;
+    if (tag == "digraph") {
+      int n = 0;
+      ls >> n;
+      LOWTW_CHECK_MSG(!have_header, "duplicate digraph header");
+      g = WeightedDigraph(n);
+      have_header = true;
+    } else if (tag == "a") {
+      LOWTW_CHECK_MSG(have_header, "arc before digraph header");
+      VertexId u = 0, v = 0;
+      Weight w = 1;
+      std::int32_t label = 0;
+      ls >> u >> v >> w;
+      if (!(ls >> label)) label = 0;
+      g.add_arc(u, v, w, label);
+    } else {
+      LOWTW_CHECK_MSG(false, "unknown record '" << tag << "'");
+    }
+  }
+  LOWTW_CHECK_MSG(have_header, "missing digraph header");
+  return g;
+}
+
+std::string to_dot(const Graph& g, std::span<const VertexId> highlight) {
+  std::vector<char> mark(static_cast<std::size_t>(g.num_vertices()), 0);
+  for (VertexId v : highlight) mark[v] = 1;
+  std::ostringstream os;
+  os << "graph G {\n  node [shape=circle];\n";
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    os << "  " << v;
+    if (mark[v]) os << " [style=filled, fillcolor=lightblue]";
+    os << ";\n";
+  }
+  for (auto [u, v] : g.edges()) os << "  " << u << " -- " << v << ";\n";
+  os << "}\n";
+  return os.str();
+}
+
+}  // namespace lowtw::graph::io

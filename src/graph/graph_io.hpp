@@ -1,0 +1,30 @@
+// Text serialization for graphs and instances.
+//
+// Format (one record per line, '#' comments allowed):
+//   ugraph <n>            — header for an undirected simple graph
+//   e <u> <v>             — undirected edge
+//   digraph <n>           — header for a weighted directed multigraph
+//   a <tail> <head> <weight> [label]
+//
+// Plus a Graphviz DOT exporter used by the examples for visual inspection.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "graph/digraph.hpp"
+#include "graph/graph.hpp"
+
+namespace lowtw::graph::io {
+
+void write_graph(std::ostream& os, const Graph& g);
+Graph read_graph(std::istream& is);
+
+void write_digraph(std::ostream& os, const WeightedDigraph& g);
+WeightedDigraph read_digraph(std::istream& is);
+
+/// DOT export of an undirected graph; `highlight` vertices are drawn filled
+/// (used by examples to show separators/matchings).
+std::string to_dot(const Graph& g, std::span<const VertexId> highlight = {});
+
+}  // namespace lowtw::graph::io

@@ -1,0 +1,304 @@
+#include "labeling/distance_labeling.hpp"
+
+#include <algorithm>
+#include <array>
+#include <memory>
+#include <queue>
+
+#include "util/check.hpp"
+
+namespace lowtw::labeling {
+
+using graph::Arc;
+using graph::kInfinity;
+using graph::kNoVertex;
+using graph::VertexId;
+using graph::Weight;
+
+namespace {
+
+Weight add_sat(Weight a, Weight b) {
+  return (a >= kInfinity || b >= kInfinity) ? kInfinity : a + b;
+}
+
+/// Dense all-pairs matrix over a bag, indexed by position in the sorted bag.
+struct BagMatrix {
+  explicit BagMatrix(std::size_t k)
+      : k(k), d(k * k, kInfinity) {
+    for (std::size_t i = 0; i < k; ++i) at(i, i) = 0;
+  }
+  Weight& at(std::size_t i, std::size_t j) { return d[i * k + j]; }
+  Weight at(std::size_t i, std::size_t j) const { return d[i * k + j]; }
+  void floyd_warshall() {
+    for (std::size_t m = 0; m < k; ++m) {
+      for (std::size_t i = 0; i < k; ++i) {
+        Weight dim = at(i, m);
+        if (dim >= kInfinity) continue;
+        for (std::size_t j = 0; j < k; ++j) {
+          Weight cand = add_sat(dim, at(m, j));
+          if (cand < at(i, j)) at(i, j) = cand;
+        }
+      }
+    }
+  }
+  std::size_t finite_edges() const {
+    std::size_t c = 0;
+    for (Weight w : d) c += (w < kInfinity) ? 1 : 0;
+    return c;
+  }
+  std::size_t k;
+  std::vector<Weight> d;
+};
+
+/// Dijkstra over an explicit local arc list (used for leaf APSP).
+void local_sssp(int n_local, const std::vector<std::array<int, 3>>& arcs,
+                // arcs: {tail_local, head_local, weight-index}; weights
+                // resolved by caller through `weight_of`
+                const std::vector<Weight>& weight_of, int source,
+                std::vector<Weight>& dist, bool reversed) {
+  dist.assign(static_cast<std::size_t>(n_local), kInfinity);
+  std::vector<std::vector<std::pair<int, Weight>>> adj(
+      static_cast<std::size_t>(n_local));
+  for (std::size_t i = 0; i < arcs.size(); ++i) {
+    Weight w = weight_of[i];
+    if (w >= kInfinity) continue;
+    int a = arcs[i][0];
+    int b = arcs[i][1];
+    if (reversed) std::swap(a, b);
+    adj[a].emplace_back(b, w);
+  }
+  using Entry = std::pair<Weight, int>;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> pq;
+  dist[source] = 0;
+  pq.emplace(0, source);
+  while (!pq.empty()) {
+    auto [d, u] = pq.top();
+    pq.pop();
+    if (d != dist[u]) continue;
+    for (auto [v, w] : adj[u]) {
+      if (d + w < dist[v]) {
+        dist[v] = d + w;
+        pq.emplace(d + w, v);
+      }
+    }
+  }
+}
+
+}  // namespace
+
+DlResult build_distance_labeling(const graph::WeightedDigraph& g,
+                                 const graph::Graph& skeleton,
+                                 const td::Hierarchy& hierarchy,
+                                 primitives::Engine& engine) {
+  const int n = g.num_vertices();
+  LOWTW_CHECK(skeleton.num_vertices() == n);
+  DlResult result;
+  result.labeling.labels.resize(static_cast<std::size_t>(n));
+  for (VertexId v = 0; v < n; ++v) result.labeling.labels[v].owner = v;
+  const double rounds_before = engine.ledger().total();
+
+  std::vector<char> in_bag(static_cast<std::size_t>(n), 0);
+  std::vector<int> bag_pos(static_cast<std::size_t>(n), -1);
+
+  // Per-node all-pairs matrices over B_y (kept until the parent's H_x is
+  // assembled, then released). A vertex can lie on the border of several
+  // sibling components; its *label* keeps only the last writer's value, so
+  // H_x must read each child's own matrix, not the label.
+  std::vector<std::unique_ptr<BagMatrix>> node_rows(hierarchy.nodes.size());
+
+  const bool need_stats =
+      engine.mode() == primitives::EngineMode::kTreeRealized;
+
+  auto levels = hierarchy.levels();
+  // Bottom-up: deepest level first.
+  for (auto level_it = levels.rbegin(); level_it != levels.rend(); ++level_it) {
+    auto par = engine.ledger().parallel();
+    for (int xi : *level_it) {
+      auto branch = par.branch();
+      const td::HierarchyNode& node = hierarchy.nodes[xi];
+      auto gx = node.gx_vertices();
+      primitives::PartStats stats =
+          need_stats
+              ? primitives::part_stats(skeleton,
+                                       std::span<const VertexId>(gx))
+              : primitives::PartStats{1, 0};
+
+      std::vector<char> in_boundary(static_cast<std::size_t>(n), 0);
+      for (VertexId v : node.boundary) in_boundary[v] = 1;
+
+      if (node.leaf) {
+        // Leaf: broadcast G_x (h = arcs + vertices), local APSP.
+        // G_x arcs: both endpoints in gx, minus boundary-boundary arcs.
+        std::vector<int> local_of(static_cast<std::size_t>(n), -1);
+        for (std::size_t i = 0; i < gx.size(); ++i) {
+          local_of[gx[i]] = static_cast<int>(i);
+        }
+        std::vector<std::array<int, 3>> arcs;
+        std::vector<Weight> weights;
+        for (const Arc& a : g.arcs()) {
+          if (a.weight >= kInfinity) continue;
+          if (local_of[a.tail] < 0 || local_of[a.head] < 0) continue;
+          if (in_boundary[a.tail] && in_boundary[a.head]) continue;
+          arcs.push_back({local_of[a.tail], local_of[a.head], 0});
+          weights.push_back(a.weight);
+        }
+        engine.bct(stats,
+                   static_cast<double>(arcs.size() + gx.size()), "dl/leaf");
+        auto rows = std::make_unique<BagMatrix>(gx.size());
+        std::vector<Weight> dist_fwd;
+        for (std::size_t i = 0; i < gx.size(); ++i) {
+          local_sssp(static_cast<int>(gx.size()), arcs, weights,
+                     static_cast<int>(i), dist_fwd, /*reversed=*/false);
+          for (std::size_t j = 0; j < gx.size(); ++j) {
+            rows->at(i, j) = dist_fwd[j];
+          }
+        }
+        for (std::size_t i = 0; i < gx.size(); ++i) {
+          Label& lab = result.labeling.labels[gx[i]];
+          for (std::size_t j = 0; j < gx.size(); ++j) {
+            lab.set(gx[j], rows->at(i, j), rows->at(j, i));
+          }
+        }
+        node_rows[xi] = std::move(rows);
+        for (VertexId v : node.boundary) in_boundary[v] = 0;
+        continue;
+      }
+
+      // Internal node: assemble H_x on the (sorted) bag.
+      const auto& bag = node.bag;
+      const std::size_t k = bag.size();
+      for (std::size_t i = 0; i < k; ++i) {
+        in_bag[bag[i]] = 1;
+        bag_pos[bag[i]] = static_cast<int>(i);
+      }
+      BagMatrix hx(k);
+      // Direct arcs of G between bag vertices.
+      for (const Arc& a : g.arcs()) {
+        if (a.weight >= kInfinity) continue;
+        if (a.tail == a.head) continue;
+        if (in_bag[a.tail] && in_bag[a.head]) {
+          Weight& cell = hx.at(static_cast<std::size_t>(bag_pos[a.tail]),
+                               static_cast<std::size_t>(bag_pos[a.head]));
+          cell = std::min(cell, a.weight);
+        }
+      }
+      // Child border distances: for each child i and u,v in its border
+      // (= B_x ∩ V(G_{x·i})), read d_child(u,v) from the child's matrix.
+      for (int ci : node.children) {
+        const auto& border = hierarchy.nodes[ci].boundary;
+        const auto& child_bag = hierarchy.nodes[ci].bag;
+        const BagMatrix& child_rows = *node_rows[ci];
+        LOWTW_CHECK(child_rows.k == child_bag.size());
+        std::vector<std::size_t> child_pos(border.size());
+        for (std::size_t bi = 0; bi < border.size(); ++bi) {
+          auto it = std::lower_bound(child_bag.begin(), child_bag.end(),
+                                     border[bi]);
+          LOWTW_CHECK(it != child_bag.end() && *it == border[bi]);
+          child_pos[bi] = static_cast<std::size_t>(it - child_bag.begin());
+        }
+        for (std::size_t bi = 0; bi < border.size(); ++bi) {
+          for (std::size_t bj = 0; bj < border.size(); ++bj) {
+            if (bi == bj) continue;
+            Weight w = child_rows.at(child_pos[bi], child_pos[bj]);
+            Weight& cell =
+                hx.at(static_cast<std::size_t>(bag_pos[border[bi]]),
+                      static_cast<std::size_t>(bag_pos[border[bj]]));
+            cell = std::min(cell, w);
+          }
+        }
+      }
+      hx.floyd_warshall();
+      engine.bct(stats, static_cast<double>(hx.finite_edges()), "dl/hx");
+
+      // Update labels.
+      // Bag vertices: exact d_{G_x} to every other bag vertex, from H_x.
+      for (std::size_t i = 0; i < k; ++i) {
+        Label& lab = result.labeling.labels[bag[i]];
+        for (std::size_t j = 0; j < k; ++j) {
+          lab.set(bag[j], hx.at(i, j), hx.at(j, i));
+        }
+      }
+      // Component vertices: extend via the child border σ (Lemma 4).
+      for (int ci : node.children) {
+        const auto& border = hierarchy.nodes[ci].boundary;
+        std::vector<std::size_t> border_pos;
+        border_pos.reserve(border.size());
+        for (VertexId s : border) {
+          border_pos.push_back(static_cast<std::size_t>(bag_pos[s]));
+        }
+        for (VertexId u : hierarchy.nodes[ci].comp) {
+          Label& lab = result.labeling.labels[u];
+          // Read border distances first (σ ⊆ B_x: upserting would clobber).
+          std::vector<Weight> to_s(border.size(), kInfinity);
+          std::vector<Weight> from_s(border.size(), kInfinity);
+          for (std::size_t si = 0; si < border.size(); ++si) {
+            if (const LabelEntry* e = lab.find(border[si])) {
+              to_s[si] = e->to_hub;
+              from_s[si] = e->from_hub;
+            }
+          }
+          std::vector<Weight> new_to(k, kInfinity);
+          std::vector<Weight> new_from(k, kInfinity);
+          for (std::size_t si = 0; si < border.size(); ++si) {
+            const std::size_t sp = border_pos[si];
+            if (to_s[si] < kInfinity) {
+              for (std::size_t j = 0; j < k; ++j) {
+                new_to[j] =
+                    std::min(new_to[j], add_sat(to_s[si], hx.at(sp, j)));
+              }
+            }
+            if (from_s[si] < kInfinity) {
+              for (std::size_t j = 0; j < k; ++j) {
+                new_from[j] =
+                    std::min(new_from[j], add_sat(hx.at(j, sp), from_s[si]));
+              }
+            }
+          }
+          for (std::size_t j = 0; j < k; ++j) {
+            lab.set(bag[j], new_to[j], new_from[j]);
+          }
+        }
+      }
+
+      for (std::size_t i = 0; i < k; ++i) {
+        in_bag[bag[i]] = 0;
+        bag_pos[bag[i]] = -1;
+      }
+      for (VertexId v : node.boundary) in_boundary[v] = 0;
+      // Keep this node's matrix for the parent; release the children's.
+      node_rows[xi] = std::make_unique<BagMatrix>(std::move(hx));
+      for (int ci : node.children) node_rows[ci].reset();
+    }
+  }
+
+  result.rounds = engine.ledger().total() - rounds_before;
+  for (const Label& l : result.labeling.labels) {
+    result.max_label_entries = std::max(result.max_label_entries,
+                                        l.entries.size());
+    result.max_label_bits = std::max(result.max_label_bits, l.size_bits());
+  }
+  return result;
+}
+
+SsspResult sssp_from_labels(const DistanceLabeling& labeling, VertexId source,
+                            int diameter, primitives::Engine& engine) {
+  SsspResult out;
+  const auto n = labeling.labels.size();
+  out.dist.assign(n, kInfinity);
+  out.dist_to.assign(n, kInfinity);
+  const Label& src = labeling.labels[source];
+  const double rounds_before = engine.ledger().total();
+  // Pipelined flood of the source label: D + |label| rounds (3 words per
+  // entry, one entry per message).
+  engine.rounds(static_cast<double>(diameter) +
+                    3.0 * static_cast<double>(src.entries.size()),
+                "sssp/label_flood");
+  for (std::size_t v = 0; v < n; ++v) {
+    out.dist[v] = decode_distance(src, labeling.labels[v]);
+    out.dist_to[v] = decode_distance(labeling.labels[v], src);
+  }
+  out.rounds = engine.ledger().total() - rounds_before;
+  return out;
+}
+
+}  // namespace lowtw::labeling

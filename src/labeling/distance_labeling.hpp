@@ -1,0 +1,59 @@
+// Distributed distance-labeling construction (Section 4.2, Theorem 2).
+//
+// Bottom-up recursion over the decomposition hierarchy:
+//   * leaf x: the whole (small) graph G_x is broadcast inside the part and
+//     each node solves APSP locally — its label holds distances to all of
+//     V(G_x) = B_x;
+//   * internal x: the auxiliary graph H_x on B_x is assembled from the
+//     children's fresh border distances (plus direct G arcs between bag
+//     vertices), broadcast (BCT(h), h = |E(H_x)|), and each node u extends
+//     its label to the new hubs B_x via Lemma 4:
+//         d_{G_x}(u, b) = min over s ∈ σ of d_child(u, s) + d_{H_x}(s, b),
+//     where σ = B_x ∩ V(child(u)) is u's child border.
+//
+// Hub entries are exact in G_y at the level y of the hub's bag and never
+// degrade below true d_G; the decoder is exact by the witness argument
+// documented in label.hpp (Lemma 2; verified against Dijkstra in tests).
+//
+// Arcs with weight ≥ kInfinity are treated as absent, which lets callers
+// mask edges (the matching divide-and-conquer of Section 6 masks all edges
+// incident to not-yet-inserted separator vertices, exactly as Appendix E
+// prescribes).
+#pragma once
+
+#include "graph/digraph.hpp"
+#include "labeling/label.hpp"
+#include "primitives/engine.hpp"
+#include "td/builder.hpp"
+
+namespace lowtw::labeling {
+
+struct DlResult {
+  DistanceLabeling labeling;
+  double rounds = 0;             ///< ledger delta for this build
+  std::size_t max_label_entries = 0;
+  std::size_t max_label_bits = 0;
+};
+
+/// Builds labels for the weighted directed multigraph `g` over the
+/// decomposition `hierarchy` of its skeleton. `skeleton` must be the
+/// communication graph the hierarchy was built on.
+DlResult build_distance_labeling(const graph::WeightedDigraph& g,
+                                 const graph::Graph& skeleton,
+                                 const td::Hierarchy& hierarchy,
+                                 primitives::Engine& engine);
+
+struct SsspResult {
+  std::vector<graph::Weight> dist;     ///< d(source → v)
+  std::vector<graph::Weight> dist_to;  ///< d(v → source)
+  double rounds = 0;
+};
+
+/// SSSP by label broadcast (Section 1.2): the source floods its own label
+/// (pipelined, D + |label| rounds); every node decodes both directions
+/// locally.
+SsspResult sssp_from_labels(const DistanceLabeling& labeling,
+                            graph::VertexId source, int diameter,
+                            primitives::Engine& engine);
+
+}  // namespace lowtw::labeling

@@ -1,0 +1,65 @@
+#include "labeling/label.hpp"
+
+#include <algorithm>
+
+namespace lowtw::labeling {
+
+using graph::kInfinity;
+using graph::VertexId;
+using graph::Weight;
+
+const LabelEntry* Label::find(VertexId hub) const {
+  auto it = std::lower_bound(
+      entries.begin(), entries.end(), hub,
+      [](const LabelEntry& e, VertexId h) { return e.hub < h; });
+  if (it != entries.end() && it->hub == hub) return &*it;
+  return nullptr;
+}
+
+void Label::set(VertexId hub, Weight to_hub, Weight from_hub) {
+  auto it = std::lower_bound(
+      entries.begin(), entries.end(), hub,
+      [](const LabelEntry& e, VertexId h) { return e.hub < h; });
+  if (it != entries.end() && it->hub == hub) {
+    it->to_hub = to_hub;
+    it->from_hub = from_hub;
+  } else {
+    entries.insert(it, LabelEntry{hub, to_hub, from_hub});
+  }
+}
+
+Weight decode_distance(const Label& from, const Label& to) {
+  // Merge-intersect the two sorted entry lists.
+  Weight best = kInfinity;
+  auto a = from.entries.begin();
+  auto b = to.entries.begin();
+  while (a != from.entries.end() && b != to.entries.end()) {
+    if (a->hub < b->hub) {
+      ++a;
+    } else if (b->hub < a->hub) {
+      ++b;
+    } else {
+      if (a->to_hub < kInfinity && b->from_hub < kInfinity) {
+        best = std::min(best, a->to_hub + b->from_hub);
+      }
+      ++a;
+      ++b;
+    }
+  }
+  return best;
+}
+
+std::size_t DistanceLabeling::max_entries() const {
+  std::size_t m = 0;
+  for (const Label& l : labels) m = std::max(m, l.entries.size());
+  return m;
+}
+
+double DistanceLabeling::mean_entries() const {
+  if (labels.empty()) return 0;
+  std::size_t total = 0;
+  for (const Label& l : labels) total += l.entries.size();
+  return static_cast<double>(total) / static_cast<double>(labels.size());
+}
+
+}  // namespace lowtw::labeling

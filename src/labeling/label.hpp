@@ -1,0 +1,60 @@
+// Distance labels (Section 4, Definition 1).
+//
+// The label of u is the distance set d_G(u, B↑_Φ(u)): for every hub vertex
+// s in the union of the bags on u's root path, the pair of directed
+// distances (d(u→s), d(s→u)). The decoder is
+//     dec(la(u), la(v)) = min over common hubs s of d(u→s) + d(s→v).
+//
+// Entries are exact in the graph G_y of the level y where the hub's bag
+// lives (see the construction in distance_labeling.cpp); this suffices for
+// exact decoding — the correctness argument is Lemma 2, re-verified
+// exhaustively in tests against Dijkstra.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace lowtw::labeling {
+
+struct LabelEntry {
+  graph::VertexId hub = graph::kNoVertex;
+  graph::Weight to_hub = graph::kInfinity;    ///< d(owner → hub)
+  graph::Weight from_hub = graph::kInfinity;  ///< d(hub → owner)
+};
+
+struct Label {
+  graph::VertexId owner = graph::kNoVertex;
+  /// Entries sorted by hub id (unique hubs).
+  std::vector<LabelEntry> entries;
+
+  /// Binary-search lookup; returns nullptr if `hub` is not a hub of owner.
+  const LabelEntry* find(graph::VertexId hub) const;
+
+  /// Upserts an entry, keeping entries sorted.
+  void set(graph::VertexId hub, graph::Weight to_hub, graph::Weight from_hub);
+
+  /// Label size in bits: 3 words of ceil(log2 n) + 2 bits... measured as
+  /// 3 * 64 bits per entry for the reported "label size" statistic; the
+  /// theoretical O(τ² log² n) bound is checked against entries.size().
+  std::size_t size_bits() const { return entries.size() * 3 * 64; }
+};
+
+/// The decoder dec(la(u), la(v)) of Section 4.1: min over common hubs.
+/// Returns kInfinity if unreachable or no common hub.
+graph::Weight decode_distance(const Label& from, const Label& to);
+
+/// A full labeling plus convenience queries.
+struct DistanceLabeling {
+  std::vector<Label> labels;  ///< indexed by vertex
+
+  graph::Weight distance(graph::VertexId u, graph::VertexId v) const {
+    return decode_distance(labels[u], labels[v]);
+  }
+
+  std::size_t max_entries() const;
+  double mean_entries() const;
+};
+
+}  // namespace lowtw::labeling

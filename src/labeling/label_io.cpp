@@ -1,0 +1,75 @@
+#include "labeling/label_io.hpp"
+
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace lowtw::labeling::io {
+
+using graph::kInfinity;
+using graph::Weight;
+
+namespace {
+
+void write_weight(std::ostream& os, Weight w) {
+  if (w >= kInfinity) {
+    os << "inf";
+  } else {
+    os << w;
+  }
+}
+
+Weight read_weight(std::istream& is) {
+  std::string tok;
+  is >> tok;
+  LOWTW_CHECK_MSG(!tok.empty(), "truncated labeling stream");
+  if (tok == "inf") return kInfinity;
+  return std::stoll(tok);
+}
+
+}  // namespace
+
+void write_labeling(std::ostream& os, const DistanceLabeling& labeling) {
+  os << "labeling " << labeling.labels.size() << "\n";
+  for (const Label& l : labeling.labels) {
+    os << "l " << l.owner << " " << l.entries.size() << "\n";
+    for (const LabelEntry& e : l.entries) {
+      os << "e " << e.hub << " ";
+      write_weight(os, e.to_hub);
+      os << " ";
+      write_weight(os, e.from_hub);
+      os << "\n";
+    }
+  }
+}
+
+DistanceLabeling read_labeling(std::istream& is) {
+  DistanceLabeling out;
+  std::string tag;
+  LOWTW_CHECK_MSG(is >> tag && tag == "labeling", "missing labeling header");
+  std::size_t n = 0;
+  is >> n;
+  out.labels.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    LOWTW_CHECK_MSG(is >> tag && tag == "l", "expected label record");
+    Label& l = out.labels[i];
+    std::size_t k = 0;
+    is >> l.owner >> k;
+    l.entries.resize(k);
+    graph::VertexId prev_hub = graph::kNoVertex;
+    for (std::size_t j = 0; j < k; ++j) {
+      LOWTW_CHECK_MSG(is >> tag && tag == "e", "expected entry record");
+      LabelEntry& e = l.entries[j];
+      is >> e.hub;
+      e.to_hub = read_weight(is);
+      e.from_hub = read_weight(is);
+      LOWTW_CHECK_MSG(e.hub > prev_hub, "entries not sorted by hub");
+      prev_hub = e.hub;
+    }
+  }
+  return out;
+}
+
+}  // namespace lowtw::labeling::io

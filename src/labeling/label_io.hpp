@@ -1,0 +1,21 @@
+// Persistence for distance labelings.
+//
+// Distance labels are a *data structure deliverable*: once the CONGEST
+// construction phase is done, each node's label can be exported, stored,
+// shipped to a query service, and decoded with zero further communication.
+// Format (text, line-oriented, '#' comments allowed):
+//   labeling <n>
+//   l <owner> <k>            — label of `owner` with k entries
+//   e <hub> <to_hub> <from_hub>   — k entry lines (kInfinity spelled "inf")
+#pragma once
+
+#include <iosfwd>
+
+#include "labeling/label.hpp"
+
+namespace lowtw::labeling::io {
+
+void write_labeling(std::ostream& os, const DistanceLabeling& labeling);
+DistanceLabeling read_labeling(std::istream& is);
+
+}  // namespace lowtw::labeling::io

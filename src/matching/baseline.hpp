@@ -1,0 +1,23 @@
+// The Õ(s_max)-round baseline for exact bipartite matching, in the style of
+// Ahmadi-Kuhn-Oshman [AKO18] (Section 1.2): augmenting paths are found and
+// applied one at a time; each augmentation is a distributed alternating BFS
+// whose round cost is the path length plus O(D) for fan-out/termination.
+// Worst case Θ(s_max) sequential augmentations — the linear-in-n side of
+// the E5 separation.
+#pragma once
+
+#include "matching/hopcroft_karp.hpp"
+#include "primitives/engine.hpp"
+
+namespace lowtw::matching {
+
+struct BaselineMatchingResult {
+  Matching matching;
+  double rounds = 0;
+  int augmentations = 0;
+};
+
+BaselineMatchingResult sequential_augmenting_matching(
+    const graph::Graph& g, int diameter, primitives::Engine& engine);
+
+}  // namespace lowtw::matching

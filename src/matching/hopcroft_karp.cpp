@@ -1,0 +1,140 @@
+#include "matching/hopcroft_karp.hpp"
+
+#include <functional>
+#include <limits>
+#include <queue>
+
+#include "graph/algorithms.hpp"
+#include "util/check.hpp"
+
+namespace lowtw::matching {
+
+using graph::kNoVertex;
+using graph::VertexId;
+
+Matching hopcroft_karp(const graph::Graph& g) {
+  const int n = g.num_vertices();
+  auto sides_opt = graph::bipartite_sides(g);
+  LOWTW_CHECK_MSG(sides_opt.has_value(), "hopcroft_karp: graph not bipartite");
+  const auto& side = *sides_opt;
+
+  Matching m;
+  m.mate.assign(static_cast<std::size_t>(n), kNoVertex);
+  constexpr int kInf = std::numeric_limits<int>::max();
+  std::vector<int> dist(static_cast<std::size_t>(n), kInf);
+
+  auto bfs_phase = [&]() {
+    std::queue<VertexId> q;
+    for (VertexId v = 0; v < n; ++v) {
+      if (side[v] == 0 && m.mate[v] == kNoVertex) {
+        dist[v] = 0;
+        q.push(v);
+      } else {
+        dist[v] = kInf;
+      }
+    }
+    bool found_free = false;
+    while (!q.empty()) {
+      VertexId u = q.front();
+      q.pop();
+      for (VertexId w : g.neighbors(u)) {
+        VertexId next = m.mate[w];
+        if (next == kNoVertex) {
+          found_free = true;
+        } else if (dist[next] == kInf) {
+          dist[next] = dist[u] + 1;
+          q.push(next);
+        }
+      }
+    }
+    return found_free;
+  };
+
+  std::function<bool(VertexId)> dfs_augment = [&](VertexId u) {
+    for (VertexId w : g.neighbors(u)) {
+      VertexId next = m.mate[w];
+      if (next == kNoVertex ||
+          (dist[next] == dist[u] + 1 && dfs_augment(next))) {
+        m.mate[u] = w;
+        m.mate[w] = u;
+        return true;
+      }
+    }
+    dist[u] = kInf;
+    return false;
+  };
+
+  while (bfs_phase()) {
+    for (VertexId v = 0; v < n; ++v) {
+      if (side[v] == 0 && m.mate[v] == kNoVertex && dist[v] == 0) {
+        if (dfs_augment(v)) ++m.size;
+      }
+    }
+  }
+  return m;
+}
+
+bool is_valid_matching(const graph::Graph& g,
+                       const std::vector<graph::VertexId>& mate) {
+  if (mate.size() != static_cast<std::size_t>(g.num_vertices())) return false;
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    VertexId w = mate[v];
+    if (w == kNoVertex) continue;
+    if (w < 0 || w >= g.num_vertices()) return false;
+    if (mate[w] != v) return false;
+    if (!g.has_edge(v, w)) return false;
+  }
+  return true;
+}
+
+std::vector<VertexId> koenig_cover(const graph::Graph& g, const Matching& m) {
+  const int n = g.num_vertices();
+  auto sides_opt = graph::bipartite_sides(g);
+  LOWTW_CHECK(sides_opt.has_value());
+  const auto& side = *sides_opt;
+  // Alternating reachability Z from unmatched left vertices; cover is
+  // (L \ Z) ∪ (R ∩ Z).
+  std::vector<char> z(static_cast<std::size_t>(n), 0);
+  std::queue<VertexId> q;
+  for (VertexId v = 0; v < n; ++v) {
+    if (side[v] == 0 && m.mate[v] == kNoVertex) {
+      z[v] = 1;
+      q.push(v);
+    }
+  }
+  while (!q.empty()) {
+    VertexId u = q.front();
+    q.pop();
+    if (side[u] == 0) {
+      for (VertexId w : g.neighbors(u)) {
+        if (!z[w] && m.mate[u] != w) {
+          z[w] = 1;
+          q.push(w);
+        }
+      }
+    } else if (m.mate[u] != kNoVertex && !z[m.mate[u]]) {
+      z[m.mate[u]] = 1;
+      q.push(m.mate[u]);
+    }
+  }
+  std::vector<VertexId> cover;
+  for (VertexId v = 0; v < n; ++v) {
+    if ((side[v] == 0 && !z[v] && m.mate[v] != kNoVertex) ||
+        (side[v] == 1 && z[v])) {
+      cover.push_back(v);
+    }
+  }
+  return cover;
+}
+
+bool is_vertex_cover(const graph::Graph& g,
+                     std::span<const graph::VertexId> cover) {
+  std::vector<char> in_cover(static_cast<std::size_t>(g.num_vertices()), 0);
+  for (VertexId v : cover) in_cover[v] = 1;
+  for (auto [u, v] : g.edges()) {
+    if (!in_cover[u] && !in_cover[v]) return false;
+  }
+  return true;
+}
+
+}  // namespace lowtw::matching

@@ -1,0 +1,34 @@
+// Centralized maximum bipartite matching: Hopcroft-Karp, plus a König
+// vertex-cover certificate. Ground truth for the distributed algorithm.
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace lowtw::matching {
+
+struct Matching {
+  /// mate[v] = matched partner or kNoVertex.
+  std::vector<graph::VertexId> mate;
+  int size = 0;
+};
+
+/// O(E sqrt(V)) maximum matching. Requires bipartite input (checked).
+Matching hopcroft_karp(const graph::Graph& g);
+
+/// True iff `mate` encodes a valid (not necessarily maximum) matching of g.
+bool is_valid_matching(const graph::Graph& g,
+                       const std::vector<graph::VertexId>& mate);
+
+/// A vertex cover of size equal to the matching size (König's theorem):
+/// certifies maximality. Requires `mate` to be a maximum matching of the
+/// bipartite graph g (otherwise the returned set may fail to cover).
+std::vector<graph::VertexId> koenig_cover(const graph::Graph& g,
+                                          const Matching& m);
+
+/// True iff `cover` touches every edge of g.
+bool is_vertex_cover(const graph::Graph& g,
+                     std::span<const graph::VertexId> cover);
+
+}  // namespace lowtw::matching

@@ -1,0 +1,225 @@
+#include "matching/matching.hpp"
+
+#include <algorithm>
+
+#include "graph/algorithms.hpp"
+#include "util/check.hpp"
+#include "walks/cdl.hpp"
+
+namespace lowtw::matching {
+
+using graph::kInfinity;
+using graph::kNoVertex;
+using graph::VertexId;
+using graph::Weight;
+
+namespace {
+
+/// Who "owns" a vertex in the divide-and-conquer: vertices of leaf
+/// components are solved centrally with the leaf; every other vertex is
+/// inserted as the `index`-th member of the separator of its hierarchy node.
+struct VertexRole {
+  int depth = -1;
+  int index = -1;  ///< separator insertion index; -1 for leaf vertices
+  bool leaf = false;
+  int node = -1;
+};
+
+}  // namespace
+
+DistributedMatchingResult max_bipartite_matching(const graph::Graph& g,
+                                                 const MatchingParams& params,
+                                                 util::Rng& rng,
+                                                 primitives::Engine& engine) {
+  const int n = g.num_vertices();
+  LOWTW_CHECK_MSG(graph::bipartite_sides(g).has_value(),
+                  "max_bipartite_matching requires a bipartite graph");
+  const double rounds_before = engine.ledger().total();
+
+  DistributedMatchingResult result;
+  auto td = td::build_hierarchy(g, params.td, rng, engine);
+  result.t_used = td.t_used;
+  result.td_width = td.td.width();
+  const td::Hierarchy& hierarchy = td.hierarchy;
+
+  // Vertex roles.
+  std::vector<VertexRole> role(static_cast<std::size_t>(n));
+  for (std::size_t x = 0; x < hierarchy.nodes.size(); ++x) {
+    const td::HierarchyNode& node = hierarchy.nodes[x];
+    if (node.leaf) {
+      for (VertexId v : node.comp) {
+        role[v] = VertexRole{node.depth, -1, true, static_cast<int>(x)};
+      }
+    } else {
+      for (std::size_t i = 0; i < node.separator.size(); ++i) {
+        role[node.separator[i]] = VertexRole{
+            node.depth, static_cast<int>(i), false, static_cast<int>(x)};
+      }
+    }
+  }
+  for (VertexId v = 0; v < n; ++v) {
+    LOWTW_CHECK_MSG(role[v].node != -1, "vertex " << v << " unowned");
+  }
+
+  auto& mate = result.matching.mate;
+  mate.assign(static_cast<std::size_t>(n), kNoVertex);
+
+  const auto edges = g.edges();
+  walks::ColoredWalkConstraint cons(2);  // colors: 0 unmatched, 1 matched
+  const int target_state = cons.color_state(0);
+
+  // A vertex is active at (level, step) if its part of the hierarchy has
+  // already been merged into the matching.
+  auto active_at = [&](VertexId v, int level, int step) {
+    const VertexRole& r = role[v];
+    if (r.leaf) return r.depth >= level;
+    return r.depth > level || (r.depth == level && r.index <= step);
+  };
+  // Masked, colored symmetric digraph for (level, step): edges incident to
+  // inactive vertices get cost ∞ (Appendix E); colors encode the matching.
+  auto build_masked = [&](int level, int step) {
+    graph::WeightedDigraph d(n);
+    for (auto [u, v] : edges) {
+      bool act = active_at(u, level, step) && active_at(v, level, step);
+      Weight w = act ? 1 : kInfinity;
+      std::int32_t color = (mate[u] == v) ? 1 : 0;
+      d.add_arc(u, v, w, color);
+      d.add_arc(v, u, w, color);
+    }
+    return d;
+  };
+
+  const bool need_stats =
+      engine.mode() == primitives::EngineMode::kTreeRealized;
+
+  // Executes insertion step `step` for every internal component of the
+  // level, in parallel. `cdl` is non-null in faithful mode (labels of this
+  // exact masked graph) and is used to cross-check walk lengths.
+  auto run_step = [&](const graph::WeightedDigraph& masked,
+                      const walks::CdlResult* cdl, int level, int step,
+                      const std::vector<int>& level_nodes) {
+    auto par = engine.ledger().parallel();
+    for (int xi : level_nodes) {
+      const td::HierarchyNode& node = hierarchy.nodes[xi];
+      if (node.leaf || step >= static_cast<int>(node.separator.size())) {
+        continue;
+      }
+      auto branch = par.branch();
+      VertexId s = node.separator[step];
+      LOWTW_CHECK_MSG(mate[s] == kNoVertex, "separator vertex pre-matched");
+      std::vector<char> target(static_cast<std::size_t>(n), 0);
+      for (VertexId v = 0; v < n; ++v) {
+        target[v] = (v != s && mate[v] == kNoVertex &&
+                     active_at(v, level, step))
+                        ? 1
+                        : 0;
+      }
+      auto walk = walks::shortest_constrained_walk(masked, cons, s, target,
+                                                   target_state, engine);
+      // The source aggregates existence/argmin of the augmenting walk over
+      // its component: one subgraph operation.
+      primitives::PartStats stats =
+          need_stats
+              ? primitives::part_stats(g, std::span<const VertexId>(node.comp))
+              : primitives::PartStats{1, 0};
+      engine.op(stats, "matching/aggregate");
+      ++result.insertion_steps;
+      if (!walk.has_value()) continue;
+      if (cdl != nullptr) {
+        LOWTW_CHECK_MSG(
+            cdl->distance(s, walk->target, target_state) == walk->length,
+            "label-decoded augmenting distance mismatch");
+      }
+      LOWTW_CHECK_MSG(walk->arcs.size() % 2 == 1,
+                      "augmenting walk of even length");
+      // Shortest 2-colored walks are simple in bipartite graphs (Section 6);
+      // flipping a non-simple walk would corrupt the matching, so verify.
+      {
+        std::vector<VertexId> visited{s};
+        for (graph::EdgeId e : walk->arcs) {
+          visited.push_back(masked.arc(e).head);
+        }
+        std::sort(visited.begin(), visited.end());
+        LOWTW_CHECK_MSG(std::adjacent_find(visited.begin(), visited.end()) ==
+                            visited.end(),
+                        "non-simple augmenting walk");
+      }
+      for (std::size_t i = 0; i < walk->arcs.size(); i += 2) {
+        const graph::Arc& a = masked.arc(walk->arcs[i]);
+        mate[a.tail] = a.head;
+        mate[a.head] = a.tail;
+      }
+      engine.rounds(static_cast<double>(walk->arcs.size()), "matching/flip");
+      ++result.augmentations;
+    }
+  };
+
+  auto levels = hierarchy.levels();
+  for (auto level_it = levels.rbegin(); level_it != levels.rend(); ++level_it) {
+    const int level = hierarchy.nodes[(*level_it)[0]].depth;
+
+    // Leaves of this level: centralized matching after component broadcast
+    // (the Sep base case guarantees O(τ²)-sized components).
+    {
+      auto par = engine.ledger().parallel();
+      for (int xi : *level_it) {
+        const td::HierarchyNode& node = hierarchy.nodes[xi];
+        if (!node.leaf) continue;
+        auto branch = par.branch();
+        std::vector<VertexId> to_local;
+        graph::Graph comp_graph = g.induced_subgraph(node.comp, &to_local);
+        primitives::PartStats stats =
+            need_stats ? primitives::part_stats(
+                             g, std::span<const VertexId>(node.comp))
+                       : primitives::PartStats{1, 0};
+        engine.bct(stats,
+                   static_cast<double>(comp_graph.num_edges() +
+                                       comp_graph.num_vertices()),
+                   "matching/leaf");
+        Matching local = hopcroft_karp(comp_graph);
+        for (VertexId lv = 0; lv < comp_graph.num_vertices(); ++lv) {
+          if (local.mate[lv] != kNoVertex) {
+            mate[node.comp[lv]] = node.comp[local.mate[lv]];
+          }
+        }
+      }
+    }
+
+    // Internal nodes: insert separator vertices one index at a time.
+    int max_k = 0;
+    for (int xi : *level_it) {
+      if (!hierarchy.nodes[xi].leaf) {
+        max_k = std::max(
+            max_k, static_cast<int>(hierarchy.nodes[xi].separator.size()));
+      }
+    }
+    double calibrated_cdl_rounds = -1;
+    for (int step = 0; step < max_k; ++step) {
+      graph::WeightedDigraph masked = build_masked(level, step);
+      if (params.mode == MatchingMode::kFaithful) {
+        auto cdl = walks::build_cdl(masked, g, hierarchy, cons, engine);
+        ++result.cdl_builds;
+        run_step(masked, &cdl, level, step, *level_it);
+      } else if (calibrated_cdl_rounds < 0) {
+        auto cdl = walks::build_cdl(masked, g, hierarchy, cons, engine);
+        ++result.cdl_builds;
+        calibrated_cdl_rounds = cdl.rounds;
+        run_step(masked, nullptr, level, step, *level_it);
+      } else {
+        // Identical hierarchy and bag structure as the calibrated build:
+        // charge the measured cost without redoing the label computation.
+        engine.rounds(calibrated_cdl_rounds, "matching/cdl");
+        run_step(masked, nullptr, level, step, *level_it);
+      }
+    }
+  }
+
+  LOWTW_CHECK(is_valid_matching(g, mate));
+  for (VertexId v = 0; v < n; ++v) {
+    if (mate[v] != kNoVertex && v < mate[v]) ++result.matching.size;
+  }
+  result.rounds = engine.ledger().total() - rounds_before;
+  return result;
+}
+
+}  // namespace lowtw::matching

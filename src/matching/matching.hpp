@@ -1,0 +1,58 @@
+// Exact bipartite maximum matching in the CONGEST model
+// (Section 6, Appendix E — Theorem 4).
+//
+// Divide-and-conquer over the separator hierarchy:
+//   * leaf components (O(τ²) vertices, the Sep base case) are solved
+//     centrally after a component broadcast;
+//   * at an internal node x, the children components' maximum matchings are
+//     combined by inserting the separator vertices S'_x = {s_1, ..., s_k}
+//     one at a time. By Proposition 1 ([IOO18]), after inserting s_j the
+//     only possible augmenting path starts at s_j, so a single shortest
+//     alternating walk query — a 2-colored stateful walk (colors =
+//     matched/unmatched) per Example 1 — suffices.
+//
+// All hierarchy nodes of one level run in parallel; insertion step j is
+// served for every component by ONE constrained-distance-labeling
+// construction over the whole graph with edges incident to inactive
+// vertices masked to cost ∞ (exactly the device of Appendix E).
+//
+// Modes:
+//   kFaithful — build CDL(C_col(2)) for every insertion step and check the
+//               walk length against the decoded label distance (tests).
+//   kFast     — build CDL once per (level, step-parity) to calibrate the
+//               round charge, then find the identical walks by product-graph
+//               search, charging the calibrated CDL cost per step. Outputs
+//               are identical; see DESIGN.md §3.3.
+#pragma once
+
+#include "matching/hopcroft_karp.hpp"
+#include "primitives/engine.hpp"
+#include "td/builder.hpp"
+#include "util/rng.hpp"
+
+namespace lowtw::matching {
+
+enum class MatchingMode { kFast, kFaithful };
+
+struct MatchingParams {
+  td::TdParams td;
+  MatchingMode mode = MatchingMode::kFast;
+};
+
+struct DistributedMatchingResult {
+  Matching matching;
+  double rounds = 0;
+  int augmentations = 0;    ///< successful augmenting walks applied
+  int insertion_steps = 0;  ///< separator-vertex insertion steps executed
+  int cdl_builds = 0;       ///< full CDL constructions actually run
+  int t_used = 0;
+  int td_width = 0;
+};
+
+/// Computes a maximum matching of the (connected, bipartite) graph g.
+DistributedMatchingResult max_bipartite_matching(const graph::Graph& g,
+                                                 const MatchingParams& params,
+                                                 util::Rng& rng,
+                                                 primitives::Engine& engine);
+
+}  // namespace lowtw::matching

@@ -1,0 +1,70 @@
+// Round-cost model for the subgraph-operation toolbox.
+//
+// The paper uses the low-congestion shortcut framework as a black box with
+// the following published complexities (all for near-disjoint collections of
+// connected subgraphs of a treewidth-τ communication graph of diameter D):
+//
+//   Lemma 9  (PA):        dilation Õ(τD), congestion Õ(τ)
+//   Lemma 8  (RST, STA, SLE, CCD, BCT): Õ(1) invocations of PA + SNC
+//   Lemma 8  (MVC(t)):    Õ(t) invocations of PA + SNC
+//   Cor. 3   (BCT(h)):    Õ(τD + hτ)
+//   Cor. 2   (MVC(h,t)):  Õ(tτD + htτ)
+//   Thm. 6   (scheduling): parallel algorithms run in Õ(dilation+congestion)
+//
+// Re-implementing that framework message-by-message is out of scope (it is
+// the subject of [GH16b]/[HIZ16], not of this paper) — see DESIGN.md §1.
+// Instead the cost model charges the published per-invocation bound, with
+// the Õ(·) instantiated as a single explicit log₂n scheduling factor and
+// unit leading constants. What the benches then measure is the *number and
+// parameters* of primitive invocations the algorithms actually perform —
+// precisely the quantity the paper's theorems bound.
+//
+// An alternative, model-free engine (kTreeRealized) charges instead the
+// measured heights of per-part BFS trees — the rounds a shortcut-free
+// implementation would pay — and is used as a cross-check/ablation.
+#pragma once
+
+#include <algorithm>
+
+#include "util/math.hpp"
+
+namespace lowtw::primitives {
+
+struct CostModel {
+  /// Number of nodes of the global communication graph.
+  int n = 1;
+  /// Undirected diameter D of the global communication graph.
+  int diameter = 1;
+  /// Treewidth bound used for shortcut quality. Algorithms that estimate τ
+  /// by doubling (Sep) update this to their current estimate t.
+  double tw_hint = 1;
+
+  double log_n() const { return util::log2n(n); }
+
+  /// One part-wise aggregation over a near-disjoint collection: Õ(τD).
+  double pa_rounds() const {
+    return std::max(1.0, tw_hint) * std::max(1, diameter) * log_n();
+  }
+
+  /// One SNC (single communication round on subgraph edges).
+  static double snc_rounds() { return 1.0; }
+
+  /// RST / STA / SLE / CCD / single-message BCT: Õ(1) PA + SNC invocations.
+  double op_rounds() const { return pa_rounds() + snc_rounds(); }
+
+  /// BCT(h): h-message broadcast, Õ(τD + hτ) (Corollary 3).
+  double bct_rounds(double h) const {
+    double tau = std::max(1.0, tw_hint);
+    return (tau * std::max(1, diameter) + h * tau) * log_n();
+  }
+
+  /// MVC(h,t): h vertex-cut instances with cut bound t, Õ(tτD + htτ)
+  /// (Corollary 2).
+  double mvc_rounds(double h, double t) const {
+    double tau = std::max(1.0, tw_hint);
+    t = std::max(1.0, t);
+    return (t * tau * std::max(1, diameter) + h * t * tau) * log_n();
+  }
+};
+
+}  // namespace lowtw::primitives

@@ -1,0 +1,107 @@
+#include "primitives/engine.hpp"
+
+#include <queue>
+
+#include "util/check.hpp"
+
+namespace lowtw::primitives {
+
+namespace {
+
+/// Height of a BFS tree of the subgraph induced on `part`, rooted at the
+/// smallest vertex. The part must be connected within the induced subgraph.
+int bfs_height(const graph::Graph& host, std::span<const graph::VertexId> part) {
+  if (part.size() <= 1) return 0;
+  std::vector<int> dist(static_cast<std::size_t>(host.num_vertices()), -2);
+  for (graph::VertexId v : part) dist[v] = -1;
+  graph::VertexId root = part[0];
+  for (graph::VertexId v : part) root = std::min(root, v);
+  std::queue<graph::VertexId> q;
+  dist[root] = 0;
+  q.push(root);
+  int h = 0;
+  std::size_t reached = 1;
+  while (!q.empty()) {
+    graph::VertexId u = q.front();
+    q.pop();
+    h = std::max(h, dist[u]);
+    for (graph::VertexId w : host.neighbors(u)) {
+      if (dist[w] == -1) {
+        dist[w] = dist[u] + 1;
+        ++reached;
+        q.push(w);
+      }
+    }
+  }
+  LOWTW_CHECK_MSG(reached == part.size(),
+                  "part not connected within the host graph");
+  return h;
+}
+
+}  // namespace
+
+PartStats part_stats(const graph::Graph& host,
+                     std::span<const std::vector<graph::VertexId>> parts) {
+  PartStats s;
+  s.num_parts = static_cast<int>(parts.size());
+  for (const auto& p : parts) {
+    s.max_height = std::max(s.max_height, bfs_height(host, p));
+  }
+  return s;
+}
+
+PartStats part_stats(const graph::Graph& host,
+                     std::span<const graph::VertexId> part) {
+  PartStats s;
+  s.num_parts = 1;
+  s.max_height = bfs_height(host, part);
+  return s;
+}
+
+void Engine::charge(std::string_view tag, double r) {
+  ledger_->add(tag, r * overhead_);
+}
+
+void Engine::pa(const PartStats& s, std::string_view tag) {
+  if (mode_ == EngineMode::kShortcutModel) {
+    charge(tag, model_.pa_rounds());
+  } else {
+    charge(tag, 2.0 * s.max_height + 2.0);
+  }
+}
+
+void Engine::snc(int k, std::string_view tag) {
+  charge(tag, static_cast<double>(k));
+}
+
+void Engine::op(const PartStats& s, std::string_view tag) {
+  if (mode_ == EngineMode::kShortcutModel) {
+    charge(tag, model_.op_rounds());
+  } else {
+    charge(tag, 2.0 * s.max_height + 3.0);
+  }
+}
+
+void Engine::bct(const PartStats& s, double h, std::string_view tag) {
+  LOWTW_CHECK(h >= 0);
+  if (mode_ == EngineMode::kShortcutModel) {
+    charge(tag, model_.bct_rounds(h));
+  } else {
+    // Pipelined broadcast of h messages down a tree: height + h.
+    charge(tag, 2.0 * s.max_height + h + 2.0);
+  }
+}
+
+void Engine::mvc(const PartStats& s, double h, double t, std::string_view tag) {
+  if (mode_ == EngineMode::kShortcutModel) {
+    charge(tag, model_.mvc_rounds(h, t));
+  } else {
+    // t+1 augmentation phases, each a constant number of sweeps over the
+    // part tree; h instances pipelined.
+    charge(tag, (t + 1) * (2.0 * s.max_height + 2.0) + h * (t + 1));
+  }
+}
+
+void Engine::rounds(double r, std::string_view tag) { charge(tag, r); }
+
+}  // namespace lowtw::primitives

@@ -1,0 +1,97 @@
+// The Engine: every framework algorithm charges its communication through
+// this interface, so the same logic runs under either round-accounting
+// discipline (see cost_model.hpp for the rationale).
+#pragma once
+
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "primitives/cost_model.hpp"
+#include "primitives/ledger.hpp"
+
+namespace lowtw::primitives {
+
+enum class EngineMode {
+  /// Charge the published shortcut-framework bounds (the paper's setting).
+  kShortcutModel,
+  /// Charge measured per-part BFS-tree heights (a shortcut-free
+  /// implementation); used as ablation/cross-check.
+  kTreeRealized,
+};
+
+/// Structural statistics of a near-disjoint collection of parts, computed
+/// once per collection by `part_stats` and consumed by the tree-realized
+/// engine (the shortcut-model engine only uses the global CostModel).
+struct PartStats {
+  int num_parts = 0;
+  int max_height = 0;  ///< max BFS-tree height over parts
+};
+
+/// BFS-tree heights of each part (vertex lists, connected within the host
+/// graph induced on the part).
+PartStats part_stats(const graph::Graph& host,
+                     std::span<const std::vector<graph::VertexId>> parts);
+
+/// Convenience for a single part.
+PartStats part_stats(const graph::Graph& host,
+                     std::span<const graph::VertexId> part);
+
+class Engine {
+ public:
+  Engine(EngineMode mode, CostModel model, RoundLedger* ledger)
+      : mode_(mode), model_(model), ledger_(ledger) {}
+
+  EngineMode mode() const { return mode_; }
+  CostModel& cost_model() { return model_; }
+  const CostModel& cost_model() const { return model_; }
+  RoundLedger& ledger() { return *ledger_; }
+
+  /// Sets the current treewidth estimate used by the shortcut cost model
+  /// (Sep updates this as it doubles t).
+  void set_tw_hint(double t) { model_.tw_hint = t; }
+
+  /// Multiplies every subsequent charge by `factor` while alive; used for
+  /// the product-graph simulation overhead of Theorem 3
+  /// (factor = |Q| * p_max).
+  class OverheadScope {
+   public:
+    OverheadScope(Engine& e, double factor) : engine_(e), prev_(e.overhead_) {
+      engine_.overhead_ *= factor;
+    }
+    ~OverheadScope() { engine_.overhead_ = prev_; }
+    OverheadScope(const OverheadScope&) = delete;
+    OverheadScope& operator=(const OverheadScope&) = delete;
+
+   private:
+    Engine& engine_;
+    double prev_;
+  };
+  OverheadScope overhead(double factor) { return OverheadScope(*this, factor); }
+
+  // -- charges ---------------------------------------------------------------
+
+  /// One part-wise aggregation over the collection.
+  void pa(const PartStats& s, std::string_view tag);
+  /// k rounds of neighborhood communication.
+  void snc(int k, std::string_view tag);
+  /// One of RST / STA / SLE / CCD / BCT(1) (Lemma 8).
+  void op(const PartStats& s, std::string_view tag);
+  /// h-message subgraph broadcast (Corollary 3).
+  void bct(const PartStats& s, double h, std::string_view tag);
+  /// h vertex-cut instances with bound t (Corollary 2).
+  void mvc(const PartStats& s, double h, double t, std::string_view tag);
+  /// Raw round charge (e.g. pipelined label exchange over one edge).
+  void rounds(double r, std::string_view tag);
+
+ private:
+  void charge(std::string_view tag, double r);
+
+  EngineMode mode_;
+  CostModel model_;
+  RoundLedger* ledger_;
+  double overhead_ = 1.0;
+};
+
+}  // namespace lowtw::primitives

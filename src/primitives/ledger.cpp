@@ -1,0 +1,61 @@
+#include "primitives/ledger.hpp"
+
+#include "util/check.hpp"
+
+namespace lowtw::primitives {
+
+void RoundLedger::add(std::string_view tag, double rounds) {
+  LOWTW_CHECK_MSG(rounds >= 0, "negative round charge " << rounds);
+  top().total += rounds;
+  top().by_tag[std::string(tag)] += rounds;
+}
+
+double RoundLedger::total() const {
+  LOWTW_CHECK_MSG(groups_.empty(), "total() inside an open parallel scope");
+  return stack_.front().total;
+}
+
+const std::map<std::string, double>& RoundLedger::breakdown() const {
+  LOWTW_CHECK_MSG(groups_.empty(), "breakdown() inside an open parallel scope");
+  return stack_.front().by_tag;
+}
+
+void RoundLedger::reset() {
+  LOWTW_CHECK(groups_.empty());
+  stack_.clear();
+  stack_.push_back(Frame{});
+}
+
+void RoundLedger::begin_parallel() {
+  groups_.push_back(Group{});
+  group_base_.push_back(stack_.size());
+}
+
+void RoundLedger::begin_branch() {
+  LOWTW_CHECK_MSG(!groups_.empty(), "branch outside parallel scope");
+  stack_.push_back(Frame{});
+}
+
+void RoundLedger::end_branch() {
+  LOWTW_CHECK(!groups_.empty() && stack_.size() > group_base_.back());
+  Frame f = std::move(stack_.back());
+  stack_.pop_back();
+  Group& g = groups_.back();
+  if (!g.any_branch || f.total > g.best.total) g.best = std::move(f);
+  g.any_branch = true;
+}
+
+void RoundLedger::end_parallel() {
+  LOWTW_CHECK(!groups_.empty());
+  LOWTW_CHECK_MSG(stack_.size() == group_base_.back(),
+                  "unclosed branch in parallel scope");
+  Group g = std::move(groups_.back());
+  groups_.pop_back();
+  group_base_.pop_back();
+  if (g.any_branch) {
+    top().total += g.best.total;
+    for (const auto& [tag, r] : g.best.by_tag) top().by_tag[tag] += r;
+  }
+}
+
+}  // namespace lowtw::primitives

@@ -1,0 +1,95 @@
+// Round accounting with sequential and parallel composition.
+//
+// CONGEST algorithms in this library are executed logically (data movement
+// is exact) while their communication rounds are charged to a RoundLedger.
+// Two composition rules mirror the paper:
+//   * sequential steps add;
+//   * steps executed "simultaneously and independently for all parts"
+//     (Section 2.3, Theorem 6 scheduling) take the maximum over branches —
+//     near-disjoint parts are nearly edge-disjoint, so their primitive
+//     invocations share rounds instead of adding.
+//
+// The ledger also keeps a per-tag breakdown so benches can report which
+// phase (separator, split, broadcast, vertex cut, ...) dominates.
+#pragma once
+
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace lowtw::primitives {
+
+class RoundLedger {
+ public:
+  RoundLedger() { stack_.push_back(Frame{}); }
+
+  /// Charges `rounds` under `tag` to the innermost frame.
+  void add(std::string_view tag, double rounds);
+
+  /// Total rounds accumulated at the root frame. Must not be called while a
+  /// parallel scope is open.
+  double total() const;
+
+  /// Per-tag breakdown at the root frame.
+  const std::map<std::string, double>& breakdown() const;
+
+  void reset();
+
+  // -- parallel composition -------------------------------------------------
+
+  /// Opens a parallel group; charges inside each branch accumulate
+  /// separately and, when the group closes, the *maximum-total* branch is
+  /// folded into the enclosing frame.
+  void begin_parallel();
+  void begin_branch();
+  void end_branch();
+  void end_parallel();
+
+  /// RAII helper:
+  ///   { auto par = ledger.parallel();
+  ///     { auto br = par.branch(); ...charges... }
+  ///     { auto br = par.branch(); ...charges... } }
+  class Parallel;
+  class Branch {
+   public:
+    explicit Branch(RoundLedger& l) : ledger_(l) { ledger_.begin_branch(); }
+    ~Branch() { ledger_.end_branch(); }
+    Branch(const Branch&) = delete;
+    Branch& operator=(const Branch&) = delete;
+
+   private:
+    RoundLedger& ledger_;
+  };
+  class Parallel {
+   public:
+    explicit Parallel(RoundLedger& l) : ledger_(l) { ledger_.begin_parallel(); }
+    ~Parallel() { ledger_.end_parallel(); }
+    Parallel(const Parallel&) = delete;
+    Parallel& operator=(const Parallel&) = delete;
+    Branch branch() { return Branch(ledger_); }
+
+   private:
+    RoundLedger& ledger_;
+  };
+  Parallel parallel() { return Parallel(*this); }
+
+ private:
+  struct Frame {
+    double total = 0;
+    std::map<std::string, double> by_tag;
+  };
+  struct Group {
+    Frame best;
+    bool any_branch = false;
+  };
+
+  Frame& top() { return stack_.back(); }
+
+  std::vector<Frame> stack_;
+  std::vector<Group> groups_;
+  // Depth markers: which stack frames belong to branches (sanity checking).
+  std::vector<std::size_t> group_base_;
+};
+
+}  // namespace lowtw::primitives

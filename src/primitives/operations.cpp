@@ -1,0 +1,210 @@
+#include "primitives/operations.hpp"
+
+#include <algorithm>
+#include <queue>
+
+#include "util/check.hpp"
+
+namespace lowtw::primitives {
+
+using graph::Graph;
+using graph::kNoVertex;
+using graph::VertexId;
+
+std::vector<VertexId> induced_bfs_tree(const Graph& host,
+                                       std::span<const VertexId> part,
+                                       VertexId root) {
+  std::vector<VertexId> parent(static_cast<std::size_t>(host.num_vertices()),
+                               kNoVertex);
+  std::vector<char> in_part(static_cast<std::size_t>(host.num_vertices()), 0);
+  for (VertexId v : part) in_part[v] = 1;
+  LOWTW_CHECK_MSG(in_part[root], "root " << root << " not in part");
+  parent[root] = root;
+  std::queue<VertexId> q;
+  q.push(root);
+  std::size_t reached = 1;
+  while (!q.empty()) {
+    VertexId u = q.front();
+    q.pop();
+    for (VertexId w : host.neighbors(u)) {
+      if (in_part[w] && parent[w] == kNoVertex) {
+        parent[w] = u;
+        ++reached;
+        q.push(w);
+      }
+    }
+  }
+  LOWTW_CHECK_MSG(reached == part.size(), "part not connected");
+  return parent;
+}
+
+namespace {
+
+/// Tiny max-flow network specialized for unit vertex capacities.
+class FlowNet {
+ public:
+  explicit FlowNet(int num_nodes) : head_(static_cast<std::size_t>(num_nodes), -1) {}
+
+  void add_edge(int from, int to, int cap) {
+    edges_.push_back({to, head_[from], cap});
+    head_[from] = static_cast<int>(edges_.size()) - 1;
+    edges_.push_back({from, head_[to], 0});
+    head_[to] = static_cast<int>(edges_.size()) - 1;
+  }
+
+  /// One BFS augmentation from s to t; returns true if a unit was pushed.
+  bool augment(int s, int t) {
+    std::vector<int> pred_edge(head_.size(), -1);
+    std::vector<char> seen(head_.size(), 0);
+    std::queue<int> q;
+    seen[s] = 1;
+    q.push(s);
+    while (!q.empty() && !seen[t]) {
+      int u = q.front();
+      q.pop();
+      for (int e = head_[u]; e != -1; e = edges_[e].next) {
+        if (edges_[e].cap > 0 && !seen[edges_[e].to]) {
+          seen[edges_[e].to] = 1;
+          pred_edge[edges_[e].to] = e;
+          q.push(edges_[e].to);
+        }
+      }
+    }
+    if (!seen[t]) return false;
+    // All augmenting paths here have bottleneck 1 (every s-t path passes a
+    // unit-capacity vertex edge); push one unit.
+    for (int v = t; v != s;) {
+      int e = pred_edge[v];
+      edges_[e].cap -= 1;
+      edges_[e ^ 1].cap += 1;
+      v = edges_[e ^ 1].to;
+    }
+    return true;
+  }
+
+  /// Residual reachability from s.
+  std::vector<char> reachable(int s) const {
+    std::vector<char> seen(head_.size(), 0);
+    std::queue<int> q;
+    seen[s] = 1;
+    q.push(s);
+    while (!q.empty()) {
+      int u = q.front();
+      q.pop();
+      for (int e = head_[u]; e != -1; e = edges_[e].next) {
+        if (edges_[e].cap > 0 && !seen[edges_[e].to]) {
+          seen[edges_[e].to] = 1;
+          q.push(edges_[e].to);
+        }
+      }
+    }
+    return seen;
+  }
+
+ private:
+  struct Edge {
+    int to;
+    int next;
+    int cap;
+  };
+  std::vector<int> head_;
+  std::vector<Edge> edges_;
+};
+
+}  // namespace
+
+VertexCutResult min_vertex_cut(const Graph& g, std::span<const VertexId> u1,
+                               std::span<const VertexId> u2, int bound) {
+  LOWTW_CHECK(bound >= 0);
+  const int n = g.num_vertices();
+  std::vector<char> in1(static_cast<std::size_t>(n), 0);
+  std::vector<char> in2(static_cast<std::size_t>(n), 0);
+  for (VertexId v : u1) in1[v] = 1;
+  for (VertexId v : u2) in2[v] = 1;
+
+  VertexCutResult result;
+  // ∞-size cases: shared vertex or direct crossing edge (Section 3.2).
+  for (VertexId v : u1) {
+    if (in2[v]) {
+      result.status = VertexCutResult::Status::kInfinite;
+      return result;
+    }
+  }
+  for (VertexId v : u1) {
+    for (VertexId w : g.neighbors(v)) {
+      if (in2[w]) {
+        result.status = VertexCutResult::Status::kInfinite;
+        return result;
+      }
+    }
+  }
+
+  // Node-split flow network: v_in = 2v, v_out = 2v+1, s = 2n, t = 2n+1.
+  const int kInfCap = 1 << 29;
+  const int s = 2 * n;
+  const int t = 2 * n + 1;
+  FlowNet net(2 * n + 2);
+  for (VertexId v = 0; v < n; ++v) {
+    net.add_edge(2 * v, 2 * v + 1, (in1[v] || in2[v]) ? kInfCap : 1);
+  }
+  for (auto [a, b] : g.edges()) {
+    net.add_edge(2 * a + 1, 2 * b, kInfCap);
+    net.add_edge(2 * b + 1, 2 * a, kInfCap);
+  }
+  for (VertexId v : u1) net.add_edge(s, 2 * v, kInfCap);
+  for (VertexId v : u2) net.add_edge(2 * v + 1, t, kInfCap);
+
+  int flow = 0;
+  while (flow <= bound && net.augment(s, t)) ++flow;
+  if (flow > bound) {
+    result.status = VertexCutResult::Status::kTooLarge;
+    return result;
+  }
+
+  std::vector<char> reach = net.reachable(s);
+  result.status = VertexCutResult::Status::kFound;
+  for (VertexId v = 0; v < n; ++v) {
+    if (!in1[v] && !in2[v] && reach[2 * v] && !reach[2 * v + 1]) {
+      result.cut.push_back(v);
+    }
+  }
+  LOWTW_CHECK_MSG(static_cast<int>(result.cut.size()) == flow,
+                  "cut size " << result.cut.size() << " != flow " << flow);
+  return result;
+}
+
+bool is_vertex_cut(const Graph& g, std::span<const VertexId> u1,
+                   std::span<const VertexId> u2,
+                   std::span<const VertexId> cut) {
+  const int n = g.num_vertices();
+  std::vector<char> removed(static_cast<std::size_t>(n), 0);
+  for (VertexId v : cut) removed[v] = 1;
+  for (VertexId v : u1) {
+    if (removed[v]) return false;
+  }
+  for (VertexId v : u2) {
+    if (removed[v]) return false;
+  }
+  std::vector<char> seen(static_cast<std::size_t>(n), 0);
+  std::queue<VertexId> q;
+  for (VertexId v : u1) {
+    if (!seen[v]) {
+      seen[v] = 1;
+      q.push(v);
+    }
+  }
+  while (!q.empty()) {
+    VertexId u = q.front();
+    q.pop();
+    for (VertexId w : g.neighbors(u)) {
+      if (!removed[w] && !seen[w]) {
+        seen[w] = 1;
+        q.push(w);
+      }
+    }
+  }
+  return std::none_of(u2.begin(), u2.end(),
+                      [&](VertexId v) { return seen[v]; });
+}
+
+}  // namespace lowtw::primitives

@@ -1,0 +1,49 @@
+// Logical cores of the subgraph operations of Lemma 8.
+//
+// These are the exact computations the distributed primitives perform
+// (spanning trees, connected components, minimum U1-U2 vertex cuts); the
+// round charges for invoking them live in Engine.
+#pragma once
+
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace lowtw::primitives {
+
+/// BFS spanning tree of the subgraph induced on `part`, rooted at `root`
+/// (global vertex ids). Returns parent pointers indexed by global id;
+/// vertices outside the part get kNoVertex, the root points to itself.
+/// The part must be connected in the induced subgraph.
+std::vector<graph::VertexId> induced_bfs_tree(const graph::Graph& host,
+                                              std::span<const graph::VertexId> part,
+                                              graph::VertexId root);
+
+/// Result of a bounded minimum vertex-cut computation (MVC(t), Lemma 8).
+struct VertexCutResult {
+  enum class Status {
+    kFound,     ///< cut of size <= bound found
+    kTooLarge,  ///< minimum cut exceeds the bound ("output -1" in the paper)
+    kInfinite,  ///< U1 ∩ U2 nonempty or a direct U1-U2 edge (size = ∞)
+  };
+  Status status = Status::kTooLarge;
+  std::vector<graph::VertexId> cut;  ///< valid iff status == kFound
+};
+
+/// Minimum U1-U2 vertex cut of `g` restricted to Z ⊆ V \ (U1 ∪ U2)
+/// (Section 3.2): a smallest vertex set whose removal disconnects U1 from
+/// U2. Computed via unit-vertex-capacity max-flow with at most bound+1
+/// augmentations. Deterministic: ties broken by vertex id.
+VertexCutResult min_vertex_cut(const graph::Graph& g,
+                               std::span<const graph::VertexId> u1,
+                               std::span<const graph::VertexId> u2, int bound);
+
+/// Verifies that `cut` disconnects u1 from u2 in g (used by tests and by
+/// Sep's balance validation).
+bool is_vertex_cut(const graph::Graph& g, std::span<const graph::VertexId> u1,
+                   std::span<const graph::VertexId> u2,
+                   std::span<const graph::VertexId> cut);
+
+}  // namespace lowtw::primitives

@@ -1,0 +1,149 @@
+#include "td/builder.hpp"
+
+#include <algorithm>
+
+#include "graph/algorithms.hpp"
+#include "util/check.hpp"
+
+namespace lowtw::td {
+
+using graph::Graph;
+using graph::VertexId;
+
+std::vector<VertexId> HierarchyNode::gx_vertices() const {
+  std::vector<VertexId> out;
+  out.reserve(comp.size() + boundary.size());
+  std::merge(comp.begin(), comp.end(), boundary.begin(), boundary.end(),
+             std::back_inserter(out));
+  return out;
+}
+
+TreeDecomposition Hierarchy::to_tree_decomposition() const {
+  TreeDecomposition td;
+  td.root = root;
+  td.bags.resize(nodes.size());
+  for (std::size_t x = 0; x < nodes.size(); ++x) {
+    td.bags[x].vertices = nodes[x].bag;
+    td.bags[x].parent = nodes[x].parent;
+    td.bags[x].children = nodes[x].children;
+    td.bags[x].depth = nodes[x].depth;
+  }
+  return td;
+}
+
+std::vector<std::vector<int>> Hierarchy::levels() const {
+  int max_depth = 0;
+  for (const auto& n : nodes) max_depth = std::max(max_depth, n.depth);
+  std::vector<std::vector<int>> by_level(static_cast<std::size_t>(max_depth) + 1);
+  for (std::size_t x = 0; x < nodes.size(); ++x) {
+    by_level[nodes[x].depth].push_back(static_cast<int>(x));
+  }
+  return by_level;
+}
+
+TdBuildResult build_hierarchy(const Graph& g, const TdParams& params,
+                              util::Rng& rng, primitives::Engine& engine) {
+  LOWTW_CHECK_MSG(g.num_vertices() >= 1, "empty graph");
+  LOWTW_CHECK_MSG(graph::is_connected(g), "build_hierarchy requires a connected graph");
+
+  TdBuildResult result;
+  auto& nodes = result.hierarchy.nodes;
+  const double rounds_before = engine.ledger().total();
+  int t = params.t_initial;
+
+  // Root work item: the whole graph, empty boundary.
+  {
+    HierarchyNode root;
+    root.comp.resize(static_cast<std::size_t>(g.num_vertices()));
+    for (VertexId v = 0; v < g.num_vertices(); ++v) root.comp[v] = v;
+    nodes.push_back(std::move(root));
+  }
+  std::vector<int> frontier{0};
+
+  while (!frontier.empty()) {
+    std::vector<int> next_frontier;
+    // All G'_x of one level are vertex-disjoint: their separators run in
+    // parallel (max-composition of round charges).
+    auto par = engine.ledger().parallel();
+    for (int xi : frontier) {
+      auto branch = par.branch();
+      // Sep on G'_x with X = V(G'_x). (Reading nodes[xi] via index, not
+      // reference: nodes may reallocate when children are appended.)
+      SeparatorResult sep = find_balanced_separator(
+          g, nodes[xi].comp, nodes[xi].comp, params.sep, rng, engine, t);
+      t = std::max(t, sep.t_used);
+      result.t_used = t;
+      nodes[xi].separator = sep.separator;
+
+      // B_x = boundary ∪ S'_x.
+      std::vector<VertexId> bag;
+      std::set_union(nodes[xi].boundary.begin(), nodes[xi].boundary.end(),
+                     nodes[xi].separator.begin(), nodes[xi].separator.end(),
+                     std::back_inserter(bag));
+      auto gx = nodes[xi].gx_vertices();
+
+      // Paper leaf rule: |V(G_x)| ≤ 2|B_x| → bag is all of V(G_x).
+      if (params.leaf_rule == TdLeafRule::kPaper &&
+          gx.size() <= 2 * bag.size()) {
+        nodes[xi].leaf = true;
+        nodes[xi].bag = std::move(gx);
+        continue;
+      }
+
+      // Children: components of comp - S'_x; each child's boundary is the
+      // set of B_x vertices adjacent to it.
+      std::vector<char> in_sep(static_cast<std::size_t>(g.num_vertices()), 0);
+      for (VertexId v : nodes[xi].separator) in_sep[v] = 1;
+      std::vector<VertexId> rest;
+      for (VertexId v : nodes[xi].comp) {
+        if (!in_sep[v]) rest.push_back(v);
+      }
+      if (rest.empty()) {
+        // Separator consumed the component: natural leaf.
+        nodes[xi].leaf = true;
+        nodes[xi].bag = std::move(gx);
+        continue;
+      }
+      nodes[xi].bag = std::move(bag);
+      // CCD detects the components; one subgraph operation per level-part.
+      if (engine.mode() == primitives::EngineMode::kTreeRealized) {
+        engine.op(primitives::part_stats(
+                      g, std::span<const VertexId>(nodes[xi].comp)),
+                  "td/ccd");
+      } else {
+        engine.op(primitives::PartStats{1, 0}, "td/ccd");
+      }
+      std::vector<char> in_bag(static_cast<std::size_t>(g.num_vertices()), 0);
+      for (VertexId v : nodes[xi].bag) in_bag[v] = 1;
+      for (auto& comp : graph::induced_components(g, rest)) {
+        HierarchyNode child;
+        child.parent = xi;
+        child.depth = nodes[xi].depth + 1;
+        // Boundary: bag vertices adjacent to the component.
+        std::vector<char> adj_bag(static_cast<std::size_t>(g.num_vertices()), 0);
+        for (VertexId v : comp) {
+          for (VertexId w : g.neighbors(v)) {
+            if (in_bag[w]) adj_bag[w] = 1;
+          }
+        }
+        for (VertexId w : nodes[xi].bag) {
+          if (adj_bag[w]) child.boundary.push_back(w);
+        }
+        child.comp = std::move(comp);
+        int child_id = static_cast<int>(nodes.size());
+        nodes[xi].children.push_back(child_id);
+        nodes.push_back(std::move(child));
+        next_frontier.push_back(child_id);
+      }
+      LOWTW_CHECK_MSG(!nodes[xi].children.empty(),
+                      "non-leaf hierarchy node without children");
+    }
+    frontier = std::move(next_frontier);
+  }
+
+  result.td = result.hierarchy.to_tree_decomposition();
+  result.rounds = engine.ledger().total() - rounds_before;
+  return result;
+}
+
+}  // namespace lowtw::td

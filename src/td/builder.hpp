@@ -1,0 +1,84 @@
+// Distributed tree decomposition from balanced separators
+// (Section 3.4, Appendix B.3 — Theorem 1).
+//
+// The construction recursively decomposes G_x for every tree node x:
+//   S'_x  = Sep(G'_x)                    (G'_x = component of G_x - B_p(x))
+//   B_x   = (V(G_x) ∩ B_p(x)) ∪ S'_x     ( = boundary ∪ S'_x )
+//   G_x•i = component of G_x - B_x, plus its adjacent B_x vertices
+// with the leaf rule B_x = V(G_x) when |V(G_x)| ≤ 2|B_x|.
+//
+// Processing is level-by-level: the components {G'_x : x ∈ A_ℓ} of one level
+// are vertex-disjoint, so their separators are computed in parallel
+// (RoundLedger parallel scopes). Besides the plain TreeDecomposition, the
+// builder records the full Hierarchy (components, boundaries, separators) —
+// the distance-labeling recursion of Section 4 and the matching
+// divide-and-conquer of Section 6 both consume it.
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "primitives/engine.hpp"
+#include "td/separator.hpp"
+#include "td/tree_decomposition.hpp"
+#include "util/rng.hpp"
+
+namespace lowtw::td {
+
+struct HierarchyNode {
+  int parent = -1;
+  std::vector<int> children;
+  int depth = 0;
+  bool leaf = false;
+  /// V(G'_x): the component this node decomposes (sorted).
+  std::vector<graph::VertexId> comp;
+  /// V(G_x) ∩ B_p(x): parent-bag vertices adjacent to (and included with)
+  /// the component (sorted; empty at the root).
+  std::vector<graph::VertexId> boundary;
+  /// S'_x ⊆ comp (sorted; equals comp for step-1 base-case leaves).
+  std::vector<graph::VertexId> separator;
+  /// B_x = boundary ∪ S'_x, or all of V(G_x) for leaves (sorted).
+  std::vector<graph::VertexId> bag;
+
+  /// V(G_x) = comp ∪ boundary (sorted).
+  std::vector<graph::VertexId> gx_vertices() const;
+};
+
+struct Hierarchy {
+  std::vector<HierarchyNode> nodes;
+  int root = 0;
+
+  TreeDecomposition to_tree_decomposition() const;
+
+  /// Nodes of each depth level, root first.
+  std::vector<std::vector<int>> levels() const;
+};
+
+enum class TdLeafRule {
+  /// Recurse until the separator consumes the whole component; leaf bags are
+  /// boundary ∪ component with a tiny component. Smallest widths (default).
+  kExhaustive,
+  /// The paper's rule: leaf as soon as |V(G_x)| ≤ 2|B_x| (Section 3.4).
+  /// Used by conformance tests; leaf bags absorb whole components.
+  kPaper,
+};
+
+struct TdParams {
+  SepParams sep = SepParams::practical();
+  int t_initial = 2;
+  TdLeafRule leaf_rule = TdLeafRule::kExhaustive;
+};
+
+struct TdBuildResult {
+  Hierarchy hierarchy;
+  TreeDecomposition td;
+  int t_used = 0;      ///< final doubling estimate (≥ τ+1 whp)
+  double rounds = 0;   ///< ledger total charged by this build
+};
+
+/// Builds the decomposition of a *connected* graph g. Charges rounds to
+/// engine's ledger; `rounds` reports the delta.
+TdBuildResult build_hierarchy(const graph::Graph& g, const TdParams& params,
+                              util::Rng& rng, primitives::Engine& engine);
+
+}  // namespace lowtw::td

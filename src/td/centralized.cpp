@@ -1,0 +1,203 @@
+#include "td/centralized.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <set>
+
+#include "util/check.hpp"
+
+namespace lowtw::td {
+
+using graph::Graph;
+using graph::VertexId;
+
+TreeDecomposition elimination_order_td(const Graph& g,
+                                       std::span<const VertexId> order) {
+  const int n = g.num_vertices();
+  LOWTW_CHECK(static_cast<int>(order.size()) == n);
+  std::vector<int> pos(static_cast<std::size_t>(n), -1);
+  for (int i = 0; i < n; ++i) {
+    LOWTW_CHECK_MSG(pos[order[i]] == -1, "duplicate vertex in order");
+    pos[order[i]] = i;
+  }
+
+  // Simulate elimination with fill-in.
+  std::vector<std::set<VertexId>> adj(static_cast<std::size_t>(n));
+  for (auto [u, v] : g.edges()) {
+    adj[u].insert(v);
+    adj[v].insert(u);
+  }
+
+  TreeDecomposition td;
+  td.bags.resize(static_cast<std::size_t>(n));
+  std::vector<int> parent_vertex(static_cast<std::size_t>(n), -1);
+  for (int i = 0; i < n; ++i) {
+    VertexId v = order[i];
+    std::vector<VertexId> later(adj[v].begin(), adj[v].end());
+    // Bag: v plus its (fill) neighbors not yet eliminated.
+    td.bags[i].vertices = later;
+    td.bags[i].vertices.push_back(v);
+    std::sort(td.bags[i].vertices.begin(), td.bags[i].vertices.end());
+    // Parent: bag of the earliest-eliminated later neighbor; the last bag is
+    // the root; bags with no later neighbor attach to the next bag in order.
+    if (!later.empty()) {
+      VertexId p = *std::min_element(
+          later.begin(), later.end(),
+          [&](VertexId a, VertexId b) { return pos[a] < pos[b]; });
+      parent_vertex[i] = pos[p];
+    } else if (i + 1 < n) {
+      parent_vertex[i] = i + 1;
+    }
+    // Fill-in: clique among later neighbors, then remove v.
+    for (std::size_t a = 0; a < later.size(); ++a) {
+      for (std::size_t b = a + 1; b < later.size(); ++b) {
+        adj[later[a]].insert(later[b]);
+        adj[later[b]].insert(later[a]);
+      }
+      adj[later[a]].erase(v);
+    }
+    adj[v].clear();
+  }
+  // Assemble tree (bag i corresponds to order[i]; root = last bag).
+  td.root = n - 1;
+  for (int i = 0; i < n; ++i) {
+    td.bags[i].parent = parent_vertex[i];
+    if (parent_vertex[i] != -1) td.bags[parent_vertex[i]].children.push_back(i);
+  }
+  // Depths via DFS from root.
+  std::vector<int> stack{td.root};
+  td.bags[td.root].depth = 0;
+  while (!stack.empty()) {
+    int x = stack.back();
+    stack.pop_back();
+    for (int c : td.bags[x].children) {
+      td.bags[c].depth = td.bags[x].depth + 1;
+      stack.push_back(c);
+    }
+  }
+  return td;
+}
+
+namespace {
+
+std::vector<VertexId> greedy_order(const Graph& g, bool min_fill) {
+  const int n = g.num_vertices();
+  std::vector<std::set<VertexId>> adj(static_cast<std::size_t>(n));
+  for (auto [u, v] : g.edges()) {
+    adj[u].insert(v);
+    adj[v].insert(u);
+  }
+  std::vector<char> done(static_cast<std::size_t>(n), 0);
+  std::vector<VertexId> order;
+  order.reserve(static_cast<std::size_t>(n));
+  for (int step = 0; step < n; ++step) {
+    VertexId best = graph::kNoVertex;
+    long best_score = -1;
+    for (VertexId v = 0; v < n; ++v) {
+      if (done[v]) continue;
+      long score;
+      if (min_fill) {
+        score = 0;
+        for (auto it = adj[v].begin(); it != adj[v].end(); ++it) {
+          auto jt = it;
+          for (++jt; jt != adj[v].end(); ++jt) {
+            if (adj[*it].count(*jt) == 0) ++score;
+          }
+        }
+      } else {
+        score = static_cast<long>(adj[v].size());
+      }
+      if (best == graph::kNoVertex || score < best_score) {
+        best = v;
+        best_score = score;
+      }
+    }
+    order.push_back(best);
+    done[best] = 1;
+    std::vector<VertexId> nbrs(adj[best].begin(), adj[best].end());
+    for (std::size_t a = 0; a < nbrs.size(); ++a) {
+      for (std::size_t b = a + 1; b < nbrs.size(); ++b) {
+        adj[nbrs[a]].insert(nbrs[b]);
+        adj[nbrs[b]].insert(nbrs[a]);
+      }
+      adj[nbrs[a]].erase(best);
+    }
+    adj[best].clear();
+  }
+  return order;
+}
+
+}  // namespace
+
+std::vector<VertexId> min_degree_order(const Graph& g) {
+  return greedy_order(g, /*min_fill=*/false);
+}
+
+std::vector<VertexId> min_fill_order(const Graph& g) {
+  return greedy_order(g, /*min_fill=*/true);
+}
+
+int heuristic_treewidth(const Graph& g) {
+  if (g.num_vertices() == 0) return -1;
+  int w1 = elimination_order_td(g, min_degree_order(g)).width();
+  int w2 = elimination_order_td(g, min_fill_order(g)).width();
+  return std::min(w1, w2);
+}
+
+int exact_treewidth(const Graph& g) {
+  const int n = g.num_vertices();
+  LOWTW_CHECK_MSG(n >= 1 && n <= 20, "exact_treewidth limited to n <= 20");
+  std::vector<std::uint32_t> adj(static_cast<std::size_t>(n), 0);
+  for (auto [u, v] : g.edges()) {
+    adj[u] |= 1u << v;
+    adj[v] |= 1u << u;
+  }
+  const std::uint32_t full = (n == 32) ? ~0u : ((1u << n) - 1);
+
+  // Q(S, v): neighbors outside S∪{v} of the component of G[S∪{v}]
+  // containing v.
+  auto q_value = [&](std::uint32_t s, int v) {
+    std::uint32_t reach = 1u << v;
+    std::uint32_t frontier = reach;
+    while (frontier != 0) {
+      std::uint32_t next = 0;
+      std::uint32_t f = frontier;
+      while (f != 0) {
+        int u = std::countr_zero(f);
+        f &= f - 1;
+        next |= adj[u];
+      }
+      frontier = next & s & ~reach;
+      reach |= frontier;
+    }
+    std::uint32_t boundary = 0;
+    std::uint32_t r = reach;
+    while (r != 0) {
+      int u = std::countr_zero(r);
+      r &= r - 1;
+      boundary |= adj[u];
+    }
+    boundary &= ~(s | (1u << v));
+    return std::popcount(boundary);
+  };
+
+  // TW(S) = min_v max(TW(S\{v}), Q(S\{v}, v)); TW(∅) = -1 (width of the
+  // empty prefix).
+  std::vector<std::int8_t> tw(static_cast<std::size_t>(full) + 1, 0);
+  tw[0] = -1;
+  for (std::uint32_t s = 1; s <= full; ++s) {
+    int best = n;  // upper bound
+    std::uint32_t rest = s;
+    while (rest != 0) {
+      int v = std::countr_zero(rest);
+      rest &= rest - 1;
+      std::uint32_t without = s & ~(1u << v);
+      int cand = std::max<int>(tw[without], q_value(without, v));
+      best = std::min(best, cand);
+    }
+    tw[s] = static_cast<std::int8_t>(best);
+  }
+  return tw[full];
+}
+
+}  // namespace lowtw::td

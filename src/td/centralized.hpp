@@ -1,0 +1,39 @@
+// Centralized tree-decomposition baselines and exact treewidth.
+//
+// Used for:
+//  * ground-truth treewidth on tiny graphs (exact_treewidth, O(2^n·poly) DP);
+//  * good practical width references (min-degree / min-fill heuristics) that
+//    the distributed algorithm's O(τ² log n) width is compared against in
+//    bench E1;
+//  * generating valid decompositions for modules that need *some*
+//    decomposition in tests.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "td/tree_decomposition.hpp"
+
+namespace lowtw::td {
+
+/// Tree decomposition from an elimination order (classic construction: the
+/// bag of v is {v} ∪ its not-yet-eliminated neighbors in the fill-in graph;
+/// its parent is the bag of the earliest-eliminated such neighbor).
+TreeDecomposition elimination_order_td(const graph::Graph& g,
+                                       std::span<const graph::VertexId> order);
+
+/// Min-degree elimination order.
+std::vector<graph::VertexId> min_degree_order(const graph::Graph& g);
+
+/// Min-fill elimination order.
+std::vector<graph::VertexId> min_fill_order(const graph::Graph& g);
+
+/// Width of the best of min-degree / min-fill — an upper bound on τ used as
+/// the reference point in benches ("heuristic width").
+int heuristic_treewidth(const graph::Graph& g);
+
+/// Exact treewidth via the Held-Karp-style subset DP; n <= 20 enforced.
+int exact_treewidth(const graph::Graph& g);
+
+}  // namespace lowtw::td

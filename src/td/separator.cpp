@@ -1,0 +1,392 @@
+#include "td/separator.hpp"
+
+#include <algorithm>
+#include <functional>
+#include <queue>
+
+#include "graph/algorithms.hpp"
+#include "primitives/operations.hpp"
+#include "td/split.hpp"
+#include "util/check.hpp"
+#include "util/math.hpp"
+
+namespace lowtw::td {
+
+using graph::Graph;
+using graph::kNoVertex;
+using graph::VertexId;
+using internal::SplitWorkspace;
+using internal::TreePiece;
+
+namespace {
+
+std::int64_t mu_of(std::span<const VertexId> vs, const std::vector<char>& in_x) {
+  std::int64_t m = 0;
+  for (VertexId v : vs) m += in_x[v] ? 1 : 0;
+  return m;
+}
+
+}  // namespace
+
+bool is_balanced_separator(const Graph& host, std::span<const VertexId> part,
+                           std::span<const VertexId> x_set,
+                           std::span<const VertexId> separator,
+                           double balance) {
+  std::vector<char> in_x(static_cast<std::size_t>(host.num_vertices()), 0);
+  std::vector<char> in_part(static_cast<std::size_t>(host.num_vertices()), 0);
+  for (VertexId v : part) in_part[v] = 1;
+  for (VertexId v : x_set) {
+    if (in_part[v]) in_x[v] = 1;
+  }
+  std::int64_t mu_total = 0;
+  for (VertexId v = 0; v < host.num_vertices(); ++v) {
+    mu_total += in_x[v] ? 1 : 0;
+  }
+  if (mu_total == 0) return true;
+  std::vector<char> removed(static_cast<std::size_t>(host.num_vertices()), 0);
+  for (VertexId v : separator) removed[v] = 1;
+  std::vector<VertexId> remaining;
+  for (VertexId v : part) {
+    if (!removed[v]) remaining.push_back(v);
+  }
+  const double cap = balance * static_cast<double>(mu_total);
+  for (const auto& comp : graph::induced_components(host, remaining)) {
+    if (static_cast<double>(mu_of(comp, in_x)) > cap) return false;
+  }
+  return true;
+}
+
+std::optional<std::vector<VertexId>> sep_attempt(
+    const Graph& host, std::span<const VertexId> part,
+    std::span<const VertexId> x_set, int t, const SepParams& params,
+    util::Rng& rng, primitives::Engine& engine) {
+  LOWTW_CHECK(t >= 1);
+  // Work on the induced local copy: the algorithm's G is host[part].
+  std::vector<VertexId> to_local;
+  Graph local = host.induced_subgraph(part, &to_local);
+  const int n = local.num_vertices();
+  std::vector<char> in_x(static_cast<std::size_t>(n), 0);
+  for (VertexId v : x_set) {
+    if (to_local[v] != kNoVertex) in_x[to_local[v]] = 1;
+  }
+  auto to_global_sorted = [&](std::vector<VertexId> locals) {
+    for (VertexId& v : locals) v = part[v];
+    std::sort(locals.begin(), locals.end());
+    locals.erase(std::unique(locals.begin(), locals.end()), locals.end());
+    return locals;
+  };
+
+  const bool need_stats =
+      engine.mode() == primitives::EngineMode::kTreeRealized;
+  std::vector<VertexId> all_local(static_cast<std::size_t>(n));
+  for (VertexId v = 0; v < n; ++v) all_local[v] = v;
+  primitives::PartStats stats =
+      need_stats ? primitives::part_stats(local, std::span<const VertexId>(
+                                                     all_local))
+                 : primitives::PartStats{1, 0};
+
+  std::int64_t mu_g = 0;
+  for (VertexId v = 0; v < n; ++v) mu_g += in_x[v] ? 1 : 0;
+  engine.pa(stats, "sep/count");
+
+  // Step 1: small-µ base case — X itself separates.
+  if (static_cast<double>(mu_g) <= params.base_cap(t)) {
+    std::vector<VertexId> x_local;
+    for (VertexId v = 0; v < n; ++v) {
+      if (in_x[v]) x_local.push_back(v);
+    }
+    return to_global_sorted(std::move(x_local));
+  }
+
+  const auto low = static_cast<std::int64_t>(
+      std::max(1.0, static_cast<double>(mu_g) / (12.0 * t)));
+  const double cap = static_cast<double>(mu_g) / (4.0 * t);
+  const int t_hat = params.iterations(t);
+
+  std::vector<VertexId> cur(all_local);  // G_i
+  std::vector<std::vector<TreePiece>> iteration_pieces;
+  std::vector<char> root_acc_mask(static_cast<std::size_t>(n), 0);
+  SplitWorkspace ws(n);
+
+  for (int iter = 0; iter < t_hat && !cur.empty(); ++iter) {
+    // Step 2: spanning tree of G_i (RST) + Split.
+    VertexId root = *std::min_element(cur.begin(), cur.end());
+    std::vector<VertexId> tree_parent =
+        primitives::induced_bfs_tree(local, cur, root);
+    engine.op(stats, "sep/rst");
+    std::vector<std::vector<VertexId>> tree_adj(static_cast<std::size_t>(n));
+    for (VertexId v : cur) {
+      if (tree_parent[v] != v && tree_parent[v] != kNoVertex) {
+        tree_adj[v].push_back(tree_parent[v]);
+        tree_adj[tree_parent[v]].push_back(v);
+      }
+    }
+
+    std::vector<TreePiece> heavy;  // T
+    std::vector<TreePiece> ti;     // T_i
+    {
+      TreePiece whole;
+      whole.root = root;
+      whole.vertices = cur;
+      whole.mu = mu_of(cur, in_x);
+      if (static_cast<double>(whole.mu) > cap) {
+        heavy.push_back(std::move(whole));
+      } else {
+        ti.push_back(std::move(whole));
+      }
+    }
+    int guard = 0;
+    while (!heavy.empty()) {
+      LOWTW_CHECK_MSG(++guard <= 64, "Split did not converge");
+      // One Split invocation over the whole collection: STA + SNC + SLE +
+      // profile propagation (BCT) — four subgraph operations.
+      for (int k = 0; k < 4; ++k) engine.op(stats, "sep/split");
+      std::vector<TreePiece> next_heavy;
+      for (TreePiece& piece : heavy) {
+        const std::size_t before = piece.vertices.size();
+        auto pieces = internal::split_piece(piece, tree_adj, in_x, low, ws);
+        for (TreePiece& p : pieces) {
+          bool unchanged = pieces.size() == 1 && p.vertices.size() == before;
+          if (!unchanged && static_cast<double>(p.mu) > cap) {
+            next_heavy.push_back(std::move(p));
+          } else {
+            ti.push_back(std::move(p));
+          }
+        }
+      }
+      heavy = std::move(next_heavy);
+    }
+
+    // Step 3: accumulate roots, test balance, recurse into heaviest comp.
+    std::vector<char> ri_mask(static_cast<std::size_t>(n), 0);
+    for (const TreePiece& p : ti) {
+      ri_mask[p.root] = 1;
+      root_acc_mask[p.root] = 1;
+    }
+    iteration_pieces.push_back(std::move(ti));
+
+    engine.op(stats, "sep/ccd");
+    engine.pa(stats, "sep/balance");
+    if (!params.disable_early_exit) {
+      std::vector<VertexId> racc;
+      for (VertexId v = 0; v < n; ++v) {
+        if (root_acc_mask[v]) racc.push_back(v);
+      }
+      if (is_balanced_separator(local, all_local, /*x=*/
+                                [&] {
+                                  std::vector<VertexId> xs;
+                                  for (VertexId v = 0; v < n; ++v)
+                                    if (in_x[v]) xs.push_back(v);
+                                  return xs;
+                                }(),
+                                racc, params.balance)) {
+        return to_global_sorted(std::move(racc));
+      }
+    }
+
+    std::vector<VertexId> rest;
+    for (VertexId v : cur) {
+      if (!ri_mask[v]) rest.push_back(v);
+    }
+    auto comps = graph::induced_components(local, rest);
+    cur.clear();
+    std::int64_t best_mu = -1;
+    for (auto& comp : comps) {
+      std::int64_t m = mu_of(comp, in_x);
+      if (m > best_mu) {
+        best_mu = m;
+        cur = std::move(comp);
+      }
+    }
+  }
+
+  // Step 4: sample subtree pairs per iteration; batched bounded vertex cuts.
+  std::int64_t total_pieces = 0;
+  for (const auto& ti : iteration_pieces) {
+    total_pieces += static_cast<std::int64_t>(ti.size());
+  }
+  engine.bct(stats, static_cast<double>(total_pieces), "sep/profiles");
+
+  struct Pair {
+    const TreePiece* a;
+    const TreePiece* b;
+  };
+  std::vector<Pair> sampled;
+  for (const auto& ti : iteration_pieces) {
+    if (ti.size() < 2) continue;
+    if (params.exhaustive_pairs) {
+      for (const TreePiece& a : ti) {
+        for (const TreePiece& b : ti) {
+          if (&a != &b) sampled.push_back(Pair{&a, &b});
+        }
+      }
+    } else {
+      for (int k = 0; k < params.sampled_pairs; ++k) {
+        const TreePiece& a = ti[rng.next_below(ti.size())];
+        const TreePiece& b = ti[rng.next_below(ti.size())];
+        sampled.push_back(Pair{&a, &b});
+      }
+    }
+  }
+  engine.bct(stats, 2.0 * static_cast<double>(sampled.size()), "sep/pairbcast");
+  engine.mvc(stats, static_cast<double>(sampled.size()), t + 1, "sep/cuts");
+
+  std::vector<char> z_mask(static_cast<std::size_t>(n), 0);
+  for (const Pair& pr : sampled) {
+    if (pr.a == pr.b) continue;
+    auto cut = primitives::min_vertex_cut(local, pr.a->vertices,
+                                          pr.b->vertices, t);
+    if (cut.status == primitives::VertexCutResult::Status::kFound) {
+      for (VertexId v : cut.cut) z_mask[v] = 1;
+    }
+  }
+  std::vector<VertexId> z;
+  for (VertexId v = 0; v < n; ++v) {
+    if (z_mask[v]) z.push_back(v);
+  }
+  std::vector<VertexId> xs;
+  for (VertexId v = 0; v < n; ++v) {
+    if (in_x[v]) xs.push_back(v);
+  }
+  if (!z.empty() &&
+      is_balanced_separator(local, all_local, xs, z, params.balance)) {
+    return to_global_sorted(std::move(z));
+  }
+  return std::nullopt;
+}
+
+std::vector<VertexId> minimize_separator(const Graph& host,
+                                         std::span<const VertexId> part,
+                                         std::span<const VertexId> x_set,
+                                         std::vector<VertexId> separator,
+                                         double balance, int max_rounds,
+                                         primitives::Engine& engine) {
+  const int n = host.num_vertices();
+  std::vector<char> in_part(static_cast<std::size_t>(n), 0);
+  std::vector<char> in_x(static_cast<std::size_t>(n), 0);
+  std::vector<char> in_sep(static_cast<std::size_t>(n), 0);
+  for (VertexId v : part) in_part[v] = 1;
+  for (VertexId v : x_set) {
+    if (in_part[v]) in_x[v] = 1;
+  }
+  for (VertexId v : separator) in_sep[v] = 1;
+  std::int64_t mu_total = 0;
+  for (VertexId v : part) mu_total += in_x[v] ? 1 : 0;
+  const double cap = balance * static_cast<double>(mu_total);
+
+  const bool need_stats =
+      engine.mode() == primitives::EngineMode::kTreeRealized;
+  primitives::PartStats stats =
+      need_stats ? primitives::part_stats(host, part)
+                 : primitives::PartStats{1, 0};
+
+  for (int round = 0; round < max_rounds; ++round) {
+    // Components of part - S, with µ weights and per-vertex component ids.
+    std::vector<VertexId> rest;
+    for (VertexId v : part) {
+      if (!in_sep[v]) rest.push_back(v);
+    }
+    auto comps = graph::induced_components(host, rest);
+    // Union-find over components so that a sweep can remove many vertices
+    // while tracking merged component sizes exactly. Removed vertices join
+    // the merged component (slot `comps.size() + v` is unused; vertices are
+    // assigned to an existing representative on removal).
+    std::vector<int> dsu_parent(comps.size());
+    std::vector<std::int64_t> dsu_mu(comps.size(), 0);
+    for (std::size_t ci = 0; ci < comps.size(); ++ci) {
+      dsu_parent[ci] = static_cast<int>(ci);
+    }
+    std::function<int(int)> find = [&](int a) {
+      while (dsu_parent[a] != a) {
+        dsu_parent[a] = dsu_parent[dsu_parent[a]];
+        a = dsu_parent[a];
+      }
+      return a;
+    };
+    std::vector<int> comp_of(static_cast<std::size_t>(n), -1);
+    for (std::size_t ci = 0; ci < comps.size(); ++ci) {
+      for (VertexId v : comps[ci]) {
+        comp_of[v] = static_cast<int>(ci);
+        dsu_mu[ci] += in_x[v] ? 1 : 0;
+      }
+    }
+    engine.op(stats, "sep/minimize");
+    engine.bct(stats, static_cast<double>(comps.size()), "sep/minimize");
+
+    bool any_removed = false;
+    for (VertexId v : part) {
+      if (!in_sep[v]) continue;
+      // Distinct merged components adjacent to v.
+      std::vector<int> roots;
+      std::int64_t merged = in_x[v] ? 1 : 0;
+      for (VertexId w : host.neighbors(v)) {
+        if (!in_part[w] || comp_of[w] < 0) continue;
+        int r = find(comp_of[w]);
+        if (std::find(roots.begin(), roots.end(), r) == roots.end()) {
+          roots.push_back(r);
+          merged += dsu_mu[r];
+        }
+      }
+      if (static_cast<double>(merged) > cap) continue;
+      in_sep[v] = 0;
+      any_removed = true;
+      int target;
+      if (roots.empty()) {
+        // v becomes a fresh singleton component.
+        target = static_cast<int>(dsu_parent.size());
+        dsu_parent.push_back(target);
+        dsu_mu.push_back(0);
+      } else {
+        target = roots.front();
+        for (std::size_t i = 1; i < roots.size(); ++i) {
+          dsu_parent[roots[i]] = target;
+        }
+      }
+      dsu_mu[target] = merged;
+      comp_of[v] = target;
+    }
+    if (!any_removed) break;
+  }
+
+  std::vector<VertexId> out;
+  for (VertexId v : part) {
+    if (in_sep[v]) out.push_back(v);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+SeparatorResult find_balanced_separator(const Graph& host,
+                                        std::span<const VertexId> part,
+                                        std::span<const VertexId> x_set,
+                                        const SepParams& params, util::Rng& rng,
+                                        primitives::Engine& engine,
+                                        int t_initial) {
+  SeparatorResult result;
+  int t = std::max(1, t_initial);
+  const int n_part = static_cast<int>(part.size());
+  for (;;) {
+    engine.set_tw_hint(t);
+    const int trials = params.trials(n_part);
+    for (int trial = 0; trial < trials; ++trial) {
+      ++result.attempts;
+      auto sep = sep_attempt(host, part, x_set, t, params, rng, engine);
+      if (sep.has_value()) {
+        result.separator =
+            params.minimize_rounds > 0
+                ? minimize_separator(host, part, x_set, std::move(*sep),
+                                     params.balance, params.minimize_rounds,
+                                     engine)
+                : std::move(*sep);
+        result.t_used = t;
+        return result;
+      }
+    }
+    // Doubling; guaranteed to terminate: once base_cap(t) ≥ µ(G) the step-1
+    // base case fires.
+    LOWTW_CHECK_MSG(t <= 2 * n_part, "separator doubling ran away");
+    t *= 2;
+  }
+}
+
+}  // namespace lowtw::td

@@ -1,0 +1,173 @@
+#include "td/split.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace lowtw::td::internal {
+
+using graph::kNoVertex;
+using graph::VertexId;
+
+std::vector<TreePiece> split_piece(
+    const TreePiece& piece,
+    const std::vector<std::vector<VertexId>>& tree_adj,
+    const std::vector<char>& in_x, std::int64_t low, SplitWorkspace& ws) {
+  const auto& vs = piece.vertices;
+  for (VertexId v : vs) ws.in_piece[v] = 1;
+
+  // BFS order from the current root; parent pointers within the piece.
+  std::vector<VertexId> order;
+  order.reserve(vs.size());
+  auto bfs_from = [&](VertexId root) {
+    order.clear();
+    ws.parent[root] = root;
+    order.push_back(root);
+    for (std::size_t i = 0; i < order.size(); ++i) {
+      VertexId u = order[i];
+      for (VertexId w : tree_adj[u]) {
+        if (ws.in_piece[w] && ws.parent[w] == kNoVertex) {
+          ws.parent[w] = u;
+          order.push_back(w);
+        }
+      }
+    }
+    LOWTW_CHECK_MSG(order.size() == vs.size(), "piece not tree-connected");
+  };
+  auto clear_parents = [&] {
+    for (VertexId v : vs) ws.parent[v] = kNoVertex;
+  };
+  auto compute_sub_mu = [&] {
+    for (VertexId v : vs) ws.sub_mu[v] = in_x[v] ? 1 : 0;
+    for (std::size_t i = order.size(); i-- > 1;) {
+      ws.sub_mu[ws.parent[order[i]]] += ws.sub_mu[order[i]];
+    }
+  };
+
+  bfs_from(piece.root);
+  compute_sub_mu();
+  const std::int64_t total_mu = ws.sub_mu[piece.root];
+
+  // µ-centroid: minimize the heaviest component left by removing v; the
+  // components are v's child subtrees plus the "up" part.
+  VertexId centroid = piece.root;
+  std::int64_t best_max = total_mu + 1;
+  for (VertexId v : vs) {
+    std::int64_t up = total_mu - ws.sub_mu[v];
+    std::int64_t worst = up;
+    for (VertexId w : tree_adj[v]) {
+      if (ws.in_piece[w] && ws.parent[w] == v) {
+        worst = std::max(worst, ws.sub_mu[w]);
+      }
+    }
+    if (worst < best_max || (worst == best_max && v < centroid)) {
+      best_max = worst;
+      centroid = v;
+    }
+  }
+
+  // Re-root at the centroid.
+  clear_parents();
+  bfs_from(centroid);
+  compute_sub_mu();
+
+  std::vector<VertexId> children;
+  for (VertexId w : tree_adj[centroid]) {
+    if (ws.in_piece[w] && ws.parent[w] == centroid) children.push_back(w);
+  }
+  std::sort(children.begin(), children.end());
+
+  auto collect_subtree = [&](VertexId sub_root) {
+    std::vector<VertexId> out;
+    std::vector<VertexId> stack{sub_root};
+    while (!stack.empty()) {
+      VertexId u = stack.back();
+      stack.pop_back();
+      out.push_back(u);
+      for (VertexId w : tree_adj[u]) {
+        if (ws.in_piece[w] && ws.parent[w] == u) stack.push_back(w);
+      }
+    }
+    return out;
+  };
+
+  std::vector<TreePiece> pieces;
+  std::vector<VertexId> light_children;
+  for (VertexId ch : children) {
+    if (ws.sub_mu[ch] >= low) {
+      TreePiece p;
+      p.root = ch;
+      p.vertices = collect_subtree(ch);
+      p.mu = ws.sub_mu[ch];
+      pieces.push_back(std::move(p));
+    } else {
+      light_children.push_back(ch);
+    }
+  }
+
+  std::int64_t rest_mu = (in_x[centroid] ? 1 : 0);
+  for (VertexId ch : light_children) rest_mu += ws.sub_mu[ch];
+
+  if (rest_mu < low && !pieces.empty()) {
+    // Fig. 1(a): merge the light remainder (c + light child subtrees) into
+    // the first carved subtree; bounded by µ(T)/2 + low ≤ 5µ(T)/6.
+    TreePiece& target = pieces.front();
+    target.vertices.push_back(centroid);
+    target.mu += (in_x[centroid] ? 1 : 0);
+    for (VertexId ch : light_children) {
+      auto sub = collect_subtree(ch);
+      target.mu += ws.sub_mu[ch];
+      target.vertices.insert(target.vertices.end(), sub.begin(), sub.end());
+    }
+  } else if (pieces.empty() && rest_mu < low) {
+    // Degenerate (only reachable with off-analysis parameters): emit the
+    // piece unchanged; the caller routes unchanged pieces to T_i to
+    // guarantee progress.
+    pieces.push_back(piece);
+  } else {
+    // Fig. 1(b): group the light children greedily into chunks of
+    // µ ∈ [low, 2·low); every chunk, plus c as shared root, becomes a piece.
+    std::vector<std::vector<VertexId>> groups;
+    std::vector<std::int64_t> group_mu;
+    std::vector<VertexId> acc;
+    std::int64_t acc_mu = 0;
+    for (VertexId ch : light_children) {
+      auto sub = collect_subtree(ch);
+      acc.insert(acc.end(), sub.begin(), sub.end());
+      acc_mu += ws.sub_mu[ch];
+      if (acc_mu >= low) {
+        groups.push_back(std::move(acc));
+        group_mu.push_back(acc_mu);
+        acc.clear();
+        acc_mu = 0;
+      }
+    }
+    if (!acc.empty() || groups.empty()) {
+      if (!groups.empty()) {
+        // Merge the light tail into the last closed group (< low + 2·low).
+        groups.back().insert(groups.back().end(), acc.begin(), acc.end());
+        group_mu.back() += acc_mu;
+      } else {
+        groups.push_back(std::move(acc));
+        group_mu.push_back(acc_mu);
+      }
+    }
+    for (std::size_t gi = 0; gi < groups.size(); ++gi) {
+      TreePiece p;
+      p.root = centroid;
+      p.vertices = std::move(groups[gi]);
+      p.vertices.push_back(centroid);
+      p.mu = group_mu[gi] + (in_x[centroid] ? 1 : 0);
+      pieces.push_back(std::move(p));
+    }
+  }
+
+  // Reset scratch.
+  for (VertexId v : vs) {
+    ws.in_piece[v] = 0;
+    ws.parent[v] = kNoVertex;
+  }
+  return pieces;
+}
+
+}  // namespace lowtw::td::internal

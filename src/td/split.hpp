@@ -1,0 +1,47 @@
+// Internal: the Split procedure of Section 3.3 (Fig. 1), exposed for
+// property tests (experiment E0). Library users should call
+// find_balanced_separator / build_hierarchy instead.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace lowtw::td::internal {
+
+/// A (sub)tree piece during Split: vertex list plus its root. Pieces are
+/// vertex-disjoint except possibly for shared roots.
+struct TreePiece {
+  graph::VertexId root = graph::kNoVertex;
+  std::vector<graph::VertexId> vertices;  ///< includes root
+  std::int64_t mu = 0;                    ///< |vertices ∩ X|
+};
+
+/// Reusable scratch arrays (sized to the host vertex count) so that
+/// repeated splits cost O(piece), not O(n).
+class SplitWorkspace {
+ public:
+  explicit SplitWorkspace(int n)
+      : in_piece(static_cast<std::size_t>(n), 0),
+        parent(static_cast<std::size_t>(n), graph::kNoVertex),
+        sub_mu(static_cast<std::size_t>(n), 0) {}
+  std::vector<char> in_piece;
+  std::vector<graph::VertexId> parent;
+  std::vector<std::int64_t> sub_mu;
+};
+
+/// Splits one piece around its µ-centroid: child subtrees of µ ≥ low are
+/// carved off; the light remainder is merged into the first carved subtree
+/// (Fig. 1a) or the light children are grouped into chunks of
+/// µ ∈ [low, 3·low) sharing the centroid as root (Fig. 1b).
+///
+/// `tree_adj` is the adjacency of the current spanning tree (indexed by
+/// global vertex id); `in_x` flags the weight set X.
+std::vector<TreePiece> split_piece(
+    const TreePiece& piece,
+    const std::vector<std::vector<graph::VertexId>>& tree_adj,
+    const std::vector<char>& in_x, std::int64_t low, SplitWorkspace& ws);
+
+}  // namespace lowtw::td::internal

@@ -1,0 +1,142 @@
+#include "td/tree_decomposition.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace lowtw::td {
+
+using graph::Graph;
+using graph::VertexId;
+
+int TreeDecomposition::width() const {
+  int w = -1;
+  for (const Bag& b : bags) {
+    w = std::max(w, static_cast<int>(b.vertices.size()) - 1);
+  }
+  return w;
+}
+
+int TreeDecomposition::depth() const {
+  int d = 0;
+  for (const Bag& b : bags) d = std::max(d, b.depth);
+  return d;
+}
+
+std::vector<int> TreeDecomposition::canonical_bags(int num_vertices) const {
+  std::vector<int> canon(static_cast<std::size_t>(num_vertices), -1);
+  for (int x = 0; x < num_bags(); ++x) {
+    for (VertexId v : bags[x].vertices) {
+      if (canon[v] == -1 || bags[x].depth < bags[canon[v]].depth) canon[v] = x;
+    }
+  }
+  return canon;
+}
+
+std::optional<std::string> TreeDecomposition::validate(const Graph& g) const {
+  const int n = g.num_vertices();
+  auto fail = [](const auto&... parts) {
+    std::ostringstream os;
+    (os << ... << parts);
+    return std::optional<std::string>(os.str());
+  };
+
+  if (bags.empty() || root < 0 || root >= num_bags()) {
+    return fail("missing or invalid root");
+  }
+  // Structural: exactly one root, consistent parent/child links, depths.
+  for (int x = 0; x < num_bags(); ++x) {
+    const Bag& b = bags[x];
+    if (!std::is_sorted(b.vertices.begin(), b.vertices.end()) ||
+        std::adjacent_find(b.vertices.begin(), b.vertices.end()) !=
+            b.vertices.end()) {
+      return fail("bag ", x, " not sorted/unique");
+    }
+    for (VertexId v : b.vertices) {
+      if (v < 0 || v >= n) return fail("bag ", x, " has invalid vertex ", v);
+    }
+    if (x == root) {
+      if (b.parent != -1) return fail("root bag has a parent");
+      if (b.depth != 0) return fail("root depth != 0");
+    } else {
+      if (b.parent < 0 || b.parent >= num_bags()) {
+        return fail("bag ", x, " has invalid parent");
+      }
+      if (b.depth != bags[b.parent].depth + 1) {
+        return fail("bag ", x, " has inconsistent depth");
+      }
+      const auto& pc = bags[b.parent].children;
+      if (std::find(pc.begin(), pc.end(), x) == pc.end()) {
+        return fail("bag ", x, " missing from parent's children");
+      }
+    }
+  }
+  // Reachability from root (tree-ness).
+  {
+    std::vector<char> seen(static_cast<std::size_t>(num_bags()), 0);
+    std::vector<int> stack{root};
+    seen[root] = 1;
+    int count = 0;
+    while (!stack.empty()) {
+      int x = stack.back();
+      stack.pop_back();
+      ++count;
+      for (int c : bags[x].children) {
+        if (c < 0 || c >= num_bags() || bags[c].parent != x) {
+          return fail("bag ", x, " has bad child link");
+        }
+        if (seen[c]) return fail("bag ", c, " reached twice (cycle)");
+        seen[c] = 1;
+        stack.push_back(c);
+      }
+    }
+    if (count != num_bags()) return fail("decomposition tree disconnected");
+  }
+
+  // Condition (a): vertex coverage.
+  std::vector<char> covered(static_cast<std::size_t>(n), 0);
+  for (const Bag& b : bags) {
+    for (VertexId v : b.vertices) covered[v] = 1;
+  }
+  for (VertexId v = 0; v < n; ++v) {
+    if (!covered[v]) return fail("vertex ", v, " in no bag (condition a)");
+  }
+
+  // Condition (b): edge coverage.
+  for (auto [u, v] : g.edges()) {
+    bool ok = false;
+    for (const Bag& b : bags) {
+      if (std::binary_search(b.vertices.begin(), b.vertices.end(), u) &&
+          std::binary_search(b.vertices.begin(), b.vertices.end(), v)) {
+        ok = true;
+        break;
+      }
+    }
+    if (!ok) return fail("edge (", u, ",", v, ") uncovered (condition b)");
+  }
+
+  // Condition (c): bags containing each vertex form a connected subtree.
+  // Count, for each vertex, bags containing it and parent-links staying
+  // inside that set; connected iff exactly one bag lacks an in-set parent.
+  {
+    std::vector<int> bag_count(static_cast<std::size_t>(n), 0);
+    std::vector<int> root_count(static_cast<std::size_t>(n), 0);
+    for (int x = 0; x < num_bags(); ++x) {
+      for (VertexId v : bags[x].vertices) {
+        ++bag_count[v];
+        bool parent_has =
+            bags[x].parent != -1 &&
+            std::binary_search(bags[bags[x].parent].vertices.begin(),
+                               bags[bags[x].parent].vertices.end(), v);
+        if (!parent_has) ++root_count[v];
+      }
+    }
+    for (VertexId v = 0; v < n; ++v) {
+      if (bag_count[v] > 0 && root_count[v] != 1) {
+        return fail("vertex ", v, " bags not connected (condition c)");
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace lowtw::td

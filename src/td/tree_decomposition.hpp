@@ -1,0 +1,47 @@
+// Tree decompositions (Section 2.2).
+//
+// A tree decomposition Φ = (T, {B_x}) of an undirected graph G. The paper
+// identifies decomposition-tree vertices by strings over [0, n-1]; here they
+// are integer node ids with parent pointers — the prefix relation x ⊑ y of
+// the paper is the ancestor relation, and the canonical string c*(v) is
+// `canonical_bag(v)` (the unique shallowest bag containing v).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace lowtw::td {
+
+struct TreeDecomposition {
+  struct Bag {
+    std::vector<graph::VertexId> vertices;  ///< sorted
+    int parent = -1;                        ///< -1 for the root
+    std::vector<int> children;
+    int depth = 0;
+  };
+
+  std::vector<Bag> bags;
+  int root = -1;
+
+  int num_bags() const { return static_cast<int>(bags.size()); }
+
+  /// Max bag size minus one; -1 for an empty decomposition.
+  int width() const;
+
+  /// Max bag depth (root = 0).
+  int depth() const;
+
+  /// The shallowest bag containing each vertex (c*_Φ(v)); kNoVertex-like -1
+  /// for vertices in no bag (invalid decompositions only).
+  std::vector<int> canonical_bags(int num_vertices) const;
+
+  /// Checks conditions (a), (b), (c) of Section 2.2 against `g`, plus
+  /// structural sanity (parent/child consistency, sortedness).
+  /// Returns std::nullopt when valid, else a human-readable violation.
+  std::optional<std::string> validate(const graph::Graph& g) const;
+};
+
+}  // namespace lowtw::td

@@ -1,0 +1,42 @@
+// Internal invariant checking.
+//
+// LOWTW_CHECK is always on (release builds included): the algorithms in this
+// library are intricate enough that silent invariant violations would be far
+// more expensive than the branch. Failures throw (rather than abort) so that
+// tests can assert on them.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace lowtw::util {
+
+class CheckFailure : public std::logic_error {
+ public:
+  explicit CheckFailure(const std::string& what) : std::logic_error(what) {}
+};
+
+[[noreturn]] inline void check_fail(const char* expr, const char* file,
+                                    int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "LOWTW_CHECK failed: (" << expr << ") at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw CheckFailure(os.str());
+}
+
+}  // namespace lowtw::util
+
+#define LOWTW_CHECK(expr)                                              \
+  do {                                                                 \
+    if (!(expr)) ::lowtw::util::check_fail(#expr, __FILE__, __LINE__, ""); \
+  } while (0)
+
+#define LOWTW_CHECK_MSG(expr, msg)                                     \
+  do {                                                                 \
+    if (!(expr)) {                                                     \
+      std::ostringstream lowtw_os_;                                    \
+      lowtw_os_ << msg;                                                \
+      ::lowtw::util::check_fail(#expr, __FILE__, __LINE__, lowtw_os_.str()); \
+    }                                                                  \
+  } while (0)

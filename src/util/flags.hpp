@@ -1,0 +1,53 @@
+// Minimal command-line flag parsing for the examples and benches.
+// Syntax: --name=value or --name value; unknown flags are an error.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "util/check.hpp"
+
+namespace lowtw::util {
+
+class Flags {
+ public:
+  Flags(int argc, char** argv) {
+    for (int i = 1; i < argc; ++i) {
+      std::string arg = argv[i];
+      LOWTW_CHECK_MSG(arg.rfind("--", 0) == 0, "expected --flag, got " << arg);
+      arg = arg.substr(2);
+      auto eq = arg.find('=');
+      if (eq != std::string::npos) {
+        values_[arg.substr(0, eq)] = arg.substr(eq + 1);
+      } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+        values_[arg] = argv[++i];
+      } else {
+        values_[arg] = "true";
+      }
+    }
+  }
+
+  std::int64_t get_int(const std::string& name, std::int64_t def) const {
+    auto it = values_.find(name);
+    return it == values_.end() ? def : std::stoll(it->second);
+  }
+  double get_double(const std::string& name, double def) const {
+    auto it = values_.find(name);
+    return it == values_.end() ? def : std::stod(it->second);
+  }
+  std::string get_string(const std::string& name, const std::string& def) const {
+    auto it = values_.find(name);
+    return it == values_.end() ? def : it->second;
+  }
+  bool get_bool(const std::string& name, bool def) const {
+    auto it = values_.find(name);
+    if (it == values_.end()) return def;
+    return it->second == "true" || it->second == "1";
+  }
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+}  // namespace lowtw::util

@@ -1,0 +1,47 @@
+// Small integer/real math helpers shared across modules.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+
+namespace lowtw::util {
+
+/// ceil(a / b) for positive integers.
+constexpr std::int64_t ceil_div(std::int64_t a, std::int64_t b) {
+  return (a + b - 1) / b;
+}
+
+/// floor(log2(x)) for x >= 1.
+constexpr int floor_log2(std::uint64_t x) {
+  int r = 0;
+  while (x > 1) {
+    x >>= 1;
+    ++r;
+  }
+  return r;
+}
+
+/// ceil(log2(x)) for x >= 1.
+constexpr int ceil_log2(std::uint64_t x) {
+  return x <= 1 ? 0 : floor_log2(x - 1) + 1;
+}
+
+/// log2(max(n, 2)) as a double; the "log n" that appears in round bounds.
+/// Clamped below at 1 so that model charges never vanish on tiny graphs.
+inline double log2n(std::int64_t n) {
+  return std::max(1.0, std::log2(static_cast<double>(std::max<std::int64_t>(n, 2))));
+}
+
+/// Integer power with saturation at INT64_MAX / 4 (enough for round charges).
+constexpr std::int64_t ipow_sat(std::int64_t base, int exp) {
+  constexpr std::int64_t kCap = INT64_MAX / 4;
+  std::int64_t r = 1;
+  for (int i = 0; i < exp; ++i) {
+    if (r > kCap / std::max<std::int64_t>(base, 1)) return kCap;
+    r *= base;
+  }
+  return r;
+}
+
+}  // namespace lowtw::util

@@ -1,0 +1,118 @@
+#include "walks/cdl.hpp"
+
+#include <algorithm>
+#include <queue>
+
+#include "util/check.hpp"
+
+namespace lowtw::walks {
+
+using graph::EdgeId;
+using graph::kInfinity;
+using graph::kNoVertex;
+using graph::VertexId;
+using graph::Weight;
+
+CdlResult build_cdl(const graph::WeightedDigraph& g,
+                    const graph::Graph& skeleton,
+                    const td::Hierarchy& hierarchy,
+                    const StatefulConstraint& constraint,
+                    primitives::Engine& engine) {
+  CdlResult result;
+  result.product = build_product_graph(g, constraint);
+  td::Hierarchy lifted = lift_hierarchy(hierarchy, result.product.q);
+
+  // The product skeleton for part statistics must reflect the *unmasked*
+  // communication graph: every skeleton edge {u,v} supports all layer pairs
+  // reachable by simulation, and within a vertex the layers are joined by
+  // the layer-drop arcs. Build it directly from `skeleton` rather than from
+  // the (possibly masked) product arcs.
+  graph::Graph product_skeleton(skeleton.num_vertices() * result.product.q);
+  const int q = result.product.q;
+  for (VertexId v = 0; v < skeleton.num_vertices(); ++v) {
+    for (int i = 1; i < q; ++i) {
+      product_skeleton.add_edge(v * q + i, v * q + kBottomState);
+    }
+    for (VertexId w : skeleton.neighbors(v)) {
+      if (w > v) {
+        for (int i = 0; i < q; ++i) {
+          product_skeleton.add_edge(v * q + i, w * q + i);
+        }
+      }
+    }
+  }
+
+  // Theorem 3 simulation overhead: |Q| · p_max.
+  const double overhead = static_cast<double>(q) *
+                          std::max(1, g.max_multiplicity());
+  const double before = engine.ledger().total();
+  {
+    auto scope = engine.overhead(overhead);
+    auto dl = labeling::build_distance_labeling(result.product.gc,
+                                                product_skeleton, lifted,
+                                                engine);
+    result.labels = std::move(dl.labeling);
+    result.max_label_entries = dl.max_label_entries;
+  }
+  result.rounds = engine.ledger().total() - before;
+  return result;
+}
+
+std::optional<ConstrainedWalk> shortest_constrained_walk(
+    const graph::WeightedDigraph& g, const StatefulConstraint& constraint,
+    VertexId source, std::span<const char> target_mask, int state,
+    primitives::Engine& engine) {
+  LOWTW_CHECK(state != kBottomState);
+  ProductGraph p = build_product_graph(g, constraint);
+  const auto& gc = p.gc;
+  const VertexId src = p.vertex(source, kNablaState);
+
+  std::vector<Weight> dist(static_cast<std::size_t>(gc.num_vertices()),
+                           kInfinity);
+  std::vector<EdgeId> parent(static_cast<std::size_t>(gc.num_vertices()), -1);
+  using Entry = std::pair<Weight, VertexId>;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> pq;
+  dist[src] = 0;
+  pq.emplace(0, src);
+  VertexId best_target = kNoVertex;
+  while (!pq.empty()) {
+    auto [d, u] = pq.top();
+    pq.pop();
+    if (d != dist[u]) continue;
+    if (p.state_of(u) == state && target_mask[p.base_of(u)] != 0 &&
+        // a walk, not the empty prefix: the source in state ▽ does not count
+        !(u == src)) {
+      best_target = u;
+      break;
+    }
+    for (EdgeId e : gc.out_arcs(u)) {
+      const graph::Arc& a = gc.arc(e);
+      if (a.weight >= kInfinity) continue;
+      if (d + a.weight < dist[a.head]) {
+        dist[a.head] = d + a.weight;
+        parent[a.head] = e;
+        pq.emplace(d + a.weight, a.head);
+      }
+    }
+  }
+  if (best_target == kNoVertex) return std::nullopt;
+
+  ConstrainedWalk walk;
+  walk.length = dist[best_target];
+  walk.target = p.base_of(best_target);
+  for (VertexId v = best_target; v != src;) {
+    EdgeId e = parent[v];
+    LOWTW_CHECK(e != -1);
+    EdgeId base = p.base_arc_of[e];
+    LOWTW_CHECK_MSG(base != -1, "layer-drop arc on a constrained walk");
+    walk.arcs.push_back(base);
+    v = gc.arc(e).tail;
+  }
+  std::reverse(walk.arcs.begin(), walk.arcs.end());
+  // Corollary 1 charge: walk construction piggybacks on the CDL labels; the
+  // per-walk cost is the back-propagation along the walk.
+  engine.rounds(static_cast<double>(walk.arcs.size()) + 1.0, "walk/extract");
+  return walk;
+}
+
+}  // namespace lowtw::walks

@@ -1,0 +1,54 @@
+// Constrained distance labeling CDL(C) (Section 5.2, Theorem 3) and
+// shortest constrained walk construction (Corollary 1).
+//
+// CDL(C) is solved by running the (unconstrained) distance labeling of
+// Theorem 2 on the product graph G_C over the lifted decomposition; every
+// node u simulates its |Q| product copies, so each primitive's round charge
+// is scaled by the simulation overhead |Q| · p_max (Engine::OverheadScope).
+#pragma once
+
+#include <optional>
+
+#include "labeling/distance_labeling.hpp"
+#include "walks/product_graph.hpp"
+
+namespace lowtw::walks {
+
+struct CdlResult {
+  ProductGraph product;
+  labeling::DistanceLabeling labels;  ///< labels of product vertices
+  double rounds = 0;
+  std::size_t max_label_entries = 0;
+
+  /// sdec(q, sla(u), sla(v)): the C(q)-distance from u to v.
+  graph::Weight distance(graph::VertexId u, graph::VertexId v,
+                         int state) const {
+    return labels.distance(product.vertex(u, kNablaState),
+                           product.vertex(v, state));
+  }
+};
+
+/// Builds CDL(C) for g over a decomposition hierarchy of ⟦g⟧ (unmasked).
+/// `skeleton` is the communication graph (⟦g⟧ without masking).
+CdlResult build_cdl(const graph::WeightedDigraph& g,
+                    const graph::Graph& skeleton,
+                    const td::Hierarchy& hierarchy,
+                    const StatefulConstraint& constraint,
+                    primitives::Engine& engine);
+
+struct ConstrainedWalk {
+  std::vector<graph::EdgeId> arcs;  ///< arcs of g, in walk order
+  graph::Weight length = graph::kInfinity;
+  graph::VertexId target = graph::kNoVertex;
+};
+
+/// Shortest walk in W_{G,C(q)}(s, ·) to any target vertex t with
+/// target_mask[t] != 0 (Corollary 1). Charged as one Dijkstra-equivalent
+/// pass over G_C plus path back-propagation; the caller typically charges
+/// the dominating CDL construction separately.
+std::optional<ConstrainedWalk> shortest_constrained_walk(
+    const graph::WeightedDigraph& g, const StatefulConstraint& constraint,
+    graph::VertexId source, std::span<const char> target_mask, int state,
+    primitives::Engine& engine);
+
+}  // namespace lowtw::walks

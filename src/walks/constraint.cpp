@@ -1,0 +1,21 @@
+#include "walks/constraint.hpp"
+
+#include "util/check.hpp"
+
+namespace lowtw::walks {
+
+int StatefulConstraint::walk_state(const graph::WeightedDigraph& g,
+                                   std::span<const graph::EdgeId> walk) const {
+  int state = kNablaState;
+  graph::VertexId at = graph::kNoVertex;
+  for (graph::EdgeId e : walk) {
+    const graph::Arc& a = g.arc(e);
+    LOWTW_CHECK_MSG(at == graph::kNoVertex || at == a.tail,
+                    "not a walk: arc tail mismatch");
+    at = a.head;
+    state = transition(a, state);
+  }
+  return state;
+}
+
+}  // namespace lowtw::walks

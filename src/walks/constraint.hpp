@@ -1,0 +1,92 @@
+// Stateful walk constraints (Section 5.1, Definition 2).
+//
+// A stateful walk constraint C equips every walk with a state from a finite
+// domain Q containing the reject state ⊥ and the initial state ▽; the state
+// of w∘e depends only on the state of w and the edge e (transition δ_e).
+// Walks with state ⊥ violate the constraint; ⊥ is absorbing.
+//
+// State encoding used throughout: 0 = ⊥, 1 = ▽, 2.. = constraint-specific.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "graph/digraph.hpp"
+
+namespace lowtw::walks {
+
+inline constexpr int kBottomState = 0;  ///< ⊥ (reject, absorbing)
+inline constexpr int kNablaState = 1;   ///< ▽ (empty walk)
+
+class StatefulConstraint {
+ public:
+  virtual ~StatefulConstraint() = default;
+
+  /// |Q|, including ⊥ and ▽.
+  virtual int num_states() const = 0;
+
+  /// δ_e(q). Implementations must satisfy δ_e(⊥) = ⊥ (condition 3 of
+  /// Definition 2); the base class enforces it via transition().
+  virtual int transition_impl(const graph::Arc& arc, int state) const = 0;
+
+  int transition(const graph::Arc& arc, int state) const {
+    if (state == kBottomState) return kBottomState;
+    int next = transition_impl(arc, state);
+    return next;
+  }
+
+  virtual std::string name() const = 0;
+
+  /// Evaluates M_C(w) for an explicit walk (reference semantics for tests):
+  /// runs the transitions from ▽; returns the final state.
+  int walk_state(const graph::WeightedDigraph& g,
+                 std::span<const graph::EdgeId> walk) const;
+};
+
+/// c-colored walks (Example 1): no two consecutive edges share a color.
+/// Edge colors are arc labels in [0, c). States: ⊥, ▽, and "last color was
+/// k" = 2+k.
+class ColoredWalkConstraint final : public StatefulConstraint {
+ public:
+  explicit ColoredWalkConstraint(int num_colors) : c_(num_colors) {}
+
+  int num_states() const override { return c_ + 2; }
+  int transition_impl(const graph::Arc& arc, int state) const override {
+    int color = arc.label;
+    if (color < 0 || color >= c_) return kBottomState;
+    if (state == kNablaState) return 2 + color;
+    return (state - 2 == color) ? kBottomState : 2 + color;
+  }
+  std::string name() const override {
+    return "colored(" + std::to_string(c_) + ")";
+  }
+  /// State id of "last edge had color k".
+  int color_state(int k) const { return 2 + k; }
+
+ private:
+  int c_;
+};
+
+/// count-c walks (Example 2): at most c edges with label one. States: ⊥, ▽,
+/// and "count = k" = 2+k for k in [0, c].
+class CountWalkConstraint final : public StatefulConstraint {
+ public:
+  explicit CountWalkConstraint(int cap) : c_(cap) {}
+
+  int num_states() const override { return c_ + 3; }
+  int transition_impl(const graph::Arc& arc, int state) const override {
+    int f = arc.label != 0 ? 1 : 0;
+    int count = (state == kNablaState) ? f : (state - 2) + f;
+    return count <= c_ ? 2 + count : kBottomState;
+  }
+  std::string name() const override {
+    return "count(" + std::to_string(c_) + ")";
+  }
+  /// State id of "exactly k label-one edges seen".
+  int count_state(int k) const { return 2 + k; }
+
+ private:
+  int c_;
+};
+
+}  // namespace lowtw::walks

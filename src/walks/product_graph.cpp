@@ -1,0 +1,74 @@
+#include "walks/product_graph.hpp"
+
+#include "util/check.hpp"
+
+namespace lowtw::walks {
+
+using graph::Arc;
+using graph::EdgeId;
+using graph::kInfinity;
+using graph::VertexId;
+
+ProductGraph build_product_graph(const graph::WeightedDigraph& g,
+                                 const StatefulConstraint& constraint) {
+  ProductGraph p;
+  p.q = constraint.num_states();
+  LOWTW_CHECK(p.q >= 2);
+  p.gc = graph::WeightedDigraph(g.num_vertices() * p.q);
+
+  // Condition (1): transition arcs.
+  for (EdgeId e = 0; e < g.num_arcs(); ++e) {
+    const Arc& a = g.arc(e);
+    if (a.weight >= kInfinity) continue;
+    for (int i = 0; i < p.q; ++i) {
+      if (i == kBottomState) {
+        // δ_e(⊥) = ⊥.
+        p.gc.add_arc(p.vertex(a.tail, kBottomState),
+                     p.vertex(a.head, kBottomState), a.weight, a.label);
+        p.base_arc_of.push_back(e);
+        continue;
+      }
+      int j = constraint.transition(a, i);
+      p.gc.add_arc(p.vertex(a.tail, i), p.vertex(a.head, j), a.weight,
+                   a.label);
+      p.base_arc_of.push_back(e);
+    }
+  }
+  // Condition (2): layer-drop arcs (u,i) → (u,⊥), i ≠ ⊥.
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    for (int i = 1; i < p.q; ++i) {
+      p.gc.add_arc(p.vertex(v, i), p.vertex(v, kBottomState), 0, 0);
+      p.base_arc_of.push_back(-1);
+    }
+  }
+  return p;
+}
+
+td::Hierarchy lift_hierarchy(const td::Hierarchy& base, int q) {
+  td::Hierarchy lifted;
+  lifted.root = base.root;
+  lifted.nodes.resize(base.nodes.size());
+  auto lift_set = [q](const std::vector<VertexId>& vs) {
+    std::vector<VertexId> out;
+    out.reserve(vs.size() * static_cast<std::size_t>(q));
+    for (VertexId v : vs) {
+      for (int i = 0; i < q; ++i) out.push_back(v * q + i);
+    }
+    return out;  // sorted: base sorted and states are consecutive
+  };
+  for (std::size_t x = 0; x < base.nodes.size(); ++x) {
+    const td::HierarchyNode& b = base.nodes[x];
+    td::HierarchyNode& l = lifted.nodes[x];
+    l.parent = b.parent;
+    l.children = b.children;
+    l.depth = b.depth;
+    l.leaf = b.leaf;
+    l.comp = lift_set(b.comp);
+    l.boundary = lift_set(b.boundary);
+    l.separator = lift_set(b.separator);
+    l.bag = lift_set(b.bag);
+  }
+  return lifted;
+}
+
+}  // namespace lowtw::walks

@@ -1,0 +1,42 @@
+// The auxiliary product graph G_C (Section 5.2).
+//
+// V(G_C) = V(G) × Q; an arc ((u,i) → (v,j)) exists iff some arc e = (u,v)
+// of G has δ_e(i) = j (weight c(e)), or u = v, i ≠ ⊥, j = ⊥ (weight 0 —
+// the layer-drop arcs that bound diam(⟦G_C⟧) by O(D)).
+//
+// Lemma 5: walks of weight x from s to t with state q correspond exactly to
+// walks of weight x from (s,▽) to (t,q) in G_C.
+#pragma once
+
+#include "graph/digraph.hpp"
+#include "td/builder.hpp"
+#include "walks/constraint.hpp"
+
+namespace lowtw::walks {
+
+struct ProductGraph {
+  graph::WeightedDigraph gc;
+  int q = 0;  ///< |Q|
+  /// base_arc_of[product arc id] = originating arc of G, or -1 for the
+  /// layer-drop arcs of condition (2).
+  std::vector<graph::EdgeId> base_arc_of;
+
+  graph::VertexId vertex(graph::VertexId base, int state) const {
+    return base * q + state;
+  }
+  graph::VertexId base_of(graph::VertexId pv) const { return pv / q; }
+  int state_of(graph::VertexId pv) const { return pv % q; }
+};
+
+/// Builds G_C. Arcs of g with weight ≥ kInfinity are treated as absent
+/// (mask support, see distance_labeling.hpp).
+ProductGraph build_product_graph(const graph::WeightedDigraph& g,
+                                 const StatefulConstraint& constraint);
+
+/// Lifts a decomposition hierarchy of ⟦G⟧ to one of ⟦G_C⟧ by replacing every
+/// vertex v with U_Q(v) = {(v,0), ..., (v,|Q|-1)} (Section 5.2: the lifted
+/// decomposition is a valid tree decomposition of G_C with bags scaled by
+/// |Q|).
+td::Hierarchy lift_hierarchy(const td::Hierarchy& base, int q);
+
+}  // namespace lowtw::walks

@@ -1,0 +1,197 @@
+#include <gtest/gtest.h>
+
+#include "graph/algorithms.hpp"
+#include "graph/generators.hpp"
+#include "td/builder.hpp"
+#include "test_helpers.hpp"
+#include "walks/cdl.hpp"
+
+namespace lowtw::walks {
+namespace {
+
+using graph::EdgeId;
+using graph::kInfinity;
+using graph::VertexId;
+using graph::Weight;
+using graph::WeightedDigraph;
+
+struct CdlTestContext {
+  WeightedDigraph g;
+  graph::Graph skel;
+  td::TdBuildResult td;
+};
+
+CdlTestContext make_context(const test::FamilySpec& spec, int num_colors,
+                            test::EngineBundle& bundle, util::Rng& rng) {
+  graph::Graph ug = test::make_family(spec);
+  auto edges = ug.edges();
+  std::vector<Weight> w(edges.size());
+  std::vector<std::int32_t> lab(edges.size());
+  for (std::size_t i = 0; i < edges.size(); ++i) {
+    w[i] = rng.next_in(1, 9);
+    lab[i] = static_cast<std::int32_t>(rng.next_below(num_colors));
+  }
+  CdlTestContext ctx;
+  ctx.g = WeightedDigraph::symmetric_from(ug, w, lab);
+  ctx.skel = ctx.g.skeleton();
+  ctx.td = td::build_hierarchy(ctx.skel, td::TdParams{}, rng, bundle.engine);
+  return ctx;
+}
+
+class CdlSweep : public ::testing::TestWithParam<test::FamilySpec> {};
+
+TEST_P(CdlSweep, DecodedDistancesMatchProductDijkstra) {
+  auto spec = GetParam();
+  util::Rng rng(spec.seed + 17);
+  graph::Graph ug = test::make_family(spec);
+  test::EngineBundle bundle(ug);
+  auto ctx_rng = rng;
+  CdlTestContext ctx = make_context(spec, 2, bundle, ctx_rng);
+
+  ColoredWalkConstraint cons(2);
+  auto cdl = build_cdl(ctx.g, ctx.skel, ctx.td.hierarchy, cons, bundle.engine);
+  ProductGraph p = build_product_graph(ctx.g, cons);
+  for (int rep = 0; rep < 10; ++rep) {
+    auto s = static_cast<VertexId>(rng.next_below(ctx.g.num_vertices()));
+    auto truth = graph::dijkstra(p.gc, p.vertex(s, kNablaState));
+    for (VertexId v = 0; v < ctx.g.num_vertices(); ++v) {
+      for (int color = 0; color < 2; ++color) {
+        int qs = cons.color_state(color);
+        EXPECT_EQ(cdl.distance(s, v, qs), truth.dist[p.vertex(v, qs)])
+            << "s=" << s << " v=" << v << " color=" << color;
+      }
+    }
+  }
+  EXPECT_GT(cdl.rounds, 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Families, CdlSweep,
+    ::testing::Values(test::FamilySpec{"ktree", 50, 2, 1},
+                      test::FamilySpec{"cycle", 40, 2, 2},
+                      test::FamilySpec{"grid", 40, 4, 3},
+                      test::FamilySpec{"series_parallel", 45, 2, 4},
+                      test::FamilySpec{"partial_ktree", 50, 3, 5}),
+    [](const auto& info) { return info.param.name(); });
+
+TEST(Cdl, SimulationOverheadScalesCharges) {
+  // Identical graph; larger |Q| must charge more rounds per Theorem 3.
+  test::FamilySpec spec{"ktree", 40, 2, 9};
+  graph::Graph ug = test::make_family(spec);
+  util::Rng rng(3);
+
+  test::EngineBundle b2(ug);
+  auto r2 = rng;
+  CdlTestContext ctx2 = make_context(spec, 2, b2, r2);
+  ColoredWalkConstraint c2(2);
+  auto cdl2 = build_cdl(ctx2.g, ctx2.skel, ctx2.td.hierarchy, c2, b2.engine);
+
+  test::EngineBundle b4(ug);
+  auto r4 = rng;
+  CdlTestContext ctx4 = make_context(spec, 4, b4, r4);
+  ColoredWalkConstraint c4(4);
+  auto cdl4 = build_cdl(ctx4.g, ctx4.skel, ctx4.td.hierarchy, c4, b4.engine);
+
+  EXPECT_GT(cdl4.rounds, cdl2.rounds);
+}
+
+TEST(ShortestConstrainedWalk, FindsLegalWalkWithMatchingLength) {
+  util::Rng rng(11);
+  graph::Graph ug = graph::gen::ktree(40, 2, rng);
+  auto edges = ug.edges();
+  std::vector<Weight> w(edges.size(), 1);
+  std::vector<std::int32_t> lab(edges.size());
+  for (auto& l : lab) l = static_cast<std::int32_t>(rng.next_below(2));
+  auto g = WeightedDigraph::symmetric_from(ug, w, lab);
+  ColoredWalkConstraint cons(2);
+  test::EngineBundle bundle(ug);
+
+  std::vector<char> target(static_cast<std::size_t>(g.num_vertices()), 0);
+  target[17] = 1;
+  target[23] = 1;
+  auto walk = shortest_constrained_walk(g, cons, 0, target,
+                                        cons.color_state(0), bundle.engine);
+  ASSERT_TRUE(walk.has_value());
+  EXPECT_TRUE(walk->target == 17 || walk->target == 23);
+  // The walk is a real walk in g, satisfies the constraint, ends in the
+  // queried state, and its weight equals the reported length.
+  EXPECT_EQ(cons.walk_state(g, walk->arcs), cons.color_state(0));
+  Weight total = 0;
+  VertexId at = 0;
+  for (EdgeId e : walk->arcs) {
+    EXPECT_EQ(g.arc(e).tail, at);
+    at = g.arc(e).head;
+    total += g.arc(e).weight;
+  }
+  EXPECT_EQ(at, walk->target);
+  EXPECT_EQ(total, walk->length);
+  // Optimality against the product-graph Dijkstra.
+  ProductGraph p = build_product_graph(g, cons);
+  auto truth = graph::dijkstra(p.gc, p.vertex(0, kNablaState));
+  Weight best = std::min(truth.dist[p.vertex(17, cons.color_state(0))],
+                         truth.dist[p.vertex(23, cons.color_state(0))]);
+  EXPECT_EQ(walk->length, best);
+}
+
+TEST(ShortestConstrainedWalk, NoTargetReturnsNullopt) {
+  WeightedDigraph g(3);
+  g.add_arc(0, 1, 1, 0);
+  g.add_arc(1, 0, 1, 0);
+  g.add_arc(1, 2, kInfinity, 0);  // masked: vertex 2 unreachable
+  g.add_arc(2, 1, kInfinity, 0);
+  ColoredWalkConstraint cons(2);
+  test::EngineBundle bundle(g.skeleton());
+  std::vector<char> target(3, 0);
+  target[2] = 1;
+  auto walk = shortest_constrained_walk(g, cons, 0, target,
+                                        cons.color_state(0), bundle.engine);
+  EXPECT_FALSE(walk.has_value());
+}
+
+TEST(ShortestConstrainedWalk, SourceAtStateNablaIsNotAWalk) {
+  // A query whose target set includes the source must not return the empty
+  // walk: the source only counts once it is *re-entered* in the right
+  // state.
+  WeightedDigraph g(2);
+  g.add_arc(0, 1, 3, 0);
+  g.add_arc(1, 0, 4, 1);
+  ColoredWalkConstraint cons(2);
+  test::EngineBundle bundle(g.skeleton());
+  std::vector<char> target(2, 0);
+  target[0] = 1;
+  auto walk = shortest_constrained_walk(g, cons, 0, target,
+                                        cons.color_state(1), bundle.engine);
+  ASSERT_TRUE(walk.has_value());
+  EXPECT_EQ(walk->length, 7);  // 0 ->(0) 1 ->(1) 0
+  EXPECT_EQ(walk->arcs.size(), 2u);
+}
+
+TEST(Cdl, CountConstraintExactCountQueries) {
+  // Exact count-k walks via CDL: cross-check a handmade instance.
+  // Square 0-1-2-3 with edge (0,1) labeled one.
+  graph::Graph ug(4);
+  ug.add_edge(0, 1);
+  ug.add_edge(1, 2);
+  ug.add_edge(2, 3);
+  ug.add_edge(0, 3);
+  std::vector<Weight> w{1, 1, 1, 1};
+  std::vector<std::int32_t> lab{1, 0, 0, 0};
+  auto g = WeightedDigraph::symmetric_from(ug, w, lab);
+  auto skel = g.skeleton();
+  test::EngineBundle bundle(skel);
+  util::Rng rng(1);
+  auto td = td::build_hierarchy(skel, td::TdParams{}, rng, bundle.engine);
+  CountWalkConstraint cons(1);
+  auto cdl = build_cdl(g, skel, td.hierarchy, cons, bundle.engine);
+  // 0 -> 2 with count exactly 0: 0-3-2, length 2.
+  EXPECT_EQ(cdl.distance(0, 2, cons.count_state(0)), 2);
+  // 0 -> 2 with count exactly 1: 0-1-2 via the labeled edge, length 2.
+  EXPECT_EQ(cdl.distance(0, 2, cons.count_state(1)), 2);
+  // 0 -> 0 with count exactly 1: the 4-cycle, length 4 (Lemma 6 witness).
+  EXPECT_EQ(cdl.distance(0, 0, cons.count_state(1)), 4);
+  // 3 -> 3 exact count 0 closed walk: fold over an unlabeled edge: 3-2-3.
+  EXPECT_EQ(cdl.distance(3, 3, cons.count_state(0)), 2);
+}
+
+}  // namespace
+}  // namespace lowtw::walks

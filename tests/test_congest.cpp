@@ -1,0 +1,186 @@
+#include <gtest/gtest.h>
+
+#include "congest/programs.hpp"
+#include "congest/simulator.hpp"
+#include "graph/algorithms.hpp"
+#include "graph/generators.hpp"
+#include "test_helpers.hpp"
+#include "util/check.hpp"
+
+namespace lowtw::congest {
+namespace {
+
+using graph::Graph;
+using graph::VertexId;
+
+// A node program that sends an oversized message (bandwidth cheat).
+class OversizeProgram : public NodeProgram {
+ public:
+  void on_start(Context& ctx) override {
+    if (ctx.self() == 0 && !ctx.neighbors().empty()) {
+      Message m{0, {}};
+      m.words.assign(16, 7);
+      ctx.send(ctx.neighbors().front(), std::move(m));
+    }
+    ctx.halt();
+  }
+  void on_round(Context&, std::span<const Envelope>) override {}
+};
+
+TEST(Simulator, EnforcesBandwidth) {
+  Graph g = graph::gen::path(3);
+  Simulator sim(g, SimOptions{});
+  EXPECT_THROW(
+      sim.run([](VertexId) { return std::make_unique<OversizeProgram>(); }),
+      util::CheckFailure);
+}
+
+// A program that sends twice to the same neighbor in one round.
+class DoubleSendProgram : public NodeProgram {
+ public:
+  void on_start(Context& ctx) override {
+    if (ctx.self() == 0) {
+      ctx.send(1, Message{0, {1}});
+      ctx.send(1, Message{0, {2}});
+    }
+    ctx.halt();
+  }
+  void on_round(Context&, std::span<const Envelope>) override {}
+};
+
+TEST(Simulator, RejectsDoubleSendPerEdgePerRound) {
+  Graph g = graph::gen::path(2);
+  Simulator sim(g, SimOptions{});
+  EXPECT_THROW(
+      sim.run([](VertexId) { return std::make_unique<DoubleSendProgram>(); }),
+      util::CheckFailure);
+}
+
+// A program that sends to a non-neighbor.
+class BadDestProgram : public NodeProgram {
+ public:
+  void on_start(Context& ctx) override {
+    if (ctx.self() == 0) ctx.send(2, Message{0, {}});
+    ctx.halt();
+  }
+  void on_round(Context&, std::span<const Envelope>) override {}
+};
+
+TEST(Simulator, RejectsNonNeighborSend) {
+  Graph g = graph::gen::path(3);  // 0-1-2: 0 and 2 not adjacent
+  Simulator sim(g, SimOptions{});
+  EXPECT_THROW(
+      sim.run([](VertexId) { return std::make_unique<BadDestProgram>(); }),
+      util::CheckFailure);
+}
+
+TEST(DistributedBfs, RoundsEqualEccentricity) {
+  for (auto [family, n, k] : {std::tuple<const char*, int, int>{"path", 17, 1},
+                              {"cycle", 16, 2},
+                              {"grid", 24, 4}}) {
+    Graph g = test::make_family({family, n, k, 1});
+    auto out = run_distributed_bfs(g, 0);
+    auto truth = graph::bfs(g, 0);
+    for (VertexId v = 0; v < g.num_vertices(); ++v) {
+      EXPECT_EQ(out.dist[v], truth.dist[v]) << family << " v=" << v;
+    }
+    // Flood reaches distance-d nodes in round d; one extra quiescent round
+    // may be reported depending on leaf sends.
+    EXPECT_GE(out.sim.rounds, truth.eccentricity);
+    EXPECT_LE(out.sim.rounds, truth.eccentricity + 1);
+  }
+}
+
+TEST(DistributedBfs, ParentsFormTree) {
+  Graph g = test::make_family({"ktree", 40, 3, 5});
+  auto out = run_distributed_bfs(g, 7);
+  EXPECT_EQ(out.parent[7], graph::kNoVertex);
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    if (v == 7) continue;
+    ASSERT_NE(out.parent[v], graph::kNoVertex);
+    EXPECT_TRUE(g.has_edge(v, out.parent[v]));
+    EXPECT_EQ(out.dist[v], out.dist[out.parent[v]] + 1);
+  }
+}
+
+TEST(DistributedBellmanFord, MatchesCentralizedAndHopBound) {
+  util::Rng rng(21);
+  Graph ug = graph::gen::ktree(50, 2, rng);
+  auto d = graph::gen::random_orientation(ug, 0.5, 1, 30, rng);
+  auto out = run_distributed_bellman_ford(d, 0);
+  auto truth = graph::bellman_ford(d, 0);
+  for (VertexId v = 0; v < d.num_vertices(); ++v) {
+    EXPECT_EQ(out.dist[v], truth.dist[v]) << "v=" << v;
+  }
+  EXPECT_GE(out.sim.rounds, truth.max_hops);
+  EXPECT_LE(out.sim.rounds, truth.max_hops + 1);
+}
+
+TEST(DistributedBellmanFord, LinearRoundsOnApexedPath) {
+  // The E3 hard instance: low diameter but Θ(n)-hop shortest paths.
+  const int n = 60;
+  Graph g = graph::gen::apexed_path(n, 1, 6);
+  auto d = graph::gen::apexed_path_weights(g, n, 10000);
+  auto out = run_distributed_bellman_ford(d, 0);
+  EXPECT_EQ(out.dist[n - 1], n - 1);
+  EXPECT_GE(out.sim.rounds, n - 1);  // Θ(n) rounds despite D = O(1)
+  EXPECT_LE(graph::exact_diameter(g), 16);
+}
+
+TEST(Flood, RoundsEqualEccAndValueDelivered) {
+  Graph g = graph::gen::binary_tree(31);
+  auto out = run_flood(g, 0, 1234);
+  auto truth = graph::bfs(g, 0);
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    EXPECT_EQ(out.value[v], 1234);
+  }
+  EXPECT_GE(out.sim.rounds, truth.eccentricity);
+  EXPECT_LE(out.sim.rounds, truth.eccentricity + 1);
+}
+
+TEST(Convergecast, SumsUpTree) {
+  Graph g = graph::gen::binary_tree(15);
+  auto parent = graph::bfs(g, 0).parent;
+  parent[0] = 0;
+  std::vector<std::int64_t> inputs(15);
+  std::int64_t want = 0;
+  for (int i = 0; i < 15; ++i) {
+    inputs[i] = i * i;
+    want += i * i;
+  }
+  auto out = run_tree_convergecast(g, parent, 0, inputs);
+  EXPECT_EQ(out.sum, want);
+  // Height of the complete binary tree on 15 nodes is 3.
+  EXPECT_LE(out.sim.rounds, 3 + 2);
+}
+
+TEST(Convergecast, RejectsNonTreeParent) {
+  Graph g = graph::gen::path(4);
+  std::vector<VertexId> parent{0, 0, 0, 2};  // 2's parent 0 is not adjacent
+  std::vector<std::int64_t> inputs(4, 1);
+  EXPECT_THROW(run_tree_convergecast(g, parent, 0, inputs),
+               util::CheckFailure);
+}
+
+TEST(Simulator, MaxRoundsGuards) {
+  // A program that ping-pongs forever.
+  class PingPong : public NodeProgram {
+   public:
+    void on_start(Context& ctx) override {
+      if (ctx.self() == 0) ctx.send(1, Message{0, {}});
+    }
+    void on_round(Context& ctx, std::span<const Envelope> inbox) override {
+      if (!inbox.empty()) ctx.send(inbox.front().from, Message{0, {}});
+    }
+  };
+  Graph g = graph::gen::path(2);
+  SimOptions opt;
+  opt.max_rounds = 50;
+  Simulator sim(g, opt);
+  EXPECT_THROW(
+      sim.run([](VertexId) { return std::make_unique<PingPong>(); }),
+      util::CheckFailure);
+}
+
+}  // namespace
+}  // namespace lowtw::congest

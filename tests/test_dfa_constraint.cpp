@@ -1,0 +1,171 @@
+#include <gtest/gtest.h>
+
+#include "graph/algorithms.hpp"
+#include "graph/generators.hpp"
+#include "td/builder.hpp"
+#include "test_helpers.hpp"
+#include "walks/cdl.hpp"
+#include "walks/dfa_constraint.hpp"
+
+namespace lowtw::walks {
+namespace {
+
+using graph::kInfinity;
+using graph::VertexId;
+using graph::Weight;
+using graph::WeightedDigraph;
+
+TEST(ParityConstraint, Transitions) {
+  ParityWalkConstraint c;
+  graph::Arc one{0, 1, 1, 1};
+  graph::Arc zero{1, 2, 1, 0};
+  EXPECT_EQ(c.transition(one, kNablaState), c.parity_state(1));
+  EXPECT_EQ(c.transition(zero, c.parity_state(1)), c.parity_state(1));
+  EXPECT_EQ(c.transition(one, c.parity_state(1)), c.parity_state(0));
+  EXPECT_EQ(c.transition(one, kBottomState), kBottomState);
+}
+
+TEST(ParityConstraint, ShortestOddClosedWalkIsOddCycle) {
+  // Unweighted odd cycle with all labels 1: shortest odd closed walk from
+  // any vertex is the full cycle.
+  graph::Graph ug = graph::gen::cycle(7);
+  auto edges = ug.edges();
+  std::vector<Weight> w(edges.size(), 1);
+  std::vector<std::int32_t> lab(edges.size(), 1);
+  auto g = WeightedDigraph::symmetric_from(ug, w, lab);
+  ParityWalkConstraint c;
+  ProductGraph p = build_product_graph(g, c);
+  for (VertexId v = 0; v < 7; ++v) {
+    Weight odd = graph::dijkstra(p.gc, p.vertex(v, kNablaState))
+                     .dist[p.vertex(v, c.parity_state(1))];
+    EXPECT_EQ(odd, 7);
+    Weight even = graph::dijkstra(p.gc, p.vertex(v, kNablaState))
+                      .dist[p.vertex(v, c.parity_state(0))];
+    EXPECT_EQ(even, 2);  // out and back on one edge
+  }
+}
+
+TEST(ParityConstraint, BipartiteHasNoOddClosedWalk) {
+  graph::Graph ug = graph::gen::grid(4, 3);
+  auto edges = ug.edges();
+  std::vector<Weight> w(edges.size(), 1);
+  std::vector<std::int32_t> lab(edges.size(), 1);
+  auto g = WeightedDigraph::symmetric_from(ug, w, lab);
+  ParityWalkConstraint c;
+  ProductGraph p = build_product_graph(g, c);
+  for (VertexId v = 0; v < g.num_vertices(); v += 5) {
+    Weight odd = graph::dijkstra(p.gc, p.vertex(v, kNablaState))
+                     .dist[p.vertex(v, c.parity_state(1))];
+    EXPECT_EQ(odd, kInfinity);  // bipartite: no odd closed walk
+  }
+}
+
+TEST(TableConstraint, EncodesColoredWalks) {
+  // The 2-colored constraint as an explicit table; must agree with the
+  // built-in ColoredWalkConstraint on every transition.
+  // User states: 0 = last color 0, 1 = last color 1.
+  TableConstraint table(
+      2, /*initial=*/{0, 1},
+      /*next=*/{{TableConstraint::kReject, 1}, {0, TableConstraint::kReject}},
+      "colored2_table");
+  ColoredWalkConstraint builtin(2);
+  EXPECT_EQ(table.num_states(), builtin.num_states());
+  for (int label = 0; label < 2; ++label) {
+    graph::Arc a{0, 1, 1, label};
+    EXPECT_EQ(table.transition(a, kNablaState),
+              builtin.transition(a, kNablaState));
+    for (int color = 0; color < 2; ++color) {
+      EXPECT_EQ(table.transition(a, table.user_state(color)),
+                builtin.transition(a, builtin.color_state(color)))
+          << "label=" << label << " state=" << color;
+    }
+  }
+}
+
+TEST(TableConstraint, RejectsOutOfAlphabetLabels) {
+  TableConstraint table(1, {0}, {{0}}, "unary");
+  graph::Arc bad{0, 1, 1, 5};
+  EXPECT_EQ(table.transition(bad, kNablaState), kBottomState);
+}
+
+TEST(TableConstraint, CdlWithCustomDfa) {
+  // "At most one 1-label, and the walk must END on a 1-label" — a DFA not
+  // expressible by the two built-in examples. States: 0 = no 1 seen,
+  // 1 = just crossed the 1.  After the 1, any 0-edge rejects.
+  TableConstraint cons(
+      2,
+      /*initial=*/{0, 1},
+      /*next=*/{{0, 1}, {TableConstraint::kReject, TableConstraint::kReject}},
+      "end_on_one");
+  // Path 0-1-2-3 with only edge (2,3) labeled 1.
+  graph::Graph ug = graph::gen::path(4);
+  std::vector<Weight> w{1, 1, 1};
+  std::vector<std::int32_t> lab{0, 0, 1};
+  auto g = WeightedDigraph::symmetric_from(ug, w, lab);
+  auto skel = g.skeleton();
+  test::EngineBundle bundle(skel);
+  util::Rng rng(1);
+  auto td = td::build_hierarchy(skel, td::TdParams{}, rng, bundle.engine);
+  auto cdl = build_cdl(g, skel, td.hierarchy, cons, bundle.engine);
+  // 0 -> 3 ending on the 1-edge: 0-1-2-3 works, length 3.
+  EXPECT_EQ(cdl.distance(0, 3, cons.user_state(1)), 3);
+  // 0 -> 2 ending on the 1-edge: must overshoot to 3 and... coming back
+  // 3->2 crosses the 1-edge again -> rejected. Unreachable.
+  EXPECT_EQ(cdl.distance(0, 2, cons.user_state(1)), kInfinity);
+  // 0 -> 2 with no 1 seen: plain path of length 2.
+  EXPECT_EQ(cdl.distance(0, 2, cons.user_state(0)), 2);
+}
+
+TEST(TableConstraint, ProductDistanceMatchesBruteForce) {
+  // Random DFA over 2 labels and 3 user states vs brute-force DP.
+  util::Rng rng(31);
+  for (int trial = 0; trial < 5; ++trial) {
+    std::vector<int> initial(2);
+    std::vector<std::vector<int>> next(3, std::vector<int>(2));
+    for (auto& i : initial) i = static_cast<int>(rng.next_below(3));
+    for (auto& row : next) {
+      for (auto& cell : row) {
+        cell = static_cast<int>(rng.next_below(4)) - 1;  // -1 = reject
+      }
+    }
+    TableConstraint cons(2, initial, next, "random_dfa");
+    graph::Graph ug = graph::gen::ktree(18, 2, rng);
+    auto edges = ug.edges();
+    std::vector<Weight> w(edges.size());
+    std::vector<std::int32_t> lab(edges.size());
+    for (std::size_t i = 0; i < edges.size(); ++i) {
+      w[i] = rng.next_in(1, 5);
+      lab[i] = static_cast<std::int32_t>(rng.next_below(2));
+    }
+    auto g = WeightedDigraph::symmetric_from(ug, w, lab);
+    ProductGraph p = build_product_graph(g, cons);
+    // Brute force over (vertex, state) relaxation.
+    const int q = cons.num_states();
+    const int n = g.num_vertices();
+    std::vector<Weight> d(static_cast<std::size_t>(n) * q, kInfinity);
+    d[0 * q + kNablaState] = 0;
+    for (int round = 0; round <= n * q; ++round) {
+      for (graph::EdgeId e = 0; e < g.num_arcs(); ++e) {
+        const auto& a = g.arc(e);
+        for (int i = 1; i < q; ++i) {
+          Weight cur = d[static_cast<std::size_t>(a.tail) * q + i];
+          if (cur >= kInfinity) continue;
+          int j = cons.transition(a, i);
+          auto& cell = d[static_cast<std::size_t>(a.head) * q + j];
+          cell = std::min(cell, cur + a.weight);
+        }
+      }
+    }
+    auto sp = graph::dijkstra(p.gc, p.vertex(0, kNablaState));
+    for (VertexId v = 0; v < n; ++v) {
+      for (int us = 0; us < 3; ++us) {
+        EXPECT_EQ(sp.dist[p.vertex(v, cons.user_state(us))],
+                  d[static_cast<std::size_t>(v) * q + cons.user_state(us)])
+            << "trial=" << trial << " v=" << v << " us=" << us;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace lowtw::walks

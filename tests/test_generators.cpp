@@ -1,0 +1,139 @@
+#include <gtest/gtest.h>
+
+#include "graph/algorithms.hpp"
+#include "graph/generators.hpp"
+#include "td/centralized.hpp"
+#include "util/rng.hpp"
+
+namespace lowtw::graph::gen {
+namespace {
+
+TEST(Generators, PathCycleComplete) {
+  EXPECT_EQ(path(7).num_edges(), 6);
+  EXPECT_EQ(cycle(7).num_edges(), 7);
+  EXPECT_EQ(complete(6).num_edges(), 15);
+  EXPECT_TRUE(is_connected(path(7)));
+}
+
+TEST(Generators, BinaryTreeShape) {
+  Graph t = binary_tree(15);
+  EXPECT_EQ(t.num_edges(), 14);
+  EXPECT_TRUE(is_connected(t));
+  EXPECT_EQ(td::exact_treewidth(t), 1);
+}
+
+TEST(Generators, GridSizeAndTreewidth) {
+  Graph g = grid(4, 3);
+  EXPECT_EQ(g.num_vertices(), 12);
+  EXPECT_EQ(g.num_edges(), 4 * 2 + 3 * 3);  // horizontal + vertical
+  EXPECT_EQ(exact_diameter(g), 5);
+  EXPECT_EQ(td::exact_treewidth(g), 3);  // min(w,h)
+}
+
+TEST(Generators, KtreeExactTreewidth) {
+  util::Rng rng(3);
+  for (int k : {1, 2, 3}) {
+    Graph g = ktree(14, k, rng);
+    EXPECT_TRUE(is_connected(g));
+    EXPECT_EQ(td::exact_treewidth(g), k) << "k=" << k;
+    // Edge count of a k-tree: C(k+1,2) + (n-k-1)*k.
+    EXPECT_EQ(g.num_edges(), k * (k + 1) / 2 + (14 - k - 1) * k);
+  }
+}
+
+TEST(Generators, PartialKtreeBounds) {
+  util::Rng rng(5);
+  for (int k : {2, 4}) {
+    Graph g = partial_ktree(60, k, 0.5, rng);
+    EXPECT_TRUE(is_connected(g));
+    EXPECT_LE(td::heuristic_treewidth(g), k);
+    Graph full = ktree(60, k, rng);
+    EXPECT_LE(g.num_edges(), full.num_edges());
+  }
+}
+
+TEST(Generators, BandedStructure) {
+  Graph g = banded(20, 3);
+  EXPECT_TRUE(g.has_edge(0, 3));
+  EXPECT_FALSE(g.has_edge(0, 4));
+  EXPECT_EQ(exact_diameter(g), (20 - 1 + 2) / 3);
+  EXPECT_LE(td::heuristic_treewidth(g), 3);
+}
+
+TEST(Generators, ApexedPathLowDiameter) {
+  Graph g = apexed_path(100, 2, 8);
+  EXPECT_TRUE(is_connected(g));
+  EXPECT_LE(exact_diameter(g), 2 * 8 + 4);
+  EXPECT_LE(td::heuristic_treewidth(g), 1 + 2 + 1);
+}
+
+TEST(Generators, ApexedBipartitePath) {
+  Graph g = apexed_bipartite_path(50);
+  EXPECT_TRUE(is_connected(g));
+  EXPECT_TRUE(bipartite_sides(g).has_value());
+  EXPECT_LE(exact_diameter(g), 4);
+  EXPECT_LE(td::heuristic_treewidth(g), 3);
+}
+
+TEST(Generators, CycleWithChordsTreewidth) {
+  util::Rng rng(7);
+  Graph g = cycle_with_chords(40, 3, rng);
+  EXPECT_EQ(g.num_edges(), 43);
+  EXPECT_LE(td::heuristic_treewidth(g), 2 + 3);
+}
+
+TEST(Generators, SeriesParallelTreewidthTwo) {
+  util::Rng rng(9);
+  for (int n : {10, 16}) {
+    Graph g = series_parallel(n, rng);
+    EXPECT_TRUE(is_connected(g));
+    EXPECT_LE(td::exact_treewidth(g), 2);
+  }
+}
+
+TEST(Generators, RandomConnectedIsConnected) {
+  util::Rng rng(11);
+  for (double p : {0.0, 0.05, 0.3}) {
+    Graph g = random_connected(40, p, rng);
+    EXPECT_TRUE(is_connected(g));
+    EXPECT_GE(g.num_edges(), 39);
+  }
+}
+
+TEST(Generators, RandomSymmetricWeightsInRange) {
+  util::Rng rng(13);
+  Graph ug = cycle(10);
+  WeightedDigraph d = random_symmetric_weights(ug, 5, 9, rng);
+  EXPECT_EQ(d.num_arcs(), 20);
+  for (const Arc& a : d.arcs()) {
+    EXPECT_GE(a.weight, 5);
+    EXPECT_LE(a.weight, 9);
+  }
+  // Symmetric pairs share weights.
+  for (int i = 0; i < d.num_arcs(); i += 2) {
+    EXPECT_EQ(d.arc(i).weight, d.arc(i + 1).weight);
+    EXPECT_EQ(d.arc(i).tail, d.arc(i + 1).head);
+  }
+}
+
+TEST(Generators, RandomOrientationKeepsSkeletonConnected) {
+  util::Rng rng(15);
+  Graph ug = ktree(30, 2, rng);
+  WeightedDigraph d = random_orientation(ug, 0.3, 1, 10, rng);
+  EXPECT_TRUE(is_connected(d.skeleton()));
+  EXPECT_LE(d.num_arcs(), 2 * ug.num_edges());
+  EXPECT_GE(d.num_arcs(), ug.num_edges());
+}
+
+TEST(Generators, ApexedPathWeights) {
+  Graph g = apexed_path(20, 1, 5);
+  WeightedDigraph d = apexed_path_weights(g, 20, 777);
+  for (const Arc& a : d.arcs()) {
+    bool path_edge = std::abs(a.tail - a.head) == 1 && a.tail < 20 &&
+                     a.head < 20;
+    EXPECT_EQ(a.weight, path_edge ? 1 : 777);
+  }
+}
+
+}  // namespace
+}  // namespace lowtw::graph::gen

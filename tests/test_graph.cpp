@@ -1,0 +1,184 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "graph/digraph.hpp"
+#include "graph/graph.hpp"
+#include "graph/graph_io.hpp"
+#include "util/check.hpp"
+
+namespace lowtw::graph {
+namespace {
+
+TEST(Graph, BasicEdgeOperations) {
+  Graph g(4);
+  EXPECT_TRUE(g.add_edge(0, 1));
+  EXPECT_TRUE(g.add_edge(1, 2));
+  EXPECT_FALSE(g.add_edge(0, 1));  // duplicate
+  EXPECT_FALSE(g.add_edge(1, 0));  // duplicate reversed
+  EXPECT_FALSE(g.add_edge(2, 2));  // self-loop
+  EXPECT_EQ(g.num_edges(), 2);
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_TRUE(g.has_edge(1, 0));
+  EXPECT_FALSE(g.has_edge(0, 2));
+  EXPECT_EQ(g.degree(1), 2);
+  EXPECT_EQ(g.degree(3), 0);
+}
+
+TEST(Graph, NeighborsSorted) {
+  Graph g(5);
+  g.add_edge(2, 4);
+  g.add_edge(2, 0);
+  g.add_edge(2, 3);
+  g.add_edge(2, 1);
+  auto nbrs = g.neighbors(2);
+  ASSERT_EQ(nbrs.size(), 4u);
+  for (std::size_t i = 0; i + 1 < nbrs.size(); ++i) {
+    EXPECT_LT(nbrs[i], nbrs[i + 1]);
+  }
+}
+
+TEST(Graph, EdgesLexicographic) {
+  Graph g(4);
+  g.add_edge(3, 1);
+  g.add_edge(0, 2);
+  g.add_edge(1, 0);
+  auto edges = g.edges();
+  ASSERT_EQ(edges.size(), 3u);
+  EXPECT_EQ(edges[0], std::make_pair(VertexId{0}, VertexId{1}));
+  EXPECT_EQ(edges[1], std::make_pair(VertexId{0}, VertexId{2}));
+  EXPECT_EQ(edges[2], std::make_pair(VertexId{1}, VertexId{3}));
+}
+
+TEST(Graph, OutOfRangeEdgeThrows) {
+  Graph g(3);
+  EXPECT_THROW(g.add_edge(0, 3), util::CheckFailure);
+  EXPECT_THROW(g.add_edge(-1, 0), util::CheckFailure);
+}
+
+TEST(Graph, InducedSubgraph) {
+  Graph g(6);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(2, 3);
+  g.add_edge(3, 0);
+  g.add_edge(4, 5);
+  std::vector<VertexId> verts{0, 1, 3};
+  std::vector<VertexId> to_local;
+  Graph sub = g.induced_subgraph(verts, &to_local);
+  EXPECT_EQ(sub.num_vertices(), 3);
+  EXPECT_EQ(sub.num_edges(), 2);  // (0,1) and (3,0)
+  EXPECT_TRUE(sub.has_edge(0, 1));
+  EXPECT_TRUE(sub.has_edge(0, 2));
+  EXPECT_FALSE(sub.has_edge(1, 2));
+  EXPECT_EQ(to_local[0], 0);
+  EXPECT_EQ(to_local[1], 1);
+  EXPECT_EQ(to_local[2], kNoVertex);
+  EXPECT_EQ(to_local[3], 2);
+}
+
+TEST(Graph, InducedSubgraphRejectsDuplicates) {
+  Graph g(3);
+  std::vector<VertexId> verts{0, 0};
+  EXPECT_THROW(g.induced_subgraph(verts), util::CheckFailure);
+}
+
+TEST(Digraph, ArcsAndAdjacency) {
+  WeightedDigraph d(3);
+  EdgeId e0 = d.add_arc(0, 1, 5);
+  EdgeId e1 = d.add_arc(1, 2, 7, /*label=*/3);
+  EdgeId e2 = d.add_arc(0, 1, 2);  // parallel arc
+  EXPECT_EQ(d.num_arcs(), 3);
+  EXPECT_EQ(d.arc(e0).weight, 5);
+  EXPECT_EQ(d.arc(e1).label, 3);
+  EXPECT_EQ(d.out_arcs(0).size(), 2u);
+  EXPECT_EQ(d.in_arcs(1).size(), 2u);
+  EXPECT_EQ(d.arc(e2).weight, 2);
+}
+
+TEST(Digraph, RejectsNegativeWeights) {
+  WeightedDigraph d(2);
+  EXPECT_THROW(d.add_arc(0, 1, -1), util::CheckFailure);
+}
+
+TEST(Digraph, SkeletonMergesAndDrops) {
+  WeightedDigraph d(3);
+  d.add_arc(0, 1, 1);
+  d.add_arc(1, 0, 9);   // merged into one undirected edge
+  d.add_arc(1, 1, 2);   // self-loop dropped
+  d.add_arc(1, 2, 4);
+  Graph s = d.skeleton();
+  EXPECT_EQ(s.num_edges(), 2);
+  EXPECT_TRUE(s.has_edge(0, 1));
+  EXPECT_TRUE(s.has_edge(1, 2));
+}
+
+TEST(Digraph, MaxMultiplicity) {
+  WeightedDigraph d(3);
+  EXPECT_EQ(d.max_multiplicity(), 0);
+  d.add_arc(0, 1);
+  d.add_arc(1, 0);
+  d.add_arc(0, 1);
+  d.add_arc(1, 2);
+  EXPECT_EQ(d.max_multiplicity(), 3);  // three arcs between {0,1}
+}
+
+TEST(Digraph, SymmetricFrom) {
+  Graph g(3);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  std::vector<Weight> w{4, 9};
+  WeightedDigraph d = WeightedDigraph::symmetric_from(g, w);
+  EXPECT_EQ(d.num_arcs(), 4);
+  // Arcs come in (fwd, rev) pairs per edge, in edges() order.
+  EXPECT_EQ(d.arc(0).weight, 4);
+  EXPECT_EQ(d.arc(1).weight, 4);
+  EXPECT_EQ(d.arc(0).tail, d.arc(1).head);
+  EXPECT_EQ(d.arc(2).weight, 9);
+}
+
+TEST(GraphIo, UndirectedRoundTrip) {
+  Graph g(5);
+  g.add_edge(0, 4);
+  g.add_edge(1, 2);
+  g.add_edge(2, 3);
+  std::stringstream ss;
+  io::write_graph(ss, g);
+  Graph back = io::read_graph(ss);
+  EXPECT_EQ(back, g);
+}
+
+TEST(GraphIo, DigraphRoundTrip) {
+  WeightedDigraph d(4);
+  d.add_arc(0, 1, 10, 1);
+  d.add_arc(1, 0, 3);
+  d.add_arc(2, 3, 7, 2);
+  std::stringstream ss;
+  io::write_digraph(ss, d);
+  WeightedDigraph back = io::read_digraph(ss);
+  ASSERT_EQ(back.num_arcs(), 3);
+  EXPECT_EQ(back.arc(0).weight, 10);
+  EXPECT_EQ(back.arc(0).label, 1);
+  EXPECT_EQ(back.arc(2).head, 3);
+}
+
+TEST(GraphIo, ReadRejectsGarbage) {
+  std::stringstream ss("frob 3\n");
+  EXPECT_THROW(io::read_graph(ss), util::CheckFailure);
+  std::stringstream ss2("e 0 1\n");
+  EXPECT_THROW(io::read_graph(ss2), util::CheckFailure);
+}
+
+TEST(GraphIo, DotContainsEdgesAndHighlights) {
+  Graph g(3);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  std::vector<VertexId> hl{1};
+  std::string dot = io::to_dot(g, hl);
+  EXPECT_NE(dot.find("0 -- 1"), std::string::npos);
+  EXPECT_NE(dot.find("1 -- 2"), std::string::npos);
+  EXPECT_NE(dot.find("fillcolor"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace lowtw::graph

@@ -1,0 +1,226 @@
+#include <gtest/gtest.h>
+
+#include "graph/algorithms.hpp"
+#include "graph/generators.hpp"
+#include "test_helpers.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace lowtw::graph {
+namespace {
+
+TEST(Bfs, PathDistances) {
+  Graph g = gen::path(6);
+  BfsResult r = bfs(g, 0);
+  for (int v = 0; v < 6; ++v) EXPECT_EQ(r.dist[v], v);
+  EXPECT_EQ(r.eccentricity, 5);
+  EXPECT_EQ(r.parent[0], kNoVertex);
+  EXPECT_EQ(r.parent[3], 2);
+}
+
+TEST(Bfs, UnreachableMinusOne) {
+  Graph g(4);
+  g.add_edge(0, 1);
+  BfsResult r = bfs(g, 0);
+  EXPECT_EQ(r.dist[2], -1);
+  EXPECT_EQ(r.dist[3], -1);
+}
+
+TEST(Components, CountsAndMembers) {
+  Graph g(6);
+  g.add_edge(0, 1);
+  g.add_edge(2, 3);
+  g.add_edge(3, 4);
+  Components c = connected_components(g);
+  EXPECT_EQ(c.count, 3);
+  auto members = c.members();
+  EXPECT_EQ(members[0], (std::vector<VertexId>{0, 1}));
+  EXPECT_EQ(members[1], (std::vector<VertexId>{2, 3, 4}));
+  EXPECT_EQ(members[2], (std::vector<VertexId>{5}));
+}
+
+TEST(Components, InducedComponents) {
+  Graph g = gen::cycle(6);
+  std::vector<VertexId> sub{0, 1, 3, 4};
+  auto comps = induced_components(g, sub);
+  ASSERT_EQ(comps.size(), 2u);
+  EXPECT_EQ(comps[0], (std::vector<VertexId>{0, 1}));
+  EXPECT_EQ(comps[1], (std::vector<VertexId>{3, 4}));
+}
+
+TEST(Diameter, KnownValues) {
+  EXPECT_EQ(exact_diameter(gen::path(10)), 9);
+  EXPECT_EQ(exact_diameter(gen::cycle(10)), 5);
+  EXPECT_EQ(exact_diameter(gen::complete(7)), 1);
+  EXPECT_EQ(exact_diameter(gen::grid(4, 5)), 7);
+}
+
+TEST(Diameter, RejectsDisconnected) {
+  Graph g(3);
+  g.add_edge(0, 1);
+  EXPECT_THROW(exact_diameter(g), util::CheckFailure);
+}
+
+TEST(Dijkstra, HandComputed) {
+  WeightedDigraph d(4);
+  d.add_arc(0, 1, 1);
+  d.add_arc(1, 2, 1);
+  d.add_arc(0, 2, 5);
+  d.add_arc(2, 3, 1);
+  SpResult r = dijkstra(d, 0);
+  EXPECT_EQ(r.dist[0], 0);
+  EXPECT_EQ(r.dist[1], 1);
+  EXPECT_EQ(r.dist[2], 2);
+  EXPECT_EQ(r.dist[3], 3);
+}
+
+TEST(Dijkstra, ReversedComputesDistTo) {
+  WeightedDigraph d(3);
+  d.add_arc(0, 1, 2);
+  d.add_arc(1, 2, 3);
+  SpResult r = dijkstra(d, 2, /*reversed=*/true);
+  EXPECT_EQ(r.dist[0], 5);
+  EXPECT_EQ(r.dist[1], 3);
+  EXPECT_EQ(r.dist[2], 0);
+}
+
+TEST(Dijkstra, MaskedInfiniteArcsIgnored) {
+  WeightedDigraph d(3);
+  d.add_arc(0, 1, kInfinity);
+  d.add_arc(0, 2, 1);
+  d.add_arc(2, 1, 1);
+  SpResult r = dijkstra(d, 0);
+  EXPECT_EQ(r.dist[1], 2);
+}
+
+// Property sweep: Bellman-Ford and Dijkstra agree on random weighted
+// digraphs from every family.
+class SpAgreement : public ::testing::TestWithParam<test::FamilySpec> {};
+
+TEST_P(SpAgreement, BellmanFordMatchesDijkstra) {
+  auto spec = GetParam();
+  Graph ug = test::make_family(spec);
+  util::Rng rng(spec.seed + 99);
+  WeightedDigraph d = gen::random_orientation(ug, 0.5, 1, 50, rng);
+  for (VertexId s : {VertexId{0}, static_cast<VertexId>(ug.num_vertices() / 2)}) {
+    SpResult dj = dijkstra(d, s);
+    BellmanFordResult bf = bellman_ford(d, s);
+    for (VertexId v = 0; v < d.num_vertices(); ++v) {
+      EXPECT_EQ(dj.dist[v], bf.dist[v]) << "s=" << s << " v=" << v;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Families, SpAgreement,
+    ::testing::Values(test::FamilySpec{"path", 40, 1, 1},
+                      test::FamilySpec{"cycle", 40, 2, 2},
+                      test::FamilySpec{"ktree", 60, 3, 3},
+                      test::FamilySpec{"partial_ktree", 60, 2, 4},
+                      test::FamilySpec{"grid", 48, 4, 5},
+                      test::FamilySpec{"series_parallel", 50, 2, 6},
+                      test::FamilySpec{"banded", 40, 4, 7}),
+    [](const auto& info) { return info.param.name(); });
+
+TEST(BellmanFord, HopCountsMatchPathStructure) {
+  // Heavy shortcut vs light path: shortest paths hop along the path.
+  Graph g = gen::apexed_path(50, 1, 10);
+  WeightedDigraph d = gen::apexed_path_weights(g, 50, 1000);
+  BellmanFordResult bf = bellman_ford(d, 0);
+  EXPECT_EQ(bf.dist[49], 49);    // along the path
+  EXPECT_EQ(bf.hops[49], 49);    // 49 hops
+  EXPECT_GE(bf.max_hops, 49);
+}
+
+TEST(GirthExact, DirectedTriangle) {
+  WeightedDigraph d(3);
+  d.add_arc(0, 1, 2);
+  d.add_arc(1, 2, 3);
+  d.add_arc(2, 0, 4);
+  EXPECT_EQ(exact_girth_directed(d), 9);
+}
+
+TEST(GirthExact, DirectedAcyclic) {
+  WeightedDigraph d(3);
+  d.add_arc(0, 1, 1);
+  d.add_arc(0, 2, 1);
+  d.add_arc(1, 2, 1);
+  EXPECT_EQ(exact_girth_directed(d), kInfinity);
+}
+
+TEST(GirthExact, DirectedSelfLoop) {
+  WeightedDigraph d(2);
+  d.add_arc(0, 0, 5);
+  d.add_arc(0, 1, 1);
+  EXPECT_EQ(exact_girth_directed(d), 5);
+}
+
+TEST(GirthExact, DirectedTwoCycle) {
+  WeightedDigraph d(2);
+  d.add_arc(0, 1, 3);
+  d.add_arc(1, 0, 4);
+  EXPECT_EQ(exact_girth_directed(d), 7);
+}
+
+TEST(GirthExact, UndirectedTriangleWithHeavyEdge) {
+  Graph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(2, 0);
+  g.add_edge(2, 3);
+  std::vector<Weight> w{1, 1, 10, 1};  // edges sorted: (0,1),(0,2),(1,2),(2,3)
+  WeightedDigraph d = WeightedDigraph::symmetric_from(g, w);
+  // Cycle 0-1-2-0 costs 1 + 10 + 1 = 12.
+  EXPECT_EQ(exact_girth_undirected(d), 12);
+}
+
+TEST(GirthExact, UndirectedForestInfinite) {
+  Graph g = gen::binary_tree(15);
+  WeightedDigraph d = WeightedDigraph::symmetric_from(g);
+  EXPECT_EQ(exact_girth_undirected(d), kInfinity);
+}
+
+TEST(GirthExact, UndirectedDoesNotUseEdgeTwice) {
+  // Path with one heavy detour: the only cycle is the 4-cycle.
+  Graph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(2, 3);
+  g.add_edge(3, 0);
+  std::vector<Weight> w{1, 100, 1, 1};
+  WeightedDigraph d = WeightedDigraph::symmetric_from(g, w);
+  // Must be 103 (whole cycle), not 2 (edge 0-1 back and forth).
+  EXPECT_EQ(exact_girth_undirected(d), 103);
+}
+
+TEST(Bipartite, SidesAndOddCycle) {
+  auto sides = bipartite_sides(gen::grid(3, 4));
+  ASSERT_TRUE(sides.has_value());
+  Graph g34 = gen::grid(3, 4);
+  for (auto [u, v] : g34.edges()) EXPECT_NE((*sides)[u], (*sides)[v]);
+  EXPECT_FALSE(bipartite_sides(gen::cycle(5)).has_value());
+  EXPECT_TRUE(bipartite_sides(gen::cycle(6)).has_value());
+}
+
+TEST(SpanningForest, CoversEveryComponent) {
+  Graph g(7);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(3, 4);
+  auto parent = spanning_forest(g);
+  EXPECT_EQ(parent[0], 0);  // component roots point to themselves
+  EXPECT_EQ(parent[3], 3);
+  EXPECT_EQ(parent[5], 5);
+  EXPECT_EQ(parent[2], 1);
+  int tree_edges = 0;
+  for (VertexId v = 0; v < 7; ++v) {
+    if (parent[v] != v) {
+      EXPECT_TRUE(g.has_edge(v, parent[v]));
+      ++tree_edges;
+    }
+  }
+  EXPECT_EQ(tree_edges, 3);
+}
+
+}  // namespace
+}  // namespace lowtw::graph

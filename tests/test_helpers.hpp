@@ -1,0 +1,61 @@
+// Shared fixtures for the parameterized sweeps: named graph families with
+// controlled treewidth, plus engine/ledger plumbing.
+#pragma once
+
+#include <string>
+
+#include "graph/algorithms.hpp"
+#include "graph/generators.hpp"
+#include "primitives/engine.hpp"
+#include "util/rng.hpp"
+
+namespace lowtw::test {
+
+struct FamilySpec {
+  std::string family;
+  int n = 0;
+  int k = 0;  ///< family parameter (k of k-tree, band, chords, ...)
+  std::uint64_t seed = 0;
+
+  std::string name() const {
+    return family + "_n" + std::to_string(n) + "_k" + std::to_string(k) +
+           "_s" + std::to_string(seed);
+  }
+};
+
+inline graph::Graph make_family(const FamilySpec& spec) {
+  util::Rng rng(spec.seed * 7919 + spec.n * 31 + spec.k);
+  using namespace graph::gen;
+  if (spec.family == "path") return path(spec.n);
+  if (spec.family == "cycle") return cycle(spec.n);
+  if (spec.family == "ktree") return ktree(spec.n, spec.k, rng);
+  if (spec.family == "partial_ktree") {
+    return partial_ktree(spec.n, spec.k, 0.6, rng);
+  }
+  if (spec.family == "banded") return banded(spec.n, spec.k);
+  if (spec.family == "grid") return grid(spec.n / spec.k, spec.k);
+  if (spec.family == "series_parallel") return series_parallel(spec.n, rng);
+  if (spec.family == "binary_tree") return binary_tree(spec.n);
+  if (spec.family == "apexed_path") return apexed_path(spec.n, spec.k, 8);
+  if (spec.family == "apexed_bipartite") return apexed_bipartite_path(spec.n);
+  if (spec.family == "cycle_chords") {
+    return cycle_with_chords(spec.n, spec.k, rng);
+  }
+  throw std::runtime_error("unknown family " + spec.family);
+}
+
+/// Engine + ledger bundle for a given communication graph.
+struct EngineBundle {
+  explicit EngineBundle(
+      const graph::Graph& g,
+      primitives::EngineMode mode = primitives::EngineMode::kShortcutModel)
+      : diameter(graph::exact_diameter(g)),
+        engine(mode,
+               primitives::CostModel{g.num_vertices(), diameter, 1.0},
+               &ledger) {}
+  int diameter;
+  primitives::RoundLedger ledger;
+  primitives::Engine engine;
+};
+
+}  // namespace lowtw::test

@@ -1,0 +1,175 @@
+// Cross-module integration: the framework (modeled rounds, exact data
+// movement) against the *real* message-passing kernel, and end-to-end
+// pipelines combining several theorems on one instance.
+#include <gtest/gtest.h>
+
+#include "congest/programs.hpp"
+#include "core/solver.hpp"
+#include "girth/girth.hpp"
+#include "graph/algorithms.hpp"
+#include "graph/generators.hpp"
+#include "labeling/distance_labeling.hpp"
+#include "matching/baseline.hpp"
+#include "matching/matching.hpp"
+#include "test_helpers.hpp"
+
+namespace lowtw {
+namespace {
+
+using graph::VertexId;
+using graph::Weight;
+
+// The framework's SSSP must agree with the real distributed Bellman-Ford
+// message-by-message simulation — two completely independent stacks.
+class FrameworkVsKernel : public ::testing::TestWithParam<test::FamilySpec> {
+};
+
+TEST_P(FrameworkVsKernel, SsspAgreesWithRealSimulation) {
+  auto spec = GetParam();
+  graph::Graph ug = test::make_family(spec);
+  util::Rng rng(spec.seed + 400);
+  auto g = graph::gen::random_orientation(ug, 0.6, 1, 25, rng);
+  auto skel = g.skeleton();
+  test::EngineBundle bundle(skel);
+  auto td = td::build_hierarchy(skel, td::TdParams{}, rng, bundle.engine);
+  auto dl =
+      labeling::build_distance_labeling(g, skel, td.hierarchy, bundle.engine);
+  auto source = static_cast<VertexId>(spec.n / 3);
+  auto framework = labeling::sssp_from_labels(dl.labeling, source,
+                                              bundle.diameter, bundle.engine);
+  auto kernel = congest::run_distributed_bellman_ford(g, source);
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    EXPECT_EQ(framework.dist[v], kernel.dist[v]) << "v=" << v;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Families, FrameworkVsKernel,
+    ::testing::Values(test::FamilySpec{"ktree", 90, 2, 1},
+                      test::FamilySpec{"partial_ktree", 90, 3, 2},
+                      test::FamilySpec{"apexed_path", 90, 2, 3},
+                      test::FamilySpec{"series_parallel", 90, 2, 4}),
+    [](const auto& info) { return info.param.name(); });
+
+TEST(Integration, AllTheoremsOnOneInstance) {
+  // One bipartite low-treewidth instance; every paper result end-to-end.
+  graph::Graph g = graph::gen::grid(10, 4);
+  SolverOptions options;
+  options.seed = 5;
+  options.girth.trials_per_scale = 6;
+  Solver solver(g, options);
+
+  // Theorem 1.
+  const auto& td = solver.tree_decomposition();
+  EXPECT_EQ(td.td.validate(g), std::nullopt);
+  // Theorem 2 + SSSP.
+  auto sssp = solver.sssp(0);
+  auto truth = graph::dijkstra(solver.instance(), 0);
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    EXPECT_EQ(sssp.dist[v], truth.dist[v]);
+  }
+  // Theorem 4.
+  auto m = solver.max_matching();
+  EXPECT_EQ(m.matching.size, matching::hopcroft_karp(g).size);
+  // Theorem 5 (undirected; unweighted grid girth = 4).
+  auto girth_res = solver.girth();
+  EXPECT_EQ(girth_res.girth, 4);
+  // Round ledger saw every phase.
+  auto report = solver.report();
+  EXPECT_GT(report.by_tag.count("dl/hx") + report.by_tag.count("dl/leaf"), 0u);
+  EXPECT_GT(report.by_tag.count("matching/aggregate"), 0u);
+}
+
+TEST(Integration, SeparationShapeOnApexedPath) {
+  // The E3 separation in miniature: framework rounds ~ polylog, real
+  // Bellman-Ford rounds ~ n, on the weighted apexed path.
+  double ours_small = 0, ours_big = 0;
+  double bf_small = 0, bf_big = 0;
+  for (int n : {200, 800}) {
+    graph::Graph ug = graph::gen::apexed_path(n, 1, 8);
+    auto g = graph::gen::apexed_path_weights(ug, n, 100000);
+    auto skel = g.skeleton();
+    test::EngineBundle bundle(skel);
+    util::Rng rng(3);
+    auto td = td::build_hierarchy(skel, td::TdParams{}, rng, bundle.engine);
+    auto dl = labeling::build_distance_labeling(g, skel, td.hierarchy,
+                                                bundle.engine);
+    labeling::sssp_from_labels(dl.labeling, 0, bundle.diameter,
+                               bundle.engine);
+    auto bf = congest::run_distributed_bellman_ford(g, 0);
+    (n == 200 ? ours_small : ours_big) = bundle.ledger.total();
+    (n == 200 ? bf_small : bf_big) = bf.sim.rounds;
+  }
+  // Baseline quadruples with n (linear); framework grows far slower.
+  EXPECT_GE(bf_big / bf_small, 3.5);
+  EXPECT_LE(ours_big / ours_small, 2.5);
+}
+
+TEST(Integration, MatchingRoundsVsBaselineShape) {
+  // Matching rounds grow ~polylog while the baseline grows linearly.
+  double ours_small = 0, ours_big = 0;
+  double base_small = 0, base_big = 0;
+  for (int n : {128, 2048}) {  // x16: separates polylog from linear growth
+    graph::Graph g = graph::gen::apexed_bipartite_path(n);
+    const int d = graph::exact_diameter(g);
+    primitives::RoundLedger l1, l2;
+    primitives::Engine e1(primitives::EngineMode::kShortcutModel,
+                          primitives::CostModel{g.num_vertices(), d, 1.0},
+                          &l1);
+    primitives::Engine e2(primitives::EngineMode::kShortcutModel,
+                          primitives::CostModel{g.num_vertices(), d, 1.0},
+                          &l2);
+    util::Rng rng(9);
+    auto ours =
+        matching::max_bipartite_matching(g, matching::MatchingParams{}, rng, e1);
+    auto base = matching::sequential_augmenting_matching(g, d, e2);
+    EXPECT_EQ(ours.matching.size, base.matching.size);
+    (n == 128 ? ours_small : ours_big) = ours.rounds;
+    (n == 128 ? base_small : base_big) = base.rounds;
+  }
+  EXPECT_GE(base_big / base_small, 12.0);
+  EXPECT_LE(ours_big / ours_small, 9.0);
+}
+
+TEST(Integration, GirthReusesDecomposition) {
+  // Directed girth through the Solver reuses the cached decomposition:
+  // the second query adds only the girth-phase rounds.
+  util::Rng gen(17);
+  graph::Graph ug = graph::gen::ktree(80, 2, gen);
+  auto g = graph::gen::random_orientation(ug, 0.7, 1, 9, gen);
+  Solver solver(g);
+  solver.distance_labeling();
+  double after_dl = solver.report().total;
+  auto res = solver.girth();
+  EXPECT_EQ(res.girth, graph::exact_girth_directed(g));
+  EXPECT_GT(solver.report().total, after_dl);
+  // The girth phase itself should cost less than a full rebuild: its
+  // reported rounds exclude the decomposition phase.
+  EXPECT_LT(res.rounds, solver.report().total);
+}
+
+TEST(Integration, EngineModesAgreeOnAllOutputs) {
+  // Identical seeds across engine modes: every output equal, only rounds
+  // differ. Covers TD, DL, matching, girth in one sweep.
+  graph::Graph g = graph::gen::apexed_bipartite_path(60);
+  auto run = [&](primitives::EngineMode mode) {
+    SolverOptions opt;
+    opt.seed = 77;
+    opt.engine = mode;
+    opt.girth.trials_per_scale = 4;
+    Solver solver(g, opt);
+    auto m = solver.max_matching();
+    auto gr = solver.girth();
+    return std::tuple(solver.tree_decomposition().td.width(),
+                      m.matching.size, gr.girth, solver.report().total);
+  };
+  auto [w1, m1, g1, r1] = run(primitives::EngineMode::kShortcutModel);
+  auto [w2, m2, g2, r2] = run(primitives::EngineMode::kTreeRealized);
+  EXPECT_EQ(w1, w2);
+  EXPECT_EQ(m1, m2);
+  EXPECT_EQ(g1, g2);
+  EXPECT_NE(r1, r2);
+}
+
+}  // namespace
+}  // namespace lowtw

@@ -1,0 +1,67 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "graph/algorithms.hpp"
+#include "graph/generators.hpp"
+#include "labeling/distance_labeling.hpp"
+#include "labeling/label_io.hpp"
+#include "td/builder.hpp"
+#include "test_helpers.hpp"
+#include "util/check.hpp"
+
+namespace lowtw::labeling {
+namespace {
+
+TEST(LabelIo, RoundTripHandmade) {
+  DistanceLabeling dl;
+  dl.labels.resize(2);
+  dl.labels[0].owner = 0;
+  dl.labels[0].set(1, 5, graph::kInfinity);
+  dl.labels[0].set(3, 2, 7);
+  dl.labels[1].owner = 1;
+  std::stringstream ss;
+  io::write_labeling(ss, dl);
+  DistanceLabeling back = io::read_labeling(ss);
+  ASSERT_EQ(back.labels.size(), 2u);
+  EXPECT_EQ(back.labels[0].find(1)->to_hub, 5);
+  EXPECT_EQ(back.labels[0].find(1)->from_hub, graph::kInfinity);
+  EXPECT_EQ(back.labels[0].find(3)->from_hub, 7);
+  EXPECT_TRUE(back.labels[1].entries.empty());
+}
+
+TEST(LabelIo, RoundTripPreservesAllDecodedDistances) {
+  util::Rng rng(3);
+  graph::Graph ug = graph::gen::partial_ktree(70, 2, 0.6, rng);
+  auto g = graph::gen::random_orientation(ug, 0.6, 1, 20, rng);
+  auto skel = g.skeleton();
+  test::EngineBundle bundle(skel);
+  auto td = td::build_hierarchy(skel, td::TdParams{}, rng, bundle.engine);
+  auto dl = build_distance_labeling(g, skel, td.hierarchy, bundle.engine);
+  std::stringstream ss;
+  io::write_labeling(ss, dl.labeling);
+  DistanceLabeling back = io::read_labeling(ss);
+  for (graph::VertexId u = 0; u < g.num_vertices(); u += 7) {
+    for (graph::VertexId v = 0; v < g.num_vertices(); v += 5) {
+      EXPECT_EQ(back.distance(u, v), dl.labeling.distance(u, v));
+    }
+  }
+}
+
+TEST(LabelIo, RejectsCorruptStreams) {
+  {
+    std::stringstream ss("nonsense 3\n");
+    EXPECT_THROW(io::read_labeling(ss), util::CheckFailure);
+  }
+  {
+    std::stringstream ss("labeling 1\nl 0 2\ne 5 1 1\ne 3 1 1\n");  // unsorted
+    EXPECT_THROW(io::read_labeling(ss), util::CheckFailure);
+  }
+  {
+    std::stringstream ss("labeling 1\nl 0 1\n");  // truncated
+    EXPECT_THROW(io::read_labeling(ss), util::CheckFailure);
+  }
+}
+
+}  // namespace
+}  // namespace lowtw::labeling

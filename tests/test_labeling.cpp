@@ -1,0 +1,213 @@
+#include <gtest/gtest.h>
+
+#include "graph/algorithms.hpp"
+#include "graph/generators.hpp"
+#include "labeling/distance_labeling.hpp"
+#include "td/builder.hpp"
+#include "test_helpers.hpp"
+#include "util/math.hpp"
+
+namespace lowtw::labeling {
+namespace {
+
+using graph::kInfinity;
+using graph::VertexId;
+using graph::Weight;
+using graph::WeightedDigraph;
+
+TEST(Label, SetFindDecode) {
+  Label a;
+  a.owner = 0;
+  a.set(5, 10, 20);
+  a.set(2, 3, 4);
+  a.set(5, 8, 20);  // upsert
+  ASSERT_NE(a.find(5), nullptr);
+  EXPECT_EQ(a.find(5)->to_hub, 8);
+  EXPECT_EQ(a.find(7), nullptr);
+  EXPECT_EQ(a.entries.size(), 2u);
+  EXPECT_EQ(a.entries[0].hub, 2);  // sorted
+
+  Label b;
+  b.owner = 1;
+  b.set(5, 100, 7);   // d(5 -> b) = 7
+  b.set(9, 1, 1);
+  // dec(a,b) = min over common hubs {5}: d(a->5) + d(5->b) = 8 + 7.
+  EXPECT_EQ(decode_distance(a, b), 15);
+}
+
+TEST(Label, DecodeNoCommonHub) {
+  Label a;
+  a.set(1, 1, 1);
+  Label b;
+  b.set(2, 1, 1);
+  EXPECT_EQ(decode_distance(a, b), kInfinity);
+}
+
+TEST(Label, DecodeSkipsInfiniteLegs) {
+  Label a;
+  a.set(3, kInfinity, 0);
+  Label b;
+  b.set(3, 0, 5);
+  EXPECT_EQ(decode_distance(a, b), kInfinity);
+}
+
+struct DlCase {
+  test::FamilySpec spec;
+  bool directed;
+  std::string name() const {
+    return spec.name() + (directed ? "_dir" : "_sym");
+  }
+};
+
+class DlSweep : public ::testing::TestWithParam<DlCase> {};
+
+TEST_P(DlSweep, ExactAgainstDijkstra) {
+  auto [spec, directed] = GetParam();
+  graph::Graph ug = test::make_family(spec);
+  util::Rng rng(spec.seed + 1000);
+  WeightedDigraph g =
+      directed ? graph::gen::random_orientation(ug, 0.5, 1, 40, rng)
+               : graph::gen::random_symmetric_weights(ug, 1, 40, rng);
+  graph::Graph skel = g.skeleton();
+  test::EngineBundle bundle(skel);
+  auto td = td::build_hierarchy(skel, td::TdParams{}, rng, bundle.engine);
+  auto dl = build_distance_labeling(g, skel, td.hierarchy, bundle.engine);
+
+  // Exactness against Dijkstra, all pairs from several sources.
+  for (int rep = 0; rep < 4; ++rep) {
+    auto s = static_cast<VertexId>(rng.next_below(g.num_vertices()));
+    auto truth = graph::dijkstra(g, s);
+    auto rtruth = graph::dijkstra(g, s, /*reversed=*/true);
+    for (VertexId v = 0; v < g.num_vertices(); ++v) {
+      EXPECT_EQ(dl.labeling.distance(s, v), truth.dist[v])
+          << "s=" << s << " v=" << v;
+      EXPECT_EQ(dl.labeling.distance(v, s), rtruth.dist[v])
+          << "v=" << v << " s=" << s;
+    }
+  }
+  // Theorem 2 label size shape: O(width · depth) entries.
+  std::size_t bound = static_cast<std::size_t>(
+      4 * (td.td.width() + 1) * (td.td.depth() + 1));
+  EXPECT_LE(dl.max_label_entries, bound);
+  EXPECT_GT(dl.rounds, 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Families, DlSweep,
+    ::testing::Values(
+        DlCase{{"path", 60, 1, 1}, true}, DlCase{{"path", 60, 1, 2}, false},
+        DlCase{{"cycle", 60, 2, 3}, true},
+        DlCase{{"ktree", 120, 2, 4}, true},
+        DlCase{{"ktree", 120, 2, 5}, false},
+        DlCase{{"ktree", 80, 4, 6}, true},
+        DlCase{{"partial_ktree", 120, 3, 7}, true},
+        DlCase{{"grid", 80, 4, 8}, false},
+        DlCase{{"series_parallel", 90, 2, 9}, true},
+        DlCase{{"banded", 70, 4, 10}, true},
+        DlCase{{"apexed_path", 90, 2, 11}, true},
+        DlCase{{"cycle_chords", 80, 3, 12}, false}),
+    [](const auto& info) { return info.param.name(); });
+
+TEST(Dl, SelfDistanceZero) {
+  util::Rng rng(3);
+  graph::Graph ug = graph::gen::ktree(50, 2, rng);
+  auto g = graph::gen::random_symmetric_weights(ug, 1, 9, rng);
+  graph::Graph skel = g.skeleton();
+  test::EngineBundle bundle(skel);
+  auto td = td::build_hierarchy(skel, td::TdParams{}, rng, bundle.engine);
+  auto dl = build_distance_labeling(g, skel, td.hierarchy, bundle.engine);
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    EXPECT_EQ(dl.labeling.distance(v, v), 0);
+  }
+}
+
+TEST(Dl, UnreachableIsInfinity) {
+  // One-way path: everything is reachable forward, nothing backward.
+  WeightedDigraph g(4);
+  g.add_arc(0, 1, 1);
+  g.add_arc(1, 2, 1);
+  g.add_arc(2, 3, 1);
+  graph::Graph skel = g.skeleton();
+  test::EngineBundle bundle(skel);
+  util::Rng rng(1);
+  auto td = td::build_hierarchy(skel, td::TdParams{}, rng, bundle.engine);
+  auto dl = build_distance_labeling(g, skel, td.hierarchy, bundle.engine);
+  EXPECT_EQ(dl.labeling.distance(0, 3), 3);
+  EXPECT_EQ(dl.labeling.distance(3, 0), kInfinity);
+}
+
+TEST(Dl, MaskedArcsExcluded) {
+  // Masking the middle edge splits the path metric.
+  WeightedDigraph g(3);
+  g.add_arc(0, 1, 1);
+  g.add_arc(1, 0, 1);
+  g.add_arc(1, 2, kInfinity);  // masked
+  g.add_arc(2, 1, kInfinity);  // masked
+  graph::Graph skel = g.skeleton();
+  test::EngineBundle bundle(skel);
+  util::Rng rng(1);
+  auto td = td::build_hierarchy(skel, td::TdParams{}, rng, bundle.engine);
+  auto dl = build_distance_labeling(g, skel, td.hierarchy, bundle.engine);
+  EXPECT_EQ(dl.labeling.distance(0, 1), 1);
+  EXPECT_EQ(dl.labeling.distance(0, 2), kInfinity);
+  EXPECT_EQ(dl.labeling.distance(2, 0), kInfinity);
+}
+
+TEST(Dl, MultigraphParallelArcsTakeMin) {
+  WeightedDigraph g(2);
+  g.add_arc(0, 1, 9);
+  g.add_arc(0, 1, 4);  // parallel, cheaper
+  g.add_arc(1, 0, 2);
+  graph::Graph skel = g.skeleton();
+  test::EngineBundle bundle(skel);
+  util::Rng rng(1);
+  auto td = td::build_hierarchy(skel, td::TdParams{}, rng, bundle.engine);
+  auto dl = build_distance_labeling(g, skel, td.hierarchy, bundle.engine);
+  EXPECT_EQ(dl.labeling.distance(0, 1), 4);
+  EXPECT_EQ(dl.labeling.distance(1, 0), 2);
+}
+
+TEST(Sssp, LabelFloodMatchesAndCharges) {
+  util::Rng rng(5);
+  graph::Graph ug = graph::gen::partial_ktree(100, 3, 0.6, rng);
+  auto g = graph::gen::random_orientation(ug, 0.6, 1, 25, rng);
+  graph::Graph skel = g.skeleton();
+  test::EngineBundle bundle(skel);
+  auto td = td::build_hierarchy(skel, td::TdParams{}, rng, bundle.engine);
+  auto dl = build_distance_labeling(g, skel, td.hierarchy, bundle.engine);
+  auto sssp =
+      sssp_from_labels(dl.labeling, 0, bundle.diameter, bundle.engine);
+  auto truth = graph::dijkstra(g, 0);
+  auto rtruth = graph::dijkstra(g, 0, /*reversed=*/true);
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    EXPECT_EQ(sssp.dist[v], truth.dist[v]);
+    EXPECT_EQ(sssp.dist_to[v], rtruth.dist[v]);
+  }
+  // Flood cost: D plus pipelined label words.
+  EXPECT_GE(sssp.rounds, bundle.diameter);
+  EXPECT_LE(sssp.rounds,
+            bundle.diameter +
+                3.0 * static_cast<double>(dl.max_label_entries) + 1);
+}
+
+TEST(Dl, EngineModeDoesNotChangeLabels) {
+  util::Rng gen(7);
+  graph::Graph ug = graph::gen::ktree(80, 3, gen);
+  auto g = graph::gen::random_symmetric_weights(ug, 1, 15, gen);
+  graph::Graph skel = g.skeleton();
+  test::EngineBundle b1(skel, primitives::EngineMode::kShortcutModel);
+  test::EngineBundle b2(skel, primitives::EngineMode::kTreeRealized);
+  util::Rng r1(21);
+  util::Rng r2(21);
+  auto td1 = td::build_hierarchy(skel, td::TdParams{}, r1, b1.engine);
+  auto td2 = td::build_hierarchy(skel, td::TdParams{}, r2, b2.engine);
+  auto dl1 = build_distance_labeling(g, skel, td1.hierarchy, b1.engine);
+  auto dl2 = build_distance_labeling(g, skel, td2.hierarchy, b2.engine);
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    EXPECT_EQ(dl1.labeling.distance(0, v), dl2.labeling.distance(0, v));
+  }
+  EXPECT_NE(b1.ledger.total(), b2.ledger.total());
+}
+
+}  // namespace
+}  // namespace lowtw::labeling

@@ -1,0 +1,221 @@
+#include <gtest/gtest.h>
+
+#include "graph/algorithms.hpp"
+#include "graph/generators.hpp"
+#include "matching/baseline.hpp"
+#include "matching/matching.hpp"
+#include "test_helpers.hpp"
+#include "util/check.hpp"
+
+namespace lowtw::matching {
+namespace {
+
+using graph::Graph;
+using graph::kNoVertex;
+using graph::VertexId;
+
+// --------------------------------------------------------------------------
+// Ground truth machinery.
+// --------------------------------------------------------------------------
+
+TEST(HopcroftKarp, HandComputed) {
+  // Perfect matching on an even cycle; near-perfect on a path.
+  EXPECT_EQ(hopcroft_karp(graph::gen::cycle(8)).size, 4);
+  EXPECT_EQ(hopcroft_karp(graph::gen::path(7)).size, 3);
+  EXPECT_EQ(hopcroft_karp(graph::gen::grid(4, 4)).size, 8);
+}
+
+TEST(HopcroftKarp, StarGraph) {
+  Graph g(5);
+  for (VertexId v = 1; v < 5; ++v) g.add_edge(0, v);
+  EXPECT_EQ(hopcroft_karp(g).size, 1);
+}
+
+TEST(HopcroftKarp, RejectsOddCycle) {
+  EXPECT_THROW(hopcroft_karp(graph::gen::cycle(5)), util::CheckFailure);
+}
+
+TEST(HopcroftKarp, KoenigCoverCertifies) {
+  util::Rng rng(3);
+  for (int seed = 0; seed < 5; ++seed) {
+    Graph g = graph::gen::apexed_bipartite_path(30 + seed * 7);
+    Matching m = hopcroft_karp(g);
+    EXPECT_TRUE(is_valid_matching(g, m.mate));
+    auto cover = koenig_cover(g, m);
+    EXPECT_EQ(static_cast<int>(cover.size()), m.size);
+    EXPECT_TRUE(is_vertex_cover(g, cover));
+  }
+}
+
+TEST(IsValidMatching, DetectsCorruption) {
+  Graph g = graph::gen::path(4);
+  std::vector<VertexId> mate(4, kNoVertex);
+  mate[0] = 1;
+  mate[1] = 0;
+  EXPECT_TRUE(is_valid_matching(g, mate));
+  mate[2] = 0;  // asymmetric
+  EXPECT_FALSE(is_valid_matching(g, mate));
+  mate[2] = kNoVertex;
+  mate[0] = 3;  // non-edge
+  mate[3] = 0;
+  mate[1] = kNoVertex;
+  EXPECT_FALSE(is_valid_matching(g, mate));
+}
+
+// --------------------------------------------------------------------------
+// Proposition 1 ([IOO18]) as an executable property: after removing U and
+// computing per-component maximum matchings, re-inserting one vertex v
+// increases the maximum matching of G - (U \ {v}) by at most one, and any
+// augmenting path starts at v.
+// --------------------------------------------------------------------------
+
+TEST(Proposition1, InsertionIncreasesByAtMostOne) {
+  util::Rng rng(17);
+  for (int trial = 0; trial < 10; ++trial) {
+    Graph g = graph::gen::grid(5, 4);
+    // U: a random small vertex set.
+    std::vector<VertexId> u;
+    for (VertexId v = 0; v < g.num_vertices(); ++v) {
+      if (rng.next_bool(0.2)) u.push_back(v);
+    }
+    if (u.empty()) continue;
+    std::vector<char> in_u(static_cast<std::size_t>(g.num_vertices()), 0);
+    for (VertexId v : u) in_u[v] = 1;
+    std::vector<VertexId> rest;
+    for (VertexId v = 0; v < g.num_vertices(); ++v) {
+      if (!in_u[v]) rest.push_back(v);
+    }
+    Graph without = g.induced_subgraph(rest);
+    int base = hopcroft_karp(without).size;
+    // Insert one u-vertex back.
+    VertexId v = u[rng.next_below(u.size())];
+    std::vector<VertexId> with_v = rest;
+    with_v.push_back(v);
+    std::sort(with_v.begin(), with_v.end());
+    Graph plus = g.induced_subgraph(with_v);
+    int grown = hopcroft_karp(plus).size;
+    EXPECT_GE(grown, base);
+    EXPECT_LE(grown, base + 1);
+  }
+}
+
+// --------------------------------------------------------------------------
+// The distributed algorithm (Theorem 4), parameterized sweep.
+// --------------------------------------------------------------------------
+
+struct MatchingCase {
+  test::FamilySpec spec;
+  MatchingMode mode;
+  std::string name() const {
+    return spec.name() +
+           (mode == MatchingMode::kFaithful ? "_faithful" : "_fast");
+  }
+};
+
+class MatchingSweep : public ::testing::TestWithParam<MatchingCase> {};
+
+TEST_P(MatchingSweep, MatchesHopcroftKarpSize) {
+  auto param = GetParam();
+  Graph g = test::make_family(param.spec);
+  ASSERT_TRUE(graph::bipartite_sides(g).has_value());
+  test::EngineBundle bundle(g);
+  util::Rng rng(param.spec.seed);
+  MatchingParams mp;
+  mp.mode = param.mode;
+  auto res = max_bipartite_matching(g, mp, rng, bundle.engine);
+  EXPECT_TRUE(is_valid_matching(g, res.matching.mate));
+  EXPECT_EQ(res.matching.size, hopcroft_karp(g).size);
+  EXPECT_GT(res.rounds, 0);
+  EXPECT_GE(res.insertion_steps, res.augmentations);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Families, MatchingSweep,
+    ::testing::Values(
+        MatchingCase{{"path", 60, 1, 1}, MatchingMode::kFast},
+        MatchingCase{{"path", 31, 1, 2}, MatchingMode::kFaithful},
+        MatchingCase{{"cycle", 60, 2, 3}, MatchingMode::kFast},
+        MatchingCase{{"grid", 60, 4, 4}, MatchingMode::kFast},
+        MatchingCase{{"grid", 24, 4, 5}, MatchingMode::kFaithful},
+        MatchingCase{{"apexed_bipartite", 80, 3, 6}, MatchingMode::kFast},
+        MatchingCase{{"apexed_bipartite", 40, 3, 7},
+                     MatchingMode::kFaithful},
+        MatchingCase{{"binary_tree", 63, 1, 8}, MatchingMode::kFast},
+        MatchingCase{{"banded", 50, 1, 9}, MatchingMode::kFast}),
+    [](const auto& info) { return info.param.name(); });
+
+TEST(Matching, FastAndFaithfulProduceSameMatchingSize) {
+  Graph g = graph::gen::apexed_bipartite_path(36);
+  test::EngineBundle b1(g);
+  test::EngineBundle b2(g);
+  util::Rng r1(5);
+  util::Rng r2(5);
+  MatchingParams fast;
+  fast.mode = MatchingMode::kFast;
+  MatchingParams faithful;
+  faithful.mode = MatchingMode::kFaithful;
+  auto res_fast = max_bipartite_matching(g, fast, r1, b1.engine);
+  auto res_faithful = max_bipartite_matching(g, faithful, r2, b2.engine);
+  EXPECT_EQ(res_fast.matching.size, res_faithful.matching.size);
+  // Same seeds -> identical matchings, vertex by vertex.
+  EXPECT_EQ(res_fast.matching.mate, res_faithful.matching.mate);
+  // Faithful builds one CDL per insertion step; fast one per level.
+  EXPECT_GT(res_faithful.cdl_builds, res_fast.cdl_builds);
+}
+
+TEST(Matching, RejectsNonBipartite) {
+  Graph g = graph::gen::cycle(5);
+  test::EngineBundle bundle(g);
+  util::Rng rng(1);
+  EXPECT_THROW(max_bipartite_matching(g, MatchingParams{}, rng, bundle.engine),
+               util::CheckFailure);
+}
+
+TEST(Matching, EdgelessAndTinyGraphs) {
+  {
+    Graph g(1);
+    test::EngineBundle bundle(g);
+    util::Rng rng(1);
+    auto res = max_bipartite_matching(g, MatchingParams{}, rng, bundle.engine);
+    EXPECT_EQ(res.matching.size, 0);
+  }
+  {
+    Graph g(2);
+    g.add_edge(0, 1);
+    test::EngineBundle bundle(g);
+    util::Rng rng(1);
+    auto res = max_bipartite_matching(g, MatchingParams{}, rng, bundle.engine);
+    EXPECT_EQ(res.matching.size, 1);
+  }
+}
+
+// --------------------------------------------------------------------------
+// Baseline.
+// --------------------------------------------------------------------------
+
+class BaselineSweep : public ::testing::TestWithParam<test::FamilySpec> {};
+
+TEST_P(BaselineSweep, BaselineIsExactAndLinearInSmax) {
+  auto spec = GetParam();
+  Graph g = test::make_family(spec);
+  test::EngineBundle bundle(g);
+  auto res =
+      sequential_augmenting_matching(g, bundle.diameter, bundle.engine);
+  auto hk = hopcroft_karp(g);
+  EXPECT_EQ(res.matching.size, hk.size);
+  EXPECT_TRUE(is_valid_matching(g, res.matching.mate));
+  EXPECT_EQ(res.augmentations, hk.size);
+  // Rounds at least s_max (one round per augmentation at minimum).
+  EXPECT_GE(res.rounds, static_cast<double>(hk.size));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Families, BaselineSweep,
+    ::testing::Values(test::FamilySpec{"path", 50, 1, 1},
+                      test::FamilySpec{"grid", 48, 4, 2},
+                      test::FamilySpec{"apexed_bipartite", 70, 3, 3},
+                      test::FamilySpec{"binary_tree", 63, 1, 4}),
+    [](const auto& info) { return info.param.name(); });
+
+}  // namespace
+}  // namespace lowtw::matching

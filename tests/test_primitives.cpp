@@ -1,0 +1,289 @@
+#include <gtest/gtest.h>
+
+#include <functional>
+
+#include "graph/generators.hpp"
+#include "primitives/engine.hpp"
+#include "primitives/ledger.hpp"
+#include "primitives/operations.hpp"
+#include "test_helpers.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace lowtw::primitives {
+namespace {
+
+using graph::Graph;
+using graph::VertexId;
+
+TEST(Ledger, SequentialAddsSum) {
+  RoundLedger l;
+  l.add("a", 10);
+  l.add("b", 5);
+  l.add("a", 2);
+  EXPECT_DOUBLE_EQ(l.total(), 17);
+  EXPECT_DOUBLE_EQ(l.breakdown().at("a"), 12);
+  EXPECT_DOUBLE_EQ(l.breakdown().at("b"), 5);
+}
+
+TEST(Ledger, ParallelTakesMax) {
+  RoundLedger l;
+  l.add("pre", 1);
+  {
+    auto par = l.parallel();
+    {
+      auto br = par.branch();
+      l.add("x", 10);
+    }
+    {
+      auto br = par.branch();
+      l.add("y", 30);
+    }
+    {
+      auto br = par.branch();
+      l.add("z", 20);
+    }
+  }
+  EXPECT_DOUBLE_EQ(l.total(), 31);
+  EXPECT_EQ(l.breakdown().count("x"), 0u);  // only the max branch folds in
+  EXPECT_DOUBLE_EQ(l.breakdown().at("y"), 30);
+}
+
+TEST(Ledger, NestedParallel) {
+  RoundLedger l;
+  {
+    auto par = l.parallel();
+    {
+      auto br = par.branch();
+      l.add("a", 5);
+      {
+        auto inner = l.parallel();
+        {
+          auto ib = inner.branch();
+          l.add("b", 7);
+        }
+        {
+          auto ib = inner.branch();
+          l.add("c", 3);
+        }
+      }
+    }
+    {
+      auto br = par.branch();
+      l.add("d", 11);
+    }
+  }
+  // Branch 1 = 5 + max(7,3) = 12; branch 2 = 11 -> total 12.
+  EXPECT_DOUBLE_EQ(l.total(), 12);
+}
+
+TEST(Ledger, EmptyParallelIsNoop) {
+  RoundLedger l;
+  l.add("a", 4);
+  { auto par = l.parallel(); }
+  EXPECT_DOUBLE_EQ(l.total(), 4);
+}
+
+TEST(Ledger, TotalInsideParallelThrows) {
+  RoundLedger l;
+  l.begin_parallel();
+  EXPECT_THROW(l.total(), util::CheckFailure);
+  l.end_parallel();
+}
+
+TEST(Ledger, NegativeChargeThrows) {
+  RoundLedger l;
+  EXPECT_THROW(l.add("a", -1), util::CheckFailure);
+}
+
+TEST(Ledger, ResetClears) {
+  RoundLedger l;
+  l.add("a", 3);
+  l.reset();
+  EXPECT_DOUBLE_EQ(l.total(), 0);
+  EXPECT_TRUE(l.breakdown().empty());
+}
+
+TEST(CostModelCharges, ShapesAreMonotone) {
+  CostModel cm{1024, 10, 4.0};
+  CostModel bigger_tau{1024, 10, 8.0};
+  CostModel bigger_d{1024, 20, 4.0};
+  EXPECT_LT(cm.pa_rounds(), bigger_tau.pa_rounds());
+  EXPECT_LT(cm.pa_rounds(), bigger_d.pa_rounds());
+  EXPECT_LT(cm.bct_rounds(1), cm.bct_rounds(100));
+  EXPECT_LT(cm.mvc_rounds(1, 2), cm.mvc_rounds(10, 2));
+  EXPECT_LT(cm.mvc_rounds(1, 2), cm.mvc_rounds(1, 8));
+}
+
+TEST(Engine, ShortcutChargesFollowModel) {
+  RoundLedger l;
+  CostModel cm{256, 7, 3.0};
+  Engine e(EngineMode::kShortcutModel, cm, &l);
+  PartStats stats{1, 0};
+  e.pa(stats, "pa");
+  EXPECT_DOUBLE_EQ(l.total(), cm.pa_rounds());
+  e.bct(stats, 50, "bct");
+  EXPECT_DOUBLE_EQ(l.breakdown().at("bct"), cm.bct_rounds(50));
+  e.mvc(stats, 10, 4, "mvc");
+  EXPECT_DOUBLE_EQ(l.breakdown().at("mvc"), cm.mvc_rounds(10, 4));
+  e.snc(3, "snc");
+  EXPECT_DOUBLE_EQ(l.breakdown().at("snc"), 3);
+}
+
+TEST(Engine, TreeRealizedUsesHeights) {
+  RoundLedger l;
+  Engine e(EngineMode::kTreeRealized, CostModel{256, 7, 3.0}, &l);
+  PartStats stats{2, 5};
+  e.pa(stats, "pa");
+  EXPECT_DOUBLE_EQ(l.total(), 2.0 * 5 + 2);
+}
+
+TEST(Engine, OverheadScopeMultiplies) {
+  RoundLedger l;
+  Engine e(EngineMode::kShortcutModel, CostModel{16, 2, 1.0}, &l);
+  e.snc(1, "x");
+  {
+    auto scope = e.overhead(4.0);
+    e.snc(1, "x");
+    {
+      auto inner = e.overhead(2.0);
+      e.snc(1, "x");
+    }
+    e.snc(1, "x");
+  }
+  e.snc(1, "x");
+  // 1 + 4 + 8 + 4 + 1 = 18.
+  EXPECT_DOUBLE_EQ(l.total(), 18);
+}
+
+TEST(PartStats, HeightsOfKnownParts) {
+  Graph g = graph::gen::path(10);
+  std::vector<std::vector<VertexId>> parts{{0, 1, 2, 3}, {5, 6}};
+  PartStats s = part_stats(g, parts);
+  EXPECT_EQ(s.num_parts, 2);
+  EXPECT_EQ(s.max_height, 3);
+}
+
+TEST(PartStats, DisconnectedPartThrows) {
+  Graph g = graph::gen::path(10);
+  std::vector<VertexId> part{0, 1, 5};
+  EXPECT_THROW(part_stats(g, std::span<const VertexId>(part)),
+               util::CheckFailure);
+}
+
+TEST(InducedBfsTree, ParentsValid) {
+  Graph g = graph::gen::grid(4, 4);
+  std::vector<VertexId> part{0, 1, 2, 4, 5, 6, 8, 9};
+  auto parent = induced_bfs_tree(g, part, 0);
+  EXPECT_EQ(parent[0], 0);
+  for (VertexId v : part) {
+    if (v == 0) continue;
+    ASSERT_NE(parent[v], graph::kNoVertex);
+    EXPECT_TRUE(g.has_edge(v, parent[v]));
+  }
+  EXPECT_EQ(parent[3], graph::kNoVertex);  // outside the part
+}
+
+// --- minimum vertex cut --------------------------------------------------
+
+TEST(MinVertexCut, PathMiddleVertex) {
+  Graph g = graph::gen::path(5);  // 0-1-2-3-4
+  std::vector<VertexId> u1{0};
+  std::vector<VertexId> u2{4};
+  auto r = min_vertex_cut(g, u1, u2, 3);
+  ASSERT_EQ(r.status, VertexCutResult::Status::kFound);
+  EXPECT_EQ(r.cut.size(), 1u);
+  EXPECT_TRUE(is_vertex_cut(g, u1, u2, r.cut));
+}
+
+TEST(MinVertexCut, GridNeedsColumn) {
+  Graph g = graph::gen::grid(5, 3);  // 5 wide, 3 tall
+  std::vector<VertexId> u1{0, 5, 10};   // left column
+  std::vector<VertexId> u2{4, 9, 14};   // right column
+  auto r = min_vertex_cut(g, u1, u2, 3);
+  ASSERT_EQ(r.status, VertexCutResult::Status::kFound);
+  EXPECT_EQ(r.cut.size(), 3u);
+  EXPECT_TRUE(is_vertex_cut(g, u1, u2, r.cut));
+}
+
+TEST(MinVertexCut, BoundTooSmall) {
+  Graph g = graph::gen::grid(5, 3);
+  std::vector<VertexId> u1{0, 5, 10};
+  std::vector<VertexId> u2{4, 9, 14};
+  auto r = min_vertex_cut(g, u1, u2, 2);
+  EXPECT_EQ(r.status, VertexCutResult::Status::kTooLarge);
+}
+
+TEST(MinVertexCut, InfiniteCases) {
+  Graph g = graph::gen::path(4);
+  std::vector<VertexId> u1{0, 1};
+  std::vector<VertexId> u2{1, 3};  // shares vertex 1
+  EXPECT_EQ(min_vertex_cut(g, u1, u2, 4).status,
+            VertexCutResult::Status::kInfinite);
+  std::vector<VertexId> u3{0};
+  std::vector<VertexId> u4{1};  // direct edge
+  EXPECT_EQ(min_vertex_cut(g, u3, u4, 4).status,
+            VertexCutResult::Status::kInfinite);
+}
+
+TEST(MinVertexCut, CliqueMinusEndpoints) {
+  Graph g = graph::gen::complete(6);
+  std::vector<VertexId> u1{0};
+  std::vector<VertexId> u2{5};
+  // 0 and 5 adjacent in K6 -> infinite.
+  EXPECT_EQ(min_vertex_cut(g, u1, u2, 6).status,
+            VertexCutResult::Status::kInfinite);
+  // Remove the edge: cut is the remaining 4 vertices.
+  Graph h(6);
+  for (auto [a, b] : g.edges()) {
+    if (!((a == 0 && b == 5) || (a == 5 && b == 0))) h.add_edge(a, b);
+  }
+  auto r = min_vertex_cut(h, u1, u2, 6);
+  ASSERT_EQ(r.status, VertexCutResult::Status::kFound);
+  EXPECT_EQ(r.cut.size(), 4u);
+}
+
+// Property: on random graphs the found cut disconnects and is minimal
+// (checked against brute force over all subsets of size < |cut|).
+class CutProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(CutProperty, MinimalAndDisconnecting) {
+  util::Rng rng(GetParam());
+  Graph g = graph::gen::random_connected(12, 0.18, rng);
+  std::vector<VertexId> u1{0};
+  std::vector<VertexId> u2{11};
+  auto r = min_vertex_cut(g, u1, u2, 12);
+  if (r.status == VertexCutResult::Status::kInfinite) {
+    EXPECT_TRUE(g.has_edge(0, 11));
+    return;
+  }
+  ASSERT_EQ(r.status, VertexCutResult::Status::kFound);
+  EXPECT_TRUE(is_vertex_cut(g, u1, u2, r.cut));
+  // No smaller cut exists: enumerate subsets of inner vertices.
+  const int k = static_cast<int>(r.cut.size());
+  std::vector<VertexId> inner;
+  for (VertexId v = 1; v < 11; ++v) inner.push_back(v);
+  // All subsets of size k-1.
+  if (k >= 1 && k <= 4) {
+    std::vector<int> idx(inner.size(), 0);
+    std::function<bool(std::size_t, std::vector<VertexId>&)> rec =
+        [&](std::size_t start, std::vector<VertexId>& chosen) -> bool {
+      if (static_cast<int>(chosen.size()) == k - 1) {
+        return is_vertex_cut(g, u1, u2, chosen);
+      }
+      for (std::size_t i = start; i < inner.size(); ++i) {
+        chosen.push_back(inner[i]);
+        if (rec(i + 1, chosen)) return true;
+        chosen.pop_back();
+      }
+      return false;
+    };
+    std::vector<VertexId> chosen;
+    EXPECT_FALSE(rec(0, chosen)) << "found a smaller cut than " << k;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CutProperty, ::testing::Range(1, 13));
+
+}  // namespace
+}  // namespace lowtw::primitives

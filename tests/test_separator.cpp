@@ -1,0 +1,195 @@
+#include <gtest/gtest.h>
+
+#include "graph/algorithms.hpp"
+#include "graph/generators.hpp"
+#include "td/separator.hpp"
+#include "test_helpers.hpp"
+
+namespace lowtw::td {
+namespace {
+
+using graph::Graph;
+using graph::VertexId;
+
+std::vector<VertexId> all_vertices(const Graph& g) {
+  std::vector<VertexId> v(static_cast<std::size_t>(g.num_vertices()));
+  for (int i = 0; i < g.num_vertices(); ++i) v[i] = i;
+  return v;
+}
+
+TEST(IsBalancedSeparator, Semantics) {
+  Graph g = graph::gen::path(9);  // 0..8
+  auto part = all_vertices(g);
+  std::vector<VertexId> mid{4};
+  EXPECT_TRUE(is_balanced_separator(g, part, part, mid, 0.5));
+  std::vector<VertexId> off{1};
+  EXPECT_FALSE(is_balanced_separator(g, part, part, off, 0.5));
+  EXPECT_TRUE(is_balanced_separator(g, part, part, off, 0.9));
+}
+
+TEST(IsBalancedSeparator, RespectsWeightSetX) {
+  Graph g = graph::gen::path(9);
+  auto part = all_vertices(g);
+  // All weight on the left half: cutting at 1 balances X even though the
+  // right component is large.
+  std::vector<VertexId> x{0, 1, 2};
+  std::vector<VertexId> sep{1};
+  EXPECT_TRUE(is_balanced_separator(g, part, x, sep, 0.5));
+  std::vector<VertexId> sep_bad{5};
+  EXPECT_FALSE(is_balanced_separator(g, part, x, sep_bad, 0.5));
+}
+
+// The Lemma 1 conformance sweep: Sep with paper constants returns a
+// balanced separator of size <= 400(τ+1)², and with practical constants a
+// balanced separator; in both cases the returned set actually separates.
+class SepSweep : public ::testing::TestWithParam<test::FamilySpec> {};
+
+TEST_P(SepSweep, PracticalPresetBalancedAndBounded) {
+  auto spec = GetParam();
+  Graph g = test::make_family(spec);
+  test::EngineBundle bundle(g);
+  util::Rng rng(spec.seed);
+  auto part = all_vertices(g);
+  SepParams params = SepParams::practical();
+  auto res = find_balanced_separator(g, part, part, params, rng,
+                                     bundle.engine, 2);
+  EXPECT_FALSE(res.separator.empty());
+  EXPECT_TRUE(is_balanced_separator(g, part, part, res.separator,
+                                    params.balance));
+  // Size bound O(t²) with the practical constants (coarse factor).
+  EXPECT_LE(static_cast<int>(res.separator.size()),
+            400 * (res.t_used + 1) * (res.t_used + 1));
+  EXPECT_GT(bundle.ledger.total(), 0);
+}
+
+TEST_P(SepSweep, PaperPresetBalancedAndBounded) {
+  auto spec = GetParam();
+  Graph g = test::make_family(spec);
+  test::EngineBundle bundle(g);
+  util::Rng rng(spec.seed + 1);
+  auto part = all_vertices(g);
+  SepParams params = SepParams::paper();
+  auto res = find_balanced_separator(g, part, part, params, rng,
+                                     bundle.engine, 2);
+  EXPECT_TRUE(is_balanced_separator(g, part, part, res.separator,
+                                    params.balance));
+  // Lemma 1: size at most 400(τ+1)² — with the doubling estimate t.
+  EXPECT_LE(static_cast<int>(res.separator.size()),
+            400 * (res.t_used + 1) * (res.t_used + 1));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Families, SepSweep,
+    ::testing::Values(test::FamilySpec{"path", 100, 1, 1},
+                      test::FamilySpec{"cycle", 100, 2, 2},
+                      test::FamilySpec{"ktree", 150, 2, 3},
+                      test::FamilySpec{"ktree", 150, 4, 4},
+                      test::FamilySpec{"partial_ktree", 150, 3, 5},
+                      test::FamilySpec{"grid", 120, 6, 6},
+                      test::FamilySpec{"series_parallel", 130, 2, 7},
+                      test::FamilySpec{"banded", 100, 5, 8},
+                      test::FamilySpec{"binary_tree", 127, 1, 9}),
+    [](const auto& info) { return info.param.name(); });
+
+TEST(Sep, SubsetXBalance) {
+  // Balance should be with respect to X only.
+  util::Rng rng(77);
+  Graph g = graph::gen::ktree(120, 2, rng);
+  test::EngineBundle bundle(g);
+  auto part = all_vertices(g);
+  std::vector<VertexId> x;
+  for (VertexId v = 0; v < 40; ++v) x.push_back(v);  // weight on a subset
+  SepParams params = SepParams::practical();
+  auto res =
+      find_balanced_separator(g, part, x, params, rng, bundle.engine, 2);
+  EXPECT_TRUE(is_balanced_separator(g, part, x, res.separator, params.balance));
+}
+
+TEST(Sep, SmallGraphBaseCase) {
+  // µ(G) ≤ base_cap(t): Sep must return (a subset of) X and still balance.
+  Graph g = graph::gen::cycle(10);
+  test::EngineBundle bundle(g);
+  util::Rng rng(5);
+  auto part = all_vertices(g);
+  SepParams params = SepParams::practical();
+  auto res =
+      find_balanced_separator(g, part, part, params, rng, bundle.engine, 2);
+  EXPECT_TRUE(is_balanced_separator(g, part, part, res.separator,
+                                    params.balance));
+}
+
+TEST(Sep, WorksOnSubgraphParts) {
+  // Run Sep on a strict part of a host graph (as the TD recursion does).
+  util::Rng rng(13);
+  Graph g = graph::gen::grid(8, 8);
+  test::EngineBundle bundle(g);
+  std::vector<VertexId> part;
+  for (VertexId v = 0; v < 32; ++v) part.push_back(v);  // top 4 rows
+  SepParams params = SepParams::practical();
+  auto res =
+      find_balanced_separator(g, part, part, params, rng, bundle.engine, 2);
+  EXPECT_TRUE(
+      is_balanced_separator(g, part, part, res.separator, params.balance));
+  for (VertexId v : res.separator) EXPECT_LT(v, 32);
+}
+
+TEST(MinimizeSeparator, PreservesBalanceAndShrinks) {
+  util::Rng rng(21);
+  Graph g = graph::gen::ktree(200, 2, rng);
+  test::EngineBundle bundle(g);
+  auto part = all_vertices(g);
+  // Start from a deliberately bloated separator: 30 arbitrary vertices
+  // containing a genuine balanced one.
+  SepParams params = SepParams::practical();
+  params.minimize_rounds = 0;
+  auto res =
+      find_balanced_separator(g, part, part, params, rng, bundle.engine, 2);
+  std::vector<VertexId> bloated = res.separator;
+  for (VertexId v = 0; v < 200 && bloated.size() < res.separator.size() + 20;
+       v += 7) {
+    if (std::find(bloated.begin(), bloated.end(), v) == bloated.end()) {
+      bloated.push_back(v);
+    }
+  }
+  std::sort(bloated.begin(), bloated.end());
+  ASSERT_TRUE(is_balanced_separator(g, part, part, bloated, params.balance));
+  auto minimized = minimize_separator(g, part, part, bloated, params.balance,
+                                      16, bundle.engine);
+  EXPECT_LT(minimized.size(), bloated.size());
+  EXPECT_TRUE(
+      is_balanced_separator(g, part, part, minimized, params.balance));
+}
+
+TEST(MinimizeSeparator, NeverEmptiesNecessarySeparator) {
+  Graph g = graph::gen::path(20);
+  test::EngineBundle bundle(g);
+  auto part = all_vertices(g);
+  std::vector<VertexId> sep{5, 10, 15};
+  auto minimized =
+      minimize_separator(g, part, part, sep, 0.5, 32, bundle.engine);
+  EXPECT_FALSE(minimized.empty());
+  EXPECT_TRUE(is_balanced_separator(g, part, part, minimized, 0.5));
+}
+
+TEST(Sep, ChargesDependOnEngineMode) {
+  util::Rng rng1(3);
+  util::Rng rng2(3);
+  Graph g = graph::gen::ktree(150, 3, rng1);
+  test::EngineBundle shortcut(g, primitives::EngineMode::kShortcutModel);
+  test::EngineBundle tree(g, primitives::EngineMode::kTreeRealized);
+  auto part = all_vertices(g);
+  SepParams params = SepParams::practical();
+  util::Rng ra(9);
+  util::Rng rb(9);
+  auto sa = find_balanced_separator(g, part, part, params, ra,
+                                    shortcut.engine, 2);
+  auto sb =
+      find_balanced_separator(g, part, part, params, rb, tree.engine, 2);
+  // Identical seeds -> identical outputs; different engines -> different
+  // round charges.
+  EXPECT_EQ(sa.separator, sb.separator);
+  EXPECT_NE(shortcut.ledger.total(), tree.ledger.total());
+}
+
+}  // namespace
+}  // namespace lowtw::td

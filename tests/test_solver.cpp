@@ -1,0 +1,121 @@
+#include <gtest/gtest.h>
+
+#include "util/check.hpp"
+
+#include "core/solver.hpp"
+#include "graph/algorithms.hpp"
+#include "graph/generators.hpp"
+#include "matching/hopcroft_karp.hpp"
+#include "test_helpers.hpp"
+
+namespace lowtw {
+namespace {
+
+using graph::VertexId;
+
+TEST(Solver, EndToEndUndirected) {
+  util::Rng gen(3);
+  graph::Graph g = graph::gen::partial_ktree(90, 2, 0.6, gen);
+  SolverOptions options;
+  options.seed = 11;
+  Solver solver(g, options);
+
+  const auto& td = solver.tree_decomposition();
+  EXPECT_EQ(td.td.validate(g), std::nullopt);
+
+  const auto& dl = solver.distance_labeling();
+  auto truth = graph::dijkstra(solver.instance(), 3);
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    EXPECT_EQ(dl.labeling.distance(3, v), truth.dist[v]);
+  }
+
+  auto sssp = solver.sssp(3);
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    EXPECT_EQ(sssp.dist[v], truth.dist[v]);
+  }
+
+  auto report = solver.report();
+  EXPECT_GT(report.total, 0);
+  EXPECT_FALSE(report.by_tag.empty());
+  EXPECT_FALSE(report.to_string().empty());
+}
+
+TEST(Solver, CachesDecomposition) {
+  util::Rng gen(5);
+  graph::Graph g = graph::gen::ktree(60, 2, gen);
+  Solver solver(g);
+  const auto* first = &solver.tree_decomposition();
+  double rounds_after_first = solver.report().total;
+  const auto* second = &solver.tree_decomposition();
+  EXPECT_EQ(first, second);
+  EXPECT_DOUBLE_EQ(solver.report().total, rounds_after_first);
+}
+
+TEST(Solver, DirectedInstanceSsspAndGirth) {
+  util::Rng gen(7);
+  graph::Graph ug = graph::gen::ktree(70, 2, gen);
+  auto g = graph::gen::random_orientation(ug, 0.6, 1, 15, gen);
+  Solver solver(g);
+  auto sssp = solver.sssp(0);
+  auto truth = graph::dijkstra(g, 0);
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    EXPECT_EQ(sssp.dist[v], truth.dist[v]);
+  }
+  auto girth_res = solver.girth();
+  EXPECT_EQ(girth_res.girth, graph::exact_girth_directed(g));
+}
+
+TEST(Solver, UndirectedGirthViaFacade) {
+  util::Rng gen(9);
+  graph::Graph ug = graph::gen::cycle_with_chords(30, 2, gen);
+  SolverOptions options;
+  options.girth.trials_per_scale = 6;
+  options.seed = 13;
+  Solver solver(ug, options);
+  auto res = solver.girth();
+  auto want = graph::exact_girth_undirected(solver.instance());
+  EXPECT_EQ(res.girth, want);
+}
+
+TEST(Solver, MatchingViaFacade) {
+  graph::Graph g = graph::gen::apexed_bipartite_path(50);
+  Solver solver(g);
+  auto res = solver.max_matching();
+  EXPECT_EQ(res.matching.size, matching::hopcroft_karp(g).size);
+}
+
+TEST(Solver, MatchingRejectedOnDirectedInstance) {
+  graph::WeightedDigraph g(3);
+  g.add_arc(0, 1, 1);
+  g.add_arc(1, 2, 1);
+  Solver solver(g);
+  EXPECT_THROW(solver.max_matching(), util::CheckFailure);
+}
+
+TEST(Solver, KnownDiameterSkipsComputation) {
+  util::Rng gen(11);
+  graph::Graph g = graph::gen::ktree(50, 2, gen);
+  SolverOptions options;
+  options.known_diameter = 4;
+  Solver solver(g, options);
+  EXPECT_EQ(solver.diameter(), 4);
+}
+
+TEST(Solver, TreeEngineMode) {
+  util::Rng gen(13);
+  graph::Graph g = graph::gen::ktree(60, 2, gen);
+  SolverOptions shortcut_opt;
+  shortcut_opt.seed = 21;
+  SolverOptions tree_opt;
+  tree_opt.seed = 21;
+  tree_opt.engine = primitives::EngineMode::kTreeRealized;
+  Solver a(g, shortcut_opt);
+  Solver b(g, tree_opt);
+  // Same outputs, different round accounting.
+  EXPECT_EQ(a.tree_decomposition().td.width(),
+            b.tree_decomposition().td.width());
+  EXPECT_NE(a.report().total, b.report().total);
+}
+
+}  // namespace
+}  // namespace lowtw

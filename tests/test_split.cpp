@@ -1,0 +1,159 @@
+// Experiment E0 (part): the Split procedure of Section 3.3, Fig. 1, as
+// executable properties.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "graph/algorithms.hpp"
+#include "graph/generators.hpp"
+#include "td/split.hpp"
+#include "test_helpers.hpp"
+#include "util/rng.hpp"
+
+namespace lowtw::td::internal {
+namespace {
+
+using graph::Graph;
+using graph::VertexId;
+
+struct SplitFixture {
+  std::vector<std::vector<VertexId>> tree_adj;
+  std::vector<char> in_x;
+  TreePiece whole;
+  SplitWorkspace ws;
+
+  SplitFixture(const Graph& tree, std::vector<char> x)
+      : in_x(std::move(x)), ws(tree.num_vertices()) {
+    tree_adj.resize(static_cast<std::size_t>(tree.num_vertices()));
+    for (auto [u, v] : tree.edges()) {
+      tree_adj[u].push_back(v);
+      tree_adj[v].push_back(u);
+    }
+    whole.root = 0;
+    whole.vertices.resize(static_cast<std::size_t>(tree.num_vertices()));
+    std::iota(whole.vertices.begin(), whole.vertices.end(), 0);
+    whole.mu = 0;
+    for (char c : in_x) whole.mu += c;
+  }
+};
+
+std::int64_t mu_of(const std::vector<VertexId>& vs,
+                   const std::vector<char>& in_x) {
+  std::int64_t m = 0;
+  for (VertexId v : vs) m += in_x[v];
+  return m;
+}
+
+/// Checks the Fig. 1 piece invariants: cover, root-only sharing,
+/// tree-connectivity of each piece, and µ sizes in [low, max(5µ(T)/6, 3·low)].
+void check_pieces(const SplitFixture& fx, const std::vector<TreePiece>& pieces,
+                  std::int64_t low) {
+  ASSERT_FALSE(pieces.empty());
+  std::vector<int> cover_count(fx.tree_adj.size(), 0);
+  std::map<VertexId, int> root_uses;
+  for (const TreePiece& p : pieces) {
+    EXPECT_EQ(p.mu, mu_of(p.vertices, fx.in_x));
+    // Size window: at least low (unless the whole input was light), at most
+    // 5/6 of the input µ or the grouped-cap 3·low.
+    EXPECT_GE(p.mu + (p.vertices.size() == fx.whole.vertices.size() ? low : 0),
+              low);
+    EXPECT_LE(static_cast<double>(p.mu),
+              std::max(5.0 * static_cast<double>(fx.whole.mu) / 6.0,
+                       3.0 * static_cast<double>(low)));
+    for (VertexId v : p.vertices) ++cover_count[v];
+    ++root_uses[p.root];
+  }
+  // Every vertex covered; only roots may be shared.
+  std::vector<char> is_root(fx.tree_adj.size(), 0);
+  for (const TreePiece& p : pieces) is_root[p.root] = 1;
+  for (VertexId v : fx.whole.vertices) {
+    EXPECT_GE(cover_count[v], 1) << "vertex " << v << " uncovered";
+    if (!is_root[v]) {
+      EXPECT_EQ(cover_count[v], 1) << "non-root " << v << " shared";
+    }
+  }
+}
+
+TEST(Split, PathEvenWeights) {
+  Graph tree = graph::gen::path(24);
+  SplitFixture fx(tree, std::vector<char>(24, 1));
+  auto pieces = split_piece(fx.whole, fx.tree_adj, fx.in_x, /*low=*/4, fx.ws);
+  check_pieces(fx, pieces, 4);
+  EXPECT_GE(pieces.size(), 2u);
+}
+
+TEST(Split, StarSharesCentroidRoot) {
+  Graph tree(13);
+  for (VertexId v = 1; v < 13; ++v) tree.add_edge(0, v);
+  SplitFixture fx(tree, std::vector<char>(13, 1));
+  auto pieces = split_piece(fx.whole, fx.tree_adj, fx.in_x, /*low=*/3, fx.ws);
+  check_pieces(fx, pieces, 3);
+  // All leaves are light; every piece is a group sharing the hub as root
+  // (Fig. 1b).
+  for (const TreePiece& p : pieces) EXPECT_EQ(p.root, 0);
+}
+
+TEST(Split, MergeLightRemainder) {
+  // A heavy subtree plus a tiny remainder: Fig. 1(a) merge path.
+  // Path of 20 with all weight on vertices 0..15.
+  Graph tree = graph::gen::path(20);
+  std::vector<char> x(20, 0);
+  for (int v = 0; v < 16; ++v) x[v] = 1;
+  SplitFixture fx(tree, std::move(x));
+  auto pieces = split_piece(fx.whole, fx.tree_adj, fx.in_x, /*low=*/6, fx.ws);
+  check_pieces(fx, pieces, 6);
+}
+
+TEST(Split, BinaryTreeRandomWeights) {
+  util::Rng rng(5);
+  Graph tree = graph::gen::binary_tree(63);
+  for (int trial = 0; trial < 10; ++trial) {
+    std::vector<char> x(63);
+    for (auto& c : x) c = rng.next_bool(0.7) ? 1 : 0;
+    SplitFixture fx(tree, x);
+    if (fx.whole.mu < 8) continue;
+    auto pieces =
+        split_piece(fx.whole, fx.tree_adj, fx.in_x, fx.whole.mu / 8, fx.ws);
+    check_pieces(fx, pieces, fx.whole.mu / 8);
+  }
+}
+
+TEST(Split, RandomTreesProgressProperty) {
+  // Repeated splitting of heavy pieces terminates with every piece below
+  // the cap (the 5µ/6 progress guarantee of Section 3.3).
+  util::Rng rng(9);
+  for (int trial = 0; trial < 8; ++trial) {
+    int n = 40 + static_cast<int>(rng.next_below(60));
+    Graph tree(n);
+    for (VertexId v = 1; v < n; ++v) {
+      tree.add_edge(v, static_cast<VertexId>(rng.next_below(v)));
+    }
+    SplitFixture fx(tree, std::vector<char>(n, 1));
+    const std::int64_t low = std::max<std::int64_t>(1, n / 24);
+    const double cap = n / 4.0;
+    std::vector<TreePiece> heavy{fx.whole};
+    std::vector<TreePiece> done;
+    int guard = 0;
+    while (!heavy.empty()) {
+      ASSERT_LT(++guard, 64) << "split did not converge";
+      std::vector<TreePiece> next;
+      for (const TreePiece& p : heavy) {
+        for (TreePiece& q : split_piece(p, fx.tree_adj, fx.in_x, low, fx.ws)) {
+          if (static_cast<double>(q.mu) > cap &&
+              q.vertices.size() < p.vertices.size()) {
+            next.push_back(std::move(q));
+          } else {
+            done.push_back(std::move(q));
+          }
+        }
+      }
+      heavy = std::move(next);
+    }
+    for (const TreePiece& p : done) {
+      EXPECT_LE(static_cast<double>(p.mu), std::max(cap, 3.0 * low));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace lowtw::td::internal

@@ -1,0 +1,233 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "graph/algorithms.hpp"
+#include "graph/generators.hpp"
+#include "td/builder.hpp"
+#include "td/centralized.hpp"
+#include "test_helpers.hpp"
+#include "util/check.hpp"
+#include "util/math.hpp"
+
+namespace lowtw::td {
+namespace {
+
+using graph::Graph;
+using graph::VertexId;
+
+/// Structural invariants of the hierarchy that the decomposition, distance
+/// labeling, and matching modules all rely on.
+void check_hierarchy_invariants(const Graph& g, const Hierarchy& h) {
+  ASSERT_FALSE(h.nodes.empty());
+  const auto& root = h.nodes[h.root];
+  EXPECT_TRUE(root.boundary.empty());
+  EXPECT_EQ(static_cast<int>(root.comp.size()), g.num_vertices());
+
+  std::vector<int> sep_owner(static_cast<std::size_t>(g.num_vertices()), -1);
+  for (std::size_t x = 0; x < h.nodes.size(); ++x) {
+    const HierarchyNode& node = h.nodes[x];
+    EXPECT_TRUE(std::is_sorted(node.comp.begin(), node.comp.end()));
+    EXPECT_TRUE(std::is_sorted(node.bag.begin(), node.bag.end()));
+    EXPECT_TRUE(std::is_sorted(node.boundary.begin(), node.boundary.end()));
+    // separator ⊆ comp.
+    EXPECT_TRUE(std::includes(node.comp.begin(), node.comp.end(),
+                              node.separator.begin(), node.separator.end()));
+    // bag = boundary ∪ separator for internal nodes; ⊆ comp ∪ boundary
+    // always.
+    auto gx = node.gx_vertices();
+    EXPECT_TRUE(std::includes(gx.begin(), gx.end(), node.bag.begin(),
+                              node.bag.end()));
+    if (!node.leaf) {
+      std::vector<VertexId> expect_bag;
+      std::set_union(node.boundary.begin(), node.boundary.end(),
+                     node.separator.begin(), node.separator.end(),
+                     std::back_inserter(expect_bag));
+      EXPECT_EQ(node.bag, expect_bag);
+      EXPECT_FALSE(node.children.empty());
+    } else {
+      EXPECT_EQ(node.bag, gx);
+      EXPECT_TRUE(node.children.empty());
+    }
+    // Ownership: every vertex lands in exactly one separator (internal) or
+    // one leaf component.
+    if (node.leaf) {
+      for (VertexId v : node.comp) {
+        EXPECT_EQ(sep_owner[v], -1) << "vertex " << v << " owned twice";
+        sep_owner[v] = static_cast<int>(x);
+      }
+    } else {
+      for (VertexId v : node.separator) {
+        EXPECT_EQ(sep_owner[v], -1) << "vertex " << v << " owned twice";
+        sep_owner[v] = static_cast<int>(x);
+      }
+    }
+    // Children: comps partition comp - separator; boundaries ⊆ bag and
+    // adjacent to the child comp.
+    if (!node.leaf) {
+      std::size_t child_total = 0;
+      for (int ci : node.children) {
+        const HierarchyNode& child = h.nodes[ci];
+        EXPECT_EQ(child.parent, static_cast<int>(x));
+        EXPECT_EQ(child.depth, node.depth + 1);
+        child_total += child.comp.size();
+        EXPECT_TRUE(std::includes(node.comp.begin(), node.comp.end(),
+                                  child.comp.begin(), child.comp.end()));
+        EXPECT_TRUE(std::includes(node.bag.begin(), node.bag.end(),
+                                  child.boundary.begin(),
+                                  child.boundary.end()));
+        // Every boundary vertex is adjacent to the child's component.
+        std::vector<char> in_comp(
+            static_cast<std::size_t>(g.num_vertices()), 0);
+        for (VertexId v : child.comp) in_comp[v] = 1;
+        for (VertexId b : child.boundary) {
+          bool adjacent = false;
+          for (VertexId w : g.neighbors(b)) adjacent = adjacent || in_comp[w];
+          EXPECT_TRUE(adjacent) << "boundary " << b << " not adjacent";
+        }
+      }
+      EXPECT_EQ(child_total + node.separator.size(), node.comp.size());
+    }
+  }
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    EXPECT_NE(sep_owner[v], -1) << "vertex " << v << " unowned";
+  }
+}
+
+class BuilderSweep : public ::testing::TestWithParam<test::FamilySpec> {};
+
+TEST_P(BuilderSweep, ValidDecompositionAndInvariants) {
+  auto spec = GetParam();
+  Graph g = test::make_family(spec);
+  test::EngineBundle bundle(g);
+  util::Rng rng(spec.seed);
+  TdParams params;
+  auto res = build_hierarchy(g, params, rng, bundle.engine);
+  EXPECT_EQ(res.td.validate(g), std::nullopt)
+      << res.td.validate(g).value_or("");
+  check_hierarchy_invariants(g, res.hierarchy);
+  EXPECT_GT(res.rounds, 0);
+  // Width bound O(t² log n): generous constant 40.
+  double bound = 40.0 * res.t_used * res.t_used *
+                 util::log2n(g.num_vertices());
+  EXPECT_LE(res.td.width(), bound);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Families, BuilderSweep,
+    ::testing::Values(test::FamilySpec{"path", 120, 1, 1},
+                      test::FamilySpec{"cycle", 120, 2, 2},
+                      test::FamilySpec{"ktree", 150, 1, 3},
+                      test::FamilySpec{"ktree", 150, 3, 4},
+                      test::FamilySpec{"ktree", 90, 5, 5},
+                      test::FamilySpec{"partial_ktree", 150, 3, 6},
+                      test::FamilySpec{"grid", 120, 6, 7},
+                      test::FamilySpec{"series_parallel", 120, 2, 8},
+                      test::FamilySpec{"banded", 90, 4, 9},
+                      test::FamilySpec{"binary_tree", 127, 1, 10},
+                      test::FamilySpec{"apexed_path", 120, 2, 11},
+                      test::FamilySpec{"apexed_bipartite", 120, 3, 12},
+                      test::FamilySpec{"cycle_chords", 100, 4, 13}),
+    [](const auto& info) { return info.param.name(); });
+
+TEST(Builder, PaperLeafRuleProducesValidTd) {
+  util::Rng rng(5);
+  Graph g = graph::gen::ktree(200, 2, rng);
+  test::EngineBundle bundle(g);
+  TdParams params;
+  params.leaf_rule = TdLeafRule::kPaper;
+  auto res = build_hierarchy(g, params, rng, bundle.engine);
+  EXPECT_EQ(res.td.validate(g), std::nullopt);
+  check_hierarchy_invariants(g, res.hierarchy);
+}
+
+TEST(Builder, PaperSepPresetSmallGraph) {
+  util::Rng rng(5);
+  Graph g = graph::gen::ktree(80, 2, rng);
+  test::EngineBundle bundle(g);
+  TdParams params;
+  params.sep = SepParams::paper();
+  params.leaf_rule = TdLeafRule::kPaper;
+  auto res = build_hierarchy(g, params, rng, bundle.engine);
+  EXPECT_EQ(res.td.validate(g), std::nullopt);
+}
+
+TEST(Builder, SingleVertexAndEdge) {
+  {
+    Graph g(1);
+    test::EngineBundle bundle(g);
+    util::Rng rng(1);
+    auto res = build_hierarchy(g, TdParams{}, rng, bundle.engine);
+    EXPECT_EQ(res.td.validate(g), std::nullopt);
+    EXPECT_EQ(res.td.width(), 0);
+  }
+  {
+    Graph g(2);
+    g.add_edge(0, 1);
+    test::EngineBundle bundle(g);
+    util::Rng rng(1);
+    auto res = build_hierarchy(g, TdParams{}, rng, bundle.engine);
+    EXPECT_EQ(res.td.validate(g), std::nullopt);
+    EXPECT_EQ(res.td.width(), 1);
+  }
+}
+
+TEST(Builder, RejectsDisconnected) {
+  Graph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(2, 3);
+  // (EngineBundle would already throw computing the diameter of a
+  // disconnected graph, so wire the engine manually.)
+  primitives::RoundLedger ledger;
+  primitives::Engine engine(primitives::EngineMode::kShortcutModel,
+                            primitives::CostModel{4, 1, 1.0}, &ledger);
+  util::Rng rng(1);
+  EXPECT_THROW(build_hierarchy(g, TdParams{}, rng, engine),
+               util::CheckFailure);
+}
+
+TEST(Builder, DeterministicGivenSeed) {
+  util::Rng gen(9);
+  Graph g = graph::gen::partial_ktree(120, 3, 0.6, gen);
+  test::EngineBundle b1(g);
+  test::EngineBundle b2(g);
+  util::Rng r1(42);
+  util::Rng r2(42);
+  auto res1 = build_hierarchy(g, TdParams{}, r1, b1.engine);
+  auto res2 = build_hierarchy(g, TdParams{}, r2, b2.engine);
+  ASSERT_EQ(res1.td.num_bags(), res2.td.num_bags());
+  for (int x = 0; x < res1.td.num_bags(); ++x) {
+    EXPECT_EQ(res1.td.bags[x].vertices, res2.td.bags[x].vertices);
+  }
+  EXPECT_DOUBLE_EQ(b1.ledger.total(), b2.ledger.total());
+}
+
+TEST(Builder, WidthTracksTreewidthFamily) {
+  // Width should grow with k at fixed n (the τ² log n shape, coarsely).
+  util::Rng rng(3);
+  int prev_width = 0;
+  for (int k : {1, 4}) {
+    Graph g = graph::gen::ktree(300, k, rng);
+    test::EngineBundle bundle(g);
+    util::Rng r(7);
+    auto res = build_hierarchy(g, TdParams{}, r, bundle.engine);
+    EXPECT_EQ(res.td.validate(g), std::nullopt);
+    if (k > 1) {
+      EXPECT_GT(res.td.width(), prev_width);
+    }
+    prev_width = res.td.width();
+  }
+}
+
+TEST(Builder, DepthLogarithmic) {
+  util::Rng rng(11);
+  Graph g = graph::gen::ktree(1000, 2, rng);
+  test::EngineBundle bundle(g);
+  util::Rng r(13);
+  auto res = build_hierarchy(g, TdParams{}, r, bundle.engine);
+  // Exhaustive rule recursion: depth O(log_{2}(n)) + small tail.
+  EXPECT_LE(res.td.depth(), 4 * util::log2n(1000) + 8);
+}
+
+}  // namespace
+}  // namespace lowtw::td

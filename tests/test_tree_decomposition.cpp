@@ -1,0 +1,168 @@
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "td/centralized.hpp"
+#include "td/tree_decomposition.hpp"
+#include "test_helpers.hpp"
+
+namespace lowtw::td {
+namespace {
+
+using graph::Graph;
+using graph::VertexId;
+
+TreeDecomposition single_bag_td(int n) {
+  TreeDecomposition td;
+  td.root = 0;
+  td.bags.resize(1);
+  for (VertexId v = 0; v < n; ++v) td.bags[0].vertices.push_back(v);
+  return td;
+}
+
+TEST(Validate, SingleBagAlwaysValid) {
+  Graph g = graph::gen::complete(5);
+  EXPECT_EQ(single_bag_td(5).validate(g), std::nullopt);
+}
+
+TEST(Validate, DetectsUncoveredVertex) {
+  Graph g(3);
+  g.add_edge(0, 1);
+  TreeDecomposition td = single_bag_td(2);  // vertex 2 missing
+  auto err = td.validate(g);
+  ASSERT_TRUE(err.has_value());
+  EXPECT_NE(err->find("condition a"), std::string::npos);
+}
+
+TEST(Validate, DetectsUncoveredEdge) {
+  Graph g(3);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(0, 2);
+  TreeDecomposition td;
+  td.root = 0;
+  td.bags.resize(2);
+  td.bags[0].vertices = {0, 1};
+  td.bags[0].children = {1};
+  td.bags[1].vertices = {1, 2};
+  td.bags[1].parent = 0;
+  td.bags[1].depth = 1;
+  auto err = td.validate(g);
+  ASSERT_TRUE(err.has_value());
+  EXPECT_NE(err->find("condition b"), std::string::npos);
+}
+
+TEST(Validate, DetectsDisconnectedVertexBags) {
+  Graph g(3);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  TreeDecomposition td;
+  td.root = 0;
+  td.bags.resize(3);
+  td.bags[0].vertices = {0, 1};
+  td.bags[0].children = {1};
+  td.bags[1].vertices = {1, 2};
+  td.bags[1].parent = 0;
+  td.bags[1].depth = 1;
+  td.bags[1].children = {2};
+  td.bags[2].vertices = {0, 2};  // vertex 0 reappears: not connected
+  td.bags[2].parent = 1;
+  td.bags[2].depth = 2;
+  auto err = td.validate(g);
+  ASSERT_TRUE(err.has_value());
+  EXPECT_NE(err->find("condition c"), std::string::npos);
+}
+
+TEST(Validate, DetectsBadTreeStructure) {
+  Graph g(2);
+  g.add_edge(0, 1);
+  TreeDecomposition td = single_bag_td(2);
+  td.bags[0].children = {0};  // self-cycle
+  EXPECT_TRUE(td.validate(g).has_value());
+}
+
+TEST(Validate, DetectsUnsortedBag) {
+  Graph g(2);
+  g.add_edge(0, 1);
+  TreeDecomposition td;
+  td.root = 0;
+  td.bags.resize(1);
+  td.bags[0].vertices = {1, 0};
+  EXPECT_TRUE(td.validate(g).has_value());
+}
+
+TEST(WidthDepthCanonical, Computations) {
+  TreeDecomposition td;
+  td.root = 0;
+  td.bags.resize(3);
+  td.bags[0].vertices = {0, 1, 2};
+  td.bags[0].children = {1, 2};
+  td.bags[1].vertices = {1, 3};
+  td.bags[1].parent = 0;
+  td.bags[1].depth = 1;
+  td.bags[2].vertices = {2, 4};
+  td.bags[2].parent = 0;
+  td.bags[2].depth = 1;
+  EXPECT_EQ(td.width(), 2);
+  EXPECT_EQ(td.depth(), 1);
+  auto canon = td.canonical_bags(5);
+  EXPECT_EQ(canon[0], 0);
+  EXPECT_EQ(canon[1], 0);
+  EXPECT_EQ(canon[3], 1);
+  EXPECT_EQ(canon[4], 2);
+}
+
+TEST(ExactTreewidth, KnownGraphs) {
+  EXPECT_EQ(exact_treewidth(graph::gen::path(8)), 1);
+  EXPECT_EQ(exact_treewidth(graph::gen::cycle(8)), 2);
+  EXPECT_EQ(exact_treewidth(graph::gen::complete(6)), 5);
+  EXPECT_EQ(exact_treewidth(graph::gen::binary_tree(13)), 1);
+  EXPECT_EQ(exact_treewidth(graph::gen::grid(4, 4)), 4);
+  EXPECT_EQ(exact_treewidth(graph::gen::grid(5, 2)), 2);
+}
+
+TEST(ExactTreewidth, SingleVertexAndEdge) {
+  EXPECT_EQ(exact_treewidth(graph::gen::path(1)), 0);
+  EXPECT_EQ(exact_treewidth(graph::gen::path(2)), 1);
+}
+
+// Parameterized: elimination-order decompositions are valid and match the
+// exact treewidth on small ktrees.
+class EliminationTd : public ::testing::TestWithParam<test::FamilySpec> {};
+
+TEST_P(EliminationTd, ValidAndTight) {
+  Graph g = test::make_family(GetParam());
+  for (bool fill : {false, true}) {
+    auto order = fill ? min_fill_order(g) : min_degree_order(g);
+    TreeDecomposition td = elimination_order_td(g, order);
+    EXPECT_EQ(td.validate(g), std::nullopt)
+        << (fill ? "min_fill" : "min_degree") << ": "
+        << td.validate(g).value_or("");
+    if (g.num_vertices() <= 16) {
+      EXPECT_GE(td.width(), exact_treewidth(g));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Families, EliminationTd,
+    ::testing::Values(test::FamilySpec{"path", 16, 1, 1},
+                      test::FamilySpec{"cycle", 16, 2, 1},
+                      test::FamilySpec{"ktree", 15, 2, 1},
+                      test::FamilySpec{"ktree", 15, 3, 2},
+                      test::FamilySpec{"grid", 16, 4, 1},
+                      test::FamilySpec{"series_parallel", 14, 2, 3},
+                      test::FamilySpec{"partial_ktree", 40, 3, 4},
+                      test::FamilySpec{"banded", 30, 3, 5}),
+    [](const auto& info) { return info.param.name(); });
+
+TEST(HeuristicTreewidth, ExactOnKtrees) {
+  util::Rng rng(31);
+  for (int k : {1, 2, 3, 4}) {
+    Graph g = graph::gen::ktree(40, k, rng);
+    // Min-degree is exact on k-trees (perfect elimination ordering exists).
+    EXPECT_EQ(heuristic_treewidth(g), k);
+  }
+}
+
+}  // namespace
+}  // namespace lowtw::td

@@ -1,0 +1,141 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+#include <set>
+
+#include "util/check.hpp"
+#include "util/flags.hpp"
+#include "util/math.hpp"
+#include "util/rng.hpp"
+
+namespace lowtw::util {
+namespace {
+
+TEST(Rng, DeterministicFromSeed) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (a.next() == b.next()) ? 1 : 0;
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, NextBelowInRange) {
+  Rng rng(7);
+  for (std::uint64_t bound : {1ull, 2ull, 3ull, 10ull, 1000ull}) {
+    for (int i = 0; i < 200; ++i) EXPECT_LT(rng.next_below(bound), bound);
+  }
+}
+
+TEST(Rng, NextBelowCoversAllValues) {
+  Rng rng(9);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 500; ++i) seen.insert(rng.next_below(7));
+  EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(Rng, NextInClosedRange) {
+  Rng rng(11);
+  for (int i = 0; i < 500; ++i) {
+    auto v = rng.next_in(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+  }
+}
+
+TEST(Rng, NextDoubleInUnitInterval) {
+  Rng rng(13);
+  for (int i = 0; i < 500; ++i) {
+    double d = rng.next_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Rng, BernoulliFrequency) {
+  Rng rng(17);
+  int hits = 0;
+  const int trials = 20000;
+  for (int i = 0; i < trials; ++i) hits += rng.next_bool(0.25) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / trials, 0.25, 0.02);
+}
+
+TEST(Rng, ShuffleIsPermutation) {
+  Rng rng(19);
+  std::vector<int> v(50);
+  std::iota(v.begin(), v.end(), 0);
+  rng.shuffle(v);
+  auto sorted = v;
+  std::sort(sorted.begin(), sorted.end());
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(sorted[i], i);
+}
+
+TEST(Rng, SplitIndependentStreams) {
+  Rng a(23);
+  Rng child = a.split();
+  // The child stream should not replay the parent stream.
+  Rng b(23);
+  b.split();
+  EXPECT_EQ(a.next(), b.next());  // parents stay in sync
+  EXPECT_NE(child.next(), a.next());
+}
+
+TEST(Math, CeilDiv) {
+  EXPECT_EQ(ceil_div(10, 3), 4);
+  EXPECT_EQ(ceil_div(9, 3), 3);
+  EXPECT_EQ(ceil_div(1, 5), 1);
+}
+
+TEST(Math, Log2Functions) {
+  EXPECT_EQ(floor_log2(1), 0);
+  EXPECT_EQ(floor_log2(2), 1);
+  EXPECT_EQ(floor_log2(3), 1);
+  EXPECT_EQ(floor_log2(1024), 10);
+  EXPECT_EQ(ceil_log2(1), 0);
+  EXPECT_EQ(ceil_log2(2), 1);
+  EXPECT_EQ(ceil_log2(3), 2);
+  EXPECT_EQ(ceil_log2(1025), 11);
+}
+
+TEST(Math, Log2nClampedBelow) {
+  EXPECT_DOUBLE_EQ(log2n(0), 1.0);
+  EXPECT_DOUBLE_EQ(log2n(1), 1.0);
+  EXPECT_DOUBLE_EQ(log2n(2), 1.0);
+  EXPECT_DOUBLE_EQ(log2n(1024), 10.0);
+}
+
+TEST(Math, IpowSaturates) {
+  EXPECT_EQ(ipow_sat(2, 10), 1024);
+  EXPECT_EQ(ipow_sat(10, 30), INT64_MAX / 4);  // saturated
+}
+
+TEST(Check, ThrowsOnFailure) {
+  EXPECT_THROW(LOWTW_CHECK(false), CheckFailure);
+  EXPECT_NO_THROW(LOWTW_CHECK(true));
+  try {
+    LOWTW_CHECK_MSG(1 == 2, "custom " << 42);
+    FAIL() << "should have thrown";
+  } catch (const CheckFailure& e) {
+    EXPECT_NE(std::string(e.what()).find("custom 42"), std::string::npos);
+  }
+}
+
+TEST(Flags, ParsesForms) {
+  const char* argv[] = {"prog", "--a=5", "--b", "7", "--c", "--d=x"};
+  Flags flags(6, const_cast<char**>(argv));
+  EXPECT_EQ(flags.get_int("a", 0), 5);
+  EXPECT_EQ(flags.get_int("b", 0), 7);
+  EXPECT_TRUE(flags.get_bool("c", false));
+  EXPECT_EQ(flags.get_string("d", ""), "x");
+  EXPECT_EQ(flags.get_int("missing", 9), 9);
+  EXPECT_DOUBLE_EQ(flags.get_double("missing", 1.5), 1.5);
+}
+
+}  // namespace
+}  // namespace lowtw::util

@@ -1,0 +1,262 @@
+#include <gtest/gtest.h>
+
+#include "util/check.hpp"
+
+#include "graph/algorithms.hpp"
+#include "graph/generators.hpp"
+#include "td/builder.hpp"
+#include "test_helpers.hpp"
+#include "walks/cdl.hpp"
+#include "walks/constraint.hpp"
+#include "walks/product_graph.hpp"
+
+namespace lowtw::walks {
+namespace {
+
+using graph::Arc;
+using graph::EdgeId;
+using graph::kInfinity;
+using graph::VertexId;
+using graph::Weight;
+using graph::WeightedDigraph;
+
+// --------------------------------------------------------------------------
+// Constraint transition semantics (Definition 2; Examples 1 and 2).
+// --------------------------------------------------------------------------
+
+TEST(ColoredConstraint, Transitions) {
+  ColoredWalkConstraint c(3);
+  EXPECT_EQ(c.num_states(), 5);
+  Arc red{0, 1, 1, 0};
+  Arc blue{1, 2, 1, 1};
+  // From ▽: first edge always accepted.
+  EXPECT_EQ(c.transition(red, kNablaState), c.color_state(0));
+  // Different colors alternate fine.
+  EXPECT_EQ(c.transition(blue, c.color_state(0)), c.color_state(1));
+  // Same color twice rejects.
+  EXPECT_EQ(c.transition(red, c.color_state(0)), kBottomState);
+  // ⊥ absorbs (condition 3).
+  EXPECT_EQ(c.transition(red, kBottomState), kBottomState);
+  // Out-of-palette color rejects.
+  Arc weird{0, 1, 1, 7};
+  EXPECT_EQ(c.transition(weird, kNablaState), kBottomState);
+}
+
+TEST(CountConstraint, Transitions) {
+  CountWalkConstraint c(2);
+  EXPECT_EQ(c.num_states(), 5);
+  Arc zero{0, 1, 1, 0};
+  Arc one{1, 2, 1, 1};
+  EXPECT_EQ(c.transition(zero, kNablaState), c.count_state(0));
+  EXPECT_EQ(c.transition(one, kNablaState), c.count_state(1));
+  EXPECT_EQ(c.transition(one, c.count_state(1)), c.count_state(2));
+  EXPECT_EQ(c.transition(one, c.count_state(2)), kBottomState);  // cap
+  EXPECT_EQ(c.transition(zero, c.count_state(2)), c.count_state(2));
+  EXPECT_EQ(c.transition(one, kBottomState), kBottomState);
+}
+
+TEST(WalkState, EvaluatesWholeWalk) {
+  WeightedDigraph g(3);
+  EdgeId e0 = g.add_arc(0, 1, 1, /*label=*/0);
+  EdgeId e1 = g.add_arc(1, 2, 1, /*label=*/1);
+  EdgeId e2 = g.add_arc(2, 0, 1, /*label=*/1);
+  ColoredWalkConstraint c(2);
+  std::vector<EdgeId> ok{e0, e1};
+  EXPECT_EQ(c.walk_state(g, ok), c.color_state(1));
+  std::vector<EdgeId> bad{e0, e1, e2};  // two consecutive color-1 edges
+  EXPECT_EQ(c.walk_state(g, bad), kBottomState);
+  std::vector<EdgeId> empty;
+  EXPECT_EQ(c.walk_state(g, empty), kNablaState);
+}
+
+TEST(WalkState, RejectsNonWalk) {
+  WeightedDigraph g(3);
+  EdgeId e0 = g.add_arc(0, 1, 1);
+  EdgeId e1 = g.add_arc(2, 0, 1);
+  ColoredWalkConstraint c(2);
+  std::vector<EdgeId> not_walk{e0, e1};
+  EXPECT_THROW(c.walk_state(g, not_walk), util::CheckFailure);
+}
+
+// --------------------------------------------------------------------------
+// Product graph structure — the Fig. 3 reproduction (experiment E0).
+// --------------------------------------------------------------------------
+
+TEST(ProductGraph, LayerAndArcStructure) {
+  // The Fig. 3 setting: a small colored digraph under C_col(2).
+  WeightedDigraph g(3);
+  g.add_arc(0, 1, 1, 0);
+  g.add_arc(1, 2, 2, 1);
+  ColoredWalkConstraint c(2);
+  ProductGraph p = build_product_graph(g, c);
+  const int q = c.num_states();
+  EXPECT_EQ(p.q, q);
+  EXPECT_EQ(p.gc.num_vertices(), 3 * q);
+  // Condition (1): one arc per (base arc, state): 2 arcs × q states.
+  // Condition (2): q-1 layer-drop arcs per vertex.
+  EXPECT_EQ(p.gc.num_arcs(), 2 * q + 3 * (q - 1));
+  // Weighted copies: every transition arc carries the base weight.
+  for (EdgeId e = 0; e < p.gc.num_arcs(); ++e) {
+    EdgeId base = p.base_arc_of[e];
+    if (base >= 0) {
+      EXPECT_EQ(p.gc.arc(e).weight, g.arc(base).weight);
+    } else {
+      EXPECT_EQ(p.gc.arc(e).weight, 0);  // layer-drop
+      EXPECT_EQ(p.base_of(p.gc.arc(e).tail), p.base_of(p.gc.arc(e).head));
+      EXPECT_EQ(p.state_of(p.gc.arc(e).head), kBottomState);
+    }
+  }
+  // Transition arcs respect δ: ▽ --arc(0,1,color0)--> color_state(0).
+  bool found = false;
+  for (EdgeId e = 0; e < p.gc.num_arcs(); ++e) {
+    const Arc& a = p.gc.arc(e);
+    if (a.tail == p.vertex(0, kNablaState) &&
+        a.head == p.vertex(1, c.color_state(0))) {
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(ProductGraph, MaskedArcsAbsent) {
+  WeightedDigraph g(2);
+  g.add_arc(0, 1, kInfinity);
+  CountWalkConstraint c(1);
+  ProductGraph p = build_product_graph(g, c);
+  // Only layer-drop arcs remain.
+  for (EdgeId e = 0; e < p.gc.num_arcs(); ++e) {
+    EXPECT_EQ(p.base_arc_of[e], -1);
+  }
+}
+
+TEST(ProductGraph, SkeletonDiameterStaysSmall) {
+  // Condition (2) exists to bound diam(⟦G_C⟧) = O(D) — check on a path.
+  WeightedDigraph g(5);
+  for (VertexId v = 0; v + 1 < 5; ++v) {
+    g.add_arc(v, v + 1, 1, v % 2);
+    g.add_arc(v + 1, v, 1, v % 2);
+  }
+  ColoredWalkConstraint c(2);
+  ProductGraph p = build_product_graph(g, c);
+  int base_d = graph::exact_diameter(g.skeleton());
+  int prod_d = graph::exact_diameter(p.gc.skeleton());
+  EXPECT_LE(prod_d, 2 * base_d + 4);
+}
+
+TEST(LiftHierarchy, ValidTdOfProductSkeleton) {
+  util::Rng rng(5);
+  graph::Graph ug = graph::gen::ktree(40, 2, rng);
+  auto g = graph::gen::random_symmetric_weights(ug, 1, 5, rng);
+  graph::Graph skel = g.skeleton();
+  test::EngineBundle bundle(skel);
+  auto td = td::build_hierarchy(skel, td::TdParams{}, rng, bundle.engine);
+  CountWalkConstraint c(1);
+  ProductGraph p = build_product_graph(g, c);
+  td::Hierarchy lifted = lift_hierarchy(td.hierarchy, p.q);
+  // The lifted hierarchy is a valid tree decomposition of ⟦G_C⟧, width
+  // scaled by |Q| (Section 5.2).
+  auto lifted_td = lifted.to_tree_decomposition();
+  EXPECT_EQ(lifted_td.validate(p.gc.skeleton()), std::nullopt)
+      << lifted_td.validate(p.gc.skeleton()).value_or("");
+  EXPECT_EQ(lifted_td.width() + 1, (td.td.width() + 1) * p.q);
+}
+
+// --------------------------------------------------------------------------
+// Lemma 5 property: product-graph distances == brute-force constrained
+// distances, for both example constraints, on random instances.
+// --------------------------------------------------------------------------
+
+Weight brute_constrained(const WeightedDigraph& g,
+                         const StatefulConstraint& c, VertexId s, VertexId t,
+                         int target_state) {
+  const int q = c.num_states();
+  const int n = g.num_vertices();
+  std::vector<Weight> d(static_cast<std::size_t>(n) * q, kInfinity);
+  d[static_cast<std::size_t>(s) * q + kNablaState] = 0;
+  for (int round = 0; round <= n * q + 1; ++round) {
+    bool changed = false;
+    for (EdgeId e = 0; e < g.num_arcs(); ++e) {
+      const Arc& a = g.arc(e);
+      if (a.weight >= kInfinity) continue;
+      for (int i = 1; i < q; ++i) {
+        Weight cur = d[static_cast<std::size_t>(a.tail) * q + i];
+        if (cur >= kInfinity) continue;
+        int j = c.transition(a, i);
+        auto& cell = d[static_cast<std::size_t>(a.head) * q + j];
+        if (cur + a.weight < cell) {
+          cell = cur + a.weight;
+          changed = true;
+        }
+      }
+    }
+    if (!changed) break;
+  }
+  return d[static_cast<std::size_t>(t) * q + target_state];
+}
+
+struct Lemma5Case {
+  test::FamilySpec spec;
+  std::string constraint;  // "colored2", "colored3", "count1", "count2"
+  std::string name() const { return spec.name() + "_" + constraint; }
+};
+
+class Lemma5Sweep : public ::testing::TestWithParam<Lemma5Case> {};
+
+TEST_P(Lemma5Sweep, ProductDistanceEqualsConstrainedDistance) {
+  auto param = GetParam();
+  graph::Graph ug = test::make_family(param.spec);
+  util::Rng rng(param.spec.seed + 31);
+  int num_labels = param.constraint.back() - '0';
+  bool colored = param.constraint.rfind("colored", 0) == 0;
+  auto edges = ug.edges();
+  std::vector<Weight> w(edges.size());
+  std::vector<std::int32_t> lab(edges.size());
+  for (std::size_t i = 0; i < edges.size(); ++i) {
+    w[i] = rng.next_in(1, 9);
+    lab[i] = static_cast<std::int32_t>(
+        rng.next_below(colored ? num_labels : 2));
+  }
+  WeightedDigraph g = WeightedDigraph::symmetric_from(ug, w, lab);
+
+  std::unique_ptr<StatefulConstraint> c;
+  std::vector<int> query_states;
+  if (colored) {
+    auto cc = std::make_unique<ColoredWalkConstraint>(num_labels);
+    for (int k = 0; k < num_labels; ++k) {
+      query_states.push_back(cc->color_state(k));
+    }
+    c = std::move(cc);
+  } else {
+    auto cc = std::make_unique<CountWalkConstraint>(num_labels);
+    for (int k = 0; k <= num_labels; ++k) {
+      query_states.push_back(cc->count_state(k));
+    }
+    c = std::move(cc);
+  }
+
+  ProductGraph p = build_product_graph(g, *c);
+  for (int rep = 0; rep < 12; ++rep) {
+    auto s = static_cast<VertexId>(rng.next_below(g.num_vertices()));
+    auto t = static_cast<VertexId>(rng.next_below(g.num_vertices()));
+    int qs = query_states[rng.next_below(query_states.size())];
+    Weight via_product =
+        graph::dijkstra(p.gc, p.vertex(s, kNablaState)).dist[p.vertex(t, qs)];
+    Weight via_brute = brute_constrained(g, *c, s, t, qs);
+    EXPECT_EQ(via_product, via_brute)
+        << "s=" << s << " t=" << t << " q=" << qs;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, Lemma5Sweep,
+    ::testing::Values(Lemma5Case{{"ktree", 30, 2, 1}, "colored2"},
+                      Lemma5Case{{"ktree", 30, 2, 2}, "colored3"},
+                      Lemma5Case{{"cycle", 24, 2, 3}, "count1"},
+                      Lemma5Case{{"ktree", 30, 3, 4}, "count1"},
+                      Lemma5Case{{"grid", 24, 4, 5}, "count2"},
+                      Lemma5Case{{"series_parallel", 26, 2, 6}, "colored2"},
+                      Lemma5Case{{"cycle_chords", 24, 2, 7}, "count2"}),
+    [](const auto& info) { return info.param.name(); });
+
+}  // namespace
+}  // namespace lowtw::walks

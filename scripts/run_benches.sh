@@ -1,0 +1,56 @@
+#!/usr/bin/env bash
+# Runs the separator hot-path benchmarks (bench_separation and
+# bench_tree_decomposition) and emits BENCH_separator.json: one record per
+# benchmark with wall time and the CONGEST round counters.
+#
+# Rounds are the reproduction metric and must stay fixed across perf work;
+# wall time is the optimization target (see ARCHITECTURE.md). Comparing two
+# BENCH_separator.json files therefore checks both at once.
+#
+# Usage: scripts/run_benches.sh [output.json]
+#   BUILD_DIR=build  override the CMake build directory
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR=${BUILD_DIR:-build}
+OUT=${1:-BENCH_separator.json}
+
+if [ ! -d "$BUILD_DIR" ]; then
+  cmake -B "$BUILD_DIR" -S .
+fi
+cmake --build "$BUILD_DIR" --target bench_separation bench_tree_decomposition -j"$(nproc)"
+
+tmp_sep=$(mktemp)
+tmp_td=$(mktemp)
+trap 'rm -f "$tmp_sep" "$tmp_td"' EXIT
+
+"$BUILD_DIR"/bench_separation --benchmark_format=json >"$tmp_sep"
+"$BUILD_DIR"/bench_tree_decomposition --benchmark_format=json >"$tmp_td"
+
+python3 - "$OUT" "$tmp_sep" "$tmp_td" <<'PY'
+import json
+import sys
+
+out_path, *inputs = sys.argv[1:]
+records = []
+for path in inputs:
+    data = json.load(open(path))
+    ctx = data.get("context", {})
+    for b in data.get("benchmarks", []):
+        rec = {
+            "name": b["name"],
+            "wall_ms": round(b["real_time"], 3),
+            "time_unit": b.get("time_unit", "ms"),
+        }
+        # User counters: n, D, tau, rounds*, width, ratios...
+        skip = {"name", "run_name", "run_type", "repetitions",
+                "repetition_index", "threads", "iterations", "real_time",
+                "cpu_time", "time_unit", "family_index",
+                "per_family_instance_index"}
+        for key, value in b.items():
+            if key not in skip:
+                rec[key] = value
+        records.append(rec)
+json.dump({"benchmarks": records}, open(out_path, "w"), indent=1)
+print(f"wrote {out_path} ({len(records)} records)")
+PY

@@ -32,6 +32,31 @@ BfsResult bfs(const Graph& g, VertexId source) {
   return r;
 }
 
+int bfs(const CsrGraph& g, VertexId source, TraversalWorkspace& ws) {
+  LOWTW_CHECK(source >= 0 && source < g.num_vertices());
+  ws.ensure(g.num_vertices());
+  ws.seen.clear();
+  ws.frontier.clear();
+  ws.seen.set(source);
+  ws.dist[source] = 0;
+  ws.parent[source] = kNoVertex;
+  ws.frontier.push_back(source);
+  int ecc = 0;
+  for (std::size_t head = 0; head < ws.frontier.size(); ++head) {
+    VertexId u = ws.frontier[head];
+    ecc = std::max(ecc, ws.dist[u]);
+    for (VertexId v : g.neighbors(u)) {
+      if (!ws.seen.test(v)) {
+        ws.seen.set(v);
+        ws.dist[v] = ws.dist[u] + 1;
+        ws.parent[v] = u;
+        ws.frontier.push_back(v);
+      }
+    }
+  }
+  return ecc;
+}
+
 std::vector<std::vector<VertexId>> Components::members() const {
   std::vector<std::vector<VertexId>> out(static_cast<std::size_t>(count));
   for (VertexId v = 0; v < static_cast<VertexId>(id.size()); ++v) {
@@ -91,6 +116,49 @@ std::vector<std::vector<VertexId>> induced_components(
     std::sort(comp.begin(), comp.end());
   }
   return comps;
+}
+
+void induced_components(const CsrGraph& g, std::span<const VertexId> vertices,
+                        TraversalWorkspace& ws, FlatComponents& out) {
+  LOWTW_CHECK_MSG(std::is_sorted(vertices.begin(), vertices.end()),
+                  "induced_components(CsrGraph) requires sorted vertices");
+  ws.ensure(g.num_vertices());
+  ws.in_set.clear();
+  for (VertexId v : vertices) ws.in_set.set(v);
+  ws.seen.clear();
+  ws.frontier.clear();
+  // Pass 1: label each vertex with its component id (ws.dist doubles as the
+  // id store); component ids are assigned in order of smallest member.
+  int count = 0;
+  for (VertexId s : vertices) {
+    if (ws.seen.test(s)) continue;
+    ws.seen.set(s);
+    ws.dist[s] = count;
+    std::size_t head = ws.frontier.size();
+    ws.frontier.push_back(s);
+    for (; head < ws.frontier.size(); ++head) {
+      VertexId u = ws.frontier[head];
+      for (VertexId v : g.neighbors(u)) {
+        if (ws.in_set.test(v) && !ws.seen.test(v)) {
+          ws.seen.set(v);
+          ws.dist[v] = count;
+          ws.frontier.push_back(v);
+        }
+      }
+    }
+    ++count;
+  }
+  // Pass 2: bucket the (sorted) input into flat per-component lists; the
+  // input order makes every component list ascending without a sort.
+  out.offsets.assign(static_cast<std::size_t>(count) + 1, 0);
+  for (VertexId v : vertices) ++out.offsets[ws.dist[v] + 1];
+  for (int c = 0; c < count; ++c) out.offsets[c + 1] += out.offsets[c];
+  out.members.resize(vertices.size());
+  // Fill by advancing offsets[c] through bucket c, then shift them back —
+  // the counting-sort cursor trick, no extra cursor array.
+  for (VertexId v : vertices) out.members[out.offsets[ws.dist[v]]++] = v;
+  for (int c = count; c > 0; --c) out.offsets[c] = out.offsets[c - 1];
+  out.offsets[0] = 0;
 }
 
 bool is_connected(const Graph& g) {
@@ -276,21 +344,27 @@ Weight exact_girth_undirected(const WeightedDigraph& g) {
   return best;
 }
 
-std::optional<std::vector<int>> bipartite_sides(const Graph& g) {
+namespace {
+
+/// Shared two-coloring body: Graph and CsrGraph expose identical
+/// sorted-neighbor interfaces, so one implementation serves both.
+template <class AnyGraph>
+std::optional<std::vector<int>> bipartite_sides_impl(const AnyGraph& g) {
   const int n = g.num_vertices();
   std::vector<int> side(static_cast<std::size_t>(n), -1);
+  std::vector<VertexId> queue;
+  queue.reserve(static_cast<std::size_t>(n));
   for (VertexId s = 0; s < n; ++s) {
     if (side[s] != -1) continue;
     side[s] = 0;
-    std::queue<VertexId> q;
-    q.push(s);
-    while (!q.empty()) {
-      VertexId u = q.front();
-      q.pop();
+    queue.clear();
+    queue.push_back(s);
+    for (std::size_t head = 0; head < queue.size(); ++head) {
+      VertexId u = queue[head];
       for (VertexId v : g.neighbors(u)) {
         if (side[v] == -1) {
           side[v] = 1 - side[u];
-          q.push(v);
+          queue.push_back(v);
         } else if (side[v] == side[u]) {
           return std::nullopt;
         }
@@ -299,6 +373,17 @@ std::optional<std::vector<int>> bipartite_sides(const Graph& g) {
   }
   return side;
 }
+
+}  // namespace
+
+std::optional<std::vector<int>> bipartite_sides(const CsrGraph& g) {
+  return bipartite_sides_impl(g);
+}
+
+std::optional<std::vector<int>> bipartite_sides(const Graph& g) {
+  return bipartite_sides_impl(g);
+}
+
 
 std::vector<VertexId> spanning_forest(const Graph& g) {
   const int n = g.num_vertices();

@@ -10,8 +10,10 @@
 #include <span>
 #include <vector>
 
+#include "graph/csr.hpp"
 #include "graph/digraph.hpp"
 #include "graph/graph.hpp"
+#include "graph/workspace.hpp"
 
 namespace lowtw::graph {
 
@@ -23,6 +25,12 @@ struct BfsResult {
 };
 
 BfsResult bfs(const Graph& g, VertexId source);
+
+/// Allocation-free BFS over a CSR graph: fills ws.seen / ws.dist / ws.parent
+/// (valid only where ws.seen tests true) and records the visit order in
+/// ws.frontier. Returns the eccentricity of `source`. Identical traversal
+/// order to bfs(Graph, source).
+int bfs(const CsrGraph& g, VertexId source, TraversalWorkspace& ws);
 
 /// Connected components: assigns each vertex a component id in
 /// [0, num_components), 0-based, in order of smallest contained vertex.
@@ -38,6 +46,14 @@ Components connected_components(const Graph& g);
 /// Returns the component vertex lists (global ids).
 std::vector<std::vector<VertexId>> induced_components(
     const Graph& g, std::span<const VertexId> vertices);
+
+/// Allocation-free variant: components of the subgraph induced on
+/// `vertices` (must be sorted ascending), written into `out` as flat
+/// (offsets, members) storage. Matches induced_components(Graph) exactly:
+/// components ordered by smallest contained vertex, members ascending.
+/// Clobbers ws.seen / ws.in_set / ws.dist / ws.frontier.
+void induced_components(const CsrGraph& g, std::span<const VertexId> vertices,
+                        TraversalWorkspace& ws, FlatComponents& out);
 
 bool is_connected(const Graph& g);
 
@@ -88,6 +104,7 @@ Weight exact_girth_undirected(const WeightedDigraph& g);
 /// Two-coloring of a connected or disconnected graph. Returns std::nullopt
 /// if g is not bipartite; otherwise side[v] in {0,1}.
 std::optional<std::vector<int>> bipartite_sides(const Graph& g);
+std::optional<std::vector<int>> bipartite_sides(const CsrGraph& g);
 
 /// A spanning forest as parent pointers (parent[root] = root), BFS-built
 /// from the smallest vertex of each component.

@@ -1,0 +1,75 @@
+#include "graph/csr.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace lowtw::graph {
+
+CsrGraph::CsrGraph(const Graph& g) : num_edges_(g.num_edges()) {
+  const int n = g.num_vertices();
+  offsets_.resize(static_cast<std::size_t>(n) + 1);
+  targets_.resize(2 * static_cast<std::size_t>(num_edges_));
+  EdgeId pos = 0;
+  for (VertexId v = 0; v < n; ++v) {
+    offsets_[v] = pos;
+    auto nb = g.neighbors(v);
+    std::copy(nb.begin(), nb.end(), targets_.begin() + pos);
+    pos += static_cast<EdgeId>(nb.size());
+  }
+  offsets_[n] = pos;
+}
+
+bool CsrGraph::has_edge(VertexId u, VertexId v) const {
+  if (u < 0 || v < 0 || u >= num_vertices() || v >= num_vertices()) {
+    return false;
+  }
+  auto nb = neighbors(u);
+  return std::binary_search(nb.begin(), nb.end(), v);
+}
+
+std::vector<std::pair<VertexId, VertexId>> CsrGraph::edges() const {
+  std::vector<std::pair<VertexId, VertexId>> result;
+  result.reserve(static_cast<std::size_t>(num_edges_));
+  for (VertexId u = 0; u < num_vertices(); ++u) {
+    for (VertexId v : neighbors(u)) {
+      if (u < v) result.emplace_back(u, v);
+    }
+  }
+  return result;
+}
+
+void CsrGraph::assign_induced(const CsrGraph& host,
+                              std::span<const VertexId> part,
+                              std::span<const VertexId> to_local) {
+  const auto k = part.size();
+  for (std::size_t i = 0; i < k; ++i) {
+    VertexId v = part[i];
+    LOWTW_CHECK_MSG(v >= 0 && v < host.num_vertices(),
+                    "vertex " << v << " out of range");
+    // A duplicated part vertex leaves an earlier index shadowed in the map.
+    LOWTW_CHECK_MSG(to_local[v] == static_cast<VertexId>(i),
+                    "duplicate vertex " << v << " or stale to_local map");
+  }
+  offsets_.resize(k + 1);
+  // Host neighbor lists are sorted by global id and `part` is the image of
+  // an order-preserving map, so filtered lists come out sorted in local ids
+  // whenever part is sorted — the only case the hot paths use. A final
+  // per-vertex sort keeps the contract for unsorted parts.
+  targets_.clear();
+  for (std::size_t i = 0; i < k; ++i) {
+    offsets_[i] = static_cast<EdgeId>(targets_.size());
+    for (VertexId w : host.neighbors(part[i])) {
+      VertexId lw = to_local[w];
+      if (lw != kNoVertex) targets_.push_back(lw);
+    }
+    auto begin = targets_.begin() + offsets_[i];
+    if (!std::is_sorted(begin, targets_.end())) {
+      std::sort(begin, targets_.end());
+    }
+  }
+  offsets_[k] = static_cast<EdgeId>(targets_.size());
+  num_edges_ = static_cast<int>(targets_.size() / 2);
+}
+
+}  // namespace lowtw::graph

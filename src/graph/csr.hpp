@@ -1,0 +1,59 @@
+// Flat compressed-sparse-row view of an undirected simple graph.
+//
+// `graph::Graph` stays the mutable builder (sorted vector-of-vectors,
+// incremental edge insertion); `CsrGraph` is the immutable runtime layout
+// every algorithm traverses: two flat arrays (`offsets`, `targets`) giving
+// O(1) neighbor spans and cache-friendly sequential iteration, with the same
+// sorted-by-id neighbor order as the builder so all tie-breaking (and hence
+// every CONGEST round charge) is unchanged.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace lowtw::graph {
+
+class CsrGraph {
+ public:
+  CsrGraph() = default;
+
+  /// Freezes a builder graph into CSR form. O(n + m).
+  explicit CsrGraph(const Graph& g);
+
+  int num_vertices() const { return static_cast<int>(offsets_.size()) - 1; }
+  int num_edges() const { return num_edges_; }
+
+  int degree(VertexId v) const {
+    return static_cast<int>(offsets_[v + 1] - offsets_[v]);
+  }
+
+  /// Sorted neighbor list of v.
+  std::span<const VertexId> neighbors(VertexId v) const {
+    return {targets_.data() + offsets_[v],
+            static_cast<std::size_t>(offsets_[v + 1] - offsets_[v])};
+  }
+
+  bool has_edge(VertexId u, VertexId v) const;
+
+  /// All edges as (u, v) pairs with u < v, lexicographically sorted (the
+  /// same order as Graph::edges()).
+  std::vector<std::pair<VertexId, VertexId>> edges() const;
+
+  /// Rebuilds this graph as the subgraph of `host` induced on `part`,
+  /// reusing the existing buffers (no allocation once capacity is grown).
+  /// Vertex i of the result corresponds to part[i]; `to_local` must be a
+  /// host-sized map with to_local[part[i]] == i and kNoVertex elsewhere
+  /// (the caller owns and resets it — see TraversalWorkspace::build_map).
+  /// O(|part| + vol(part)).
+  void assign_induced(const CsrGraph& host, std::span<const VertexId> part,
+                      std::span<const VertexId> to_local);
+
+ private:
+  std::vector<EdgeId> offsets_{0};  ///< size n+1 (default: valid 0-vertex graph)
+  std::vector<VertexId> targets_;   ///< size 2m, sorted within each vertex
+  int num_edges_ = 0;
+};
+
+}  // namespace lowtw::graph

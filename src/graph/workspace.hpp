@@ -1,0 +1,98 @@
+// Reusable traversal scratch: epoch-stamped marks and flat frontier arrays
+// so that repeated BFS/component sweeps over the same host cost O(visited),
+// not O(n) re-initialization — and zero allocation once the buffers have
+// grown to the host size.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace lowtw::graph {
+
+/// A boolean set over {0..n-1} with O(1) clear: membership is
+/// stamp[v] == epoch, clearing just bumps the epoch (full reset only on the
+/// ~never-hit 32-bit wraparound).
+class EpochMask {
+ public:
+  void ensure(int n) {
+    if (stamp_.size() < static_cast<std::size_t>(n)) {
+      stamp_.resize(static_cast<std::size_t>(n), 0);
+    }
+  }
+  void clear() {
+    if (++epoch_ == 0) {
+      std::fill(stamp_.begin(), stamp_.end(), 0);
+      epoch_ = 1;
+    }
+  }
+  bool test(VertexId v) const { return stamp_[v] == epoch_; }
+  void set(VertexId v) { stamp_[v] = epoch_; }
+  void reset(VertexId v) { stamp_[v] = 0; }
+
+ private:
+  std::vector<std::uint32_t> stamp_;
+  std::uint32_t epoch_ = 1;
+};
+
+/// Scratch arrays threaded through the traversal kernels (BFS, component
+/// sweeps, induced spanning trees). `dist` / `parent` entries are valid only
+/// for vertices with `seen.test(v)` in the current epoch.
+struct TraversalWorkspace {
+  EpochMask seen;    ///< visited set of the current traversal
+  EpochMask in_set;  ///< vertex-subset restriction (induced traversals)
+  EpochMask aux;     ///< extra mask for callers (removed sets, bags, ...)
+  EpochMask aux2;    ///< second caller mask; never touched by the kernels
+  std::vector<int> dist;
+  std::vector<VertexId> parent;
+  std::vector<VertexId> frontier;  ///< flat FIFO queue; holds visit order
+  std::vector<VertexId> map;       ///< id remap scratch (see build_map)
+
+  void ensure(int n) {
+    seen.ensure(n);
+    in_set.ensure(n);
+    aux.ensure(n);
+    aux2.ensure(n);
+    if (dist.size() < static_cast<std::size_t>(n)) {
+      dist.resize(static_cast<std::size_t>(n));
+      parent.resize(static_cast<std::size_t>(n));
+    }
+    frontier.clear();
+    frontier.reserve(static_cast<std::size_t>(n));
+  }
+
+  /// Fills `map` (host-sized, kNoVertex outside) with part[i] -> i. Pair
+  /// with clear_map(part) after use; the cost is O(|part|) both ways.
+  void build_map(int host_n, std::span<const VertexId> part) {
+    if (map.size() < static_cast<std::size_t>(host_n)) {
+      map.assign(static_cast<std::size_t>(host_n), kNoVertex);
+    }
+    for (std::size_t i = 0; i < part.size(); ++i) {
+      map[part[i]] = static_cast<VertexId>(i);
+    }
+  }
+  void clear_map(std::span<const VertexId> part) {
+    for (VertexId v : part) map[v] = kNoVertex;
+  }
+};
+
+/// Connected components in flat (offsets, members) form — the allocation-free
+/// replacement for vector<vector<VertexId>> component lists.
+struct FlatComponents {
+  std::vector<VertexId> members;  ///< concatenated component vertex lists
+  std::vector<int> offsets{0};    ///< size count()+1 (default: 0 components)
+
+  int count() const { return static_cast<int>(offsets.size()) - 1; }
+  std::span<const VertexId> component(int i) const {
+    return {members.data() + offsets[i],
+            static_cast<std::size_t>(offsets[i + 1] - offsets[i])};
+  }
+  void clear() {
+    members.clear();
+    offsets.assign(1, 0);
+  }
+};
+
+}  // namespace lowtw::graph

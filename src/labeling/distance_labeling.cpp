@@ -5,6 +5,8 @@
 #include <memory>
 #include <queue>
 
+#include "graph/csr.hpp"
+#include "graph/workspace.hpp"
 #include "util/check.hpp"
 
 namespace lowtw::labeling {
@@ -99,6 +101,13 @@ DlResult build_distance_labeling(const graph::WeightedDigraph& g,
 
   std::vector<char> in_bag(static_cast<std::size_t>(n), 0);
   std::vector<int> bag_pos(static_cast<std::size_t>(n), -1);
+  // Per-node vertex subsets as epoch masks / reusable maps: the seed
+  // allocated an n-sized in_boundary vector per node and an n-sized
+  // local_of map per leaf, an O(#nodes · n) total that dominated large
+  // instances.
+  graph::EpochMask in_boundary;
+  in_boundary.ensure(n);
+  std::vector<VertexId> local_of(static_cast<std::size_t>(n), kNoVertex);
 
   // Per-node all-pairs matrices over B_y (kept until the parent's H_x is
   // assembled, then released). A vertex can lie on the border of several
@@ -108,6 +117,10 @@ DlResult build_distance_labeling(const graph::WeightedDigraph& g,
 
   const bool need_stats =
       engine.mode() == primitives::EngineMode::kTreeRealized;
+  // Flat skeleton + workspace for the tree-realized height measurements.
+  graph::CsrGraph skel_csr;
+  graph::TraversalWorkspace tw;
+  if (need_stats) skel_csr = graph::CsrGraph(skeleton);
 
   auto levels = hierarchy.levels();
   // Bottom-up: deepest level first.
@@ -119,28 +132,32 @@ DlResult build_distance_labeling(const graph::WeightedDigraph& g,
       auto gx = node.gx_vertices();
       primitives::PartStats stats =
           need_stats
-              ? primitives::part_stats(skeleton,
-                                       std::span<const VertexId>(gx))
+              ? primitives::part_stats(skel_csr,
+                                       std::span<const VertexId>(gx), tw)
               : primitives::PartStats{1, 0};
 
-      std::vector<char> in_boundary(static_cast<std::size_t>(n), 0);
-      for (VertexId v : node.boundary) in_boundary[v] = 1;
-
       if (node.leaf) {
+        in_boundary.clear();
+        for (VertexId v : node.boundary) in_boundary.set(v);
         // Leaf: broadcast G_x (h = arcs + vertices), local APSP.
-        // G_x arcs: both endpoints in gx, minus boundary-boundary arcs.
-        std::vector<int> local_of(static_cast<std::size_t>(n), -1);
+        // G_x arcs: both endpoints in gx, minus boundary-boundary arcs —
+        // collected by scanning gx's out-arcs, O(vol(gx)) instead of O(m).
+        // The collection order differs from arc-id order, but local_sssp
+        // distances (hence the rows and every charge) are order-invariant.
         for (std::size_t i = 0; i < gx.size(); ++i) {
-          local_of[gx[i]] = static_cast<int>(i);
+          local_of[gx[i]] = static_cast<VertexId>(i);
         }
         std::vector<std::array<int, 3>> arcs;
         std::vector<Weight> weights;
-        for (const Arc& a : g.arcs()) {
-          if (a.weight >= kInfinity) continue;
-          if (local_of[a.tail] < 0 || local_of[a.head] < 0) continue;
-          if (in_boundary[a.tail] && in_boundary[a.head]) continue;
-          arcs.push_back({local_of[a.tail], local_of[a.head], 0});
-          weights.push_back(a.weight);
+        for (VertexId u : gx) {
+          for (graph::EdgeId e : g.out_arcs(u)) {
+            const Arc& a = g.arc(e);
+            if (a.weight >= kInfinity) continue;
+            if (local_of[a.head] == kNoVertex) continue;
+            if (in_boundary.test(a.tail) && in_boundary.test(a.head)) continue;
+            arcs.push_back({local_of[a.tail], local_of[a.head], 0});
+            weights.push_back(a.weight);
+          }
         }
         engine.bct(stats,
                    static_cast<double>(arcs.size() + gx.size()), "dl/leaf");
@@ -160,7 +177,7 @@ DlResult build_distance_labeling(const graph::WeightedDigraph& g,
           }
         }
         node_rows[xi] = std::move(rows);
-        for (VertexId v : node.boundary) in_boundary[v] = 0;
+        for (VertexId v : gx) local_of[v] = kNoVertex;
         continue;
       }
 
@@ -172,14 +189,18 @@ DlResult build_distance_labeling(const graph::WeightedDigraph& g,
         bag_pos[bag[i]] = static_cast<int>(i);
       }
       BagMatrix hx(k);
-      // Direct arcs of G between bag vertices.
-      for (const Arc& a : g.arcs()) {
-        if (a.weight >= kInfinity) continue;
-        if (a.tail == a.head) continue;
-        if (in_bag[a.tail] && in_bag[a.head]) {
-          Weight& cell = hx.at(static_cast<std::size_t>(bag_pos[a.tail]),
-                               static_cast<std::size_t>(bag_pos[a.head]));
-          cell = std::min(cell, a.weight);
+      // Direct arcs of G between bag vertices, via the bag's out-arcs
+      // (O(vol(bag)) instead of a full arc scan; min-folding is
+      // order-invariant).
+      for (std::size_t i = 0; i < k; ++i) {
+        for (graph::EdgeId e : g.out_arcs(bag[i])) {
+          const Arc& a = g.arc(e);
+          if (a.weight >= kInfinity) continue;
+          if (a.tail == a.head) continue;
+          if (in_bag[a.head]) {
+            Weight& cell = hx.at(i, static_cast<std::size_t>(bag_pos[a.head]));
+            cell = std::min(cell, a.weight);
+          }
         }
       }
       // Child border distances: for each child i and u,v in its border
@@ -264,7 +285,6 @@ DlResult build_distance_labeling(const graph::WeightedDigraph& g,
         in_bag[bag[i]] = 0;
         bag_pos[bag[i]] = -1;
       }
-      for (VertexId v : node.boundary) in_boundary[v] = 0;
       // Keep this node's matrix for the parent; release the children's.
       node_rows[xi] = std::make_unique<BagMatrix>(std::move(hx));
       for (int ci : node.children) node_rows[ci].reset();

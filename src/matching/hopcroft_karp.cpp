@@ -12,7 +12,11 @@ namespace lowtw::matching {
 using graph::kNoVertex;
 using graph::VertexId;
 
-Matching hopcroft_karp(const graph::Graph& g) {
+namespace {
+
+/// Shared body: Graph and CsrGraph expose identical sorted adjacency.
+template <class AnyGraph>
+Matching hopcroft_karp_impl(const AnyGraph& g) {
   const int n = g.num_vertices();
   auto sides_opt = graph::bipartite_sides(g);
   LOWTW_CHECK_MSG(sides_opt.has_value(), "hopcroft_karp: graph not bipartite");
@@ -72,6 +76,14 @@ Matching hopcroft_karp(const graph::Graph& g) {
     }
   }
   return m;
+}
+
+}  // namespace
+
+Matching hopcroft_karp(const graph::Graph& g) { return hopcroft_karp_impl(g); }
+
+Matching hopcroft_karp(const graph::CsrGraph& g) {
+  return hopcroft_karp_impl(g);
 }
 
 bool is_valid_matching(const graph::Graph& g,

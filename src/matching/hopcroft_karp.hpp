@@ -4,6 +4,7 @@
 
 #include <vector>
 
+#include "graph/csr.hpp"
 #include "graph/graph.hpp"
 
 namespace lowtw::matching {
@@ -16,6 +17,10 @@ struct Matching {
 
 /// O(E sqrt(V)) maximum matching. Requires bipartite input (checked).
 Matching hopcroft_karp(const graph::Graph& g);
+
+/// Same algorithm over the flat CSR layout (identical matchings: both
+/// expose the same sorted adjacency).
+Matching hopcroft_karp(const graph::CsrGraph& g);
 
 /// True iff `mate` encodes a valid (not necessarily maximum) matching of g.
 bool is_valid_matching(const graph::Graph& g,

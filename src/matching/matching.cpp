@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "graph/algorithms.hpp"
+#include "graph/csr.hpp"
+#include "graph/workspace.hpp"
 #include "util/check.hpp"
 #include "walks/cdl.hpp"
 
@@ -35,6 +37,11 @@ DistributedMatchingResult max_bipartite_matching(const graph::Graph& g,
   LOWTW_CHECK_MSG(graph::bipartite_sides(g).has_value(),
                   "max_bipartite_matching requires a bipartite graph");
   const double rounds_before = engine.ledger().total();
+  const graph::CsrGraph gcsr(g);
+  graph::TraversalWorkspace tw;
+  tw.ensure(n);
+  graph::CsrGraph comp_graph;  // leaf-subgraph buffer, reused across leaves
+  std::vector<char> target;    // walk-target mask, reused across components
 
   DistributedMatchingResult result;
   auto td = td::build_hierarchy(g, params.td, rng, engine);
@@ -93,9 +100,12 @@ DistributedMatchingResult max_bipartite_matching(const graph::Graph& g,
       engine.mode() == primitives::EngineMode::kTreeRealized;
 
   // Executes insertion step `step` for every internal component of the
-  // level, in parallel. `cdl` is non-null in faithful mode (labels of this
-  // exact masked graph) and is used to cross-check walk lengths.
+  // level, in parallel. The product graph of `masked` is built once per
+  // step and shared by every component's walk query. `cdl` is non-null in
+  // faithful mode (labels of this exact masked graph) and is used to
+  // cross-check walk lengths.
   auto run_step = [&](const graph::WeightedDigraph& masked,
+                      const walks::ProductGraph& product,
                       const walks::CdlResult* cdl, int level, int step,
                       const std::vector<int>& level_nodes) {
     auto par = engine.ledger().parallel();
@@ -107,20 +117,21 @@ DistributedMatchingResult max_bipartite_matching(const graph::Graph& g,
       auto branch = par.branch();
       VertexId s = node.separator[step];
       LOWTW_CHECK_MSG(mate[s] == kNoVertex, "separator vertex pre-matched");
-      std::vector<char> target(static_cast<std::size_t>(n), 0);
+      target.assign(static_cast<std::size_t>(n), 0);
       for (VertexId v = 0; v < n; ++v) {
         target[v] = (v != s && mate[v] == kNoVertex &&
                      active_at(v, level, step))
                         ? 1
                         : 0;
       }
-      auto walk = walks::shortest_constrained_walk(masked, cons, s, target,
+      auto walk = walks::shortest_constrained_walk(product, s, target,
                                                    target_state, engine);
       // The source aggregates existence/argmin of the augmenting walk over
       // its component: one subgraph operation.
       primitives::PartStats stats =
           need_stats
-              ? primitives::part_stats(g, std::span<const VertexId>(node.comp))
+              ? primitives::part_stats(
+                    gcsr, std::span<const VertexId>(node.comp), tw)
               : primitives::PartStats{1, 0};
       engine.op(stats, "matching/aggregate");
       ++result.insertion_steps;
@@ -166,11 +177,12 @@ DistributedMatchingResult max_bipartite_matching(const graph::Graph& g,
         const td::HierarchyNode& node = hierarchy.nodes[xi];
         if (!node.leaf) continue;
         auto branch = par.branch();
-        std::vector<VertexId> to_local;
-        graph::Graph comp_graph = g.induced_subgraph(node.comp, &to_local);
+        tw.build_map(n, node.comp);
+        comp_graph.assign_induced(gcsr, node.comp, tw.map);
+        tw.clear_map(node.comp);
         primitives::PartStats stats =
             need_stats ? primitives::part_stats(
-                             g, std::span<const VertexId>(node.comp))
+                             gcsr, std::span<const VertexId>(node.comp), tw)
                        : primitives::PartStats{1, 0};
         engine.bct(stats,
                    static_cast<double>(comp_graph.num_edges() +
@@ -199,17 +211,19 @@ DistributedMatchingResult max_bipartite_matching(const graph::Graph& g,
       if (params.mode == MatchingMode::kFaithful) {
         auto cdl = walks::build_cdl(masked, g, hierarchy, cons, engine);
         ++result.cdl_builds;
-        run_step(masked, &cdl, level, step, *level_it);
+        run_step(masked, cdl.product, &cdl, level, step, *level_it);
       } else if (calibrated_cdl_rounds < 0) {
         auto cdl = walks::build_cdl(masked, g, hierarchy, cons, engine);
         ++result.cdl_builds;
         calibrated_cdl_rounds = cdl.rounds;
-        run_step(masked, nullptr, level, step, *level_it);
+        run_step(masked, cdl.product, nullptr, level, step, *level_it);
       } else {
         // Identical hierarchy and bag structure as the calibrated build:
         // charge the measured cost without redoing the label computation.
         engine.rounds(calibrated_cdl_rounds, "matching/cdl");
-        run_step(masked, nullptr, level, step, *level_it);
+        walks::ProductGraph product =
+            walks::build_product_graph(masked, cons);
+        run_step(masked, product, nullptr, level, step, *level_it);
       }
     }
   }

@@ -58,6 +58,53 @@ PartStats part_stats(const graph::Graph& host,
   return s;
 }
 
+namespace {
+
+/// CSR variant of bfs_height: same tree, no allocation.
+int bfs_height(const graph::CsrGraph& host,
+               std::span<const graph::VertexId> part,
+               graph::TraversalWorkspace& ws) {
+  if (part.size() <= 1) return 0;
+  ws.ensure(host.num_vertices());
+  ws.in_set.clear();
+  graph::VertexId root = part[0];
+  for (graph::VertexId v : part) {
+    ws.in_set.set(v);
+    root = std::min(root, v);
+  }
+  ws.seen.clear();
+  ws.frontier.clear();
+  ws.seen.set(root);
+  ws.dist[root] = 0;
+  ws.frontier.push_back(root);
+  int h = 0;
+  for (std::size_t head = 0; head < ws.frontier.size(); ++head) {
+    graph::VertexId u = ws.frontier[head];
+    h = std::max(h, ws.dist[u]);
+    for (graph::VertexId w : host.neighbors(u)) {
+      if (ws.in_set.test(w) && !ws.seen.test(w)) {
+        ws.seen.set(w);
+        ws.dist[w] = ws.dist[u] + 1;
+        ws.frontier.push_back(w);
+      }
+    }
+  }
+  LOWTW_CHECK_MSG(ws.frontier.size() == part.size(),
+                  "part not connected within the host graph");
+  return h;
+}
+
+}  // namespace
+
+PartStats part_stats(const graph::CsrGraph& host,
+                     std::span<const graph::VertexId> part,
+                     graph::TraversalWorkspace& ws) {
+  PartStats s;
+  s.num_parts = 1;
+  s.max_height = bfs_height(host, part, ws);
+  return s;
+}
+
 void Engine::charge(std::string_view tag, double r) {
   ledger_->add(tag, r * overhead_);
 }

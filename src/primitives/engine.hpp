@@ -7,7 +7,9 @@
 #include <string_view>
 #include <vector>
 
+#include "graph/csr.hpp"
 #include "graph/graph.hpp"
+#include "graph/workspace.hpp"
 #include "primitives/cost_model.hpp"
 #include "primitives/ledger.hpp"
 
@@ -37,6 +39,11 @@ PartStats part_stats(const graph::Graph& host,
 /// Convenience for a single part.
 PartStats part_stats(const graph::Graph& host,
                      std::span<const graph::VertexId> part);
+
+/// Allocation-free variants over the flat CSR layout (identical heights).
+PartStats part_stats(const graph::CsrGraph& host,
+                     std::span<const graph::VertexId> part,
+                     graph::TraversalWorkspace& ws);
 
 class Engine {
  public:

@@ -1,13 +1,49 @@
 #include "primitives/ledger.hpp"
 
+#include <algorithm>
+
 #include "util/check.hpp"
 
 namespace lowtw::primitives {
 
+int RoundLedger::intern(std::string_view tag) {
+  auto it = tag_ids_.find(tag);
+  if (it != tag_ids_.end()) return it->second;
+  tag_names_.emplace_back(tag);
+  int id = static_cast<int>(tag_names_.size()) - 1;
+  tag_ids_.emplace(std::string_view(tag_names_.back()), id);
+  return id;
+}
+
+RoundLedger::Frame RoundLedger::make_frame() {
+  if (spare_.empty()) return Frame{};
+  Frame f = std::move(spare_.back());
+  spare_.pop_back();
+  f.total = 0;
+  std::fill(f.by_tag.begin(), f.by_tag.end(), 0.0);
+  std::fill(f.touched.begin(), f.touched.end(), 0);
+  return f;
+}
+
+void RoundLedger::recycle(Frame&& f) {
+  // Bounded pool: each closed scope would otherwise net one extra frame
+  // (k branches consumed, k+1 recycled counting the replaced default
+  // `best`), growing spare_ for the life of the ledger. A handful covers
+  // the realistic nesting depth.
+  if (spare_.size() < 16) spare_.push_back(std::move(f));
+}
+
 void RoundLedger::add(std::string_view tag, double rounds) {
   LOWTW_CHECK_MSG(rounds >= 0, "negative round charge " << rounds);
-  top().total += rounds;
-  top().by_tag[std::string(tag)] += rounds;
+  int id = intern(tag);
+  Frame& f = top();
+  f.total += rounds;
+  if (f.by_tag.size() <= static_cast<std::size_t>(id)) {
+    f.by_tag.resize(static_cast<std::size_t>(id) + 1, 0.0);
+    f.touched.resize(static_cast<std::size_t>(id) + 1, 0);
+  }
+  f.by_tag[id] += rounds;
+  f.touched[id] = 1;
 }
 
 double RoundLedger::total() const {
@@ -15,9 +51,14 @@ double RoundLedger::total() const {
   return stack_.front().total;
 }
 
-const std::map<std::string, double>& RoundLedger::breakdown() const {
+std::map<std::string, double> RoundLedger::breakdown() const {
   LOWTW_CHECK_MSG(groups_.empty(), "breakdown() inside an open parallel scope");
-  return stack_.front().by_tag;
+  std::map<std::string, double> out;
+  const Frame& root = stack_.front();
+  for (std::size_t id = 0; id < root.by_tag.size(); ++id) {
+    if (root.touched[id]) out[tag_names_[id]] = root.by_tag[id];
+  }
+  return out;
 }
 
 void RoundLedger::reset() {
@@ -33,7 +74,7 @@ void RoundLedger::begin_parallel() {
 
 void RoundLedger::begin_branch() {
   LOWTW_CHECK_MSG(!groups_.empty(), "branch outside parallel scope");
-  stack_.push_back(Frame{});
+  stack_.push_back(make_frame());
 }
 
 void RoundLedger::end_branch() {
@@ -41,7 +82,12 @@ void RoundLedger::end_branch() {
   Frame f = std::move(stack_.back());
   stack_.pop_back();
   Group& g = groups_.back();
-  if (!g.any_branch || f.total > g.best.total) g.best = std::move(f);
+  if (!g.any_branch || f.total > g.best.total) {
+    recycle(std::move(g.best));
+    g.best = std::move(f);
+  } else {
+    recycle(std::move(f));
+  }
   g.any_branch = true;
 }
 
@@ -53,8 +99,17 @@ void RoundLedger::end_parallel() {
   groups_.pop_back();
   group_base_.pop_back();
   if (g.any_branch) {
-    top().total += g.best.total;
-    for (const auto& [tag, r] : g.best.by_tag) top().by_tag[tag] += r;
+    Frame& t = top();
+    t.total += g.best.total;
+    if (t.by_tag.size() < g.best.by_tag.size()) {
+      t.by_tag.resize(g.best.by_tag.size(), 0.0);
+      t.touched.resize(g.best.by_tag.size(), 0);
+    }
+    for (std::size_t id = 0; id < g.best.by_tag.size(); ++id) {
+      t.by_tag[id] += g.best.by_tag[id];
+      t.touched[id] |= g.best.touched[id];
+    }
+    recycle(std::move(g.best));
   }
 }
 

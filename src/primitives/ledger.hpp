@@ -10,12 +10,18 @@
 //     invocations share rounds instead of adding.
 //
 // The ledger also keeps a per-tag breakdown so benches can report which
-// phase (separator, split, broadcast, vertex cut, ...) dominates.
+// phase (separator, split, broadcast, vertex cut, ...) dominates. Tags are
+// interned once into small integer ids; frames hold flat double arrays and
+// are recycled across branches, so charging is allocation-free on the hot
+// path (the separator opens a branch per hierarchy node and charges tens of
+// thousands of times per build).
 #pragma once
 
+#include <deque>
 #include <map>
 #include <string>
 #include <string_view>
+#include <unordered_map>
 #include <vector>
 
 namespace lowtw::primitives {
@@ -23,6 +29,13 @@ namespace lowtw::primitives {
 class RoundLedger {
  public:
   RoundLedger() { stack_.push_back(Frame{}); }
+  // Not copyable: tag_ids_ keys are string_views into tag_names_, so a
+  // copy's keys would dangle into the source. Moves are safe (deque moves
+  // preserve element addresses).
+  RoundLedger(const RoundLedger&) = delete;
+  RoundLedger& operator=(const RoundLedger&) = delete;
+  RoundLedger(RoundLedger&&) = default;
+  RoundLedger& operator=(RoundLedger&&) = default;
 
   /// Charges `rounds` under `tag` to the innermost frame.
   void add(std::string_view tag, double rounds);
@@ -31,8 +44,8 @@ class RoundLedger {
   /// parallel scope is open.
   double total() const;
 
-  /// Per-tag breakdown at the root frame.
-  const std::map<std::string, double>& breakdown() const;
+  /// Per-tag breakdown at the root frame (built on demand).
+  std::map<std::string, double> breakdown() const;
 
   void reset();
 
@@ -77,7 +90,9 @@ class RoundLedger {
  private:
   struct Frame {
     double total = 0;
-    std::map<std::string, double> by_tag;
+    std::vector<double> by_tag;  ///< indexed by interned tag id
+    std::vector<char> touched;   ///< tag charged in this frame (0-valued
+                                 ///< charges still appear in breakdown())
   };
   struct Group {
     Frame best;
@@ -85,11 +100,19 @@ class RoundLedger {
   };
 
   Frame& top() { return stack_.back(); }
+  int intern(std::string_view tag);
+  Frame make_frame();
+  void recycle(Frame&& f);
 
   std::vector<Frame> stack_;
   std::vector<Group> groups_;
   // Depth markers: which stack frames belong to branches (sanity checking).
   std::vector<std::size_t> group_base_;
+  std::vector<Frame> spare_;  ///< recycled branch frames (buffer reuse)
+
+  // Tag interning: names in a deque so string_view keys stay stable.
+  std::deque<std::string> tag_names_;
+  std::unordered_map<std::string_view, int> tag_ids_;
 };
 
 }  // namespace lowtw::primitives

@@ -7,8 +7,10 @@
 
 namespace lowtw::primitives {
 
+using graph::CsrGraph;
 using graph::Graph;
 using graph::kNoVertex;
+using graph::TraversalWorkspace;
 using graph::VertexId;
 
 std::vector<VertexId> induced_bfs_tree(const Graph& host,
@@ -38,101 +40,150 @@ std::vector<VertexId> induced_bfs_tree(const Graph& host,
   return parent;
 }
 
+void induced_bfs_tree(const CsrGraph& host, std::span<const VertexId> part,
+                      VertexId root, TraversalWorkspace& ws) {
+  ws.ensure(host.num_vertices());
+  ws.in_set.clear();
+  for (VertexId v : part) ws.in_set.set(v);
+  LOWTW_CHECK_MSG(ws.in_set.test(root), "root " << root << " not in part");
+  ws.seen.clear();
+  ws.frontier.clear();
+  ws.seen.set(root);
+  ws.parent[root] = root;
+  ws.frontier.push_back(root);
+  for (std::size_t head = 0; head < ws.frontier.size(); ++head) {
+    VertexId u = ws.frontier[head];
+    for (VertexId w : host.neighbors(u)) {
+      if (ws.in_set.test(w) && !ws.seen.test(w)) {
+        ws.seen.set(w);
+        ws.parent[w] = u;
+        ws.frontier.push_back(w);
+      }
+    }
+  }
+  LOWTW_CHECK_MSG(ws.frontier.size() == part.size(), "part not connected");
+}
+
 namespace {
 
-/// Tiny max-flow network specialized for unit vertex capacities.
-class FlowNet {
+/// Unit-vertex-capacity max-flow on the node-split network, operating on a
+/// caller-held FlowScratch arena. The network layout and the BFS
+/// augmentation order are exactly those of the original FlowNet, so cut
+/// results are bit-for-bit reproducible across the Graph and CSR overloads.
+class FlowKernel {
  public:
-  explicit FlowNet(int num_nodes) : head_(static_cast<std::size_t>(num_nodes), -1) {}
+  FlowKernel(FlowScratch& s, int num_nodes) : s_(s) {
+    s_.head.assign(static_cast<std::size_t>(num_nodes), -1);
+    s_.to.clear();
+    s_.next.clear();
+    s_.cap.clear();
+    if (s_.pred_edge.size() < static_cast<std::size_t>(num_nodes)) {
+      s_.pred_edge.resize(static_cast<std::size_t>(num_nodes));
+    }
+    s_.seen.ensure(num_nodes);
+    s_.queue.clear();
+    s_.queue.reserve(static_cast<std::size_t>(num_nodes));
+  }
 
   void add_edge(int from, int to, int cap) {
-    edges_.push_back({to, head_[from], cap});
-    head_[from] = static_cast<int>(edges_.size()) - 1;
-    edges_.push_back({from, head_[to], 0});
-    head_[to] = static_cast<int>(edges_.size()) - 1;
+    push_half(to, s_.head[from], cap);
+    s_.head[from] = static_cast<int>(s_.to.size()) - 1;
+    push_half(from, s_.head[to], 0);
+    s_.head[to] = static_cast<int>(s_.to.size()) - 1;
   }
 
   /// One BFS augmentation from s to t; returns true if a unit was pushed.
   bool augment(int s, int t) {
-    std::vector<int> pred_edge(head_.size(), -1);
-    std::vector<char> seen(head_.size(), 0);
-    std::queue<int> q;
-    seen[s] = 1;
-    q.push(s);
-    while (!q.empty() && !seen[t]) {
-      int u = q.front();
-      q.pop();
-      for (int e = head_[u]; e != -1; e = edges_[e].next) {
-        if (edges_[e].cap > 0 && !seen[edges_[e].to]) {
-          seen[edges_[e].to] = 1;
-          pred_edge[edges_[e].to] = e;
-          q.push(edges_[e].to);
+    s_.seen.clear();
+    s_.queue.clear();
+    s_.seen.set(s);
+    s_.queue.push_back(s);
+    bool found = false;
+    for (std::size_t head = 0; head < s_.queue.size() && !found; ++head) {
+      int u = s_.queue[head];
+      for (int e = s_.head[u]; e != -1; e = s_.next[e]) {
+        if (s_.cap[e] > 0 && !s_.seen.test(s_.to[e])) {
+          s_.seen.set(s_.to[e]);
+          s_.pred_edge[s_.to[e]] = e;
+          if (s_.to[e] == t) {
+            found = true;
+            break;
+          }
+          s_.queue.push_back(s_.to[e]);
         }
       }
     }
-    if (!seen[t]) return false;
+    if (!found) return false;
     // All augmenting paths here have bottleneck 1 (every s-t path passes a
     // unit-capacity vertex edge); push one unit.
     for (int v = t; v != s;) {
-      int e = pred_edge[v];
-      edges_[e].cap -= 1;
-      edges_[e ^ 1].cap += 1;
-      v = edges_[e ^ 1].to;
+      int e = s_.pred_edge[v];
+      s_.cap[e] -= 1;
+      s_.cap[e ^ 1] += 1;
+      v = s_.to[e ^ 1];
     }
     return true;
   }
 
-  /// Residual reachability from s.
-  std::vector<char> reachable(int s) const {
-    std::vector<char> seen(head_.size(), 0);
-    std::queue<int> q;
-    seen[s] = 1;
-    q.push(s);
-    while (!q.empty()) {
-      int u = q.front();
-      q.pop();
-      for (int e = head_[u]; e != -1; e = edges_[e].next) {
-        if (edges_[e].cap > 0 && !seen[edges_[e].to]) {
-          seen[edges_[e].to] = 1;
-          q.push(edges_[e].to);
+  /// Residual reachability from s; valid in s_.seen until the next augment.
+  void compute_reachable(int s) {
+    s_.seen.clear();
+    s_.queue.clear();
+    s_.seen.set(s);
+    s_.queue.push_back(s);
+    for (std::size_t head = 0; head < s_.queue.size(); ++head) {
+      int u = s_.queue[head];
+      for (int e = s_.head[u]; e != -1; e = s_.next[e]) {
+        if (s_.cap[e] > 0 && !s_.seen.test(s_.to[e])) {
+          s_.seen.set(s_.to[e]);
+          s_.queue.push_back(s_.to[e]);
         }
       }
     }
-    return seen;
   }
 
+  bool reachable(int v) const { return s_.seen.test(v); }
+
  private:
-  struct Edge {
-    int to;
-    int next;
-    int cap;
-  };
-  std::vector<int> head_;
-  std::vector<Edge> edges_;
+  void push_half(int to, int next, int cap) {
+    s_.to.push_back(to);
+    s_.next.push_back(next);
+    s_.cap.push_back(cap);
+  }
+
+  FlowScratch& s_;
 };
 
-}  // namespace
-
-VertexCutResult min_vertex_cut(const Graph& g, std::span<const VertexId> u1,
-                               std::span<const VertexId> u2, int bound) {
+/// Shared cut computation: Graph and CsrGraph expose identical sorted
+/// adjacency, so one body serves both (and guarantees identical cuts).
+template <class AnyGraph>
+VertexCutResult min_vertex_cut_impl(const AnyGraph& g,
+                                    std::span<const VertexId> u1,
+                                    std::span<const VertexId> u2, int bound,
+                                    FlowScratch& scratch) {
   LOWTW_CHECK(bound >= 0);
   const int n = g.num_vertices();
-  std::vector<char> in1(static_cast<std::size_t>(n), 0);
-  std::vector<char> in2(static_cast<std::size_t>(n), 0);
-  for (VertexId v : u1) in1[v] = 1;
-  for (VertexId v : u2) in2[v] = 1;
 
   VertexCutResult result;
+  // Terminal membership as epoch masks: O(|u1| + |u2|) setup instead of two
+  // n-sized mask vectors per call.
+  scratch.in1.ensure(n);
+  scratch.in2.ensure(n);
+  scratch.in1.clear();
+  scratch.in2.clear();
+  for (VertexId v : u1) scratch.in1.set(v);
+  for (VertexId v : u2) scratch.in2.set(v);
+
   // ∞-size cases: shared vertex or direct crossing edge (Section 3.2).
   for (VertexId v : u1) {
-    if (in2[v]) {
+    if (scratch.in2.test(v)) {
       result.status = VertexCutResult::Status::kInfinite;
       return result;
     }
   }
   for (VertexId v : u1) {
     for (VertexId w : g.neighbors(v)) {
-      if (in2[w]) {
+      if (scratch.in2.test(w)) {
         result.status = VertexCutResult::Status::kInfinite;
         return result;
       }
@@ -143,13 +194,18 @@ VertexCutResult min_vertex_cut(const Graph& g, std::span<const VertexId> u1,
   const int kInfCap = 1 << 29;
   const int s = 2 * n;
   const int t = 2 * n + 1;
-  FlowNet net(2 * n + 2);
+  FlowKernel net(scratch, 2 * n + 2);
   for (VertexId v = 0; v < n; ++v) {
-    net.add_edge(2 * v, 2 * v + 1, (in1[v] || in2[v]) ? kInfCap : 1);
+    bool terminal = scratch.in1.test(v) || scratch.in2.test(v);
+    net.add_edge(2 * v, 2 * v + 1, terminal ? kInfCap : 1);
   }
-  for (auto [a, b] : g.edges()) {
-    net.add_edge(2 * a + 1, 2 * b, kInfCap);
-    net.add_edge(2 * b + 1, 2 * a, kInfCap);
+  for (VertexId a = 0; a < n; ++a) {
+    for (VertexId b : g.neighbors(a)) {
+      if (a < b) {
+        net.add_edge(2 * a + 1, 2 * b, kInfCap);
+        net.add_edge(2 * b + 1, 2 * a, kInfCap);
+      }
+    }
   }
   for (VertexId v : u1) net.add_edge(s, 2 * v, kInfCap);
   for (VertexId v : u2) net.add_edge(2 * v + 1, t, kInfCap);
@@ -161,16 +217,31 @@ VertexCutResult min_vertex_cut(const Graph& g, std::span<const VertexId> u1,
     return result;
   }
 
-  std::vector<char> reach = net.reachable(s);
+  net.compute_reachable(s);
   result.status = VertexCutResult::Status::kFound;
   for (VertexId v = 0; v < n; ++v) {
-    if (!in1[v] && !in2[v] && reach[2 * v] && !reach[2 * v + 1]) {
+    if (!scratch.in1.test(v) && !scratch.in2.test(v) &&
+        net.reachable(2 * v) && !net.reachable(2 * v + 1)) {
       result.cut.push_back(v);
     }
   }
   LOWTW_CHECK_MSG(static_cast<int>(result.cut.size()) == flow,
                   "cut size " << result.cut.size() << " != flow " << flow);
   return result;
+}
+
+}  // namespace
+
+VertexCutResult min_vertex_cut(const Graph& g, std::span<const VertexId> u1,
+                               std::span<const VertexId> u2, int bound) {
+  FlowScratch scratch;
+  return min_vertex_cut_impl(g, u1, u2, bound, scratch);
+}
+
+VertexCutResult min_vertex_cut(const CsrGraph& g, std::span<const VertexId> u1,
+                               std::span<const VertexId> u2, int bound,
+                               FlowScratch& scratch) {
+  return min_vertex_cut_impl(g, u1, u2, bound, scratch);
 }
 
 bool is_vertex_cut(const Graph& g, std::span<const VertexId> u1,

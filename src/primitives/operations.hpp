@@ -9,7 +9,9 @@
 #include <span>
 #include <vector>
 
+#include "graph/csr.hpp"
 #include "graph/graph.hpp"
+#include "graph/workspace.hpp"
 
 namespace lowtw::primitives {
 
@@ -20,6 +22,14 @@ namespace lowtw::primitives {
 std::vector<graph::VertexId> induced_bfs_tree(const graph::Graph& host,
                                               std::span<const graph::VertexId> part,
                                               graph::VertexId root);
+
+/// Allocation-free variant: fills ws.parent for part vertices (root points
+/// to itself), marks ws.seen, and records the BFS visit order in
+/// ws.frontier. Same traversal (hence the same tree) as the Graph overload.
+/// Clobbers ws.seen / ws.in_set / ws.frontier. CHECKs part connectivity.
+void induced_bfs_tree(const graph::CsrGraph& host,
+                      std::span<const graph::VertexId> part,
+                      graph::VertexId root, graph::TraversalWorkspace& ws);
 
 /// Result of a bounded minimum vertex-cut computation (MVC(t), Lemma 8).
 struct VertexCutResult {
@@ -32,6 +42,19 @@ struct VertexCutResult {
   std::vector<graph::VertexId> cut;  ///< valid iff status == kFound
 };
 
+/// Reusable arena for min_vertex_cut: the residual-network arrays and the
+/// per-augmentation BFS scratch, so repeated cut computations on same-sized
+/// graphs allocate nothing. Contents are internal to the flow kernel.
+class FlowScratch {
+ public:
+  std::vector<int> head;
+  std::vector<int> to, next, cap;  ///< struct-of-arrays residual edges
+  std::vector<int> pred_edge;
+  std::vector<int> queue;
+  graph::EpochMask seen;      ///< per-BFS visited set
+  graph::EpochMask in1, in2;  ///< terminal (U1 / U2) membership
+};
+
 /// Minimum U1-U2 vertex cut of `g` restricted to Z ⊆ V \ (U1 ∪ U2)
 /// (Section 3.2): a smallest vertex set whose removal disconnects U1 from
 /// U2. Computed via unit-vertex-capacity max-flow with at most bound+1
@@ -39,6 +62,14 @@ struct VertexCutResult {
 VertexCutResult min_vertex_cut(const graph::Graph& g,
                                std::span<const graph::VertexId> u1,
                                std::span<const graph::VertexId> u2, int bound);
+
+/// Same computation over the flat CSR layout with caller-held scratch; the
+/// residual network is built in the same edge order, so the (non-unique)
+/// minimum cut returned is identical vertex-for-vertex.
+VertexCutResult min_vertex_cut(const graph::CsrGraph& g,
+                               std::span<const graph::VertexId> u1,
+                               std::span<const graph::VertexId> u2, int bound,
+                               FlowScratch& scratch);
 
 /// Verifies that `cut` disconnects u1 from u2 in g (used by tests and by
 /// Sep's balance validation).

@@ -46,6 +46,14 @@ TdBuildResult build_hierarchy(const Graph& g, const TdParams& params,
   LOWTW_CHECK_MSG(g.num_vertices() >= 1, "empty graph");
   LOWTW_CHECK_MSG(graph::is_connected(g), "build_hierarchy requires a connected graph");
 
+  // Freeze the host into the flat CSR layout once; every separator call and
+  // component sweep below runs on it through reusable workspaces.
+  const graph::CsrGraph csr(g);
+  SepWorkspace sep_ws;
+  graph::TraversalWorkspace tw;  // host-space scratch for the builder itself
+  graph::FlatComponents comps;
+  tw.ensure(g.num_vertices());
+
   TdBuildResult result;
   auto& nodes = result.hierarchy.nodes;
   const double rounds_before = engine.ledger().total();
@@ -59,6 +67,7 @@ TdBuildResult build_hierarchy(const Graph& g, const TdParams& params,
     nodes.push_back(std::move(root));
   }
   std::vector<int> frontier{0};
+  std::vector<VertexId> rest;
 
   while (!frontier.empty()) {
     std::vector<int> next_frontier;
@@ -70,7 +79,8 @@ TdBuildResult build_hierarchy(const Graph& g, const TdParams& params,
       // Sep on G'_x with X = V(G'_x). (Reading nodes[xi] via index, not
       // reference: nodes may reallocate when children are appended.)
       SeparatorResult sep = find_balanced_separator(
-          g, nodes[xi].comp, nodes[xi].comp, params.sep, rng, engine, t);
+          csr, nodes[xi].comp, nodes[xi].comp, params.sep, rng, engine, t,
+          sep_ws);
       t = std::max(t, sep.t_used);
       result.t_used = t;
       nodes[xi].separator = sep.separator;
@@ -92,11 +102,11 @@ TdBuildResult build_hierarchy(const Graph& g, const TdParams& params,
 
       // Children: components of comp - S'_x; each child's boundary is the
       // set of B_x vertices adjacent to it.
-      std::vector<char> in_sep(static_cast<std::size_t>(g.num_vertices()), 0);
-      for (VertexId v : nodes[xi].separator) in_sep[v] = 1;
-      std::vector<VertexId> rest;
+      tw.aux.clear();
+      for (VertexId v : nodes[xi].separator) tw.aux.set(v);
+      rest.clear();
       for (VertexId v : nodes[xi].comp) {
-        if (!in_sep[v]) rest.push_back(v);
+        if (!tw.aux.test(v)) rest.push_back(v);
       }
       if (rest.empty()) {
         // Separator consumed the component: natural leaf.
@@ -108,28 +118,32 @@ TdBuildResult build_hierarchy(const Graph& g, const TdParams& params,
       // CCD detects the components; one subgraph operation per level-part.
       if (engine.mode() == primitives::EngineMode::kTreeRealized) {
         engine.op(primitives::part_stats(
-                      g, std::span<const VertexId>(nodes[xi].comp)),
+                      csr, std::span<const VertexId>(nodes[xi].comp), tw),
                   "td/ccd");
       } else {
         engine.op(primitives::PartStats{1, 0}, "td/ccd");
       }
-      std::vector<char> in_bag(static_cast<std::size_t>(g.num_vertices()), 0);
-      for (VertexId v : nodes[xi].bag) in_bag[v] = 1;
-      for (auto& comp : graph::induced_components(g, rest)) {
+      graph::induced_components(csr, rest, tw, comps);
+      // tw.aux / tw.aux2 survive the component sweep (it only uses
+      // seen/in_set/dist): aux marks the bag, aux2 the per-child adjacency.
+      tw.aux.clear();
+      for (VertexId v : nodes[xi].bag) tw.aux.set(v);
+      for (int ci = 0; ci < comps.count(); ++ci) {
+        auto comp = comps.component(ci);
         HierarchyNode child;
         child.parent = xi;
         child.depth = nodes[xi].depth + 1;
         // Boundary: bag vertices adjacent to the component.
-        std::vector<char> adj_bag(static_cast<std::size_t>(g.num_vertices()), 0);
+        tw.aux2.clear();
         for (VertexId v : comp) {
-          for (VertexId w : g.neighbors(v)) {
-            if (in_bag[w]) adj_bag[w] = 1;
+          for (VertexId w : csr.neighbors(v)) {
+            if (tw.aux.test(w)) tw.aux2.set(w);
           }
         }
         for (VertexId w : nodes[xi].bag) {
-          if (adj_bag[w]) child.boundary.push_back(w);
+          if (tw.aux2.test(w)) child.boundary.push_back(w);
         }
-        child.comp = std::move(comp);
+        child.comp.assign(comp.begin(), comp.end());
         int child_id = static_cast<int>(nodes.size());
         nodes[xi].children.push_back(child_id);
         nodes.push_back(std::move(child));

@@ -1,8 +1,6 @@
 #include "td/separator.hpp"
 
 #include <algorithm>
-#include <functional>
-#include <queue>
 
 #include "graph/algorithms.hpp"
 #include "primitives/operations.hpp"
@@ -12,10 +10,13 @@
 
 namespace lowtw::td {
 
+using graph::CsrGraph;
+using graph::EpochMask;
 using graph::Graph;
 using graph::kNoVertex;
+using graph::TraversalWorkspace;
 using graph::VertexId;
-using internal::SplitWorkspace;
+using internal::TreeAdjacency;
 using internal::TreePiece;
 
 namespace {
@@ -26,101 +27,128 @@ std::int64_t mu_of(std::span<const VertexId> vs, const std::vector<char>& in_x) 
   return m;
 }
 
-}  // namespace
-
-bool is_balanced_separator(const Graph& host, std::span<const VertexId> part,
-                           std::span<const VertexId> x_set,
-                           std::span<const VertexId> separator,
-                           double balance) {
-  std::vector<char> in_x(static_cast<std::size_t>(host.num_vertices()), 0);
-  std::vector<char> in_part(static_cast<std::size_t>(host.num_vertices()), 0);
-  for (VertexId v : part) in_part[v] = 1;
-  for (VertexId v : x_set) {
-    if (in_part[v]) in_x[v] = 1;
-  }
-  std::int64_t mu_total = 0;
-  for (VertexId v = 0; v < host.num_vertices(); ++v) {
-    mu_total += in_x[v] ? 1 : 0;
-  }
-  if (mu_total == 0) return true;
-  std::vector<char> removed(static_cast<std::size_t>(host.num_vertices()), 0);
-  for (VertexId v : separator) removed[v] = 1;
-  std::vector<VertexId> remaining;
-  for (VertexId v : part) {
-    if (!removed[v]) remaining.push_back(v);
-  }
-  const double cap = balance * static_cast<double>(mu_total);
-  for (const auto& comp : graph::induced_components(host, remaining)) {
-    if (static_cast<double>(mu_of(comp, in_x)) > cap) return false;
+/// Components of (local minus `removed`), each checked against the µ cap —
+/// the allocation-free core of is_balanced_separator for the case
+/// part = V(local), x = in_x. Clobbers ws.tw.seen / ws.tw.frontier.
+bool balanced_after_removal(const CsrGraph& local,
+                            const std::vector<char>& in_x,
+                            const EpochMask& removed, double cap,
+                            TraversalWorkspace& tw) {
+  const int n = local.num_vertices();
+  tw.ensure(n);
+  tw.seen.clear();
+  tw.frontier.clear();
+  for (VertexId s = 0; s < n; ++s) {
+    if (removed.test(s) || tw.seen.test(s)) continue;
+    std::int64_t mu = 0;
+    std::size_t head = tw.frontier.size();
+    tw.seen.set(s);
+    tw.frontier.push_back(s);
+    for (; head < tw.frontier.size(); ++head) {
+      VertexId u = tw.frontier[head];
+      mu += in_x[u] ? 1 : 0;
+      for (VertexId w : local.neighbors(u)) {
+        if (!removed.test(w) && !tw.seen.test(w)) {
+          tw.seen.set(w);
+          tw.frontier.push_back(w);
+        }
+      }
+    }
+    if (static_cast<double>(mu) > cap) return false;
   }
   return true;
 }
 
-std::optional<std::vector<VertexId>> sep_attempt(
-    const Graph& host, std::span<const VertexId> part,
-    std::span<const VertexId> x_set, int t, const SepParams& params,
-    util::Rng& rng, primitives::Engine& engine) {
+/// Maps an ascending local-id list back to (sorted) global ids.
+std::vector<VertexId> to_global_sorted(std::span<const VertexId> locals,
+                                       std::span<const VertexId> part) {
+  std::vector<VertexId> out;
+  out.reserve(locals.size());
+  for (VertexId lv : locals) out.push_back(part[lv]);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+/// One Sep attempt over the prepared local view in `ws`. All state is in
+/// local ids (positions in `part`); only the returned separator is global.
+std::optional<std::vector<VertexId>> sep_attempt_local(
+    SepWorkspace& ws, std::span<const VertexId> part, int t,
+    const SepParams& params, util::Rng& rng, primitives::Engine& engine) {
   LOWTW_CHECK(t >= 1);
-  // Work on the induced local copy: the algorithm's G is host[part].
-  std::vector<VertexId> to_local;
-  Graph local = host.induced_subgraph(part, &to_local);
+  const CsrGraph& local = ws.local;
   const int n = local.num_vertices();
-  std::vector<char> in_x(static_cast<std::size_t>(n), 0);
-  for (VertexId v : x_set) {
-    if (to_local[v] != kNoVertex) in_x[to_local[v]] = 1;
-  }
-  auto to_global_sorted = [&](std::vector<VertexId> locals) {
-    for (VertexId& v : locals) v = part[v];
-    std::sort(locals.begin(), locals.end());
-    locals.erase(std::unique(locals.begin(), locals.end()), locals.end());
-    return locals;
-  };
+  const std::vector<char>& in_x = ws.in_x;
 
   const bool need_stats =
       engine.mode() == primitives::EngineMode::kTreeRealized;
-  std::vector<VertexId> all_local(static_cast<std::size_t>(n));
-  for (VertexId v = 0; v < n; ++v) all_local[v] = v;
   primitives::PartStats stats =
-      need_stats ? primitives::part_stats(local, std::span<const VertexId>(
-                                                     all_local))
+      need_stats ? primitives::part_stats(
+                       local, std::span<const VertexId>(ws.all_local), ws.tw)
                  : primitives::PartStats{1, 0};
 
-  std::int64_t mu_g = 0;
-  for (VertexId v = 0; v < n; ++v) mu_g += in_x[v] ? 1 : 0;
+  const auto mu_g = static_cast<std::int64_t>(ws.x_list.size());
   engine.pa(stats, "sep/count");
 
   // Step 1: small-µ base case — X itself separates.
   if (static_cast<double>(mu_g) <= params.base_cap(t)) {
-    std::vector<VertexId> x_local;
-    for (VertexId v = 0; v < n; ++v) {
-      if (in_x[v]) x_local.push_back(v);
-    }
-    return to_global_sorted(std::move(x_local));
+    return to_global_sorted(ws.x_list, part);
   }
 
   const auto low = static_cast<std::int64_t>(
       std::max(1.0, static_cast<double>(mu_g) / (12.0 * t)));
   const double cap = static_cast<double>(mu_g) / (4.0 * t);
+  const double balance_cap = params.balance * static_cast<double>(mu_g);
   const int t_hat = params.iterations(t);
 
-  std::vector<VertexId> cur(all_local);  // G_i
-  std::vector<std::vector<TreePiece>> iteration_pieces;
-  std::vector<char> root_acc_mask(static_cast<std::size_t>(n), 0);
-  SplitWorkspace ws(n);
+  std::vector<VertexId>& cur = ws.cur;  // G_i
+  cur.assign(ws.all_local.begin(), ws.all_local.end());
+  auto& iteration_pieces = ws.iteration_pieces;
+  iteration_pieces.clear();
+  ws.root_acc.ensure(n);
+  ws.root_acc.clear();
+  ws.ri.ensure(n);
+  ws.split.ensure(n);
+  if (ws.tree_deg.size() < static_cast<std::size_t>(n)) {
+    ws.tree_deg.resize(static_cast<std::size_t>(n));
+    ws.tree_start.resize(static_cast<std::size_t>(n));
+    ws.tree_fill.resize(static_cast<std::size_t>(n));
+  }
 
   for (int iter = 0; iter < t_hat && !cur.empty(); ++iter) {
     // Step 2: spanning tree of G_i (RST) + Split.
     VertexId root = *std::min_element(cur.begin(), cur.end());
-    std::vector<VertexId> tree_parent =
-        primitives::induced_bfs_tree(local, cur, root);
+    primitives::induced_bfs_tree(local, cur, root, ws.tw);
     engine.op(stats, "sep/rst");
-    std::vector<std::vector<VertexId>> tree_adj(static_cast<std::size_t>(n));
+    // Flat tree adjacency from the parent pointers, O(|cur|): one scan
+    // appends parent(v) to v's list and v to parent(v)'s list, matching the
+    // legacy vector<vector> construction entry-for-entry (see
+    // TreeAdjacency's order contract in split.hpp).
+    for (VertexId v : cur) ws.tree_deg[v] = 0;
     for (VertexId v : cur) {
-      if (tree_parent[v] != v && tree_parent[v] != kNoVertex) {
-        tree_adj[v].push_back(tree_parent[v]);
-        tree_adj[tree_parent[v]].push_back(v);
+      VertexId p = ws.tw.parent[v];
+      if (p != v) {
+        ++ws.tree_deg[v];
+        ++ws.tree_deg[p];
       }
     }
+    int pos = 0;
+    for (VertexId v : cur) {
+      ws.tree_start[v] = pos;
+      ws.tree_fill[v] = pos;
+      pos += ws.tree_deg[v];
+    }
+    if (ws.tree_data.size() < static_cast<std::size_t>(pos)) {
+      ws.tree_data.resize(static_cast<std::size_t>(pos));
+    }
+    for (VertexId v : cur) {
+      VertexId p = ws.tw.parent[v];
+      if (p != v) {
+        ws.tree_data[ws.tree_fill[v]++] = p;
+        ws.tree_data[ws.tree_fill[p]++] = v;
+      }
+    }
+    TreeAdjacency tree_adj{ws.tree_data.data(), ws.tree_start.data(),
+                           ws.tree_deg.data()};
 
     std::vector<TreePiece> heavy;  // T
     std::vector<TreePiece> ti;     // T_i
@@ -144,7 +172,8 @@ std::optional<std::vector<VertexId>> sep_attempt(
       std::vector<TreePiece> next_heavy;
       for (TreePiece& piece : heavy) {
         const std::size_t before = piece.vertices.size();
-        auto pieces = internal::split_piece(piece, tree_adj, in_x, low, ws);
+        auto pieces =
+            internal::split_piece(piece, tree_adj, in_x, low, ws.split);
         for (TreePiece& p : pieces) {
           bool unchanged = pieces.size() == 1 && p.vertices.size() == before;
           if (!unchanged && static_cast<double>(p.mu) > cap) {
@@ -158,44 +187,39 @@ std::optional<std::vector<VertexId>> sep_attempt(
     }
 
     // Step 3: accumulate roots, test balance, recurse into heaviest comp.
-    std::vector<char> ri_mask(static_cast<std::size_t>(n), 0);
+    ws.ri.clear();
     for (const TreePiece& p : ti) {
-      ri_mask[p.root] = 1;
-      root_acc_mask[p.root] = 1;
+      ws.ri.set(p.root);
+      ws.root_acc.set(p.root);
     }
     iteration_pieces.push_back(std::move(ti));
 
     engine.op(stats, "sep/ccd");
     engine.pa(stats, "sep/balance");
-    if (!params.disable_early_exit) {
+    if (!params.disable_early_exit &&
+        balanced_after_removal(local, in_x, ws.root_acc, balance_cap,
+                               ws.tw)) {
       std::vector<VertexId> racc;
       for (VertexId v = 0; v < n; ++v) {
-        if (root_acc_mask[v]) racc.push_back(v);
+        if (ws.root_acc.test(v)) racc.push_back(v);
       }
-      if (is_balanced_separator(local, all_local, /*x=*/
-                                [&] {
-                                  std::vector<VertexId> xs;
-                                  for (VertexId v = 0; v < n; ++v)
-                                    if (in_x[v]) xs.push_back(v);
-                                  return xs;
-                                }(),
-                                racc, params.balance)) {
-        return to_global_sorted(std::move(racc));
-      }
+      return to_global_sorted(racc, part);
     }
 
-    std::vector<VertexId> rest;
+    std::vector<VertexId>& rest = ws.rest;
+    rest.clear();
     for (VertexId v : cur) {
-      if (!ri_mask[v]) rest.push_back(v);
+      if (!ws.ri.test(v)) rest.push_back(v);
     }
-    auto comps = graph::induced_components(local, rest);
+    graph::induced_components(local, rest, ws.tw, ws.comps);
     cur.clear();
     std::int64_t best_mu = -1;
-    for (auto& comp : comps) {
+    for (int ci = 0; ci < ws.comps.count(); ++ci) {
+      auto comp = ws.comps.component(ci);
       std::int64_t m = mu_of(comp, in_x);
       if (m > best_mu) {
         best_mu = m;
-        cur = std::move(comp);
+        cur.assign(comp.begin(), comp.end());
       }
     }
   }
@@ -231,28 +255,217 @@ std::optional<std::vector<VertexId>> sep_attempt(
   engine.bct(stats, 2.0 * static_cast<double>(sampled.size()), "sep/pairbcast");
   engine.mvc(stats, static_cast<double>(sampled.size()), t + 1, "sep/cuts");
 
-  std::vector<char> z_mask(static_cast<std::size_t>(n), 0);
+  ws.zmask.ensure(n);
+  ws.zmask.clear();
+  bool any_z = false;
   for (const Pair& pr : sampled) {
     if (pr.a == pr.b) continue;
     auto cut = primitives::min_vertex_cut(local, pr.a->vertices,
-                                          pr.b->vertices, t);
+                                          pr.b->vertices, t, ws.flow);
     if (cut.status == primitives::VertexCutResult::Status::kFound) {
-      for (VertexId v : cut.cut) z_mask[v] = 1;
+      for (VertexId v : cut.cut) {
+        ws.zmask.set(v);
+        any_z = true;
+      }
     }
   }
-  std::vector<VertexId> z;
-  for (VertexId v = 0; v < n; ++v) {
-    if (z_mask[v]) z.push_back(v);
-  }
-  std::vector<VertexId> xs;
-  for (VertexId v = 0; v < n; ++v) {
-    if (in_x[v]) xs.push_back(v);
-  }
-  if (!z.empty() &&
-      is_balanced_separator(local, all_local, xs, z, params.balance)) {
-    return to_global_sorted(std::move(z));
+  if (any_z &&
+      balanced_after_removal(local, in_x, ws.zmask, balance_cap, ws.tw)) {
+    std::vector<VertexId> z;
+    for (VertexId v = 0; v < n; ++v) {
+      if (ws.zmask.test(v)) z.push_back(v);
+    }
+    return to_global_sorted(z, part);
   }
   return std::nullopt;
+}
+
+/// Shared DSU find: path-halving, no std::function.
+int dsu_find(std::vector<int>& parent, int a) {
+  while (parent[a] != a) {
+    parent[a] = parent[parent[a]];
+    a = parent[a];
+  }
+  return a;
+}
+
+}  // namespace
+
+void SepWorkspace::prepare(const CsrGraph& host,
+                           std::span<const VertexId> part,
+                           std::span<const VertexId> x_set) {
+  const int n_local = static_cast<int>(part.size());
+  tw.build_map(host.num_vertices(), part);
+  local.assign_induced(host, part, tw.map);
+  in_x.assign(static_cast<std::size_t>(n_local), 0);
+  for (VertexId v : x_set) {
+    VertexId lv = tw.map[v];
+    if (lv != kNoVertex) in_x[lv] = 1;
+  }
+  tw.clear_map(part);
+  x_list.clear();
+  for (VertexId lv = 0; lv < n_local; ++lv) {
+    if (in_x[lv]) x_list.push_back(lv);
+  }
+  all_local.resize(static_cast<std::size_t>(n_local));
+  for (VertexId lv = 0; lv < n_local; ++lv) all_local[lv] = lv;
+  tw.ensure(n_local);
+}
+
+bool is_balanced_separator(const Graph& host, std::span<const VertexId> part,
+                           std::span<const VertexId> x_set,
+                           std::span<const VertexId> separator,
+                           double balance) {
+  std::vector<char> in_x(static_cast<std::size_t>(host.num_vertices()), 0);
+  std::vector<char> in_part(static_cast<std::size_t>(host.num_vertices()), 0);
+  for (VertexId v : part) in_part[v] = 1;
+  for (VertexId v : x_set) {
+    if (in_part[v]) in_x[v] = 1;
+  }
+  std::int64_t mu_total = 0;
+  for (VertexId v = 0; v < host.num_vertices(); ++v) {
+    mu_total += in_x[v] ? 1 : 0;
+  }
+  if (mu_total == 0) return true;
+  std::vector<char> removed(static_cast<std::size_t>(host.num_vertices()), 0);
+  for (VertexId v : separator) removed[v] = 1;
+  std::vector<VertexId> remaining;
+  for (VertexId v : part) {
+    if (!removed[v]) remaining.push_back(v);
+  }
+  const double cap = balance * static_cast<double>(mu_total);
+  for (const auto& comp : graph::induced_components(host, remaining)) {
+    if (static_cast<double>(mu_of(comp, in_x)) > cap) return false;
+  }
+  return true;
+}
+
+std::optional<std::vector<VertexId>> sep_attempt(
+    const Graph& host, std::span<const VertexId> part,
+    std::span<const VertexId> x_set, int t, const SepParams& params,
+    util::Rng& rng, primitives::Engine& engine) {
+  CsrGraph csr(host);
+  SepWorkspace ws;
+  ws.prepare(csr, part, x_set);
+  return sep_attempt_local(ws, part, t, params, rng, engine);
+}
+
+std::vector<VertexId> minimize_separator(
+    const CsrGraph& host, std::span<const VertexId> part,
+    std::span<const VertexId> x_set, std::vector<VertexId> separator,
+    double balance, int max_rounds, primitives::Engine& engine,
+    SepWorkspace& ws) {
+  const int n = host.num_vertices();
+  TraversalWorkspace& tw = ws.tw;
+  tw.ensure(n);
+  // Host-space membership masks. in_part and in_x are dedicated members so
+  // no kernel invocation (part_stats, induced_components) can clobber them;
+  // tw.aux holds the shrinking separator (kernels never touch aux, and
+  // epoch masks support single-vertex reset).
+  EpochMask& in_part = ws.min_in_part;
+  EpochMask& in_sep = tw.aux;
+  EpochMask& in_x = ws.min_in_x;
+  in_x.ensure(n);
+  in_x.clear();
+  in_part.ensure(n);
+  in_part.clear();
+  for (VertexId v : part) in_part.set(v);
+  for (VertexId v : x_set) {
+    if (in_part.test(v)) in_x.set(v);
+  }
+  in_sep.clear();
+  for (VertexId v : separator) in_sep.set(v);
+  std::int64_t mu_total = 0;
+  for (VertexId v : part) mu_total += in_x.test(v) ? 1 : 0;
+  const double cap = balance * static_cast<double>(mu_total);
+
+  const bool need_stats =
+      engine.mode() == primitives::EngineMode::kTreeRealized;
+  primitives::PartStats stats = need_stats
+                                    ? primitives::part_stats(host, part, tw)
+                                    : primitives::PartStats{1, 0};
+
+  if (ws.comp_of.size() < static_cast<std::size_t>(n)) {
+    ws.comp_of.resize(static_cast<std::size_t>(n));
+  }
+
+  for (int round = 0; round < max_rounds; ++round) {
+    // Components of part - S, with µ weights and per-vertex component ids.
+    std::vector<VertexId>& rest = ws.rest;
+    rest.clear();
+    for (VertexId v : part) {
+      if (!in_sep.test(v)) rest.push_back(v);
+    }
+    // The component kernel requires sorted input; an unsorted part (allowed
+    // by the Graph-compat overloads, as in the seed) only relabels the
+    // components, which no decision below depends on.
+    if (!std::is_sorted(rest.begin(), rest.end())) {
+      std::sort(rest.begin(), rest.end());
+    }
+    graph::induced_components(host, rest, tw, ws.comps);
+    const int num_comps = ws.comps.count();
+    // Union-find over components so that a sweep can remove many vertices
+    // while tracking merged component sizes exactly. Removed vertices join
+    // the merged component.
+    ws.dsu_parent.resize(static_cast<std::size_t>(num_comps));
+    ws.dsu_mu.assign(static_cast<std::size_t>(num_comps), 0);
+    for (int ci = 0; ci < num_comps; ++ci) ws.dsu_parent[ci] = ci;
+    for (VertexId v : part) ws.comp_of[v] = -1;
+    for (int ci = 0; ci < num_comps; ++ci) {
+      for (VertexId v : ws.comps.component(ci)) {
+        ws.comp_of[v] = ci;
+        ws.dsu_mu[ci] += in_x.test(v) ? 1 : 0;
+      }
+    }
+    engine.op(stats, "sep/minimize");
+    engine.bct(stats, static_cast<double>(num_comps), "sep/minimize");
+
+    bool any_removed = false;
+    for (VertexId v : part) {
+      if (!in_sep.test(v)) continue;
+      // Distinct merged components adjacent to v: first-seen order kept in
+      // `roots` (the first becomes the merge target, as before); membership
+      // tested O(1) via an epoch stamp instead of a linear std::find.
+      ws.roots.clear();
+      ws.root_seen.ensure(static_cast<int>(ws.dsu_parent.size()));
+      ws.root_seen.clear();
+      std::int64_t merged = in_x.test(v) ? 1 : 0;
+      for (VertexId w : host.neighbors(v)) {
+        if (!in_part.test(w) || ws.comp_of[w] < 0) continue;
+        int r = dsu_find(ws.dsu_parent, ws.comp_of[w]);
+        if (!ws.root_seen.test(r)) {
+          ws.root_seen.set(r);
+          ws.roots.push_back(r);
+          merged += ws.dsu_mu[r];
+        }
+      }
+      if (static_cast<double>(merged) > cap) continue;
+      in_sep.reset(v);
+      any_removed = true;
+      int target;
+      if (ws.roots.empty()) {
+        // v becomes a fresh singleton component.
+        target = static_cast<int>(ws.dsu_parent.size());
+        ws.dsu_parent.push_back(target);
+        ws.dsu_mu.push_back(0);
+      } else {
+        target = ws.roots.front();
+        for (std::size_t i = 1; i < ws.roots.size(); ++i) {
+          ws.dsu_parent[ws.roots[i]] = target;
+        }
+      }
+      ws.dsu_mu[target] = merged;
+      ws.comp_of[v] = target;
+    }
+    if (!any_removed) break;
+  }
+
+  std::vector<VertexId> out;
+  for (VertexId v : part) {
+    if (in_sep.test(v)) out.push_back(v);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
 }
 
 std::vector<VertexId> minimize_separator(const Graph& host,
@@ -261,107 +474,19 @@ std::vector<VertexId> minimize_separator(const Graph& host,
                                          std::vector<VertexId> separator,
                                          double balance, int max_rounds,
                                          primitives::Engine& engine) {
-  const int n = host.num_vertices();
-  std::vector<char> in_part(static_cast<std::size_t>(n), 0);
-  std::vector<char> in_x(static_cast<std::size_t>(n), 0);
-  std::vector<char> in_sep(static_cast<std::size_t>(n), 0);
-  for (VertexId v : part) in_part[v] = 1;
-  for (VertexId v : x_set) {
-    if (in_part[v]) in_x[v] = 1;
-  }
-  for (VertexId v : separator) in_sep[v] = 1;
-  std::int64_t mu_total = 0;
-  for (VertexId v : part) mu_total += in_x[v] ? 1 : 0;
-  const double cap = balance * static_cast<double>(mu_total);
-
-  const bool need_stats =
-      engine.mode() == primitives::EngineMode::kTreeRealized;
-  primitives::PartStats stats =
-      need_stats ? primitives::part_stats(host, part)
-                 : primitives::PartStats{1, 0};
-
-  for (int round = 0; round < max_rounds; ++round) {
-    // Components of part - S, with µ weights and per-vertex component ids.
-    std::vector<VertexId> rest;
-    for (VertexId v : part) {
-      if (!in_sep[v]) rest.push_back(v);
-    }
-    auto comps = graph::induced_components(host, rest);
-    // Union-find over components so that a sweep can remove many vertices
-    // while tracking merged component sizes exactly. Removed vertices join
-    // the merged component (slot `comps.size() + v` is unused; vertices are
-    // assigned to an existing representative on removal).
-    std::vector<int> dsu_parent(comps.size());
-    std::vector<std::int64_t> dsu_mu(comps.size(), 0);
-    for (std::size_t ci = 0; ci < comps.size(); ++ci) {
-      dsu_parent[ci] = static_cast<int>(ci);
-    }
-    std::function<int(int)> find = [&](int a) {
-      while (dsu_parent[a] != a) {
-        dsu_parent[a] = dsu_parent[dsu_parent[a]];
-        a = dsu_parent[a];
-      }
-      return a;
-    };
-    std::vector<int> comp_of(static_cast<std::size_t>(n), -1);
-    for (std::size_t ci = 0; ci < comps.size(); ++ci) {
-      for (VertexId v : comps[ci]) {
-        comp_of[v] = static_cast<int>(ci);
-        dsu_mu[ci] += in_x[v] ? 1 : 0;
-      }
-    }
-    engine.op(stats, "sep/minimize");
-    engine.bct(stats, static_cast<double>(comps.size()), "sep/minimize");
-
-    bool any_removed = false;
-    for (VertexId v : part) {
-      if (!in_sep[v]) continue;
-      // Distinct merged components adjacent to v.
-      std::vector<int> roots;
-      std::int64_t merged = in_x[v] ? 1 : 0;
-      for (VertexId w : host.neighbors(v)) {
-        if (!in_part[w] || comp_of[w] < 0) continue;
-        int r = find(comp_of[w]);
-        if (std::find(roots.begin(), roots.end(), r) == roots.end()) {
-          roots.push_back(r);
-          merged += dsu_mu[r];
-        }
-      }
-      if (static_cast<double>(merged) > cap) continue;
-      in_sep[v] = 0;
-      any_removed = true;
-      int target;
-      if (roots.empty()) {
-        // v becomes a fresh singleton component.
-        target = static_cast<int>(dsu_parent.size());
-        dsu_parent.push_back(target);
-        dsu_mu.push_back(0);
-      } else {
-        target = roots.front();
-        for (std::size_t i = 1; i < roots.size(); ++i) {
-          dsu_parent[roots[i]] = target;
-        }
-      }
-      dsu_mu[target] = merged;
-      comp_of[v] = target;
-    }
-    if (!any_removed) break;
-  }
-
-  std::vector<VertexId> out;
-  for (VertexId v : part) {
-    if (in_sep[v]) out.push_back(v);
-  }
-  std::sort(out.begin(), out.end());
-  return out;
+  CsrGraph csr(host);
+  SepWorkspace ws;
+  return minimize_separator(csr, part, x_set, std::move(separator), balance,
+                            max_rounds, engine, ws);
 }
 
-SeparatorResult find_balanced_separator(const Graph& host,
+SeparatorResult find_balanced_separator(const CsrGraph& host,
                                         std::span<const VertexId> part,
                                         std::span<const VertexId> x_set,
                                         const SepParams& params, util::Rng& rng,
                                         primitives::Engine& engine,
-                                        int t_initial) {
+                                        int t_initial, SepWorkspace& ws) {
+  ws.prepare(host, part, x_set);
   SeparatorResult result;
   int t = std::max(1, t_initial);
   const int n_part = static_cast<int>(part.size());
@@ -370,13 +495,13 @@ SeparatorResult find_balanced_separator(const Graph& host,
     const int trials = params.trials(n_part);
     for (int trial = 0; trial < trials; ++trial) {
       ++result.attempts;
-      auto sep = sep_attempt(host, part, x_set, t, params, rng, engine);
+      auto sep = sep_attempt_local(ws, part, t, params, rng, engine);
       if (sep.has_value()) {
         result.separator =
             params.minimize_rounds > 0
                 ? minimize_separator(host, part, x_set, std::move(*sep),
                                      params.balance, params.minimize_rounds,
-                                     engine)
+                                     engine, ws)
                 : std::move(*sep);
         result.t_used = t;
         return result;
@@ -387,6 +512,18 @@ SeparatorResult find_balanced_separator(const Graph& host,
     LOWTW_CHECK_MSG(t <= 2 * n_part, "separator doubling ran away");
     t *= 2;
   }
+}
+
+SeparatorResult find_balanced_separator(const Graph& host,
+                                        std::span<const VertexId> part,
+                                        std::span<const VertexId> x_set,
+                                        const SepParams& params, util::Rng& rng,
+                                        primitives::Engine& engine,
+                                        int t_initial) {
+  CsrGraph csr(host);
+  SepWorkspace ws;
+  return find_balanced_separator(csr, part, x_set, params, rng, engine,
+                                 t_initial, ws);
 }
 
 }  // namespace lowtw::td

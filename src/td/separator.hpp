@@ -22,8 +22,12 @@
 #include <span>
 #include <vector>
 
+#include "graph/csr.hpp"
 #include "graph/graph.hpp"
+#include "graph/workspace.hpp"
 #include "primitives/engine.hpp"
+#include "primitives/operations.hpp"
+#include "td/split.hpp"
 #include "util/rng.hpp"
 
 namespace lowtw::td {
@@ -92,6 +96,49 @@ struct SepParams {
   }
 };
 
+/// Reusable scratch for a sequence of separator computations against the
+/// same host graph: the induced local CSR (built ONCE per
+/// find_balanced_separator call and shared by every trial at every t), the
+/// epoch-stamped traversal arrays, the Split scratch, the vertex-cut flow
+/// arena, and flat component storage. A single instance threaded through
+/// build_hierarchy makes the entire decomposition allocation-light.
+class SepWorkspace {
+ public:
+  /// Builds the local view of host[part] (local ids = positions in `part`)
+  /// and the X membership mask. O(|part| + vol(part)).
+  void prepare(const graph::CsrGraph& host,
+               std::span<const graph::VertexId> part,
+               std::span<const graph::VertexId> x_set);
+
+  // Local-space state (valid after prepare; local id i <-> part[i]).
+  graph::CsrGraph local;
+  std::vector<char> in_x;                 ///< µ-weight membership
+  std::vector<graph::VertexId> x_list;    ///< local ids with in_x, ascending
+  std::vector<graph::VertexId> all_local; ///< 0..n_local-1
+
+  // Scratch shared by the attempt loop and minimization.
+  graph::TraversalWorkspace tw;
+  internal::SplitWorkspace split;
+  primitives::FlowScratch flow;
+  graph::FlatComponents comps;
+  graph::EpochMask root_acc;  ///< accumulated subtree roots R*_i
+  graph::EpochMask ri;        ///< roots of the current iteration
+  graph::EpochMask zmask;     ///< union of found cuts
+  std::vector<graph::VertexId> cur, rest;
+  std::vector<int> tree_deg, tree_start, tree_fill;
+  std::vector<graph::VertexId> tree_data;
+  std::vector<std::vector<internal::TreePiece>> iteration_pieces;
+
+  // Minimization scratch (host-space).
+  graph::EpochMask min_in_x;
+  graph::EpochMask min_in_part;
+  std::vector<int> comp_of;
+  std::vector<int> dsu_parent;
+  std::vector<std::int64_t> dsu_mu;
+  std::vector<int> roots;
+  graph::EpochMask root_seen;
+};
+
 /// One Sep attempt with a fixed t on the subgraph of `host` induced by
 /// `part` (must be connected), with weight set `x_set` ⊆ part.
 /// Returns the separator (subset of part, sorted) or nullopt on failure.
@@ -115,6 +162,17 @@ SeparatorResult find_balanced_separator(const graph::Graph& host,
                                         primitives::Engine& engine,
                                         int t_initial = 2);
 
+/// Hot-path overload: runs on the flat CSR host with caller-held scratch.
+/// `part` must be sorted ascending (components and the root part always
+/// are). Decision-for-decision identical to the Graph overload, so ledger
+/// round counts and the returned separator match exactly.
+SeparatorResult find_balanced_separator(const graph::CsrGraph& host,
+                                        std::span<const graph::VertexId> part,
+                                        std::span<const graph::VertexId> x_set,
+                                        const SepParams& params, util::Rng& rng,
+                                        primitives::Engine& engine,
+                                        int t_initial, SepWorkspace& ws);
+
 /// True iff every component of host[part] - separator has
 /// |component ∩ x_set| ≤ balance · |x_set ∩ part|.
 bool is_balanced_separator(const graph::Graph& host,
@@ -133,5 +191,12 @@ std::vector<graph::VertexId> minimize_separator(
     std::span<const graph::VertexId> x_set,
     std::vector<graph::VertexId> separator, double balance, int max_rounds,
     primitives::Engine& engine);
+
+/// Hot-path overload over the flat CSR host with caller-held scratch.
+std::vector<graph::VertexId> minimize_separator(
+    const graph::CsrGraph& host, std::span<const graph::VertexId> part,
+    std::span<const graph::VertexId> x_set,
+    std::vector<graph::VertexId> separator, double balance, int max_rounds,
+    primitives::Engine& engine, SepWorkspace& ws);
 
 }  // namespace lowtw::td

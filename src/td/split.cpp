@@ -9,16 +9,15 @@ namespace lowtw::td::internal {
 using graph::kNoVertex;
 using graph::VertexId;
 
-std::vector<TreePiece> split_piece(
-    const TreePiece& piece,
-    const std::vector<std::vector<VertexId>>& tree_adj,
-    const std::vector<char>& in_x, std::int64_t low, SplitWorkspace& ws) {
+std::vector<TreePiece> split_piece(const TreePiece& piece,
+                                   const TreeAdjacency& tree_adj,
+                                   std::span<const char> in_x,
+                                   std::int64_t low, SplitWorkspace& ws) {
   const auto& vs = piece.vertices;
   for (VertexId v : vs) ws.in_piece[v] = 1;
 
   // BFS order from the current root; parent pointers within the piece.
-  std::vector<VertexId> order;
-  order.reserve(vs.size());
+  std::vector<VertexId>& order = ws.order;
   auto bfs_from = [&](VertexId root) {
     order.clear();
     ws.parent[root] = root;
@@ -77,9 +76,11 @@ std::vector<TreePiece> split_piece(
   }
   std::sort(children.begin(), children.end());
 
-  auto collect_subtree = [&](VertexId sub_root) {
-    std::vector<VertexId> out;
-    std::vector<VertexId> stack{sub_root};
+  auto collect_subtree_into = [&](VertexId sub_root,
+                                  std::vector<VertexId>& out) {
+    std::vector<VertexId>& stack = ws.stack;
+    stack.clear();
+    stack.push_back(sub_root);
     while (!stack.empty()) {
       VertexId u = stack.back();
       stack.pop_back();
@@ -88,7 +89,6 @@ std::vector<TreePiece> split_piece(
         if (ws.in_piece[w] && ws.parent[w] == u) stack.push_back(w);
       }
     }
-    return out;
   };
 
   std::vector<TreePiece> pieces;
@@ -97,7 +97,7 @@ std::vector<TreePiece> split_piece(
     if (ws.sub_mu[ch] >= low) {
       TreePiece p;
       p.root = ch;
-      p.vertices = collect_subtree(ch);
+      collect_subtree_into(ch, p.vertices);
       p.mu = ws.sub_mu[ch];
       pieces.push_back(std::move(p));
     } else {
@@ -115,9 +115,8 @@ std::vector<TreePiece> split_piece(
     target.vertices.push_back(centroid);
     target.mu += (in_x[centroid] ? 1 : 0);
     for (VertexId ch : light_children) {
-      auto sub = collect_subtree(ch);
       target.mu += ws.sub_mu[ch];
-      target.vertices.insert(target.vertices.end(), sub.begin(), sub.end());
+      collect_subtree_into(ch, target.vertices);
     }
   } else if (pieces.empty() && rest_mu < low) {
     // Degenerate (only reachable with off-analysis parameters): emit the
@@ -132,8 +131,7 @@ std::vector<TreePiece> split_piece(
     std::vector<VertexId> acc;
     std::int64_t acc_mu = 0;
     for (VertexId ch : light_children) {
-      auto sub = collect_subtree(ch);
-      acc.insert(acc.end(), sub.begin(), sub.end());
+      collect_subtree_into(ch, acc);
       acc_mu += ws.sub_mu[ch];
       if (acc_mu >= low) {
         groups.push_back(std::move(acc));

@@ -19,17 +19,44 @@ struct TreePiece {
   std::int64_t mu = 0;                    ///< |vertices ∩ X|
 };
 
+/// Flat view of a spanning tree's adjacency: per-vertex (start, deg) into a
+/// shared data array. Built per Sep iteration from parent pointers into
+/// reusable buffers (see SepWorkspace) — no vector<vector> allocation.
+/// Entry order per vertex must match the legacy construction: one scan over
+/// the part appends parent(v) to v's list and v to parent(v)'s list, so a
+/// vertex's entries are ordered by the scan position of the vertex that
+/// contributed them (a child earlier in the scan precedes the own-parent
+/// entry). Split decisions — hence round counts — depend on this order.
+struct TreeAdjacency {
+  const graph::VertexId* data = nullptr;
+  const int* start = nullptr;
+  const int* deg = nullptr;
+
+  std::span<const graph::VertexId> operator[](graph::VertexId v) const {
+    return {data + start[v], static_cast<std::size_t>(deg[v])};
+  }
+};
+
 /// Reusable scratch arrays (sized to the host vertex count) so that
 /// repeated splits cost O(piece), not O(n).
 class SplitWorkspace {
  public:
-  explicit SplitWorkspace(int n)
-      : in_piece(static_cast<std::size_t>(n), 0),
-        parent(static_cast<std::size_t>(n), graph::kNoVertex),
-        sub_mu(static_cast<std::size_t>(n), 0) {}
+  SplitWorkspace() = default;
+  explicit SplitWorkspace(int n) { ensure(n); }
+
+  void ensure(int n) {
+    if (in_piece.size() < static_cast<std::size_t>(n)) {
+      in_piece.resize(static_cast<std::size_t>(n), 0);
+      parent.resize(static_cast<std::size_t>(n), graph::kNoVertex);
+      sub_mu.resize(static_cast<std::size_t>(n), 0);
+    }
+  }
+
   std::vector<char> in_piece;
   std::vector<graph::VertexId> parent;
   std::vector<std::int64_t> sub_mu;
+  std::vector<graph::VertexId> order;  ///< BFS order scratch
+  std::vector<graph::VertexId> stack;  ///< subtree-collection scratch
 };
 
 /// Splits one piece around its µ-centroid: child subtrees of µ ≥ low are
@@ -39,9 +66,9 @@ class SplitWorkspace {
 ///
 /// `tree_adj` is the adjacency of the current spanning tree (indexed by
 /// global vertex id); `in_x` flags the weight set X.
-std::vector<TreePiece> split_piece(
-    const TreePiece& piece,
-    const std::vector<std::vector<graph::VertexId>>& tree_adj,
-    const std::vector<char>& in_x, std::int64_t low, SplitWorkspace& ws);
+std::vector<TreePiece> split_piece(const TreePiece& piece,
+                                   const TreeAdjacency& tree_adj,
+                                   std::span<const char> in_x,
+                                   std::int64_t low, SplitWorkspace& ws);
 
 }  // namespace lowtw::td::internal

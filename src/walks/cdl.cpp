@@ -62,8 +62,16 @@ std::optional<ConstrainedWalk> shortest_constrained_walk(
     const graph::WeightedDigraph& g, const StatefulConstraint& constraint,
     VertexId source, std::span<const char> target_mask, int state,
     primitives::Engine& engine) {
-  LOWTW_CHECK(state != kBottomState);
+  LOWTW_CHECK(state != kBottomState);  // fail fast, before the product build
   ProductGraph p = build_product_graph(g, constraint);
+  return shortest_constrained_walk(p, source, target_mask, state, engine);
+}
+
+std::optional<ConstrainedWalk> shortest_constrained_walk(
+    const ProductGraph& p, VertexId source,
+    std::span<const char> target_mask, int state,
+    primitives::Engine& engine) {
+  LOWTW_CHECK(state != kBottomState);
   const auto& gc = p.gc;
   const VertexId src = p.vertex(source, kNablaState);
 

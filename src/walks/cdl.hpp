@@ -51,4 +51,11 @@ std::optional<ConstrainedWalk> shortest_constrained_walk(
     graph::VertexId source, std::span<const char> target_mask, int state,
     primitives::Engine& engine);
 
+/// Same walk over a prebuilt product graph: callers issuing many walk
+/// queries against one masked graph (the matching insertion steps) build
+/// the product once instead of once per query. Identical walks and charges.
+std::optional<ConstrainedWalk> shortest_constrained_walk(
+    const ProductGraph& product, graph::VertexId source,
+    std::span<const char> target_mask, int state, primitives::Engine& engine);
+
 }  // namespace lowtw::walks

@@ -1,0 +1,223 @@
+// CSR equivalence properties: the flat CsrGraph layout and the reusable
+// traversal kernels must agree with the builder Graph and the seed
+// reference algorithms vertex-for-vertex on random instances.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+#include "graph/algorithms.hpp"
+#include "graph/csr.hpp"
+#include "graph/generators.hpp"
+#include "graph/graph.hpp"
+#include "graph/workspace.hpp"
+#include "primitives/operations.hpp"
+#include "util/rng.hpp"
+
+namespace lowtw::graph {
+namespace {
+
+void expect_same_graph(const Graph& g, const CsrGraph& c) {
+  ASSERT_EQ(g.num_vertices(), c.num_vertices());
+  EXPECT_EQ(g.num_edges(), c.num_edges());
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    EXPECT_EQ(g.degree(v), c.degree(v)) << "degree of " << v;
+    auto gn = g.neighbors(v);
+    auto cn = c.neighbors(v);
+    ASSERT_EQ(gn.size(), cn.size()) << "neighbor count of " << v;
+    EXPECT_TRUE(std::equal(gn.begin(), gn.end(), cn.begin()))
+        << "neighbors of " << v;
+  }
+  EXPECT_EQ(g.edges(), c.edges());
+}
+
+TEST(CsrGraph, MatchesBuilderOnRandomKTrees) {
+  util::Rng rng(77);
+  for (int trial = 0; trial < 12; ++trial) {
+    int n = 20 + static_cast<int>(rng.next_below(120));
+    int k = 1 + static_cast<int>(rng.next_below(5));
+    Graph g = gen::ktree(n, k, rng);
+    expect_same_graph(g, CsrGraph(g));
+  }
+}
+
+TEST(CsrGraph, MatchesBuilderOnSparseGraphs) {
+  util::Rng rng(78);
+  for (int trial = 0; trial < 8; ++trial) {
+    int n = 30 + static_cast<int>(rng.next_below(50));
+    Graph g(n);
+    for (int e = 0; e < 3 * n; ++e) {
+      g.add_edge(static_cast<VertexId>(rng.next_below(n)),
+                 static_cast<VertexId>(rng.next_below(n)));
+    }
+    CsrGraph c(g);
+    expect_same_graph(g, c);
+    for (int probe = 0; probe < 50; ++probe) {
+      VertexId u = static_cast<VertexId>(rng.next_below(n));
+      VertexId v = static_cast<VertexId>(rng.next_below(n));
+      EXPECT_EQ(g.has_edge(u, v), c.has_edge(u, v));
+    }
+  }
+}
+
+TEST(CsrGraph, EmptyAndEdgelessGraphs) {
+  CsrGraph default_constructed;
+  EXPECT_EQ(default_constructed.num_vertices(), 0);
+  EXPECT_EQ(default_constructed.num_edges(), 0);
+  Graph g0(0);
+  CsrGraph c0(g0);
+  EXPECT_EQ(c0.num_vertices(), 0);
+  EXPECT_EQ(c0.num_edges(), 0);
+  Graph g3(3);
+  CsrGraph c3(g3);
+  EXPECT_EQ(c3.num_vertices(), 3);
+  EXPECT_EQ(c3.degree(1), 0);
+  EXPECT_TRUE(c3.edges().empty());
+}
+
+/// Random subset of {0..n-1}, sorted.
+std::vector<VertexId> random_subset(int n, double p, util::Rng& rng) {
+  std::vector<VertexId> out;
+  for (VertexId v = 0; v < n; ++v) {
+    if (rng.next_bool(p)) out.push_back(v);
+  }
+  return out;
+}
+
+TEST(CsrGraph, AssignInducedMatchesGraphInducedSubgraph) {
+  util::Rng rng(79);
+  for (int trial = 0; trial < 12; ++trial) {
+    int n = 25 + static_cast<int>(rng.next_below(100));
+    int k = 1 + static_cast<int>(rng.next_below(4));
+    Graph g = gen::ktree(n, k, rng);
+    CsrGraph host(g);
+    auto part = random_subset(n, 0.6, rng);
+    // Seed reference.
+    std::vector<VertexId> to_local_ref;
+    Graph sub_ref = g.induced_subgraph(part, &to_local_ref);
+    // Flat rebuild through the workspace map.
+    TraversalWorkspace ws;
+    ws.build_map(n, part);
+    CsrGraph sub;
+    sub.assign_induced(host, part, ws.map);
+    ws.clear_map(part);
+    expect_same_graph(sub_ref, sub);
+    // Reuse: assigning a different induced subgraph into the same object.
+    auto part2 = random_subset(n, 0.3, rng);
+    std::vector<VertexId> to_local2;
+    Graph sub2_ref = g.induced_subgraph(part2, &to_local2);
+    ws.build_map(n, part2);
+    sub.assign_induced(host, part2, ws.map);
+    ws.clear_map(part2);
+    expect_same_graph(sub2_ref, sub);
+  }
+}
+
+TEST(CsrGraph, BfsMatchesGraphBfs) {
+  util::Rng rng(80);
+  for (int trial = 0; trial < 10; ++trial) {
+    int n = 20 + static_cast<int>(rng.next_below(80));
+    int k = 1 + static_cast<int>(rng.next_below(4));
+    Graph g = gen::ktree(n, k, rng);
+    CsrGraph c(g);
+    TraversalWorkspace ws;
+    VertexId src = static_cast<VertexId>(rng.next_below(n));
+    BfsResult ref = bfs(g, src);
+    int ecc = bfs(c, src, ws);
+    EXPECT_EQ(ecc, ref.eccentricity);
+    for (VertexId v = 0; v < n; ++v) {
+      if (ref.dist[v] == -1) {
+        EXPECT_FALSE(ws.seen.test(v));
+      } else {
+        ASSERT_TRUE(ws.seen.test(v));
+        EXPECT_EQ(ws.dist[v], ref.dist[v]);
+        EXPECT_EQ(v == src ? kNoVertex : ws.parent[v], ref.parent[v]);
+      }
+    }
+  }
+}
+
+TEST(CsrGraph, InducedComponentsMatchSeedImplementation) {
+  util::Rng rng(81);
+  for (int trial = 0; trial < 12; ++trial) {
+    int n = 25 + static_cast<int>(rng.next_below(100));
+    // Sparse random graph: plenty of components once restricted.
+    Graph g(n);
+    for (int e = 0; e < n; ++e) {
+      g.add_edge(static_cast<VertexId>(rng.next_below(n)),
+                 static_cast<VertexId>(rng.next_below(n)));
+    }
+    CsrGraph c(g);
+    auto verts = random_subset(n, 0.5, rng);
+    auto ref = induced_components(g, verts);
+    TraversalWorkspace ws;
+    FlatComponents flat;
+    induced_components(c, verts, ws, flat);
+    ASSERT_EQ(static_cast<std::size_t>(flat.count()), ref.size());
+    for (int ci = 0; ci < flat.count(); ++ci) {
+      auto comp = flat.component(ci);
+      ASSERT_EQ(comp.size(), ref[ci].size()) << "component " << ci;
+      EXPECT_TRUE(std::equal(comp.begin(), comp.end(), ref[ci].begin()))
+          << "component " << ci;
+    }
+  }
+}
+
+TEST(CsrGraph, InducedBfsTreeMatchesSeedImplementation) {
+  util::Rng rng(82);
+  for (int trial = 0; trial < 10; ++trial) {
+    int n = 20 + static_cast<int>(rng.next_below(60));
+    int k = 1 + static_cast<int>(rng.next_below(3));
+    Graph g = gen::ktree(n, k, rng);
+    CsrGraph c(g);
+    // A connected part: one induced component of a random subset.
+    auto verts = random_subset(n, 0.7, rng);
+    auto comps = induced_components(g, verts);
+    if (comps.empty()) continue;
+    const auto& part = comps.front();
+    VertexId root = part[rng.next_below(part.size())];
+    auto ref = primitives::induced_bfs_tree(g, part, root);
+    TraversalWorkspace ws;
+    primitives::induced_bfs_tree(c, part, root, ws);
+    for (VertexId v : part) {
+      ASSERT_TRUE(ws.seen.test(v));
+      EXPECT_EQ(ws.parent[v], ref[v]) << "parent of " << v;
+    }
+  }
+}
+
+TEST(CsrGraph, MinVertexCutMatchesGraphOverload) {
+  util::Rng rng(83);
+  primitives::FlowScratch scratch;
+  for (int trial = 0; trial < 10; ++trial) {
+    int n = 15 + static_cast<int>(rng.next_below(40));
+    int k = 2 + static_cast<int>(rng.next_below(3));
+    Graph g = gen::ktree(n, k, rng);
+    CsrGraph c(g);
+    std::vector<VertexId> u1{0};
+    std::vector<VertexId> u2{static_cast<VertexId>(n - 1)};
+    auto ref = primitives::min_vertex_cut(g, u1, u2, n);
+    auto got = primitives::min_vertex_cut(c, u1, u2, n, scratch);
+    EXPECT_EQ(ref.status, got.status);
+    EXPECT_EQ(ref.cut, got.cut);
+  }
+}
+
+TEST(EpochMask, ClearIsOhOne) {
+  EpochMask m;
+  m.ensure(8);
+  m.set(3);
+  m.set(5);
+  EXPECT_TRUE(m.test(3));
+  EXPECT_FALSE(m.test(4));
+  m.clear();
+  EXPECT_FALSE(m.test(3));
+  EXPECT_FALSE(m.test(5));
+  m.set(4);
+  EXPECT_TRUE(m.test(4));
+  m.reset(4);
+  EXPECT_FALSE(m.test(4));
+}
+
+}  // namespace
+}  // namespace lowtw::graph

@@ -17,20 +17,42 @@ using graph::Graph;
 using graph::VertexId;
 
 struct SplitFixture {
-  std::vector<std::vector<VertexId>> tree_adj;
+  int n = 0;
+  std::vector<VertexId> tree_data;
+  std::vector<int> tree_start;
+  std::vector<int> tree_deg;
+  TreeAdjacency tree_adj;
   std::vector<char> in_x;
   TreePiece whole;
   SplitWorkspace ws;
 
   SplitFixture(const Graph& tree, std::vector<char> x)
-      : in_x(std::move(x)), ws(tree.num_vertices()) {
-    tree_adj.resize(static_cast<std::size_t>(tree.num_vertices()));
-    for (auto [u, v] : tree.edges()) {
-      tree_adj[u].push_back(v);
-      tree_adj[v].push_back(u);
+      : n(tree.num_vertices()), in_x(std::move(x)), ws(tree.num_vertices()) {
+    // Flat adjacency with the same per-vertex entry order the old
+    // vector<vector> construction produced (edges() scan order).
+    tree_deg.assign(static_cast<std::size_t>(n), 0);
+    const auto edges = tree.edges();
+    for (auto [u, v] : edges) {
+      ++tree_deg[u];
+      ++tree_deg[v];
     }
+    tree_start.assign(static_cast<std::size_t>(n), 0);
+    std::vector<int> fill(static_cast<std::size_t>(n), 0);
+    int pos = 0;
+    for (VertexId v = 0; v < n; ++v) {
+      tree_start[v] = pos;
+      fill[v] = pos;
+      pos += tree_deg[v];
+    }
+    tree_data.resize(static_cast<std::size_t>(pos));
+    for (auto [u, v] : edges) {
+      tree_data[fill[u]++] = v;
+      tree_data[fill[v]++] = u;
+    }
+    tree_adj =
+        TreeAdjacency{tree_data.data(), tree_start.data(), tree_deg.data()};
     whole.root = 0;
-    whole.vertices.resize(static_cast<std::size_t>(tree.num_vertices()));
+    whole.vertices.resize(static_cast<std::size_t>(n));
     std::iota(whole.vertices.begin(), whole.vertices.end(), 0);
     whole.mu = 0;
     for (char c : in_x) whole.mu += c;
@@ -49,7 +71,7 @@ std::int64_t mu_of(const std::vector<VertexId>& vs,
 void check_pieces(const SplitFixture& fx, const std::vector<TreePiece>& pieces,
                   std::int64_t low) {
   ASSERT_FALSE(pieces.empty());
-  std::vector<int> cover_count(fx.tree_adj.size(), 0);
+  std::vector<int> cover_count(static_cast<std::size_t>(fx.n), 0);
   std::map<VertexId, int> root_uses;
   for (const TreePiece& p : pieces) {
     EXPECT_EQ(p.mu, mu_of(p.vertices, fx.in_x));
@@ -64,7 +86,7 @@ void check_pieces(const SplitFixture& fx, const std::vector<TreePiece>& pieces,
     ++root_uses[p.root];
   }
   // Every vertex covered; only roots may be shared.
-  std::vector<char> is_root(fx.tree_adj.size(), 0);
+  std::vector<char> is_root(static_cast<std::size_t>(fx.n), 0);
   for (const TreePiece& p : pieces) is_root[p.root] = 1;
   for (VertexId v : fx.whole.vertices) {
     EXPECT_GE(cover_count[v], 1) << "vertex " << v << " uncovered";

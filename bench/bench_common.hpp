@@ -44,8 +44,10 @@ inline Instance apexed_instance(int n, int num_apex, int stride) {
 }
 
 struct EngineBundle {
-  explicit EngineBundle(const Instance& inst)
-      : engine(primitives::EngineMode::kShortcutModel,
+  explicit EngineBundle(
+      const Instance& inst,
+      primitives::EngineMode mode = primitives::EngineMode::kShortcutModel)
+      : engine(mode,
                primitives::CostModel{inst.g.num_vertices(), inst.diameter,
                                      1.0},
                &ledger) {}

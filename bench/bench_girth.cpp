@@ -10,7 +10,11 @@
 // Counters include exactness verification against the centralized girth.
 #include "bench_common.hpp"
 
+#include <chrono>
+#include <limits>
+
 #include "girth/girth.hpp"
+#include "labeling/distance_labeling.hpp"
 
 namespace lowtw::bench {
 namespace {
@@ -54,6 +58,101 @@ void BM_GirthDirected(benchmark::State& state) {
 }
 BENCHMARK(BM_GirthDirected)->RangeMultiplier(2)->Range(256, 4096)
     ->Iterations(1)->Unit(benchmark::kMillisecond);
+
+// Decode-bound arm: the per-arc `decode(head, tail)` fold of girth_directed,
+// isolated from the TD/DL construction (which is built once, outside the
+// timed region). This is the query-path kernel the flat SoA store targets;
+// `speedup_vs_aos` reports the measured ratio against the legacy AoS
+// `decode_distance` on the same labeling. Rounds are the deterministic
+// construction + exchange charges and feed the drift gate.
+void BM_GirthDecodeKernel(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Instance inst = ktree_instance(n, 2, 100 + n);
+  util::Rng wrng(3 * n);
+  auto g = graph::gen::random_orientation(inst.g, 0.6, 1, 30, wrng);
+  auto skel = g.skeleton();
+
+  primitives::RoundLedger ledger;
+  primitives::Engine engine(
+      primitives::EngineMode::kShortcutModel,
+      primitives::CostModel{skel.num_vertices(), inst.diameter, 1.0},
+      &ledger);
+  util::Rng rng(101);
+  auto td = td::build_hierarchy(skel, td::TdParams{}, rng, engine);
+  auto dl = labeling::build_distance_labeling(g, skel, td.hierarchy, engine);
+  engine.rounds(3.0 * static_cast<double>(dl.max_label_entries),
+                "girth/label_exchange");
+  engine.pa(primitives::PartStats{1, 0}, "girth/aggregate");
+
+  auto flat_pass = [&] {
+    // Exactly the girth_directed hot loop (pin per head, gather per in-arc).
+    return girth::directed_cycle_fold(g, dl.flat);
+  };
+  auto aos_pass = [&] {
+    graph::Weight girth = graph::kInfinity;
+    for (const graph::Arc& a : g.arcs()) {
+      graph::Weight back = labeling::decode_distance(
+          dl.labeling.labels[a.head], dl.labeling.labels[a.tail]);
+      if (back < graph::kInfinity) {
+        girth = std::min(girth, a.weight + back);
+      }
+    }
+    return girth;
+  };
+
+  graph::Weight girth_flat = graph::kInfinity;
+  for (auto _ : state) {
+    girth_flat = flat_pass();
+    benchmark::DoNotOptimize(girth_flat);
+  }
+  if (girth_flat != graph::exact_girth_directed(g)) {
+    state.SkipWithError("decode kernel girth mismatch");
+    return;
+  }
+
+  // Legacy AoS reference, timed side by side on the identical labeling.
+  // One untimed warm-up of each pass first (the state loop above only
+  // warmed the flat store), then alternating windows with best-of-window
+  // timing per side — robust against scheduler noise on shared machines.
+  using Clock = std::chrono::steady_clock;
+  constexpr int kWindows = 3;
+  constexpr int kRepsPerWindow = 7;
+  graph::Weight girth_aos = aos_pass();
+  benchmark::DoNotOptimize(girth_aos);
+  girth_flat = flat_pass();
+  benchmark::DoNotOptimize(girth_flat);
+  double aos_s = std::numeric_limits<double>::infinity();
+  double flat_s = std::numeric_limits<double>::infinity();
+  for (int w = 0; w < kWindows; ++w) {
+    auto t0 = Clock::now();
+    for (int r = 0; r < kRepsPerWindow; ++r) {
+      girth_aos = aos_pass();
+      benchmark::DoNotOptimize(girth_aos);
+    }
+    auto t1 = Clock::now();
+    for (int r = 0; r < kRepsPerWindow; ++r) {
+      girth_flat = flat_pass();
+      benchmark::DoNotOptimize(girth_flat);
+    }
+    auto t2 = Clock::now();
+    aos_s = std::min(aos_s, std::chrono::duration<double>(t1 - t0).count());
+    flat_s = std::min(flat_s, std::chrono::duration<double>(t2 - t1).count());
+  }
+  if (girth_aos != girth_flat) {
+    state.SkipWithError("flat/AoS decode disagreement");
+    return;
+  }
+
+  state.counters["n"] = n;
+  state.counters["D"] = inst.diameter;
+  state.counters["arcs"] = g.num_arcs();
+  state.counters["rounds"] = ledger.total();
+  state.counters["max_entries"] =
+      static_cast<double>(dl.max_label_entries);
+  state.counters["speedup_vs_aos"] = aos_s / flat_s;
+}
+BENCHMARK(BM_GirthDecodeKernel)->RangeMultiplier(2)->Range(2048, 8192)
+    ->Unit(benchmark::kMillisecond);
 
 void BM_GirthUndirected(benchmark::State& state) {
   const int n = static_cast<int>(state.range(0));

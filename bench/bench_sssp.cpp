@@ -42,7 +42,7 @@ void BM_SsspSeparation(benchmark::State& state) {
     auto dl = labeling::build_distance_labeling(g, skel, td.hierarchy,
                                                 engine);
     auto sssp =
-        labeling::sssp_from_labels(dl.labeling, 0, inst.diameter, engine);
+        labeling::sssp_from_labels(dl.flat, 0, inst.diameter, engine);
     ours_dist = std::move(sssp.dist);
     rounds_ours = ledger.total();
 
@@ -86,7 +86,7 @@ void BM_SsspControlUnweighted(benchmark::State& state) {
     auto td = td::build_hierarchy(skel, td::TdParams{}, rng, engine);
     auto dl =
         labeling::build_distance_labeling(g, skel, td.hierarchy, engine);
-    labeling::sssp_from_labels(dl.labeling, 0, inst.diameter, engine);
+    labeling::sssp_from_labels(dl.flat, 0, inst.diameter, engine);
     rounds_ours = ledger.total();
     rounds_bf = congest::run_distributed_bellman_ford(g, 0).sim.rounds;
   }

@@ -16,10 +16,12 @@ namespace lowtw::bench {
 namespace {
 
 void run_td(benchmark::State& state, const Instance& inst,
-            std::uint64_t seed) {
+            std::uint64_t seed,
+            primitives::EngineMode mode =
+                primitives::EngineMode::kShortcutModel) {
   td::TdBuildResult last;
   for (auto _ : state) {
-    EngineBundle bundle(inst);
+    EngineBundle bundle(inst, mode);
     util::Rng rng(seed);
     last = td::build_hierarchy(inst.g, td::TdParams{}, rng, bundle.engine);
   }
@@ -69,6 +71,19 @@ void BM_TdBanded(benchmark::State& state) {
 }
 BENCHMARK(BM_TdBanded)->RangeMultiplier(2)->Range(2, 16)->Iterations(1)
     ->Unit(benchmark::kMillisecond);
+
+// Tree-realized engine arm: the same build charged by measured per-part
+// BFS-tree heights instead of the shortcut-model bounds (the CSR-backed
+// ablation path, previously unbenched — ROADMAP open item). Hierarchy and
+// decomposition are identical to the shortcut arm; only the charge
+// discipline (and hence the rounds counter) differs.
+void BM_TdTreeRealized(benchmark::State& state) {
+  int n = static_cast<int>(state.range(0));
+  Instance inst = ktree_instance(n, 3, 2000 + n);
+  run_td(state, inst, 43, primitives::EngineMode::kTreeRealized);
+}
+BENCHMARK(BM_TdTreeRealized)->RangeMultiplier(4)->Range(256, 4096)
+    ->Iterations(1)->Unit(benchmark::kMillisecond);
 
 // Paper-exact constants. n must exceed the step-1 base case 200t² = 800
 // for the iteration/cut machinery to engage at all — the paper's constants

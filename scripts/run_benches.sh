@@ -1,7 +1,9 @@
 #!/usr/bin/env bash
-# Runs the separator hot-path benchmarks (bench_separation and
-# bench_tree_decomposition) and emits BENCH_separator.json: one record per
-# benchmark with wall time and the CONGEST round counters.
+# Runs the gated benchmark arms — the separator hot path (bench_separation,
+# bench_tree_decomposition, including the tree-realized engine arm) and the
+# label-decode hot path (bench_girth's BM_GirthDecodeKernel) — and emits
+# BENCH_separator.json: one record per benchmark with wall time and the
+# CONGEST round counters.
 #
 # Rounds are the reproduction metric and must stay fixed across perf work;
 # wall time is the optimization target (see ARCHITECTURE.md). Comparing two
@@ -18,16 +20,23 @@ OUT=${1:-BENCH_separator.json}
 if [ ! -d "$BUILD_DIR" ]; then
   cmake -B "$BUILD_DIR" -S .
 fi
-cmake --build "$BUILD_DIR" --target bench_separation bench_tree_decomposition -j"$(nproc)"
+cmake --build "$BUILD_DIR" --target bench_separation bench_tree_decomposition \
+      bench_girth -j"$(nproc)"
 
 tmp_sep=$(mktemp)
 tmp_td=$(mktemp)
-trap 'rm -f "$tmp_sep" "$tmp_td"' EXIT
+tmp_girth=$(mktemp)
+trap 'rm -f "$tmp_sep" "$tmp_td" "$tmp_girth"' EXIT
 
 "$BUILD_DIR"/bench_separation --benchmark_format=json >"$tmp_sep"
 "$BUILD_DIR"/bench_tree_decomposition --benchmark_format=json >"$tmp_td"
+# Decode-bound arm only: the full girth suite is exercised by its own
+# experiment run; the gated record is the flat-label decode kernel (its
+# speedup_vs_aos counter tracks the SoA-vs-AoS decode ratio).
+"$BUILD_DIR"/bench_girth --benchmark_filter=BM_GirthDecodeKernel \
+    --benchmark_format=json >"$tmp_girth"
 
-python3 - "$OUT" "$tmp_sep" "$tmp_td" <<'PY'
+python3 - "$OUT" "$tmp_sep" "$tmp_td" "$tmp_girth" <<'PY'
 import json
 import sys
 

@@ -62,7 +62,8 @@ const labeling::DlResult& Solver::distance_labeling() {
 }
 
 labeling::SsspResult Solver::sssp(graph::VertexId source) {
-  return labeling::sssp_from_labels(distance_labeling().labeling, source,
+  // Decode through the frozen SoA store (built once per cached labeling).
+  return labeling::sssp_from_labels(distance_labeling().flat, source,
                                     diameter_, *engine_);
 }
 

@@ -1,8 +1,8 @@
 #include "girth/girth.hpp"
 
 #include <algorithm>
+#include <array>
 #include <cmath>
-#include <map>
 
 #include "graph/algorithms.hpp"
 #include "util/check.hpp"
@@ -16,6 +16,50 @@ using graph::EdgeId;
 using graph::kInfinity;
 using graph::VertexId;
 using graph::Weight;
+
+Weight directed_cycle_fold(const graph::WeightedDigraph& g,
+                           const labeling::FlatLabeling& labels) {
+  // Decode-bound hot loop, batched by arc head: pinning h scatters its
+  // label into a dense hub-indexed array once (O(|label(h)|)), making each
+  // per-arc d(head → tail) a branchless gather over the tail's span; tail
+  // spans of upcoming arcs are prefetched to hide their span-start misses.
+  // The min-fold is order-invariant, so regrouping the arc loop by head
+  // leaves the result (and, in girth_directed, every charge) unchanged.
+  labeling::FlatLabeling::DecodeScratch scratch;
+  Weight girth = kInfinity;
+  const int n = g.num_vertices();
+  for (VertexId h = 0; h < n; ++h) {
+    auto in = g.in_arcs(h);
+    if (in.empty()) continue;
+    bool pinned = false;
+    for (std::size_t ai = 0; ai < in.size(); ++ai) {
+      const Arc& a = g.arc(in[ai]);
+      if (a.weight >= kInfinity) continue;
+      if (a.tail == a.head) {
+        girth = std::min(girth, a.weight);
+        continue;
+      }
+      if (!pinned) {
+        labels.pin(h, scratch, labeling::FlatLabeling::PinSide::kTo);
+        // Prime the next head's tail spans while this head's decodes run.
+        if (h + 1 < n) {
+          for (EdgeId e2 : g.in_arcs(h + 1)) {
+            labels.prefetch_target(g.arc(e2).tail);
+          }
+        }
+        pinned = true;
+      }
+      if (ai + 1 < in.size()) {
+        labels.prefetch_target(g.arc(in[ai + 1]).tail);
+      }
+      Weight back = labels.decode_from_pinned(scratch, a.tail);
+      if (back < kInfinity) {
+        girth = std::min(girth, a.weight + back);
+      }
+    }
+  }
+  return girth;
+}
 
 GirthResult girth_directed(const graph::WeightedDigraph& g,
                            const graph::Graph& skeleton,
@@ -31,17 +75,7 @@ GirthResult girth_directed(const graph::WeightedDigraph& g,
                 "girth/label_exchange");
   engine.pa(primitives::PartStats{1, 0}, "girth/aggregate");
 
-  for (const Arc& a : g.arcs()) {
-    if (a.weight >= kInfinity) continue;
-    if (a.tail == a.head) {
-      result.girth = std::min(result.girth, a.weight);
-      continue;
-    }
-    Weight back = dl.labeling.distance(a.head, a.tail);
-    if (back < kInfinity) {
-      result.girth = std::min(result.girth, a.weight + back);
-    }
-  }
+  result.girth = directed_cycle_fold(g, dl.flat);
   result.rounds = engine.ledger().total() - before;
   return result;
 }
@@ -54,15 +88,29 @@ GirthResult girth_undirected(const graph::WeightedDigraph& g,
   GirthResult result;
   const double before = engine.ledger().total();
 
-  // Pair up the symmetric arcs into undirected edges.
-  std::map<std::pair<VertexId, VertexId>, std::vector<EdgeId>> by_pair;
+  // Pair up the symmetric arcs into undirected edges: one sorted flat
+  // vector of (min, max, arc id) triples, built once. Sorting yields the
+  // same pair order as the seed's std::map (lexicographic by pair), and
+  // arc ids ascend within each pair run, so the per-trial RNG consumption
+  // and label assignment are unchanged — without rebuilding a node-based
+  // map (and pointer-chasing it) every call.
+  std::vector<std::array<EdgeId, 3>> arc_triples;
+  arc_triples.reserve(static_cast<std::size_t>(g.num_arcs()));
   for (EdgeId e = 0; e < g.num_arcs(); ++e) {
     const Arc& a = g.arc(e);
     LOWTW_CHECK_MSG(a.tail != a.head, "undirected girth: self-loop");
     auto mm = std::minmax(a.tail, a.head);
-    by_pair[{mm.first, mm.second}].push_back(e);
+    arc_triples.push_back({mm.first, mm.second, e});
   }
-  const auto num_edges = static_cast<std::int64_t>(by_pair.size());
+  std::sort(arc_triples.begin(), arc_triples.end());
+  auto new_run = [&arc_triples](std::size_t i) {
+    return i == 0 || arc_triples[i][0] != arc_triples[i - 1][0] ||
+           arc_triples[i][1] != arc_triples[i - 1][1];
+  };
+  std::int64_t num_edges = 0;
+  for (std::size_t i = 0; i < arc_triples.size(); ++i) {
+    if (new_run(i)) ++num_edges;
+  }
   if (num_edges == 0) {
     result.rounds = engine.ledger().total() - before;
     return result;
@@ -79,19 +127,24 @@ GirthResult girth_undirected(const graph::WeightedDigraph& g,
   // two up to twice the number of edges (|F| ≤ m, so some ĉ is within a
   // factor 2 of |F|).
   graph::WeightedDigraph labeled = g;  // copy; labels rewritten per trial
+  // The lifted hierarchy, product skeleton, and product-graph buffers are
+  // identical across the trials×scales CDL rebuilds — hoist them.
+  walks::CdlWorkspace cdl_ws;
+  walks::CdlResult cdl;
   int scales_since_success = 0;
   for (std::int64_t c_hat = 1; c_hat <= 2 * num_edges; c_hat *= 2) {
     bool success_at_scale = false;
     for (int trial = 0; trial < trials; ++trial) {
       // Random binary labels, per undirected edge (both arcs share the
-      // label).
+      // label): one RNG draw per pair run of the sorted triple vector.
       const double p = 1.0 / (3.0 * static_cast<double>(c_hat));
-      for (const auto& [pair, arc_ids] : by_pair) {
-        std::int32_t label = rng.next_bool(p) ? 1 : 0;
-        for (EdgeId e : arc_ids) labeled.mutable_arc(e).label = label;
+      std::int32_t label = 0;
+      for (std::size_t i = 0; i < arc_triples.size(); ++i) {
+        if (new_run(i)) label = rng.next_bool(p) ? 1 : 0;
+        labeled.mutable_arc(arc_triples[i][2]).label = label;
       }
-      auto cdl =
-          walks::build_cdl(labeled, skeleton, hierarchy, cons, engine);
+      walks::build_cdl_into(labeled, skeleton, hierarchy, cons, engine,
+                            &cdl_ws, cdl);
       ++result.cdl_builds;
       // g(v) = shortest exact count-1 closed walk at v, from v's own label;
       // global min by aggregation (one PA).

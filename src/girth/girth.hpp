@@ -35,6 +35,15 @@ GirthResult girth_directed(const graph::WeightedDigraph& g,
                            const td::Hierarchy& hierarchy,
                            primitives::Engine& engine);
 
+/// The decode-bound kernel of girth_directed: min over arcs (t→h) of
+/// w(t,h) + dec(h, t), batched by head over the flat label store (pin the
+/// head once, gather per in-arc, prefetch upcoming tail spans). Exposed so
+/// the decode benchmark times exactly the production fold. Self-loops
+/// contribute their own weight; masked (weight ≥ kInfinity) arcs are
+/// skipped.
+graph::Weight directed_cycle_fold(const graph::WeightedDigraph& g,
+                                  const labeling::FlatLabeling& labels);
+
 struct UndirectedGirthParams {
   /// Trials per label-density scale ĉ; -1 = ceil(3·log2 n) (paper: Θ(log n)).
   int trials_per_scale = -1;

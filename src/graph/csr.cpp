@@ -20,6 +20,32 @@ CsrGraph::CsrGraph(const Graph& g) : num_edges_(g.num_edges()) {
   offsets_[n] = pos;
 }
 
+CsrGraph CsrGraph::from_parts(std::vector<EdgeId> offsets,
+                              std::vector<VertexId> targets) {
+  LOWTW_CHECK_MSG(!offsets.empty() && offsets.front() == 0 &&
+                      static_cast<std::size_t>(offsets.back()) ==
+                          targets.size(),
+                  "csr from_parts: malformed offset table");
+  LOWTW_CHECK_MSG(targets.size() % 2 == 0,
+                  "csr from_parts: odd directed-slot count");
+  const auto n = static_cast<VertexId>(offsets.size() - 1);
+  for (VertexId v = 0; v < n; ++v) {
+    LOWTW_CHECK_MSG(offsets[v] <= offsets[v + 1],
+                    "csr from_parts: offsets not monotone");
+    for (EdgeId i = offsets[v]; i < offsets[v + 1]; ++i) {
+      LOWTW_CHECK_MSG(targets[i] >= 0 && targets[i] < n && targets[i] != v,
+                      "csr from_parts: bad target " << targets[i]);
+      LOWTW_CHECK_MSG(i == offsets[v] || targets[i - 1] < targets[i],
+                      "csr from_parts: neighbors not sorted/unique");
+    }
+  }
+  CsrGraph g;
+  g.num_edges_ = static_cast<int>(targets.size() / 2);
+  g.offsets_ = std::move(offsets);
+  g.targets_ = std::move(targets);
+  return g;
+}
+
 bool CsrGraph::has_edge(VertexId u, VertexId v) const {
   if (u < 0 || v < 0 || u >= num_vertices() || v >= num_vertices()) {
     return false;

@@ -41,6 +41,14 @@ class CsrGraph {
   /// same order as Graph::edges()).
   std::vector<std::pair<VertexId, VertexId>> edges() const;
 
+  /// Assembles a CSR directly from pre-packed arrays — for callers that can
+  /// emit sorted adjacency in one pass (e.g. the CDL product skeleton) and
+  /// skip the mutable Graph + add_edge build entirely. `offsets` must be an
+  /// n+1 prefix-sum table and `targets` sorted within each span (checked);
+  /// the caller guarantees both directions of every edge are present.
+  static CsrGraph from_parts(std::vector<EdgeId> offsets,
+                             std::vector<VertexId> targets);
+
   /// Rebuilds this graph as the subgraph of `host` induced on `part`,
   /// reusing the existing buffers (no allocation once capacity is grown).
   /// Vertex i of the result corresponds to part[i]; `to_local` must be a

@@ -26,6 +26,17 @@ EdgeId WeightedDigraph::add_arc(VertexId tail, VertexId head, Weight weight,
   return id;
 }
 
+void WeightedDigraph::reset(int num_vertices) {
+  LOWTW_CHECK(num_vertices >= 0);
+  arcs_.clear();
+  // resize + per-vertex clear: inner vectors keep their capacity, so a
+  // rebuild of a same-shaped graph performs no adjacency allocations.
+  out_.resize(static_cast<std::size_t>(num_vertices));
+  in_.resize(static_cast<std::size_t>(num_vertices));
+  for (auto& v : out_) v.clear();
+  for (auto& v : in_) v.clear();
+}
+
 Graph WeightedDigraph::skeleton() const {
   Graph g(num_vertices());
   for (const Arc& a : arcs_) {

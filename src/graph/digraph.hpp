@@ -38,6 +38,12 @@ class WeightedDigraph {
   EdgeId add_arc(VertexId tail, VertexId head, Weight weight = 1,
                  std::int32_t label = 0);
 
+  /// Empties the graph to `num_vertices` isolated vertices while keeping all
+  /// buffer capacities (including per-vertex arc lists), so callers that
+  /// rebuild a graph of the same shape in a loop allocate only on the first
+  /// pass.
+  void reset(int num_vertices);
+
   const Arc& arc(EdgeId e) const { return arcs_[e]; }
   Arc& mutable_arc(EdgeId e) { return arcs_[e]; }
   std::span<const Arc> arcs() const { return arcs_; }

@@ -1,7 +1,6 @@
 #include "labeling/distance_labeling.hpp"
 
 #include <algorithm>
-#include <array>
 #include <memory>
 #include <queue>
 
@@ -52,23 +51,42 @@ struct BagMatrix {
   std::vector<Weight> d;
 };
 
-/// Dijkstra over an explicit local arc list (used for leaf APSP).
-void local_sssp(int n_local, const std::vector<std::array<int, 3>>& arcs,
-                // arcs: {tail_local, head_local, weight-index}; weights
-                // resolved by caller through `weight_of`
-                const std::vector<Weight>& weight_of, int source,
-                std::vector<Weight>& dist, bool reversed) {
-  dist.assign(static_cast<std::size_t>(n_local), kInfinity);
-  std::vector<std::vector<std::pair<int, Weight>>> adj(
-      static_cast<std::size_t>(n_local));
-  for (std::size_t i = 0; i < arcs.size(); ++i) {
-    Weight w = weight_of[i];
-    if (w >= kInfinity) continue;
-    int a = arcs[i][0];
-    int b = arcs[i][1];
-    if (reversed) std::swap(a, b);
-    adj[a].emplace_back(b, w);
+/// One leaf's G_x as a local CSR: arcs grouped by tail (local ids), heads and
+/// weights in two flat arrays. Built once per leaf and shared by all |gx|
+/// Dijkstras — the seed rebuilt a vector-of-vectors adjacency per source.
+/// Buffers are reused across leaves.
+struct LocalCsr {
+  std::vector<int> offsets;  ///< size n_local+1
+  std::vector<int> heads;
+  std::vector<Weight> weights;
+
+  int num_arcs() const { return static_cast<int>(heads.size()); }
+
+  void start(int n_local) {
+    offsets.assign(static_cast<std::size_t>(n_local) + 1, 0);
+    heads.clear();
+    weights.clear();
+    tail_ = 0;
   }
+  /// Arcs must arrive grouped by non-decreasing local tail id.
+  void push_arc(int tail, int head, Weight w) {
+    while (tail_ < tail) offsets[++tail_] = num_arcs();
+    heads.push_back(head);
+    weights.push_back(w);
+  }
+  void finish() {
+    const int n_local = static_cast<int>(offsets.size()) - 1;
+    while (tail_ < n_local) offsets[++tail_] = num_arcs();
+  }
+
+ private:
+  int tail_ = 0;
+};
+
+/// Dijkstra over a leaf-local CSR (used for leaf APSP).
+void local_sssp(const LocalCsr& csr, int source, std::vector<Weight>& dist) {
+  const auto n_local = csr.offsets.size() - 1;
+  dist.assign(n_local, kInfinity);
   using Entry = std::pair<Weight, int>;
   std::priority_queue<Entry, std::vector<Entry>, std::greater<>> pq;
   dist[source] = 0;
@@ -77,7 +95,9 @@ void local_sssp(int n_local, const std::vector<std::array<int, 3>>& arcs,
     auto [d, u] = pq.top();
     pq.pop();
     if (d != dist[u]) continue;
-    for (auto [v, w] : adj[u]) {
+    for (int e = csr.offsets[u]; e < csr.offsets[u + 1]; ++e) {
+      const int v = csr.heads[e];
+      const Weight w = csr.weights[e];
       if (d + w < dist[v]) {
         dist[v] = d + w;
         pq.emplace(d + w, v);
@@ -86,14 +106,15 @@ void local_sssp(int n_local, const std::vector<std::array<int, 3>>& arcs,
   }
 }
 
-}  // namespace
 
-DlResult build_distance_labeling(const graph::WeightedDigraph& g,
-                                 const graph::Graph& skeleton,
-                                 const td::Hierarchy& hierarchy,
-                                 primitives::Engine& engine) {
+/// Core build. `skel_csr` is the frozen communication graph; it is only
+/// consulted by the tree-realized engine's part statistics, so the
+/// shortcut-model overload may pass nullptr and skip the conversion.
+DlResult build_distance_labeling_impl(const graph::WeightedDigraph& g,
+                                      const graph::CsrGraph* skel_csr,
+                                      const td::Hierarchy& hierarchy,
+                                      primitives::Engine& engine) {
   const int n = g.num_vertices();
-  LOWTW_CHECK(skeleton.num_vertices() == n);
   DlResult result;
   result.labeling.labels.resize(static_cast<std::size_t>(n));
   for (VertexId v = 0; v < n; ++v) result.labeling.labels[v].owner = v;
@@ -117,10 +138,13 @@ DlResult build_distance_labeling(const graph::WeightedDigraph& g,
 
   const bool need_stats =
       engine.mode() == primitives::EngineMode::kTreeRealized;
-  // Flat skeleton + workspace for the tree-realized height measurements.
-  graph::CsrGraph skel_csr;
+  LOWTW_CHECK_MSG(!need_stats || skel_csr != nullptr,
+                  "tree-realized labeling build needs the skeleton");
+  // Workspace for the tree-realized height measurements.
   graph::TraversalWorkspace tw;
-  if (need_stats) skel_csr = graph::CsrGraph(skeleton);
+  // Leaf-local CSR + distance row, reused across all leaves.
+  LocalCsr leaf_csr;
+  std::vector<Weight> dist_fwd;
 
   auto levels = hierarchy.levels();
   // Bottom-up: deepest level first.
@@ -132,7 +156,7 @@ DlResult build_distance_labeling(const graph::WeightedDigraph& g,
       auto gx = node.gx_vertices();
       primitives::PartStats stats =
           need_stats
-              ? primitives::part_stats(skel_csr,
+              ? primitives::part_stats(*skel_csr,
                                        std::span<const VertexId>(gx), tw)
               : primitives::PartStats{1, 0};
 
@@ -147,25 +171,26 @@ DlResult build_distance_labeling(const graph::WeightedDigraph& g,
         for (std::size_t i = 0; i < gx.size(); ++i) {
           local_of[gx[i]] = static_cast<VertexId>(i);
         }
-        std::vector<std::array<int, 3>> arcs;
-        std::vector<Weight> weights;
-        for (VertexId u : gx) {
-          for (graph::EdgeId e : g.out_arcs(u)) {
+        // gx is iterated in local-id order, so arcs arrive grouped by tail
+        // and the local CSR fills in one pass.
+        leaf_csr.start(static_cast<int>(gx.size()));
+        for (std::size_t i = 0; i < gx.size(); ++i) {
+          for (graph::EdgeId e : g.out_arcs(gx[i])) {
             const Arc& a = g.arc(e);
             if (a.weight >= kInfinity) continue;
             if (local_of[a.head] == kNoVertex) continue;
             if (in_boundary.test(a.tail) && in_boundary.test(a.head)) continue;
-            arcs.push_back({local_of[a.tail], local_of[a.head], 0});
-            weights.push_back(a.weight);
+            leaf_csr.push_arc(static_cast<int>(i), local_of[a.head],
+                              a.weight);
           }
         }
+        leaf_csr.finish();
         engine.bct(stats,
-                   static_cast<double>(arcs.size() + gx.size()), "dl/leaf");
+                   static_cast<double>(leaf_csr.num_arcs() + gx.size()),
+                   "dl/leaf");
         auto rows = std::make_unique<BagMatrix>(gx.size());
-        std::vector<Weight> dist_fwd;
         for (std::size_t i = 0; i < gx.size(); ++i) {
-          local_sssp(static_cast<int>(gx.size()), arcs, weights,
-                     static_cast<int>(i), dist_fwd, /*reversed=*/false);
+          local_sssp(leaf_csr, static_cast<int>(i), dist_fwd);
           for (std::size_t j = 0; j < gx.size(); ++j) {
             rows->at(i, j) = dist_fwd[j];
           }
@@ -297,28 +322,54 @@ DlResult build_distance_labeling(const graph::WeightedDigraph& g,
                                         l.entries.size());
     result.max_label_bits = std::max(result.max_label_bits, l.size_bits());
   }
+  // Freeze once: every downstream decode (SSSP, girth, CDL) runs on the SoA
+  // store; the AoS builder form is kept for persistence and incremental use.
+  result.flat.assign(result.labeling);
   return result;
 }
 
-SsspResult sssp_from_labels(const DistanceLabeling& labeling, VertexId source,
+}  // namespace
+
+DlResult build_distance_labeling(const graph::WeightedDigraph& g,
+                                 const graph::Graph& skeleton,
+                                 const td::Hierarchy& hierarchy,
+                                 primitives::Engine& engine) {
+  LOWTW_CHECK(skeleton.num_vertices() == g.num_vertices());
+  if (engine.mode() == primitives::EngineMode::kTreeRealized) {
+    graph::CsrGraph csr(skeleton);
+    return build_distance_labeling_impl(g, &csr, hierarchy, engine);
+  }
+  return build_distance_labeling_impl(g, nullptr, hierarchy, engine);
+}
+
+DlResult build_distance_labeling(const graph::WeightedDigraph& g,
+                                 const graph::CsrGraph& skeleton,
+                                 const td::Hierarchy& hierarchy,
+                                 primitives::Engine& engine) {
+  LOWTW_CHECK(skeleton.num_vertices() == g.num_vertices());
+  return build_distance_labeling_impl(g, &skeleton, hierarchy, engine);
+}
+
+SsspResult sssp_from_labels(const FlatLabeling& labeling, VertexId source,
                             int diameter, primitives::Engine& engine) {
   SsspResult out;
-  const auto n = labeling.labels.size();
+  const auto n = static_cast<std::size_t>(labeling.num_vertices());
   out.dist.assign(n, kInfinity);
   out.dist_to.assign(n, kInfinity);
-  const Label& src = labeling.labels[source];
   const double rounds_before = engine.ledger().total();
   // Pipelined flood of the source label: D + |label| rounds (3 words per
   // entry, one entry per message).
   engine.rounds(static_cast<double>(diameter) +
-                    3.0 * static_cast<double>(src.entries.size()),
+                    3.0 * static_cast<double>(labeling.entries(source)),
                 "sssp/label_flood");
-  for (std::size_t v = 0; v < n; ++v) {
-    out.dist[v] = decode_distance(src, labeling.labels[v]);
-    out.dist_to[v] = decode_distance(labeling.labels[v], src);
-  }
+  labeling.decode_one_vs_all(source, out.dist, out.dist_to);
   out.rounds = engine.ledger().total() - rounds_before;
   return out;
+}
+
+SsspResult sssp_from_labels(const DistanceLabeling& labeling, VertexId source,
+                            int diameter, primitives::Engine& engine) {
+  return sssp_from_labels(FlatLabeling(labeling), source, diameter, engine);
 }
 
 }  // namespace lowtw::labeling

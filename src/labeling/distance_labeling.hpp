@@ -21,7 +21,9 @@
 // prescribes).
 #pragma once
 
+#include "graph/csr.hpp"
 #include "graph/digraph.hpp"
+#include "labeling/flat_labeling.hpp"
 #include "labeling/label.hpp"
 #include "primitives/engine.hpp"
 #include "td/builder.hpp"
@@ -29,7 +31,8 @@
 namespace lowtw::labeling {
 
 struct DlResult {
-  DistanceLabeling labeling;
+  DistanceLabeling labeling;     ///< builder AoS form (persistence, tests)
+  FlatLabeling flat;             ///< frozen SoA query store (hot decode path)
   double rounds = 0;             ///< ledger delta for this build
   std::size_t max_label_entries = 0;
   std::size_t max_label_bits = 0;
@@ -43,6 +46,14 @@ DlResult build_distance_labeling(const graph::WeightedDigraph& g,
                                  const td::Hierarchy& hierarchy,
                                  primitives::Engine& engine);
 
+/// Same build over a pre-frozen CSR skeleton — callers that rebuild
+/// labelings in a loop (CDL trials) freeze the communication graph once and
+/// skip the per-call conversion. Identical labels and charges.
+DlResult build_distance_labeling(const graph::WeightedDigraph& g,
+                                 const graph::CsrGraph& skeleton,
+                                 const td::Hierarchy& hierarchy,
+                                 primitives::Engine& engine);
+
 struct SsspResult {
   std::vector<graph::Weight> dist;     ///< d(source → v)
   std::vector<graph::Weight> dist_to;  ///< d(v → source)
@@ -51,7 +62,13 @@ struct SsspResult {
 
 /// SSSP by label broadcast (Section 1.2): the source floods its own label
 /// (pipelined, D + |label| rounds); every node decodes both directions
-/// locally.
+/// locally via the batch one-vs-all kernel.
+SsspResult sssp_from_labels(const FlatLabeling& labeling,
+                            graph::VertexId source, int diameter,
+                            primitives::Engine& engine);
+
+/// Convenience wrapper over a builder labeling: freezes, then decodes.
+/// Callers holding a DlResult should pass `dl.flat` directly.
 SsspResult sssp_from_labels(const DistanceLabeling& labeling,
                             graph::VertexId source, int diameter,
                             primitives::Engine& engine);

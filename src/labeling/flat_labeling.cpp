@@ -1,0 +1,415 @@
+#include "labeling/flat_labeling.hpp"
+
+#include <algorithm>
+#include <atomic>
+
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+#define LOWTW_X86_DISPATCH 1
+#include <immintrin.h>
+#endif
+
+#include "util/check.hpp"
+
+namespace lowtw::labeling {
+
+using graph::kInfinity;
+using graph::VertexId;
+using graph::Weight;
+
+namespace {
+
+std::uint64_t next_generation() {
+  static std::atomic<std::uint64_t> counter{0};
+  return counter.fetch_add(1, std::memory_order_relaxed) + 1;
+}
+
+/// Span-size ratio beyond which the merge switches to galloping over the
+/// longer side. 16 keeps the plain merge on the (common) balanced spans and
+/// only gallops when the log-factor clearly wins.
+constexpr std::size_t kGallopRatio = 16;
+
+/// Exponential search: smallest index in [lo, n) with h[index] >= key.
+/// O(log(result - lo)) — the gallop start is the previous match position, so
+/// a full pass over the small side costs O(small · log(large / small)).
+std::size_t gallop(const VertexId* h, std::size_t lo, std::size_t n,
+                   VertexId key) {
+  std::size_t step = 1;
+  std::size_t hi = lo;
+  while (hi < n && h[hi] < key) {
+    lo = hi + 1;
+    hi += step;
+    step *= 2;
+  }
+  if (hi > n) hi = n;
+  return static_cast<std::size_t>(
+      std::lower_bound(h + lo, h + hi, key) - h);
+}
+
+/// Min over common hubs of a_cost + b_cost. The sum is unguarded: legs are
+/// either exact distances or kInfinity, and kInfinity = max/4 means any
+/// infinite leg pushes the sum past the running best (which never exceeds
+/// kInfinity) without overflowing — identical to the guarded AoS decoder.
+Weight decode_merge(const VertexId* ah, const Weight* acost, std::size_t an,
+                    const VertexId* bh, const Weight* bcost, std::size_t bn) {
+  Weight best = kInfinity;
+  if (an == 0 || bn == 0) return best;
+  if (an > kGallopRatio * bn || bn > kGallopRatio * an) {
+    // Gallop over the long side, iterate the short side.
+    const bool a_small = an < bn;
+    const VertexId* sh = a_small ? ah : bh;
+    const VertexId* lh = a_small ? bh : ah;
+    const Weight* sc = a_small ? acost : bcost;
+    const Weight* lc = a_small ? bcost : acost;
+    const std::size_t sn = a_small ? an : bn;
+    const std::size_t ln = a_small ? bn : an;
+    std::size_t j = 0;
+    for (std::size_t i = 0; i < sn; ++i) {
+      j = gallop(lh, j, ln, sh[i]);
+      if (j == ln) break;
+      if (lh[j] == sh[i]) {
+        const Weight cand = sc[i] + lc[j];
+        best = cand < best ? cand : best;
+        ++j;
+      }
+    }
+    return best;
+  }
+  std::size_t i = 0;
+  std::size_t j = 0;
+  while (i < an && j < bn) {
+    const VertexId x = ah[i];
+    const VertexId y = bh[j];
+    if (x == y) {
+      const Weight cand = acost[i] + bcost[j];
+      best = cand < best ? cand : best;
+      ++i;
+      ++j;
+    } else {
+      // Branch-light advance: exactly one side steps per mismatch.
+      i += static_cast<std::size_t>(x < y);
+      j += static_cast<std::size_t>(y < x);
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+void FlatLabeling::assign(const DistanceLabeling& labeling) {
+  const std::size_t n = labeling.labels.size();
+  std::size_t total = 0;
+  for (const Label& l : labeling.labels) total += l.entries.size();
+  offsets_.resize(n + 1);
+  hub_ids_.resize(total);
+  to_hub_.resize(total);
+  from_hub_.resize(total);
+  std::size_t pos = 0;
+  hub_bound_ = static_cast<VertexId>(n);
+  for (std::size_t v = 0; v < n; ++v) {
+    offsets_[v] = pos;
+    for (const LabelEntry& e : labeling.labels[v].entries) {
+      hub_ids_[pos] = e.hub;
+      to_hub_[pos] = e.to_hub;
+      from_hub_[pos] = e.from_hub;
+      hub_bound_ = std::max(hub_bound_, e.hub + 1);
+      ++pos;
+    }
+  }
+  offsets_[n] = pos;
+  generation_ = next_generation();
+}
+
+std::size_t FlatLabeling::max_entries() const {
+  std::size_t m = 0;
+  for (VertexId v = 0; v < num_vertices(); ++v) {
+    m = std::max(m, entries(v));
+  }
+  return m;
+}
+
+Weight FlatLabeling::decode(VertexId u, VertexId v) const {
+  const std::size_t ua = offsets_[u];
+  const std::size_t vb = offsets_[v];
+  return decode_merge(hub_ids_.data() + ua, to_hub_.data() + ua, entries(u),
+                      hub_ids_.data() + vb, from_hub_.data() + vb,
+                      entries(v));
+}
+
+void FlatLabeling::pin(VertexId u, DecodeScratch& scratch,
+                       PinSide side) const {
+  const auto n = static_cast<std::size_t>(hub_bound_);
+  const bool want_to = side != PinSide::kFrom;
+  const bool want_from = side != PinSide::kTo;
+  // A scratch carried over from a different (or re-frozen) store must be
+  // refilled wholesale: its incremental un-scatter bookkeeping is keyed to
+  // the previous store's spans.
+  if (scratch.owner != this || scratch.owner_generation != generation_) {
+    scratch.dense_to.clear();
+    scratch.dense_from.clear();
+    scratch.pinned = graph::kNoVertex;
+    scratch.to_valid = false;
+    scratch.from_valid = false;
+    scratch.owner = this;
+    scratch.owner_generation = generation_;
+  }
+  if (want_to && scratch.dense_to.size() < n) {
+    scratch.dense_to.assign(n, kInfinity);
+    scratch.to_valid = false;
+  }
+  if (want_from && scratch.dense_from.size() < n) {
+    scratch.dense_from.assign(n, kInfinity);
+    scratch.from_valid = false;
+  }
+  // Un-scatter the previous pin instead of refilling n cells.
+  if (scratch.pinned != graph::kNoVertex) {
+    for (VertexId h : hubs(scratch.pinned)) {
+      if (scratch.to_valid) scratch.dense_to[h] = kInfinity;
+      if (scratch.from_valid) scratch.dense_from[h] = kInfinity;
+    }
+  }
+  auto h = hubs(u);
+  auto to = to_hub(u);
+  auto from = from_hub(u);
+  if (want_to) {
+    for (std::size_t i = 0; i < h.size(); ++i) {
+      scratch.dense_to[h[i]] = to[i];
+    }
+  }
+  if (want_from) {
+    for (std::size_t i = 0; i < h.size(); ++i) {
+      scratch.dense_from[h[i]] = from[i];
+    }
+  }
+  scratch.pinned = u;
+  scratch.to_valid = want_to;
+  scratch.from_valid = want_from;
+}
+
+namespace {
+
+// --- gather-min kernels ------------------------------------------------------
+//
+// min over j of dense[vh[j]] + vcost[j]: the inner product of a span against
+// a pinned dense label. All variants compute the identical integer min; the
+// SIMD ones just fold 4 / 8 lanes per step. Selected once at startup by CPU
+// feature (the function-level `target` attributes keep the baseline build
+// portable — no global -march flags).
+
+Weight gather_min_scalar(const VertexId* vh, const Weight* vcost,
+                         std::size_t m, const Weight* dense) {
+  Weight b0 = kInfinity;
+  Weight b1 = kInfinity;
+  std::size_t j = 0;
+  for (; j + 2 <= m; j += 2) {
+    const Weight c0 = dense[vh[j]] + vcost[j];
+    b0 = c0 < b0 ? c0 : b0;
+    const Weight c1 = dense[vh[j + 1]] + vcost[j + 1];
+    b1 = c1 < b1 ? c1 : b1;
+  }
+  if (j < m) {
+    const Weight c = dense[vh[j]] + vcost[j];
+    b0 = c < b0 ? c : b0;
+  }
+  return b0 < b1 ? b0 : b1;
+}
+
+#ifdef LOWTW_X86_DISPATCH
+
+__attribute__((target("avx2"))) Weight gather_min_avx2(
+    const VertexId* vh, const Weight* vcost, std::size_t m,
+    const Weight* dense) {
+  __m256i best = _mm256_set1_epi64x(kInfinity);
+  std::size_t j = 0;
+  for (; j + 4 <= m; j += 4) {
+    const __m128i idx =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(vh + j));
+    const __m256i dt = _mm256_i32gather_epi64(
+        reinterpret_cast<const long long*>(dense), idx, 8);
+    const __m256i vc =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(vcost + j));
+    const __m256i cand = _mm256_add_epi64(dt, vc);
+    best = _mm256_blendv_epi8(best, cand, _mm256_cmpgt_epi64(best, cand));
+  }
+  alignas(32) long long lanes[4];
+  _mm256_store_si256(reinterpret_cast<__m256i*>(lanes), best);
+  Weight b = std::min(std::min(lanes[0], lanes[1]),
+                      std::min(lanes[2], lanes[3]));
+  for (; j < m; ++j) {
+    const Weight c = dense[vh[j]] + vcost[j];
+    b = c < b ? c : b;
+  }
+  return b;
+}
+
+// GCC's avx512 header builds unmasked intrinsics on a self-initialized
+// "undefined" vector (`__m512i __Y = __Y`), which -Wuninitialized flags
+// through inlining (GCC PR105593). The lanes are fully overwritten; mute
+// the false positive locally.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wuninitialized"
+#pragma GCC diagnostic ignored "-Wmaybe-uninitialized"
+__attribute__((target("avx512f"))) Weight gather_min_avx512(
+    const VertexId* vh, const Weight* vcost, std::size_t m,
+    const Weight* dense) {
+  __m512i best = _mm512_set1_epi64(kInfinity);
+  std::size_t j = 0;
+  for (; j + 8 <= m; j += 8) {
+    const __m256i idx =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(vh + j));
+    // Masked full-lane gather: the explicit source operand avoids the
+    // undefined-passthrough of the plain intrinsic (and its -Wuninitialized
+    // noise) at no cost.
+    const __m512i dt = _mm512_mask_i32gather_epi64(
+        best, static_cast<__mmask8>(0xFF), idx,
+        reinterpret_cast<const long long*>(dense), 8);
+    const __m512i vc = _mm512_loadu_si512(static_cast<const void*>(vcost + j));
+    best = _mm512_min_epi64(best, _mm512_add_epi64(dt, vc));
+  }
+  Weight b = _mm512_reduce_min_epi64(best);
+  for (; j < m; ++j) {
+    const Weight c = dense[vh[j]] + vcost[j];
+    b = c < b ? c : b;
+  }
+  return b;
+}
+#pragma GCC diagnostic pop
+
+#endif  // LOWTW_X86_DISPATCH
+
+using GatherMinFn = Weight (*)(const VertexId*, const Weight*, std::size_t,
+                               const Weight*);
+
+GatherMinFn pick_gather_min() {
+#ifdef LOWTW_X86_DISPATCH
+  if (__builtin_cpu_supports("avx512f")) return gather_min_avx512;
+  if (__builtin_cpu_supports("avx2")) return gather_min_avx2;
+#endif
+  return gather_min_scalar;
+}
+
+const GatherMinFn kGatherMin = pick_gather_min();
+
+inline void prefetch_lines(const void* p32, const void* p64) {
+#if defined(__GNUC__) || defined(__clang__)
+  // Leading lines of the 4-byte hub stream and the 8-byte weight stream
+  // (typical spans are a handful of lines); the hardware prefetcher picks
+  // up any remainder.
+  __builtin_prefetch(p32);
+  __builtin_prefetch(static_cast<const VertexId*>(p32) + 16);
+  __builtin_prefetch(p64);
+  __builtin_prefetch(static_cast<const Weight*>(p64) + 8);
+  __builtin_prefetch(static_cast<const Weight*>(p64) + 16);
+  __builtin_prefetch(static_cast<const Weight*>(p64) + 24);
+#else
+  (void)p32;
+  (void)p64;
+#endif
+}
+
+}  // namespace
+
+Weight FlatLabeling::decode_from_pinned(const DecodeScratch& scratch,
+                                        VertexId v) const {
+  LOWTW_CHECK_MSG(scratch.to_valid && scratch.owner == this &&
+                      scratch.owner_generation == generation_,
+                  "decode_from_pinned without a matching to-side pin");
+  // Branchless gather: hubs outside the pinned label read kInfinity, whose
+  // sum with any finite leg stays >= kInfinity and never wins the min.
+  const std::size_t vb = offsets_[v];
+  return kGatherMin(hub_ids_.data() + vb, from_hub_.data() + vb, entries(v),
+                    scratch.dense_to.data());
+}
+
+Weight FlatLabeling::decode_to_pinned(const DecodeScratch& scratch,
+                                      VertexId v) const {
+  LOWTW_CHECK_MSG(scratch.from_valid && scratch.owner == this &&
+                      scratch.owner_generation == generation_,
+                  "decode_to_pinned without a matching from-side pin");
+  const std::size_t vb = offsets_[v];
+  return kGatherMin(hub_ids_.data() + vb, to_hub_.data() + vb, entries(v),
+                    scratch.dense_from.data());
+}
+
+void FlatLabeling::prefetch_target(VertexId v) const {
+  const std::size_t vb = offsets_[v];
+  prefetch_lines(hub_ids_.data() + vb, from_hub_.data() + vb);
+}
+
+void FlatLabeling::prefetch_source(VertexId v) const {
+  const std::size_t vb = offsets_[v];
+  prefetch_lines(hub_ids_.data() + vb, to_hub_.data() + vb);
+}
+
+void FlatLabeling::decode_one_vs_all(VertexId u,
+                                     std::span<Weight> out_dist,
+                                     std::span<Weight> out_dist_to) const {
+  const int n = num_vertices();
+  LOWTW_CHECK(out_dist.size() == static_cast<std::size_t>(n));
+  LOWTW_CHECK(out_dist_to.size() == static_cast<std::size_t>(n));
+  DecodeScratch scratch;
+  pin(u, scratch);
+  // The sweep streams the packed spans sequentially end to end, so the
+  // hardware prefetcher keeps the gather kernels fed without hints.
+  for (VertexId v = 0; v < n; ++v) {
+    const std::size_t vb = offsets_[v];
+    const std::size_t vn = entries(v);
+    out_dist[v] = kGatherMin(hub_ids_.data() + vb, from_hub_.data() + vb, vn,
+                             scratch.dense_to.data());
+    out_dist_to[v] = kGatherMin(hub_ids_.data() + vb, to_hub_.data() + vb, vn,
+                                scratch.dense_from.data());
+  }
+}
+
+DistanceLabeling FlatLabeling::thaw() const {
+  DistanceLabeling out;
+  const int n = num_vertices();
+  out.labels.resize(static_cast<std::size_t>(n));
+  for (VertexId v = 0; v < n; ++v) {
+    Label& l = out.labels[v];
+    l.owner = v;
+    auto h = hubs(v);
+    auto to = to_hub(v);
+    auto from = from_hub(v);
+    l.entries.resize(h.size());
+    for (std::size_t i = 0; i < h.size(); ++i) {
+      l.entries[i] = LabelEntry{h[i], to[i], from[i]};
+    }
+  }
+  return out;
+}
+
+FlatLabeling FlatLabeling::from_parts(std::vector<std::size_t> offsets,
+                                      std::vector<VertexId> hub_ids,
+                                      std::vector<Weight> to_hub,
+                                      std::vector<Weight> from_hub) {
+  LOWTW_CHECK_MSG(!offsets.empty() && offsets.front() == 0 &&
+                      offsets.back() == hub_ids.size(),
+                  "flat labeling: malformed offset table");
+  LOWTW_CHECK(to_hub.size() == hub_ids.size());
+  LOWTW_CHECK(from_hub.size() == hub_ids.size());
+  for (std::size_t v = 0; v + 1 < offsets.size(); ++v) {
+    LOWTW_CHECK_MSG(offsets[v] <= offsets[v + 1],
+                    "flat labeling: offsets not monotone");
+    // The span minimum is its first hub; negative ids would index the dense
+    // pin arrays out of bounds.
+    LOWTW_CHECK_MSG(offsets[v] == offsets[v + 1] || hub_ids[offsets[v]] >= 0,
+                    "flat labeling: negative hub id");
+    for (std::size_t i = offsets[v] + 1; i < offsets[v + 1]; ++i) {
+      LOWTW_CHECK_MSG(hub_ids[i - 1] < hub_ids[i],
+                      "flat labeling: hubs not sorted");
+    }
+  }
+  FlatLabeling f;
+  f.offsets_ = std::move(offsets);
+  f.hub_ids_ = std::move(hub_ids);
+  f.to_hub_ = std::move(to_hub);
+  f.from_hub_ = std::move(from_hub);
+  f.hub_bound_ = static_cast<VertexId>(f.num_vertices());
+  for (VertexId h : f.hub_ids_) {
+    f.hub_bound_ = std::max(f.hub_bound_, h + 1);
+  }
+  f.generation_ = next_generation();
+  return f;
+}
+
+}  // namespace lowtw::labeling

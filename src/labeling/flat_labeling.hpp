@@ -1,0 +1,139 @@
+// Frozen SoA distance-label store + batch decode kernels.
+//
+// `Label` / `DistanceLabeling` stay the mutable builders (per-vertex sorted
+// AoS entry vectors, incremental upserts during the bottom-up construction);
+// `FlatLabeling` is the immutable query layout: all labels packed into three
+// contiguous arrays (`hub_ids`, `to_hub`, `from_hub`) plus an n+1 offset
+// table — the Label → FlatLabeling freeze mirrors the Graph → CsrGraph
+// layering of the graph core.
+//
+// Why it is fast: the decoder of Section 4.1 merge-intersects two sorted hub
+// sets and only touches the weights on a hub match. In the AoS layout every
+// comparison drags a 24-byte LabelEntry through the cache; here the merge
+// scans the 4-byte `hub_ids` stream and gathers from `to_hub` / `from_hub`
+// only on matches, galloping (exponential search) over the longer span when
+// sizes are skewed. Batch consumers go further: `pin` scatters one label
+// into a dense hub-indexed array, after which every decode against it is a
+// branchless SIMD gather-min over the other span (see DecodeScratch below
+// and the dispatch in flat_labeling.cpp).
+//
+// Decode results are bit-identical to `decode_distance` on the source
+// labeling: the min-fold over common hubs is order-invariant and the
+// unguarded `to + from` sum saturates past kInfinity without overflow
+// (kInfinity = max/4), so infinite legs can never win the min.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "labeling/label.hpp"
+
+namespace lowtw::labeling {
+
+class FlatLabeling {
+ public:
+  FlatLabeling() = default;
+
+  /// Freezes a builder labeling into SoA form. O(total entries).
+  explicit FlatLabeling(const DistanceLabeling& labeling) {
+    assign(labeling);
+  }
+
+  /// Re-freeze into the same storage (buffers are reused once grown).
+  void assign(const DistanceLabeling& labeling);
+
+  int num_vertices() const { return static_cast<int>(offsets_.size()) - 1; }
+  std::size_t num_entries() const { return hub_ids_.size(); }
+
+  /// Number of hubs of v.
+  std::size_t entries(graph::VertexId v) const {
+    return offsets_[v + 1] - offsets_[v];
+  }
+  std::size_t max_entries() const;
+
+  /// Sorted hub ids of v (paired index-wise with to_hub(v) / from_hub(v)).
+  std::span<const graph::VertexId> hubs(graph::VertexId v) const {
+    return {hub_ids_.data() + offsets_[v], entries(v)};
+  }
+  std::span<const graph::Weight> to_hub(graph::VertexId v) const {
+    return {to_hub_.data() + offsets_[v], entries(v)};
+  }
+  std::span<const graph::Weight> from_hub(graph::VertexId v) const {
+    return {from_hub_.data() + offsets_[v], entries(v)};
+  }
+
+  /// dec(la(u), la(v)): min over common hubs s of d(u→s) + d(s→v).
+  /// Bit-identical to decode_distance on the source labeling.
+  graph::Weight decode(graph::VertexId u, graph::VertexId v) const;
+
+  /// Scratch for source-pinned batch decoding: u's label scattered into two
+  /// dense hub-indexed arrays (kInfinity off-label), so each subsequent
+  /// decode against u is a branchless gather over the other span instead of
+  /// a merge. Reusable across pins; allocates only on growth.
+  struct DecodeScratch {
+    std::vector<graph::Weight> dense_to;    ///< d(pinned → hub), by hub id
+    std::vector<graph::Weight> dense_from;  ///< d(hub → pinned), by hub id
+    const FlatLabeling* owner = nullptr;     ///< store the pin came from
+    std::uint64_t owner_generation = 0;      ///< its content stamp at pin time
+    graph::VertexId pinned = graph::kNoVertex;
+    bool to_valid = false;
+    bool from_valid = false;
+  };
+
+  /// Which directions a pin scatters; pinning only the needed side halves
+  /// the per-source setup (girth only ever decodes *from* the pinned head).
+  enum class PinSide { kFrom, kTo, kBoth };
+
+  /// Pins u as the shared side of a decode batch. O(n) on first use of the
+  /// scratch, O(|label(u)| + |label(prev)|) after.
+  void pin(graph::VertexId u, DecodeScratch& scratch,
+           PinSide side = PinSide::kBoth) const;
+  /// dec(pinned, v): gather kernel, identical result to decode(pinned, v).
+  /// Runtime-dispatched to AVX-512 / AVX2 gathers where the CPU has them.
+  graph::Weight decode_from_pinned(const DecodeScratch& scratch,
+                                   graph::VertexId v) const;
+  /// dec(v, pinned).
+  graph::Weight decode_to_pinned(const DecodeScratch& scratch,
+                                 graph::VertexId v) const;
+
+  /// Prefetch hints for upcoming pinned decodes: the spans live at random
+  /// offsets of the packed arrays, so issuing the first lines one or two
+  /// decodes ahead hides the span-start miss latency. `prefetch_target(v)`
+  /// primes v for decode_from_pinned (hubs + from_hub), `prefetch_source(v)`
+  /// for decode_to_pinned (hubs + to_hub).
+  void prefetch_target(graph::VertexId v) const;
+  void prefetch_source(graph::VertexId v) const;
+
+  /// Batch kernel: decodes u against every vertex in one pass, writing
+  /// out_dist[v] = dec(u, v) and out_dist_to[v] = dec(v, u). One pin of u,
+  /// then a single gather sweep over every span serves both directions.
+  /// Spans must be sized num_vertices().
+  void decode_one_vs_all(graph::VertexId u, std::span<graph::Weight> out_dist,
+                         std::span<graph::Weight> out_dist_to) const;
+
+  /// Thaws back to the builder AoS form (tests / persistence convenience).
+  DistanceLabeling thaw() const;
+
+  /// Assembles a store from pre-packed arrays (the label_io reader builds
+  /// these directly from the stream). `offsets` must be a valid n+1 prefix-sum
+  /// table and hubs must be sorted within each span; checked.
+  static FlatLabeling from_parts(std::vector<std::size_t> offsets,
+                                 std::vector<graph::VertexId> hub_ids,
+                                 std::vector<graph::Weight> to_hub,
+                                 std::vector<graph::Weight> from_hub);
+
+ private:
+  std::vector<std::size_t> offsets_{0};  ///< size n+1
+  std::vector<graph::VertexId> hub_ids_;
+  std::vector<graph::Weight> to_hub_;
+  std::vector<graph::Weight> from_hub_;
+  /// Exclusive upper bound on hub ids (= n for construction-built labelings;
+  /// sizes the dense pin arrays for hand-built ones with out-of-range hubs).
+  graph::VertexId hub_bound_ = 0;
+  /// Content stamp, bumped by assign()/from_parts: lets pin() detect a
+  /// scratch whose incremental bookkeeping belongs to another store — or to
+  /// this store before a re-freeze — and refill it wholesale.
+  std::uint64_t generation_ = 0;
+};
+
+}  // namespace lowtw::labeling

@@ -45,6 +45,56 @@ void write_labeling(std::ostream& os, const DistanceLabeling& labeling) {
   }
 }
 
+void write_labeling(std::ostream& os, const FlatLabeling& labeling) {
+  const int n = labeling.num_vertices();
+  os << "labeling " << n << "\n";
+  for (graph::VertexId v = 0; v < n; ++v) {
+    auto hubs = labeling.hubs(v);
+    auto to = labeling.to_hub(v);
+    auto from = labeling.from_hub(v);
+    os << "l " << v << " " << hubs.size() << "\n";
+    for (std::size_t i = 0; i < hubs.size(); ++i) {
+      os << "e " << hubs[i] << " ";
+      write_weight(os, to[i]);
+      os << " ";
+      write_weight(os, from[i]);
+      os << "\n";
+    }
+  }
+}
+
+FlatLabeling read_flat_labeling(std::istream& is) {
+  std::string tag;
+  LOWTW_CHECK_MSG(is >> tag && tag == "labeling", "missing labeling header");
+  std::size_t n = 0;
+  is >> n;
+  std::vector<std::size_t> offsets;
+  offsets.reserve(n + 1);
+  offsets.push_back(0);
+  std::vector<graph::VertexId> hub_ids;
+  std::vector<Weight> to_hub;
+  std::vector<Weight> from_hub;
+  for (std::size_t i = 0; i < n; ++i) {
+    LOWTW_CHECK_MSG(is >> tag && tag == "l", "expected label record");
+    graph::VertexId owner = graph::kNoVertex;
+    std::size_t k = 0;
+    is >> owner >> k;
+    for (std::size_t j = 0; j < k; ++j) {
+      LOWTW_CHECK_MSG(is >> tag && tag == "e", "expected entry record");
+      graph::VertexId hub = graph::kNoVertex;
+      is >> hub;
+      hub_ids.push_back(hub);
+      to_hub.push_back(read_weight(is));
+      from_hub.push_back(read_weight(is));
+    }
+    offsets.push_back(hub_ids.size());
+  }
+  // from_parts re-checks the per-span hub sort order (the "entries not
+  // sorted by hub" guard of the AoS reader).
+  return FlatLabeling::from_parts(std::move(offsets), std::move(hub_ids),
+                                  std::move(to_hub), std::move(from_hub));
+}
+
 DistanceLabeling read_labeling(std::istream& is) {
   DistanceLabeling out;
   std::string tag;

@@ -11,11 +11,19 @@
 
 #include <iosfwd>
 
+#include "labeling/flat_labeling.hpp"
 #include "labeling/label.hpp"
 
 namespace lowtw::labeling::io {
 
 void write_labeling(std::ostream& os, const DistanceLabeling& labeling);
 DistanceLabeling read_labeling(std::istream& is);
+
+/// The frozen SoA store round-trips through the same format: a file written
+/// from either representation reads back into either. The flat writer walks
+/// the packed arrays directly; the flat reader packs the stream into the
+/// SoA arrays without materializing per-vertex entry vectors.
+void write_labeling(std::ostream& os, const FlatLabeling& labeling);
+FlatLabeling read_flat_labeling(std::istream& is);
 
 }  // namespace lowtw::labeling::io

@@ -165,6 +165,13 @@ DistributedMatchingResult max_bipartite_matching(const graph::Graph& g,
     }
   };
 
+  // One CDL workspace + result for all insertion steps: the skeleton,
+  // hierarchy, and constraint are fixed across the whole divide-and-conquer,
+  // so the lifted hierarchy / product skeleton / product-graph buffers are
+  // built once and reused by every per-step rebuild (only the mask varies).
+  walks::CdlWorkspace cdl_ws;
+  walks::CdlResult cdl_scratch;
+
   auto levels = hierarchy.levels();
   for (auto level_it = levels.rbegin(); level_it != levels.rend(); ++level_it) {
     const int level = hierarchy.nodes[(*level_it)[0]].depth;
@@ -209,21 +216,26 @@ DistributedMatchingResult max_bipartite_matching(const graph::Graph& g,
     for (int step = 0; step < max_k; ++step) {
       graph::WeightedDigraph masked = build_masked(level, step);
       if (params.mode == MatchingMode::kFaithful) {
-        auto cdl = walks::build_cdl(masked, g, hierarchy, cons, engine);
+        walks::build_cdl_into(masked, g, hierarchy, cons, engine, &cdl_ws,
+                              cdl_scratch);
         ++result.cdl_builds;
-        run_step(masked, cdl.product, &cdl, level, step, *level_it);
+        run_step(masked, cdl_scratch.product, &cdl_scratch, level, step,
+                 *level_it);
       } else if (calibrated_cdl_rounds < 0) {
-        auto cdl = walks::build_cdl(masked, g, hierarchy, cons, engine);
+        walks::build_cdl_into(masked, g, hierarchy, cons, engine, &cdl_ws,
+                              cdl_scratch);
         ++result.cdl_builds;
-        calibrated_cdl_rounds = cdl.rounds;
-        run_step(masked, cdl.product, nullptr, level, step, *level_it);
+        calibrated_cdl_rounds = cdl_scratch.rounds;
+        run_step(masked, cdl_scratch.product, nullptr, level, step,
+                 *level_it);
       } else {
         // Identical hierarchy and bag structure as the calibrated build:
         // charge the measured cost without redoing the label computation.
         engine.rounds(calibrated_cdl_rounds, "matching/cdl");
-        walks::ProductGraph product =
-            walks::build_product_graph(masked, cons);
-        run_step(masked, product, nullptr, level, step, *level_it);
+        // Reuse the scratch product-graph buffers for the mask-only rebuild.
+        walks::build_product_graph(masked, cons, cdl_scratch.product);
+        run_step(masked, cdl_scratch.product, nullptr, level, step,
+                 *level_it);
       }
     }
   }

@@ -13,33 +13,47 @@ using graph::kNoVertex;
 using graph::VertexId;
 using graph::Weight;
 
-CdlResult build_cdl(const graph::WeightedDigraph& g,
+void build_cdl_into(const graph::WeightedDigraph& g,
                     const graph::Graph& skeleton,
                     const td::Hierarchy& hierarchy,
                     const StatefulConstraint& constraint,
-                    primitives::Engine& engine) {
-  CdlResult result;
-  result.product = build_product_graph(g, constraint);
-  td::Hierarchy lifted = lift_hierarchy(hierarchy, result.product.q);
+                    primitives::Engine& engine, CdlWorkspace* workspace,
+                    CdlResult& result) {
+  build_product_graph(g, constraint, result.product);
+  const int q = result.product.q;
+
+  // The lifted decomposition depends only on (hierarchy, q): lift into the
+  // workspace once and reuse it on every subsequent call.
+  td::Hierarchy lifted_local;
+  const td::Hierarchy* lifted;
+  if (workspace != nullptr) {
+    if (!workspace->lifted_built) {
+      lift_hierarchy(hierarchy, q, workspace->lifted);
+      workspace->lifted_built = true;
+    }
+    lifted = &workspace->lifted;
+  } else {
+    lift_hierarchy(hierarchy, q, lifted_local);
+    lifted = &lifted_local;
+  }
 
   // The product skeleton for part statistics must reflect the *unmasked*
   // communication graph: every skeleton edge {u,v} supports all layer pairs
   // reachable by simulation, and within a vertex the layers are joined by
-  // the layer-drop arcs. Build it directly from `skeleton` rather than from
-  // the (possibly masked) product arcs.
-  graph::Graph product_skeleton(skeleton.num_vertices() * result.product.q);
-  const int q = result.product.q;
-  for (VertexId v = 0; v < skeleton.num_vertices(); ++v) {
-    for (int i = 1; i < q; ++i) {
-      product_skeleton.add_edge(v * q + i, v * q + kBottomState);
+  // the layer-drop arcs. Built directly from `skeleton` in frozen CSR form
+  // (and cached in the workspace) rather than from the (possibly masked)
+  // product arcs.
+  graph::CsrGraph skel_local;
+  const graph::CsrGraph* skel_csr;
+  if (workspace != nullptr) {
+    if (!workspace->skeleton_built) {
+      workspace->product_skeleton = product_skeleton_csr(skeleton, q);
+      workspace->skeleton_built = true;
     }
-    for (VertexId w : skeleton.neighbors(v)) {
-      if (w > v) {
-        for (int i = 0; i < q; ++i) {
-          product_skeleton.add_edge(v * q + i, w * q + i);
-        }
-      }
-    }
+    skel_csr = &workspace->product_skeleton;
+  } else {
+    skel_local = product_skeleton_csr(skeleton, q);
+    skel_csr = &skel_local;
   }
 
   // Theorem 3 simulation overhead: |Q| · p_max.
@@ -48,13 +62,22 @@ CdlResult build_cdl(const graph::WeightedDigraph& g,
   const double before = engine.ledger().total();
   {
     auto scope = engine.overhead(overhead);
-    auto dl = labeling::build_distance_labeling(result.product.gc,
-                                                product_skeleton, lifted,
-                                                engine);
-    result.labels = std::move(dl.labeling);
+    auto dl = labeling::build_distance_labeling(result.product.gc, *skel_csr,
+                                                *lifted, engine);
+    result.labels = std::move(dl.flat);
     result.max_label_entries = dl.max_label_entries;
   }
   result.rounds = engine.ledger().total() - before;
+}
+
+CdlResult build_cdl(const graph::WeightedDigraph& g,
+                    const graph::Graph& skeleton,
+                    const td::Hierarchy& hierarchy,
+                    const StatefulConstraint& constraint,
+                    primitives::Engine& engine, CdlWorkspace* workspace) {
+  CdlResult result;
+  build_cdl_into(g, skeleton, hierarchy, constraint, engine, workspace,
+                 result);
   return result;
 }
 

@@ -16,25 +16,54 @@ namespace lowtw::walks {
 
 struct CdlResult {
   ProductGraph product;
-  labeling::DistanceLabeling labels;  ///< labels of product vertices
+  labeling::FlatLabeling labels;  ///< frozen SoA labels of product vertices
   double rounds = 0;
   std::size_t max_label_entries = 0;
 
-  /// sdec(q, sla(u), sla(v)): the C(q)-distance from u to v.
+  /// sdec(q, sla(u), sla(v)): the C(q)-distance from u to v, decoded from
+  /// the flat store.
   graph::Weight distance(graph::VertexId u, graph::VertexId v,
                          int state) const {
-    return labels.distance(product.vertex(u, kNablaState),
-                           product.vertex(v, state));
+    return labels.decode(product.vertex(u, kNablaState),
+                         product.vertex(v, state));
   }
 };
 
+/// Caches the per-call intermediates of build_cdl that depend only on
+/// (skeleton, hierarchy, |Q|): the lifted decomposition and the product
+/// communication skeleton, plus the product-graph buffers. Callers that
+/// rebuild the CDL in a loop over re-labeled or re-masked copies of one
+/// instance (girth trials, matching insertion steps) pass the same
+/// workspace to every call; it must not be shared across different
+/// skeletons, hierarchies, or constraints.
+struct CdlWorkspace {
+  td::Hierarchy lifted;
+  graph::CsrGraph product_skeleton;
+  bool lifted_built = false;
+  bool skeleton_built = false;
+};
+
 /// Builds CDL(C) for g over a decomposition hierarchy of ⟦g⟧ (unmasked).
-/// `skeleton` is the communication graph (⟦g⟧ without masking).
+/// `skeleton` is the communication graph (⟦g⟧ without masking). Passing the
+/// same `workspace` across calls (see CdlWorkspace) makes the skeleton and
+/// hierarchy lifts one-time costs; results and charges are identical either
+/// way.
 CdlResult build_cdl(const graph::WeightedDigraph& g,
                     const graph::Graph& skeleton,
                     const td::Hierarchy& hierarchy,
                     const StatefulConstraint& constraint,
-                    primitives::Engine& engine);
+                    primitives::Engine& engine,
+                    CdlWorkspace* workspace = nullptr);
+
+/// In-place rebuild: additionally reuses `result`'s product-graph buffers,
+/// so a caller that keeps one CdlResult alive across loop iterations pays
+/// no adjacency allocations after the first build. Identical to build_cdl.
+void build_cdl_into(const graph::WeightedDigraph& g,
+                    const graph::Graph& skeleton,
+                    const td::Hierarchy& hierarchy,
+                    const StatefulConstraint& constraint,
+                    primitives::Engine& engine, CdlWorkspace* workspace,
+                    CdlResult& result);
 
 struct ConstrainedWalk {
   std::vector<graph::EdgeId> arcs;  ///< arcs of g, in walk order

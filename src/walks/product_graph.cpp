@@ -1,5 +1,7 @@
 #include "walks/product_graph.hpp"
 
+#include <algorithm>
+
 #include "util/check.hpp"
 
 namespace lowtw::walks {
@@ -9,12 +11,13 @@ using graph::EdgeId;
 using graph::kInfinity;
 using graph::VertexId;
 
-ProductGraph build_product_graph(const graph::WeightedDigraph& g,
-                                 const StatefulConstraint& constraint) {
-  ProductGraph p;
+void build_product_graph(const graph::WeightedDigraph& g,
+                         const StatefulConstraint& constraint,
+                         ProductGraph& p) {
   p.q = constraint.num_states();
   LOWTW_CHECK(p.q >= 2);
-  p.gc = graph::WeightedDigraph(g.num_vertices() * p.q);
+  p.gc.reset(g.num_vertices() * p.q);
+  p.base_arc_of.clear();
 
   // Condition (1): transition arcs.
   for (EdgeId e = 0; e < g.num_arcs(); ++e) {
@@ -41,20 +44,26 @@ ProductGraph build_product_graph(const graph::WeightedDigraph& g,
       p.base_arc_of.push_back(-1);
     }
   }
+}
+
+ProductGraph build_product_graph(const graph::WeightedDigraph& g,
+                                 const StatefulConstraint& constraint) {
+  ProductGraph p;
+  build_product_graph(g, constraint, p);
   return p;
 }
 
-td::Hierarchy lift_hierarchy(const td::Hierarchy& base, int q) {
-  td::Hierarchy lifted;
+void lift_hierarchy(const td::Hierarchy& base, int q, td::Hierarchy& lifted) {
   lifted.root = base.root;
   lifted.nodes.resize(base.nodes.size());
-  auto lift_set = [q](const std::vector<VertexId>& vs) {
-    std::vector<VertexId> out;
+  auto lift_set = [q](const std::vector<VertexId>& vs,
+                      std::vector<VertexId>& out) {
+    out.clear();
     out.reserve(vs.size() * static_cast<std::size_t>(q));
     for (VertexId v : vs) {
       for (int i = 0; i < q; ++i) out.push_back(v * q + i);
     }
-    return out;  // sorted: base sorted and states are consecutive
+    // sorted: base sorted and states are consecutive
   };
   for (std::size_t x = 0; x < base.nodes.size(); ++x) {
     const td::HierarchyNode& b = base.nodes[x];
@@ -63,12 +72,59 @@ td::Hierarchy lift_hierarchy(const td::Hierarchy& base, int q) {
     l.children = b.children;
     l.depth = b.depth;
     l.leaf = b.leaf;
-    l.comp = lift_set(b.comp);
-    l.boundary = lift_set(b.boundary);
-    l.separator = lift_set(b.separator);
-    l.bag = lift_set(b.bag);
+    lift_set(b.comp, l.comp);
+    lift_set(b.boundary, l.boundary);
+    lift_set(b.separator, l.separator);
+    lift_set(b.bag, l.bag);
   }
+}
+
+td::Hierarchy lift_hierarchy(const td::Hierarchy& base, int q) {
+  td::Hierarchy lifted;
+  lift_hierarchy(base, q, lifted);
   return lifted;
+}
+
+graph::CsrGraph product_skeleton_csr(const graph::Graph& skeleton, int q) {
+  LOWTW_CHECK(q >= 2);
+  const VertexId n = skeleton.num_vertices();
+  const std::size_t big_n = static_cast<std::size_t>(n) * q;
+  std::vector<EdgeId> offsets(big_n + 1, 0);
+  // Degree of (v,i): one copy of v's skeleton neighbors on layer i, plus the
+  // layer-drop star — (v,⊥) touches the q-1 other layers, each of which
+  // touches only (v,⊥).
+  for (VertexId v = 0; v < n; ++v) {
+    const EdgeId deg = static_cast<EdgeId>(skeleton.degree(v));
+    for (int i = 0; i < q; ++i) {
+      offsets[static_cast<std::size_t>(v) * q + i + 1] =
+          deg + (i == kBottomState ? q - 1 : 1);
+    }
+  }
+  for (std::size_t x = 0; x < big_n; ++x) offsets[x + 1] += offsets[x];
+  std::vector<VertexId> targets(static_cast<std::size_t>(offsets[big_n]));
+  for (VertexId v = 0; v < n; ++v) {
+    auto nb = skeleton.neighbors(v);
+    // Neighbors w < v sort before the in-vertex star, w > v after it; the
+    // skeleton lists are sorted, so each span fills in ascending order.
+    const auto split = static_cast<std::size_t>(
+        std::lower_bound(nb.begin(), nb.end(), v) - nb.begin());
+    for (int i = 0; i < q; ++i) {
+      std::size_t pos =
+          static_cast<std::size_t>(offsets[static_cast<std::size_t>(v) * q + i]);
+      for (std::size_t wi = 0; wi < split; ++wi) {
+        targets[pos++] = nb[wi] * q + i;
+      }
+      if (i == kBottomState) {
+        for (int j = 1; j < q; ++j) targets[pos++] = v * q + j;
+      } else {
+        targets[pos++] = v * q + kBottomState;
+      }
+      for (std::size_t wi = split; wi < nb.size(); ++wi) {
+        targets[pos++] = nb[wi] * q + i;
+      }
+    }
+  }
+  return graph::CsrGraph::from_parts(std::move(offsets), std::move(targets));
 }
 
 }  // namespace lowtw::walks

@@ -8,6 +8,7 @@
 // walks of weight x from (s,▽) to (t,q) in G_C.
 #pragma once
 
+#include "graph/csr.hpp"
 #include "graph/digraph.hpp"
 #include "td/builder.hpp"
 #include "walks/constraint.hpp"
@@ -33,10 +34,29 @@ struct ProductGraph {
 ProductGraph build_product_graph(const graph::WeightedDigraph& g,
                                  const StatefulConstraint& constraint);
 
+/// Rebuilds G_C into `out`, reusing its buffers — callers that re-label and
+/// rebuild the product in a loop (girth trials, matching insertion steps)
+/// allocate only on the first pass. Identical arcs and arc ids.
+void build_product_graph(const graph::WeightedDigraph& g,
+                         const StatefulConstraint& constraint,
+                         ProductGraph& out);
+
 /// Lifts a decomposition hierarchy of ⟦G⟧ to one of ⟦G_C⟧ by replacing every
 /// vertex v with U_Q(v) = {(v,0), ..., (v,|Q|-1)} (Section 5.2: the lifted
 /// decomposition is a valid tree decomposition of G_C with bags scaled by
 /// |Q|).
 td::Hierarchy lift_hierarchy(const td::Hierarchy& base, int q);
+
+/// Lift into a reusable hierarchy: per-node vertex lists keep their
+/// capacity, so repeated lifts of the same base are allocation-free.
+void lift_hierarchy(const td::Hierarchy& base, int q, td::Hierarchy& out);
+
+/// The communication skeleton ⟦G_C⟧ of any product over `skeleton` with |Q|
+/// = q, assembled directly in frozen CSR form (one counting pass + one fill
+/// pass, no mutable Graph / add_edge churn): every skeleton edge {u,v}
+/// carries all q layer pairs, and within a vertex the layers {(v,i)}_{i≠⊥}
+/// join (v,⊥) via the layer-drop arcs. Identical to freezing the add_edge
+/// construction.
+graph::CsrGraph product_skeleton_csr(const graph::Graph& skeleton, int q);
 
 }  // namespace lowtw::walks

@@ -1,0 +1,269 @@
+// FlatLabeling: the frozen SoA store must decode bit-identically to the
+// legacy AoS decoder (and hence to Dijkstra), through every kernel — merge,
+// gallop, pinned gather (scalar or SIMD-dispatched), and one-vs-all — and
+// round-trip through label_io in both representations.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "girth/girth.hpp"
+#include "graph/algorithms.hpp"
+#include "graph/generators.hpp"
+#include "labeling/distance_labeling.hpp"
+#include "labeling/flat_labeling.hpp"
+#include "labeling/label_io.hpp"
+#include "td/builder.hpp"
+#include "test_helpers.hpp"
+#include "walks/cdl.hpp"
+
+namespace lowtw::labeling {
+namespace {
+
+using graph::kInfinity;
+using graph::VertexId;
+using graph::Weight;
+using graph::WeightedDigraph;
+
+class FlatSweep : public ::testing::TestWithParam<test::FamilySpec> {};
+
+TEST_P(FlatSweep, DecodeMatchesLegacyAndDijkstra) {
+  test::FamilySpec spec = GetParam();
+  graph::Graph ug = test::make_family(spec);
+  util::Rng rng(spec.seed + 77);
+  WeightedDigraph g = graph::gen::random_orientation(ug, 0.55, 1, 30, rng);
+  graph::Graph skel = g.skeleton();
+  test::EngineBundle bundle(skel);
+  auto td = td::build_hierarchy(skel, td::TdParams{}, rng, bundle.engine);
+  auto dl = build_distance_labeling(g, skel, td.hierarchy, bundle.engine);
+  const int n = g.num_vertices();
+
+  ASSERT_EQ(dl.flat.num_vertices(), n);
+  EXPECT_EQ(dl.flat.max_entries(), dl.max_label_entries);
+
+  // Pairwise: flat merge/gallop decode == legacy AoS decode, all pairs.
+  for (VertexId u = 0; u < n; ++u) {
+    for (VertexId v = 0; v < n; ++v) {
+      EXPECT_EQ(dl.flat.decode(u, v),
+                decode_distance(dl.labeling.labels[u],
+                                dl.labeling.labels[v]))
+          << "u=" << u << " v=" << v;
+    }
+  }
+
+  // Batch one-vs-all (both directions at once) == pairwise, == Dijkstra.
+  std::vector<Weight> dist(static_cast<std::size_t>(n));
+  std::vector<Weight> dist_to(static_cast<std::size_t>(n));
+  for (int rep = 0; rep < 3; ++rep) {
+    auto s = static_cast<VertexId>(rng.next_below(n));
+    dl.flat.decode_one_vs_all(s, dist, dist_to);
+    auto truth = graph::dijkstra(g, s);
+    auto rtruth = graph::dijkstra(g, s, /*reversed=*/true);
+    for (VertexId v = 0; v < n; ++v) {
+      EXPECT_EQ(dist[v], truth.dist[v]) << "s=" << s << " v=" << v;
+      EXPECT_EQ(dist_to[v], rtruth.dist[v]) << "s=" << s << " v=" << v;
+    }
+  }
+
+  // Pinned gather kernels == pairwise decode, in both pin directions.
+  FlatLabeling::DecodeScratch scratch;
+  for (int rep = 0; rep < 3; ++rep) {
+    auto u = static_cast<VertexId>(rng.next_below(n));
+    dl.flat.pin(u, scratch);
+    for (VertexId v = 0; v < n; ++v) {
+      EXPECT_EQ(dl.flat.decode_from_pinned(scratch, v), dl.flat.decode(u, v));
+      EXPECT_EQ(dl.flat.decode_to_pinned(scratch, v), dl.flat.decode(v, u));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Families, FlatSweep,
+    ::testing::Values(test::FamilySpec{"path", 40, 1, 1},
+                      test::FamilySpec{"ktree", 90, 2, 2},
+                      test::FamilySpec{"ktree", 60, 4, 3},
+                      test::FamilySpec{"partial_ktree", 90, 3, 4},
+                      test::FamilySpec{"cycle_chords", 70, 3, 5},
+                      test::FamilySpec{"apexed_path", 80, 2, 6}),
+    [](const auto& info) { return info.param.name(); });
+
+DistanceLabeling handmade() {
+  DistanceLabeling aos;
+  aos.labels.resize(4);
+  for (VertexId v = 0; v < 4; ++v) aos.labels[v].owner = v;
+  aos.labels[0].set(1, 5, 7);
+  aos.labels[0].set(3, kInfinity, 2);  // infinite to-leg
+  aos.labels[1].set(2, 4, 4);          // no hub in common with label 0
+  aos.labels[2].set(1, 9, 1);
+  aos.labels[2].set(3, 6, kInfinity);  // infinite from-leg
+  // labels[3] stays empty.
+  return aos;
+}
+
+TEST(FlatLabeling, EdgeCasesMatchLegacy) {
+  DistanceLabeling aos = handmade();
+  FlatLabeling flat(aos);
+  ASSERT_EQ(flat.num_vertices(), 4);
+  EXPECT_EQ(flat.entries(3), 0u);
+  FlatLabeling::DecodeScratch scratch;
+  for (VertexId u = 0; u < 4; ++u) {
+    flat.pin(u, scratch);
+    for (VertexId v = 0; v < 4; ++v) {
+      const Weight want = decode_distance(aos.labels[u], aos.labels[v]);
+      EXPECT_EQ(flat.decode(u, v), want) << "u=" << u << " v=" << v;
+      EXPECT_EQ(flat.decode_from_pinned(scratch, v), want);
+    }
+  }
+  // No common hub and empty labels decode to kInfinity explicitly.
+  EXPECT_EQ(flat.decode(0, 1), kInfinity);
+  EXPECT_EQ(flat.decode(0, 3), kInfinity);
+  EXPECT_EQ(flat.decode(3, 0), kInfinity);
+  // Infinite legs never produce a finite (or overflowed) distance; the
+  // finite-leg hub wins.
+  EXPECT_EQ(flat.decode(0, 2), 5 + 1);  // hub 1; hub 3's legs are inf here
+  EXPECT_EQ(flat.decode(2, 0), 6 + 2);  // hub 3 (finite legs) beats hub 1
+}
+
+TEST(FlatLabeling, GallopingSkewedSpans) {
+  // One huge label vs tiny ones: exercises the galloping branch
+  // (ratio > 16) against a brute-force reference.
+  DistanceLabeling aos;
+  aos.labels.resize(3);
+  for (VertexId h = 0; h < 3; ++h) aos.labels[h].owner = h;
+  for (int h = 0; h < 400; ++h) {
+    aos.labels[0].set(h, 2 * h + 1, 3 * h + 1);
+  }
+  aos.labels[1].set(57, 10, 20);
+  aos.labels[1].set(399, 1, 1);
+  // labels[2]: hubs beyond label 0's range except one.
+  aos.labels[2].set(0, 100, 100);
+  aos.labels[2].set(1000, 1, 1);
+  FlatLabeling flat(aos);
+  for (VertexId u = 0; u < 3; ++u) {
+    for (VertexId v = 0; v < 3; ++v) {
+      EXPECT_EQ(flat.decode(u, v),
+                decode_distance(aos.labels[u], aos.labels[v]))
+          << "u=" << u << " v=" << v;
+    }
+  }
+}
+
+TEST(FlatLabeling, ThawInvertsFreeze) {
+  util::Rng rng(9);
+  graph::Graph ug = graph::gen::ktree(50, 2, rng);
+  auto g = graph::gen::random_symmetric_weights(ug, 1, 9, rng);
+  graph::Graph skel = g.skeleton();
+  test::EngineBundle bundle(skel);
+  auto td = td::build_hierarchy(skel, td::TdParams{}, rng, bundle.engine);
+  auto dl = build_distance_labeling(g, skel, td.hierarchy, bundle.engine);
+  DistanceLabeling thawed = dl.flat.thaw();
+  ASSERT_EQ(thawed.labels.size(), dl.labeling.labels.size());
+  for (std::size_t v = 0; v < thawed.labels.size(); ++v) {
+    ASSERT_EQ(thawed.labels[v].entries.size(),
+              dl.labeling.labels[v].entries.size());
+    for (std::size_t i = 0; i < thawed.labels[v].entries.size(); ++i) {
+      EXPECT_EQ(thawed.labels[v].entries[i].hub,
+                dl.labeling.labels[v].entries[i].hub);
+      EXPECT_EQ(thawed.labels[v].entries[i].to_hub,
+                dl.labeling.labels[v].entries[i].to_hub);
+      EXPECT_EQ(thawed.labels[v].entries[i].from_hub,
+                dl.labeling.labels[v].entries[i].from_hub);
+    }
+  }
+}
+
+TEST(FlatLabeling, LabelIoRoundTripsBothRepresentations) {
+  DistanceLabeling aos = handmade();
+  FlatLabeling flat(aos);
+
+  // AoS writer → flat reader.
+  std::stringstream s1;
+  io::write_labeling(s1, aos);
+  FlatLabeling flat_back = io::read_flat_labeling(s1);
+  // Flat writer → AoS reader (same format on the wire).
+  std::stringstream s2;
+  io::write_labeling(s2, flat);
+  std::stringstream s2b(s2.str());
+  DistanceLabeling aos_back = io::read_labeling(s2b);
+  // Flat writer → flat reader.
+  std::stringstream s3;
+  io::write_labeling(s3, flat);
+  FlatLabeling flat_back2 = io::read_flat_labeling(s3);
+
+  for (VertexId u = 0; u < 4; ++u) {
+    for (VertexId v = 0; v < 4; ++v) {
+      const Weight want = decode_distance(aos.labels[u], aos.labels[v]);
+      EXPECT_EQ(flat_back.decode(u, v), want);
+      EXPECT_EQ(flat_back2.decode(u, v), want);
+      EXPECT_EQ(decode_distance(aos_back.labels[u], aos_back.labels[v]),
+                want);
+    }
+  }
+}
+
+TEST(FlatLabeling, DirectedCycleFoldMatchesArcLoop) {
+  util::Rng rng(31);
+  graph::Graph ug = graph::gen::ktree(80, 2, rng);
+  auto g = graph::gen::random_orientation(ug, 0.6, 1, 25, rng);
+  graph::Graph skel = g.skeleton();
+  test::EngineBundle bundle(skel);
+  auto td = td::build_hierarchy(skel, td::TdParams{}, rng, bundle.engine);
+  auto dl = build_distance_labeling(g, skel, td.hierarchy, bundle.engine);
+  // Reference: the seed's per-arc formulation over the legacy decoder.
+  Weight want = kInfinity;
+  for (const graph::Arc& a : g.arcs()) {
+    if (a.weight >= kInfinity) continue;
+    if (a.tail == a.head) {
+      want = std::min(want, a.weight);
+      continue;
+    }
+    Weight back =
+        decode_distance(dl.labeling.labels[a.head], dl.labeling.labels[a.tail]);
+    if (back < kInfinity) want = std::min(want, a.weight + back);
+  }
+  EXPECT_EQ(girth::directed_cycle_fold(g, dl.flat), want);
+  EXPECT_EQ(want, graph::exact_girth_directed(g));
+}
+
+TEST(Cdl, WorkspaceReuseIsIdentical) {
+  // Rebuilding the CDL across re-labeled copies with a shared workspace
+  // (and in-place result) must match fresh builds call by call.
+  util::Rng rng(13);
+  graph::Graph ug = graph::gen::cycle_with_chords(40, 3, rng);
+  auto g = graph::gen::random_symmetric_weights(ug, 1, 9, rng);
+  graph::Graph skel = g.skeleton();
+  // The TD build gets its own bundle: it adjusts the engine's treewidth
+  // hint, which would skew a rounds comparison between b1 and b2.
+  test::EngineBundle b0(skel);
+  test::EngineBundle b1(skel);
+  test::EngineBundle b2(skel);
+  util::Rng r1(5);
+  auto td = td::build_hierarchy(skel, td::TdParams{}, r1, b0.engine);
+  walks::CountWalkConstraint cons(1);
+
+  walks::CdlWorkspace ws;
+  walks::CdlResult reused;
+  for (int trial = 0; trial < 3; ++trial) {
+    graph::WeightedDigraph labeled = g;
+    for (graph::EdgeId e = 0; e < labeled.num_arcs(); ++e) {
+      labeled.mutable_arc(e).label =
+          static_cast<std::int32_t>((e + trial) % 2);
+    }
+    walks::build_cdl_into(labeled, skel, td.hierarchy, cons, b1.engine, &ws,
+                          reused);
+    auto fresh = walks::build_cdl(labeled, skel, td.hierarchy, cons,
+                                  b2.engine);
+    ASSERT_EQ(reused.product.gc.num_arcs(), fresh.product.gc.num_arcs());
+    EXPECT_EQ(reused.rounds, fresh.rounds);
+    EXPECT_EQ(reused.max_label_entries, fresh.max_label_entries);
+    const int q1 = cons.count_state(1);
+    for (VertexId u = 0; u < g.num_vertices(); ++u) {
+      for (VertexId v = 0; v < g.num_vertices(); ++v) {
+        EXPECT_EQ(reused.distance(u, v, q1), fresh.distance(u, v, q1));
+      }
+    }
+  }
+  EXPECT_EQ(b1.ledger.total(), b2.ledger.total());
+}
+
+}  // namespace
+}  // namespace lowtw::labeling

@@ -35,7 +35,7 @@ TEST_P(FrameworkVsKernel, SsspAgreesWithRealSimulation) {
   auto dl =
       labeling::build_distance_labeling(g, skel, td.hierarchy, bundle.engine);
   auto source = static_cast<VertexId>(spec.n / 3);
-  auto framework = labeling::sssp_from_labels(dl.labeling, source,
+  auto framework = labeling::sssp_from_labels(dl.flat, source,
                                               bundle.diameter, bundle.engine);
   auto kernel = congest::run_distributed_bellman_ford(g, source);
   for (VertexId v = 0; v < g.num_vertices(); ++v) {
@@ -94,7 +94,7 @@ TEST(Integration, SeparationShapeOnApexedPath) {
     auto td = td::build_hierarchy(skel, td::TdParams{}, rng, bundle.engine);
     auto dl = labeling::build_distance_labeling(g, skel, td.hierarchy,
                                                 bundle.engine);
-    labeling::sssp_from_labels(dl.labeling, 0, bundle.diameter,
+    labeling::sssp_from_labels(dl.flat, 0, bundle.diameter,
                                bundle.engine);
     auto bf = congest::run_distributed_bellman_ford(g, 0);
     (n == 200 ? ours_small : ours_big) = bundle.ledger.total();

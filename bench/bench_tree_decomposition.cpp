@@ -12,6 +12,10 @@
 // flat across each sweep.
 #include "bench_common.hpp"
 
+#include <chrono>
+
+#include "exec/task_pool.hpp"
+
 namespace lowtw::bench {
 namespace {
 
@@ -84,6 +88,77 @@ void BM_TdTreeRealized(benchmark::State& state) {
 }
 BENCHMARK(BM_TdTreeRealized)->RangeMultiplier(4)->Range(256, 4096)
     ->Iterations(1)->Unit(benchmark::kMillisecond);
+
+// Deterministic parallel arm (the per-node-stream build on a TaskPool,
+// ISSUE 3): rounds are scheduling-invariant, so the counter is identical
+// for every `threads` value and gated like every other arm — the bench
+// SkipWithErrors if any thread count drifts from the 1-worker reference.
+// speedup_vs_1t is the wall-time ratio against the 1-worker run of the same
+// arm, measured inline (host-dependent: ≈1.0 on single-core CI boxes, the
+// ≥2.5x target needs ≥8 real cores).
+void BM_TdParallel(benchmark::State& state) {
+  const int threads = static_cast<int>(state.range(0));
+  static const Instance inst = ktree_instance(16384, 3, 18384);
+  using clock = std::chrono::steady_clock;
+
+  // 1-worker reference of the same per-node-stream arm, computed once and
+  // shared by every Arg (the reference is identical across thread counts by
+  // the determinism contract this bench verifies).
+  struct Reference {
+    td::TdBuildResult result;
+    double ms = 0;
+  };
+  static const Reference ref = [] {
+    // Untimed warmup first: the reference would otherwise be the very first
+    // TD build of the process (cold caches, first-touch page faults) and
+    // inflate every speedup number.
+    {
+      EngineBundle bundle(inst);
+      util::Rng rng(43);
+      exec::TaskPool pool(1);
+      td::build_hierarchy(inst.g, td::TdParams{}, rng, bundle.engine, pool);
+    }
+    Reference r;
+    EngineBundle bundle(inst);
+    util::Rng rng(43);
+    exec::TaskPool pool(1);
+    const auto t0 = clock::now();
+    r.result =
+        td::build_hierarchy(inst.g, td::TdParams{}, rng, bundle.engine, pool);
+    r.ms =
+        std::chrono::duration<double, std::milli>(clock::now() - t0).count();
+    return r;
+  }();
+
+  td::TdBuildResult last;
+  double par_ms = 0;
+  for (auto _ : state) {
+    EngineBundle bundle(inst);
+    util::Rng rng(43);
+    exec::TaskPool pool(threads);
+    const auto t0 = clock::now();
+    last = td::build_hierarchy(inst.g, td::TdParams{}, rng, bundle.engine,
+                               pool);
+    par_ms = std::chrono::duration<double, std::milli>(clock::now() - t0)
+                 .count();
+  }
+  if (last.rounds != ref.result.rounds || last.t_used != ref.result.t_used) {
+    state.SkipWithError("parallel arm drifted from the 1-worker reference");
+    return;
+  }
+  if (auto err = last.td.validate(inst.g)) {
+    state.SkipWithError(err->c_str());
+    return;
+  }
+  state.counters["n"] = inst.g.num_vertices();
+  state.counters["tau"] = inst.tau_bound;
+  state.counters["rounds"] = last.rounds;
+  state.counters["width"] = last.td.width();
+  state.counters["td_threads"] = threads;
+  state.counters["speedup_vs_1t"] = ref.ms / par_ms;
+}
+BENCHMARK(BM_TdParallel)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
 
 // Paper-exact constants. n must exceed the step-1 base case 200t² = 800
 // for the iteration/cut machinery to engage at all — the paper's constants

@@ -1,9 +1,14 @@
 #!/usr/bin/env bash
 # Runs the gated benchmark arms — the separator hot path (bench_separation,
-# bench_tree_decomposition, including the tree-realized engine arm) and the
-# label-decode hot path (bench_girth's BM_GirthDecodeKernel) — and emits
-# BENCH_separator.json: one record per benchmark with wall time and the
-# CONGEST round counters.
+# bench_tree_decomposition, including the tree-realized engine arm and the
+# deterministic parallel arm BM_TdParallel, whose td_threads counter records
+# the worker count per record) and the label-decode hot path (bench_girth's
+# BM_GirthDecodeKernel) — and emits BENCH_separator.json: one record per
+# benchmark with wall time and the CONGEST round counters.
+#
+# BM_TdParallel rounds are scheduling-invariant (identical for every
+# td_threads value), so they gate like every other rounds counter; its
+# speedup_vs_1t counter is host-dependent wall-time information only.
 #
 # Rounds are the reproduction metric and must stay fixed across perf work;
 # wall time is the optimization target (see ARCHITECTURE.md). Comparing two

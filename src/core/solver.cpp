@@ -45,9 +45,19 @@ Solver::Solver(graph::WeightedDigraph g, SolverOptions options)
       &ledger_);
 }
 
+exec::TaskPool* Solver::pool() {
+  if (options_.threads == 1) return nullptr;
+  if (!pool_) pool_ = std::make_unique<exec::TaskPool>(options_.threads);
+  return pool_.get();
+}
+
 const td::TdBuildResult& Solver::tree_decomposition() {
   if (!td_.has_value()) {
-    td_ = td::build_hierarchy(skeleton_, options_.td, rng_, *engine_);
+    if (exec::TaskPool* p = pool()) {
+      td_ = td::build_hierarchy(skeleton_, options_.td, rng_, *engine_, *p);
+    } else {
+      td_ = td::build_hierarchy(skeleton_, options_.td, rng_, *engine_);
+    }
   }
   return *td_;
 }
@@ -55,8 +65,13 @@ const td::TdBuildResult& Solver::tree_decomposition() {
 const labeling::DlResult& Solver::distance_labeling() {
   if (!dl_.has_value()) {
     const auto& td = tree_decomposition();
-    dl_ = labeling::build_distance_labeling(instance_, skeleton_,
-                                            td.hierarchy, *engine_);
+    if (exec::TaskPool* p = pool()) {
+      dl_ = labeling::build_distance_labeling(instance_, skeleton_,
+                                              td.hierarchy, *engine_, *p);
+    } else {
+      dl_ = labeling::build_distance_labeling(instance_, skeleton_,
+                                              td.hierarchy, *engine_);
+    }
   }
   return *dl_;
 }

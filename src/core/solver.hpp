@@ -16,6 +16,7 @@
 #include <optional>
 #include <string>
 
+#include "exec/task_pool.hpp"
 #include "girth/girth.hpp"
 #include "labeling/distance_labeling.hpp"
 #include "matching/matching.hpp"
@@ -32,6 +33,14 @@ struct SolverOptions {
   /// Skips the O(n·m) exact diameter computation when the caller knows D.
   std::optional<int> known_diameter;
   girth::UndirectedGirthParams girth;
+  /// Execution width for the TD/labeling stack. 1 (default) = the legacy
+  /// sequential arms; any other value (0 = hardware concurrency) runs the
+  /// deterministic per-node-stream TD build and the level-parallel labeling
+  /// assembly on one shared TaskPool. The matching divide-and-conquer keeps
+  /// its sequential arm regardless (ROADMAP open item); td.threads stays
+  /// independent and only governs standalone build_hierarchy dispatch. See
+  /// td::TdParams::threads for the determinism contract.
+  int threads = 1;
 };
 
 /// Per-phase round accounting, pretty-printable.
@@ -75,6 +84,10 @@ class Solver {
   util::Rng& rng() { return rng_; }
 
  private:
+  /// The shared pool when options_.threads != 1 (created lazily), else
+  /// nullptr — the sequential arms never construct a pool.
+  exec::TaskPool* pool();
+
   graph::WeightedDigraph instance_;
   graph::Graph skeleton_;
   bool undirected_input_ = false;
@@ -84,6 +97,7 @@ class Solver {
   util::Rng rng_;
   primitives::RoundLedger ledger_;
   std::unique_ptr<primitives::Engine> engine_;
+  std::unique_ptr<exec::TaskPool> pool_;
   std::optional<td::TdBuildResult> td_;
   std::optional<labeling::DlResult> dl_;
 };

@@ -1,0 +1,91 @@
+#include "exec/task_pool.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace lowtw::exec {
+
+TaskPool::TaskPool(int threads) {
+  int n = threads;
+  if (n <= 0) n = static_cast<int>(std::thread::hardware_concurrency());
+  n = std::max(n, 1);
+  num_workers_ = n;
+  threads_.reserve(static_cast<std::size_t>(n - 1));
+  for (int w = 1; w < n; ++w) {
+    threads_.emplace_back([this, w] { worker_loop(w); });
+  }
+}
+
+TaskPool::~TaskPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+void TaskPool::run(int count,
+                   const std::function<void(int task, int worker)>& fn) {
+  if (count <= 0) return;
+  std::unique_lock<std::mutex> lock(mu_);
+  LOWTW_CHECK_MSG(fn_ == nullptr, "TaskPool::run is not reentrant");
+  fn_ = &fn;
+  count_ = count;
+  cursor_ = 0;
+  in_flight_ = 0;
+  failed_task_ = -1;
+  error_ = nullptr;
+  const std::uint64_t gen = ++generation_;
+  cv_.notify_all();
+
+  run_tasks(lock, gen, /*worker=*/0);  // the caller is worker 0
+  done_cv_.wait(lock, [&] { return cursor_ >= count_ && in_flight_ == 0; });
+  fn_ = nullptr;
+  if (error_) std::rethrow_exception(error_);
+}
+
+void TaskPool::run_tasks(std::unique_lock<std::mutex>& lock, std::uint64_t gen,
+                         int worker) {
+  while (generation_ == gen && cursor_ < count_) {
+    const int task = cursor_++;
+    ++in_flight_;
+    const auto* fn = fn_;
+    lock.unlock();
+    std::exception_ptr err;
+    try {
+      (*fn)(task, worker);
+    } catch (...) {
+      err = std::current_exception();
+    }
+    lock.lock();
+    if (err) {
+      // Stop dealing further tasks; keep the lowest failing index (the one
+      // a serial walk would have hit first).
+      cursor_ = count_;
+      if (failed_task_ < 0 || task < failed_task_) {
+        failed_task_ = task;
+        error_ = err;
+      }
+    }
+    --in_flight_;
+    if (cursor_ >= count_ && in_flight_ == 0) done_cv_.notify_all();
+  }
+}
+
+void TaskPool::worker_loop(int worker) {
+  std::unique_lock<std::mutex> lock(mu_);
+  std::uint64_t seen = 0;
+  for (;;) {
+    cv_.wait(lock, [&] {
+      return stop_ || (generation_ != seen && fn_ != nullptr &&
+                       cursor_ < count_);
+    });
+    if (stop_) return;
+    seen = generation_;
+    run_tasks(lock, seen, worker);
+  }
+}
+
+}  // namespace lowtw::exec

@@ -1,0 +1,84 @@
+// Deterministic task-parallel execution for the level-barrier algorithms
+// (hierarchy build, labeling assembly).
+//
+// The paper's Theorem 1 construction processes every hierarchy level as a
+// collection of vertex-disjoint components whose separators run
+// "simultaneously and independently" (Section 3.4); the RoundLedger already
+// models that as max-composition. TaskPool is the wall-clock counterpart: it
+// executes the branches of one level on a fixed set of worker threads and
+// blocks at the level barrier.
+//
+// There is deliberately no work stealing and no inter-task ordering: tasks
+// are dealt through a single cursor, and *determinism comes from the tasks,
+// not the schedule*. Callers hand every task its own RNG stream
+// (util::Rng::fork keyed by hierarchy-node id) and its own ledger record
+// (RoundLedger::BranchRecord), then merge the records in ascending node-id
+// order at the barrier — so any assignment of tasks to workers, and any
+// worker count including 1, produces bit-identical results.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace lowtw::exec {
+
+class TaskPool {
+ public:
+  /// A pool of `threads` workers. `threads` <= 0 selects the hardware
+  /// concurrency; the calling thread always participates as worker 0, so a
+  /// pool of 1 spawns no threads and runs every level inline (the serial
+  /// reference the determinism contract compares against).
+  explicit TaskPool(int threads = 0);
+  ~TaskPool();
+  TaskPool(const TaskPool&) = delete;
+  TaskPool& operator=(const TaskPool&) = delete;
+
+  int num_workers() const { return num_workers_; }
+
+  /// Runs fn(task, worker) for task = 0..count-1 and blocks until all
+  /// dispatched tasks finish (the level barrier). `worker` is in
+  /// [0, num_workers()) and identifies the per-worker resource slot.
+  ///
+  /// If a task throws, no further tasks are started, already-running tasks
+  /// finish, and the exception from the lowest failing task index is
+  /// rethrown here. Because tasks are dealt in ascending index order, that
+  /// choice does not depend on timing or worker count (every index below a
+  /// started task has itself been started).
+  ///
+  /// Not reentrant: run() must not be called from inside a task or from two
+  /// threads at once.
+  void run(int count, const std::function<void(int task, int worker)>& fn);
+
+ private:
+  void worker_loop(int worker);
+  /// Claims and executes tasks of generation `gen` until the cursor is
+  /// exhausted or the generation moves on. `lock` is held on entry and exit,
+  /// released around each task body.
+  void run_tasks(std::unique_lock<std::mutex>& lock, std::uint64_t gen,
+                 int worker);
+
+  int num_workers_ = 1;
+  std::vector<std::thread> threads_;
+
+  // Scheduling state, all guarded by mu_. Tasks are coarse (a separator
+  // computation or an H_x assembly each), so a mutex-guarded cursor costs
+  // nothing measurable and keeps the generation handoff race-free.
+  std::mutex mu_;
+  std::condition_variable cv_;       ///< wakes workers on a new generation
+  std::condition_variable done_cv_;  ///< wakes run() at the barrier
+  const std::function<void(int, int)>* fn_ = nullptr;
+  int count_ = 0;
+  int cursor_ = 0;
+  int in_flight_ = 0;
+  std::uint64_t generation_ = 0;
+  bool stop_ = false;
+  int failed_task_ = -1;
+  std::exception_ptr error_;
+};
+
+}  // namespace lowtw::exec

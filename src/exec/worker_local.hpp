@@ -1,0 +1,40 @@
+// Per-worker resource slots for TaskPool callers.
+//
+// The level-parallel algorithms keep one workspace bundle (SepWorkspace,
+// traversal scratch, a detached RoundLedger, matrix pools ...) per *worker*,
+// not per task: a task claims the slot of whichever worker runs it, so the
+// steady-state allocation profile matches the sequential arm regardless of
+// how many thousands of hierarchy nodes a build processes. Slots must only
+// hold scratch whose *contents* never leak into results — anything
+// result-bearing belongs in per-task storage, or determinism across worker
+// counts is lost.
+#pragma once
+
+#include <vector>
+
+#include "exec/task_pool.hpp"
+
+namespace lowtw::exec {
+
+template <typename T>
+class WorkerLocal {
+ public:
+  explicit WorkerLocal(const TaskPool& pool)
+      : slots_(static_cast<std::size_t>(pool.num_workers())) {}
+  explicit WorkerLocal(int workers)
+      : slots_(static_cast<std::size_t>(workers)) {}
+
+  T& operator[](int worker) { return slots_[static_cast<std::size_t>(worker)]; }
+  const T& operator[](int worker) const {
+    return slots_[static_cast<std::size_t>(worker)];
+  }
+
+  int size() const { return static_cast<int>(slots_.size()); }
+  auto begin() { return slots_.begin(); }
+  auto end() { return slots_.end(); }
+
+ private:
+  std::vector<T> slots_;
+};
+
+}  // namespace lowtw::exec

@@ -1,9 +1,9 @@
 #include "labeling/distance_labeling.hpp"
 
 #include <algorithm>
-#include <memory>
 #include <queue>
 
+#include "exec/worker_local.hpp"
 #include "graph/csr.hpp"
 #include "graph/workspace.hpp"
 #include "util/check.hpp"
@@ -23,11 +23,9 @@ Weight add_sat(Weight a, Weight b) {
 }
 
 /// Dense all-pairs matrix over a bag, indexed by position in the sorted bag.
+/// k == 0 marks an empty slot (released or never built); buffers circulate
+/// through BagMatrixPool instead of being allocated per node.
 struct BagMatrix {
-  explicit BagMatrix(std::size_t k)
-      : k(k), d(k * k, kInfinity) {
-    for (std::size_t i = 0; i < k; ++i) at(i, i) = 0;
-  }
   Weight& at(std::size_t i, std::size_t j) { return d[i * k + j]; }
   Weight at(std::size_t i, std::size_t j) const { return d[i * k + j]; }
   void floyd_warshall() {
@@ -47,8 +45,39 @@ struct BagMatrix {
     for (Weight w : d) c += (w < kInfinity) ? 1 : 0;
     return c;
   }
-  std::size_t k;
+  std::size_t k = 0;
   std::vector<Weight> d;
+};
+
+/// Free list of matrix buffers (ROADMAP profiled target: the seed allocated
+/// one BagMatrix per hierarchy node). Each pool belongs to one worker slot —
+/// acquisition happens inside level tasks with no locking — and the level
+/// barrier feeds released child matrices back round-robin while the workers
+/// are idle.
+class BagMatrixPool {
+ public:
+  /// Re-initializes `m` as a k×k matrix (∞ off-diagonal, 0 diagonal),
+  /// reusing pooled capacity when available.
+  void acquire(BagMatrix& m, std::size_t k) {
+    if (m.d.capacity() == 0 && !free_.empty()) {
+      m.d = std::move(free_.back());
+      free_.pop_back();
+    }
+    m.k = k;
+    m.d.assign(k * k, kInfinity);
+    for (std::size_t i = 0; i < k; ++i) m.at(i, i) = 0;
+  }
+
+  void release(BagMatrix&& m) {
+    m.k = 0;
+    if (m.d.capacity() > 0 && free_.size() < 64) {
+      free_.push_back(std::move(m.d));
+    }
+    m.d = {};
+  }
+
+ private:
+  std::vector<std::vector<Weight>> free_;
 };
 
 /// One leaf's G_x as a local CSR: arcs grouped by tail (local ids), heads and
@@ -107,113 +136,155 @@ void local_sssp(const LocalCsr& csr, int source, std::vector<Weight>& dist) {
 }
 
 
+/// Per-worker scratch for the level tasks (see exec::WorkerLocal's
+/// contents-never-leak contract): the detached ledger, traversal scratch for
+/// the tree-realized heights, the per-node vertex-subset maps — epoch masks
+/// and reusable n-sized arrays, so no O(#nodes · n) churn — the leaf-local
+/// CSR, and the matrix pool.
+struct DlWorker {
+  primitives::RoundLedger ledger;
+  graph::TraversalWorkspace tw;
+  graph::EpochMask in_boundary;
+  std::vector<VertexId> local_of;
+  std::vector<char> in_bag;
+  std::vector<int> bag_pos;
+  LocalCsr leaf_csr;
+  std::vector<Weight> dist_fwd;
+  BagMatrixPool mat_pool;
+};
+
 /// Core build. `skel_csr` is the frozen communication graph; it is only
 /// consulted by the tree-realized engine's part statistics, so the
 /// shortcut-model overload may pass nullptr and skip the conversion.
+/// `pool` == nullptr runs every level's tasks inline on one worker slot.
+///
+/// Every level splits into two phases around the ledger barrier:
+///   A. per-node assembly (leaf local APSP / internal H_x build +
+///      floyd-warshall) — the expensive part, parallel across the level's
+///      nodes, writing only the node's own node_rows slot and charging a
+///      detached BranchRecord;
+///   B. label application, serial in ascending node-id order — sibling bags
+///      may share boundary vertices, and Label::set keeps the last writer,
+///      so the write order is part of the output contract.
+/// Assemblies read only the previous level's matrices and g, never labels,
+/// so the A/B split is decision-identical to the seed's interleaved loop —
+/// labels and charges are bit-identical for every pool size.
 DlResult build_distance_labeling_impl(const graph::WeightedDigraph& g,
                                       const graph::CsrGraph* skel_csr,
                                       const td::Hierarchy& hierarchy,
-                                      primitives::Engine& engine) {
+                                      primitives::Engine& engine,
+                                      exec::TaskPool* pool) {
   const int n = g.num_vertices();
   DlResult result;
   result.labeling.labels.resize(static_cast<std::size_t>(n));
   for (VertexId v = 0; v < n; ++v) result.labeling.labels[v].owner = v;
   const double rounds_before = engine.ledger().total();
 
-  std::vector<char> in_bag(static_cast<std::size_t>(n), 0);
-  std::vector<int> bag_pos(static_cast<std::size_t>(n), -1);
-  // Per-node vertex subsets as epoch masks / reusable maps: the seed
-  // allocated an n-sized in_boundary vector per node and an n-sized
-  // local_of map per leaf, an O(#nodes · n) total that dominated large
-  // instances.
-  graph::EpochMask in_boundary;
-  in_boundary.ensure(n);
-  std::vector<VertexId> local_of(static_cast<std::size_t>(n), kNoVertex);
-
-  // Per-node all-pairs matrices over B_y (kept until the parent's H_x is
-  // assembled, then released). A vertex can lie on the border of several
-  // sibling components; its *label* keeps only the last writer's value, so
-  // H_x must read each child's own matrix, not the label.
-  std::vector<std::unique_ptr<BagMatrix>> node_rows(hierarchy.nodes.size());
-
   const bool need_stats =
       engine.mode() == primitives::EngineMode::kTreeRealized;
   LOWTW_CHECK_MSG(!need_stats || skel_csr != nullptr,
                   "tree-realized labeling build needs the skeleton");
-  // Workspace for the tree-realized height measurements.
-  graph::TraversalWorkspace tw;
-  // Leaf-local CSR + distance row, reused across all leaves.
-  LocalCsr leaf_csr;
-  std::vector<Weight> dist_fwd;
+
+  const int num_workers = pool ? pool->num_workers() : 1;
+  exec::WorkerLocal<DlWorker> workers(num_workers);
+  for (DlWorker& w : workers) {
+    w.in_boundary.ensure(n);
+    w.local_of.assign(static_cast<std::size_t>(n), kNoVertex);
+    w.in_bag.assign(static_cast<std::size_t>(n), 0);
+    w.bag_pos.assign(static_cast<std::size_t>(n), -1);
+  }
+  auto run_level = [&](int count, const std::function<void(int, int)>& fn) {
+    if (pool) {
+      pool->run(count, fn);
+    } else {
+      for (int i = 0; i < count; ++i) fn(i, 0);
+    }
+  };
+
+  // Per-node all-pairs matrices over B_y (kept until the parent's H_x is
+  // assembled, then recycled through the worker pools). A vertex can lie on
+  // the border of several sibling components; its *label* keeps only the
+  // last writer's value, so H_x must read each child's own matrix, not the
+  // label.
+  std::vector<BagMatrix> node_rows(hierarchy.nodes.size());
+  std::vector<primitives::RoundLedger::BranchRecord> charges;
+  int release_rr = 0;  ///< round-robin target for recycled matrices
+
+  // Barrier-phase (main thread) bag maps.
+  std::vector<char> in_bag(static_cast<std::size_t>(n), 0);
+  std::vector<int> bag_pos(static_cast<std::size_t>(n), -1);
 
   auto levels = hierarchy.levels();
   // Bottom-up: deepest level first.
   for (auto level_it = levels.rbegin(); level_it != levels.rend(); ++level_it) {
-    auto par = engine.ledger().parallel();
-    for (int xi : *level_it) {
-      auto branch = par.branch();
+    const std::vector<int>& level = *level_it;
+    charges.resize(level.size());
+
+    // -- Phase A: assembly tasks --------------------------------------------
+    run_level(static_cast<int>(level.size()), [&](int ti, int wi) {
+      DlWorker& w = workers[wi];
+      const int xi = level[static_cast<std::size_t>(ti)];
       const td::HierarchyNode& node = hierarchy.nodes[xi];
+      w.ledger.reset();
+      primitives::Engine eng = engine.fork_onto(w.ledger);
       auto gx = node.gx_vertices();
       primitives::PartStats stats =
           need_stats
               ? primitives::part_stats(*skel_csr,
-                                       std::span<const VertexId>(gx), tw)
+                                       std::span<const VertexId>(gx), w.tw)
               : primitives::PartStats{1, 0};
+      BagMatrix& rows = node_rows[xi];
 
       if (node.leaf) {
-        in_boundary.clear();
-        for (VertexId v : node.boundary) in_boundary.set(v);
+        w.in_boundary.clear();
+        for (VertexId v : node.boundary) w.in_boundary.set(v);
         // Leaf: broadcast G_x (h = arcs + vertices), local APSP.
         // G_x arcs: both endpoints in gx, minus boundary-boundary arcs —
         // collected by scanning gx's out-arcs, O(vol(gx)) instead of O(m).
         // The collection order differs from arc-id order, but local_sssp
         // distances (hence the rows and every charge) are order-invariant.
         for (std::size_t i = 0; i < gx.size(); ++i) {
-          local_of[gx[i]] = static_cast<VertexId>(i);
+          w.local_of[gx[i]] = static_cast<VertexId>(i);
         }
         // gx is iterated in local-id order, so arcs arrive grouped by tail
         // and the local CSR fills in one pass.
-        leaf_csr.start(static_cast<int>(gx.size()));
+        w.leaf_csr.start(static_cast<int>(gx.size()));
         for (std::size_t i = 0; i < gx.size(); ++i) {
           for (graph::EdgeId e : g.out_arcs(gx[i])) {
             const Arc& a = g.arc(e);
             if (a.weight >= kInfinity) continue;
-            if (local_of[a.head] == kNoVertex) continue;
-            if (in_boundary.test(a.tail) && in_boundary.test(a.head)) continue;
-            leaf_csr.push_arc(static_cast<int>(i), local_of[a.head],
-                              a.weight);
+            if (w.local_of[a.head] == kNoVertex) continue;
+            if (w.in_boundary.test(a.tail) && w.in_boundary.test(a.head)) {
+              continue;
+            }
+            w.leaf_csr.push_arc(static_cast<int>(i), w.local_of[a.head],
+                                a.weight);
           }
         }
-        leaf_csr.finish();
-        engine.bct(stats,
-                   static_cast<double>(leaf_csr.num_arcs() + gx.size()),
-                   "dl/leaf");
-        auto rows = std::make_unique<BagMatrix>(gx.size());
+        w.leaf_csr.finish();
+        eng.bct(stats,
+                static_cast<double>(w.leaf_csr.num_arcs() + gx.size()),
+                "dl/leaf");
+        w.mat_pool.acquire(rows, gx.size());
         for (std::size_t i = 0; i < gx.size(); ++i) {
-          local_sssp(leaf_csr, static_cast<int>(i), dist_fwd);
+          local_sssp(w.leaf_csr, static_cast<int>(i), w.dist_fwd);
           for (std::size_t j = 0; j < gx.size(); ++j) {
-            rows->at(i, j) = dist_fwd[j];
+            rows.at(i, j) = w.dist_fwd[j];
           }
         }
-        for (std::size_t i = 0; i < gx.size(); ++i) {
-          Label& lab = result.labeling.labels[gx[i]];
-          for (std::size_t j = 0; j < gx.size(); ++j) {
-            lab.set(gx[j], rows->at(i, j), rows->at(j, i));
-          }
-        }
-        node_rows[xi] = std::move(rows);
-        for (VertexId v : gx) local_of[v] = kNoVertex;
-        continue;
+        for (VertexId v : gx) w.local_of[v] = kNoVertex;
+        w.ledger.snapshot(charges[static_cast<std::size_t>(ti)]);
+        return;
       }
 
       // Internal node: assemble H_x on the (sorted) bag.
       const auto& bag = node.bag;
       const std::size_t k = bag.size();
       for (std::size_t i = 0; i < k; ++i) {
-        in_bag[bag[i]] = 1;
-        bag_pos[bag[i]] = static_cast<int>(i);
+        w.in_bag[bag[i]] = 1;
+        w.bag_pos[bag[i]] = static_cast<int>(i);
       }
-      BagMatrix hx(k);
+      w.mat_pool.acquire(rows, k);
       // Direct arcs of G between bag vertices, via the bag's out-arcs
       // (O(vol(bag)) instead of a full arc scan; min-folding is
       // order-invariant).
@@ -222,18 +293,20 @@ DlResult build_distance_labeling_impl(const graph::WeightedDigraph& g,
           const Arc& a = g.arc(e);
           if (a.weight >= kInfinity) continue;
           if (a.tail == a.head) continue;
-          if (in_bag[a.head]) {
-            Weight& cell = hx.at(i, static_cast<std::size_t>(bag_pos[a.head]));
+          if (w.in_bag[a.head]) {
+            Weight& cell =
+                rows.at(i, static_cast<std::size_t>(w.bag_pos[a.head]));
             cell = std::min(cell, a.weight);
           }
         }
       }
       // Child border distances: for each child i and u,v in its border
-      // (= B_x ∩ V(G_{x·i})), read d_child(u,v) from the child's matrix.
+      // (= B_x ∩ V(G_{x·i})), read d_child(u,v) from the child's matrix
+      // (built at the previous, deeper level — safely immutable here).
       for (int ci : node.children) {
         const auto& border = hierarchy.nodes[ci].boundary;
         const auto& child_bag = hierarchy.nodes[ci].bag;
-        const BagMatrix& child_rows = *node_rows[ci];
+        const BagMatrix& child_rows = node_rows[ci];
         LOWTW_CHECK(child_rows.k == child_bag.size());
         std::vector<std::size_t> child_pos(border.size());
         for (std::size_t bi = 0; bi < border.size(); ++bi) {
@@ -245,23 +318,56 @@ DlResult build_distance_labeling_impl(const graph::WeightedDigraph& g,
         for (std::size_t bi = 0; bi < border.size(); ++bi) {
           for (std::size_t bj = 0; bj < border.size(); ++bj) {
             if (bi == bj) continue;
-            Weight w = child_rows.at(child_pos[bi], child_pos[bj]);
+            Weight wt = child_rows.at(child_pos[bi], child_pos[bj]);
             Weight& cell =
-                hx.at(static_cast<std::size_t>(bag_pos[border[bi]]),
-                      static_cast<std::size_t>(bag_pos[border[bj]]));
-            cell = std::min(cell, w);
+                rows.at(static_cast<std::size_t>(w.bag_pos[border[bi]]),
+                        static_cast<std::size_t>(w.bag_pos[border[bj]]));
+            cell = std::min(cell, wt);
           }
         }
       }
-      hx.floyd_warshall();
-      engine.bct(stats, static_cast<double>(hx.finite_edges()), "dl/hx");
+      rows.floyd_warshall();
+      eng.bct(stats, static_cast<double>(rows.finite_edges()), "dl/hx");
+      for (std::size_t i = 0; i < k; ++i) {
+        w.in_bag[bag[i]] = 0;
+        w.bag_pos[bag[i]] = -1;
+      }
+      w.ledger.snapshot(charges[static_cast<std::size_t>(ti)]);
+    });
 
-      // Update labels.
+    // -- Level barrier: ledger merge in ascending node order ----------------
+    {
+      auto par = engine.ledger().parallel();
+      for (const auto& rec : charges) engine.ledger().merge_branch(rec);
+    }
+
+    // -- Phase B: label application, ascending node order -------------------
+    for (int xi : level) {
+      const td::HierarchyNode& node = hierarchy.nodes[xi];
+      BagMatrix& rows = node_rows[xi];
+
+      if (node.leaf) {
+        auto gx = node.gx_vertices();
+        for (std::size_t i = 0; i < gx.size(); ++i) {
+          Label& lab = result.labeling.labels[gx[i]];
+          for (std::size_t j = 0; j < gx.size(); ++j) {
+            lab.set(gx[j], rows.at(i, j), rows.at(j, i));
+          }
+        }
+        continue;
+      }
+
+      const auto& bag = node.bag;
+      const std::size_t k = bag.size();
+      for (std::size_t i = 0; i < k; ++i) {
+        in_bag[bag[i]] = 1;
+        bag_pos[bag[i]] = static_cast<int>(i);
+      }
       // Bag vertices: exact d_{G_x} to every other bag vertex, from H_x.
       for (std::size_t i = 0; i < k; ++i) {
         Label& lab = result.labeling.labels[bag[i]];
         for (std::size_t j = 0; j < k; ++j) {
-          lab.set(bag[j], hx.at(i, j), hx.at(j, i));
+          lab.set(bag[j], rows.at(i, j), rows.at(j, i));
         }
       }
       // Component vertices: extend via the child border σ (Lemma 4).
@@ -290,13 +396,13 @@ DlResult build_distance_labeling_impl(const graph::WeightedDigraph& g,
             if (to_s[si] < kInfinity) {
               for (std::size_t j = 0; j < k; ++j) {
                 new_to[j] =
-                    std::min(new_to[j], add_sat(to_s[si], hx.at(sp, j)));
+                    std::min(new_to[j], add_sat(to_s[si], rows.at(sp, j)));
               }
             }
             if (from_s[si] < kInfinity) {
               for (std::size_t j = 0; j < k; ++j) {
                 new_from[j] =
-                    std::min(new_from[j], add_sat(hx.at(j, sp), from_s[si]));
+                    std::min(new_from[j], add_sat(rows.at(j, sp), from_s[si]));
               }
             }
           }
@@ -305,14 +411,17 @@ DlResult build_distance_labeling_impl(const graph::WeightedDigraph& g,
           }
         }
       }
-
       for (std::size_t i = 0; i < k; ++i) {
         in_bag[bag[i]] = 0;
         bag_pos[bag[i]] = -1;
       }
-      // Keep this node's matrix for the parent; release the children's.
-      node_rows[xi] = std::make_unique<BagMatrix>(std::move(hx));
-      for (int ci : node.children) node_rows[ci].reset();
+      // This node's matrix stays for the parent; the children's are
+      // consumed — recycle their buffers across the (idle) worker pools.
+      for (int ci : node.children) {
+        workers[release_rr].mat_pool.release(
+            std::move(node_rows[ci]));
+        release_rr = (release_rr + 1) % num_workers;
+      }
     }
   }
 
@@ -337,9 +446,9 @@ DlResult build_distance_labeling(const graph::WeightedDigraph& g,
   LOWTW_CHECK(skeleton.num_vertices() == g.num_vertices());
   if (engine.mode() == primitives::EngineMode::kTreeRealized) {
     graph::CsrGraph csr(skeleton);
-    return build_distance_labeling_impl(g, &csr, hierarchy, engine);
+    return build_distance_labeling_impl(g, &csr, hierarchy, engine, nullptr);
   }
-  return build_distance_labeling_impl(g, nullptr, hierarchy, engine);
+  return build_distance_labeling_impl(g, nullptr, hierarchy, engine, nullptr);
 }
 
 DlResult build_distance_labeling(const graph::WeightedDigraph& g,
@@ -347,7 +456,30 @@ DlResult build_distance_labeling(const graph::WeightedDigraph& g,
                                  const td::Hierarchy& hierarchy,
                                  primitives::Engine& engine) {
   LOWTW_CHECK(skeleton.num_vertices() == g.num_vertices());
-  return build_distance_labeling_impl(g, &skeleton, hierarchy, engine);
+  return build_distance_labeling_impl(g, &skeleton, hierarchy, engine,
+                                      nullptr);
+}
+
+DlResult build_distance_labeling(const graph::WeightedDigraph& g,
+                                 const graph::Graph& skeleton,
+                                 const td::Hierarchy& hierarchy,
+                                 primitives::Engine& engine,
+                                 exec::TaskPool& pool) {
+  LOWTW_CHECK(skeleton.num_vertices() == g.num_vertices());
+  if (engine.mode() == primitives::EngineMode::kTreeRealized) {
+    graph::CsrGraph csr(skeleton);
+    return build_distance_labeling_impl(g, &csr, hierarchy, engine, &pool);
+  }
+  return build_distance_labeling_impl(g, nullptr, hierarchy, engine, &pool);
+}
+
+DlResult build_distance_labeling(const graph::WeightedDigraph& g,
+                                 const graph::CsrGraph& skeleton,
+                                 const td::Hierarchy& hierarchy,
+                                 primitives::Engine& engine,
+                                 exec::TaskPool& pool) {
+  LOWTW_CHECK(skeleton.num_vertices() == g.num_vertices());
+  return build_distance_labeling_impl(g, &skeleton, hierarchy, engine, &pool);
 }
 
 SsspResult sssp_from_labels(const FlatLabeling& labeling, VertexId source,

@@ -21,6 +21,7 @@
 // prescribes).
 #pragma once
 
+#include "exec/task_pool.hpp"
 #include "graph/csr.hpp"
 #include "graph/digraph.hpp"
 #include "labeling/flat_labeling.hpp"
@@ -53,6 +54,24 @@ DlResult build_distance_labeling(const graph::WeightedDigraph& g,
                                  const graph::CsrGraph& skeleton,
                                  const td::Hierarchy& hierarchy,
                                  primitives::Engine& engine);
+
+/// Level-parallel build: each level's per-node assemblies (leaf APSP,
+/// internal H_x floyd-warshall) run as pool tasks with per-worker scratch
+/// and detached ledger records; label writes — the only cross-node shared
+/// state, since sibling bags may share boundary vertices — are applied at
+/// the level barrier in ascending node-id order. Labels, charges, and every
+/// DlResult field are bit-identical to the sequential overloads for every
+/// pool size (the labeling recursion draws no randomness).
+DlResult build_distance_labeling(const graph::WeightedDigraph& g,
+                                 const graph::Graph& skeleton,
+                                 const td::Hierarchy& hierarchy,
+                                 primitives::Engine& engine,
+                                 exec::TaskPool& pool);
+DlResult build_distance_labeling(const graph::WeightedDigraph& g,
+                                 const graph::CsrGraph& skeleton,
+                                 const td::Hierarchy& hierarchy,
+                                 primitives::Engine& engine,
+                                 exec::TaskPool& pool);
 
 struct SsspResult {
   std::vector<graph::Weight> dist;     ///< d(source → v)

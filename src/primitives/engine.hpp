@@ -77,6 +77,21 @@ class Engine {
   };
   OverheadScope overhead(double factor) { return OverheadScope(*this, factor); }
 
+  /// The current multiplicative overhead. Detached per-worker engines clone
+  /// it (together with mode and cost model) so that charges recorded off the
+  /// main ledger match what an inline branch would have charged.
+  double overhead_factor() const { return overhead_; }
+  void set_overhead_factor(double factor) { overhead_ = factor; }
+
+  /// A detached clone charging into `ledger`: same mode, cost model
+  /// (including the current tw hint), and overhead factor. The worker-side
+  /// engine of the deterministic parallel arms.
+  Engine fork_onto(RoundLedger& ledger) const {
+    Engine e(mode_, model_, &ledger);
+    e.overhead_ = overhead_;
+    return e;
+  }
+
   // -- charges ---------------------------------------------------------------
 
   /// One part-wise aggregation over the collection.

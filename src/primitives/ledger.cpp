@@ -91,6 +91,40 @@ void RoundLedger::end_branch() {
   g.any_branch = true;
 }
 
+void RoundLedger::snapshot(BranchRecord& rec) const {
+  LOWTW_CHECK_MSG(groups_.empty(), "snapshot() inside an open parallel scope");
+  rec.clear();
+  const Frame& root = stack_.front();
+  rec.total = root.total;
+  for (std::size_t id = 0; id < root.by_tag.size(); ++id) {
+    if (root.touched[id]) rec.by_tag.emplace_back(tag_names_[id], root.by_tag[id]);
+  }
+}
+
+void RoundLedger::merge_branch(const BranchRecord& rec) {
+  LOWTW_CHECK_MSG(!groups_.empty(), "merge_branch outside parallel scope");
+  Frame f = make_frame();
+  f.total = rec.total;
+  for (const auto& [tag, rounds] : rec.by_tag) {
+    const int id = intern(tag);
+    if (f.by_tag.size() <= static_cast<std::size_t>(id)) {
+      f.by_tag.resize(static_cast<std::size_t>(id) + 1, 0.0);
+      f.touched.resize(static_cast<std::size_t>(id) + 1, 0);
+    }
+    f.by_tag[id] += rounds;
+    f.touched[id] = 1;
+  }
+  // Same best-branch selection as end_branch (first branch wins ties).
+  Group& g = groups_.back();
+  if (!g.any_branch || f.total > g.best.total) {
+    recycle(std::move(g.best));
+    g.best = std::move(f);
+  } else {
+    recycle(std::move(f));
+  }
+  g.any_branch = true;
+}
+
 void RoundLedger::end_parallel() {
   LOWTW_CHECK(!groups_.empty());
   LOWTW_CHECK_MSG(stack_.size() == group_base_.back(),

@@ -59,6 +59,38 @@ class RoundLedger {
   void end_branch();
   void end_parallel();
 
+  // -- detached per-branch recording (deterministic parallel mode) ----------
+
+  /// One branch's charges, detached from any ledger: a worker thread runs a
+  /// hierarchy-node task against its own private RoundLedger and snapshots
+  /// the result here; the records are then merged into the main ledger at
+  /// the level barrier, in ascending node-id order, via merge_branch. Tag
+  /// names are carried as strings (the tags used on the hot paths fit SSO)
+  /// because interned ids are ledger-local.
+  struct BranchRecord {
+    double total = 0;
+    /// Touched tags in interning order, 0-valued charges included (so the
+    /// merged breakdown() matches an inline branch exactly).
+    std::vector<std::pair<std::string, double>> by_tag;
+
+    void clear() {
+      total = 0;
+      by_tag.clear();
+    }
+  };
+
+  /// Copies this ledger's root frame into `rec` (clearing it first). The
+  /// ledger must have no open parallel scope — it is the private per-worker
+  /// ledger a task charged into, not the shared one.
+  void snapshot(BranchRecord& rec) const;
+
+  /// Folds `rec` as one branch of the innermost open parallel group —
+  /// identical, bit for bit, to replaying its charges inside
+  /// begin_branch()/end_branch(): same max-total selection, same
+  /// keep-the-earlier-branch tie break. Callers merge in ascending node-id
+  /// order so the result matches a serial walk of the same branches.
+  void merge_branch(const BranchRecord& rec);
+
   /// RAII helper:
   ///   { auto par = ledger.parallel();
   ///     { auto br = par.branch(); ...charges... }

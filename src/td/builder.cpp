@@ -1,7 +1,9 @@
 #include "td/builder.hpp"
 
 #include <algorithm>
+#include <utility>
 
+#include "exec/worker_local.hpp"
 #include "graph/algorithms.hpp"
 #include "util/check.hpp"
 
@@ -41,8 +43,14 @@ std::vector<std::vector<int>> Hierarchy::levels() const {
   return by_level;
 }
 
-TdBuildResult build_hierarchy(const Graph& g, const TdParams& params,
-                              util::Rng& rng, primitives::Engine& engine) {
+namespace {
+
+/// The legacy sequential arm (params.threads == 1): one RNG stream threaded
+/// through every branch in level order. Byte-identical rounds to the seed —
+/// the CI drift gate pins this path.
+TdBuildResult build_hierarchy_sequential(const Graph& g, const TdParams& params,
+                                         util::Rng& rng,
+                                         primitives::Engine& engine) {
   LOWTW_CHECK_MSG(g.num_vertices() >= 1, "empty graph");
   LOWTW_CHECK_MSG(graph::is_connected(g), "build_hierarchy requires a connected graph");
 
@@ -158,6 +166,207 @@ TdBuildResult build_hierarchy(const Graph& g, const TdParams& params,
   result.td = result.hierarchy.to_tree_decomposition();
   result.rounds = engine.ledger().total() - rounds_before;
   return result;
+}
+
+// -- deterministic per-node-stream arm ---------------------------------------
+
+/// What one level branch produces besides the fields it writes into its own
+/// HierarchyNode: the doubling estimate it reached, the children it carved
+/// (spliced into the node table at the barrier, in ascending parent order,
+/// so node ids are schedule-independent), and its detached ledger record.
+struct BranchOutcome {
+  int t_used = 0;
+  bool leaf = false;
+  struct ChildDraft {
+    std::vector<VertexId> comp;
+    std::vector<VertexId> boundary;
+  };
+  std::vector<ChildDraft> children;
+  primitives::RoundLedger::BranchRecord charges;
+};
+
+/// Per-worker scratch: everything a branch needs that is *content-free* by
+/// the time the next task claims the slot (see exec::WorkerLocal).
+struct TdWorker {
+  SepWorkspace sep_ws;
+  graph::TraversalWorkspace tw;
+  graph::FlatComponents comps;
+  primitives::RoundLedger ledger;
+  std::vector<VertexId> rest;
+};
+
+TdBuildResult build_hierarchy_streams(const Graph& g, const TdParams& params,
+                                      util::Rng& rng,
+                                      primitives::Engine& engine,
+                                      exec::TaskPool& pool) {
+  LOWTW_CHECK_MSG(g.num_vertices() >= 1, "empty graph");
+  LOWTW_CHECK_MSG(graph::is_connected(g),
+                  "build_hierarchy requires a connected graph");
+
+  const graph::CsrGraph csr(g);
+  // One draw of the caller's stream seeds the whole build; every hierarchy
+  // node forks its own stream from (build seed, node id), so no branch ever
+  // observes another branch's draws — the root of scheduling independence.
+  const util::Rng build_rng = rng.split();
+
+  TdBuildResult result;
+  auto& nodes = result.hierarchy.nodes;
+  const double rounds_before = engine.ledger().total();
+  int t = params.t_initial;
+  result.t_used = t;
+
+  {
+    HierarchyNode root;
+    root.comp.resize(static_cast<std::size_t>(g.num_vertices()));
+    for (VertexId v = 0; v < g.num_vertices(); ++v) root.comp[v] = v;
+    nodes.push_back(std::move(root));
+  }
+  std::vector<int> frontier{0};
+  exec::WorkerLocal<TdWorker> workers(pool);
+  std::vector<BranchOutcome> outcomes;
+
+  while (!frontier.empty()) {
+    // Branch inputs fixed at the level start: the doubling estimate and the
+    // engine snapshot (mode, cost model incl. tw hint, overhead factor).
+    // Within a level no branch sees another branch's t updates — unlike the
+    // legacy arm, whose later branches start from earlier branches' t.
+    const int level_t = t;
+    outcomes.resize(frontier.size());
+
+    pool.run(static_cast<int>(frontier.size()), [&](int ti, int wi) {
+      TdWorker& w = workers[wi];
+      BranchOutcome& out = outcomes[static_cast<std::size_t>(ti)];
+      out.leaf = false;
+      out.children.clear();
+      const int xi = frontier[static_cast<std::size_t>(ti)];
+
+      w.ledger.reset();
+      primitives::Engine eng = engine.fork_onto(w.ledger);
+      util::Rng branch_rng = build_rng.fork(static_cast<std::uint64_t>(xi));
+
+      // Tasks write only their own node's fields; children are appended to
+      // the (possibly reallocating) node table at the barrier instead.
+      SeparatorResult sep = find_balanced_separator(
+          csr, nodes[xi].comp, nodes[xi].comp, params.sep, branch_rng, eng,
+          level_t, w.sep_ws);
+      out.t_used = sep.t_used;
+      nodes[xi].separator = std::move(sep.separator);
+
+      std::vector<VertexId> bag;
+      std::set_union(nodes[xi].boundary.begin(), nodes[xi].boundary.end(),
+                     nodes[xi].separator.begin(), nodes[xi].separator.end(),
+                     std::back_inserter(bag));
+      auto gx = nodes[xi].gx_vertices();
+
+      if (params.leaf_rule == TdLeafRule::kPaper &&
+          gx.size() <= 2 * bag.size()) {
+        out.leaf = true;
+        nodes[xi].bag = std::move(gx);
+        w.ledger.snapshot(out.charges);
+        return;
+      }
+
+      w.tw.ensure(csr.num_vertices());
+      w.tw.aux.clear();
+      for (VertexId v : nodes[xi].separator) w.tw.aux.set(v);
+      w.rest.clear();
+      for (VertexId v : nodes[xi].comp) {
+        if (!w.tw.aux.test(v)) w.rest.push_back(v);
+      }
+      if (w.rest.empty()) {
+        out.leaf = true;
+        nodes[xi].bag = std::move(gx);
+        w.ledger.snapshot(out.charges);
+        return;
+      }
+      nodes[xi].bag = std::move(bag);
+      if (eng.mode() == primitives::EngineMode::kTreeRealized) {
+        eng.op(primitives::part_stats(
+                   csr, std::span<const VertexId>(nodes[xi].comp), w.tw),
+               "td/ccd");
+      } else {
+        eng.op(primitives::PartStats{1, 0}, "td/ccd");
+      }
+      graph::induced_components(csr, w.rest, w.tw, w.comps);
+      w.tw.aux.clear();
+      for (VertexId v : nodes[xi].bag) w.tw.aux.set(v);
+      for (int ci = 0; ci < w.comps.count(); ++ci) {
+        auto comp = w.comps.component(ci);
+        BranchOutcome::ChildDraft child;
+        w.tw.aux2.clear();
+        for (VertexId v : comp) {
+          for (VertexId nb : csr.neighbors(v)) {
+            if (w.tw.aux.test(nb)) w.tw.aux2.set(nb);
+          }
+        }
+        for (VertexId nb : nodes[xi].bag) {
+          if (w.tw.aux2.test(nb)) child.boundary.push_back(nb);
+        }
+        child.comp.assign(comp.begin(), comp.end());
+        out.children.push_back(std::move(child));
+      }
+      LOWTW_CHECK_MSG(!out.children.empty(),
+                      "non-leaf hierarchy node without children");
+      w.ledger.snapshot(out.charges);
+    });
+
+    // Level barrier. Everything order-sensitive happens here, single
+    // threaded, in ascending node-id order (the frontier is ascending by
+    // construction): the ledger merge — bit-identical to a serial walk of
+    // the same per-node streams — the t max-fold, and the child splice that
+    // assigns the next level's node ids.
+    {
+      auto par = engine.ledger().parallel();
+      for (const BranchOutcome& out : outcomes) {
+        engine.ledger().merge_branch(out.charges);
+      }
+    }
+    std::vector<int> next_frontier;
+    for (std::size_t ti = 0; ti < frontier.size(); ++ti) {
+      const int xi = frontier[ti];
+      BranchOutcome& out = outcomes[ti];
+      t = std::max(t, out.t_used);
+      if (out.leaf) {
+        nodes[xi].leaf = true;
+        continue;
+      }
+      for (BranchOutcome::ChildDraft& draft : out.children) {
+        HierarchyNode child;
+        child.parent = xi;
+        child.depth = nodes[xi].depth + 1;
+        child.comp = std::move(draft.comp);
+        child.boundary = std::move(draft.boundary);
+        int child_id = static_cast<int>(nodes.size());
+        nodes[xi].children.push_back(child_id);
+        nodes.push_back(std::move(child));
+        next_frontier.push_back(child_id);
+      }
+    }
+    result.t_used = t;
+    engine.set_tw_hint(t);
+    frontier = std::move(next_frontier);
+  }
+
+  result.td = result.hierarchy.to_tree_decomposition();
+  result.rounds = engine.ledger().total() - rounds_before;
+  return result;
+}
+
+}  // namespace
+
+TdBuildResult build_hierarchy(const Graph& g, const TdParams& params,
+                              util::Rng& rng, primitives::Engine& engine) {
+  if (params.threads == 1) {
+    return build_hierarchy_sequential(g, params, rng, engine);
+  }
+  exec::TaskPool pool(params.threads);
+  return build_hierarchy_streams(g, params, rng, engine, pool);
+}
+
+TdBuildResult build_hierarchy(const Graph& g, const TdParams& params,
+                              util::Rng& rng, primitives::Engine& engine,
+                              exec::TaskPool& pool) {
+  return build_hierarchy_streams(g, params, rng, engine, pool);
 }
 
 }  // namespace lowtw::td

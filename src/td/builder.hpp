@@ -17,6 +17,7 @@
 
 #include <vector>
 
+#include "exec/task_pool.hpp"
 #include "graph/graph.hpp"
 #include "primitives/engine.hpp"
 #include "td/separator.hpp"
@@ -67,6 +68,17 @@ struct TdParams {
   SepParams sep = SepParams::practical();
   int t_initial = 2;
   TdLeafRule leaf_rule = TdLeafRule::kExhaustive;
+  /// Execution width of the level-parallel build.
+  ///   1 (default): the legacy sequential arm — one RNG stream threaded
+  ///     through every branch; rounds byte-identical to the recorded
+  ///     BENCH_separator.json baseline.
+  ///   any other value: the deterministic per-node-stream arm on a TaskPool
+  ///     of that many workers (0 = hardware concurrency). Every hierarchy
+  ///     node forks its own RNG stream from (build seed, node id), so the
+  ///     result — hierarchy, bags, ledger totals — is bit-identical for
+  ///     every worker count, but constitutes a different (equally valid)
+  ///     random instance than the legacy arm.
+  int threads = 1;
 };
 
 struct TdBuildResult {
@@ -77,8 +89,20 @@ struct TdBuildResult {
 };
 
 /// Builds the decomposition of a *connected* graph g. Charges rounds to
-/// engine's ledger; `rounds` reports the delta.
+/// engine's ledger; `rounds` reports the delta. Dispatches on
+/// params.threads: the default 1 runs the legacy sequential arm, anything
+/// else the deterministic per-node-stream arm on an internal TaskPool.
 TdBuildResult build_hierarchy(const graph::Graph& g, const TdParams& params,
                               util::Rng& rng, primitives::Engine& engine);
+
+/// The deterministic per-node-stream arm on a caller-owned pool (any size,
+/// including 1 — the serial reference of the invariance contract: results
+/// are bit-identical for every pool size). Consumes one draw of `rng` to
+/// seed the build; every hierarchy node then runs on its own forked stream,
+/// each level's branches execute on the pool, and their ledger records are
+/// max-composed in ascending node-id order at the level barrier.
+TdBuildResult build_hierarchy(const graph::Graph& g, const TdParams& params,
+                              util::Rng& rng, primitives::Engine& engine,
+                              exec::TaskPool& pool);
 
 }  // namespace lowtw::td

@@ -103,6 +103,11 @@ std::optional<std::vector<VertexId>> sep_attempt_local(
   std::vector<VertexId>& cur = ws.cur;  // G_i
   cur.assign(ws.all_local.begin(), ws.all_local.end());
   auto& iteration_pieces = ws.iteration_pieces;
+  // Recycle last attempt's piece buffers before dropping the pieces
+  // (capacity-only reuse; see SplitWorkspace::take_vertices).
+  for (auto& ti : iteration_pieces) {
+    for (TreePiece& p : ti) ws.split.recycle_vertices(std::move(p.vertices));
+  }
   iteration_pieces.clear();
   ws.root_acc.ensure(n);
   ws.root_acc.clear();
@@ -155,7 +160,8 @@ std::optional<std::vector<VertexId>> sep_attempt_local(
     {
       TreePiece whole;
       whole.root = root;
-      whole.vertices = cur;
+      whole.vertices = ws.split.take_vertices();
+      whole.vertices.assign(cur.begin(), cur.end());
       whole.mu = mu_of(cur, in_x);
       if (static_cast<double>(whole.mu) > cap) {
         heavy.push_back(std::move(whole));
@@ -174,6 +180,7 @@ std::optional<std::vector<VertexId>> sep_attempt_local(
         const std::size_t before = piece.vertices.size();
         auto pieces =
             internal::split_piece(piece, tree_adj, in_x, low, ws.split);
+        ws.split.recycle_vertices(std::move(piece.vertices));
         for (TreePiece& p : pieces) {
           bool unchanged = pieces.size() == 1 && p.vertices.size() == before;
           if (!unchanged && static_cast<double>(p.mu) > cap) {

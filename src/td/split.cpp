@@ -97,6 +97,7 @@ std::vector<TreePiece> split_piece(const TreePiece& piece,
     if (ws.sub_mu[ch] >= low) {
       TreePiece p;
       p.root = ch;
+      p.vertices = ws.take_vertices();
       collect_subtree_into(ch, p.vertices);
       p.mu = ws.sub_mu[ch];
       pieces.push_back(std::move(p));
@@ -122,13 +123,18 @@ std::vector<TreePiece> split_piece(const TreePiece& piece,
     // Degenerate (only reachable with off-analysis parameters): emit the
     // piece unchanged; the caller routes unchanged pieces to T_i to
     // guarantee progress.
-    pieces.push_back(piece);
+    TreePiece p;
+    p.root = piece.root;
+    p.mu = piece.mu;
+    p.vertices = ws.take_vertices();
+    p.vertices.assign(piece.vertices.begin(), piece.vertices.end());
+    pieces.push_back(std::move(p));
   } else {
     // Fig. 1(b): group the light children greedily into chunks of
     // µ ∈ [low, 2·low); every chunk, plus c as shared root, becomes a piece.
     std::vector<std::vector<VertexId>> groups;
     std::vector<std::int64_t> group_mu;
-    std::vector<VertexId> acc;
+    std::vector<VertexId> acc = ws.take_vertices();
     std::int64_t acc_mu = 0;
     for (VertexId ch : light_children) {
       collect_subtree_into(ch, acc);
@@ -136,7 +142,7 @@ std::vector<TreePiece> split_piece(const TreePiece& piece,
       if (acc_mu >= low) {
         groups.push_back(std::move(acc));
         group_mu.push_back(acc_mu);
-        acc.clear();
+        acc = ws.take_vertices();
         acc_mu = 0;
       }
     }
@@ -148,8 +154,10 @@ std::vector<TreePiece> split_piece(const TreePiece& piece,
       } else {
         groups.push_back(std::move(acc));
         group_mu.push_back(acc_mu);
+        acc = {};
       }
     }
+    ws.recycle_vertices(std::move(acc));
     for (std::size_t gi = 0; gi < groups.size(); ++gi) {
       TreePiece p;
       p.root = centroid;

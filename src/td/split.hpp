@@ -57,6 +57,32 @@ class SplitWorkspace {
   std::vector<std::int64_t> sub_mu;
   std::vector<graph::VertexId> order;  ///< BFS order scratch
   std::vector<graph::VertexId> stack;  ///< subtree-collection scratch
+
+  // -- TreePiece::vertices buffer pool (ROADMAP profiled target) -------------
+  // split_piece draws every piece vertex list from here and sep_attempt
+  // recycles retired pieces back, so steady-state separator attempts
+  // allocate no piece storage. Pure capacity reuse: a pooled vector comes
+  // back empty, so contents — and hence every Split decision — are
+  // unchanged.
+
+  /// An empty vertex buffer, reusing pooled capacity when available.
+  std::vector<graph::VertexId> take_vertices() {
+    if (vertices_pool.empty()) return {};
+    std::vector<graph::VertexId> v = std::move(vertices_pool.back());
+    vertices_pool.pop_back();
+    v.clear();
+    return v;
+  }
+
+  /// Returns a retired piece's buffer to the pool (bounded; once full,
+  /// further buffers are simply dropped).
+  void recycle_vertices(std::vector<graph::VertexId>&& v) {
+    if (v.capacity() > 0 && vertices_pool.size() < 1024) {
+      vertices_pool.push_back(std::move(v));
+    }
+  }
+
+  std::vector<std::vector<graph::VertexId>> vertices_pool;
 };
 
 /// Splits one piece around its µ-centroid: child subtrees of µ ≥ low are

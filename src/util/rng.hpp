@@ -40,9 +40,13 @@ class Rng {
   explicit Rng(std::uint64_t seed = 0x5eedULL) { reseed(seed); }
 
   void reseed(std::uint64_t seed) {
+    seed_ = seed;
     SplitMix64 sm(seed);
     for (auto& s : s_) s = sm.next();
   }
+
+  /// The seed this generator was (re)constructed from; the key of fork().
+  std::uint64_t seed() const { return seed_; }
 
   static constexpr result_type min() { return 0; }
   static constexpr result_type max() {
@@ -108,14 +112,28 @@ class Rng {
   }
 
   /// Derive an independent child RNG (for parallel branches that must not
-  /// share a stream).
+  /// share a stream). Consumes one value of this stream.
   Rng split() { return Rng(next()); }
+
+  /// Derive the independent stream `stream` of this generator's seed: a
+  /// pure function of (seed, stream) — two SplitMix64 mixes — independent
+  /// of how many values have been drawn and of the thread that calls it
+  /// (const, no state touched). This is what makes per-hierarchy-node
+  /// branch outcomes invariant under scheduling order and worker count:
+  /// every node forks its own stream from (build seed, node id).
+  Rng fork(std::uint64_t stream) const {
+    SplitMix64 seed_mix(seed_);
+    const std::uint64_t base = seed_mix.next();
+    SplitMix64 stream_mix(base ^ (stream + 0x9e3779b97f4a7c15ULL));
+    return Rng(stream_mix.next());
+  }
 
  private:
   static std::uint64_t rotl(std::uint64_t x, int k) {
     return (x << k) | (x >> (64 - k));
   }
 
+  std::uint64_t seed_ = 0;
   std::uint64_t s_[4]{};
 };
 

@@ -1,0 +1,349 @@
+// The deterministic parallel execution contract (ISSUE 3):
+//   * TaskPool runs every task exactly once and propagates the exception of
+//     the lowest failing task index;
+//   * Rng::fork streams are pure functions of (seed, stream);
+//   * RoundLedger::merge_branch is bit-identical to inline branches;
+//   * the per-node-stream TD build and the level-parallel labeling build
+//     produce bit-identical hierarchies, ledger totals, and labels for
+//     every worker count (1 vs 2 vs hardware_concurrency), across repeated
+//     runs, and in both engine modes.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "exec/task_pool.hpp"
+#include "exec/worker_local.hpp"
+#include "graph/generators.hpp"
+#include "labeling/distance_labeling.hpp"
+#include "core/solver.hpp"
+#include "td/builder.hpp"
+#include "test_helpers.hpp"
+#include "util/rng.hpp"
+
+namespace lowtw {
+namespace {
+
+using graph::Graph;
+
+// -- TaskPool ----------------------------------------------------------------
+
+TEST(TaskPool, RunsEveryTaskExactlyOnce) {
+  for (int workers : {1, 2, 4}) {
+    exec::TaskPool pool(workers);
+    EXPECT_EQ(pool.num_workers(), workers);
+    for (int count : {0, 1, 3, 64}) {
+      std::vector<std::atomic<int>> hits(static_cast<std::size_t>(count));
+      for (auto& h : hits) h = 0;
+      pool.run(count, [&](int task, int worker) {
+        ASSERT_GE(worker, 0);
+        ASSERT_LT(worker, pool.num_workers());
+        ++hits[static_cast<std::size_t>(task)];
+      });
+      for (int i = 0; i < count; ++i) EXPECT_EQ(hits[i].load(), 1);
+    }
+  }
+}
+
+TEST(TaskPool, ZeroSelectsHardwareConcurrency) {
+  exec::TaskPool pool(0);
+  EXPECT_GE(pool.num_workers(), 1);
+}
+
+TEST(TaskPool, WorkerLocalSlots) {
+  exec::TaskPool pool(3);
+  exec::WorkerLocal<std::vector<int>> slots(pool);
+  ASSERT_EQ(slots.size(), 3);
+  pool.run(50, [&](int task, int worker) {
+    slots[worker].push_back(task);
+  });
+  int total = 0;
+  for (auto& s : slots) total += static_cast<int>(s.size());
+  EXPECT_EQ(total, 50);
+}
+
+TEST(TaskPool, PropagatesLowestFailingTask) {
+  for (int workers : {1, 4}) {
+    exec::TaskPool pool(workers);
+    std::atomic<int> ran{0};
+    try {
+      pool.run(16, [&](int task, int) {
+        ++ran;
+        if (task >= 3) throw std::runtime_error("task " + std::to_string(task));
+      });
+      FAIL() << "expected a rethrow";
+    } catch (const std::runtime_error& e) {
+      // Tasks are dealt ascending, so 3 runs in every schedule and nothing
+      // below it fails: the barrier rethrows task 3 regardless of workers.
+      EXPECT_STREQ(e.what(), "task 3");
+    }
+    EXPECT_GE(ran.load(), 4);
+    // The pool stays usable after a failed level.
+    std::atomic<int> ok{0};
+    pool.run(8, [&](int, int) { ++ok; });
+    EXPECT_EQ(ok.load(), 8);
+  }
+}
+
+// -- Rng::fork ---------------------------------------------------------------
+
+TEST(RngFork, PureFunctionOfSeedAndStream) {
+  util::Rng a(123);
+  util::Rng b(123);
+  // Forking ignores how many values were drawn...
+  (void)b.next();
+  (void)b.next();
+  EXPECT_EQ(a.fork(7).next(), b.fork(7).next());
+  // ...distinct streams and seeds diverge.
+  EXPECT_NE(a.fork(7).next(), a.fork(8).next());
+  EXPECT_NE(util::Rng(1).fork(7).next(), util::Rng(2).fork(7).next());
+  // split() records the drawn seed, so forks of a split child are stable.
+  util::Rng c1(99);
+  util::Rng c2(99);
+  EXPECT_EQ(c1.split().fork(3).next(), c2.split().fork(3).next());
+}
+
+// -- RoundLedger branch records ----------------------------------------------
+
+TEST(BranchRecord, MergeMatchesInlineBranches) {
+  // Reference: inline branches.
+  primitives::RoundLedger inline_ledger;
+  {
+    auto par = inline_ledger.parallel();
+    {
+      auto br = par.branch();
+      inline_ledger.add("a", 5);
+      inline_ledger.add("b", 2);
+    }
+    {
+      auto br = par.branch();
+      inline_ledger.add("a", 4);
+      inline_ledger.add("c", 3);  // same total as branch 0: first wins
+    }
+    {
+      auto br = par.branch();
+      inline_ledger.add("c", 1);
+    }
+  }
+
+  // Same charges recorded on detached per-worker ledgers, merged in order.
+  primitives::RoundLedger merged;
+  primitives::RoundLedger worker;
+  primitives::RoundLedger::BranchRecord rec;
+  {
+    auto par = merged.parallel();
+    worker.reset();
+    worker.add("a", 5);
+    worker.add("b", 2);
+    worker.snapshot(rec);
+    merged.merge_branch(rec);
+    worker.reset();
+    worker.add("a", 4);
+    worker.add("c", 3);
+    worker.snapshot(rec);
+    merged.merge_branch(rec);
+    worker.reset();
+    worker.add("c", 1);
+    worker.snapshot(rec);
+    merged.merge_branch(rec);
+  }
+
+  EXPECT_DOUBLE_EQ(merged.total(), inline_ledger.total());
+  EXPECT_EQ(merged.breakdown(), inline_ledger.breakdown());
+}
+
+// -- deterministic parallel TD / labeling ------------------------------------
+
+void expect_same_hierarchy(const td::Hierarchy& a, const td::Hierarchy& b) {
+  ASSERT_EQ(a.nodes.size(), b.nodes.size());
+  EXPECT_EQ(a.root, b.root);
+  for (std::size_t x = 0; x < a.nodes.size(); ++x) {
+    const auto& na = a.nodes[x];
+    const auto& nb = b.nodes[x];
+    EXPECT_EQ(na.parent, nb.parent) << "node " << x;
+    EXPECT_EQ(na.children, nb.children) << "node " << x;
+    EXPECT_EQ(na.depth, nb.depth) << "node " << x;
+    EXPECT_EQ(na.leaf, nb.leaf) << "node " << x;
+    EXPECT_EQ(na.comp, nb.comp) << "node " << x;
+    EXPECT_EQ(na.boundary, nb.boundary) << "node " << x;
+    EXPECT_EQ(na.separator, nb.separator) << "node " << x;
+    EXPECT_EQ(na.bag, nb.bag) << "node " << x;
+  }
+}
+
+void expect_same_labels(const labeling::DlResult& a,
+                        const labeling::DlResult& b) {
+  ASSERT_EQ(a.labeling.labels.size(), b.labeling.labels.size());
+  for (std::size_t v = 0; v < a.labeling.labels.size(); ++v) {
+    const auto& la = a.labeling.labels[v].entries;
+    const auto& lb = b.labeling.labels[v].entries;
+    ASSERT_EQ(la.size(), lb.size()) << "vertex " << v;
+    for (std::size_t i = 0; i < la.size(); ++i) {
+      EXPECT_EQ(la[i].hub, lb[i].hub) << "vertex " << v;
+      EXPECT_EQ(la[i].to_hub, lb[i].to_hub) << "vertex " << v;
+      EXPECT_EQ(la[i].from_hub, lb[i].from_hub) << "vertex " << v;
+    }
+  }
+  EXPECT_DOUBLE_EQ(a.rounds, b.rounds);
+  EXPECT_EQ(a.max_label_entries, b.max_label_entries);
+  EXPECT_EQ(a.max_label_bits, b.max_label_bits);
+}
+
+int hw_threads() {
+  return std::max(2u, std::thread::hardware_concurrency());
+}
+
+TEST(ParallelTd, BitIdenticalAcrossWorkerCounts) {
+  util::Rng gen(17);
+  Graph g = graph::gen::partial_ktree(180, 3, 0.6, gen);
+
+  std::optional<td::TdBuildResult> reference;
+  double reference_total = 0;
+  std::map<std::string, double> reference_breakdown;
+  for (int workers : {1, 2, hw_threads()}) {
+    test::EngineBundle bundle(g);
+    util::Rng rng(42);
+    exec::TaskPool pool(workers);
+    auto res = td::build_hierarchy(g, td::TdParams{}, rng, bundle.engine, pool);
+    EXPECT_EQ(res.td.validate(g), std::nullopt);
+    if (!reference) {
+      reference = std::move(res);
+      reference_total = bundle.ledger.total();
+      reference_breakdown = bundle.ledger.breakdown();
+      continue;
+    }
+    expect_same_hierarchy(reference->hierarchy, res.hierarchy);
+    EXPECT_EQ(reference->t_used, res.t_used);
+    EXPECT_DOUBLE_EQ(reference->rounds, res.rounds);
+    EXPECT_DOUBLE_EQ(reference_total, bundle.ledger.total());
+    EXPECT_EQ(reference_breakdown, bundle.ledger.breakdown());
+  }
+}
+
+TEST(ParallelTd, RepeatedRunsIdentical) {
+  util::Rng gen(23);
+  Graph g = graph::gen::ktree(150, 3, gen);
+  std::optional<td::TdBuildResult> first;
+  for (int run = 0; run < 2; ++run) {
+    test::EngineBundle bundle(g);
+    util::Rng rng(7);
+    exec::TaskPool pool(3);
+    auto res = td::build_hierarchy(g, td::TdParams{}, rng, bundle.engine, pool);
+    if (!first) {
+      first = std::move(res);
+    } else {
+      expect_same_hierarchy(first->hierarchy, res.hierarchy);
+      EXPECT_DOUBLE_EQ(first->rounds, res.rounds);
+    }
+  }
+}
+
+TEST(ParallelTd, ThreadsKnobMatchesPoolOverload) {
+  util::Rng gen(29);
+  Graph g = graph::gen::ktree(120, 2, gen);
+  test::EngineBundle b1(g);
+  test::EngineBundle b2(g);
+  util::Rng r1(5);
+  util::Rng r2(5);
+  td::TdParams params;
+  params.threads = 2;
+  auto via_knob = td::build_hierarchy(g, params, r1, b1.engine);
+  exec::TaskPool pool(4);  // worker count must not matter
+  auto via_pool = td::build_hierarchy(g, td::TdParams{}, r2, b2.engine, pool);
+  expect_same_hierarchy(via_knob.hierarchy, via_pool.hierarchy);
+  EXPECT_DOUBLE_EQ(b1.ledger.total(), b2.ledger.total());
+}
+
+TEST(ParallelTd, TreeRealizedModeInvariant) {
+  util::Rng gen(31);
+  Graph g = graph::gen::banded(140, 3);
+  std::optional<td::TdBuildResult> reference;
+  for (int workers : {1, 3}) {
+    test::EngineBundle bundle(g, primitives::EngineMode::kTreeRealized);
+    util::Rng rng(11);
+    exec::TaskPool pool(workers);
+    auto res = td::build_hierarchy(g, td::TdParams{}, rng, bundle.engine, pool);
+    if (!reference) {
+      reference = std::move(res);
+    } else {
+      expect_same_hierarchy(reference->hierarchy, res.hierarchy);
+      EXPECT_DOUBLE_EQ(reference->rounds, res.rounds);
+    }
+  }
+}
+
+TEST(ParallelLabeling, BitIdenticalToSequentialForAnyWorkerCount) {
+  util::Rng gen(37);
+  Graph skel = graph::gen::partial_ktree(160, 3, 0.5, gen);
+  auto g = graph::WeightedDigraph::symmetric_from(skel);
+
+  // One hierarchy (the labeling recursion is deterministic given it).
+  test::EngineBundle td_bundle(skel);
+  util::Rng rng(13);
+  auto td = td::build_hierarchy(skel, td::TdParams{}, rng, td_bundle.engine);
+
+  test::EngineBundle seq_bundle(skel);
+  auto sequential = labeling::build_distance_labeling(g, skel, td.hierarchy,
+                                                      seq_bundle.engine);
+  for (int workers : {1, 2, hw_threads()}) {
+    test::EngineBundle bundle(skel);
+    exec::TaskPool pool(workers);
+    auto parallel = labeling::build_distance_labeling(g, skel, td.hierarchy,
+                                                      bundle.engine, pool);
+    expect_same_labels(sequential, parallel);
+    EXPECT_DOUBLE_EQ(seq_bundle.ledger.total(), bundle.ledger.total());
+    EXPECT_EQ(seq_bundle.ledger.breakdown(), bundle.ledger.breakdown());
+  }
+}
+
+TEST(ParallelLabeling, TreeRealizedModeMatchesSequential) {
+  util::Rng gen(41);
+  Graph skel = graph::gen::ktree(130, 2, gen);
+  auto g = graph::WeightedDigraph::symmetric_from(skel);
+  test::EngineBundle td_bundle(skel, primitives::EngineMode::kTreeRealized);
+  util::Rng rng(19);
+  auto td = td::build_hierarchy(skel, td::TdParams{}, rng, td_bundle.engine);
+
+  test::EngineBundle b1(skel, primitives::EngineMode::kTreeRealized);
+  auto sequential =
+      labeling::build_distance_labeling(g, skel, td.hierarchy, b1.engine);
+  test::EngineBundle b2(skel, primitives::EngineMode::kTreeRealized);
+  exec::TaskPool pool(3);
+  auto parallel = labeling::build_distance_labeling(g, skel, td.hierarchy,
+                                                    b2.engine, pool);
+  expect_same_labels(sequential, parallel);
+  EXPECT_DOUBLE_EQ(b1.ledger.total(), b2.ledger.total());
+}
+
+TEST(ParallelSolver, ThreadsOptionInvariant) {
+  util::Rng gen(43);
+  Graph g = graph::gen::ktree(140, 3, gen);
+
+  std::optional<labeling::SsspResult> ref_sssp;
+  std::optional<double> ref_rounds;
+  int ref_width = -1;
+  for (int threads : {2, 4}) {
+    SolverOptions opts;
+    opts.seed = 99;
+    opts.threads = threads;
+    Solver solver(g, opts);
+    const auto& td = solver.tree_decomposition();
+    const auto& dl = solver.distance_labeling();
+    auto sssp = solver.sssp(0);
+    if (!ref_sssp) {
+      ref_sssp = std::move(sssp);
+      ref_rounds = dl.rounds;
+      ref_width = td.td.width();
+    } else {
+      EXPECT_EQ(ref_width, td.td.width());
+      EXPECT_DOUBLE_EQ(*ref_rounds, dl.rounds);
+      EXPECT_EQ(ref_sssp->dist, sssp.dist);
+      EXPECT_EQ(ref_sssp->dist_to, sssp.dist_to);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace lowtw

@@ -154,6 +154,101 @@ void BM_GirthDecodeKernel(benchmark::State& state) {
 BENCHMARK(BM_GirthDecodeKernel)->RangeMultiplier(2)->Range(2048, 8192)
     ->Unit(benchmark::kMillisecond);
 
+// Deterministic trial-parallel arm (ISSUE 4): the girth trials of every
+// density scale run as tasks on a TaskPool, each on its own forked RNG
+// stream, with the best-cycle reduction folded at the scale barrier in
+// ascending trial order. Rounds are scheduling-invariant — identical for
+// every `girth_threads` value — and gated like every other rounds counter;
+// the bench SkipWithErrors if any thread count drifts from the 1-worker
+// reference of the same arm. speedup_vs_1t is host-dependent wall-time
+// information only (≈1.0 on single-core CI boxes).
+void BM_GirthParallel(benchmark::State& state) {
+  const int threads = static_cast<int>(state.range(0));
+  using clock = std::chrono::steady_clock;
+
+  struct Setup {
+    graph::WeightedDigraph g;
+    graph::Graph skel;
+    int d = 0;
+    td::TdBuildResult td;
+    graph::Weight exact = 0;
+  };
+  static const Setup setup = [] {
+    Setup s;
+    util::Rng grng(200 + 256);
+    graph::Graph ug = graph::gen::cycle_with_chords(256, 3, grng);
+    s.g = graph::gen::random_symmetric_weights(ug, 1, 30, grng);
+    s.skel = s.g.skeleton();
+    s.d = graph::exact_diameter(s.skel);
+    // One sequential hierarchy shared by every arm: the trial loop, not the
+    // TD build, is what this arm parallelizes, so the rounds counter
+    // isolates the girth sweep.
+    primitives::RoundLedger ledger;
+    primitives::Engine engine(
+        primitives::EngineMode::kShortcutModel,
+        primitives::CostModel{s.skel.num_vertices(), s.d, 1.0}, &ledger);
+    util::Rng rng(102);
+    s.td = td::build_hierarchy(s.skel, td::TdParams{}, rng, engine);
+    s.exact = graph::exact_girth_undirected(s.g);
+    return s;
+  }();
+
+  auto run_once = [&](int nthreads, girth::GirthResult& res) {
+    primitives::RoundLedger ledger;
+    primitives::Engine engine(
+        primitives::EngineMode::kShortcutModel,
+        primitives::CostModel{setup.skel.num_vertices(), setup.d, 1.0},
+        &ledger);
+    util::Rng rng(103);
+    exec::TaskPool pool(nthreads);
+    girth::UndirectedGirthParams params;
+    params.trials_per_scale = 8;
+    res = girth::girth_undirected(setup.g, setup.skel, setup.td.hierarchy,
+                                  params, rng, engine, pool);
+  };
+
+  struct Reference {
+    girth::GirthResult result;
+    double ms = 0;
+  };
+  static const Reference ref = [&] {
+    Reference r;
+    run_once(1, r.result);  // untimed warmup (cold caches, first faults)
+    const auto t0 = clock::now();
+    run_once(1, r.result);
+    r.ms =
+        std::chrono::duration<double, std::milli>(clock::now() - t0).count();
+    return r;
+  }();
+
+  girth::GirthResult last;
+  double par_ms = 0;
+  for (auto _ : state) {
+    const auto t0 = clock::now();
+    run_once(threads, last);
+    par_ms = std::chrono::duration<double, std::milli>(clock::now() - t0)
+                 .count();
+  }
+  if (last.girth != ref.result.girth || last.rounds != ref.result.rounds ||
+      last.cdl_builds != ref.result.cdl_builds) {
+    state.SkipWithError("parallel girth drifted from the 1-worker reference");
+    return;
+  }
+  if (last.girth < setup.exact) {
+    state.SkipWithError("unsound girth (below exact)");
+    return;
+  }
+  state.counters["n"] = setup.skel.num_vertices();
+  state.counters["D"] = setup.d;
+  state.counters["rounds"] = last.rounds;
+  state.counters["cdl_builds"] = last.cdl_builds;
+  state.counters["found_exact"] = (last.girth == setup.exact) ? 1 : 0;
+  state.counters["girth_threads"] = threads;
+  state.counters["speedup_vs_1t"] = ref.ms / par_ms;
+}
+BENCHMARK(BM_GirthParallel)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
 void BM_GirthUndirected(benchmark::State& state) {
   const int n = static_cast<int>(state.range(0));
   util::Rng grng(200 + n);

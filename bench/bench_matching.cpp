@@ -11,6 +11,8 @@
 // n and the fitted crossover is finite.
 #include "bench_common.hpp"
 
+#include <chrono>
+
 #include "matching/baseline.hpp"
 #include "matching/matching.hpp"
 
@@ -56,6 +58,71 @@ void BM_MatchingSeparation(benchmark::State& state) {
 }
 BENCHMARK(BM_MatchingSeparation)->RangeMultiplier(2)->Range(128, 4096)
     ->Iterations(1)->Unit(benchmark::kMillisecond);
+
+// Deterministic task-parallel arm (ISSUE 4): the divide-and-conquer runs on
+// a TaskPool — per-node-stream TD build, leaf solves and per-step walk
+// queries as tasks, pool-parallel CDL labeling assembly — with every
+// order-sensitive fold at the barriers. Rounds and the matching are
+// scheduling-invariant (identical for every `matching_threads` value) and
+// gated; the bench SkipWithErrors on any drift from the 1-worker reference
+// of the same arm. speedup_vs_1t is host-dependent wall time only.
+void BM_MatchingParallel(benchmark::State& state) {
+  const int threads = static_cast<int>(state.range(0));
+  using clock = std::chrono::steady_clock;
+  static const graph::Graph g = graph::gen::apexed_bipartite_path(1024);
+  static const int diameter = graph::exact_diameter(g);
+
+  auto run_once = [&](int nthreads, matching::DistributedMatchingResult& res) {
+    primitives::RoundLedger ledger;
+    primitives::Engine engine(
+        primitives::EngineMode::kShortcutModel,
+        primitives::CostModel{g.num_vertices(), diameter, 1.0}, &ledger);
+    util::Rng rng(91);
+    exec::TaskPool pool(nthreads);
+    res = matching::max_bipartite_matching(g, matching::MatchingParams{}, rng,
+                                           engine, pool);
+  };
+
+  struct Reference {
+    matching::DistributedMatchingResult result;
+    double ms = 0;
+  };
+  static const Reference ref = [&] {
+    Reference r;
+    run_once(1, r.result);  // untimed warmup
+    const auto t0 = clock::now();
+    run_once(1, r.result);
+    r.ms =
+        std::chrono::duration<double, std::milli>(clock::now() - t0).count();
+    return r;
+  }();
+
+  matching::DistributedMatchingResult last;
+  double par_ms = 0;
+  for (auto _ : state) {
+    const auto t0 = clock::now();
+    run_once(threads, last);
+    par_ms = std::chrono::duration<double, std::milli>(clock::now() - t0)
+                 .count();
+  }
+  if (last.matching.size != ref.result.matching.size ||
+      last.matching.mate != ref.result.matching.mate ||
+      last.rounds != ref.result.rounds ||
+      last.augmentations != ref.result.augmentations) {
+    state.SkipWithError(
+        "parallel matching drifted from the 1-worker reference");
+    return;
+  }
+  state.counters["n"] = g.num_vertices();
+  state.counters["D"] = diameter;
+  state.counters["smax"] = last.matching.size;
+  state.counters["rounds"] = last.rounds;
+  state.counters["cdl_builds"] = last.cdl_builds;
+  state.counters["matching_threads"] = threads;
+  state.counters["speedup_vs_1t"] = ref.ms / par_ms;
+}
+BENCHMARK(BM_MatchingParallel)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
 
 // Secondary family: bipartite grids (τ grows as the grid widens) — checks
 // the τ-dependence of the matching bound.

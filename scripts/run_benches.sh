@@ -2,13 +2,16 @@
 # Runs the gated benchmark arms — the separator hot path (bench_separation,
 # bench_tree_decomposition, including the tree-realized engine arm and the
 # deterministic parallel arm BM_TdParallel, whose td_threads counter records
-# the worker count per record) and the label-decode hot path (bench_girth's
-# BM_GirthDecodeKernel) — and emits BENCH_separator.json: one record per
-# benchmark with wall time and the CONGEST round counters.
+# the worker count per record), the label-decode hot path (bench_girth's
+# BM_GirthDecodeKernel), and the upper-stack deterministic parallel arms
+# (BM_GirthParallel, BM_MatchingParallel; threads 1/2/4/8) — and emits
+# BENCH_separator.json: one record per benchmark with wall time and the
+# CONGEST round counters.
 #
-# BM_TdParallel rounds are scheduling-invariant (identical for every
-# td_threads value), so they gate like every other rounds counter; its
-# speedup_vs_1t counter is host-dependent wall-time information only.
+# BM_TdParallel / BM_GirthParallel / BM_MatchingParallel rounds are
+# scheduling-invariant (identical for every *_threads value), so they gate
+# like every other rounds counter; their speedup_vs_1t counters are
+# host-dependent wall-time information only.
 #
 # Rounds are the reproduction metric and must stay fixed across perf work;
 # wall time is the optimization target (see ARCHITECTURE.md). Comparing two
@@ -26,22 +29,28 @@ if [ ! -d "$BUILD_DIR" ]; then
   cmake -B "$BUILD_DIR" -S .
 fi
 cmake --build "$BUILD_DIR" --target bench_separation bench_tree_decomposition \
-      bench_girth -j"$(nproc)"
+      bench_girth bench_matching -j"$(nproc)"
 
 tmp_sep=$(mktemp)
 tmp_td=$(mktemp)
 tmp_girth=$(mktemp)
-trap 'rm -f "$tmp_sep" "$tmp_td" "$tmp_girth"' EXIT
+tmp_matching=$(mktemp)
+trap 'rm -f "$tmp_sep" "$tmp_td" "$tmp_girth" "$tmp_matching"' EXIT
 
 "$BUILD_DIR"/bench_separation --benchmark_format=json >"$tmp_sep"
 "$BUILD_DIR"/bench_tree_decomposition --benchmark_format=json >"$tmp_td"
-# Decode-bound arm only: the full girth suite is exercised by its own
-# experiment run; the gated record is the flat-label decode kernel (its
-# speedup_vs_aos counter tracks the SoA-vs-AoS decode ratio).
-"$BUILD_DIR"/bench_girth --benchmark_filter=BM_GirthDecodeKernel \
+# Gated girth arms only: the full suite is exercised by its own experiment
+# run; the gated records are the flat-label decode kernel (speedup_vs_aos
+# tracks the SoA-vs-AoS decode ratio) and the deterministic trial-parallel
+# arm (rounds identical across girth_threads).
+"$BUILD_DIR"/bench_girth \
+    '--benchmark_filter=BM_GirthDecodeKernel|BM_GirthParallel' \
     --benchmark_format=json >"$tmp_girth"
+# Matching: only the deterministic task-parallel arm is gated.
+"$BUILD_DIR"/bench_matching --benchmark_filter=BM_MatchingParallel \
+    --benchmark_format=json >"$tmp_matching"
 
-python3 - "$OUT" "$tmp_sep" "$tmp_td" "$tmp_girth" <<'PY'
+python3 - "$OUT" "$tmp_sep" "$tmp_td" "$tmp_girth" "$tmp_matching" <<'PY'
 import json
 import sys
 

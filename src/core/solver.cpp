@@ -89,6 +89,10 @@ matching::DistributedMatchingResult Solver::max_matching(
   matching::MatchingParams params;
   params.td = options_.td;
   params.mode = mode;
+  if (exec::TaskPool* p = pool()) {
+    return matching::max_bipartite_matching(*undirected_, params, rng_,
+                                            *engine_, *p);
+  }
   return matching::max_bipartite_matching(*undirected_, params, rng_,
                                           *engine_);
 }
@@ -96,11 +100,19 @@ matching::DistributedMatchingResult Solver::max_matching(
 girth::GirthResult Solver::girth() {
   if (undirected_input_) return girth_undirected();
   const auto& td = tree_decomposition();
+  if (exec::TaskPool* p = pool()) {
+    return girth::girth_directed(instance_, skeleton_, td.hierarchy, *engine_,
+                                 *p);
+  }
   return girth::girth_directed(instance_, skeleton_, td.hierarchy, *engine_);
 }
 
 girth::GirthResult Solver::girth_undirected() {
   const auto& td = tree_decomposition();
+  if (exec::TaskPool* p = pool()) {
+    return girth::girth_undirected(instance_, skeleton_, td.hierarchy,
+                                   options_.girth, rng_, *engine_, *p);
+  }
   return girth::girth_undirected(instance_, skeleton_, td.hierarchy,
                                  options_.girth, rng_, *engine_);
 }

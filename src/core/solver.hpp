@@ -33,13 +33,16 @@ struct SolverOptions {
   /// Skips the O(n·m) exact diameter computation when the caller knows D.
   std::optional<int> known_diameter;
   girth::UndirectedGirthParams girth;
-  /// Execution width for the TD/labeling stack. 1 (default) = the legacy
+  /// Execution width for the whole stack. 1 (default) = the legacy
   /// sequential arms; any other value (0 = hardware concurrency) runs the
-  /// deterministic per-node-stream TD build and the level-parallel labeling
-  /// assembly on one shared TaskPool. The matching divide-and-conquer keeps
-  /// its sequential arm regardless (ROADMAP open item); td.threads stays
-  /// independent and only governs standalone build_hierarchy dispatch. See
-  /// td::TdParams::threads for the determinism contract.
+  /// deterministic per-node-stream TD build, the level-parallel labeling
+  /// assembly, the matching divide-and-conquer's task arm, and the girth
+  /// trial arm on one shared TaskPool — every result is bit-identical for
+  /// every thread count, but the randomized layers (TD, undirected girth)
+  /// are a different (equally valid) random instance than the sequential
+  /// arms. td.threads stays independent and only governs standalone
+  /// build_hierarchy dispatch. See td::TdParams::threads for the
+  /// determinism contract.
   int threads = 1;
 };
 

@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <array>
 #include <cmath>
+#include <cstdint>
 
+#include "exec/worker_local.hpp"
 #include "graph/algorithms.hpp"
 #include "util/check.hpp"
 #include "util/math.hpp"
@@ -16,6 +18,44 @@ using graph::EdgeId;
 using graph::kInfinity;
 using graph::VertexId;
 using graph::Weight;
+
+namespace {
+
+/// Pairs the symmetric arcs into undirected edges: one sorted flat vector
+/// of (min, max, arc id) triples, built once per sweep. Sorting yields the
+/// same pair order as the seed's std::map (lexicographic by pair), and arc
+/// ids ascend within each pair run, so per-trial RNG consumption and label
+/// assignment are unchanged — without rebuilding a node-based map (and
+/// pointer-chasing it) every call. Returns the number of undirected edges.
+std::int64_t build_arc_triples(const graph::WeightedDigraph& g,
+                               std::vector<std::array<EdgeId, 3>>& triples) {
+  triples.clear();
+  triples.reserve(static_cast<std::size_t>(g.num_arcs()));
+  for (EdgeId e = 0; e < g.num_arcs(); ++e) {
+    const Arc& a = g.arc(e);
+    LOWTW_CHECK_MSG(a.tail != a.head, "undirected girth: self-loop");
+    auto mm = std::minmax(a.tail, a.head);
+    triples.push_back({mm.first, mm.second, e});
+  }
+  std::sort(triples.begin(), triples.end());
+  std::int64_t num_edges = 0;
+  for (std::size_t i = 0; i < triples.size(); ++i) {
+    if (i == 0 || triples[i][0] != triples[i - 1][0] ||
+        triples[i][1] != triples[i - 1][1]) {
+      ++num_edges;
+    }
+  }
+  return num_edges;
+}
+
+/// True iff triple i opens a new undirected-edge run.
+bool new_pair_run(const std::vector<std::array<EdgeId, 3>>& triples,
+                  std::size_t i) {
+  return i == 0 || triples[i][0] != triples[i - 1][0] ||
+         triples[i][1] != triples[i - 1][1];
+}
+
+}  // namespace
 
 Weight directed_cycle_fold(const graph::WeightedDigraph& g,
                            const labeling::FlatLabeling& labels) {
@@ -61,13 +101,20 @@ Weight directed_cycle_fold(const graph::WeightedDigraph& g,
   return girth;
 }
 
-GirthResult girth_directed(const graph::WeightedDigraph& g,
-                           const graph::Graph& skeleton,
-                           const td::Hierarchy& hierarchy,
-                           primitives::Engine& engine) {
+namespace {
+
+GirthResult girth_directed_impl(const graph::WeightedDigraph& g,
+                                const graph::Graph& skeleton,
+                                const td::Hierarchy& hierarchy,
+                                primitives::Engine& engine,
+                                exec::TaskPool* pool) {
   GirthResult result;
   const double before = engine.ledger().total();
-  auto dl = labeling::build_distance_labeling(g, skeleton, hierarchy, engine);
+  auto dl = pool != nullptr
+                ? labeling::build_distance_labeling(g, skeleton, hierarchy,
+                                                    engine, *pool)
+                : labeling::build_distance_labeling(g, skeleton, hierarchy,
+                                                    engine);
 
   // Per-edge label exchange: all edges in parallel, pipelined over the
   // label entries (3 words each); then a global min aggregation (one PA).
@@ -80,6 +127,22 @@ GirthResult girth_directed(const graph::WeightedDigraph& g,
   return result;
 }
 
+}  // namespace
+
+GirthResult girth_directed(const graph::WeightedDigraph& g,
+                           const graph::Graph& skeleton,
+                           const td::Hierarchy& hierarchy,
+                           primitives::Engine& engine) {
+  return girth_directed_impl(g, skeleton, hierarchy, engine, nullptr);
+}
+
+GirthResult girth_directed(const graph::WeightedDigraph& g,
+                           const graph::Graph& skeleton,
+                           const td::Hierarchy& hierarchy,
+                           primitives::Engine& engine, exec::TaskPool& pool) {
+  return girth_directed_impl(g, skeleton, hierarchy, engine, &pool);
+}
+
 GirthResult girth_undirected(const graph::WeightedDigraph& g,
                              const graph::Graph& skeleton,
                              const td::Hierarchy& hierarchy,
@@ -88,29 +151,11 @@ GirthResult girth_undirected(const graph::WeightedDigraph& g,
   GirthResult result;
   const double before = engine.ledger().total();
 
-  // Pair up the symmetric arcs into undirected edges: one sorted flat
-  // vector of (min, max, arc id) triples, built once. Sorting yields the
-  // same pair order as the seed's std::map (lexicographic by pair), and
-  // arc ids ascend within each pair run, so the per-trial RNG consumption
-  // and label assignment are unchanged — without rebuilding a node-based
-  // map (and pointer-chasing it) every call.
   std::vector<std::array<EdgeId, 3>> arc_triples;
-  arc_triples.reserve(static_cast<std::size_t>(g.num_arcs()));
-  for (EdgeId e = 0; e < g.num_arcs(); ++e) {
-    const Arc& a = g.arc(e);
-    LOWTW_CHECK_MSG(a.tail != a.head, "undirected girth: self-loop");
-    auto mm = std::minmax(a.tail, a.head);
-    arc_triples.push_back({mm.first, mm.second, e});
-  }
-  std::sort(arc_triples.begin(), arc_triples.end());
+  const std::int64_t num_edges = build_arc_triples(g, arc_triples);
   auto new_run = [&arc_triples](std::size_t i) {
-    return i == 0 || arc_triples[i][0] != arc_triples[i - 1][0] ||
-           arc_triples[i][1] != arc_triples[i - 1][1];
+    return new_pair_run(arc_triples, i);
   };
-  std::int64_t num_edges = 0;
-  for (std::size_t i = 0; i < arc_triples.size(); ++i) {
-    if (new_run(i)) ++num_edges;
-  }
   if (num_edges == 0) {
     result.rounds = engine.ledger().total() - before;
     return result;
@@ -155,6 +200,110 @@ GirthResult girth_undirected(const graph::WeightedDigraph& g,
           result.girth = gv;
           success_at_scale = true;
         }
+      }
+    }
+    if (params.early_stop_scales > 0 && result.girth < kInfinity) {
+      scales_since_success = success_at_scale ? 0 : scales_since_success + 1;
+      if (scales_since_success >= params.early_stop_scales) break;
+    }
+  }
+  result.rounds = engine.ledger().total() - before;
+  return result;
+}
+
+GirthResult girth_undirected(const graph::WeightedDigraph& g,
+                             const graph::Graph& skeleton,
+                             const td::Hierarchy& hierarchy,
+                             const UndirectedGirthParams& params,
+                             util::Rng& rng, primitives::Engine& engine,
+                             exec::TaskPool& pool) {
+  GirthResult result;
+  const double before = engine.ledger().total();
+
+  std::vector<std::array<EdgeId, 3>> arc_triples;
+  const std::int64_t num_edges = build_arc_triples(g, arc_triples);
+  if (num_edges == 0) {
+    result.rounds = engine.ledger().total() - before;
+    return result;
+  }
+
+  walks::CountWalkConstraint cons(1);
+  const int q1 = cons.count_state(1);
+  const int n = g.num_vertices();
+  const int trials = params.trials_per_scale > 0
+                         ? params.trials_per_scale
+                         : static_cast<int>(std::ceil(3.0 * util::log2n(n)));
+
+  // One draw of the caller's stream seeds the sweep; every (scale, trial)
+  // then forks its own stream — no trial ever observes another trial's
+  // draws, so outcomes are invariant under scheduling and worker count.
+  const util::Rng trial_base = rng.split();
+
+  // Shared read-only intermediates (lifted hierarchy, product skeleton) and
+  // per-worker CdlResult rebuild slots; each worker additionally keeps its
+  // own labeled copy of g, rewritten in full every trial.
+  walks::CdlWorkspace cdl_ws;
+  cdl_ws.prepare(skeleton, hierarchy, cons.num_states(), pool.num_workers());
+  struct TrialWorker {
+    graph::WeightedDigraph labeled;
+    bool labeled_init = false;
+    primitives::RoundLedger ledger;
+  };
+  exec::WorkerLocal<TrialWorker> workers(pool);
+
+  // What a trial hands the barrier: its best positive g(v) (the per-vertex
+  // min-fold is order-invariant) and its detached charges.
+  struct TrialOutcome {
+    Weight best = kInfinity;
+    primitives::RoundLedger::BranchRecord charges;
+  };
+  std::vector<TrialOutcome> outcomes(static_cast<std::size_t>(trials));
+
+  std::uint64_t stream_base = 0;
+  int scales_since_success = 0;
+  for (std::int64_t c_hat = 1; c_hat <= 2 * num_edges; c_hat *= 2) {
+    pool.run(trials, [&](int trial, int wi) {
+      TrialWorker& w = workers[wi];
+      TrialOutcome& out = outcomes[static_cast<std::size_t>(trial)];
+      out.best = kInfinity;
+      if (!w.labeled_init) {
+        w.labeled = g;
+        w.labeled_init = true;
+      }
+      util::Rng trng =
+          trial_base.fork(stream_base + static_cast<std::uint64_t>(trial));
+      const double p = 1.0 / (3.0 * static_cast<double>(c_hat));
+      std::int32_t label = 0;
+      for (std::size_t i = 0; i < arc_triples.size(); ++i) {
+        if (new_pair_run(arc_triples, i)) label = trng.next_bool(p) ? 1 : 0;
+        w.labeled.mutable_arc(arc_triples[i][2]).label = label;
+      }
+      w.ledger.reset();
+      primitives::Engine eng = engine.fork_onto(w.ledger);
+      walks::CdlResult& cdl = cdl_ws.worker_cdl[static_cast<std::size_t>(wi)];
+      walks::build_cdl_into(w.labeled, skeleton, hierarchy, cons, eng,
+                            &cdl_ws, cdl);
+      eng.pa(primitives::PartStats{1, 0}, "girth/aggregate");
+      for (VertexId v = 0; v < n; ++v) {
+        Weight gv = cdl.distance(v, v, q1);
+        if (gv > 0 && gv < out.best) out.best = gv;
+      }
+      w.ledger.snapshot(out.charges);
+    });
+    stream_base += static_cast<std::uint64_t>(trials);
+
+    // Scale barrier: fold charges (trials repeat over the same network, so
+    // they compose sequentially, as in the one-stream arm) and the best
+    // cycle in ascending trial order — the lowest trial index wins ties,
+    // exactly as a serial walk of the same streams would.
+    bool success_at_scale = false;
+    for (int trial = 0; trial < trials; ++trial) {
+      const TrialOutcome& out = outcomes[static_cast<std::size_t>(trial)];
+      engine.ledger().merge_sequential(out.charges);
+      ++result.cdl_builds;
+      if (out.best < result.girth) {
+        result.girth = out.best;
+        success_at_scale = true;
       }
     }
     if (params.early_stop_scales > 0 && result.girth < kInfinity) {

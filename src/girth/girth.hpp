@@ -15,6 +15,7 @@
 // scale — some vertex of that cycle attains g(v) = g.
 #pragma once
 
+#include "exec/task_pool.hpp"
 #include "labeling/distance_labeling.hpp"
 #include "primitives/engine.hpp"
 #include "td/builder.hpp"
@@ -34,6 +35,15 @@ GirthResult girth_directed(const graph::WeightedDigraph& g,
                            const graph::Graph& skeleton,
                            const td::Hierarchy& hierarchy,
                            primitives::Engine& engine);
+
+/// Pool overload: the inner distance-labeling assembly runs level-parallel
+/// on `pool`. The labeling recursion draws no randomness, so girth, rounds,
+/// and breakdown are bit-identical to the sequential overload for every
+/// pool size.
+GirthResult girth_directed(const graph::WeightedDigraph& g,
+                           const graph::Graph& skeleton,
+                           const td::Hierarchy& hierarchy,
+                           primitives::Engine& engine, exec::TaskPool& pool);
 
 /// The decode-bound kernel of girth_directed: min over arcs (t→h) of
 /// w(t,h) + dec(h, t), batched by head over the flat label store (pin the
@@ -59,6 +69,23 @@ GirthResult girth_undirected(const graph::WeightedDigraph& g,
                              const td::Hierarchy& hierarchy,
                              const UndirectedGirthParams& params,
                              util::Rng& rng, primitives::Engine& engine);
+
+/// Deterministic trial-parallel arm (ISSUE 4): one draw of `rng` seeds the
+/// sweep, every (scale, trial) CDL rebuild runs as a task on its own forked
+/// stream against per-worker labeled-graph / product / label buffers
+/// (WorkerLocal + CdlWorkspace::worker_cdl), and the per-scale barrier
+/// folds trial charges and the best-cycle reduction in ascending trial
+/// order (lowest trial index wins ties, exactly like a serial walk of the
+/// same streams). Girth, cdl_builds, rounds, and the ledger breakdown are
+/// bit-identical for every pool size — a different (equally valid) random
+/// instance than the sequential overload, which keeps its one shared
+/// stream.
+GirthResult girth_undirected(const graph::WeightedDigraph& g,
+                             const graph::Graph& skeleton,
+                             const td::Hierarchy& hierarchy,
+                             const UndirectedGirthParams& params,
+                             util::Rng& rng, primitives::Engine& engine,
+                             exec::TaskPool& pool);
 
 /// Baseline round cost for girth in general graphs: the Õ(min{g·n^(1-Θ(1/g)),
 /// n}) algorithm of [CHFG+20]; we charge its n-clause (the relevant one for

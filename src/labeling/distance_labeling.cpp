@@ -66,6 +66,7 @@ class BagMatrixPool {
     m.k = k;
     m.d.assign(k * k, kInfinity);
     for (std::size_t i = 0; i < k; ++i) m.at(i, i) = 0;
+    ++balance_;
   }
 
   void release(BagMatrix&& m) {
@@ -74,10 +75,19 @@ class BagMatrixPool {
       free_.push_back(std::move(m.d));
     }
     m.d = {};
+    --balance_;
   }
+
+  /// Acquire-minus-release tally. Negative per pool is legal (the barrier
+  /// recycles a matrix round-robin into whichever pool is next, not the one
+  /// that acquired it); the *sum* across a build's pools at a level barrier
+  /// must equal the matrices parked in node_rows for the next level — the
+  /// pool-empty-at-barrier invariant checked after every phase B.
+  int balance() const { return balance_; }
 
  private:
   std::vector<std::vector<Weight>> free_;
+  int balance_ = 0;
 };
 
 /// One leaf's G_x as a local CSR: arcs grouped by tail (local ids), heads and
@@ -422,6 +432,19 @@ DlResult build_distance_labeling_impl(const graph::WeightedDigraph& g,
             std::move(node_rows[ci]));
         release_rr = (release_rr + 1) % num_workers;
       }
+    }
+
+    // Pool-empty-at-barrier: with this level's phase B done, every deeper
+    // matrix has been released (each deeper node's parent sits on this
+    // level), so the only live matrices are this level's own — one per
+    // node, parked in node_rows for the next (shallower) level.
+    {
+      int live = 0;
+      for (DlWorker& w : workers) live += w.mat_pool.balance();
+      LOWTW_CHECK_MSG(live == static_cast<int>(level.size()),
+                      "BagMatrixPool leak at level barrier: " << live
+                          << " live matrices vs " << level.size()
+                          << " level nodes");
     }
   }
 

@@ -1,7 +1,9 @@
 #include "matching/matching.hpp"
 
 #include <algorithm>
+#include <optional>
 
+#include "exec/worker_local.hpp"
 #include "graph/algorithms.hpp"
 #include "graph/csr.hpp"
 #include "graph/workspace.hpp"
@@ -233,6 +235,251 @@ DistributedMatchingResult max_bipartite_matching(const graph::Graph& g,
         // charge the measured cost without redoing the label computation.
         engine.rounds(calibrated_cdl_rounds, "matching/cdl");
         // Reuse the scratch product-graph buffers for the mask-only rebuild.
+        walks::build_product_graph(masked, cons, cdl_scratch.product);
+        run_step(masked, cdl_scratch.product, nullptr, level, step,
+                 *level_it);
+      }
+    }
+  }
+
+  LOWTW_CHECK(is_valid_matching(g, mate));
+  for (VertexId v = 0; v < n; ++v) {
+    if (mate[v] != kNoVertex && v < mate[v]) ++result.matching.size;
+  }
+  result.rounds = engine.ledger().total() - rounds_before;
+  return result;
+}
+
+DistributedMatchingResult max_bipartite_matching(const graph::Graph& g,
+                                                 const MatchingParams& params,
+                                                 util::Rng& rng,
+                                                 primitives::Engine& engine,
+                                                 exec::TaskPool& pool) {
+  const int n = g.num_vertices();
+  LOWTW_CHECK_MSG(graph::bipartite_sides(g).has_value(),
+                  "max_bipartite_matching requires a bipartite graph");
+  const double rounds_before = engine.ledger().total();
+  const graph::CsrGraph gcsr(g);
+
+  DistributedMatchingResult result;
+  auto td = td::build_hierarchy(g, params.td, rng, engine, pool);
+  result.t_used = td.t_used;
+  result.td_width = td.td.width();
+  const td::Hierarchy& hierarchy = td.hierarchy;
+
+  // Vertex roles — identical to the sequential arm.
+  std::vector<VertexRole> role(static_cast<std::size_t>(n));
+  for (std::size_t x = 0; x < hierarchy.nodes.size(); ++x) {
+    const td::HierarchyNode& node = hierarchy.nodes[x];
+    if (node.leaf) {
+      for (VertexId v : node.comp) {
+        role[v] = VertexRole{node.depth, -1, true, static_cast<int>(x)};
+      }
+    } else {
+      for (std::size_t i = 0; i < node.separator.size(); ++i) {
+        role[node.separator[i]] = VertexRole{
+            node.depth, static_cast<int>(i), false, static_cast<int>(x)};
+      }
+    }
+  }
+  for (VertexId v = 0; v < n; ++v) {
+    LOWTW_CHECK_MSG(role[v].node != -1, "vertex " << v << " unowned");
+  }
+
+  auto& mate = result.matching.mate;
+  mate.assign(static_cast<std::size_t>(n), kNoVertex);
+
+  const auto edges = g.edges();
+  walks::ColoredWalkConstraint cons(2);
+  const int target_state = cons.color_state(0);
+
+  auto active_at = [&](VertexId v, int level, int step) {
+    const VertexRole& r = role[v];
+    if (r.leaf) return r.depth >= level;
+    return r.depth > level || (r.depth == level && r.index <= step);
+  };
+  auto build_masked = [&](int level, int step) {
+    graph::WeightedDigraph d(n);
+    for (auto [u, v] : edges) {
+      bool act = active_at(u, level, step) && active_at(v, level, step);
+      Weight w = act ? 1 : kInfinity;
+      std::int32_t color = (mate[u] == v) ? 1 : 0;
+      d.add_arc(u, v, w, color);
+      d.add_arc(v, u, w, color);
+    }
+    return d;
+  };
+
+  const bool need_stats =
+      engine.mode() == primitives::EngineMode::kTreeRealized;
+
+  /// Per-worker scratch (exec::WorkerLocal contents-never-leak contract):
+  /// detached ledger, traversal scratch for part stats and leaf induction,
+  /// the leaf-subgraph buffer, and the walk-target mask.
+  struct MatchWorker {
+    primitives::RoundLedger ledger;
+    graph::TraversalWorkspace tw;
+    graph::CsrGraph comp_graph;
+    std::vector<char> target;
+  };
+  exec::WorkerLocal<MatchWorker> workers(pool);
+  for (MatchWorker& w : workers) w.tw.ensure(n);
+
+  std::vector<int> task_nodes;  // this dispatch's nodes, ascending
+  std::vector<primitives::RoundLedger::BranchRecord> charges;
+  std::vector<std::optional<walks::ConstrainedWalk>> found_walks;
+
+  // Insertion step `step` for every eligible internal node of the level,
+  // as tasks. Tasks read `mate` (the step-start state: flips apply at the
+  // barrier) and write only their own slots; a walk from s stays inside s's
+  // subtree — every edge to another same-level subtree crosses an inactive
+  // ancestor separator and is masked to ∞ — so the step's walks are
+  // vertex-disjoint and the barrier flips, applied in ascending node order,
+  // reproduce the sequential interleaving exactly.
+  auto run_step = [&](const graph::WeightedDigraph& masked,
+                      const walks::ProductGraph& product,
+                      const walks::CdlResult* cdl, int level, int step,
+                      const std::vector<int>& level_nodes) {
+    task_nodes.clear();
+    for (int xi : level_nodes) {
+      const td::HierarchyNode& node = hierarchy.nodes[xi];
+      if (!node.leaf && step < static_cast<int>(node.separator.size())) {
+        task_nodes.push_back(xi);
+      }
+    }
+    charges.resize(task_nodes.size());
+    found_walks.assign(task_nodes.size(), std::nullopt);
+    pool.run(static_cast<int>(task_nodes.size()), [&](int ti, int wi) {
+      MatchWorker& w = workers[wi];
+      const td::HierarchyNode& node =
+          hierarchy.nodes[task_nodes[static_cast<std::size_t>(ti)]];
+      w.ledger.reset();
+      primitives::Engine eng = engine.fork_onto(w.ledger);
+      VertexId s = node.separator[step];
+      LOWTW_CHECK_MSG(mate[s] == kNoVertex, "separator vertex pre-matched");
+      w.target.assign(static_cast<std::size_t>(n), 0);
+      for (VertexId v = 0; v < n; ++v) {
+        w.target[v] =
+            (v != s && mate[v] == kNoVertex && active_at(v, level, step)) ? 1
+                                                                          : 0;
+      }
+      auto walk = walks::shortest_constrained_walk(product, s, w.target,
+                                                   target_state, eng);
+      primitives::PartStats stats =
+          need_stats
+              ? primitives::part_stats(
+                    gcsr, std::span<const VertexId>(node.comp), w.tw)
+              : primitives::PartStats{1, 0};
+      eng.op(stats, "matching/aggregate");
+      if (walk.has_value()) {
+        if (cdl != nullptr) {
+          LOWTW_CHECK_MSG(
+              cdl->distance(s, walk->target, target_state) == walk->length,
+              "label-decoded augmenting distance mismatch");
+        }
+        LOWTW_CHECK_MSG(walk->arcs.size() % 2 == 1,
+                        "augmenting walk of even length");
+        {
+          std::vector<VertexId> visited{s};
+          for (graph::EdgeId e : walk->arcs) {
+            visited.push_back(masked.arc(e).head);
+          }
+          std::sort(visited.begin(), visited.end());
+          LOWTW_CHECK_MSG(std::adjacent_find(visited.begin(),
+                                             visited.end()) == visited.end(),
+                          "non-simple augmenting walk");
+        }
+        eng.rounds(static_cast<double>(walk->arcs.size()), "matching/flip");
+      }
+      found_walks[static_cast<std::size_t>(ti)] = std::move(walk);
+      w.ledger.snapshot(charges[static_cast<std::size_t>(ti)]);
+    });
+    {
+      auto par = engine.ledger().parallel();
+      for (const auto& rec : charges) engine.ledger().merge_branch(rec);
+    }
+    for (std::size_t ti = 0; ti < task_nodes.size(); ++ti) {
+      ++result.insertion_steps;
+      if (!found_walks[ti].has_value()) continue;
+      for (std::size_t i = 0; i < found_walks[ti]->arcs.size(); i += 2) {
+        const graph::Arc& a = masked.arc(found_walks[ti]->arcs[i]);
+        mate[a.tail] = a.head;
+        mate[a.head] = a.tail;
+      }
+      ++result.augmentations;
+    }
+  };
+
+  walks::CdlWorkspace cdl_ws;
+  walks::CdlResult cdl_scratch;
+
+  auto levels = hierarchy.levels();
+  for (auto level_it = levels.rbegin(); level_it != levels.rend(); ++level_it) {
+    const int level = hierarchy.nodes[(*level_it)[0]].depth;
+
+    // Leaves of this level as tasks: each leaf writes only its own
+    // component's mate entries (leaf components are vertex-disjoint) and
+    // reads no other leaf's, so in-task writes are safe and deterministic.
+    {
+      task_nodes.clear();
+      for (int xi : *level_it) {
+        if (hierarchy.nodes[xi].leaf) task_nodes.push_back(xi);
+      }
+      charges.resize(task_nodes.size());
+      pool.run(static_cast<int>(task_nodes.size()), [&](int ti, int wi) {
+        MatchWorker& w = workers[wi];
+        const td::HierarchyNode& node =
+            hierarchy.nodes[task_nodes[static_cast<std::size_t>(ti)]];
+        w.ledger.reset();
+        primitives::Engine eng = engine.fork_onto(w.ledger);
+        w.tw.build_map(n, node.comp);
+        w.comp_graph.assign_induced(gcsr, node.comp, w.tw.map);
+        w.tw.clear_map(node.comp);
+        primitives::PartStats stats =
+            need_stats ? primitives::part_stats(
+                             gcsr, std::span<const VertexId>(node.comp), w.tw)
+                       : primitives::PartStats{1, 0};
+        eng.bct(stats,
+                static_cast<double>(w.comp_graph.num_edges() +
+                                    w.comp_graph.num_vertices()),
+                "matching/leaf");
+        Matching local = hopcroft_karp(w.comp_graph);
+        for (VertexId lv = 0; lv < w.comp_graph.num_vertices(); ++lv) {
+          if (local.mate[lv] != kNoVertex) {
+            mate[node.comp[lv]] = node.comp[local.mate[lv]];
+          }
+        }
+        w.ledger.snapshot(charges[static_cast<std::size_t>(ti)]);
+      });
+      auto par = engine.ledger().parallel();
+      for (const auto& rec : charges) engine.ledger().merge_branch(rec);
+    }
+
+    int max_k = 0;
+    for (int xi : *level_it) {
+      if (!hierarchy.nodes[xi].leaf) {
+        max_k = std::max(
+            max_k, static_cast<int>(hierarchy.nodes[xi].separator.size()));
+      }
+    }
+    double calibrated_cdl_rounds = -1;
+    for (int step = 0; step < max_k; ++step) {
+      graph::WeightedDigraph masked = build_masked(level, step);
+      if (params.mode == MatchingMode::kFaithful) {
+        walks::build_cdl_into(masked, g, hierarchy, cons, engine, &cdl_ws,
+                              cdl_scratch, &pool);
+        ++result.cdl_builds;
+        run_step(masked, cdl_scratch.product, &cdl_scratch, level, step,
+                 *level_it);
+      } else if (calibrated_cdl_rounds < 0) {
+        walks::build_cdl_into(masked, g, hierarchy, cons, engine, &cdl_ws,
+                              cdl_scratch, &pool);
+        ++result.cdl_builds;
+        calibrated_cdl_rounds = cdl_scratch.rounds;
+        run_step(masked, cdl_scratch.product, nullptr, level, step,
+                 *level_it);
+      } else {
+        engine.rounds(calibrated_cdl_rounds, "matching/cdl");
         walks::build_product_graph(masked, cons, cdl_scratch.product);
         run_step(masked, cdl_scratch.product, nullptr, level, step,
                  *level_it);

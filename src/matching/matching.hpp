@@ -25,6 +25,7 @@
 //               are identical; see DESIGN.md §3.3.
 #pragma once
 
+#include "exec/task_pool.hpp"
 #include "matching/hopcroft_karp.hpp"
 #include "primitives/engine.hpp"
 #include "td/builder.hpp"
@@ -54,5 +55,24 @@ DistributedMatchingResult max_bipartite_matching(const graph::Graph& g,
                                                  const MatchingParams& params,
                                                  util::Rng& rng,
                                                  primitives::Engine& engine);
+
+/// Deterministic task-parallel arm (ISSUE 4): the hierarchy builds on the
+/// per-node-stream TD arm, each level's leaf solves and each insertion
+/// step's per-component walk queries dispatch as tasks over per-worker
+/// scratch, the per-step CDL rebuild runs its labeling assembly on the same
+/// pool, and everything order-sensitive — ledger merges
+/// (RoundLedger::BranchRecord, ascending node order), matching flips, the
+/// result counters — happens at the barrier in the sequential arm's order.
+/// Augmenting walks of one step live in vertex-disjoint subtrees (inactive
+/// ancestor separators mask every cross-subtree edge to cost ∞), so the
+/// barrier-applied flips reproduce the inline walk exactly. Matching, round
+/// totals, breakdown, and counters are bit-identical for every pool size;
+/// the underlying decomposition is the (equally valid) stream-arm instance,
+/// not the sequential overload's.
+DistributedMatchingResult max_bipartite_matching(const graph::Graph& g,
+                                                 const MatchingParams& params,
+                                                 util::Rng& rng,
+                                                 primitives::Engine& engine,
+                                                 exec::TaskPool& pool);
 
 }  // namespace lowtw::matching

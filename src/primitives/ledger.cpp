@@ -125,6 +125,24 @@ void RoundLedger::merge_branch(const BranchRecord& rec) {
   g.any_branch = true;
 }
 
+void RoundLedger::merge_sequential(const BranchRecord& rec) {
+  Frame& f = top();
+  // One addition for the whole record: rec.total was accumulated in the
+  // task's charge order (deterministic per task), so the fold order here is
+  // the caller's record order — never the record's tag layout, which
+  // depends on which tasks a worker ledger served before.
+  f.total += rec.total;
+  for (const auto& [tag, rounds] : rec.by_tag) {
+    const int id = intern(tag);
+    if (f.by_tag.size() <= static_cast<std::size_t>(id)) {
+      f.by_tag.resize(static_cast<std::size_t>(id) + 1, 0.0);
+      f.touched.resize(static_cast<std::size_t>(id) + 1, 0);
+    }
+    f.by_tag[id] += rounds;
+    f.touched[id] = 1;
+  }
+}
+
 void RoundLedger::end_parallel() {
   LOWTW_CHECK(!groups_.empty());
   LOWTW_CHECK_MSG(stack_.size() == group_base_.back(),

@@ -91,6 +91,15 @@ class RoundLedger {
   /// order so the result matches a serial walk of the same branches.
   void merge_branch(const BranchRecord& rec);
 
+  /// Folds `rec` into the innermost frame as a *sequential* step: the
+  /// record's total is added once (so the fold is invariant under the
+  /// worker-dependent tag-interning order inside the record), and each
+  /// per-tag sum is added to that tag's accumulator. Trial loops that run
+  /// repetitions as tasks (separator attempts, girth trials) record each
+  /// repetition detached and fold the kept prefix here in ascending trial
+  /// order — bit-identical for every worker count, including 1.
+  void merge_sequential(const BranchRecord& rec);
+
   /// RAII helper:
   ///   { auto par = ledger.parallel();
   ///     { auto br = par.branch(); ...charges... }

@@ -1,6 +1,7 @@
 #include "td/builder.hpp"
 
 #include <algorithm>
+#include <optional>
 #include <utility>
 
 #include "exec/worker_local.hpp"
@@ -223,6 +224,12 @@ TdBuildResult build_hierarchy_streams(const Graph& g, const TdParams& params,
   }
   std::vector<int> frontier{0};
   exec::WorkerLocal<TdWorker> workers(pool);
+  // Per-worker slots for the within-branch batched trials (allocated only
+  // when the knob is on; the batched levels run branch bodies inline, so
+  // TdWorker slot 0 and these slots are never live at the same time on one
+  // worker).
+  std::optional<exec::WorkerLocal<SepBatchSlot>> batch_slots;
+  if (params.batch_sep_trials) batch_slots.emplace(pool);
   std::vector<BranchOutcome> outcomes;
 
   while (!frontier.empty()) {
@@ -233,7 +240,13 @@ TdBuildResult build_hierarchy_streams(const Graph& g, const TdParams& params,
     const int level_t = t;
     outcomes.resize(frontier.size());
 
-    pool.run(static_cast<int>(frontier.size()), [&](int ti, int wi) {
+    // One branch body, parameterized over how the separator trials run: the
+    // legacy stream arm (one branch stream consumed across trials), the
+    // per-attempt-stream arm (task-side of a batch_sep_trials build), or the
+    // within-branch batched arm (inline-side). The latter two are
+    // bit-identical by the find_balanced_separator_batched contract, so the
+    // per-level dispatch below never shows in the results.
+    auto branch_body = [&](int ti, int wi, auto&& run_sep) {
       TdWorker& w = workers[wi];
       BranchOutcome& out = outcomes[static_cast<std::size_t>(ti)];
       out.leaf = false;
@@ -246,9 +259,7 @@ TdBuildResult build_hierarchy_streams(const Graph& g, const TdParams& params,
 
       // Tasks write only their own node's fields; children are appended to
       // the (possibly reallocating) node table at the barrier instead.
-      SeparatorResult sep = find_balanced_separator(
-          csr, nodes[xi].comp, nodes[xi].comp, params.sep, branch_rng, eng,
-          level_t, w.sep_ws);
+      SeparatorResult sep = run_sep(xi, branch_rng, eng, w);
       out.t_used = sep.t_used;
       nodes[xi].separator = std::move(sep.separator);
 
@@ -308,7 +319,43 @@ TdBuildResult build_hierarchy_streams(const Graph& g, const TdParams& params,
       LOWTW_CHECK_MSG(!out.children.empty(),
                       "non-leaf hierarchy node without children");
       w.ledger.snapshot(out.charges);
-    });
+    };
+
+    if (params.batch_sep_trials &&
+        static_cast<int>(frontier.size()) < pool.num_workers()) {
+      // Fewer branches than workers: run the branch bodies inline and let
+      // each branch's separator trials fill the pool instead.
+      for (std::size_t ti = 0; ti < frontier.size(); ++ti) {
+        branch_body(static_cast<int>(ti), 0,
+                    [&](int xi, util::Rng& branch_rng, primitives::Engine& eng,
+                        TdWorker&) {
+                      return find_balanced_separator_batched(
+                          csr, nodes[xi].comp, nodes[xi].comp, params.sep,
+                          branch_rng, eng, level_t, *batch_slots, pool,
+                          static_cast<std::uint64_t>(xi) + 1);
+                    });
+      }
+    } else if (params.batch_sep_trials) {
+      pool.run(static_cast<int>(frontier.size()), [&](int ti, int wi) {
+        branch_body(ti, wi,
+                    [&](int xi, util::Rng& branch_rng, primitives::Engine& eng,
+                        TdWorker& w) {
+                      return find_balanced_separator_streamed(
+                          csr, nodes[xi].comp, nodes[xi].comp, params.sep,
+                          branch_rng, eng, level_t, w.sep_ws);
+                    });
+      });
+    } else {
+      pool.run(static_cast<int>(frontier.size()), [&](int ti, int wi) {
+        branch_body(ti, wi,
+                    [&](int xi, util::Rng& branch_rng, primitives::Engine& eng,
+                        TdWorker& w) {
+                      return find_balanced_separator(
+                          csr, nodes[xi].comp, nodes[xi].comp, params.sep,
+                          branch_rng, eng, level_t, w.sep_ws);
+                    });
+      });
+    }
 
     // Level barrier. Everything order-sensitive happens here, single
     // threaded, in ascending node-id order (the frontier is ascending by

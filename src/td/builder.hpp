@@ -79,6 +79,18 @@ struct TdParams {
   ///     every worker count, but constitutes a different (equally valid)
   ///     random instance than the legacy arm.
   int threads = 1;
+  /// Within-branch separator-trial batching (stream arm only; ignored by the
+  /// legacy threads == 1 dispatch). When set, every branch runs its Sep
+  /// attempts on per-attempt forked streams (branch stream → attempt index),
+  /// and levels with fewer branches than pool workers execute their branch
+  /// bodies inline while each branch's attempts fan out across the pool
+  /// (find_balanced_separator_batched) — so the top of the hierarchy, where
+  /// cross-branch parallelism is 1-wide, still fills the machine. Lowest-
+  /// index-success selection and prefix-only charge folding make the two
+  /// dispatches bit-identical, so results and ledger totals stay invariant
+  /// across worker counts — but the per-attempt streams are a different
+  /// (equally valid) random instance than batch_sep_trials = false.
+  bool batch_sep_trials = false;
 };
 
 struct TdBuildResult {

@@ -521,6 +521,122 @@ SeparatorResult find_balanced_separator(const CsrGraph& host,
   }
 }
 
+SeparatorResult find_balanced_separator_streamed(
+    const CsrGraph& host, std::span<const VertexId> part,
+    std::span<const VertexId> x_set, const SepParams& params,
+    const util::Rng& attempt_base, primitives::Engine& engine, int t_initial,
+    SepWorkspace& ws) {
+  ws.prepare(host, part, x_set);
+  SeparatorResult result;
+  int t = std::max(1, t_initial);
+  const int n_part = static_cast<int>(part.size());
+  for (;;) {
+    engine.set_tw_hint(t);
+    const int trials = params.trials(n_part);
+    std::optional<std::vector<VertexId>> sep;
+    for (int trial = 0; trial < trials; ++trial) {
+      // Attempt stream = fork(total attempts started so far): the batched
+      // arm reconstructs exactly these indices, round by round.
+      util::Rng arng =
+          attempt_base.fork(static_cast<std::uint64_t>(result.attempts));
+      ++result.attempts;
+      ws.trial_ledger.reset();
+      primitives::Engine eng = engine.fork_onto(ws.trial_ledger);
+      sep = sep_attempt_local(ws, part, t, params, arng, eng);
+      ws.trial_ledger.snapshot(ws.trial_record);
+      engine.ledger().merge_sequential(ws.trial_record);
+      if (sep.has_value()) break;
+    }
+    if (sep.has_value()) {
+      result.separator =
+          params.minimize_rounds > 0
+              ? minimize_separator(host, part, x_set, std::move(*sep),
+                                   params.balance, params.minimize_rounds,
+                                   engine, ws)
+              : std::move(*sep);
+      result.t_used = t;
+      return result;
+    }
+    LOWTW_CHECK_MSG(t <= 2 * n_part, "separator doubling ran away");
+    t *= 2;
+  }
+}
+
+SeparatorResult find_balanced_separator_batched(
+    const CsrGraph& host, std::span<const VertexId> part,
+    std::span<const VertexId> x_set, const SepParams& params,
+    const util::Rng& attempt_base, primitives::Engine& engine, int t_initial,
+    exec::WorkerLocal<SepBatchSlot>& slots, exec::TaskPool& pool,
+    std::uint64_t key) {
+  LOWTW_CHECK_MSG(key != 0, "batched separator key 0 is reserved");
+  SeparatorResult result;
+  int t = std::max(1, t_initial);
+  const int n_part = static_cast<int>(part.size());
+  std::vector<std::optional<std::vector<VertexId>>> seps;
+  std::vector<primitives::RoundLedger::BranchRecord> recs;
+  for (;;) {
+    engine.set_tw_hint(t);
+    const int trials = params.trials(n_part);
+    // result.attempts at round start = total attempts of all failed rounds,
+    // the same stream base the streamed arm reaches here.
+    const auto stream_base = static_cast<std::uint64_t>(result.attempts);
+    seps.assign(static_cast<std::size_t>(trials), std::nullopt);
+    recs.resize(static_cast<std::size_t>(trials));
+    int winner = -1;
+    // Chunks of the pool width: the first chunk containing a success is the
+    // last to run, and the lowest success inside it is the global lowest
+    // (chunks ascend) — so the selection, and everything downstream, is
+    // independent of the chunking and hence of the worker count.
+    const int chunk = std::max(1, pool.num_workers());
+    for (int begin = 0; begin < trials && winner < 0; begin += chunk) {
+      const int count = std::min(chunk, trials - begin);
+      pool.run(count, [&](int ti, int wi) {
+        const int trial = begin + ti;
+        SepBatchSlot& slot = slots[wi];
+        if (slot.prepared_key != key) {
+          slot.ws.prepare(host, part, x_set);
+          slot.prepared_key = key;
+        }
+        util::Rng arng =
+            attempt_base.fork(stream_base + static_cast<std::uint64_t>(trial));
+        slot.ws.trial_ledger.reset();
+        primitives::Engine eng = engine.fork_onto(slot.ws.trial_ledger);
+        seps[static_cast<std::size_t>(trial)] =
+            sep_attempt_local(slot.ws, part, t, params, arng, eng);
+        slot.ws.trial_ledger.snapshot(recs[static_cast<std::size_t>(trial)]);
+      });
+      for (int trial = begin; trial < begin + count; ++trial) {
+        if (seps[static_cast<std::size_t>(trial)].has_value()) {
+          winner = trial;
+          break;
+        }
+      }
+    }
+    // Keep exactly the attempts the streamed arm would have run: everything
+    // up to and including the winner (all of them on a failed round). Later
+    // attempts were wall-clock speculation — never charged.
+    const int kept = winner >= 0 ? winner + 1 : trials;
+    for (int trial = 0; trial < kept; ++trial) {
+      engine.ledger().merge_sequential(recs[static_cast<std::size_t>(trial)]);
+    }
+    result.attempts += kept;
+    if (winner >= 0) {
+      std::optional<std::vector<VertexId>>& sep =
+          seps[static_cast<std::size_t>(winner)];
+      result.separator =
+          params.minimize_rounds > 0
+              ? minimize_separator(host, part, x_set, std::move(*sep),
+                                   params.balance, params.minimize_rounds,
+                                   engine, slots[0].ws)
+              : std::move(*sep);
+      result.t_used = t;
+      return result;
+    }
+    LOWTW_CHECK_MSG(t <= 2 * n_part, "separator doubling ran away");
+    t *= 2;
+  }
+}
+
 SeparatorResult find_balanced_separator(const Graph& host,
                                         std::span<const VertexId> part,
                                         std::span<const VertexId> x_set,

@@ -18,10 +18,13 @@
 // splitting, CCD+PA for balance checks, BCT(h)+MVC(h,t) for step 4).
 #pragma once
 
+#include <cstdint>
 #include <optional>
 #include <span>
 #include <vector>
 
+#include "exec/task_pool.hpp"
+#include "exec/worker_local.hpp"
 #include "graph/csr.hpp"
 #include "graph/graph.hpp"
 #include "graph/workspace.hpp"
@@ -137,6 +140,22 @@ class SepWorkspace {
   std::vector<std::int64_t> dsu_mu;
   std::vector<int> roots;
   graph::EpochMask root_seen;
+
+  // Detached attempt ledger for the streamed/batched trial arms: each
+  // attempt charges here, is snapshot into trial_record, and the kept
+  // prefix is folded into the caller's engine at the selection point.
+  primitives::RoundLedger trial_ledger;
+  primitives::RoundLedger::BranchRecord trial_record;
+};
+
+/// One worker's slot for batched separator trials: a full SepWorkspace
+/// (whose trial_ledger doubles as the task's detached ledger) plus the key
+/// of the (host, part) it was last prepared for, so trials of one
+/// find_balanced_separator_batched call prepare each claimed slot at most
+/// once and later calls against a different part re-prepare lazily.
+struct SepBatchSlot {
+  SepWorkspace ws;
+  std::uint64_t prepared_key = 0;  ///< 0 = never prepared
 };
 
 /// One Sep attempt with a fixed t on the subgraph of `host` induced by
@@ -172,6 +191,36 @@ SeparatorResult find_balanced_separator(const graph::CsrGraph& host,
                                         const SepParams& params, util::Rng& rng,
                                         primitives::Engine& engine,
                                         int t_initial, SepWorkspace& ws);
+
+/// Stream-per-attempt arm of find_balanced_separator: attempt i (counted
+/// across the doubling rounds) runs on the forked stream
+/// `attempt_base.fork(i)` instead of consuming one shared stream, and its
+/// charges are recorded detached (ws.trial_ledger) and folded sequentially
+/// once the attempt is kept. `attempt_base` is never advanced. This is the
+/// serial reference of the within-branch batching contract: the batched
+/// overload below returns bit-identical separators, t_used, attempts, and
+/// ledger charges for every pool size, because every attempt is a pure
+/// function of (host[part], t, params, its own stream).
+SeparatorResult find_balanced_separator_streamed(
+    const graph::CsrGraph& host, std::span<const graph::VertexId> part,
+    std::span<const graph::VertexId> x_set, const SepParams& params,
+    const util::Rng& attempt_base, primitives::Engine& engine, int t_initial,
+    SepWorkspace& ws);
+
+/// Within-branch batched trials (ISSUE 4 tentpole arm): the attempts of one
+/// doubling round run as tasks over per-worker SepBatchSlots, dealt in
+/// chunks of the pool width; the lowest-index success wins, its prefix of
+/// attempt records (0..winner) is folded sequentially — exactly the
+/// attempts the streamed arm would have run and charged — and later
+/// attempts' work is discarded (wall-clock only, never charged). `key`
+/// must uniquely identify (host, part) among calls sharing `slots` (the
+/// hierarchy builder passes node id + 1); slots prepare lazily per key.
+SeparatorResult find_balanced_separator_batched(
+    const graph::CsrGraph& host, std::span<const graph::VertexId> part,
+    std::span<const graph::VertexId> x_set, const SepParams& params,
+    const util::Rng& attempt_base, primitives::Engine& engine, int t_initial,
+    exec::WorkerLocal<SepBatchSlot>& slots, exec::TaskPool& pool,
+    std::uint64_t key);
 
 /// True iff every component of host[part] - separator has
 /// |component ∩ x_set| ≤ balance · |x_set ∩ part|.

@@ -58,12 +58,18 @@ class SplitWorkspace {
   std::vector<graph::VertexId> order;  ///< BFS order scratch
   std::vector<graph::VertexId> stack;  ///< subtree-collection scratch
 
-  // -- TreePiece::vertices buffer pool (ROADMAP profiled target) -------------
-  // split_piece draws every piece vertex list from here and sep_attempt
-  // recycles retired pieces back, so steady-state separator attempts
-  // allocate no piece storage. Pure capacity reuse: a pooled vector comes
-  // back empty, so contents — and hence every Split decision — are
-  // unchanged.
+  // -- TreePiece::vertices buffer pool (shipped PR 3) ------------------------
+  // split_piece draws every piece vertex list from here. Recycling happens
+  // at two distinct points, in this order: a piece consumed *during* the
+  // split loop (its subtrees carved off) returns its buffer immediately,
+  // while the surviving pieces of each iteration (kept in
+  // SepWorkspace::iteration_pieces for the step-4 cut sampling) are only
+  // recycled at the START of the next attempt over the same workspace — so
+  // the pool is NOT empty at the end of an attempt, by design. Each
+  // SepWorkspace owns its own pool (one per worker in the batched-trial
+  // arm); buffers never migrate between workspaces. All of it is pure
+  // capacity reuse: a pooled vector comes back empty, so contents — and
+  // hence every Split decision — are unchanged regardless of recycle order.
 
   /// An empty vertex buffer, reusing pooled capacity when available.
   std::vector<graph::VertexId> take_vertices() {

@@ -13,12 +13,32 @@ using graph::kNoVertex;
 using graph::VertexId;
 using graph::Weight;
 
+void CdlWorkspace::prepare(const graph::Graph& skeleton,
+                           const td::Hierarchy& hierarchy, int q,
+                           int num_workers) {
+  LOWTW_CHECK_MSG(built_q == 0 || built_q == q,
+                  "CdlWorkspace prepared for |Q| = " << built_q
+                      << " re-prepared with |Q| = " << q);
+  built_q = q;
+  if (!lifted_built) {
+    lift_hierarchy(hierarchy, q, lifted);
+    lifted_built = true;
+  }
+  if (!skeleton_built) {
+    product_skeleton = product_skeleton_csr(skeleton, q);
+    skeleton_built = true;
+  }
+  if (worker_cdl.size() < static_cast<std::size_t>(num_workers)) {
+    worker_cdl.resize(static_cast<std::size_t>(num_workers));
+  }
+}
+
 void build_cdl_into(const graph::WeightedDigraph& g,
                     const graph::Graph& skeleton,
                     const td::Hierarchy& hierarchy,
                     const StatefulConstraint& constraint,
                     primitives::Engine& engine, CdlWorkspace* workspace,
-                    CdlResult& result) {
+                    CdlResult& result, exec::TaskPool* pool) {
   build_product_graph(g, constraint, result.product);
   const int q = result.product.q;
 
@@ -27,6 +47,12 @@ void build_cdl_into(const graph::WeightedDigraph& g,
   td::Hierarchy lifted_local;
   const td::Hierarchy* lifted;
   if (workspace != nullptr) {
+    LOWTW_CHECK_MSG(workspace->built_q == 0 || workspace->built_q == q,
+                    "CdlWorkspace built for |Q| = " << workspace->built_q
+                        << " reused with a constraint of |Q| = " << q);
+    // Write only on first (sequential) use: concurrent trial tasks share a
+    // prepared workspace, and the prepared path must stay read-only.
+    if (workspace->built_q == 0) workspace->built_q = q;
     if (!workspace->lifted_built) {
       lift_hierarchy(hierarchy, q, workspace->lifted);
       workspace->lifted_built = true;
@@ -62,8 +88,12 @@ void build_cdl_into(const graph::WeightedDigraph& g,
   const double before = engine.ledger().total();
   {
     auto scope = engine.overhead(overhead);
-    auto dl = labeling::build_distance_labeling(result.product.gc, *skel_csr,
-                                                *lifted, engine);
+    auto dl = pool != nullptr
+                  ? labeling::build_distance_labeling(
+                        result.product.gc, *skel_csr, *lifted, engine, *pool)
+                  : labeling::build_distance_labeling(result.product.gc,
+                                                      *skel_csr, *lifted,
+                                                      engine);
     result.labels = std::move(dl.flat);
     result.max_label_entries = dl.max_label_entries;
   }
@@ -74,10 +104,11 @@ CdlResult build_cdl(const graph::WeightedDigraph& g,
                     const graph::Graph& skeleton,
                     const td::Hierarchy& hierarchy,
                     const StatefulConstraint& constraint,
-                    primitives::Engine& engine, CdlWorkspace* workspace) {
+                    primitives::Engine& engine, CdlWorkspace* workspace,
+                    exec::TaskPool* pool) {
   CdlResult result;
   build_cdl_into(g, skeleton, hierarchy, constraint, engine, workspace,
-                 result);
+                 result, pool);
   return result;
 }
 

@@ -8,7 +8,9 @@
 #pragma once
 
 #include <optional>
+#include <vector>
 
+#include "exec/task_pool.hpp"
 #include "labeling/distance_labeling.hpp"
 #include "walks/product_graph.hpp"
 
@@ -41,19 +43,42 @@ struct CdlWorkspace {
   graph::CsrGraph product_skeleton;
   bool lifted_built = false;
   bool skeleton_built = false;
+  /// |Q| the cached lift/skeleton were built for (0 = none yet). Checked by
+  /// build_cdl_into against the actual product.q, so a workspace prepared
+  /// for (or first used with) one constraint fails fast instead of decoding
+  /// wrong distances when reused with another.
+  int built_q = 0;
+  /// Per-worker rebuild slots for trial-parallel callers (the girth trial
+  /// tasks): worker w rebuilds into worker_cdl[w], so the product-graph and
+  /// label buffers are pooled per worker across that worker's trials —
+  /// steady-state allocation matches the sequential loop — while the lifted
+  /// hierarchy and product skeleton above stay shared and read-only. Sized
+  /// by prepare(); unused (empty) for sequential callers.
+  std::vector<CdlResult> worker_cdl;
+
+  /// Pre-builds the shared intermediates for |Q| = q and sizes the
+  /// per-worker slots. Concurrent build_cdl_into calls may share a prepared
+  /// workspace: they only read the lifted hierarchy and skeleton. Idempotent
+  /// for a fixed (skeleton, hierarchy, q); never share one workspace across
+  /// different skeletons, hierarchies, or constraints.
+  void prepare(const graph::Graph& skeleton, const td::Hierarchy& hierarchy,
+               int q, int num_workers);
 };
 
 /// Builds CDL(C) for g over a decomposition hierarchy of ⟦g⟧ (unmasked).
 /// `skeleton` is the communication graph (⟦g⟧ without masking). Passing the
 /// same `workspace` across calls (see CdlWorkspace) makes the skeleton and
 /// hierarchy lifts one-time costs; results and charges are identical either
-/// way.
+/// way. A non-null `pool` runs the inner distance-labeling assembly level-
+/// parallel — bit-identical labels and charges for every pool size (the
+/// labeling recursion draws no randomness).
 CdlResult build_cdl(const graph::WeightedDigraph& g,
                     const graph::Graph& skeleton,
                     const td::Hierarchy& hierarchy,
                     const StatefulConstraint& constraint,
                     primitives::Engine& engine,
-                    CdlWorkspace* workspace = nullptr);
+                    CdlWorkspace* workspace = nullptr,
+                    exec::TaskPool* pool = nullptr);
 
 /// In-place rebuild: additionally reuses `result`'s product-graph buffers,
 /// so a caller that keeps one CdlResult alive across loop iterations pays
@@ -63,7 +88,7 @@ void build_cdl_into(const graph::WeightedDigraph& g,
                     const td::Hierarchy& hierarchy,
                     const StatefulConstraint& constraint,
                     primitives::Engine& engine, CdlWorkspace* workspace,
-                    CdlResult& result);
+                    CdlResult& result, exec::TaskPool* pool = nullptr);
 
 struct ConstrainedWalk {
   std::vector<graph::EdgeId> arcs;  ///< arcs of g, in walk order

@@ -1,5 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <thread>
+
 #include "graph/algorithms.hpp"
 #include "graph/generators.hpp"
 #include "td/builder.hpp"
@@ -191,6 +194,89 @@ TEST(Cdl, CountConstraintExactCountQueries) {
   EXPECT_EQ(cdl.distance(0, 0, cons.count_state(1)), 4);
   // 3 -> 3 exact count 0 closed walk: fold over an unlabeled edge: 3-2-3.
   EXPECT_EQ(cdl.distance(3, 3, cons.count_state(0)), 2);
+}
+
+// --------------------------------------------------------------------------
+// Pool-parallel CDL build (ISSUE 4): the inner labeling assembly draws no
+// randomness, so the pool overload is bit-identical to the sequential build
+// for every pool size — decoded distances, rounds, label sizes, ledger.
+// --------------------------------------------------------------------------
+
+using test::hw_threads;
+
+TEST(ParallelCdl, PoolBuildBitIdenticalToSequential) {
+  for (auto mode : {primitives::EngineMode::kShortcutModel,
+                    primitives::EngineMode::kTreeRealized}) {
+    test::FamilySpec spec{"partial_ktree", 50, 3, 11};
+    util::Rng rng(spec.seed + 17);
+    graph::Graph ug = test::make_family(spec);
+    test::EngineBundle td_bundle(ug, mode);
+    auto ctx_rng = rng;
+    CdlTestContext ctx = make_context(spec, 2, td_bundle, ctx_rng);
+
+    ColoredWalkConstraint cons(2);
+    test::EngineBundle seq_bundle(ctx.skel, mode);
+    auto seq = build_cdl(ctx.g, ctx.skel, ctx.td.hierarchy, cons,
+                         seq_bundle.engine);
+
+    for (int workers : {1, 2, hw_threads()}) {
+      test::EngineBundle bundle(ctx.skel, mode);
+      exec::TaskPool pool(workers);
+      CdlWorkspace ws;
+      ws.prepare(ctx.skel, ctx.td.hierarchy, cons.num_states(),
+                 pool.num_workers());
+      auto par = build_cdl(ctx.g, ctx.skel, ctx.td.hierarchy, cons,
+                           bundle.engine, &ws, &pool);
+      EXPECT_DOUBLE_EQ(seq.rounds, par.rounds) << "workers " << workers;
+      EXPECT_EQ(seq.max_label_entries, par.max_label_entries);
+      EXPECT_DOUBLE_EQ(seq_bundle.ledger.total(), bundle.ledger.total());
+      EXPECT_EQ(seq_bundle.ledger.breakdown(), bundle.ledger.breakdown());
+      for (VertexId u = 0; u < ctx.g.num_vertices(); ++u) {
+        for (VertexId v = 0; v < ctx.g.num_vertices(); ++v) {
+          for (int color = 0; color < 2; ++color) {
+            const int qs = cons.color_state(color);
+            ASSERT_EQ(seq.distance(u, v, qs), par.distance(u, v, qs))
+                << u << "->" << v << " state " << qs;
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(ParallelCdl, WorkerSlotsRebuildIndependently) {
+  // Per-worker CdlResult slots (CdlWorkspace::worker_cdl): rebuilding into
+  // different slots from one prepared workspace gives the same labels as a
+  // fresh build — the shared lifted hierarchy / skeleton are read-only.
+  test::FamilySpec spec{"cycle_chords", 30, 3, 13};
+  util::Rng rng(spec.seed + 17);
+  test::EngineBundle td_bundle(test::make_family(spec));
+  auto ctx_rng = rng;
+  CdlTestContext ctx = make_context(spec, 2, td_bundle, ctx_rng);
+  ColoredWalkConstraint cons(2);
+
+  CdlWorkspace ws;
+  ws.prepare(ctx.skel, ctx.td.hierarchy, cons.num_states(), 2);
+  ASSERT_EQ(ws.worker_cdl.size(), 2u);
+  test::EngineBundle b0(ctx.skel);
+  build_cdl_into(ctx.g, ctx.skel, ctx.td.hierarchy, cons, b0.engine, &ws,
+                 ws.worker_cdl[0]);
+  test::EngineBundle b1(ctx.skel);
+  build_cdl_into(ctx.g, ctx.skel, ctx.td.hierarchy, cons, b1.engine, &ws,
+                 ws.worker_cdl[1]);
+  // Second rebuild into slot 0 (buffer reuse path) must not drift either.
+  test::EngineBundle b2(ctx.skel);
+  build_cdl_into(ctx.g, ctx.skel, ctx.td.hierarchy, cons, b2.engine, &ws,
+                 ws.worker_cdl[0]);
+  EXPECT_DOUBLE_EQ(b0.ledger.total(), b1.ledger.total());
+  EXPECT_DOUBLE_EQ(b0.ledger.total(), b2.ledger.total());
+  for (VertexId u = 0; u < ctx.g.num_vertices(); u += 3) {
+    for (VertexId v = 0; v < ctx.g.num_vertices(); ++v) {
+      const int qs = cons.color_state(1);
+      ASSERT_EQ(ws.worker_cdl[0].distance(u, v, qs),
+                ws.worker_cdl[1].distance(u, v, qs));
+    }
+  }
 }
 
 }  // namespace

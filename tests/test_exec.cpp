@@ -10,16 +10,19 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <numeric>
 #include <stdexcept>
 #include <thread>
 #include <vector>
 
 #include "exec/task_pool.hpp"
 #include "exec/worker_local.hpp"
+#include "graph/csr.hpp"
 #include "graph/generators.hpp"
 #include "labeling/distance_labeling.hpp"
 #include "core/solver.hpp"
 #include "td/builder.hpp"
+#include "td/separator.hpp"
 #include "test_helpers.hpp"
 #include "util/rng.hpp"
 
@@ -191,9 +194,7 @@ void expect_same_labels(const labeling::DlResult& a,
   EXPECT_EQ(a.max_label_bits, b.max_label_bits);
 }
 
-int hw_threads() {
-  return std::max(2u, std::thread::hardware_concurrency());
-}
+using test::hw_threads;
 
 TEST(ParallelTd, BitIdenticalAcrossWorkerCounts) {
   util::Rng gen(17);
@@ -315,6 +316,116 @@ TEST(ParallelLabeling, TreeRealizedModeMatchesSequential) {
                                                     b2.engine, pool);
   expect_same_labels(sequential, parallel);
   EXPECT_DOUBLE_EQ(b1.ledger.total(), b2.ledger.total());
+}
+
+// -- within-branch batched separator trials (ISSUE 4) ------------------------
+
+void run_batched_separator_case(const td::SepParams& sep_params,
+                                std::uint64_t graph_seed) {
+  util::Rng gen(graph_seed);
+  Graph g = graph::gen::partial_ktree(160, 3, 0.6, gen);
+  graph::CsrGraph csr(g);
+  std::vector<graph::VertexId> part(
+      static_cast<std::size_t>(g.num_vertices()));
+  std::iota(part.begin(), part.end(), 0);
+  const util::Rng base(777);
+
+  // Streamed serial reference.
+  test::EngineBundle ref_bundle(g);
+  td::SepWorkspace ws;
+  auto ref = td::find_balanced_separator_streamed(csr, part, part, sep_params,
+                                                  base, ref_bundle.engine, 2,
+                                                  ws);
+  EXPECT_FALSE(ref.separator.empty());
+
+  for (int workers : {1, 2, hw_threads()}) {
+    test::EngineBundle bundle(g);
+    exec::TaskPool pool(workers);
+    exec::WorkerLocal<td::SepBatchSlot> slots(pool);
+    auto res = td::find_balanced_separator_batched(
+        csr, part, part, sep_params, base, bundle.engine, 2, slots, pool, 1);
+    EXPECT_EQ(ref.separator, res.separator) << "workers " << workers;
+    EXPECT_EQ(ref.t_used, res.t_used) << "workers " << workers;
+    EXPECT_EQ(ref.attempts, res.attempts) << "workers " << workers;
+    EXPECT_DOUBLE_EQ(ref_bundle.ledger.total(), bundle.ledger.total())
+        << "workers " << workers;
+    EXPECT_EQ(ref_bundle.ledger.breakdown(), bundle.ledger.breakdown())
+        << "workers " << workers;
+  }
+}
+
+TEST(BatchedSeparator, MatchesStreamedReference) {
+  run_batched_separator_case(td::SepParams::practical(), 53);
+}
+
+TEST(BatchedSeparator, MatchesStreamedReferenceUnderFailedAttempts) {
+  // Force the step-4 cut machinery (more RNG, more failed attempts, more
+  // chunks per doubling round) so the lowest-index-success selection and
+  // the prefix-only charge fold actually get exercised.
+  td::SepParams sep = td::SepParams::practical();
+  sep.disable_early_exit = true;
+  sep.min_trials = 5;
+  run_batched_separator_case(sep, 59);
+}
+
+TEST(BatchedSeparator, SlotsReusableAcrossParts) {
+  // One slot set serving two different parts under distinct keys: the lazy
+  // per-key re-prepare must not leak the first part's local view.
+  util::Rng gen(61);
+  Graph g = graph::gen::ktree(140, 3, gen);
+  graph::CsrGraph csr(g);
+  std::vector<graph::VertexId> whole(
+      static_cast<std::size_t>(g.num_vertices()));
+  std::iota(whole.begin(), whole.end(), 0);
+  std::vector<graph::VertexId> half(whole.begin(),
+                                    whole.begin() + g.num_vertices() / 2);
+  // The half-part must be connected for Sep; ktree prefixes are.
+  const util::Rng base(31);
+  exec::TaskPool pool(3);
+  exec::WorkerLocal<td::SepBatchSlot> slots(pool);
+  for (auto* part : {&whole, &half, &whole}) {
+    const std::uint64_t key = part == &whole ? 1 : 2;
+    test::EngineBundle batched_bundle(g);
+    auto batched = td::find_balanced_separator_batched(
+        csr, *part, *part, td::SepParams::practical(), base,
+        batched_bundle.engine, 2, slots, pool, key);
+    test::EngineBundle ref_bundle(g);
+    td::SepWorkspace ws;
+    auto ref = td::find_balanced_separator_streamed(
+        csr, *part, *part, td::SepParams::practical(), base, ref_bundle.engine,
+        2, ws);
+    EXPECT_EQ(ref.separator, batched.separator);
+    EXPECT_DOUBLE_EQ(ref_bundle.ledger.total(), batched_bundle.ledger.total());
+  }
+}
+
+TEST(BatchedTd, BitIdenticalAcrossWorkerCounts) {
+  util::Rng gen(67);
+  Graph g = graph::gen::partial_ktree(180, 3, 0.6, gen);
+  td::TdParams params;
+  params.batch_sep_trials = true;
+
+  std::optional<td::TdBuildResult> reference;
+  double reference_total = 0;
+  std::map<std::string, double> reference_breakdown;
+  for (int workers : {1, 2, hw_threads()}) {
+    test::EngineBundle bundle(g);
+    util::Rng rng(42);
+    exec::TaskPool pool(workers);
+    auto res = td::build_hierarchy(g, params, rng, bundle.engine, pool);
+    EXPECT_EQ(res.td.validate(g), std::nullopt);
+    if (!reference) {
+      reference = std::move(res);
+      reference_total = bundle.ledger.total();
+      reference_breakdown = bundle.ledger.breakdown();
+      continue;
+    }
+    expect_same_hierarchy(reference->hierarchy, res.hierarchy);
+    EXPECT_EQ(reference->t_used, res.t_used);
+    EXPECT_DOUBLE_EQ(reference->rounds, res.rounds);
+    EXPECT_DOUBLE_EQ(reference_total, bundle.ledger.total());
+    EXPECT_EQ(reference_breakdown, bundle.ledger.breakdown());
+  }
 }
 
 TEST(ParallelSolver, ThreadsOptionInvariant) {

@@ -1,5 +1,9 @@
 #include <gtest/gtest.h>
 
+#include <optional>
+#include <thread>
+
+#include "exec/task_pool.hpp"
 #include "girth/girth.hpp"
 #include "graph/algorithms.hpp"
 #include "graph/generators.hpp"
@@ -214,6 +218,116 @@ TEST(UndirectedGirth, EarlyStopStillSound) {
   auto res = girth_undirected(ctx.g, ctx.skel, ctx.td.hierarchy, params, rng,
                               ctx.bundle->engine);
   EXPECT_GE(res.girth, graph::exact_girth_undirected(g));
+}
+
+// --------------------------------------------------------------------------
+// Deterministic trial-parallel arm (ISSUE 4): girth, cdl_builds, rounds, and
+// the ledger breakdown must be bit-identical for pool sizes 1 / 2 / hw in
+// both engine modes; soundness (Lemma 6) holds unconditionally.
+// --------------------------------------------------------------------------
+
+using test::hw_threads;
+
+TEST(ParallelGirth, UndirectedInvariantAcrossWorkerCountsBothModes) {
+  for (auto mode : {primitives::EngineMode::kShortcutModel,
+                    primitives::EngineMode::kTreeRealized}) {
+    util::Rng wrng(61);
+    graph::Graph ug = graph::gen::cycle_with_chords(36, 3, wrng);
+    auto g = graph::gen::random_symmetric_weights(ug, 1, 12, wrng);
+    auto skel = g.skeleton();
+    test::EngineBundle td_bundle(skel, mode);
+    util::Rng td_rng(5);
+    auto td =
+        td::build_hierarchy(skel, td::TdParams{}, td_rng, td_bundle.engine);
+    const Weight exact = graph::exact_girth_undirected(g);
+
+    std::optional<GirthResult> ref;
+    double ref_total = 0;
+    std::map<std::string, double> ref_breakdown;
+    for (int workers : {1, 2, hw_threads()}) {
+      test::EngineBundle bundle(skel, mode);
+      util::Rng rng(9);
+      exec::TaskPool pool(workers);
+      UndirectedGirthParams params;
+      params.trials_per_scale = 6;
+      auto res = girth_undirected(g, skel, td.hierarchy, params, rng,
+                                  bundle.engine, pool);
+      EXPECT_GE(res.girth, exact);
+      if (!ref) {
+        // The stream arm is a different (equally valid) random instance
+        // than the sequential arm; with 6 trials per scale it finds the
+        // exact girth on this fixed seed.
+        EXPECT_EQ(res.girth, exact);
+        ref = res;
+        ref_total = bundle.ledger.total();
+        ref_breakdown = bundle.ledger.breakdown();
+        continue;
+      }
+      EXPECT_EQ(ref->girth, res.girth) << "workers " << workers;
+      EXPECT_EQ(ref->cdl_builds, res.cdl_builds) << "workers " << workers;
+      EXPECT_DOUBLE_EQ(ref->rounds, res.rounds) << "workers " << workers;
+      EXPECT_DOUBLE_EQ(ref_total, bundle.ledger.total())
+          << "workers " << workers;
+      EXPECT_EQ(ref_breakdown, bundle.ledger.breakdown())
+          << "workers " << workers;
+    }
+  }
+}
+
+TEST(ParallelGirth, EarlyStopInvariantAcrossWorkerCounts) {
+  util::Rng wrng(31);
+  graph::Graph ug = graph::gen::cycle_with_chords(40, 4, wrng);
+  auto g = graph::gen::random_symmetric_weights(ug, 1, 10, wrng);
+  auto skel = g.skeleton();
+  test::EngineBundle td_bundle(skel);
+  util::Rng td_rng(7);
+  auto td = td::build_hierarchy(skel, td::TdParams{}, td_rng, td_bundle.engine);
+
+  std::optional<GirthResult> ref;
+  for (int workers : {1, 3}) {
+    test::EngineBundle bundle(skel);
+    util::Rng rng(8);
+    exec::TaskPool pool(workers);
+    UndirectedGirthParams params;
+    params.trials_per_scale = 4;
+    params.early_stop_scales = 2;
+    auto res = girth_undirected(g, skel, td.hierarchy, params, rng,
+                                bundle.engine, pool);
+    EXPECT_GE(res.girth, graph::exact_girth_undirected(g));
+    if (!ref) {
+      ref = res;
+    } else {
+      EXPECT_EQ(ref->girth, res.girth);
+      EXPECT_EQ(ref->cdl_builds, res.cdl_builds);
+      EXPECT_DOUBLE_EQ(ref->rounds, res.rounds);
+    }
+  }
+}
+
+TEST(ParallelGirth, DirectedPoolBitIdenticalToSequential) {
+  // The directed reduction draws no randomness, so the pool overload is not
+  // merely invariant — it matches the sequential overload bit for bit.
+  util::Rng gen(71);
+  graph::Graph ug = graph::gen::ktree(60, 2, gen);
+  util::Rng orng(72);
+  auto g = graph::gen::random_orientation(ug, 0.5, 1, 20, orng);
+  auto skel = g.skeleton();
+  test::EngineBundle td_bundle(skel);
+  util::Rng td_rng(3);
+  auto td = td::build_hierarchy(skel, td::TdParams{}, td_rng, td_bundle.engine);
+
+  test::EngineBundle seq_bundle(skel);
+  auto seq = girth_directed(g, skel, td.hierarchy, seq_bundle.engine);
+  EXPECT_EQ(seq.girth, graph::exact_girth_directed(g));
+  for (int workers : {1, 2, hw_threads()}) {
+    test::EngineBundle bundle(skel);
+    exec::TaskPool pool(workers);
+    auto res = girth_directed(g, skel, td.hierarchy, bundle.engine, pool);
+    EXPECT_EQ(seq.girth, res.girth);
+    EXPECT_DOUBLE_EQ(seq.rounds, res.rounds);
+    EXPECT_DOUBLE_EQ(seq_bundle.ledger.total(), bundle.ledger.total());
+    EXPECT_EQ(seq_bundle.ledger.breakdown(), bundle.ledger.breakdown());
+  }
 }
 
 TEST(GeneralBaseline, ExactWithModeledLinearRounds) {

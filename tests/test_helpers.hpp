@@ -2,7 +2,9 @@
 // controlled treewidth, plus engine/ledger plumbing.
 #pragma once
 
+#include <algorithm>
 #include <string>
+#include <thread>
 
 #include "graph/algorithms.hpp"
 #include "graph/generators.hpp"
@@ -10,6 +12,12 @@
 #include "util/rng.hpp"
 
 namespace lowtw::test {
+
+/// Worker-count ceiling for the parallel-invariance test matrices: floor 2,
+/// so the multi-worker leg exists even on 1-core boxes.
+inline int hw_threads() {
+  return std::max(2u, std::thread::hardware_concurrency());
+}
 
 struct FamilySpec {
   std::string family;

@@ -1,5 +1,9 @@
 #include <gtest/gtest.h>
 
+#include <optional>
+#include <thread>
+
+#include "exec/task_pool.hpp"
 #include "graph/algorithms.hpp"
 #include "graph/generators.hpp"
 #include "matching/baseline.hpp"
@@ -187,6 +191,69 @@ TEST(Matching, EdgelessAndTinyGraphs) {
     auto res = max_bipartite_matching(g, MatchingParams{}, rng, bundle.engine);
     EXPECT_EQ(res.matching.size, 1);
   }
+}
+
+// --------------------------------------------------------------------------
+// Deterministic task-parallel arm (ISSUE 4): matching, round totals,
+// breakdown, and every counter must be bit-identical for pool sizes
+// 1 / 2 / hw, in both matching modes and both engine modes; the matching
+// itself must stay a valid maximum matching.
+// --------------------------------------------------------------------------
+
+using test::hw_threads;
+
+void expect_parallel_matching_invariant(const Graph& g, MatchingMode mode,
+                                        primitives::EngineMode engine_mode) {
+  const int hk_size = hopcroft_karp(g).size;
+  std::optional<DistributedMatchingResult> ref;
+  double ref_total = 0;
+  std::map<std::string, double> ref_breakdown;
+  for (int workers : {1, 2, hw_threads()}) {
+    test::EngineBundle bundle(g, engine_mode);
+    util::Rng rng(91);
+    exec::TaskPool pool(workers);
+    MatchingParams params;
+    params.mode = mode;
+    auto res = max_bipartite_matching(g, params, rng, bundle.engine, pool);
+    EXPECT_TRUE(is_valid_matching(g, res.matching.mate));
+    EXPECT_EQ(res.matching.size, hk_size);
+    if (!ref) {
+      ref = std::move(res);
+      ref_total = bundle.ledger.total();
+      ref_breakdown = bundle.ledger.breakdown();
+      continue;
+    }
+    EXPECT_EQ(ref->matching.mate, res.matching.mate) << "workers " << workers;
+    EXPECT_EQ(ref->augmentations, res.augmentations) << "workers " << workers;
+    EXPECT_EQ(ref->insertion_steps, res.insertion_steps)
+        << "workers " << workers;
+    EXPECT_EQ(ref->cdl_builds, res.cdl_builds) << "workers " << workers;
+    EXPECT_EQ(ref->t_used, res.t_used) << "workers " << workers;
+    EXPECT_EQ(ref->td_width, res.td_width) << "workers " << workers;
+    EXPECT_DOUBLE_EQ(ref->rounds, res.rounds) << "workers " << workers;
+    EXPECT_DOUBLE_EQ(ref_total, bundle.ledger.total())
+        << "workers " << workers;
+    EXPECT_EQ(ref_breakdown, bundle.ledger.breakdown())
+        << "workers " << workers;
+  }
+}
+
+TEST(ParallelMatching, FastModeInvariantAcrossWorkerCounts) {
+  expect_parallel_matching_invariant(
+      graph::gen::apexed_bipartite_path(120), MatchingMode::kFast,
+      primitives::EngineMode::kShortcutModel);
+}
+
+TEST(ParallelMatching, FaithfulModeInvariantAcrossWorkerCounts) {
+  expect_parallel_matching_invariant(
+      graph::gen::apexed_bipartite_path(60), MatchingMode::kFaithful,
+      primitives::EngineMode::kShortcutModel);
+}
+
+TEST(ParallelMatching, TreeRealizedModeInvariantAcrossWorkerCounts) {
+  expect_parallel_matching_invariant(graph::gen::grid(16, 4),
+                                     MatchingMode::kFast,
+                                     primitives::EngineMode::kTreeRealized);
 }
 
 // --------------------------------------------------------------------------

@@ -10,7 +10,12 @@
 // ratio against the Õ(τ²D+τ⁵) bound, label_ratio against τ² log² n.
 #include "bench_common.hpp"
 
+#include <chrono>
+#include <limits>
+
+#include "core/solver.hpp"
 #include "labeling/distance_labeling.hpp"
+#include "labeling/inverted_index.hpp"
 
 namespace lowtw::bench {
 namespace {
@@ -82,6 +87,222 @@ void BM_DlNScaling(benchmark::State& state) {
 }
 BENCHMARK(BM_DlNScaling)->RangeMultiplier(2)->Range(256, 4096)->Iterations(1)
     ->Unit(benchmark::kMillisecond);
+
+// Gated arm (ISSUE 5): the inverted-index one-vs-all against the flat
+// store's full-sweep decode, on identical labelings and sources. The flat
+// kernel scans every label span per source (O(total entries)); the inverted
+// kernel walks only the postings of the source's own hubs — a log-factor
+// less on hierarchy-built labelings. `speedup_vs_flat` records the measured
+// ratio (index construction amortized across the batch, like the serving
+// workload it models); `rounds` is the deterministic TD+DL construction
+// charge and feeds the drift gate. Timing uses the alternating best-of-
+// window scheme of BM_GirthDecodeKernel.
+void BM_OneVsAllInverted(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Instance inst = ktree_instance(n, 2, 100 + n);
+  util::Rng wrng(3 * n);
+  auto g = graph::gen::random_orientation(inst.g, 0.6, 1, 30, wrng);
+  auto skel = g.skeleton();
+
+  primitives::RoundLedger ledger;
+  primitives::Engine engine(
+      primitives::EngineMode::kShortcutModel,
+      primitives::CostModel{skel.num_vertices(), inst.diameter, 1.0},
+      &ledger);
+  util::Rng rng(101);
+  auto td = td::build_hierarchy(skel, td::TdParams{}, rng, engine);
+  auto dl = labeling::build_distance_labeling(g, skel, td.hierarchy, engine);
+
+  constexpr int kSources = 32;
+  std::vector<graph::VertexId> sources;
+  util::Rng srng(7 * n + 1);
+  for (int i = 0; i < kSources; ++i) {
+    sources.push_back(static_cast<graph::VertexId>(srng.next_below(n)));
+  }
+  std::vector<graph::Weight> dist(static_cast<std::size_t>(n));
+  std::vector<graph::Weight> dist_to(static_cast<std::size_t>(n));
+
+  labeling::InvertedHubIndex index(dl.flat);
+  std::uint64_t check_inv = 0;
+  auto inverted_pass = [&] {
+    std::uint64_t acc = 0;
+    for (graph::VertexId s : sources) {
+      index.one_vs_all(s, dist, dist_to);
+      acc += static_cast<std::uint64_t>(dist[static_cast<std::size_t>(s) / 2] &
+                                        0xffff);
+    }
+    return acc;
+  };
+  auto flat_pass = [&] {
+    std::uint64_t acc = 0;
+    for (graph::VertexId s : sources) {
+      dl.flat.decode_one_vs_all(s, dist, dist_to);
+      acc += static_cast<std::uint64_t>(dist[static_cast<std::size_t>(s) / 2] &
+                                        0xffff);
+    }
+    return acc;
+  };
+
+  for (auto _ : state) {
+    check_inv = inverted_pass();
+    benchmark::DoNotOptimize(check_inv);
+  }
+
+  // Full-row equality of the two kernels on every source (cheap vs the
+  // builds; a drifted kernel must not report numbers).
+  std::vector<graph::Weight> fdist(static_cast<std::size_t>(n));
+  std::vector<graph::Weight> fdist_to(static_cast<std::size_t>(n));
+  for (graph::VertexId s : sources) {
+    index.one_vs_all(s, dist, dist_to);
+    dl.flat.decode_one_vs_all(s, fdist, fdist_to);
+    if (dist != fdist || dist_to != fdist_to) {
+      state.SkipWithError("inverted/flat one-vs-all disagreement");
+      return;
+    }
+  }
+
+  using Clock = std::chrono::steady_clock;
+  constexpr int kWindows = 3;
+  constexpr int kRepsPerWindow = 5;
+  std::uint64_t check_flat = flat_pass();
+  check_inv = inverted_pass();
+  double flat_s = std::numeric_limits<double>::infinity();
+  double inv_s = std::numeric_limits<double>::infinity();
+  for (int w = 0; w < kWindows; ++w) {
+    auto t0 = Clock::now();
+    for (int r = 0; r < kRepsPerWindow; ++r) {
+      check_flat = flat_pass();
+      benchmark::DoNotOptimize(check_flat);
+    }
+    auto t1 = Clock::now();
+    for (int r = 0; r < kRepsPerWindow; ++r) {
+      check_inv = inverted_pass();
+      benchmark::DoNotOptimize(check_inv);
+    }
+    auto t2 = Clock::now();
+    flat_s = std::min(flat_s, std::chrono::duration<double>(t1 - t0).count());
+    inv_s = std::min(inv_s, std::chrono::duration<double>(t2 - t1).count());
+  }
+  if (check_flat != check_inv) {
+    state.SkipWithError("inverted/flat checksum disagreement");
+    return;
+  }
+
+  state.counters["n"] = n;
+  state.counters["rounds"] = ledger.total();
+  state.counters["entries_total"] = static_cast<double>(dl.flat.num_entries());
+  state.counters["postings"] = static_cast<double>(index.num_postings());
+  state.counters["sources"] = kSources;
+  state.counters["speedup_vs_flat"] = flat_s / inv_s;
+}
+BENCHMARK(BM_OneVsAllInverted)->RangeMultiplier(2)->Range(2048, 8192)
+    ->Unit(benchmark::kMillisecond);
+
+// Gated arm (ISSUE 5): the facade-level many-query serving story.
+// Solver::sssp_batch answers a batch of sources through the cached query
+// engine (index frozen once, decode fanned across the solver pool — 1 on
+// this arm, so the ratio isolates the kernel); the reference is the pre-PR
+// path, one flat one-vs-all sweep per source via sssp_from_labels. Rounds
+// cover construction plus one batch flood (deterministic, gated).
+void BM_SsspBatch(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Instance inst = ktree_instance(n, 2, 100 + n);
+  util::Rng wrng(3 * n);
+  auto g = graph::gen::random_orientation(inst.g, 0.6, 1, 30, wrng);
+
+  SolverOptions options;
+  options.seed = 61;
+  options.known_diameter = inst.diameter;
+  Solver solver(g, options);
+
+  constexpr int kSources = 64;
+  std::vector<graph::VertexId> sources;
+  util::Rng srng(7 * n + 2);
+  for (int i = 0; i < kSources; ++i) {
+    sources.push_back(static_cast<graph::VertexId>(srng.next_below(n)));
+  }
+
+  labeling::SsspBatchResult batch;
+  for (auto _ : state) {
+    batch = solver.sssp_batch(sources);  // first call builds TD+DL+index
+    benchmark::DoNotOptimize(batch.stride);
+  }
+
+  // Reference: the flat per-source sweep, charges to a scratch ledger so
+  // the gated counter stays the construction + timed batches only.
+  const labeling::FlatLabeling& flat = solver.distance_labeling().flat;
+  primitives::RoundLedger scratch_ledger;
+  primitives::Engine scratch_engine(
+      primitives::EngineMode::kShortcutModel,
+      primitives::CostModel{solver.skeleton().num_vertices(), inst.diameter,
+                            1.0},
+      &scratch_ledger);
+  auto flat_pass = [&] {
+    double acc = 0;
+    for (graph::VertexId s : sources) {
+      auto r = labeling::sssp_from_labels(flat, s, inst.diameter,
+                                          scratch_engine);
+      acc += static_cast<double>(r.dist[static_cast<std::size_t>(s)]);
+    }
+    return acc;
+  };
+  auto batch_pass = [&] { return solver.sssp_batch(sources); };
+
+  using Clock = std::chrono::steady_clock;
+  constexpr int kWindows = 3;
+  constexpr int kRepsPerWindow = 3;
+  double flat_acc = flat_pass();
+  benchmark::DoNotOptimize(flat_acc);
+  batch = batch_pass();
+  double flat_s = std::numeric_limits<double>::infinity();
+  double batch_s = std::numeric_limits<double>::infinity();
+  for (int w = 0; w < kWindows; ++w) {
+    auto t0 = Clock::now();
+    for (int r = 0; r < kRepsPerWindow; ++r) {
+      flat_acc = flat_pass();
+      benchmark::DoNotOptimize(flat_acc);
+    }
+    auto t1 = Clock::now();
+    for (int r = 0; r < kRepsPerWindow; ++r) {
+      batch = batch_pass();
+      benchmark::DoNotOptimize(batch.stride);
+    }
+    auto t2 = Clock::now();
+    flat_s = std::min(flat_s, std::chrono::duration<double>(t1 - t0).count());
+    batch_s = std::min(batch_s,
+                       std::chrono::duration<double>(t2 - t1).count());
+  }
+
+  // Row-level equality against the flat path plus a Dijkstra spot check.
+  for (std::size_t i = 0; i < sources.size(); ++i) {
+    auto r = labeling::sssp_from_labels(flat, sources[i], inst.diameter,
+                                        scratch_engine);
+    auto row = batch.dist_row(i);
+    auto row_to = batch.dist_to_row(i);
+    for (std::size_t v = 0; v < static_cast<std::size_t>(n); ++v) {
+      if (row[v] != r.dist[v] || row_to[v] != r.dist_to[v]) {
+        state.SkipWithError("sssp_batch row drifted from flat sssp");
+        return;
+      }
+    }
+  }
+  auto truth = graph::dijkstra(g, sources[0]);
+  for (std::size_t v = 0; v < static_cast<std::size_t>(n); ++v) {
+    if (batch.dist_row(0)[v] != truth.dist[v]) {
+      state.SkipWithError("sssp_batch disagreement vs Dijkstra");
+      return;
+    }
+  }
+
+  state.counters["n"] = n;
+  state.counters["D"] = inst.diameter;
+  state.counters["sources"] = kSources;
+  state.counters["rounds"] = solver.report().total;
+  state.counters["batch_rounds"] = batch.rounds;
+  state.counters["speedup_vs_flat"] = flat_s / batch_s;
+}
+BENCHMARK(BM_SsspBatch)->RangeMultiplier(2)->Range(2048, 8192)
+    ->Iterations(1)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 }  // namespace lowtw::bench

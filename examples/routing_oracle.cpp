@@ -6,9 +6,15 @@
 // Scenario: a backbone network grown hierarchically (partial k-tree —
 // MSJ19 report real router-level topologies have low treewidth), with
 // asymmetric link latencies (directed arcs). After the one-time
-// CONGEST-phase construction of the distance labeling (Theorem 2), any
-// router can compute the exact latency to any other from the two labels
-// alone — the decoder runs locally, no packets needed.
+// CONGEST-phase construction of the distance labeling (Theorem 2), the
+// query mix is served through Solver::sssp_batch — the batched query
+// plane: the distinct sources flood once (pipelined, one diameter term for
+// the whole batch), the inverted hub index is frozen once, and every
+// source's full distance row comes out of sequential postings merges. Any
+// (source, target) latency is then a row lookup. A scalar per-query label
+// decode is timed alongside for comparison, and a sample is verified
+// against Dijkstra.
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 
@@ -42,30 +48,71 @@ int main(int argc, char** argv) {
               dl.rounds, dl.max_label_entries, dl.max_label_bits,
               net.num_vertices());
 
-  // Serve random queries from labels only; verify a sample against Dijkstra.
-  auto t0 = std::chrono::steady_clock::now();
-  std::uint64_t checksum = 0;
+  // The query mix: random (source, target) pairs, as a monitoring plane
+  // would issue them.
   std::vector<std::pair<graph::VertexId, graph::VertexId>> qs;
   for (int i = 0; i < queries; ++i) {
     qs.emplace_back(static_cast<graph::VertexId>(rng.next_below(n)),
                     static_cast<graph::VertexId>(rng.next_below(n)));
   }
+
+  // Batched serving: answer the distinct sources in one sssp_batch — one
+  // pipelined flood charge, one inverted-index freeze, a postings-merge row
+  // per source — then every query is a lookup into its source's row.
+  auto t0 = std::chrono::steady_clock::now();
+  std::vector<graph::VertexId> sources;
+  sources.reserve(qs.size());
+  for (auto [s, t] : qs) sources.push_back(s);
+  std::sort(sources.begin(), sources.end());
+  sources.erase(std::unique(sources.begin(), sources.end()), sources.end());
+  labeling::SsspBatchResult batch = solver.sssp_batch(sources);
+  std::vector<std::size_t> row_of(static_cast<std::size_t>(n), 0);
+  for (std::size_t i = 0; i < sources.size(); ++i) {
+    row_of[sources[i]] = i;
+  }
+  std::uint64_t checksum = 0;
   for (auto [s, t] : qs) {
-    graph::Weight d = dl.labeling.distance(s, t);
+    graph::Weight d = batch.dist_row(row_of[s])[t];
     checksum += static_cast<std::uint64_t>(d & 0xffff);
   }
   auto t1 = std::chrono::steady_clock::now();
-  double us = std::chrono::duration<double, std::micro>(t1 - t0).count();
-  std::printf("%d queries in %.1f us (%.2f us/query), checksum %llu\n",
-              queries, us, us / queries,
-              static_cast<unsigned long long>(checksum));
+  double batch_us = std::chrono::duration<double, std::micro>(t1 - t0).count();
+  std::printf(
+      "%d queries over %zu distinct sources in %.1f us (%.2f us/query, "
+      "%.0f extra CONGEST rounds for the batch flood), checksum %llu\n",
+      queries, sources.size(), batch_us, batch_us / queries, batch.rounds,
+      static_cast<unsigned long long>(checksum));
+  // Each batch row is a full n-entry distance vector, so the oracle has in
+  // fact answered sources × n pairs — the per-distance cost is what scales
+  // to heavy query mixes (any further query on these sources is a lookup).
+  std::printf("  (batch computed %zu full rows = %zu distances, %.3f us "
+              "per distance)\n",
+              sources.size(), sources.size() * static_cast<std::size_t>(n),
+              batch_us / static_cast<double>(sources.size() *
+                                             static_cast<std::size_t>(n)));
+
+  // Scalar reference: one label decode per query (the pre-batch serving
+  // path); both paths must agree query by query.
+  auto t2 = std::chrono::steady_clock::now();
+  std::uint64_t scalar_checksum = 0;
+  for (auto [s, t] : qs) {
+    graph::Weight d = dl.flat.decode(s, t);
+    scalar_checksum += static_cast<std::uint64_t>(d & 0xffff);
+  }
+  auto t3 = std::chrono::steady_clock::now();
+  double scalar_us =
+      std::chrono::duration<double, std::micro>(t3 - t2).count();
+  std::printf("scalar decode reference: %.1f us (%.2f us/query), %s\n",
+              scalar_us, scalar_us / queries,
+              scalar_checksum == checksum ? "checksums agree"
+                                          : "CHECKSUM MISMATCH");
 
   int verified = 0;
   int bad = 0;
   for (int i = 0; i < 5; ++i) {
     auto [s, t] = qs[static_cast<std::size_t>(i) * qs.size() / 5];
     auto truth = graph::dijkstra(net, s);
-    graph::Weight d = dl.labeling.distance(s, t);
+    graph::Weight d = batch.dist_row(row_of[s])[t];
     bool ok = d == truth.dist[t];
     std::printf("  verify dist(%d -> %d) = %lld  [%s]\n", s, t,
                 static_cast<long long>(d), ok ? "exact" : "MISMATCH");
@@ -73,5 +120,5 @@ int main(int argc, char** argv) {
     if (!ok) ++bad;
   }
   std::printf("%d/%d verified queries exact\n", verified - bad, verified);
-  return bad == 0 ? 0 : 1;
+  return (bad == 0 && scalar_checksum == checksum) ? 0 : 1;
 }

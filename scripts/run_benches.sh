@@ -3,8 +3,11 @@
 # bench_tree_decomposition, including the tree-realized engine arm and the
 # deterministic parallel arm BM_TdParallel, whose td_threads counter records
 # the worker count per record), the label-decode hot path (bench_girth's
-# BM_GirthDecodeKernel), and the upper-stack deterministic parallel arms
-# (BM_GirthParallel, BM_MatchingParallel; threads 1/2/4/8) — and emits
+# BM_GirthDecodeKernel), the upper-stack deterministic parallel arms
+# (BM_GirthParallel, BM_MatchingParallel; threads 1/2/4/8), and the batched
+# query plane (bench_distance_labeling's BM_OneVsAllInverted and
+# BM_SsspBatch, whose speedup_vs_flat counters track the inverted-index
+# one-vs-all against the flat full-sweep decode) — and emits
 # BENCH_separator.json: one record per benchmark with wall time and the
 # CONGEST round counters.
 #
@@ -29,13 +32,14 @@ if [ ! -d "$BUILD_DIR" ]; then
   cmake -B "$BUILD_DIR" -S .
 fi
 cmake --build "$BUILD_DIR" --target bench_separation bench_tree_decomposition \
-      bench_girth bench_matching -j"$(nproc)"
+      bench_girth bench_matching bench_distance_labeling -j"$(nproc)"
 
 tmp_sep=$(mktemp)
 tmp_td=$(mktemp)
 tmp_girth=$(mktemp)
 tmp_matching=$(mktemp)
-trap 'rm -f "$tmp_sep" "$tmp_td" "$tmp_girth" "$tmp_matching"' EXIT
+tmp_dl=$(mktemp)
+trap 'rm -f "$tmp_sep" "$tmp_td" "$tmp_girth" "$tmp_matching" "$tmp_dl"' EXIT
 
 "$BUILD_DIR"/bench_separation --benchmark_format=json >"$tmp_sep"
 "$BUILD_DIR"/bench_tree_decomposition --benchmark_format=json >"$tmp_td"
@@ -49,8 +53,14 @@ trap 'rm -f "$tmp_sep" "$tmp_td" "$tmp_girth" "$tmp_matching"' EXIT
 # Matching: only the deterministic task-parallel arm is gated.
 "$BUILD_DIR"/bench_matching --benchmark_filter=BM_MatchingParallel \
     --benchmark_format=json >"$tmp_matching"
+# Query plane: the inverted-index one-vs-all kernel arm and the facade-level
+# batched SSSP arm (rounds deterministic and gated; speedup_vs_flat is
+# wall-time information).
+"$BUILD_DIR"/bench_distance_labeling \
+    '--benchmark_filter=BM_OneVsAllInverted|BM_SsspBatch' \
+    --benchmark_format=json >"$tmp_dl"
 
-python3 - "$OUT" "$tmp_sep" "$tmp_td" "$tmp_girth" "$tmp_matching" <<'PY'
+python3 - "$OUT" "$tmp_sep" "$tmp_td" "$tmp_girth" "$tmp_matching" "$tmp_dl" <<'PY'
 import json
 import sys
 

@@ -76,10 +76,24 @@ const labeling::DlResult& Solver::distance_labeling() {
   return *dl_;
 }
 
+labeling::QueryEngine& Solver::query_engine() {
+  if (!queries_.has_value()) {
+    queries_.emplace(distance_labeling().flat, pool());
+  }
+  return *queries_;
+}
+
 labeling::SsspResult Solver::sssp(graph::VertexId source) {
-  // Decode through the frozen SoA store (built once per cached labeling).
-  return labeling::sssp_from_labels(distance_labeling().flat, source,
-                                    diameter_, *engine_);
+  // Decode through the batched query plane: the engine's inverted index is
+  // built on the first query and reused by every repeat.
+  return labeling::sssp_from_labels(query_engine(), source, diameter_,
+                                    *engine_);
+}
+
+labeling::SsspBatchResult Solver::sssp_batch(
+    std::span<const graph::VertexId> sources) {
+  return labeling::sssp_batch_from_labels(query_engine(), sources, diameter_,
+                                          *engine_);
 }
 
 matching::DistributedMatchingResult Solver::max_matching(

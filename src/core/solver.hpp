@@ -14,6 +14,7 @@
 
 #include <memory>
 #include <optional>
+#include <span>
 #include <string>
 
 #include "exec/task_pool.hpp"
@@ -69,8 +70,19 @@ class Solver {
   const td::TdBuildResult& tree_decomposition();
   /// Theorem 2. Cached; builds the decomposition on demand.
   const labeling::DlResult& distance_labeling();
+  /// The batched query plane over the cached labeling. Created on first
+  /// use and kept for the solver's lifetime: its inverted hub index is
+  /// frozen once and reused by every subsequent sssp / sssp_batch call (the
+  /// index-reuse guarantee — repeated queries never re-transpose the
+  /// store). Runs on the solver's shared pool when threads != 1.
+  labeling::QueryEngine& query_engine();
   /// Exact SSSP (both directions) from `source` via label flooding.
   labeling::SsspResult sssp(graph::VertexId source);
+  /// Batched exact SSSP — the many-query serving shape: one pipelined
+  /// flood charge for the whole batch (D + 3·Σᵢ|label(sᵢ)| rounds), decode
+  /// fanned across the solver pool, row i answering sources[i] bit-
+  /// identically to sssp(sources[i]) at any thread count.
+  labeling::SsspBatchResult sssp_batch(std::span<const graph::VertexId> sources);
   /// Theorem 4; requires the instance to be undirected (bipartiteness is
   /// checked inside).
   matching::DistributedMatchingResult max_matching(
@@ -103,6 +115,7 @@ class Solver {
   std::unique_ptr<exec::TaskPool> pool_;
   std::optional<td::TdBuildResult> td_;
   std::optional<labeling::DlResult> dl_;
+  std::optional<labeling::QueryEngine> queries_;
 };
 
 }  // namespace lowtw

@@ -58,47 +58,47 @@ bool new_pair_run(const std::vector<std::array<EdgeId, 3>>& triples,
 }  // namespace
 
 Weight directed_cycle_fold(const graph::WeightedDigraph& g,
-                           const labeling::FlatLabeling& labels) {
-  // Decode-bound hot loop, batched by arc head: pinning h scatters its
-  // label into a dense hub-indexed array once (O(|label(h)|)), making each
-  // per-arc d(head → tail) a branchless gather over the tail's span; tail
-  // spans of upcoming arcs are prefetched to hide their span-start misses.
-  // The min-fold is order-invariant, so regrouping the arc loop by head
-  // leaves the result (and, in girth_directed, every charge) unchanged.
-  labeling::FlatLabeling::DecodeScratch scratch;
+                           labeling::QueryEngine& queries) {
+  // Decode-bound hot loop as one many-to-many batch: every head with live
+  // in-arcs becomes a source group whose targets are its in-arc tails, so
+  // the engine pins each head once and gathers d(head → tail) over the
+  // run (tail spans prefetched), fanning heads across its pool. Self-loops
+  // and masked arcs never reach the batch. The min-fold is order-invariant,
+  // so the result (and, in girth_directed, every charge) is identical to
+  // the per-arc loop at any worker count.
+  labeling::QueryBatch batch;
+  std::vector<Weight> arc_weight;  // aligned with batch.targets
   Weight girth = kInfinity;
   const int n = g.num_vertices();
   for (VertexId h = 0; h < n; ++h) {
-    auto in = g.in_arcs(h);
-    if (in.empty()) continue;
-    bool pinned = false;
-    for (std::size_t ai = 0; ai < in.size(); ++ai) {
-      const Arc& a = g.arc(in[ai]);
+    bool open = false;
+    for (EdgeId e : g.in_arcs(h)) {
+      const Arc& a = g.arc(e);
       if (a.weight >= kInfinity) continue;
       if (a.tail == a.head) {
         girth = std::min(girth, a.weight);
         continue;
       }
-      if (!pinned) {
-        labels.pin(h, scratch, labeling::FlatLabeling::PinSide::kTo);
-        // Prime the next head's tail spans while this head's decodes run.
-        if (h + 1 < n) {
-          for (EdgeId e2 : g.in_arcs(h + 1)) {
-            labels.prefetch_target(g.arc(e2).tail);
-          }
-        }
-        pinned = true;
+      if (!open) {
+        batch.add_source(h);
+        open = true;
       }
-      if (ai + 1 < in.size()) {
-        labels.prefetch_target(g.arc(in[ai + 1]).tail);
-      }
-      Weight back = labels.decode_from_pinned(scratch, a.tail);
-      if (back < kInfinity) {
-        girth = std::min(girth, a.weight + back);
-      }
+      batch.add_target(a.tail);
+      arc_weight.push_back(a.weight);
     }
   }
+  queries.run(batch);
+  for (std::size_t j = 0; j < batch.num_queries(); ++j) {
+    const Weight back = batch.results[j];
+    if (back < kInfinity) girth = std::min(girth, arc_weight[j] + back);
+  }
   return girth;
+}
+
+Weight directed_cycle_fold(const graph::WeightedDigraph& g,
+                           const labeling::FlatLabeling& labels) {
+  labeling::QueryEngine queries(labels);
+  return directed_cycle_fold(g, queries);
 }
 
 namespace {
@@ -122,7 +122,8 @@ GirthResult girth_directed_impl(const graph::WeightedDigraph& g,
                 "girth/label_exchange");
   engine.pa(primitives::PartStats{1, 0}, "girth/aggregate");
 
-  result.girth = directed_cycle_fold(g, dl.flat);
+  labeling::QueryEngine queries(dl.flat, pool);
+  result.girth = directed_cycle_fold(g, queries);
   result.rounds = engine.ledger().total() - before;
   return result;
 }
@@ -176,6 +177,14 @@ GirthResult girth_undirected(const graph::WeightedDigraph& g,
   // identical across the trials×scales CDL rebuilds — hoist them.
   walks::CdlWorkspace cdl_ws;
   walks::CdlResult cdl;
+  // The g(v) diagonal sweep is a CdlResult::distance hot loop; phrased as a
+  // pairwise batch, its product-id pairs are identical across rebuilds
+  // (same n and |Q|), so the request is built once — after the first build
+  // fixes the product shape — and re-run through an engine rebound to each
+  // trial's labels.
+  labeling::QueryEngine diag_queries;
+  std::vector<labeling::QueryPair> diag_pairs;
+  std::vector<Weight> diag_dist;
   int scales_since_success = 0;
   for (std::int64_t c_hat = 1; c_hat <= 2 * num_edges; c_hat *= 2) {
     bool success_at_scale = false;
@@ -194,8 +203,17 @@ GirthResult girth_undirected(const graph::WeightedDigraph& g,
       // g(v) = shortest exact count-1 closed walk at v, from v's own label;
       // global min by aggregation (one PA).
       engine.pa(primitives::PartStats{1, 0}, "girth/aggregate");
+      if (diag_pairs.empty()) {
+        diag_pairs.reserve(static_cast<std::size_t>(n));
+        for (VertexId v = 0; v < n; ++v) {
+          diag_pairs.push_back(cdl.distance_pair(v, v, q1));
+        }
+        diag_dist.resize(static_cast<std::size_t>(n));
+      }
+      diag_queries.bind(cdl.labels);
+      diag_queries.pairwise(diag_pairs, diag_dist);
       for (VertexId v = 0; v < n; ++v) {
-        Weight gv = cdl.distance(v, v, q1);
+        const Weight gv = diag_dist[v];
         if (gv > 0 && gv < result.girth) {
           result.girth = gv;
           success_at_scale = true;
@@ -248,6 +266,12 @@ GirthResult girth_undirected(const graph::WeightedDigraph& g,
     graph::WeightedDigraph labeled;
     bool labeled_init = false;
     primitives::RoundLedger ledger;
+    /// Per-worker diagonal pairwise batch (QueryEngine is single-caller;
+    /// tasks must not share one): pairs are built from the worker's first
+    /// CDL build and reused — product ids are rebuild-invariant.
+    labeling::QueryEngine queries;
+    std::vector<labeling::QueryPair> diag_pairs;
+    std::vector<Weight> diag_dist;
   };
   exec::WorkerLocal<TrialWorker> workers(pool);
 
@@ -284,8 +308,17 @@ GirthResult girth_undirected(const graph::WeightedDigraph& g,
       walks::build_cdl_into(w.labeled, skeleton, hierarchy, cons, eng,
                             &cdl_ws, cdl);
       eng.pa(primitives::PartStats{1, 0}, "girth/aggregate");
+      if (w.diag_pairs.empty()) {
+        w.diag_pairs.reserve(static_cast<std::size_t>(n));
+        for (VertexId v = 0; v < n; ++v) {
+          w.diag_pairs.push_back(cdl.distance_pair(v, v, q1));
+        }
+        w.diag_dist.resize(static_cast<std::size_t>(n));
+      }
+      w.queries.bind(cdl.labels);
+      w.queries.pairwise(w.diag_pairs, w.diag_dist);
       for (VertexId v = 0; v < n; ++v) {
-        Weight gv = cdl.distance(v, v, q1);
+        const Weight gv = w.diag_dist[v];
         if (gv > 0 && gv < out.best) out.best = gv;
       }
       w.ledger.snapshot(out.charges);

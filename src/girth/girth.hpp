@@ -46,11 +46,18 @@ GirthResult girth_directed(const graph::WeightedDigraph& g,
                            primitives::Engine& engine, exec::TaskPool& pool);
 
 /// The decode-bound kernel of girth_directed: min over arcs (t→h) of
-/// w(t,h) + dec(h, t), batched by head over the flat label store (pin the
-/// head once, gather per in-arc, prefetch upcoming tail spans). Exposed so
-/// the decode benchmark times exactly the production fold. Self-loops
-/// contribute their own weight; masked (weight ≥ kInfinity) arcs are
-/// skipped.
+/// w(t,h) + dec(h, t), phrased as one many-to-many batch on the query
+/// plane — heads are the sources, their in-arc tails the target runs, so
+/// each head pins once and gathers its run (prefetched), and independent
+/// heads fan across the engine's pool. The min-fold is order-invariant, so
+/// the result is bit-identical to the per-arc loop at any worker count.
+/// Self-loops contribute their own weight; masked (weight ≥ kInfinity)
+/// arcs are skipped. Exposed so the decode benchmark times exactly the
+/// production fold.
+graph::Weight directed_cycle_fold(const graph::WeightedDigraph& g,
+                                  labeling::QueryEngine& queries);
+
+/// Convenience overload over a bare store (no pool, throwaway engine).
 graph::Weight directed_cycle_fold(const graph::WeightedDigraph& g,
                                   const labeling::FlatLabeling& labels);
 

@@ -1,10 +1,28 @@
-// Text serialization for graphs and instances.
+// Text and binary serialization for graphs and instances.
 //
-// Format (one record per line, '#' comments allowed):
+// Text format (one record per line, '#' comments allowed):
 //   ugraph <n>            — header for an undirected simple graph
 //   e <u> <v>             — undirected edge
 //   digraph <n>           — header for a weighted directed multigraph
 //   a <tail> <head> <weight> [label]
+//
+// Binary format (the streaming/IO workload — large instances skip the text
+// parser entirely): a checked 16-byte header
+//   magic "LTWB" | u32 version | u32 kind | u32 endian probe 0x01020304
+// followed by the payload arrays in native little-endian layout,
+//   kind 1 (CSR graph):        i32 n, i32 m, i32 offsets[n+1], i32 targets[2m]
+//   kind 2 (weighted digraph): i32 n, i32 m, i32 out_degree[n], then SoA
+//                              arrays i32 tail[m], i32 head[m],
+//                              i64 weight[m], i32 label[m]
+// Readers consume the arrays in bounded chunks (≈1 MiB), so a corrupted
+// count fails at EOF instead of provoking a giant upfront allocation —
+// both headline counts are backed by n- resp. m-proportional payload (the
+// CSR offset table, the digraph out-degree table), so no header field can
+// demand an allocation larger than the bytes actually supplied — and
+// structure is re-validated on arrival (the CSR path goes through
+// CsrGraph::from_parts, which checks the offset table and span sorting;
+// the digraph path cross-checks the rebuilt adjacency against the degree
+// table).
 //
 // Plus a Graphviz DOT exporter used by the examples for visual inspection.
 #pragma once
@@ -12,6 +30,7 @@
 #include <iosfwd>
 #include <string>
 
+#include "graph/csr.hpp"
 #include "graph/digraph.hpp"
 #include "graph/graph.hpp"
 
@@ -22,6 +41,15 @@ Graph read_graph(std::istream& is);
 
 void write_digraph(std::ostream& os, const WeightedDigraph& g);
 WeightedDigraph read_digraph(std::istream& is);
+
+/// Binary round-trip for the frozen CSR layout (kind 1).
+void write_graph_binary(std::ostream& os, const CsrGraph& g);
+CsrGraph read_graph_binary(std::istream& is);
+
+/// Binary round-trip for weighted directed multigraphs (kind 2); arcs keep
+/// their ids, weights, and labels exactly.
+void write_graph_binary(std::ostream& os, const WeightedDigraph& g);
+WeightedDigraph read_digraph_binary(std::istream& is);
 
 /// DOT export of an undirected graph; `highlight` vertices are drawn filled
 /// (used by examples to show separators/matchings).

@@ -522,9 +522,101 @@ SsspResult sssp_from_labels(const FlatLabeling& labeling, VertexId source,
   return out;
 }
 
+SsspResult sssp_from_labels(QueryEngine& queries, VertexId source,
+                            int diameter, primitives::Engine& engine) {
+  SsspResult out;
+  const auto n = static_cast<std::size_t>(queries.labels().num_vertices());
+  out.dist.resize(n);
+  out.dist_to.resize(n);
+  const double rounds_before = engine.ledger().total();
+  engine.rounds(static_cast<double>(diameter) +
+                    3.0 * static_cast<double>(queries.labels().entries(source)),
+                "sssp/label_flood");
+  queries.one_vs_all(source, out.dist, out.dist_to);
+  out.rounds = engine.ledger().total() - rounds_before;
+  return out;
+}
+
+namespace {
+
+/// Exact content comparison against a cached frozen form: O(total entries)
+/// pure reads — the cheap half of a freeze (no offset build, no SoA
+/// writes, no allocation) — and no false positives, unlike a hash: this is
+/// an exact-distance API, so the cache must never serve a stale store.
+bool matches_frozen(const DistanceLabeling& labeling,
+                    const FlatLabeling& flat) {
+  if (flat.num_vertices() !=
+      static_cast<int>(labeling.labels.size())) {
+    return false;
+  }
+  for (std::size_t v = 0; v < labeling.labels.size(); ++v) {
+    const Label& l = labeling.labels[v];
+    auto hubs = flat.hubs(static_cast<VertexId>(v));
+    auto to = flat.to_hub(static_cast<VertexId>(v));
+    auto from = flat.from_hub(static_cast<VertexId>(v));
+    if (l.entries.size() != hubs.size()) return false;
+    for (std::size_t i = 0; i < hubs.size(); ++i) {
+      const LabelEntry& e = l.entries[i];
+      if (e.hub != hubs[i] || e.to_hub != to[i] || e.from_hub != from[i]) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
 SsspResult sssp_from_labels(const DistanceLabeling& labeling, VertexId source,
                             int diameter, primitives::Engine& engine) {
-  return sssp_from_labels(FlatLabeling(labeling), source, diameter, engine);
+  // Cached conversion: this legacy entry point used to freeze a fresh
+  // FlatLabeling on every call. One slot per thread, validated by exact
+  // content comparison: repeated queries against an unchanged labeling
+  // reuse the frozen store — and keep its generation stable, so the query
+  // engine's index survives across calls too — while any mutation (or a
+  // different labeling) re-freezes into the same buffers. The validation
+  // pass is O(total entries) and unavoidable for a mutable input with no
+  // version stamp; callers on the serving path should hold a FlatLabeling
+  // or QueryEngine directly (Solver does).
+  struct LegacyCache {
+    bool filled = false;
+    FlatLabeling flat;
+    QueryEngine queries;
+  };
+  thread_local LegacyCache cache;
+  if (!cache.filled || !matches_frozen(labeling, cache.flat)) {
+    cache.flat.assign(labeling);
+    cache.queries.bind(cache.flat);
+    cache.filled = true;
+  }
+  return sssp_from_labels(cache.queries, source, diameter, engine);
+}
+
+SsspBatchResult sssp_batch_from_labels(QueryEngine& queries,
+                                       std::span<const VertexId> sources,
+                                       int diameter,
+                                       primitives::Engine& engine) {
+  SsspBatchResult out;
+  out.sources.assign(sources.begin(), sources.end());
+  const auto n = static_cast<std::size_t>(queries.labels().num_vertices());
+  out.stride = n;
+  out.dist.resize(sources.size() * n);
+  out.dist_to.resize(sources.size() * n);
+  const double rounds_before = engine.ledger().total();
+  // Pipelined batch flood: the sources' labels stream back-to-back over the
+  // same spanning structure, so the diameter term is paid once for the
+  // whole batch and each flooded entry costs its 3 words.
+  double flood_entries = 0;
+  for (VertexId s : sources) {
+    flood_entries += static_cast<double>(queries.labels().entries(s));
+  }
+  if (!sources.empty()) {
+    engine.rounds(static_cast<double>(diameter) + 3.0 * flood_entries,
+                  "sssp/batch_flood");
+  }
+  queries.one_vs_all_batch(sources, out.dist, out.dist_to);
+  out.rounds = engine.ledger().total() - rounds_before;
+  return out;
 }
 
 }  // namespace lowtw::labeling

@@ -26,6 +26,7 @@
 #include "graph/digraph.hpp"
 #include "labeling/flat_labeling.hpp"
 #include "labeling/label.hpp"
+#include "labeling/query_plane.hpp"
 #include "primitives/engine.hpp"
 #include "td/builder.hpp"
 
@@ -86,10 +87,49 @@ SsspResult sssp_from_labels(const FlatLabeling& labeling,
                             graph::VertexId source, int diameter,
                             primitives::Engine& engine);
 
+/// Same charges, decoded through the batched query plane: the engine's
+/// inverted hub index answers the one-vs-all with postings merges (built on
+/// first use, reused across calls — the decoded distances are bit-identical
+/// to the FlatLabeling overload). This is what Solver::sssp routes through.
+SsspResult sssp_from_labels(QueryEngine& queries, graph::VertexId source,
+                            int diameter, primitives::Engine& engine);
+
 /// Convenience wrapper over a builder labeling: freezes, then decodes.
-/// Callers holding a DlResult should pass `dl.flat` directly.
+/// The conversion is cached per thread and validated by exact content
+/// comparison — repeated queries against an unchanged labeling skip the
+/// freeze instead of rebuilding the SoA store every call, and a mutated
+/// labeling always re-freezes (never a stale hit). Callers holding a
+/// DlResult should pass `dl.flat` directly.
 SsspResult sssp_from_labels(const DistanceLabeling& labeling,
                             graph::VertexId source, int diameter,
                             primitives::Engine& engine);
+
+/// Batched exact SSSP: row i (stride = n) answers sources[i], both
+/// directions, matching sssp_from_labels(sources[i]) bit for bit.
+struct SsspBatchResult {
+  std::vector<graph::VertexId> sources;
+  std::size_t stride = 0;                  ///< row length (= num vertices)
+  std::vector<graph::Weight> dist;         ///< dist[i·stride + v] = d(sᵢ → v)
+  std::vector<graph::Weight> dist_to;      ///< d(v → sᵢ)
+  double rounds = 0;
+
+  std::span<const graph::Weight> dist_row(std::size_t i) const {
+    return {dist.data() + i * stride, stride};
+  }
+  std::span<const graph::Weight> dist_to_row(std::size_t i) const {
+    return {dist_to.data() + i * stride, stride};
+  }
+};
+
+/// The many-query serving shape: the sources' label floods pipeline over
+/// the same spanning structure, so the batch charges one diameter term plus
+/// 3 words per flooded entry (D + 3·Σᵢ|label(sᵢ)| rounds) — cheaper than
+/// |sources| independent floods. Decode fans the sources across the
+/// engine's pool, one inverted one-vs-all row each; results are
+/// bit-identical for every worker count.
+SsspBatchResult sssp_batch_from_labels(QueryEngine& queries,
+                                       std::span<const graph::VertexId> sources,
+                                       int diameter,
+                                       primitives::Engine& engine);
 
 }  // namespace lowtw::labeling

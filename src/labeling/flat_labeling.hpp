@@ -45,6 +45,16 @@ class FlatLabeling {
   int num_vertices() const { return static_cast<int>(offsets_.size()) - 1; }
   std::size_t num_entries() const { return hub_ids_.size(); }
 
+  /// Exclusive upper bound on hub ids (≥ num_vertices(); larger only for
+  /// hand-built labelings with out-of-range hubs). Sizes the dense pin
+  /// arrays and the inverted index's per-hub offset table.
+  graph::VertexId hub_bound() const { return hub_bound_; }
+
+  /// Content stamp, bumped on every assign()/from_parts(). Companion
+  /// structures built from this store (DecodeScratch pins, the inverted hub
+  /// index) record it and compare on use to detect a re-frozen store.
+  std::uint64_t generation() const { return generation_; }
+
   /// Number of hubs of v.
   std::size_t entries(graph::VertexId v) const {
     return offsets_[v + 1] - offsets_[v];

@@ -1,0 +1,161 @@
+#include "labeling/inverted_index.hpp"
+
+#include <algorithm>
+
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+#define LOWTW_X86_DISPATCH 1
+#include <immintrin.h>
+#endif
+
+#include "util/check.hpp"
+
+namespace lowtw::labeling {
+
+using graph::kInfinity;
+using graph::VertexId;
+using graph::Weight;
+
+namespace {
+
+// --- postings-relax kernels --------------------------------------------------
+//
+// out[pv[j]] = min(out[pv[j]], leg + w[j]) over one postings run: the
+// hub-major half of the decoder's min-fold, with the hub leg hoisted to a
+// broadcast constant. Vertices are unique within a run, so the AVX-512
+// variant's gather → min → masked-scatter has no intra-vector conflicts;
+// all variants compute the identical integer mins. Selected once at startup
+// by CPU feature, like the gather-min dispatch in flat_labeling.cpp.
+
+void postings_relax_scalar(const VertexId* pv, const Weight* w, std::size_t m,
+                           Weight leg, Weight* out) {
+  std::size_t j = 0;
+  for (; j + 2 <= m; j += 2) {
+    const Weight c0 = leg + w[j];
+    const VertexId v0 = pv[j];
+    if (c0 < out[v0]) out[v0] = c0;
+    const Weight c1 = leg + w[j + 1];
+    const VertexId v1 = pv[j + 1];
+    if (c1 < out[v1]) out[v1] = c1;
+  }
+  if (j < m) {
+    const Weight c = leg + w[j];
+    if (c < out[pv[j]]) out[pv[j]] = c;
+  }
+}
+
+#ifdef LOWTW_X86_DISPATCH
+
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wuninitialized"
+#pragma GCC diagnostic ignored "-Wmaybe-uninitialized"
+__attribute__((target("avx512f"))) void postings_relax_avx512(
+    const VertexId* pv, const Weight* w, std::size_t m, Weight leg,
+    Weight* out) {
+  const __m512i vleg = _mm512_set1_epi64(leg);
+  std::size_t j = 0;
+  for (; j + 8 <= m; j += 8) {
+    const __m256i idx =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(pv + j));
+    const __m512i wv = _mm512_loadu_si512(static_cast<const void*>(w + j));
+    const __m512i cand = _mm512_add_epi64(vleg, wv);
+    const __m512i cur = _mm512_mask_i32gather_epi64(
+        cand, static_cast<__mmask8>(0xFF), idx,
+        reinterpret_cast<const long long*>(out), 8);
+    // Scatter only the improved lanes; lanes at or above the current value
+    // leave out[] untouched, exactly like the scalar compare-store.
+    const __mmask8 lt = _mm512_cmplt_epi64_mask(cand, cur);
+    _mm512_mask_i32scatter_epi64(reinterpret_cast<long long*>(out), lt, idx,
+                                 cand, 8);
+  }
+  for (; j < m; ++j) {
+    const Weight c = leg + w[j];
+    if (c < out[pv[j]]) out[pv[j]] = c;
+  }
+}
+#pragma GCC diagnostic pop
+
+#endif  // LOWTW_X86_DISPATCH
+
+using PostingsRelaxFn = void (*)(const VertexId*, const Weight*, std::size_t,
+                                 Weight, Weight*);
+
+PostingsRelaxFn pick_postings_relax() {
+#ifdef LOWTW_X86_DISPATCH
+  if (__builtin_cpu_supports("avx512f")) return postings_relax_avx512;
+#endif
+  return postings_relax_scalar;
+}
+
+const PostingsRelaxFn kPostingsRelax = pick_postings_relax();
+
+}  // namespace
+
+void InvertedHubIndex::assign(const FlatLabeling& labels) {
+  const int n = labels.num_vertices();
+  const auto hub_bound = static_cast<std::size_t>(labels.hub_bound());
+  const std::size_t total = labels.num_entries();
+
+  // Counting-sort transpose: histogram hub occurrences, prefix-sum into the
+  // offset table, then scan vertices in ascending id order so every postings
+  // run comes out vertex-sorted without a comparison sort.
+  offsets_.assign(hub_bound + 1, 0);
+  for (VertexId v = 0; v < n; ++v) {
+    for (VertexId h : labels.hubs(v)) ++offsets_[static_cast<std::size_t>(h) + 1];
+  }
+  for (std::size_t h = 0; h < hub_bound; ++h) offsets_[h + 1] += offsets_[h];
+  LOWTW_CHECK(offsets_[hub_bound] == total);
+
+  vertices_.resize(total);
+  to_hub_.resize(total);
+  from_hub_.resize(total);
+  std::vector<std::size_t> cursor(offsets_.begin(), offsets_.end() - 1);
+  for (VertexId v = 0; v < n; ++v) {
+    auto hubs = labels.hubs(v);
+    auto to = labels.to_hub(v);
+    auto from = labels.from_hub(v);
+    for (std::size_t i = 0; i < hubs.size(); ++i) {
+      const std::size_t pos = cursor[hubs[i]]++;
+      vertices_[pos] = v;
+      to_hub_[pos] = to[i];
+      from_hub_[pos] = from[i];
+    }
+  }
+
+  num_vertices_ = n;
+  source_ = &labels;
+  source_generation_ = labels.generation();
+}
+
+void InvertedHubIndex::one_vs_all(VertexId source,
+                                  std::span<Weight> out_dist,
+                                  std::span<Weight> out_dist_to) const {
+  LOWTW_CHECK_MSG(source_ != nullptr &&
+                      source_generation_ == source_->generation(),
+                  "inverted one_vs_all on a stale or empty index");
+  LOWTW_CHECK(out_dist.size() == static_cast<std::size_t>(num_vertices_));
+  LOWTW_CHECK(out_dist_to.size() == static_cast<std::size_t>(num_vertices_));
+  std::fill(out_dist.begin(), out_dist.end(), kInfinity);
+  std::fill(out_dist_to.begin(), out_dist_to.end(), kInfinity);
+
+  auto hubs = source_->hubs(source);
+  auto to = source_->to_hub(source);
+  auto from = source_->from_hub(source);
+  for (std::size_t i = 0; i < hubs.size(); ++i) {
+    const VertexId h = hubs[i];
+    const std::size_t base = offsets_[h];
+    const std::size_t m = postings(h);
+    // An infinite leg can never beat the kInfinity the outputs start at
+    // (candidates only saturate further), so the whole run is skipped —
+    // same result as the flat sweep's padded candidates, fewer loads.
+    if (to[i] < kInfinity) {
+      kPostingsRelax(vertices_.data() + base, from_hub_.data() + base, m,
+                     to[i], out_dist.data());
+    }
+    if (from[i] < kInfinity) {
+      kPostingsRelax(vertices_.data() + base, to_hub_.data() + base, m,
+                     from[i], out_dist_to.data());
+    }
+  }
+}
+
+}  // namespace lowtw::labeling

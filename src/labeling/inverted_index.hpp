@@ -1,0 +1,99 @@
+// Inverted hub index: the postings-form companion of the frozen SoA store.
+//
+// `FlatLabeling` answers "what are the hubs of v?" — one span per vertex.
+// The inverted index answers the transposed question, "which vertices carry
+// hub h?": for every hub, one sorted postings run of (vertex, to_hub,
+// from_hub), with an offset table over hub ids. It is built once per frozen
+// store by a counting-sort transpose (two O(total-entries) passes, no
+// comparison sort) and keyed to the store's generation stamp, so a re-frozen
+// store invalidates the index instead of silently decoding stale weights.
+//
+// Why it exists: the one-vs-all decode of the flat store sweeps *every*
+// label span — O(total entries) per source, most of it spent on vertices
+// that share no hub with the source. Inverted, the same query walks only the
+// postings of the source's own hubs: for each hub s of u with legs
+// (d(u→s), d(s→u)), every posting (v, d(v→s), d(s→v)) contributes the
+// candidates d(u→s) + d(s→v) and d(v→s) + d(s→u) — exactly the common-hub
+// candidate set of the decoder, enumerated hub-major instead of
+// vertex-major. Each postings run is one contiguous ascending-vertex stream,
+// so the fold is pure sequential merges into the output arrays; the
+// per-source cost drops from the store total to the postings volume of one
+// root path (a log-factor less on hierarchy-built labelings, where deep
+// hubs index only their subtree).
+//
+// The min-fold is order-invariant and the unguarded leg sums saturate past
+// kInfinity without overflowing (kInfinity = max/4), so results are
+// bit-identical to FlatLabeling::decode_one_vs_all — property-tested in
+// tests/test_query_plane.cpp against the flat kernels and Dijkstra.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "labeling/flat_labeling.hpp"
+
+namespace lowtw::labeling {
+
+class InvertedHubIndex {
+ public:
+  InvertedHubIndex() = default;
+
+  /// Builds the postings form of `labels`. O(total entries + hub bound).
+  explicit InvertedHubIndex(const FlatLabeling& labels) { assign(labels); }
+
+  /// Rebuilds into the same storage (buffers are reused once grown) and
+  /// re-keys the index to the store's current generation.
+  void assign(const FlatLabeling& labels);
+
+  /// True iff this index was built from `labels` at its current generation —
+  /// the freshness check callers use to rebuild lazily on reuse.
+  bool matches(const FlatLabeling& labels) const {
+    return source_ == &labels && source_generation_ == labels.generation();
+  }
+
+  bool empty() const { return source_ == nullptr; }
+  int num_vertices() const { return num_vertices_; }
+  /// Exclusive upper bound on indexed hub ids (= the store's hub_bound()).
+  graph::VertexId hub_bound() const {
+    return static_cast<graph::VertexId>(offsets_.size()) - 1;
+  }
+  std::size_t num_postings() const { return vertices_.size(); }
+
+  std::size_t postings(graph::VertexId hub) const {
+    return offsets_[hub + 1] - offsets_[hub];
+  }
+  /// Ascending vertex ids carrying `hub`, paired index-wise with
+  /// to_hub(hub) / from_hub(hub).
+  std::span<const graph::VertexId> vertices(graph::VertexId hub) const {
+    return {vertices_.data() + offsets_[hub], postings(hub)};
+  }
+  /// d(vertex → hub) per posting.
+  std::span<const graph::Weight> to_hub(graph::VertexId hub) const {
+    return {to_hub_.data() + offsets_[hub], postings(hub)};
+  }
+  /// d(hub → vertex) per posting.
+  std::span<const graph::Weight> from_hub(graph::VertexId hub) const {
+    return {from_hub_.data() + offsets_[hub], postings(hub)};
+  }
+
+  /// Batch kernel: decodes `source` against every vertex by merging the
+  /// postings runs of source's hubs, writing out_dist[v] = dec(source, v)
+  /// and out_dist_to[v] = dec(v, source). Bit-identical to
+  /// FlatLabeling::decode_one_vs_all on the source store; spans must be
+  /// sized num_vertices(). Cost: O(|label(source)| + postings volume of
+  /// source's hubs) instead of the store total.
+  void one_vs_all(graph::VertexId source, std::span<graph::Weight> out_dist,
+                  std::span<graph::Weight> out_dist_to) const;
+
+ private:
+  std::vector<std::size_t> offsets_;      ///< size hub_bound+1
+  std::vector<graph::VertexId> vertices_;
+  std::vector<graph::Weight> to_hub_;
+  std::vector<graph::Weight> from_hub_;
+  int num_vertices_ = 0;
+  const FlatLabeling* source_ = nullptr;
+  std::uint64_t source_generation_ = 0;
+};
+
+}  // namespace lowtw::labeling

@@ -1,0 +1,142 @@
+#include "labeling/query_plane.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace lowtw::labeling {
+
+using graph::kInfinity;
+using graph::VertexId;
+using graph::Weight;
+
+namespace {
+
+/// Pairs per pairwise task: coarse enough that the mutex-guarded cursor of
+/// TaskPool never shows, fine enough to balance skewed span lengths.
+constexpr std::size_t kPairChunk = 256;
+
+}  // namespace
+
+int QueryEngine::fan_workers() const {
+  return pool_ != nullptr ? pool_->num_workers() : 1;
+}
+
+const InvertedHubIndex& QueryEngine::index() {
+  LOWTW_CHECK_MSG(labels_ != nullptr, "QueryEngine used before bind()");
+  if (!index_.matches(*labels_)) index_.assign(*labels_);
+  return index_;
+}
+
+void QueryEngine::one_vs_all(VertexId source, std::span<Weight> out_dist,
+                             std::span<Weight> out_dist_to) {
+  index().one_vs_all(source, out_dist, out_dist_to);
+}
+
+void QueryEngine::one_vs_all_batch(std::span<const VertexId> sources,
+                                   std::span<Weight> out_dist,
+                                   std::span<Weight> out_dist_to) {
+  const InvertedHubIndex& idx = index();  // freeze once, before the fan
+  const auto n = static_cast<std::size_t>(idx.num_vertices());
+  LOWTW_CHECK(out_dist.size() == sources.size() * n);
+  LOWTW_CHECK(out_dist_to.size() == sources.size() * n);
+  auto decode_row = [&](int i) {
+    const auto row = static_cast<std::size_t>(i) * n;
+    idx.one_vs_all(sources[static_cast<std::size_t>(i)],
+                   out_dist.subspan(row, n), out_dist_to.subspan(row, n));
+  };
+  if (pool_ != nullptr && sources.size() > 1) {
+    // Tasks only read the index and write their own row — bit-identical to
+    // the serial loop for every worker count.
+    pool_->run(static_cast<int>(sources.size()),
+               [&](int i, int /*worker*/) { decode_row(i); });
+  } else {
+    for (std::size_t i = 0; i < sources.size(); ++i) {
+      decode_row(static_cast<int>(i));
+    }
+  }
+}
+
+void QueryEngine::run(QueryBatch& batch) {
+  LOWTW_CHECK_MSG(labels_ != nullptr, "QueryEngine used before bind()");
+  const FlatLabeling& labels = *labels_;
+  batch.results.resize(batch.targets.size());
+  scratch_.resize(static_cast<std::size_t>(fan_workers()));
+  auto decode_group = [&](int i, int worker) {
+    const auto si = static_cast<std::size_t>(i);
+    const std::size_t begin = batch.run_begin(si);
+    const std::size_t end = batch.run_end(si);
+    if (begin == end) return;
+    FlatLabeling::DecodeScratch& scratch =
+        scratch_[static_cast<std::size_t>(worker)];
+    labels.pin(batch.sources[si], scratch, FlatLabeling::PinSide::kTo);
+    // Lookahead prefetch hides the span-start miss of the next target while
+    // the current gather runs (same idiom as the girth arc loop).
+    if (begin < end) labels.prefetch_target(batch.targets[begin]);
+    for (std::size_t j = begin; j < end; ++j) {
+      if (j + 1 < end) labels.prefetch_target(batch.targets[j + 1]);
+      batch.results[j] = labels.decode_from_pinned(scratch, batch.targets[j]);
+    }
+  };
+  if (pool_ != nullptr && batch.num_sources() > 1) {
+    pool_->run(static_cast<int>(batch.num_sources()), decode_group);
+  } else {
+    for (std::size_t i = 0; i < batch.num_sources(); ++i) {
+      decode_group(static_cast<int>(i), 0);
+    }
+  }
+}
+
+void QueryEngine::many_to_many(std::span<const VertexId> sources,
+                               std::span<const VertexId> targets,
+                               std::span<Weight> out) {
+  LOWTW_CHECK_MSG(labels_ != nullptr, "QueryEngine used before bind()");
+  LOWTW_CHECK(out.size() == sources.size() * targets.size());
+  const FlatLabeling& labels = *labels_;
+  scratch_.resize(static_cast<std::size_t>(fan_workers()));
+  auto decode_row = [&](int i, int worker) {
+    const auto row = static_cast<std::size_t>(i) * targets.size();
+    FlatLabeling::DecodeScratch& scratch =
+        scratch_[static_cast<std::size_t>(worker)];
+    labels.pin(sources[static_cast<std::size_t>(i)], scratch,
+               FlatLabeling::PinSide::kTo);
+    for (std::size_t j = 0; j < targets.size(); ++j) {
+      if (j + 1 < targets.size()) labels.prefetch_target(targets[j + 1]);
+      out[row + j] = labels.decode_from_pinned(scratch, targets[j]);
+    }
+  };
+  if (pool_ != nullptr && sources.size() > 1) {
+    pool_->run(static_cast<int>(sources.size()), decode_row);
+  } else {
+    for (std::size_t i = 0; i < sources.size(); ++i) {
+      decode_row(static_cast<int>(i), 0);
+    }
+  }
+}
+
+void QueryEngine::pairwise(std::span<const QueryPair> pairs,
+                           std::span<Weight> out) {
+  LOWTW_CHECK_MSG(labels_ != nullptr, "QueryEngine used before bind()");
+  LOWTW_CHECK(out.size() == pairs.size());
+  const FlatLabeling& labels = *labels_;
+  auto decode_chunk = [&](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) {
+      if (i + 1 < end) {
+        labels.prefetch_source(pairs[i + 1].u);
+        labels.prefetch_target(pairs[i + 1].v);
+      }
+      out[i] = labels.decode(pairs[i].u, pairs[i].v);
+    }
+  };
+  const std::size_t chunks = (pairs.size() + kPairChunk - 1) / kPairChunk;
+  if (pool_ != nullptr && chunks > 1) {
+    pool_->run(static_cast<int>(chunks), [&](int c, int /*worker*/) {
+      const std::size_t begin = static_cast<std::size_t>(c) * kPairChunk;
+      decode_chunk(begin, std::min(begin + kPairChunk, pairs.size()));
+    });
+  } else {
+    decode_chunk(0, pairs.size());
+  }
+}
+
+}  // namespace lowtw::labeling

@@ -1,0 +1,141 @@
+// The batched query plane: every distance the codebase answers from labels
+// goes through one of three batch shapes instead of one-call-at-a-time
+// scalar decodes.
+//
+//   one_vs_all   — a source against every vertex: sequential postings merges
+//                  over the InvertedHubIndex (see inverted_index.hpp);
+//                  batches of sources fan across the TaskPool, one output
+//                  row per source.
+//   many_to_many — each source against its own target group (QueryBatch):
+//                  the source is pinned once (dense hub scatter) and every
+//                  target is a branchless SIMD gather-min over its span —
+//                  the girth cycle-fold shape.
+//   pairwise     — independent (u, v) pairs: merge/gallop decodes with the
+//                  next pair's spans prefetched — the CDL distance-check
+//                  shape (matching walk verification, girth diagonal).
+//
+// Determinism contract (same as the exec layer, ARCHITECTURE.md): decodes
+// are pure functions of the frozen store, every task writes only its own
+// output slots, and per-worker state is scratch whose contents never leak —
+// so results are bit-identical for every pool size including none. The
+// engine charges no rounds: decode is free in the ledger model ("rounds are
+// sacred, wall time is the optimization target"); callers charge floods and
+// aggregations as before.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "exec/task_pool.hpp"
+#include "labeling/flat_labeling.hpp"
+#include "labeling/inverted_index.hpp"
+#include "util/check.hpp"
+
+namespace lowtw::labeling {
+
+/// One independent (u, v) distance query: result = dec(u, v) = d(u → v).
+struct QueryPair {
+  graph::VertexId u = graph::kNoVertex;
+  graph::VertexId v = graph::kNoVertex;
+};
+
+/// A reusable grouped many-to-many request: sources with per-source target
+/// runs, results parallel to `targets`. Buffers keep their capacity across
+/// clear(), so loop callers (the girth fold) allocate only on first use.
+struct QueryBatch {
+  std::vector<graph::VertexId> sources;
+  std::vector<std::size_t> starts;        ///< target-run start per source
+  std::vector<graph::VertexId> targets;
+  std::vector<graph::Weight> results;     ///< results[j] = dec(src_of_j, targets[j])
+
+  void clear() {
+    sources.clear();
+    starts.clear();
+    targets.clear();
+    results.clear();
+  }
+  /// Opens a new source group; subsequent add_target calls append to it.
+  void add_source(graph::VertexId u) {
+    sources.push_back(u);
+    starts.push_back(targets.size());
+  }
+  void add_target(graph::VertexId v) { targets.push_back(v); }
+
+  std::size_t num_sources() const { return sources.size(); }
+  std::size_t num_queries() const { return targets.size(); }
+  std::size_t run_begin(std::size_t i) const { return starts[i]; }
+  std::size_t run_end(std::size_t i) const {
+    return i + 1 < starts.size() ? starts[i + 1] : targets.size();
+  }
+};
+
+/// Executes batches against one frozen store. Holds the lazily built
+/// inverted index (rebuilt when the bound store re-freezes — generation
+/// checked) and per-worker pin scratch. Rebindable: loop callers that
+/// re-freeze a store every iteration (CDL rebuilds) keep one engine and
+/// bind() per iteration; pairwise/many_to_many never pay an index build.
+///
+/// Not thread-safe across callers: one engine belongs to one thread (its
+/// internal pool fan is the only concurrency). Callers running *inside*
+/// TaskPool tasks must use an engine without a pool (run() is not
+/// reentrant) — e.g. one engine per worker slot.
+class QueryEngine {
+ public:
+  QueryEngine() = default;
+  explicit QueryEngine(const FlatLabeling& labels,
+                       exec::TaskPool* pool = nullptr)
+      : labels_(&labels), pool_(pool) {}
+
+  /// Re-targets the engine at another (or a re-frozen) store. Cheap: the
+  /// index is only rebuilt if an index-backed query follows.
+  void bind(const FlatLabeling& labels) { labels_ = &labels; }
+  void set_pool(exec::TaskPool* pool) { pool_ = pool; }
+  const FlatLabeling& labels() const {
+    LOWTW_CHECK_MSG(labels_ != nullptr, "QueryEngine used before bind()");
+    return *labels_;
+  }
+
+  /// The postings index over the bound store, built on first use and
+  /// refreshed whenever the store's generation moved.
+  const InvertedHubIndex& index();
+
+  /// dec(source, v) and dec(v, source) for every v, via postings merges.
+  /// Spans must be sized num_vertices().
+  void one_vs_all(graph::VertexId source, std::span<graph::Weight> out_dist,
+                  std::span<graph::Weight> out_dist_to);
+
+  /// Row-major batch: row i of out_dist / out_dist_to (stride n) answers
+  /// sources[i]. One index freeze, then independent sources fan across the
+  /// pool; bit-identical to serial for every worker count.
+  void one_vs_all_batch(std::span<const graph::VertexId> sources,
+                        std::span<graph::Weight> out_dist,
+                        std::span<graph::Weight> out_dist_to);
+
+  /// Grouped many-to-many: fills batch.results with dec(source, target) per
+  /// target run. Each source pins once and gathers its run; sources fan
+  /// across the pool.
+  void run(QueryBatch& batch);
+
+  /// Rectangular convenience: out[i * targets.size() + j] =
+  /// dec(sources[i], targets[j]).
+  void many_to_many(std::span<const graph::VertexId> sources,
+                    std::span<const graph::VertexId> targets,
+                    std::span<graph::Weight> out);
+
+  /// Independent pairs: out[i] = dec(pairs[i].u, pairs[i].v), merge/gallop
+  /// decodes with lookahead prefetch; chunks fan across the pool.
+  void pairwise(std::span<const QueryPair> pairs,
+                std::span<graph::Weight> out);
+
+ private:
+  int fan_workers() const;
+
+  const FlatLabeling* labels_ = nullptr;
+  exec::TaskPool* pool_ = nullptr;
+  InvertedHubIndex index_;
+  /// Per-worker pin scratch (exec::WorkerLocal contract: contents never
+  /// leak into results — pins are re-issued per source).
+  std::vector<FlatLabeling::DecodeScratch> scratch_;
+};
+
+}  // namespace lowtw::labeling

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <optional>
+#include <span>
 
 #include "exec/worker_local.hpp"
 #include "graph/algorithms.hpp"
@@ -28,6 +29,22 @@ struct VertexRole {
   bool leaf = false;
   int node = -1;
 };
+
+/// Runs one insertion step's collected walk-length checks as a single
+/// pairwise batch through the workspace-cached query engine (bound to this
+/// rebuild's labels). `ws.pair_scratch` holds the product-id pairs,
+/// `expected` the walk lengths, index-aligned. Checks charge nothing.
+void verify_walk_lengths(walks::CdlWorkspace& ws, const walks::CdlResult& cdl,
+                         std::span<const Weight> expected) {
+  if (ws.pair_scratch.empty()) return;
+  ws.dist_scratch.resize(ws.pair_scratch.size());
+  ws.queries.bind(cdl.labels);
+  ws.queries.pairwise(ws.pair_scratch, ws.dist_scratch);
+  for (std::size_t i = 0; i < ws.pair_scratch.size(); ++i) {
+    LOWTW_CHECK_MSG(ws.dist_scratch[i] == expected[i],
+                    "label-decoded augmenting distance mismatch");
+  }
+}
 
 }  // namespace
 
@@ -101,6 +118,15 @@ DistributedMatchingResult max_bipartite_matching(const graph::Graph& g,
   const bool need_stats =
       engine.mode() == primitives::EngineMode::kTreeRealized;
 
+  // One CDL workspace + result for all insertion steps: the skeleton,
+  // hierarchy, and constraint are fixed across the whole divide-and-conquer,
+  // so the lifted hierarchy / product skeleton / product-graph buffers are
+  // built once and reused by every per-step rebuild (only the mask varies).
+  // Its cached query engine carries the batched walk-length checks.
+  walks::CdlWorkspace cdl_ws;
+  walks::CdlResult cdl_scratch;
+  std::vector<Weight> expected_len;  // walk lengths awaiting verification
+
   // Executes insertion step `step` for every internal component of the
   // level, in parallel. The product graph of `masked` is built once per
   // step and shared by every component's walk query. `cdl` is non-null in
@@ -110,6 +136,8 @@ DistributedMatchingResult max_bipartite_matching(const graph::Graph& g,
                       const walks::ProductGraph& product,
                       const walks::CdlResult* cdl, int level, int step,
                       const std::vector<int>& level_nodes) {
+    cdl_ws.pair_scratch.clear();
+    expected_len.clear();
     auto par = engine.ledger().parallel();
     for (int xi : level_nodes) {
       const td::HierarchyNode& node = hierarchy.nodes[xi];
@@ -139,9 +167,11 @@ DistributedMatchingResult max_bipartite_matching(const graph::Graph& g,
       ++result.insertion_steps;
       if (!walk.has_value()) continue;
       if (cdl != nullptr) {
-        LOWTW_CHECK_MSG(
-            cdl->distance(s, walk->target, target_state) == walk->length,
-            "label-decoded augmenting distance mismatch");
+        // Queue for the batched pairwise verification below instead of a
+        // scalar CdlResult::distance decode per walk.
+        cdl_ws.pair_scratch.push_back(
+            cdl->distance_pair(s, walk->target, target_state));
+        expected_len.push_back(walk->length);
       }
       LOWTW_CHECK_MSG(walk->arcs.size() % 2 == 1,
                       "augmenting walk of even length");
@@ -165,14 +195,11 @@ DistributedMatchingResult max_bipartite_matching(const graph::Graph& g,
       engine.rounds(static_cast<double>(walk->arcs.size()), "matching/flip");
       ++result.augmentations;
     }
+    // Batched walk-length verification (faithful mode): one pairwise pass
+    // over the step's augmenting walks, past the walk loop — checks charge
+    // nothing, so every ledger entry stays in place.
+    if (cdl != nullptr) verify_walk_lengths(cdl_ws, *cdl, expected_len);
   };
-
-  // One CDL workspace + result for all insertion steps: the skeleton,
-  // hierarchy, and constraint are fixed across the whole divide-and-conquer,
-  // so the lifted hierarchy / product skeleton / product-graph buffers are
-  // built once and reused by every per-step rebuild (only the mask varies).
-  walks::CdlWorkspace cdl_ws;
-  walks::CdlResult cdl_scratch;
 
   auto levels = hierarchy.levels();
   for (auto level_it = levels.rbegin(); level_it != levels.rend(); ++level_it) {
@@ -328,6 +355,9 @@ DistributedMatchingResult max_bipartite_matching(const graph::Graph& g,
   std::vector<int> task_nodes;  // this dispatch's nodes, ascending
   std::vector<primitives::RoundLedger::BranchRecord> charges;
   std::vector<std::optional<walks::ConstrainedWalk>> found_walks;
+  walks::CdlWorkspace cdl_ws;
+  walks::CdlResult cdl_scratch;
+  std::vector<Weight> expected_len;  // walk lengths awaiting verification
 
   // Insertion step `step` for every eligible internal node of the level,
   // as tasks. Tasks read `mate` (the step-start state: flips apply at the
@@ -372,11 +402,6 @@ DistributedMatchingResult max_bipartite_matching(const graph::Graph& g,
               : primitives::PartStats{1, 0};
       eng.op(stats, "matching/aggregate");
       if (walk.has_value()) {
-        if (cdl != nullptr) {
-          LOWTW_CHECK_MSG(
-              cdl->distance(s, walk->target, target_state) == walk->length,
-              "label-decoded augmenting distance mismatch");
-        }
         LOWTW_CHECK_MSG(walk->arcs.size() % 2 == 1,
                         "augmenting walk of even length");
         {
@@ -398,6 +423,22 @@ DistributedMatchingResult max_bipartite_matching(const graph::Graph& g,
       auto par = engine.ledger().parallel();
       for (const auto& rec : charges) engine.ledger().merge_branch(rec);
     }
+    // Batched walk-length verification (faithful mode): the scalar
+    // CdlResult::distance decode moved out of the tasks into one pairwise
+    // pass at the barrier — same checks against the same labels, without
+    // sharing query-engine state across workers.
+    if (cdl != nullptr) {
+      cdl_ws.pair_scratch.clear();
+      expected_len.clear();
+      for (std::size_t ti = 0; ti < task_nodes.size(); ++ti) {
+        if (!found_walks[ti].has_value()) continue;
+        const td::HierarchyNode& node = hierarchy.nodes[task_nodes[ti]];
+        cdl_ws.pair_scratch.push_back(cdl->distance_pair(
+            node.separator[step], found_walks[ti]->target, target_state));
+        expected_len.push_back(found_walks[ti]->length);
+      }
+      verify_walk_lengths(cdl_ws, *cdl, expected_len);
+    }
     for (std::size_t ti = 0; ti < task_nodes.size(); ++ti) {
       ++result.insertion_steps;
       if (!found_walks[ti].has_value()) continue;
@@ -409,9 +450,6 @@ DistributedMatchingResult max_bipartite_matching(const graph::Graph& g,
       ++result.augmentations;
     }
   };
-
-  walks::CdlWorkspace cdl_ws;
-  walks::CdlResult cdl_scratch;
 
   auto levels = hierarchy.levels();
   for (auto level_it = levels.rbegin(); level_it != levels.rend(); ++level_it) {

@@ -12,6 +12,7 @@
 
 #include "exec/task_pool.hpp"
 #include "labeling/distance_labeling.hpp"
+#include "labeling/query_plane.hpp"
 #include "walks/product_graph.hpp"
 
 namespace lowtw::walks {
@@ -28,6 +29,16 @@ struct CdlResult {
                          int state) const {
     return labels.decode(product.vertex(u, kNablaState),
                          product.vertex(v, state));
+  }
+
+  /// The query-plane pair of distance(u, v, state): product ids depend only
+  /// on (u, v, state, |Q|), so hot loops build their pairwise batches once
+  /// and re-run them across rebuilds of the same-shaped product (the girth
+  /// diagonal sweep, the matching walk checks) through a QueryEngine bound
+  /// to `labels` — see labeling::QueryEngine::pairwise.
+  labeling::QueryPair distance_pair(graph::VertexId u, graph::VertexId v,
+                                    int state) const {
+    return {product.vertex(u, kNablaState), product.vertex(v, state)};
   }
 };
 
@@ -55,6 +66,14 @@ struct CdlWorkspace {
   /// hierarchy and product skeleton above stay shared and read-only. Sized
   /// by prepare(); unused (empty) for sequential callers.
   std::vector<CdlResult> worker_cdl;
+  /// Cached query plane for the CdlResult::distance hot loops (the matching
+  /// insertion steps' walk-length checks): bound to the current rebuild's
+  /// labels before each pairwise batch — the generation stamp invalidates
+  /// any index state across rebuilds automatically. Top-level use only;
+  /// tasks running on a pool keep per-worker engines instead.
+  labeling::QueryEngine queries;
+  std::vector<labeling::QueryPair> pair_scratch;   ///< reusable batch request
+  std::vector<graph::Weight> dist_scratch;         ///< reusable batch result
 
   /// Pre-builds the shared intermediates for |Q| = q and sizes the
   /// per-worker slots. Concurrent build_cdl_into calls may share a prepared

@@ -1,0 +1,446 @@
+// The batched query plane must answer every shape — inverted one-vs-all,
+// grouped many-to-many, pairwise — bit-identically to FlatLabeling::decode
+// (and hence to Dijkstra), including kInfinity legs and no-common-hub
+// pairs; batches must be invariant across pool sizes 1 / 2 / hardware in
+// both engine modes; and the Solver facade's sssp_batch must match
+// repeated sssp calls row for row.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <utility>
+
+#include "core/solver.hpp"
+#include "girth/girth.hpp"
+#include "graph/algorithms.hpp"
+#include "graph/generators.hpp"
+#include "labeling/distance_labeling.hpp"
+#include "labeling/inverted_index.hpp"
+#include "labeling/query_plane.hpp"
+#include "td/builder.hpp"
+#include "test_helpers.hpp"
+#include "walks/cdl.hpp"
+
+namespace lowtw::labeling {
+namespace {
+
+using graph::kInfinity;
+using graph::VertexId;
+using graph::Weight;
+using graph::WeightedDigraph;
+
+struct Built {
+  WeightedDigraph g;
+  graph::Graph skel;
+  DlResult dl;
+};
+
+Built build_instance(const test::FamilySpec& spec,
+                     primitives::EngineMode mode =
+                         primitives::EngineMode::kShortcutModel) {
+  Built b;
+  graph::Graph ug = test::make_family(spec);
+  util::Rng rng(spec.seed + 177);
+  b.g = graph::gen::random_orientation(ug, 0.55, 1, 30, rng);
+  b.skel = b.g.skeleton();
+  test::EngineBundle bundle(b.skel, mode);
+  auto td = td::build_hierarchy(b.skel, td::TdParams{}, rng, bundle.engine);
+  b.dl = build_distance_labeling(b.g, b.skel, td.hierarchy, bundle.engine);
+  return b;
+}
+
+class QueryPlaneSweep : public ::testing::TestWithParam<test::FamilySpec> {};
+
+TEST_P(QueryPlaneSweep, InvertedIndexTransposesTheStore) {
+  Built b = build_instance(GetParam());
+  const FlatLabeling& flat = b.dl.flat;
+  InvertedHubIndex idx(flat);
+  EXPECT_TRUE(idx.matches(flat));
+  EXPECT_EQ(idx.num_vertices(), flat.num_vertices());
+  EXPECT_EQ(idx.num_postings(), flat.num_entries());
+  // Every (vertex, hub) entry appears exactly once, with the same weights,
+  // and postings runs ascend by vertex.
+  std::size_t seen = 0;
+  for (VertexId h = 0; h < idx.hub_bound(); ++h) {
+    auto pv = idx.vertices(h);
+    auto pto = idx.to_hub(h);
+    auto pfrom = idx.from_hub(h);
+    for (std::size_t j = 0; j < pv.size(); ++j) {
+      if (j > 0) EXPECT_LT(pv[j - 1], pv[j]) << "hub " << h;
+      auto hubs = flat.hubs(pv[j]);
+      auto it = std::lower_bound(hubs.begin(), hubs.end(), h);
+      ASSERT_TRUE(it != hubs.end() && *it == h)
+          << "posting (" << h << ", " << pv[j] << ") not in the store";
+      const auto i = static_cast<std::size_t>(it - hubs.begin());
+      EXPECT_EQ(pto[j], flat.to_hub(pv[j])[i]);
+      EXPECT_EQ(pfrom[j], flat.from_hub(pv[j])[i]);
+      ++seen;
+    }
+  }
+  EXPECT_EQ(seen, flat.num_entries());
+}
+
+TEST_P(QueryPlaneSweep, OneVsAllMatchesFlatAndDijkstra) {
+  Built b = build_instance(GetParam());
+  const FlatLabeling& flat = b.dl.flat;
+  const int n = flat.num_vertices();
+  InvertedHubIndex idx(flat);
+  std::vector<Weight> inv_dist(static_cast<std::size_t>(n));
+  std::vector<Weight> inv_dist_to(static_cast<std::size_t>(n));
+  std::vector<Weight> flat_dist(static_cast<std::size_t>(n));
+  std::vector<Weight> flat_dist_to(static_cast<std::size_t>(n));
+  util::Rng rng(GetParam().seed + 5);
+  for (int rep = 0; rep < 4; ++rep) {
+    auto s = static_cast<VertexId>(rng.next_below(n));
+    idx.one_vs_all(s, inv_dist, inv_dist_to);
+    flat.decode_one_vs_all(s, flat_dist, flat_dist_to);
+    auto truth = graph::dijkstra(b.g, s);
+    auto rtruth = graph::dijkstra(b.g, s, /*reversed=*/true);
+    for (VertexId v = 0; v < n; ++v) {
+      EXPECT_EQ(inv_dist[v], flat_dist[v]) << "s=" << s << " v=" << v;
+      EXPECT_EQ(inv_dist[v], truth.dist[v]) << "s=" << s << " v=" << v;
+      EXPECT_EQ(inv_dist_to[v], flat_dist_to[v]) << "s=" << s << " v=" << v;
+      EXPECT_EQ(inv_dist_to[v], rtruth.dist[v]) << "s=" << s << " v=" << v;
+    }
+  }
+}
+
+TEST_P(QueryPlaneSweep, ManyToManyAndPairwiseMatchDecode) {
+  Built b = build_instance(GetParam());
+  const FlatLabeling& flat = b.dl.flat;
+  const int n = flat.num_vertices();
+  QueryEngine qe(flat);
+  util::Rng rng(GetParam().seed + 9);
+
+  // Rectangular many-to-many.
+  std::vector<VertexId> sources;
+  std::vector<VertexId> targets;
+  for (int i = 0; i < 7; ++i) {
+    sources.push_back(static_cast<VertexId>(rng.next_below(n)));
+  }
+  for (int j = 0; j < 13; ++j) {
+    targets.push_back(static_cast<VertexId>(rng.next_below(n)));
+  }
+  std::vector<Weight> out(sources.size() * targets.size());
+  qe.many_to_many(sources, targets, out);
+  for (std::size_t i = 0; i < sources.size(); ++i) {
+    for (std::size_t j = 0; j < targets.size(); ++j) {
+      EXPECT_EQ(out[i * targets.size() + j],
+                flat.decode(sources[i], targets[j]));
+    }
+  }
+
+  // Grouped batch with ragged runs (including an empty run).
+  QueryBatch batch;
+  for (int i = 0; i < 5; ++i) {
+    batch.add_source(static_cast<VertexId>(rng.next_below(n)));
+    const int run = static_cast<int>(rng.next_below(6));  // may be 0
+    for (int j = 0; j < run; ++j) {
+      batch.add_target(static_cast<VertexId>(rng.next_below(n)));
+    }
+  }
+  qe.run(batch);
+  ASSERT_EQ(batch.results.size(), batch.targets.size());
+  for (std::size_t i = 0; i < batch.num_sources(); ++i) {
+    for (std::size_t j = batch.run_begin(i); j < batch.run_end(i); ++j) {
+      EXPECT_EQ(batch.results[j],
+                flat.decode(batch.sources[i], batch.targets[j]));
+    }
+  }
+
+  // Pairwise.
+  std::vector<QueryPair> pairs;
+  for (int i = 0; i < 400; ++i) {  // spans several chunks
+    pairs.push_back({static_cast<VertexId>(rng.next_below(n)),
+                     static_cast<VertexId>(rng.next_below(n))});
+  }
+  std::vector<Weight> pout(pairs.size());
+  qe.pairwise(pairs, pout);
+  for (std::size_t i = 0; i < pairs.size(); ++i) {
+    EXPECT_EQ(pout[i], flat.decode(pairs[i].u, pairs[i].v));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Families, QueryPlaneSweep,
+    ::testing::Values(test::FamilySpec{"path", 40, 1, 1},
+                      test::FamilySpec{"ktree", 90, 2, 2},
+                      test::FamilySpec{"ktree", 60, 4, 3},
+                      test::FamilySpec{"partial_ktree", 90, 3, 4},
+                      test::FamilySpec{"cycle_chords", 70, 3, 5},
+                      test::FamilySpec{"apexed_path", 80, 2, 6}),
+    [](const auto& info) { return info.param.name(); });
+
+TEST(InvertedHubIndex, EdgeCasesMatchFlat) {
+  // Hand-built labeling: infinite legs, an empty label, no-common-hub
+  // pairs, a disconnected vertex — the flat/inverted agreement must cover
+  // the kInfinity plumbing exactly (same fixture as test_flat_labeling).
+  DistanceLabeling aos;
+  aos.labels.resize(4);
+  for (VertexId v = 0; v < 4; ++v) aos.labels[v].owner = v;
+  aos.labels[0].set(1, 5, 7);
+  aos.labels[0].set(3, kInfinity, 2);  // infinite to-leg
+  aos.labels[1].set(2, 4, 4);          // no hub in common with label 0
+  aos.labels[2].set(1, 9, 1);
+  aos.labels[2].set(3, 6, kInfinity);  // infinite from-leg
+  // labels[3] stays empty.
+  FlatLabeling flat(aos);
+  InvertedHubIndex idx(flat);
+  std::vector<Weight> dist(4);
+  std::vector<Weight> dist_to(4);
+  std::vector<Weight> fdist(4);
+  std::vector<Weight> fdist_to(4);
+  for (VertexId u = 0; u < 4; ++u) {
+    idx.one_vs_all(u, dist, dist_to);
+    flat.decode_one_vs_all(u, fdist, fdist_to);
+    for (VertexId v = 0; v < 4; ++v) {
+      EXPECT_EQ(dist[v], fdist[v]) << "u=" << u << " v=" << v;
+      EXPECT_EQ(dist[v], flat.decode(u, v)) << "u=" << u << " v=" << v;
+      EXPECT_EQ(dist_to[v], fdist_to[v]) << "u=" << u << " v=" << v;
+      EXPECT_EQ(dist_to[v], flat.decode(v, u)) << "u=" << u << " v=" << v;
+    }
+  }
+  // The explicit corners: no common hub, empty label, infinite legs.
+  idx.one_vs_all(0, dist, dist_to);
+  EXPECT_EQ(dist[1], kInfinity);
+  EXPECT_EQ(dist[3], kInfinity);
+  EXPECT_EQ(dist[2], 5 + 1);  // hub 1; hub 3's to-leg is infinite
+}
+
+TEST(InvertedHubIndex, GenerationInvalidationOnRefreeze) {
+  Built b = build_instance(test::FamilySpec{"ktree", 50, 2, 21});
+  FlatLabeling flat = b.dl.flat;
+  QueryEngine qe(flat);
+  const InvertedHubIndex* idx = &qe.index();
+  EXPECT_TRUE(idx->matches(flat));
+  const std::uint64_t gen_before = flat.generation();
+  // Re-freeze the store: the engine must notice and rebuild on next use.
+  flat.assign(b.dl.labeling);
+  EXPECT_NE(flat.generation(), gen_before);
+  EXPECT_FALSE(qe.index().matches(b.dl.flat));  // rebuilt against `flat`...
+  EXPECT_TRUE(qe.index().matches(flat));        // ...the rebound content
+  std::vector<Weight> d(static_cast<std::size_t>(flat.num_vertices()));
+  std::vector<Weight> dt(d.size());
+  qe.one_vs_all(0, d, dt);
+  for (VertexId v = 0; v < flat.num_vertices(); ++v) {
+    EXPECT_EQ(d[v], flat.decode(0, v));
+  }
+}
+
+class QueryPlaneModes
+    : public ::testing::TestWithParam<primitives::EngineMode> {};
+
+TEST_P(QueryPlaneModes, BatchesInvariantAcrossPoolSizes) {
+  // one_vs_all_batch / many_to_many / pairwise must be bit-identical for
+  // pool sizes 1 / 2 / hardware (and no pool) in both engine modes.
+  Built b = build_instance(test::FamilySpec{"partial_ktree", 110, 3, 33},
+                          GetParam());
+  const FlatLabeling& flat = b.dl.flat;
+  const int n = flat.num_vertices();
+  util::Rng rng(71);
+  std::vector<VertexId> sources;
+  for (int i = 0; i < 9; ++i) {
+    sources.push_back(static_cast<VertexId>(rng.next_below(n)));
+  }
+  std::vector<VertexId> targets;
+  for (int j = 0; j < 17; ++j) {
+    targets.push_back(static_cast<VertexId>(rng.next_below(n)));
+  }
+  std::vector<QueryPair> pairs;
+  for (int i = 0; i < 700; ++i) {
+    pairs.push_back({static_cast<VertexId>(rng.next_below(n)),
+                     static_cast<VertexId>(rng.next_below(n))});
+  }
+
+  struct Shot {
+    std::vector<Weight> ova_dist, ova_dist_to, mtm, pw;
+  };
+  auto run_with = [&](exec::TaskPool* pool) {
+    Shot s;
+    QueryEngine qe(flat, pool);
+    s.ova_dist.resize(sources.size() * static_cast<std::size_t>(n));
+    s.ova_dist_to.resize(s.ova_dist.size());
+    qe.one_vs_all_batch(sources, s.ova_dist, s.ova_dist_to);
+    s.mtm.resize(sources.size() * targets.size());
+    qe.many_to_many(sources, targets, s.mtm);
+    s.pw.resize(pairs.size());
+    qe.pairwise(pairs, s.pw);
+    return s;
+  };
+
+  Shot serial = run_with(nullptr);
+  for (int workers : {1, 2, test::hw_threads()}) {
+    exec::TaskPool pool(workers);
+    Shot par = run_with(&pool);
+    EXPECT_EQ(par.ova_dist, serial.ova_dist) << "workers=" << workers;
+    EXPECT_EQ(par.ova_dist_to, serial.ova_dist_to) << "workers=" << workers;
+    EXPECT_EQ(par.mtm, serial.mtm) << "workers=" << workers;
+    EXPECT_EQ(par.pw, serial.pw) << "workers=" << workers;
+  }
+  // And the serial reference agrees with scalar decodes.
+  for (std::size_t i = 0; i < sources.size(); ++i) {
+    for (VertexId v = 0; v < n; ++v) {
+      EXPECT_EQ(serial.ova_dist[i * static_cast<std::size_t>(n) + v],
+                flat.decode(sources[i], v));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Modes, QueryPlaneModes,
+    ::testing::Values(primitives::EngineMode::kShortcutModel,
+                      primitives::EngineMode::kTreeRealized),
+    [](const auto& info) {
+      return info.param == primitives::EngineMode::kShortcutModel
+                 ? "shortcut"
+                 : "tree_realized";
+    });
+
+TEST(QueryPlane, DirectedCycleFoldMatchesScalarReference) {
+  util::Rng rng(31);
+  graph::Graph ug = graph::gen::ktree(80, 2, rng);
+  auto g = graph::gen::random_orientation(ug, 0.6, 1, 25, rng);
+  graph::Graph skel = g.skeleton();
+  test::EngineBundle bundle(skel);
+  auto td = td::build_hierarchy(skel, td::TdParams{}, rng, bundle.engine);
+  auto dl = build_distance_labeling(g, skel, td.hierarchy, bundle.engine);
+  Weight want = kInfinity;
+  for (const graph::Arc& a : g.arcs()) {
+    if (a.weight >= kInfinity) continue;
+    if (a.tail == a.head) {
+      want = std::min(want, a.weight);
+      continue;
+    }
+    Weight back = decode_distance(dl.labeling.labels[a.head],
+                                  dl.labeling.labels[a.tail]);
+    if (back < kInfinity) want = std::min(want, a.weight + back);
+  }
+  EXPECT_EQ(girth::directed_cycle_fold(g, dl.flat), want);
+  for (int workers : {1, 2, test::hw_threads()}) {
+    exec::TaskPool pool(workers);
+    QueryEngine qe(dl.flat, &pool);
+    EXPECT_EQ(girth::directed_cycle_fold(g, qe), want)
+        << "workers=" << workers;
+  }
+}
+
+TEST(QueryPlane, SolverSsspBatchMatchesRepeatedSssp) {
+  util::Rng grng(91);
+  graph::Graph topo = graph::gen::partial_ktree(120, 3, 0.7, grng);
+  graph::WeightedDigraph net =
+      graph::gen::random_orientation(topo, 0.9, 1, 100, grng);
+
+  std::vector<VertexId> sources{0, 7, 7, 31, 119};  // repeats allowed
+  const auto n = static_cast<std::size_t>(net.num_vertices());
+
+  // Reference rows from repeated single-source calls on a twin solver.
+  Solver single(net);
+  std::vector<labeling::SsspResult> rows;
+  for (VertexId s : sources) rows.push_back(single.sssp(s));
+
+  for (int threads : {1, 2, test::hw_threads()}) {
+    SolverOptions options;
+    options.threads = threads;
+    Solver solver(net, options);
+    auto batch = solver.sssp_batch(sources);
+    ASSERT_EQ(batch.stride, n);
+    ASSERT_EQ(batch.sources.size(), sources.size());
+    for (std::size_t i = 0; i < sources.size(); ++i) {
+      auto dist = batch.dist_row(i);
+      auto dist_to = batch.dist_to_row(i);
+      for (std::size_t v = 0; v < n; ++v) {
+        EXPECT_EQ(dist[v], rows[i].dist[v]) << "i=" << i << " v=" << v;
+        EXPECT_EQ(dist_to[v], rows[i].dist_to[v]) << "i=" << i << " v=" << v;
+      }
+    }
+    // The batch flood pipelines: one diameter term for the whole batch.
+    double entries = 0;
+    for (VertexId s : sources) {
+      entries += static_cast<double>(
+          solver.distance_labeling().flat.entries(s));
+    }
+    EXPECT_EQ(batch.rounds,
+              static_cast<double>(solver.diameter()) + 3.0 * entries);
+  }
+
+  // Index-reuse guarantee: repeated sssp / sssp_batch share one engine and
+  // one frozen index.
+  Solver solver(net);
+  labeling::QueryEngine& qe = solver.query_engine();
+  solver.sssp(3);
+  const InvertedHubIndex* idx = &qe.index();
+  solver.sssp(5);
+  solver.sssp_batch(sources);
+  EXPECT_EQ(&qe, &solver.query_engine());
+  EXPECT_EQ(idx, &qe.index());
+  EXPECT_TRUE(qe.index().matches(solver.distance_labeling().flat));
+}
+
+TEST(QueryPlane, LegacySsspOverloadCachesTheFreeze) {
+  // The DistanceLabeling overload converts through a per-thread cache: a
+  // second call with the unchanged labeling must agree (hit path), and a
+  // mutated labeling must be re-frozen, not served stale.
+  Built b = build_instance(test::FamilySpec{"cycle_chords", 60, 3, 41});
+  test::EngineBundle bundle(b.skel);
+  auto r1 = sssp_from_labels(b.dl.labeling, 4, bundle.diameter, bundle.engine);
+  auto r2 = sssp_from_labels(b.dl.labeling, 4, bundle.diameter, bundle.engine);
+  EXPECT_EQ(r1.dist, r2.dist);
+  EXPECT_EQ(r1.dist_to, r2.dist_to);
+  auto truth = graph::dijkstra(b.g, 4);
+  for (VertexId v = 0; v < b.g.num_vertices(); ++v) {
+    EXPECT_EQ(r1.dist[v], truth.dist[v]);
+  }
+  // Mutate one entry in place (same sizes — only the content comparison
+  // can catch this) and re-query: the result must reflect the mutation.
+  DistanceLabeling mutated = b.dl.labeling;
+  ASSERT_FALSE(mutated.labels[4].entries.empty());
+  auto hub = mutated.labels[4].entries.front().hub;
+  auto before = sssp_from_labels(mutated, 4, bundle.diameter, bundle.engine);
+  mutated.labels[4].set(hub, kInfinity, kInfinity);
+  auto after = sssp_from_labels(mutated, 4, bundle.diameter, bundle.engine);
+  FlatLabeling refrozen(mutated);
+  for (VertexId v = 0; v < b.g.num_vertices(); ++v) {
+    EXPECT_EQ(after.dist[v], refrozen.decode(4, v)) << "v=" << v;
+  }
+  (void)before;
+}
+
+TEST(QueryPlane, CdlDistancePairBatchesMatchScalarDistance) {
+  // The CdlResult::distance hot-loop shape: diagonal + walk-check pairs
+  // through the pairwise plane, equal to scalar distance() calls.
+  util::Rng rng(13);
+  graph::Graph ug = graph::gen::cycle_with_chords(40, 3, rng);
+  auto g = graph::gen::random_symmetric_weights(ug, 1, 9, rng);
+  graph::Graph skel = g.skeleton();
+  test::EngineBundle b0(skel);
+  test::EngineBundle b1(skel);
+  util::Rng r1(5);
+  auto td = td::build_hierarchy(skel, td::TdParams{}, r1, b0.engine);
+  walks::CountWalkConstraint cons(1);
+  auto cdl = walks::build_cdl(g, skel, td.hierarchy, cons, b1.engine);
+  const int q1 = cons.count_state(1);
+  const int n = g.num_vertices();
+
+  std::vector<QueryPair> pairs;
+  std::vector<std::pair<VertexId, VertexId>> raw;
+  for (VertexId v = 0; v < n; ++v) {
+    pairs.push_back(cdl.distance_pair(v, v, q1));
+    raw.emplace_back(v, v);
+  }
+  util::Rng prng(99);
+  for (int i = 0; i < 100; ++i) {
+    auto u = static_cast<VertexId>(prng.next_below(n));
+    auto v = static_cast<VertexId>(prng.next_below(n));
+    pairs.push_back(cdl.distance_pair(u, v, q1));
+    raw.emplace_back(u, v);
+  }
+  QueryEngine qe(cdl.labels);
+  std::vector<Weight> out(pairs.size());
+  qe.pairwise(pairs, out);
+  for (std::size_t i = 0; i < pairs.size(); ++i) {
+    EXPECT_EQ(out[i], cdl.distance(raw[i].first, raw[i].second, q1))
+        << "pair " << i;
+  }
+}
+
+}  // namespace
+}  // namespace lowtw::labeling

@@ -1,34 +1,44 @@
 // Routing oracle: an ISP-style backbone answers latency queries from
-// compact per-router labels, without any further communication.
+// compact per-router labels — served by the hardened long-lived runtime.
 //
-//   ./routing_oracle [--n 400] [--k 3] [--queries 2000] [--seed 7]
+//   ./routing_oracle [--n 400] [--k 3] [--queries 2000] [--clients 4]
+//                    [--seed 7]
 //
 // Scenario: a backbone network grown hierarchically (partial k-tree —
 // MSJ19 report real router-level topologies have low treewidth), with
 // asymmetric link latencies (directed arcs). After the one-time
 // CONGEST-phase construction of the distance labeling (Theorem 2), the
-// query mix is served through Solver::sssp_batch — the batched query
-// plane: the distinct sources flood once (pipelined, one diameter term for
-// the whole batch), the inverted hub index is frozen once, and every
-// source's full distance row comes out of sequential postings merges. Any
-// (source, target) latency is then a row lookup. A scalar per-query label
-// decode is timed alongside for comparison, and a sample is verified
-// against Dijkstra.
-#include <algorithm>
+// label artifact is written crash-safely (temp + atomic rename, per-section
+// checksums) and a serving::Oracle is cold-started from it: concurrent
+// client threads submit point queries, the admission front coalesces them
+// into QueryBatch shapes, and every response carries the degradation rung
+// it was served from. A fault drill then corrupts a reload (rejected — the
+// old snapshot keeps serving), drops the postings index (flat-decode rung),
+// and stalls the worker against a tight deadline (timeout verdict). A
+// sample of served distances is verified against Dijkstra.
+#include <atomic>
 #include <chrono>
 #include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <thread>
+#include <vector>
 
 #include "core/solver.hpp"
 #include "graph/algorithms.hpp"
 #include "graph/generators.hpp"
+#include "labeling/label_io.hpp"
+#include "serving/oracle.hpp"
 #include "util/flags.hpp"
 
 int main(int argc, char** argv) {
   using namespace lowtw;
+  using namespace std::chrono_literals;
   util::Flags flags(argc, argv);
   const int n = static_cast<int>(flags.get_int("n", 400));
   const int k = static_cast<int>(flags.get_int("k", 3));
   const int queries = static_cast<int>(flags.get_int("queries", 2000));
+  const int clients = static_cast<int>(flags.get_int("clients", 4));
   const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 7));
 
   util::Rng rng(seed);
@@ -39,6 +49,8 @@ int main(int argc, char** argv) {
   std::printf("backbone: %d routers, %d directed links\n",
               net.num_vertices(), net.num_arcs());
 
+  // One-time construction, then the artifact round-trip a real deployment
+  // would do: write crash-safely, reload through the checksummed reader.
   SolverOptions options;
   options.seed = seed;
   Solver solver(net, options);
@@ -47,78 +59,143 @@ int main(int argc, char** argv) {
               "entries (%zu bits) vs full table %d entries\n",
               dl.rounds, dl.max_label_entries, dl.max_label_bits,
               net.num_vertices());
+  std::stringstream artifact;
+  labeling::io::write_labeling_binary(artifact, dl.flat);
+  std::printf("label artifact: %zu bytes (LTWB kind 3, per-section FNV-1a)\n",
+              artifact.str().size());
 
-  // The query mix: random (source, target) pairs, as a monitoring plane
-  // would issue them.
-  std::vector<std::pair<graph::VertexId, graph::VertexId>> qs;
-  for (int i = 0; i < queries; ++i) {
-    qs.emplace_back(static_cast<graph::VertexId>(rng.next_below(n)),
-                    static_cast<graph::VertexId>(rng.next_below(n)));
+  serving::FaultInjector faults(seed);
+  serving::OracleOptions sopts;
+  sopts.seed = seed;
+  sopts.faults = &faults;
+  sopts.admission.batch_window = 200us;
+  sopts.admission.default_deadline = 500ms;
+  serving::Oracle oracle(net, sopts);
+  if (!oracle.load_snapshot(artifact)) {
+    std::printf("FATAL: clean artifact rejected\n");
+    return 1;
   }
+  oracle.start();
 
-  // Batched serving: answer the distinct sources in one sssp_batch — one
-  // pipelined flood charge, one inverted-index freeze, a postings-merge row
-  // per source — then every query is a lookup into its source's row.
+  // The query mix, spread over concurrent clients as a monitoring plane
+  // would issue it.
+  std::atomic<std::uint64_t> checksum{0};
+  std::atomic<int> not_ok{0};
   auto t0 = std::chrono::steady_clock::now();
-  std::vector<graph::VertexId> sources;
-  sources.reserve(qs.size());
-  for (auto [s, t] : qs) sources.push_back(s);
-  std::sort(sources.begin(), sources.end());
-  sources.erase(std::unique(sources.begin(), sources.end()), sources.end());
-  labeling::SsspBatchResult batch = solver.sssp_batch(sources);
-  std::vector<std::size_t> row_of(static_cast<std::size_t>(n), 0);
-  for (std::size_t i = 0; i < sources.size(); ++i) {
-    row_of[sources[i]] = i;
-  }
-  std::uint64_t checksum = 0;
-  for (auto [s, t] : qs) {
-    graph::Weight d = batch.dist_row(row_of[s])[t];
-    checksum += static_cast<std::uint64_t>(d & 0xffff);
+  {
+    std::vector<std::thread> pool;
+    const int per_client = queries / std::max(1, clients);
+    for (int c = 0; c < clients; ++c) {
+      pool.emplace_back([&, c] {
+        util::Rng qrng(seed + 100 + static_cast<std::uint64_t>(c));
+        for (int i = 0; i < per_client; ++i) {
+          const auto s = static_cast<graph::VertexId>(qrng.next_below(n));
+          const auto t = static_cast<graph::VertexId>(qrng.next_below(n));
+          serving::QueryResponse r = oracle.query(s, t);
+          if (r.status == serving::ServeStatus::kOk) {
+            checksum.fetch_add(
+                static_cast<std::uint64_t>(r.distance & 0xffff));
+          } else {
+            not_ok.fetch_add(1);
+          }
+        }
+      });
+    }
+    for (auto& t : pool) t.join();
   }
   auto t1 = std::chrono::steady_clock::now();
-  double batch_us = std::chrono::duration<double, std::micro>(t1 - t0).count();
+  const double served_us =
+      std::chrono::duration<double, std::micro>(t1 - t0).count();
+  serving::OracleStats s = oracle.stats();
   std::printf(
-      "%d queries over %zu distinct sources in %.1f us (%.2f us/query, "
-      "%.0f extra CONGEST rounds for the batch flood), checksum %llu\n",
-      queries, sources.size(), batch_us, batch_us / queries, batch.rounds,
-      static_cast<unsigned long long>(checksum));
-  // Each batch row is a full n-entry distance vector, so the oracle has in
-  // fact answered sources × n pairs — the per-distance cost is what scales
-  // to heavy query mixes (any further query on these sources is a lookup).
-  std::printf("  (batch computed %zu full rows = %zu distances, %.3f us "
-              "per distance)\n",
-              sources.size(), sources.size() * static_cast<std::size_t>(n),
-              batch_us / static_cast<double>(sources.size() *
-                                             static_cast<std::size_t>(n)));
+      "%llu queries over %d clients in %.1f us (%.2f us/query) — "
+      "%llu batches (%.1f req/batch), levels: %llu batched-index / %llu "
+      "flat / %llu dijkstra, %llu timeouts, %d non-ok\n",
+      static_cast<unsigned long long>(s.admitted), clients, served_us,
+      served_us / std::max<double>(1.0, static_cast<double>(s.admitted)),
+      static_cast<unsigned long long>(s.batches),
+      static_cast<double>(s.admitted) /
+          std::max<double>(1.0, static_cast<double>(s.batches)),
+      static_cast<unsigned long long>(s.served_batched_index),
+      static_cast<unsigned long long>(s.served_flat),
+      static_cast<unsigned long long>(s.served_dijkstra),
+      static_cast<unsigned long long>(s.timeouts), not_ok.load());
 
-  // Scalar reference: one label decode per query (the pre-batch serving
-  // path); both paths must agree query by query.
+  // Scalar one-at-a-time reference on the same mix: what the batching and
+  // the admission front buy.
   auto t2 = std::chrono::steady_clock::now();
   std::uint64_t scalar_checksum = 0;
-  for (auto [s, t] : qs) {
-    graph::Weight d = dl.flat.decode(s, t);
-    scalar_checksum += static_cast<std::uint64_t>(d & 0xffff);
+  {
+    util::Rng qrng(seed + 999);
+    for (int i = 0; i < queries; ++i) {
+      const auto u = static_cast<graph::VertexId>(qrng.next_below(n));
+      const auto v = static_cast<graph::VertexId>(qrng.next_below(n));
+      scalar_checksum += static_cast<std::uint64_t>(
+          oracle.serve_now(u, v).distance & 0xffff);
+    }
   }
   auto t3 = std::chrono::steady_clock::now();
-  double scalar_us =
-      std::chrono::duration<double, std::micro>(t3 - t2).count();
-  std::printf("scalar decode reference: %.1f us (%.2f us/query), %s\n",
-              scalar_us, scalar_us / queries,
-              scalar_checksum == checksum ? "checksums agree"
-                                          : "CHECKSUM MISMATCH");
+  std::printf("scalar serve_now reference: %.2f us/query (checksum %llu)\n",
+              std::chrono::duration<double, std::micro>(t3 - t2).count() /
+                  std::max(1, queries),
+              static_cast<unsigned long long>(scalar_checksum));
 
-  int verified = 0;
+  // --- fault drill: every failure mode degrades, none lies -----------------
   int bad = 0;
+
+  // 1. A corrupted artifact reload is rejected; the live snapshot serves on.
+  faults.arm_nth(serving::FaultSite::kSnapshotLoadCorruption,
+                 faults.probes(serving::FaultSite::kSnapshotLoadCorruption),
+                 1);
+  std::stringstream corrupt_reload;
+  labeling::io::write_labeling_binary(corrupt_reload, dl.flat);
+  const bool rejected = !oracle.load_snapshot(corrupt_reload);
+  std::printf("fault drill: corrupted reload %s (generation stays %llu)\n",
+              rejected ? "rejected" : "ACCEPTED (BUG)",
+              static_cast<unsigned long long>(oracle.generation()));
+  if (!rejected) ++bad;
+
+  // 2. Index build failure: the next snapshot serves at the flat rung.
+  faults.arm_nth(serving::FaultSite::kEngineAllocFailure,
+                 faults.probes(serving::FaultSite::kEngineAllocFailure), 1);
+  oracle.install_snapshot(dl.flat);
+  serving::QueryResponse degraded = oracle.query(1, 2);
+  std::printf("fault drill: index-less snapshot served level '%s' (%s)\n",
+              serving::to_string(degraded.level),
+              degraded.status == serving::ServeStatus::kOk ? "ok" : "not ok");
+  if (degraded.level != serving::ServeLevel::kFlatDecode ||
+      degraded.distance != graph::dijkstra(net, 1).dist[2]) {
+    ++bad;
+  }
+  oracle.install_snapshot(dl.flat);  // restore the fast rung
+
+  // 3. A stalled worker converts a tight deadline into a timeout verdict.
+  faults.set_stall_duration(10ms);
+  faults.arm_nth(serving::FaultSite::kWorkerStall,
+                 faults.probes(serving::FaultSite::kWorkerStall), 1);
+  serving::QueryResponse timed = oracle.query(2, 3, 500us);
+  std::printf("fault drill: stalled worker verdict '%s'\n",
+              serving::to_string(timed.status));
+  if (timed.status != serving::ServeStatus::kTimeout) ++bad;
+
+  // --- verification against the live graph ---------------------------------
+  util::Rng vrng(seed + 5);
+  int verified = 0;
   for (int i = 0; i < 5; ++i) {
-    auto [s, t] = qs[static_cast<std::size_t>(i) * qs.size() / 5];
-    auto truth = graph::dijkstra(net, s);
-    graph::Weight d = batch.dist_row(row_of[s])[t];
-    bool ok = d == truth.dist[t];
-    std::printf("  verify dist(%d -> %d) = %lld  [%s]\n", s, t,
-                static_cast<long long>(d), ok ? "exact" : "MISMATCH");
+    const auto s2 = static_cast<graph::VertexId>(vrng.next_below(n));
+    const auto t2v = static_cast<graph::VertexId>(vrng.next_below(n));
+    serving::QueryResponse r = oracle.query(s2, t2v);
+    auto truth = graph::dijkstra(net, s2);
+    const bool ok = r.status == serving::ServeStatus::kOk &&
+                    r.distance == truth.dist[t2v];
+    std::printf("  verify dist(%d -> %d) = %lld via level '%s'  [%s]\n", s2,
+                t2v, static_cast<long long>(r.distance),
+                serving::to_string(r.level), ok ? "exact" : "MISMATCH");
     ++verified;
     if (!ok) ++bad;
   }
-  std::printf("%d/%d verified queries exact\n", verified - bad, verified);
-  return (bad == 0 && scalar_checksum == checksum) ? 0 : 1;
+  oracle.stop();
+  std::printf("%d/%d verified queries exact; clean shutdown\n",
+              verified - bad, verified);
+  return bad == 0 ? 0 : 1;
 }

@@ -7,9 +7,11 @@
 # (BM_GirthParallel, BM_MatchingParallel; threads 1/2/4/8), and the batched
 # query plane (bench_distance_labeling's BM_OneVsAllInverted and
 # BM_SsspBatch, whose speedup_vs_flat counters track the inverted-index
-# one-vs-all against the flat full-sweep decode) — and emits
-# BENCH_separator.json: one record per benchmark with wall time and the
-# CONGEST round counters.
+# one-vs-all against the flat full-sweep decode), plus the serving runtime's
+# open-loop arm (bench_serving's BM_ServeThroughput: p50/p99 client latency,
+# batch fill, and the batching win vs one-at-a-time query() — wall-time
+# counters only, never gated) — and emits BENCH_separator.json: one record
+# per benchmark with wall time and the CONGEST round counters.
 #
 # BM_TdParallel / BM_GirthParallel / BM_MatchingParallel rounds are
 # scheduling-invariant (identical for every *_threads value), so they gate
@@ -32,14 +34,16 @@ if [ ! -d "$BUILD_DIR" ]; then
   cmake -B "$BUILD_DIR" -S .
 fi
 cmake --build "$BUILD_DIR" --target bench_separation bench_tree_decomposition \
-      bench_girth bench_matching bench_distance_labeling -j"$(nproc)"
+      bench_girth bench_matching bench_distance_labeling bench_serving \
+      -j"$(nproc)"
 
 tmp_sep=$(mktemp)
 tmp_td=$(mktemp)
 tmp_girth=$(mktemp)
 tmp_matching=$(mktemp)
 tmp_dl=$(mktemp)
-trap 'rm -f "$tmp_sep" "$tmp_td" "$tmp_girth" "$tmp_matching" "$tmp_dl"' EXIT
+tmp_serve=$(mktemp)
+trap 'rm -f "$tmp_sep" "$tmp_td" "$tmp_girth" "$tmp_matching" "$tmp_dl" "$tmp_serve"' EXIT
 
 "$BUILD_DIR"/bench_separation --benchmark_format=json >"$tmp_sep"
 "$BUILD_DIR"/bench_tree_decomposition --benchmark_format=json >"$tmp_td"
@@ -59,8 +63,15 @@ trap 'rm -f "$tmp_sep" "$tmp_td" "$tmp_girth" "$tmp_matching" "$tmp_dl"' EXIT
 "$BUILD_DIR"/bench_distance_labeling \
     '--benchmark_filter=BM_OneVsAllInverted|BM_SsspBatch' \
     --benchmark_format=json >"$tmp_dl"
+# Serving runtime: the open-loop throughput arm (p50/p99 client latency,
+# batching win vs one-at-a-time query()). Wall-time counters only — the
+# serving plane charges no CONGEST rounds, so nothing here is gated by the
+# round-drift check.
+"$BUILD_DIR"/bench_serving --benchmark_filter=BM_ServeThroughput \
+    --benchmark_format=json >"$tmp_serve"
 
-python3 - "$OUT" "$tmp_sep" "$tmp_td" "$tmp_girth" "$tmp_matching" "$tmp_dl" <<'PY'
+python3 - "$OUT" "$tmp_sep" "$tmp_td" "$tmp_girth" "$tmp_matching" "$tmp_dl" \
+    "$tmp_serve" <<'PY'
 import json
 import sys
 

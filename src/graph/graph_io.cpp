@@ -2,11 +2,14 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <fstream>
 #include <istream>
 #include <ostream>
 #include <sstream>
 #include <vector>
 
+#include "util/atomic_file.hpp"
+#include "util/binio.hpp"
 #include "util/check.hpp"
 
 namespace lowtw::graph::io {
@@ -86,84 +89,28 @@ WeightedDigraph read_digraph(std::istream& is) {
 namespace {
 
 // --- binary format -----------------------------------------------------------
+//
+// The LTWB layout itself (header fields, chunked arrays, the hardening
+// rationale) lives in util/binio.hpp, shared with label_io. The graph kinds
+// are version 1 and carry no section checksums — the payloads are fully
+// structurally re-validated on arrival instead (CsrGraph::from_parts /
+// the digraph degree-table cross-check below).
 
-constexpr char kBinaryMagic[4] = {'L', 'T', 'W', 'B'};
+using util::binio::read_array;
+using util::binio::read_pod;
+using util::binio::write_array;
+using util::binio::write_pod;
+
 constexpr std::uint32_t kBinaryVersion = 1;
-constexpr std::uint32_t kKindCsr = 1;
-constexpr std::uint32_t kKindDigraph = 2;
-/// Written natively and compared on read: a byte-swapped platform sees
-/// 0x04030201 and fails the header check instead of decoding garbage.
-constexpr std::uint32_t kEndianProbe = 0x01020304;
-/// Chunk granularity for array reads: bounded buffering, so a corrupted
-/// element count hits EOF long before it can provoke a giant allocation.
-constexpr std::size_t kChunkBytes = std::size_t{1} << 20;
-
-template <typename T>
-void write_pod(std::ostream& os, const T& value) {
-  os.write(reinterpret_cast<const char*>(&value), sizeof(T));
-}
-
-template <typename T>
-void write_array(std::ostream& os, const T* data, std::size_t count) {
-  // Chunked writes keep the peak request bounded symmetrically to the
-  // reader (some streambufs degrade on multi-GB single writes).
-  const std::size_t per_chunk = std::max<std::size_t>(1, kChunkBytes / sizeof(T));
-  for (std::size_t i = 0; i < count; i += per_chunk) {
-    const std::size_t run = std::min(per_chunk, count - i);
-    os.write(reinterpret_cast<const char*>(data + i),
-             static_cast<std::streamsize>(run * sizeof(T)));
-  }
-  LOWTW_CHECK_MSG(os.good(), "graph binary: write failed");
-}
-
-template <typename T>
-T read_pod(std::istream& is) {
-  T value{};
-  is.read(reinterpret_cast<char*>(&value), sizeof(T));
-  LOWTW_CHECK_MSG(is.good(), "graph binary: truncated header");
-  return value;
-}
-
-/// Appends `count` elements in bounded chunks; the vector grows with each
-/// arrived chunk, never by the (untrusted) total upfront.
-template <typename T>
-void read_array(std::istream& is, std::size_t count, std::vector<T>& out) {
-  out.clear();
-  const std::size_t per_chunk = std::max<std::size_t>(1, kChunkBytes / sizeof(T));
-  while (out.size() < count) {
-    const std::size_t run = std::min(per_chunk, count - out.size());
-    const std::size_t old = out.size();
-    out.resize(old + run);
-    is.read(reinterpret_cast<char*>(out.data() + old),
-            static_cast<std::streamsize>(run * sizeof(T)));
-    LOWTW_CHECK_MSG(is.gcount() ==
-                        static_cast<std::streamsize>(run * sizeof(T)),
-                    "graph binary: truncated array (wanted " << count
-                        << " elements, stream ended at " << old << ")");
-  }
-}
+constexpr std::uint32_t kKindCsr = util::binio::kKindCsrGraph;
+constexpr std::uint32_t kKindDigraph = util::binio::kKindWeightedDigraph;
 
 void write_binary_header(std::ostream& os, std::uint32_t kind) {
-  os.write(kBinaryMagic, sizeof(kBinaryMagic));
-  write_pod(os, kBinaryVersion);
-  write_pod(os, kind);
-  write_pod(os, kEndianProbe);
+  util::binio::write_header(os, kind, kBinaryVersion);
 }
 
 void read_binary_header(std::istream& is, std::uint32_t want_kind) {
-  char magic[4] = {};
-  is.read(magic, sizeof(magic));
-  LOWTW_CHECK_MSG(is.good() && std::equal(magic, magic + 4, kBinaryMagic),
-                  "graph binary: bad magic");
-  const auto version = read_pod<std::uint32_t>(is);
-  LOWTW_CHECK_MSG(version == kBinaryVersion,
-                  "graph binary: unsupported version " << version);
-  const auto kind = read_pod<std::uint32_t>(is);
-  LOWTW_CHECK_MSG(kind == want_kind, "graph binary: kind " << kind
-                                         << ", expected " << want_kind);
-  const auto endian = read_pod<std::uint32_t>(is);
-  LOWTW_CHECK_MSG(endian == kEndianProbe,
-                  "graph binary: endianness mismatch");
+  util::binio::read_header(is, want_kind, kBinaryVersion);
 }
 
 }  // namespace
@@ -278,6 +225,29 @@ WeightedDigraph read_digraph_binary(std::istream& is) {
                         << v);
   }
   return g;
+}
+
+void write_graph_binary_file(const std::string& path, const CsrGraph& g) {
+  util::atomic_write_file(path,
+                          [&](std::ostream& os) { write_graph_binary(os, g); });
+}
+
+void write_graph_binary_file(const std::string& path,
+                             const WeightedDigraph& g) {
+  util::atomic_write_file(path,
+                          [&](std::ostream& os) { write_graph_binary(os, g); });
+}
+
+CsrGraph read_graph_binary_file(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  LOWTW_CHECK_MSG(is.is_open(), "graph binary: cannot open '" << path << "'");
+  return read_graph_binary(is);
+}
+
+WeightedDigraph read_digraph_binary_file(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  LOWTW_CHECK_MSG(is.is_open(), "graph binary: cannot open '" << path << "'");
+  return read_digraph_binary(is);
 }
 
 std::string to_dot(const Graph& g, std::span<const VertexId> highlight) {

@@ -51,6 +51,15 @@ CsrGraph read_graph_binary(std::istream& is);
 void write_graph_binary(std::ostream& os, const WeightedDigraph& g);
 WeightedDigraph read_digraph_binary(std::istream& is);
 
+/// File-level artifact IO. Writes are crash-safe (util::atomic_write_file:
+/// temp file + atomic rename), so a writer killed mid-stream can never leave
+/// a truncated artifact for a restarting server to load.
+void write_graph_binary_file(const std::string& path, const CsrGraph& g);
+void write_graph_binary_file(const std::string& path,
+                             const WeightedDigraph& g);
+CsrGraph read_graph_binary_file(const std::string& path);
+WeightedDigraph read_digraph_binary_file(const std::string& path);
+
 /// DOT export of an undirected graph; `highlight` vertices are drawn filled
 /// (used by examples to show separators/matchings).
 std::string to_dot(const Graph& g, std::span<const VertexId> highlight = {});

@@ -1,9 +1,12 @@
 #include "labeling/label_io.hpp"
 
+#include <fstream>
 #include <istream>
 #include <ostream>
 #include <sstream>
 
+#include "util/atomic_file.hpp"
+#include "util/binio.hpp"
 #include "util/check.hpp"
 
 namespace lowtw::labeling::io {
@@ -120,6 +123,90 @@ DistanceLabeling read_labeling(std::istream& is) {
     }
   }
   return out;
+}
+
+namespace {
+
+constexpr std::uint32_t kLabelingBinaryVersion = 1;
+
+}  // namespace
+
+void write_labeling_binary(std::ostream& os, const FlatLabeling& labeling) {
+  namespace binio = util::binio;
+  binio::write_header(os, binio::kKindFlatLabeling, kLabelingBinaryVersion);
+  const int n = labeling.num_vertices();
+  const std::uint64_t total = labeling.num_entries();
+  binio::write_pod(os, static_cast<std::int32_t>(n));
+  binio::write_pod(os, total);
+  // The sections stream straight out of the frozen SoA arrays, one
+  // checksummed run each. The offset table is re-derived from the spans
+  // (FlatLabeling does not expose its arrays); O(n) and allocation-local.
+  std::vector<std::uint64_t> offsets(static_cast<std::size_t>(n) + 1, 0);
+  for (graph::VertexId v = 0; v < n; ++v) {
+    offsets[static_cast<std::size_t>(v) + 1] =
+        offsets[v] + labeling.entries(v);
+  }
+  binio::write_array_checked(os, offsets.data(), offsets.size());
+  binio::Fnv1a hub_sum;
+  binio::Fnv1a to_sum;
+  binio::Fnv1a from_sum;
+  for (graph::VertexId v = 0; v < n; ++v) {
+    auto hubs = labeling.hubs(v);
+    binio::write_array(os, hubs.data(), hubs.size(), &hub_sum);
+  }
+  binio::write_pod(os, hub_sum.digest());
+  for (graph::VertexId v = 0; v < n; ++v) {
+    auto to = labeling.to_hub(v);
+    binio::write_array(os, to.data(), to.size(), &to_sum);
+  }
+  binio::write_pod(os, to_sum.digest());
+  for (graph::VertexId v = 0; v < n; ++v) {
+    auto from = labeling.from_hub(v);
+    binio::write_array(os, from.data(), from.size(), &from_sum);
+  }
+  binio::write_pod(os, from_sum.digest());
+  LOWTW_CHECK_MSG(os.good(), "labeling binary: write failed");
+}
+
+FlatLabeling read_flat_labeling_binary(std::istream& is) {
+  namespace binio = util::binio;
+  binio::read_header(is, binio::kKindFlatLabeling, kLabelingBinaryVersion);
+  const auto n = binio::read_pod<std::int32_t>(is);
+  const auto total = binio::read_pod<std::uint64_t>(is);
+  LOWTW_CHECK_MSG(n >= 0, "labeling binary: negative vertex count");
+  // The offset table arrives first: n-proportional payload backing the
+  // header's vertex count (a lying header dies at EOF in the chunked read),
+  // and its end entry must agree with the header's total before the three
+  // total-sized sections are read.
+  std::vector<std::uint64_t> offsets64;
+  binio::read_array_checked(is, static_cast<std::size_t>(n) + 1, offsets64,
+                            "offsets");
+  LOWTW_CHECK_MSG(offsets64.front() == 0 && offsets64.back() == total,
+                  "labeling binary: offset table disagrees with header total ("
+                      << offsets64.back() << " vs " << total << ")");
+  std::vector<graph::VertexId> hub_ids;
+  std::vector<Weight> to_hub;
+  std::vector<Weight> from_hub;
+  binio::read_array_checked(is, total, hub_ids, "hub_ids");
+  binio::read_array_checked(is, total, to_hub, "to_hub");
+  binio::read_array_checked(is, total, from_hub, "from_hub");
+  std::vector<std::size_t> offsets(offsets64.begin(), offsets64.end());
+  // from_parts re-checks structure: monotone prefix sums, sorted hub spans.
+  return FlatLabeling::from_parts(std::move(offsets), std::move(hub_ids),
+                                  std::move(to_hub), std::move(from_hub));
+}
+
+void write_labeling_binary_file(const std::string& path,
+                                const FlatLabeling& labeling) {
+  util::atomic_write_file(
+      path, [&](std::ostream& os) { write_labeling_binary(os, labeling); });
+}
+
+FlatLabeling read_flat_labeling_binary_file(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  LOWTW_CHECK_MSG(is.is_open(), "labeling binary: cannot open '" << path
+                                    << "'");
+  return read_flat_labeling_binary(is);
 }
 
 }  // namespace lowtw::labeling::io

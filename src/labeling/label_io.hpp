@@ -7,9 +7,24 @@
 //   labeling <n>
 //   l <owner> <k>            — label of `owner` with k entries
 //   e <hub> <to_hub> <from_hub>   — k entry lines (kInfinity spelled "inf")
+//
+// Binary format (LTWB kind 3, the serving-restart artifact — see
+// util/binio.hpp for the family-wide hardening contract): the checked
+// 16-byte header, then
+//   i32 n | u64 total_entries
+//   u64 offsets[n+1]      + fnv1a   — n-proportional payload backing the
+//                                     header's vertex count
+//   i32 hub_ids[total]    + fnv1a
+//   i64 to_hub[total]     + fnv1a
+//   i64 from_hub[total]   + fnv1a
+// Every section carries its own FNV-1a checksum, so bit rot inside a
+// structurally plausible payload is rejected, not decoded; arrays stream in
+// bounded chunks; and FlatLabeling::from_parts re-validates the structure
+// (monotone offset table, per-span hub sorting) on arrival.
 #pragma once
 
 #include <iosfwd>
+#include <string>
 
 #include "labeling/flat_labeling.hpp"
 #include "labeling/label.hpp"
@@ -25,5 +40,18 @@ DistanceLabeling read_labeling(std::istream& is);
 /// SoA arrays without materializing per-vertex entry vectors.
 void write_labeling(std::ostream& os, const FlatLabeling& labeling);
 FlatLabeling read_flat_labeling(std::istream& is);
+
+/// Binary round-trip for the frozen store (LTWB kind 3, checksummed
+/// sections). Rejects corrupted headers, truncated payloads, and checksum
+/// mismatches with CheckFailure — never returns a partial store.
+void write_labeling_binary(std::ostream& os, const FlatLabeling& labeling);
+FlatLabeling read_flat_labeling_binary(std::istream& is);
+
+/// File-level artifact IO. Writes are crash-safe (util::atomic_write_file:
+/// temp file + atomic rename), so a serving restart can never load a
+/// truncated labeling.
+void write_labeling_binary_file(const std::string& path,
+                                const FlatLabeling& labeling);
+FlatLabeling read_flat_labeling_binary_file(const std::string& path);
 
 }  // namespace lowtw::labeling::io

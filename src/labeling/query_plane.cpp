@@ -18,32 +18,74 @@ constexpr std::size_t kPairChunk = 256;
 
 }  // namespace
 
+const char* to_string(QueryStatus status) {
+  switch (status) {
+    case QueryStatus::kOk:
+      return "ok";
+    case QueryStatus::kUnbound:
+      return "unbound";
+    case QueryStatus::kStaleGeneration:
+      return "stale-generation";
+  }
+  return "?";
+}
+
 int QueryEngine::fan_workers() const {
   return pool_ != nullptr ? pool_->num_workers() : 1;
 }
 
-const InvertedHubIndex& QueryEngine::index() {
-  LOWTW_CHECK_MSG(labels_ != nullptr, "QueryEngine used before bind()");
+const InvertedHubIndex* QueryEngine::checked_index(QueryStatus& status) {
+  if (labels_ == nullptr) {
+    status = QueryStatus::kUnbound;
+    return nullptr;
+  }
+  if (external_index_ != nullptr) {
+    // External (snapshot) mode: the index is owned elsewhere and must match
+    // the bound store's current generation — a mismatch is the serving
+    // layer's retryable stale verdict, never silently decoded around.
+    if (!external_index_->matches(*labels_)) {
+      status = QueryStatus::kStaleGeneration;
+      return nullptr;
+    }
+    status = QueryStatus::kOk;
+    return external_index_;
+  }
   if (!index_.matches(*labels_)) index_.assign(*labels_);
-  return index_;
+  status = QueryStatus::kOk;
+  return &index_;
 }
 
-void QueryEngine::one_vs_all(VertexId source, std::span<Weight> out_dist,
-                             std::span<Weight> out_dist_to) {
-  index().one_vs_all(source, out_dist, out_dist_to);
+const InvertedHubIndex& QueryEngine::index() {
+  QueryStatus status = QueryStatus::kOk;
+  const InvertedHubIndex* idx = checked_index(status);
+  LOWTW_CHECK_MSG(idx != nullptr,
+                  "QueryEngine::index(): " << to_string(status));
+  return *idx;
 }
 
-void QueryEngine::one_vs_all_batch(std::span<const VertexId> sources,
-                                   std::span<Weight> out_dist,
-                                   std::span<Weight> out_dist_to) {
-  const InvertedHubIndex& idx = index();  // freeze once, before the fan
-  const auto n = static_cast<std::size_t>(idx.num_vertices());
+QueryStatus QueryEngine::try_one_vs_all(VertexId source,
+                                        std::span<Weight> out_dist,
+                                        std::span<Weight> out_dist_to) {
+  QueryStatus status = QueryStatus::kOk;
+  const InvertedHubIndex* idx = checked_index(status);
+  if (idx == nullptr) return status;
+  idx->one_vs_all(source, out_dist, out_dist_to);
+  return QueryStatus::kOk;
+}
+
+QueryStatus QueryEngine::try_one_vs_all_batch(
+    std::span<const VertexId> sources, std::span<Weight> out_dist,
+    std::span<Weight> out_dist_to) {
+  QueryStatus status = QueryStatus::kOk;
+  const InvertedHubIndex* idx = checked_index(status);  // gate before the fan
+  if (idx == nullptr) return status;
+  const auto n = static_cast<std::size_t>(idx->num_vertices());
   LOWTW_CHECK(out_dist.size() == sources.size() * n);
   LOWTW_CHECK(out_dist_to.size() == sources.size() * n);
   auto decode_row = [&](int i) {
     const auto row = static_cast<std::size_t>(i) * n;
-    idx.one_vs_all(sources[static_cast<std::size_t>(i)],
-                   out_dist.subspan(row, n), out_dist_to.subspan(row, n));
+    idx->one_vs_all(sources[static_cast<std::size_t>(i)],
+                    out_dist.subspan(row, n), out_dist_to.subspan(row, n));
   };
   if (pool_ != nullptr && sources.size() > 1) {
     // Tasks only read the index and write their own row — bit-identical to
@@ -55,10 +97,30 @@ void QueryEngine::one_vs_all_batch(std::span<const VertexId> sources,
       decode_row(static_cast<int>(i));
     }
   }
+  return QueryStatus::kOk;
 }
 
-void QueryEngine::run(QueryBatch& batch) {
-  LOWTW_CHECK_MSG(labels_ != nullptr, "QueryEngine used before bind()");
+void QueryEngine::one_vs_all(VertexId source, std::span<Weight> out_dist,
+                             std::span<Weight> out_dist_to) {
+  const QueryStatus status = try_one_vs_all(source, out_dist, out_dist_to);
+  LOWTW_CHECK_MSG(status == QueryStatus::kOk,
+                  "QueryEngine::one_vs_all: " << to_string(status));
+}
+
+void QueryEngine::one_vs_all_batch(std::span<const VertexId> sources,
+                                   std::span<Weight> out_dist,
+                                   std::span<Weight> out_dist_to) {
+  const QueryStatus status =
+      try_one_vs_all_batch(sources, out_dist, out_dist_to);
+  LOWTW_CHECK_MSG(status == QueryStatus::kOk,
+                  "QueryEngine::one_vs_all_batch: " << to_string(status));
+}
+
+QueryStatus QueryEngine::try_run(QueryBatch& batch) {
+  if (labels_ == nullptr) return QueryStatus::kUnbound;
+  if (external_index_ != nullptr && !external_index_->matches(*labels_)) {
+    return QueryStatus::kStaleGeneration;  // torn snapshot: whole batch stale
+  }
   const FlatLabeling& labels = *labels_;
   batch.results.resize(batch.targets.size());
   scratch_.resize(static_cast<std::size_t>(fan_workers()));
@@ -85,6 +147,13 @@ void QueryEngine::run(QueryBatch& batch) {
       decode_group(static_cast<int>(i), 0);
     }
   }
+  return QueryStatus::kOk;
+}
+
+void QueryEngine::run(QueryBatch& batch) {
+  const QueryStatus status = try_run(batch);
+  LOWTW_CHECK_MSG(status == QueryStatus::kOk,
+                  "QueryEngine::run: " << to_string(status));
 }
 
 void QueryEngine::many_to_many(std::span<const VertexId> sources,
@@ -114,9 +183,12 @@ void QueryEngine::many_to_many(std::span<const VertexId> sources,
   }
 }
 
-void QueryEngine::pairwise(std::span<const QueryPair> pairs,
-                           std::span<Weight> out) {
-  LOWTW_CHECK_MSG(labels_ != nullptr, "QueryEngine used before bind()");
+QueryStatus QueryEngine::try_pairwise(std::span<const QueryPair> pairs,
+                                      std::span<Weight> out) {
+  if (labels_ == nullptr) return QueryStatus::kUnbound;
+  if (external_index_ != nullptr && !external_index_->matches(*labels_)) {
+    return QueryStatus::kStaleGeneration;  // torn snapshot: whole batch stale
+  }
   LOWTW_CHECK(out.size() == pairs.size());
   const FlatLabeling& labels = *labels_;
   auto decode_chunk = [&](std::size_t begin, std::size_t end) {
@@ -137,6 +209,14 @@ void QueryEngine::pairwise(std::span<const QueryPair> pairs,
   } else {
     decode_chunk(0, pairs.size());
   }
+  return QueryStatus::kOk;
+}
+
+void QueryEngine::pairwise(std::span<const QueryPair> pairs,
+                           std::span<Weight> out) {
+  const QueryStatus status = try_pairwise(pairs, out);
+  LOWTW_CHECK_MSG(status == QueryStatus::kOk,
+                  "QueryEngine::pairwise: " << to_string(status));
 }
 
 }  // namespace lowtw::labeling

@@ -69,6 +69,23 @@ struct QueryBatch {
   }
 };
 
+/// Typed outcome of the try_* query entry points — the serving layer's
+/// contract: a stale snapshot is an expected, retryable condition, not an
+/// invariant violation, so it must surface as a value the caller can branch
+/// on (retry against the fresh snapshot, or degrade to the flat decode)
+/// rather than as a thrown CheckFailure.
+enum class QueryStatus {
+  kOk = 0,
+  /// Engine used before bind().
+  kUnbound,
+  /// The bound (externally supplied) index was not built from the bound
+  /// store at its current generation: answering would decode stale weights.
+  /// Outputs are untouched; rebind to a fresh snapshot and retry.
+  kStaleGeneration,
+};
+
+const char* to_string(QueryStatus status);
+
 /// Executes batches against one frozen store. Holds the lazily built
 /// inverted index (rebuilt when the bound store re-freezes — generation
 /// checked) and per-worker pin scratch. Rebindable: loop callers that
@@ -88,16 +105,50 @@ class QueryEngine {
 
   /// Re-targets the engine at another (or a re-frozen) store. Cheap: the
   /// index is only rebuilt if an index-backed query follows.
-  void bind(const FlatLabeling& labels) { labels_ = &labels; }
+  void bind(const FlatLabeling& labels) {
+    labels_ = &labels;
+    external_index_ = nullptr;
+  }
+
+  /// Binds a store together with a prebuilt postings index (the serving
+  /// snapshot shape: both frozen elsewhere, the engine only reads). In this
+  /// mode the engine never rebuilds the index; index-backed try_* calls
+  /// return kStaleGeneration when `index` was not built from `labels` at its
+  /// current generation, so a mid-swap mismatch degrades instead of
+  /// decoding stale weights.
+  void bind(const FlatLabeling& labels, const InvertedHubIndex& index) {
+    labels_ = &labels;
+    external_index_ = &index;
+  }
   void set_pool(exec::TaskPool* pool) { pool_ = pool; }
   const FlatLabeling& labels() const {
     LOWTW_CHECK_MSG(labels_ != nullptr, "QueryEngine used before bind()");
     return *labels_;
   }
 
-  /// The postings index over the bound store, built on first use and
-  /// refreshed whenever the store's generation moved.
+  /// The postings index over the bound store: the external one when bound
+  /// with one (checked fresh by the try_* paths), else the internal index
+  /// built on first use and refreshed whenever the store's generation moved.
   const InvertedHubIndex& index();
+
+  // --- typed (non-throwing) entry points ------------------------------------
+  // Identical decode semantics to the throwing methods below; on any status
+  // other than kOk the outputs are untouched. kStaleGeneration can only
+  // arise in external-index mode (the internal index rebuilds itself):
+  // there, *every* try_* call — including the pin/merge paths that never
+  // touch postings — verifies the (store, index) pair is coherent, so a
+  // torn snapshot surfaces as one retryable verdict instead of a mix of
+  // fresh and stale answers.
+
+  QueryStatus try_one_vs_all(graph::VertexId source,
+                             std::span<graph::Weight> out_dist,
+                             std::span<graph::Weight> out_dist_to);
+  QueryStatus try_one_vs_all_batch(std::span<const graph::VertexId> sources,
+                                   std::span<graph::Weight> out_dist,
+                                   std::span<graph::Weight> out_dist_to);
+  QueryStatus try_run(QueryBatch& batch);
+  QueryStatus try_pairwise(std::span<const QueryPair> pairs,
+                           std::span<graph::Weight> out);
 
   /// dec(source, v) and dec(v, source) for every v, via postings merges.
   /// Spans must be sized num_vertices().
@@ -129,8 +180,13 @@ class QueryEngine {
 
  private:
   int fan_workers() const;
+  /// Shared stale/unbound gate of the index-backed try_* paths: returns the
+  /// index to decode through, or nullptr with `status` set.
+  const InvertedHubIndex* checked_index(QueryStatus& status);
 
   const FlatLabeling* labels_ = nullptr;
+  /// Prebuilt snapshot index when bound with one; never rebuilt here.
+  const InvertedHubIndex* external_index_ = nullptr;
   exec::TaskPool* pool_ = nullptr;
   InvertedHubIndex index_;
   /// Per-worker pin scratch (exec::WorkerLocal contract: contents never

@@ -1,0 +1,121 @@
+#include "serving/admission.hpp"
+
+#include <algorithm>
+
+namespace lowtw::serving {
+
+const char* to_string(ServeStatus status) {
+  switch (status) {
+    case ServeStatus::kOk:
+      return "ok";
+    case ServeStatus::kTimeout:
+      return "timeout";
+    case ServeStatus::kOverload:
+      return "overload";
+    case ServeStatus::kShutdown:
+      return "shutdown";
+  }
+  return "?";
+}
+
+const char* to_string(ServeLevel level) {
+  switch (level) {
+    case ServeLevel::kBatchedIndex:
+      return "batched-index";
+    case ServeLevel::kFlatDecode:
+      return "flat-decode";
+    case ServeLevel::kDijkstra:
+      return "dijkstra";
+    case ServeLevel::kUnserved:
+      return "unserved";
+  }
+  return "?";
+}
+
+std::chrono::microseconds AdmissionQueue::retry_after_locked() const {
+  // Depth in batches times the coalescing window: how long the worker
+  // plausibly needs to drain what is already queued. Floor one window so
+  // the hint is never zero.
+  const std::size_t batches =
+      1 + queue_.size() / std::max<std::size_t>(1, params_.max_batch);
+  return params_.batch_window * static_cast<std::int64_t>(batches);
+}
+
+AdmissionQueue::SubmitOutcome AdmissionQueue::submit(
+    graph::VertexId u, graph::VertexId v, Clock::time_point deadline) {
+  SubmitOutcome out;
+  // The injected-overflow probe sits outside the lock: it models the queue
+  // reporting full, which admission must translate into the same explicit
+  // backpressure verdict as the real condition.
+  const bool injected_full =
+      faults_ != nullptr && faults_->should_fire(FaultSite::kQueueOverflow);
+  std::unique_lock<std::mutex> lock(mu_);
+  if (stopped_) {
+    out.reject_reason = ServeStatus::kShutdown;
+    return out;
+  }
+  if (injected_full || queue_.size() >= params_.queue_capacity) {
+    out.reject_reason = ServeStatus::kOverload;
+    out.retry_after = retry_after_locked();
+    shed_.fetch_add(1, std::memory_order_relaxed);
+    return out;
+  }
+  Request r;
+  r.u = u;
+  r.v = v;
+  r.deadline = deadline;
+  r.enqueued = Clock::now();
+  out.reply = r.reply.get_future();
+  queue_.push_back(std::move(r));
+  admitted_.fetch_add(1, std::memory_order_relaxed);
+  lock.unlock();
+  worker_cv_.notify_one();
+  return out;
+}
+
+bool AdmissionQueue::next_batch(std::vector<Request>& out) {
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    if (!queue_.empty()) {
+      if (queue_.size() >= params_.max_batch || stopped_) break;
+      // Deadline trigger: sleep until the oldest request's window closes;
+      // a filling queue re-wakes us through the notify in submit().
+      const auto close_at = queue_.front().enqueued + params_.batch_window;
+      if (Clock::now() >= close_at) break;
+      worker_cv_.wait_until(lock, close_at);
+    } else {
+      if (stopped_) return false;
+      worker_cv_.wait(lock);
+    }
+  }
+  out.clear();
+  const std::size_t take = std::min(queue_.size(), params_.max_batch);
+  for (std::size_t i = 0; i < take; ++i) {
+    out.push_back(std::move(queue_.front()));
+    queue_.pop_front();
+  }
+  return true;
+}
+
+void AdmissionQueue::shutdown(bool drain) {
+  std::deque<Request> rejected;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopped_ = true;
+    if (!drain) rejected.swap(queue_);
+  }
+  // Fulfill outside the lock: promise observers may run arbitrary code.
+  for (Request& r : rejected) {
+    QueryResponse resp;
+    resp.status = ServeStatus::kShutdown;
+    r.reply.set_value(resp);
+  }
+  worker_cv_.notify_all();
+}
+
+std::size_t AdmissionQueue::depth() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queue_.size();
+}
+
+}  // namespace lowtw::serving

@@ -1,0 +1,143 @@
+// Admission control and batching for the serving runtime.
+//
+// Concurrent point queries arrive one (u, v) pair at a time; the batched
+// query plane (labeling/query_plane.hpp) is fastest when fed whole batches.
+// AdmissionQueue sits between the two: clients submit into a bounded queue
+// and block on a per-request future; a single worker drains the queue in
+// batches shaped by a size-or-deadline trigger — a batch closes as soon as
+// `max_batch` requests are pending, or when the oldest pending request has
+// waited `batch_window` (so a lone query never waits longer than the window
+// for company).
+//
+// Overload policy is shed-don't-grow: when the queue is at capacity (or the
+// kQueueOverflow fault is armed), submit() rejects immediately with an
+// explicit retry-after hint derived from the current depth — callers get
+// backpressure they can act on instead of an unbounded queue that converts
+// overload into unbounded latency. Per-request deadlines ride along with
+// each request; expired requests are answered with timeout verdicts by the
+// worker, never silently dropped (every admitted request's future is
+// eventually fulfilled, including through shutdown).
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "serving/fault.hpp"
+
+namespace lowtw::serving {
+
+using Clock = std::chrono::steady_clock;
+
+enum class ServeStatus {
+  kOk = 0,
+  /// The request's deadline passed before it was served; no distance.
+  kTimeout,
+  /// Shed at admission: queue full. Retry after `retry_after`.
+  kOverload,
+  /// The oracle is shutting down (or never started); no distance.
+  kShutdown,
+};
+
+/// The degradation rung a served distance came from — observable per
+/// response, so callers (and the fault-injection suite) can see *how* an
+/// answer was produced, not just that it arrived.
+enum class ServeLevel {
+  kBatchedIndex = 0,  ///< snapshot engine: grouped pinned decode / inverted
+                      ///< one-vs-all rows
+  kFlatDecode = 1,    ///< per-pair merge decode on the snapshot's flat store
+  kDijkstra = 2,      ///< direct Dijkstra on the live graph (no snapshot)
+  kUnserved = 3,      ///< no distance produced (timeout / shed / shutdown)
+};
+
+const char* to_string(ServeStatus status);
+const char* to_string(ServeLevel level);
+
+struct QueryResponse {
+  ServeStatus status = ServeStatus::kShutdown;
+  ServeLevel level = ServeLevel::kUnserved;
+  graph::Weight distance = graph::kInfinity;
+  /// Generation of the snapshot that served the distance (0 = none).
+  std::uint64_t snapshot_generation = 0;
+  /// Backpressure hint; meaningful with kOverload.
+  std::chrono::microseconds retry_after{0};
+};
+
+/// One admitted point query, owned by the worker once dequeued.
+struct Request {
+  graph::VertexId u = graph::kNoVertex;
+  graph::VertexId v = graph::kNoVertex;
+  Clock::time_point deadline;
+  Clock::time_point enqueued;
+  std::promise<QueryResponse> reply;
+};
+
+struct AdmissionParams {
+  /// Bound on pending requests; submits beyond it shed with kOverload.
+  std::size_t queue_capacity = 1024;
+  /// Size trigger: a batch closes as soon as this many requests pend.
+  std::size_t max_batch = 64;
+  /// Deadline trigger: a batch closes once its oldest request waited this
+  /// long, batched or not.
+  std::chrono::microseconds batch_window{200};
+  /// Deadline applied by Oracle::query() when the caller names none.
+  std::chrono::milliseconds default_deadline{50};
+};
+
+class AdmissionQueue {
+ public:
+  explicit AdmissionQueue(AdmissionParams params,
+                          FaultInjector* faults = nullptr)
+      : params_(params), faults_(faults) {}
+
+  struct SubmitOutcome {
+    /// Engaged iff admitted; resolves when the worker serves the request.
+    std::optional<std::future<QueryResponse>> reply;
+    /// kOverload or kShutdown when not admitted.
+    ServeStatus reject_reason = ServeStatus::kOk;
+    /// Drain-time estimate when shed: depth-proportional batches of the
+    /// coalescing window.
+    std::chrono::microseconds retry_after{0};
+  };
+
+  /// Thread-safe; never blocks on a full queue (sheds instead).
+  SubmitOutcome submit(graph::VertexId u, graph::VertexId v,
+                       Clock::time_point deadline);
+
+  /// Worker side: blocks until the size-or-deadline trigger closes a batch,
+  /// then moves up to `max_batch` requests into `out` (oldest first).
+  /// Returns false once the queue is shut down and (in drain mode) empty.
+  bool next_batch(std::vector<Request>& out);
+
+  /// Stops admission. drain=true lets the worker serve what is queued;
+  /// drain=false fulfills every pending request with kShutdown immediately.
+  void shutdown(bool drain);
+
+  std::size_t depth() const;
+  std::uint64_t admitted() const {
+    return admitted_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t shed() const { return shed_.load(std::memory_order_relaxed); }
+
+ private:
+  std::chrono::microseconds retry_after_locked() const;
+
+  AdmissionParams params_;
+  FaultInjector* faults_;
+
+  mutable std::mutex mu_;
+  std::condition_variable worker_cv_;
+  std::deque<Request> queue_;
+  bool stopped_ = false;
+
+  std::atomic<std::uint64_t> admitted_{0};
+  std::atomic<std::uint64_t> shed_{0};
+};
+
+}  // namespace lowtw::serving

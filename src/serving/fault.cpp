@@ -1,0 +1,112 @@
+#include "serving/fault.hpp"
+
+#include <cmath>
+
+namespace lowtw::serving {
+
+namespace {
+
+/// SplitMix64 finalizer — the same mixer util::Rng::fork builds streams
+/// from; good enough to decorrelate (seed, site, hit) triples.
+std::uint64_t mix(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+const char* fault_site_name(FaultSite site) {
+  switch (site) {
+    case FaultSite::kSnapshotLoadCorruption:
+      return "snapshot-load-corruption";
+    case FaultSite::kEngineAllocFailure:
+      return "engine-alloc-failure";
+    case FaultSite::kWorkerStall:
+      return "worker-stall";
+    case FaultSite::kQueueOverflow:
+      return "queue-overflow";
+    case FaultSite::kMidSwapRead:
+      return "mid-swap-read";
+  }
+  return "?";
+}
+
+void FaultInjector::arm_nth(FaultSite site, std::uint64_t first,
+                            std::uint64_t count) {
+  Site& s = sites_[static_cast<std::size_t>(site)];
+  s.first.store(first, std::memory_order_relaxed);
+  s.count.store(count, std::memory_order_relaxed);
+  s.mode.store(static_cast<int>(Mode::kNth), std::memory_order_release);
+}
+
+void FaultInjector::arm_probability(FaultSite site, double probability) {
+  Site& s = sites_[static_cast<std::size_t>(site)];
+  const double clamped = probability < 0.0 ? 0.0
+                         : probability > 1.0 ? 1.0
+                                             : probability;
+  // Fixed-point threshold: fire iff mix(...) < p · 2⁶⁴. For p < 1.0 the
+  // product stays below 2⁶⁴ (p ≤ 1 − 2⁻⁵³), so the cast is exact-range.
+  s.threshold.store(clamped >= 1.0
+                        ? ~std::uint64_t{0}
+                        : static_cast<std::uint64_t>(std::ldexp(clamped, 64)),
+                    std::memory_order_relaxed);
+  s.mode.store(static_cast<int>(Mode::kProbability),
+               std::memory_order_release);
+}
+
+void FaultInjector::disarm(FaultSite site) {
+  sites_[static_cast<std::size_t>(site)].mode.store(
+      static_cast<int>(Mode::kOff), std::memory_order_release);
+}
+
+void FaultInjector::disarm_all() {
+  for (auto& s : sites_) {
+    s.mode.store(static_cast<int>(Mode::kOff), std::memory_order_release);
+  }
+}
+
+bool FaultInjector::should_fire(FaultSite site) {
+  Site& s = sites_[static_cast<std::size_t>(site)];
+  const auto mode =
+      static_cast<Mode>(s.mode.load(std::memory_order_acquire));
+  const std::uint64_t hit = s.probes.fetch_add(1, std::memory_order_relaxed);
+  bool fire = false;
+  switch (mode) {
+    case Mode::kOff:
+      break;
+    case Mode::kNth: {
+      const std::uint64_t first = s.first.load(std::memory_order_relaxed);
+      fire = hit >= first &&
+             hit - first < s.count.load(std::memory_order_relaxed);
+      break;
+    }
+    case Mode::kProbability:
+      fire = mix(seed_ ^ (static_cast<std::uint64_t>(site) << 56) ^ hit) <
+             s.threshold.load(std::memory_order_relaxed);
+      break;
+  }
+  if (fire) s.fired.fetch_add(1, std::memory_order_relaxed);
+  return fire;
+}
+
+std::uint64_t FaultInjector::probes(FaultSite site) const {
+  return sites_[static_cast<std::size_t>(site)].probes.load(
+      std::memory_order_relaxed);
+}
+
+std::uint64_t FaultInjector::fired(FaultSite site) const {
+  return sites_[static_cast<std::size_t>(site)].fired.load(
+      std::memory_order_relaxed);
+}
+
+std::size_t FaultInjector::corruption_offset(std::size_t size) const {
+  if (size == 0) return 0;
+  const std::uint64_t salt =
+      sites_[static_cast<std::size_t>(FaultSite::kSnapshotLoadCorruption)]
+          .fired.load(std::memory_order_relaxed);
+  return static_cast<std::size_t>(mix(seed_ ^ 0xc0ffeeULL ^ salt) % size);
+}
+
+}  // namespace lowtw::serving

@@ -1,0 +1,112 @@
+// Deterministic fault injection for the serving runtime.
+//
+// The correctness spine of serving::Oracle is that every failure mode
+// degrades to a slower-but-exact answer — never a crash, a hang, or a wrong
+// distance. That claim is only as good as the failures the tests can
+// provoke, so the runtime carries explicit, seed-driven injection points:
+// each FaultSite names one place the oracle consults the injector, and the
+// test suite arms sites one at a time (or probabilistically, for the soak
+// test) and asserts the served distances stay bit-equal to the Dijkstra
+// reference through the fault.
+//
+// Determinism: every probe of a site increments that site's hit counter,
+// and the fire decision is a pure function of (seed, site, hit index) —
+// `arm_nth` fires on an exact hit range, `arm_probability` hashes the triple
+// through SplitMix64 and compares against the armed rate. Re-running a
+// single-threaded scenario with the same seed therefore fires the same
+// faults at the same probes; under concurrency the *set* of fired hit
+// indices is still deterministic even though which request observes them
+// may vary.
+//
+// Production builds pay one relaxed atomic load per probe while every site
+// is disarmed; the injector is optional everywhere (a null pointer means no
+// probes at all).
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+
+namespace lowtw::serving {
+
+/// The injection points the oracle consults, one per failure mode the
+/// degradation ladder must absorb.
+enum class FaultSite : int {
+  /// A snapshot artifact read flips one byte before parsing — the
+  /// checksummed loader must reject it and the oracle must keep serving
+  /// from its previous snapshot (or direct Dijkstra when there is none).
+  kSnapshotLoadCorruption = 0,
+  /// std::bad_alloc while building the snapshot's inverted index — the
+  /// snapshot installs without an index and serves at the flat-decode rung.
+  kEngineAllocFailure,
+  /// The serving worker stalls while holding a batch — queued requests past
+  /// their deadline get timeout verdicts, not silence.
+  kWorkerStall,
+  /// Admission reports the queue full even when it is not — callers get the
+  /// explicit retry-after backpressure verdict.
+  kQueueOverflow,
+  /// A batch observes a stale-generation verdict as if the snapshot were
+  /// swapped mid-read — the worker must retry against the fresh snapshot or
+  /// degrade to the flat decode.
+  kMidSwapRead,
+};
+
+inline constexpr int kNumFaultSites = 5;
+
+const char* fault_site_name(FaultSite site);
+
+class FaultInjector {
+ public:
+  explicit FaultInjector(std::uint64_t seed = 0) : seed_(seed) {}
+
+  /// Fires on probe indices [first, first + count) of `site`.
+  void arm_nth(FaultSite site, std::uint64_t first, std::uint64_t count = 1);
+  /// Fires each probe independently with rate `probability`, decided by
+  /// SplitMix64(seed, site, hit) — deterministic per hit index.
+  void arm_probability(FaultSite site, double probability);
+  void disarm(FaultSite site);
+  void disarm_all();
+
+  /// One probe: counts the hit and reports whether the armed plan fires on
+  /// it. Thread-safe; a disarmed site costs one relaxed load.
+  bool should_fire(FaultSite site);
+
+  std::uint64_t probes(FaultSite site) const;
+  std::uint64_t fired(FaultSite site) const;
+
+  /// Deterministic corruption offset for kSnapshotLoadCorruption: a
+  /// seed-derived position within [0, size). Varies with the site's fired
+  /// count so repeated corrupt loads hit different bytes.
+  std::size_t corruption_offset(std::size_t size) const;
+
+  /// How long kWorkerStall sleeps the worker.
+  std::chrono::milliseconds stall_duration() const {
+    return std::chrono::milliseconds(stall_ms_.load(std::memory_order_relaxed));
+  }
+  void set_stall_duration(std::chrono::milliseconds d) {
+    stall_ms_.store(d.count(), std::memory_order_relaxed);
+  }
+
+ private:
+  enum class Mode : int { kOff = 0, kNth, kProbability };
+
+  struct Site {
+    std::atomic<int> mode{static_cast<int>(Mode::kOff)};
+    std::atomic<std::uint64_t> probes{0};
+    std::atomic<std::uint64_t> fired{0};
+    // Plan parameters: written before the mode store (release), read after
+    // the mode load (acquire). Individually atomic (relaxed) so a re-arm
+    // racing an in-flight probe is still well-defined — the probe sees
+    // either the old plan or the new one, never a torn value.
+    std::atomic<std::uint64_t> first{0};
+    std::atomic<std::uint64_t> count{0};
+    std::atomic<std::uint64_t> threshold{0};  ///< 64-bit fixed-point rate
+  };
+
+  std::uint64_t seed_;
+  std::atomic<std::int64_t> stall_ms_{20};
+  std::array<Site, kNumFaultSites> sites_;
+};
+
+}  // namespace lowtw::serving

@@ -1,0 +1,370 @@
+#include "serving/oracle.hpp"
+
+#include <algorithm>
+#include <istream>
+#include <iterator>
+#include <new>
+#include <sstream>
+#include <string>
+
+#include "core/solver.hpp"
+#include "graph/algorithms.hpp"
+#include "labeling/label_io.hpp"
+#include "util/check.hpp"
+
+namespace lowtw::serving {
+
+using graph::VertexId;
+using graph::Weight;
+using labeling::QueryStatus;
+
+Oracle::Oracle(graph::WeightedDigraph instance, OracleOptions options)
+    : instance_(std::move(instance)),
+      options_(options),
+      queue_(options.admission, options.faults) {}
+
+Oracle::~Oracle() { stop(/*drain=*/true); }
+
+// --- snapshot lifecycle ------------------------------------------------------
+
+std::uint64_t Oracle::install(labeling::FlatLabeling flat) {
+  auto snap = std::make_shared<Snapshot>();
+  const std::uint64_t gen =
+      next_generation_.fetch_add(1, std::memory_order_relaxed) + 1;
+  snap->generation = gen;
+  snap->flat = std::move(flat);
+  try {
+    if (options_.faults != nullptr &&
+        options_.faults->should_fire(FaultSite::kEngineAllocFailure)) {
+      throw std::bad_alloc();
+    }
+    snap->index.assign(snap->flat);
+    snap->has_index = true;
+  } catch (const std::bad_alloc&) {
+    // Degraded install: the snapshot still answers exactly through the flat
+    // store; only the postings fast path is missing.
+    index_build_failures_.fetch_add(1, std::memory_order_relaxed);
+    snap->has_index = false;
+  }
+  // Publish, then advance the observable generation: readers that see the
+  // new generation are guaranteed to load at least this snapshot.
+  publish(SnapshotPtr(std::move(snap)));
+  generation_.store(gen, std::memory_order_release);
+  snapshot_installs_.fetch_add(1, std::memory_order_relaxed);
+  return gen;
+}
+
+std::uint64_t Oracle::install_snapshot(labeling::FlatLabeling flat) {
+  return install(std::move(flat));
+}
+
+std::uint64_t Oracle::rebuild_snapshot() {
+  SolverOptions sopts;
+  sopts.seed = options_.seed;
+  sopts.engine = options_.engine;
+  sopts.threads = options_.build_threads;
+  sopts.known_diameter = options_.known_diameter;
+  Solver solver(instance_, sopts);
+  // The freeze is the snapshot boundary: the solver (and its mutable
+  // builders) die here, the copied frozen store lives on in the snapshot.
+  return install(solver.distance_labeling().flat);
+}
+
+bool Oracle::load_snapshot(std::istream& is) {
+  std::string payload{std::istreambuf_iterator<char>(is),
+                      std::istreambuf_iterator<char>()};
+  if (options_.faults != nullptr &&
+      options_.faults->should_fire(FaultSite::kSnapshotLoadCorruption) &&
+      !payload.empty()) {
+    const std::size_t off = options_.faults->corruption_offset(payload.size());
+    payload[off] = static_cast<char>(payload[off] ^ 0x40);
+  }
+  try {
+    std::istringstream iss(payload);
+    labeling::FlatLabeling flat = labeling::io::read_flat_labeling_binary(iss);
+    install(std::move(flat));
+    return true;
+  } catch (const util::CheckFailure&) {
+    // Corrupt artifact: reject loudly, change nothing — the previous
+    // snapshot (or the Dijkstra rung) keeps serving.
+    failed_loads_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+}
+
+// --- serving lifecycle -------------------------------------------------------
+
+void Oracle::start() {
+  std::lock_guard<std::mutex> lock(lifecycle_mu_);
+  if (worker_running_) return;
+  worker_running_ = true;
+  accepting_.store(true, std::memory_order_release);
+  worker_ = std::thread([this] { worker_loop(); });
+}
+
+void Oracle::stop(bool drain) {
+  std::lock_guard<std::mutex> lock(lifecycle_mu_);
+  accepting_.store(false, std::memory_order_release);
+  queue_.shutdown(drain);
+  if (worker_.joinable()) worker_.join();
+  worker_running_ = false;
+}
+
+void Oracle::worker_loop() {
+  std::vector<Request> batch;
+  while (queue_.next_batch(batch)) serve_batch(batch);
+}
+
+// --- client API --------------------------------------------------------------
+
+AdmissionQueue::SubmitOutcome Oracle::submit(
+    VertexId u, VertexId v, std::chrono::microseconds deadline) {
+  LOWTW_CHECK_MSG(u >= 0 && u < num_vertices() && v >= 0 && v < num_vertices(),
+                  "Oracle::submit: vertex out of range");
+  if (!accepting_.load(std::memory_order_acquire)) {
+    AdmissionQueue::SubmitOutcome out;
+    out.reject_reason = ServeStatus::kShutdown;
+    return out;
+  }
+  return queue_.submit(u, v, Clock::now() + deadline);
+}
+
+QueryResponse Oracle::query(VertexId u, VertexId v,
+                            std::chrono::microseconds deadline) {
+  AdmissionQueue::SubmitOutcome outcome = submit(u, v, deadline);
+  if (!outcome.reply.has_value()) {
+    QueryResponse r;
+    r.status = outcome.reject_reason;
+    r.retry_after = outcome.retry_after;
+    return r;
+  }
+  return outcome.reply->get();
+}
+
+QueryResponse Oracle::query(VertexId u, VertexId v) {
+  return query(u, v,
+               std::chrono::duration_cast<std::chrono::microseconds>(
+                   options_.admission.default_deadline));
+}
+
+QueryResponse Oracle::serve_now(VertexId u, VertexId v) {
+  QueryResponse r;
+  r.status = ServeStatus::kOk;
+  if (SnapshotPtr snap = snapshot_ref()) {
+    r.level = ServeLevel::kFlatDecode;
+    r.distance = snap->flat.decode(u, v);
+    r.snapshot_generation = snap->generation;
+    served_flat_.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    r.level = ServeLevel::kDijkstra;
+    r.distance = graph::dijkstra(instance_, u).dist[v];
+    served_dijkstra_.fetch_add(1, std::memory_order_relaxed);
+  }
+  return r;
+}
+
+// --- the serving worker ------------------------------------------------------
+
+bool Oracle::serve_with_index(SnapshotPtr& snap, std::vector<Request>& reqs,
+                              const std::vector<std::size_t>& live,
+                              std::vector<QueryResponse>& replies) {
+  // Group by source: one stable sort of the live indices; every run of
+  // equal sources becomes either one inverted one-vs-all row (heavy) or one
+  // pinned target run in the QueryBatch (light).
+  std::vector<std::size_t> order(live);
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     return reqs[a].u < reqs[b].u;
+                   });
+  const auto n = static_cast<std::size_t>(num_vertices());
+  for (int attempt = 0; attempt < 2; ++attempt) {
+    // The mid-swap fault injects one stale verdict into this attempt's
+    // first engine call — the shape a snapshot swapped between acquire and
+    // decode would produce. Probed per attempt, so arming two consecutive
+    // fires defeats the retry and forces the flat-decode rung.
+    bool inject_stale =
+        options_.faults != nullptr &&
+        options_.faults->should_fire(FaultSite::kMidSwapRead);
+    engine_.bind(snap->flat, snap->index);
+    bool stale = false;
+    batch_.clear();
+    batch_request_of_.clear();
+    std::size_t i = 0;
+    while (i < order.size()) {
+      std::size_t j = i;
+      const VertexId u = reqs[order[i]].u;
+      while (j < order.size() && reqs[order[j]].u == u) ++j;
+      if (j - i >= options_.one_vs_all_min_targets) {
+        row_dist_.resize(n);
+        row_dist_to_.resize(n);
+        QueryStatus st;
+        if (inject_stale) {
+          st = QueryStatus::kStaleGeneration;
+          inject_stale = false;
+        } else {
+          st = engine_.try_one_vs_all(u, row_dist_, row_dist_to_);
+        }
+        if (st != QueryStatus::kOk) {
+          stale = true;
+          break;
+        }
+        for (std::size_t k = i; k < j; ++k) {
+          QueryResponse& r = replies[order[k]];
+          r.status = ServeStatus::kOk;
+          r.level = ServeLevel::kBatchedIndex;
+          r.distance = row_dist_[static_cast<std::size_t>(reqs[order[k]].v)];
+          r.snapshot_generation = snap->generation;
+        }
+      } else {
+        batch_.add_source(u);
+        for (std::size_t k = i; k < j; ++k) {
+          batch_.add_target(reqs[order[k]].v);
+          batch_request_of_.push_back(order[k]);
+        }
+      }
+      i = j;
+    }
+    if (!stale && batch_.num_queries() > 0) {
+      QueryStatus st;
+      if (inject_stale) {
+        st = QueryStatus::kStaleGeneration;
+        inject_stale = false;
+      } else {
+        st = engine_.try_run(batch_);
+      }
+      if (st != QueryStatus::kOk) {
+        stale = true;
+      } else {
+        for (std::size_t q = 0; q < batch_request_of_.size(); ++q) {
+          QueryResponse& r = replies[batch_request_of_[q]];
+          r.status = ServeStatus::kOk;
+          r.level = ServeLevel::kBatchedIndex;
+          r.distance = batch_.results[q];
+          r.snapshot_generation = snap->generation;
+        }
+      }
+    }
+    if (!stale) return true;
+    if (attempt == 0) {
+      // One retry against the freshest snapshot; partially filled replies
+      // are fully rewritten by the retry (or by the flat fallback).
+      stale_retries_.fetch_add(1, std::memory_order_relaxed);
+      SnapshotPtr fresh = snapshot_ref();
+      if (fresh != nullptr && fresh->has_index) {
+        snap = std::move(fresh);
+        continue;
+      }
+    }
+    break;
+  }
+  return false;
+}
+
+void Oracle::serve_batch(std::vector<Request>& reqs) {
+  batches_.fetch_add(1, std::memory_order_relaxed);
+  if (options_.faults != nullptr &&
+      options_.faults->should_fire(FaultSite::kWorkerStall)) {
+    std::this_thread::sleep_for(options_.faults->stall_duration());
+  }
+  const auto now = Clock::now();
+  std::vector<QueryResponse> replies(reqs.size());
+  std::vector<std::size_t> live;
+  live.reserve(reqs.size());
+  for (std::size_t i = 0; i < reqs.size(); ++i) {
+    if (reqs[i].deadline <= now) {
+      // Deadline verdict, decided before any serving work: a stalled worker
+      // converts queued requests into visible timeouts, never silence.
+      replies[i].status = ServeStatus::kTimeout;
+      replies[i].level = ServeLevel::kUnserved;
+      timeouts_.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      live.push_back(i);
+    }
+  }
+  try {
+    if (!live.empty()) {
+      SnapshotPtr snap = snapshot_ref();
+      bool served = false;
+      if (snap != nullptr && snap->has_index) {
+        served = serve_with_index(snap, reqs, live, replies);
+        if (served) {
+          served_batched_.fetch_add(live.size(), std::memory_order_relaxed);
+        }
+      }
+      if (!served && snap != nullptr) {
+        // Level 1: per-pair merge decodes on the snapshot's flat store —
+        // exact by the labeling guarantee, no postings index required.
+        degraded_batches_.fetch_add(1, std::memory_order_relaxed);
+        for (std::size_t idx : live) {
+          QueryResponse& r = replies[idx];
+          r.status = ServeStatus::kOk;
+          r.level = ServeLevel::kFlatDecode;
+          r.distance = snap->flat.decode(reqs[idx].u, reqs[idx].v);
+          r.snapshot_generation = snap->generation;
+        }
+        served_flat_.fetch_add(live.size(), std::memory_order_relaxed);
+        served = true;
+      }
+      if (!served) {
+        // Level 2: no snapshot at all — answer from the live graph, one
+        // Dijkstra per distinct source in the batch.
+        degraded_batches_.fetch_add(1, std::memory_order_relaxed);
+        std::vector<std::size_t> order(live);
+        std::stable_sort(order.begin(), order.end(),
+                         [&](std::size_t a, std::size_t b) {
+                           return reqs[a].u < reqs[b].u;
+                         });
+        std::size_t i = 0;
+        while (i < order.size()) {
+          const VertexId u = reqs[order[i]].u;
+          auto truth = graph::dijkstra(instance_, u);
+          std::size_t j = i;
+          while (j < order.size() && reqs[order[j]].u == u) {
+            QueryResponse& r = replies[order[j]];
+            r.status = ServeStatus::kOk;
+            r.level = ServeLevel::kDijkstra;
+            r.distance = truth.dist[static_cast<std::size_t>(reqs[order[j]].v)];
+            ++j;
+          }
+          i = j;
+        }
+        served_dijkstra_.fetch_add(live.size(), std::memory_order_relaxed);
+      }
+    }
+  } catch (...) {
+    // Last-ditch guard: no decode exception may turn into a broken promise
+    // or a dead worker. Anything still undecided gets the ground truth.
+    for (std::size_t idx : live) {
+      if (replies[idx].status == ServeStatus::kOk) continue;
+      QueryResponse& r = replies[idx];
+      r.status = ServeStatus::kOk;
+      r.level = ServeLevel::kDijkstra;
+      r.distance =
+          graph::dijkstra(instance_, reqs[idx].u).dist[reqs[idx].v];
+      served_dijkstra_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+  for (std::size_t i = 0; i < reqs.size(); ++i) {
+    reqs[i].reply.set_value(replies[i]);
+  }
+}
+
+OracleStats Oracle::stats() const {
+  OracleStats s;
+  s.served_batched_index = served_batched_.load(std::memory_order_relaxed);
+  s.served_flat = served_flat_.load(std::memory_order_relaxed);
+  s.served_dijkstra = served_dijkstra_.load(std::memory_order_relaxed);
+  s.timeouts = timeouts_.load(std::memory_order_relaxed);
+  s.sheds = queue_.shed();
+  s.admitted = queue_.admitted();
+  s.batches = batches_.load(std::memory_order_relaxed);
+  s.stale_retries = stale_retries_.load(std::memory_order_relaxed);
+  s.degraded_batches = degraded_batches_.load(std::memory_order_relaxed);
+  s.snapshot_installs = snapshot_installs_.load(std::memory_order_relaxed);
+  s.failed_loads = failed_loads_.load(std::memory_order_relaxed);
+  s.index_build_failures =
+      index_build_failures_.load(std::memory_order_relaxed);
+  return s;
+}
+
+}  // namespace lowtw::serving

@@ -1,0 +1,222 @@
+// The hardened long-lived distance-oracle runtime.
+//
+// serving::Oracle wraps the batched query plane (FlatLabeling +
+// InvertedHubIndex + QueryEngine) in the machinery a server that must
+// survive needs:
+//
+//   * Generation-counted immutable snapshots behind a published shared_ptr
+//     slot. A snapshot is frozen once (store + postings index) and never
+//     mutated; readers copy the pointer and keep the snapshot alive for the
+//     length of one batch, so background rebuilds freeze a *new* snapshot
+//     and swap it in — the swap critical section is a single pointer move,
+//     never a rebuild — without tearing an answer.
+//   * An admission/batching front (AdmissionQueue): concurrent point
+//     queries coalesce into QueryBatch shapes on a size-or-deadline
+//     trigger; a bounded queue sheds overload with explicit retry-after
+//     verdicts; per-request deadlines yield timeout verdicts instead of
+//     stalled callers.
+//   * A graceful-degradation ladder, observable per response (ServeLevel):
+//     level 0 serves through the snapshot's inverted/pinned batch engine;
+//     if the index is missing (build failed) or the engine reports a
+//     stale-generation verdict that a one-shot retry against the fresh
+//     snapshot cannot cure, the batch falls to per-pair flat-store decodes;
+//     with no snapshot at all (corrupted artifact on a cold start) requests
+//     are answered by direct Dijkstra on the live graph. Every rung decodes
+//     the same exact distances — the paper's guarantee that labels decode
+//     to exact d(u, v) is what makes "degraded" mean slower, never wrong.
+//   * Deterministic fault injection (serving/fault.hpp) at every seam the
+//     ladder exists for: corrupt snapshot loads, index-build allocation
+//     failure, worker stalls, queue overflow, mid-swap reads. The
+//     test_serving suite arms each site and proves bit-equality against
+//     Dijkstra plus clean shutdown through all of them.
+//
+// Threading: clients call query()/submit() from any thread; one worker
+// thread owns batch serving (and the QueryEngine scratch); snapshot
+// installs may come from any thread. stats() and generation() are
+// lock-free reads.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <vector>
+
+#include "graph/digraph.hpp"
+#include "labeling/query_plane.hpp"
+#include "primitives/engine.hpp"
+#include "serving/admission.hpp"
+#include "serving/fault.hpp"
+
+namespace lowtw::serving {
+
+struct OracleOptions {
+  AdmissionParams admission;
+  /// Seed for snapshot rebuilds (Solver construction).
+  std::uint64_t seed = 0x5eedULL;
+  /// Build-side execution width for rebuild_snapshot (SolverOptions::threads).
+  int build_threads = 1;
+  primitives::EngineMode engine = primitives::EngineMode::kShortcutModel;
+  /// Skips the O(n·m) exact diameter computation on rebuilds when known.
+  std::optional<int> known_diameter;
+  /// A source group at least this large is served as one inverted-index
+  /// one-vs-all row instead of per-target pinned decodes.
+  std::size_t one_vs_all_min_targets = 64;
+  /// Optional fault injection; not owned, may be null. Must outlive the
+  /// oracle when set.
+  FaultInjector* faults = nullptr;
+};
+
+/// Monotonic counters, readable at any time (values are a consistent-enough
+/// snapshot for monitoring; each counter is individually atomic).
+struct OracleStats {
+  std::uint64_t served_batched_index = 0;
+  std::uint64_t served_flat = 0;
+  std::uint64_t served_dijkstra = 0;
+  std::uint64_t timeouts = 0;
+  std::uint64_t sheds = 0;
+  std::uint64_t admitted = 0;
+  std::uint64_t batches = 0;
+  std::uint64_t stale_retries = 0;     ///< mid-swap verdicts retried fresh
+  std::uint64_t degraded_batches = 0;  ///< batches that fell off level 0
+  std::uint64_t snapshot_installs = 0;
+  std::uint64_t failed_loads = 0;          ///< corrupt artifacts rejected
+  std::uint64_t index_build_failures = 0;  ///< snapshots serving without index
+};
+
+class Oracle {
+ public:
+  /// The oracle keeps its own copy of the instance: the graph is the
+  /// ground-truth fallback (Dijkstra rung) and the rebuild input.
+  explicit Oracle(graph::WeightedDigraph instance, OracleOptions options = {});
+  ~Oracle();
+  Oracle(const Oracle&) = delete;
+  Oracle& operator=(const Oracle&) = delete;
+
+  // --- snapshot lifecycle ----------------------------------------------------
+
+  /// Full rebuild from the live graph (Solver: TD + labeling + freeze +
+  /// postings transpose), then swap. Safe to call from any thread while
+  /// serving; returns the new generation.
+  std::uint64_t rebuild_snapshot();
+  /// Installs a pre-frozen store (e.g. loaded from an artifact) as the new
+  /// snapshot. The postings index is built here; if that fails
+  /// (allocation), the snapshot installs index-less and serves at the
+  /// flat-decode rung.
+  std::uint64_t install_snapshot(labeling::FlatLabeling flat);
+  /// Loads a binary labeling artifact (label_io kind 3). On any corruption
+  /// (bad header, checksum mismatch, truncation, structural failure) no
+  /// state changes — the previous snapshot keeps serving — and false is
+  /// returned. The kSnapshotLoadCorruption fault site flips a byte of the
+  /// payload before parsing.
+  bool load_snapshot(std::istream& is);
+
+  std::uint64_t generation() const {
+    return generation_.load(std::memory_order_acquire);
+  }
+  bool has_snapshot() const { return snapshot_ref() != nullptr; }
+
+  // --- serving ---------------------------------------------------------------
+
+  /// Spawns the serving worker. Idempotent.
+  void start();
+  /// Stops serving. drain=true answers everything already admitted before
+  /// the worker exits; drain=false fails pending requests with kShutdown.
+  /// Idempotent; also called by the destructor (drain mode).
+  void stop(bool drain = true);
+
+  /// Blocking point query with the default deadline.
+  QueryResponse query(graph::VertexId u, graph::VertexId v);
+  QueryResponse query(graph::VertexId u, graph::VertexId v,
+                      std::chrono::microseconds deadline);
+  /// Non-blocking submit; see AdmissionQueue::submit.
+  AdmissionQueue::SubmitOutcome submit(graph::VertexId u, graph::VertexId v,
+                                       std::chrono::microseconds deadline);
+
+  /// Synchronous one-at-a-time serve on the caller's thread (no admission,
+  /// no batching): the scalar reference BM_ServeThroughput measures the
+  /// batching win against. Uses the flat-decode rung (or Dijkstra without a
+  /// snapshot).
+  QueryResponse serve_now(graph::VertexId u, graph::VertexId v);
+
+  OracleStats stats() const;
+  const graph::WeightedDigraph& instance() const { return instance_; }
+  int num_vertices() const { return instance_.num_vertices(); }
+
+ private:
+  /// Immutable once published; destroyed when the last batch using it ends.
+  struct Snapshot {
+    labeling::FlatLabeling flat;
+    labeling::InvertedHubIndex index;
+    bool has_index = false;
+    std::uint64_t generation = 0;
+  };
+  using SnapshotPtr = std::shared_ptr<const Snapshot>;
+
+  std::uint64_t install(labeling::FlatLabeling flat);
+  /// Copies the current snapshot pointer out of the publish slot. The slot
+  /// is a mutex-guarded shared_ptr rather than std::atomic<shared_ptr>:
+  /// libstdc++'s _Sp_atomic releases its embedded spin-lock with a relaxed
+  /// RMW in load(), which leaves the protected plain pointer read without a
+  /// formal happens-before edge against a later store (TSan flags it). The
+  /// mutex gives real acquire/release edges and its critical section is one
+  /// pointer move — rebuilds and snapshot destruction happen outside it.
+  SnapshotPtr snapshot_ref() const {
+    std::lock_guard<std::mutex> lock(snapshot_mu_);
+    return snapshot_;
+  }
+  void publish(SnapshotPtr snap) {
+    SnapshotPtr retired;  // destroys (possibly a whole labeling) unlocked
+    std::lock_guard<std::mutex> lock(snapshot_mu_);
+    retired = std::move(snapshot_);
+    snapshot_ = std::move(snap);
+  }
+  void worker_loop();
+  void serve_batch(std::vector<Request>& batch);
+  /// Level-0 attempt: grouped pinned decodes + inverted one-vs-all rows for
+  /// heavy groups. On a stale verdict retries once against the fresh
+  /// snapshot (updating `snap`); returns false when the batch must degrade.
+  bool serve_with_index(SnapshotPtr& snap, std::vector<Request>& reqs,
+                        const std::vector<std::size_t>& live,
+                        std::vector<QueryResponse>& replies);
+
+  graph::WeightedDigraph instance_;
+  OracleOptions options_;
+  AdmissionQueue queue_;
+  mutable std::mutex snapshot_mu_;  ///< guards only the snapshot_ pointer
+  SnapshotPtr snapshot_;            ///< current snapshot; swap via publish()
+  std::atomic<std::uint64_t> generation_{0};
+  std::atomic<std::uint64_t> next_generation_{0};
+
+  std::thread worker_;
+  bool worker_running_ = false;  ///< guarded by lifecycle_mu_
+  std::mutex lifecycle_mu_;
+  /// True between start() and stop(): a query against a stopped (or never
+  /// started) oracle gets an immediate kShutdown verdict instead of an
+  /// admitted request no worker will ever serve.
+  std::atomic<bool> accepting_{false};
+
+  // Worker-owned serving state (only the worker thread touches these).
+  labeling::QueryEngine engine_;
+  labeling::QueryBatch batch_;
+  std::vector<std::size_t> batch_request_of_;  ///< batch target j → request
+  std::vector<graph::Weight> row_dist_;
+  std::vector<graph::Weight> row_dist_to_;
+
+  // Stats counters.
+  std::atomic<std::uint64_t> served_batched_{0};
+  std::atomic<std::uint64_t> served_flat_{0};
+  std::atomic<std::uint64_t> served_dijkstra_{0};
+  std::atomic<std::uint64_t> timeouts_{0};
+  std::atomic<std::uint64_t> batches_{0};
+  std::atomic<std::uint64_t> stale_retries_{0};
+  std::atomic<std::uint64_t> degraded_batches_{0};
+  std::atomic<std::uint64_t> snapshot_installs_{0};
+  std::atomic<std::uint64_t> failed_loads_{0};
+  std::atomic<std::uint64_t> index_build_failures_{0};
+};
+
+}  // namespace lowtw::serving

@@ -1,0 +1,42 @@
+#include "util/atomic_file.hpp"
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "util/check.hpp"
+
+namespace lowtw::util {
+
+void atomic_write_file(const std::string& path,
+                       const std::function<void(std::ostream&)>& write) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream os(tmp, std::ios::binary | std::ios::trunc);
+    LOWTW_CHECK_MSG(os.is_open(),
+                    "atomic_write_file: cannot open temp '" << tmp << "'");
+    try {
+      write(os);
+      os.flush();
+    } catch (...) {
+      os.close();
+      std::remove(tmp.c_str());
+      throw;
+    }
+    if (!os.good()) {
+      os.close();
+      std::remove(tmp.c_str());
+      LOWTW_CHECK_MSG(false, "atomic_write_file: write to '" << tmp
+                                 << "' failed; destination untouched");
+    }
+  }
+  std::error_code ec;
+  std::filesystem::rename(tmp, path, ec);
+  if (ec) {
+    std::remove(tmp.c_str());
+    LOWTW_CHECK_MSG(false, "atomic_write_file: rename '" << tmp << "' -> '"
+                               << path << "' failed: " << ec.message());
+  }
+}
+
+}  // namespace lowtw::util

@@ -1,0 +1,26 @@
+// Crash-safe artifact writes: stream into a sibling temp file, flush, then
+// rename over the destination.
+//
+// A long-lived server restarting after a crash mmaps/loads whatever sits at
+// the artifact path; a writer that died mid-stream must never leave a
+// truncated file there. POSIX rename(2) within one directory is atomic, so
+// readers observe either the complete old artifact or the complete new one —
+// never a prefix. On any failure (a throwing serializer, a bad stream, a
+// failed rename) the temp file is removed and the destination is untouched.
+#pragma once
+
+#include <functional>
+#include <iosfwd>
+#include <string>
+
+namespace lowtw::util {
+
+/// Invokes `write` on an output stream bound to `path + ".tmp"`, then
+/// flushes and atomically renames the temp over `path`. Rethrows whatever
+/// `write` throws (and throws CheckFailure on stream/rename failure) after
+/// removing the temp; the destination keeps its prior content in every
+/// failure mode.
+void atomic_write_file(const std::string& path,
+                       const std::function<void(std::ostream&)>& write);
+
+}  // namespace lowtw::util

@@ -4,11 +4,14 @@
 // the text format on the instances both can carry.
 #include <gtest/gtest.h>
 
+#include <filesystem>
+#include <fstream>
 #include <sstream>
 
 #include "graph/csr.hpp"
 #include "graph/generators.hpp"
 #include "graph/graph_io.hpp"
+#include "util/atomic_file.hpp"
 #include "util/check.hpp"
 #include "util/rng.hpp"
 
@@ -161,6 +164,53 @@ TEST(GraphBinaryIo, RejectsCorruption) {
     std::stringstream b(bad);
     EXPECT_THROW(io::read_digraph_binary(b), util::CheckFailure);
   }
+}
+
+TEST(GraphBinaryIo, AtomicFileWriteSurvivesMidWriteKill) {
+  namespace fs = std::filesystem;
+  Graph ug = sample_graph(60, 31);
+  util::Rng rng(37);
+  WeightedDigraph g = gen::random_orientation(ug, 0.6, 1, 25, rng);
+  const std::string path =
+      (fs::temp_directory_path() / "lowtw_graph_io_test.ltwb").string();
+  io::write_graph_binary_file(path, g);
+  EXPECT_FALSE(fs::exists(path + ".tmp"));
+  WeightedDigraph back = io::read_digraph_binary_file(path);
+  ASSERT_EQ(back.num_arcs(), g.num_arcs());
+
+  // Kill an overwrite at an injected byte offset: serialize the full
+  // payload, then write only a prefix of it and die — the torn write must
+  // never reach the destination path.
+  std::stringstream full;
+  io::write_graph_binary(full, g);
+  const std::string payload = full.str();
+  for (std::size_t kill_at : {std::size_t{0}, std::size_t{9},
+                              payload.size() / 2, payload.size() - 1}) {
+    EXPECT_THROW(
+        util::atomic_write_file(path,
+                                [&](std::ostream& os) {
+                                  os.write(payload.data(),
+                                           static_cast<std::streamsize>(
+                                               kill_at));
+                                  throw util::CheckFailure(
+                                      "injected kill mid-write");
+                                }),
+        util::CheckFailure)
+        << "kill_at=" << kill_at;
+    EXPECT_FALSE(fs::exists(path + ".tmp")) << "kill_at=" << kill_at;
+    // The destination still holds the complete previous artifact.
+    WeightedDigraph survivor = io::read_digraph_binary_file(path);
+    ASSERT_EQ(survivor.num_arcs(), g.num_arcs()) << "kill_at=" << kill_at;
+    EXPECT_EQ(survivor.arc(0).weight, g.arc(0).weight);
+  }
+
+  // CSR flavor round-trips through the file API too.
+  CsrGraph csr{sample_graph(25, 41)};
+  io::write_graph_binary_file(path, csr);
+  CsrGraph cback = io::read_graph_binary_file(path);
+  EXPECT_EQ(cback.num_edges(), csr.num_edges());
+  fs::remove(path);
+  EXPECT_THROW(io::read_graph_binary_file(path), util::CheckFailure);
 }
 
 }  // namespace

@@ -1,13 +1,18 @@
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
 #include <sstream>
 
 #include "graph/algorithms.hpp"
 #include "graph/generators.hpp"
+#include "graph/graph_io.hpp"
 #include "labeling/distance_labeling.hpp"
 #include "labeling/label_io.hpp"
 #include "td/builder.hpp"
 #include "test_helpers.hpp"
+#include "util/atomic_file.hpp"
 #include "util/check.hpp"
 
 namespace lowtw::labeling {
@@ -61,6 +66,163 @@ TEST(LabelIo, RejectsCorruptStreams) {
     std::stringstream ss("labeling 1\nl 0 1\n");  // truncated
     EXPECT_THROW(io::read_labeling(ss), util::CheckFailure);
   }
+}
+
+// --- binary (LTWB kind 3) format: the serving snapshot artifact -------------
+
+FlatLabeling built_flat(int n, std::uint64_t seed) {
+  util::Rng rng(seed);
+  graph::Graph ug = graph::gen::partial_ktree(n, 2, 0.6, rng);
+  auto g = graph::gen::random_orientation(ug, 0.6, 1, 20, rng);
+  auto skel = g.skeleton();
+  test::EngineBundle bundle(skel);
+  auto td = td::build_hierarchy(skel, td::TdParams{}, rng, bundle.engine);
+  return build_distance_labeling(g, skel, td.hierarchy, bundle.engine).flat;
+}
+
+TEST(LabelBinaryIo, RoundTripPreservesEveryEntryAndDecode) {
+  FlatLabeling flat = built_flat(70, 3);
+  std::stringstream ss;
+  io::write_labeling_binary(ss, flat);
+  FlatLabeling back = io::read_flat_labeling_binary(ss);
+  ASSERT_EQ(back.num_vertices(), flat.num_vertices());
+  ASSERT_EQ(back.num_entries(), flat.num_entries());
+  for (graph::VertexId v = 0; v < flat.num_vertices(); ++v) {
+    auto wh = flat.hubs(v);
+    auto gh = back.hubs(v);
+    ASSERT_EQ(gh.size(), wh.size()) << "v=" << v;
+    for (std::size_t i = 0; i < wh.size(); ++i) {
+      EXPECT_EQ(gh[i], wh[i]);
+      EXPECT_EQ(back.to_hub(v)[i], flat.to_hub(v)[i]);
+      EXPECT_EQ(back.from_hub(v)[i], flat.from_hub(v)[i]);
+    }
+  }
+  for (graph::VertexId u = 0; u < flat.num_vertices(); u += 5) {
+    for (graph::VertexId v = 0; v < flat.num_vertices(); v += 7) {
+      EXPECT_EQ(back.decode(u, v), flat.decode(u, v));
+    }
+  }
+}
+
+TEST(LabelBinaryIo, RoundTripHandmadeCorners) {
+  // Empty labels, infinite legs, and the empty labeling survive exactly.
+  DistanceLabeling dl;
+  dl.labels.resize(3);
+  for (graph::VertexId v = 0; v < 3; ++v) dl.labels[v].owner = v;
+  dl.labels[0].set(1, 5, graph::kInfinity);
+  dl.labels[2].set(0, graph::kInfinity, 2);
+  // labels[1] stays empty.
+  FlatLabeling flat(dl);
+  std::stringstream ss;
+  io::write_labeling_binary(ss, flat);
+  FlatLabeling back = io::read_flat_labeling_binary(ss);
+  EXPECT_EQ(back.entries(1), 0u);
+  EXPECT_EQ(back.to_hub(0)[0], 5);
+  EXPECT_EQ(back.from_hub(0)[0], graph::kInfinity);
+
+  FlatLabeling empty;
+  std::stringstream es;
+  io::write_labeling_binary(es, empty);
+  FlatLabeling eback = io::read_flat_labeling_binary(es);
+  EXPECT_EQ(eback.num_vertices(), 0);
+  EXPECT_EQ(eback.num_entries(), 0u);
+}
+
+TEST(LabelBinaryIo, RejectsCorruption) {
+  FlatLabeling flat = built_flat(50, 7);
+  std::stringstream ss;
+  io::write_labeling_binary(ss, flat);
+  const std::string payload = ss.str();
+  const auto n = static_cast<std::size_t>(flat.num_vertices());
+  // Layout: 16-byte header | i32 n | u64 total | offsets[n+1] + digest |
+  // hub_ids + digest | to_hub + digest | from_hub + digest.
+  const std::size_t offsets_at = 28;
+  const std::size_t hub_ids_at = offsets_at + (n + 1) * 8 + 8;
+  const std::size_t to_hub_at = hub_ids_at + flat.num_entries() * 4 + 8;
+
+  auto expect_rejected = [](std::string bad, const char* what) {
+    std::stringstream b(std::move(bad));
+    EXPECT_THROW(io::read_flat_labeling_binary(b), util::CheckFailure)
+        << what;
+  };
+  {  // bad magic
+    std::string bad = payload;
+    bad[0] = 'X';
+    expect_rejected(std::move(bad), "magic");
+  }
+  {  // unsupported version
+    std::string bad = payload;
+    bad[4] = static_cast<char>(0x7f);
+    expect_rejected(std::move(bad), "version");
+  }
+  {  // wrong kind: a graph artifact fed to the labeling reader
+    graph::Graph g = [&] {
+      util::Rng rng(5);
+      return graph::gen::partial_ktree(30, 2, 0.6, rng);
+    }();
+    std::stringstream gs;
+    graph::io::write_graph_binary(gs, graph::CsrGraph(g));
+    expect_rejected(gs.str(), "kind");
+  }
+  {  // truncation at every section boundary dies at EOF, not an allocation
+    for (std::size_t cut :
+         {std::size_t{10}, std::size_t{20}, offsets_at + 5, hub_ids_at + 3,
+          payload.size() - 4}) {
+      expect_rejected(payload.substr(0, cut), "truncation");
+    }
+  }
+  {  // inflated total: n-proportional offsets gate it before any big read
+    std::string bad = payload;
+    bad[20] = static_cast<char>(0xff);
+    bad[22] = static_cast<char>(0x7f);
+    expect_rejected(std::move(bad), "total");
+  }
+  {  // a flipped byte inside each checksummed section
+    for (std::size_t at : {offsets_at + 9, hub_ids_at + 1, to_hub_at + 2,
+                           payload.size() - 9}) {
+      std::string bad = payload;
+      bad[at] = static_cast<char>(bad[at] ^ 0x20);
+      expect_rejected(std::move(bad), "checksum");
+    }
+  }
+  {  // a flipped byte in a stored digest itself
+    std::string bad = payload;
+    bad[hub_ids_at - 3] = static_cast<char>(bad[hub_ids_at - 3] ^ 0x01);
+    expect_rejected(std::move(bad), "digest");
+  }
+  // The untouched payload still parses (the mutations above were copies).
+  std::stringstream good(payload);
+  FlatLabeling back = io::read_flat_labeling_binary(good);
+  EXPECT_EQ(back.num_entries(), flat.num_entries());
+}
+
+TEST(LabelBinaryIo, FileRoundTripIsAtomic) {
+  namespace fs = std::filesystem;
+  FlatLabeling flat = built_flat(40, 11);
+  const std::string path =
+      (fs::temp_directory_path() / "lowtw_label_io_test.ltwb").string();
+  io::write_labeling_binary_file(path, flat);
+  EXPECT_FALSE(fs::exists(path + ".tmp"));
+  FlatLabeling back = io::read_flat_labeling_binary_file(path);
+  EXPECT_EQ(back.num_entries(), flat.num_entries());
+
+  // Kill an overwrite mid-stream: the serializer dies after a few bytes.
+  // The destination must keep the complete old artifact, no temp debris.
+  EXPECT_THROW(util::atomic_write_file(path,
+                                       [&](std::ostream& os) {
+                                         os << "garbage prefix";
+                                         throw util::CheckFailure(
+                                             "injected mid-write kill");
+                                       }),
+               util::CheckFailure);
+  EXPECT_FALSE(fs::exists(path + ".tmp"));
+  FlatLabeling after = io::read_flat_labeling_binary_file(path);
+  EXPECT_EQ(after.num_entries(), flat.num_entries());
+  for (graph::VertexId v = 0; v < after.num_vertices(); v += 3) {
+    EXPECT_EQ(after.decode(0, v), flat.decode(0, v));
+  }
+  fs::remove(path);
+  EXPECT_THROW(io::read_flat_labeling_binary_file(path), util::CheckFailure);
 }
 
 }  // namespace

@@ -7,6 +7,8 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <atomic>
+#include <thread>
 #include <utility>
 
 #include "core/solver.hpp"
@@ -440,6 +442,149 @@ TEST(QueryPlane, CdlDistancePairBatchesMatchScalarDistance) {
     EXPECT_EQ(out[i], cdl.distance(raw[i].first, raw[i].second, q1))
         << "pair " << i;
   }
+}
+
+TEST(QueryPlaneEdge, TypedStatusCoversUnboundAndStaleGeneration) {
+  Built b = build_instance(test::FamilySpec{"ktree", 40, 2, 51});
+  FlatLabeling flat = b.dl.flat;
+  const auto n = static_cast<std::size_t>(flat.num_vertices());
+  std::vector<Weight> d(n), dt(n);
+  QueryBatch batch;
+  batch.add_source(0);
+  batch.add_target(1);
+  std::vector<QueryPair> pairs{{0, 1}};
+  std::vector<Weight> pout(1);
+
+  // Unbound: every try_* reports kUnbound, outputs untouched, and the
+  // throwing entry points turn the same condition into CheckFailure.
+  QueryEngine unbound;
+  EXPECT_EQ(unbound.try_one_vs_all(0, d, dt), QueryStatus::kUnbound);
+  EXPECT_EQ(unbound.try_run(batch), QueryStatus::kUnbound);
+  EXPECT_EQ(unbound.try_pairwise(pairs, pout), QueryStatus::kUnbound);
+  EXPECT_THROW(unbound.one_vs_all(0, d, dt), util::CheckFailure);
+  EXPECT_THROW(unbound.run(batch), util::CheckFailure);
+
+  // External-index mode: re-freezing the store behind the engine's back is
+  // exactly the serving mid-swap shape — a typed kStaleGeneration verdict
+  // from every entry point, then a clean rebind recovers.
+  InvertedHubIndex idx(flat);
+  QueryEngine qe;
+  qe.bind(flat, idx);
+  EXPECT_EQ(qe.try_one_vs_all(0, d, dt), QueryStatus::kOk);
+  flat.assign(b.dl.labeling);  // new generation; idx is now stale
+  EXPECT_EQ(qe.try_one_vs_all(0, d, dt), QueryStatus::kStaleGeneration);
+  std::vector<VertexId> srcs{0, 1};
+  std::vector<Weight> rows(2 * n), rows_to(2 * n);
+  EXPECT_EQ(qe.try_one_vs_all_batch(srcs, rows, rows_to),
+            QueryStatus::kStaleGeneration);
+  EXPECT_EQ(qe.try_run(batch), QueryStatus::kStaleGeneration);
+  EXPECT_EQ(qe.try_pairwise(pairs, pout), QueryStatus::kStaleGeneration);
+  // The throwing plane surfaces the same verdict as CheckFailure (the
+  // pre-serving behaviour, kept as the non-retryable API).
+  EXPECT_THROW(qe.one_vs_all(0, d, dt), util::CheckFailure);
+  EXPECT_THROW(qe.run(batch), util::CheckFailure);
+  // Rebind to the re-frozen pair: fresh again.
+  InvertedHubIndex fresh(flat);
+  qe.bind(flat, fresh);
+  EXPECT_EQ(qe.try_run(batch), QueryStatus::kOk);
+  EXPECT_EQ(batch.results[0], flat.decode(0, 1));
+  EXPECT_EQ(to_string(QueryStatus::kOk), std::string("ok"));
+  EXPECT_NE(std::string(to_string(QueryStatus::kStaleGeneration)),
+            std::string("?"));
+}
+
+TEST(QueryPlaneEdge, EmptyLabelSetsAndAllInfinityBatches) {
+  // Every label empty: every shape must answer kInfinity (self-distance
+  // included — an empty label encodes no 0-cost self hub) without touching
+  // postings that do not exist.
+  DistanceLabeling dl;
+  dl.labels.resize(5);
+  for (VertexId v = 0; v < 5; ++v) dl.labels[v].owner = v;
+  FlatLabeling flat(dl);
+  EXPECT_EQ(flat.num_entries(), 0u);
+  QueryEngine qe(flat);
+  std::vector<Weight> d(5), dt(5);
+  qe.one_vs_all(2, d, dt);
+  for (VertexId v = 0; v < 5; ++v) {
+    EXPECT_EQ(d[v], kInfinity);
+    EXPECT_EQ(dt[v], kInfinity);
+  }
+  QueryBatch batch;
+  for (VertexId u = 0; u < 5; ++u) {
+    batch.add_source(u);
+    for (VertexId v = 0; v < 5; ++v) batch.add_target(v);
+  }
+  qe.run(batch);
+  for (Weight w : batch.results) EXPECT_EQ(w, kInfinity);
+  std::vector<QueryPair> pairs;
+  for (VertexId u = 0; u < 5; ++u) pairs.push_back({u, u});
+  std::vector<Weight> pout(pairs.size());
+  qe.pairwise(pairs, pout);
+  for (Weight w : pout) EXPECT_EQ(w, kInfinity);
+}
+
+TEST(QueryPlaneEdge, SingleVertexAndEmptyBatches) {
+  // A one-vertex graph end to end through the solver: the whole plane
+  // collapses to d(0,0) = 0.
+  graph::WeightedDigraph g(1);
+  Solver solver(g);
+  const FlatLabeling& flat = solver.distance_labeling().flat;
+  QueryEngine qe(flat);
+  std::vector<Weight> d(1), dt(1);
+  qe.one_vs_all(0, d, dt);
+  EXPECT_EQ(d[0], 0);
+  EXPECT_EQ(dt[0], 0);
+  QueryBatch batch;
+  batch.add_source(0);
+  batch.add_target(0);
+  qe.run(batch);
+  EXPECT_EQ(batch.results[0], 0);
+
+  // Degenerate batch shapes: no sources, a source with no targets, empty
+  // pair and source spans — all no-ops, no output writes, no throws.
+  QueryBatch empty;
+  EXPECT_EQ(qe.try_run(empty), QueryStatus::kOk);
+  EXPECT_TRUE(empty.results.empty());
+  QueryBatch no_targets;
+  no_targets.add_source(0);
+  EXPECT_EQ(qe.try_run(no_targets), QueryStatus::kOk);
+  EXPECT_TRUE(no_targets.results.empty());
+  EXPECT_EQ(qe.try_pairwise({}, {}), QueryStatus::kOk);
+  EXPECT_EQ(qe.try_one_vs_all_batch({}, {}, {}), QueryStatus::kOk);
+}
+
+TEST(QueryPlaneEdge, ConcurrentReadersOnOneFrozenStore) {
+  // The serving contract at the query-plane level: any number of reader
+  // threads, each with its own engine, may decode one frozen (const) store
+  // concurrently — no shared mutable state, TSan-clean. One writer thread
+  // re-freezes a *private copy* concurrently, proving freeze work does not
+  // alias the shared store.
+  Built b = build_instance(test::FamilySpec{"partial_ktree", 80, 3, 61});
+  const FlatLabeling& flat = b.dl.flat;  // shared, read-only
+  const auto n = static_cast<std::size_t>(flat.num_vertices());
+  std::vector<Weight> want(n);
+  for (VertexId v = 0; v < static_cast<VertexId>(n); ++v) {
+    want[v] = flat.decode(3, v);
+  }
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 4; ++t) {
+    readers.emplace_back([&] {
+      QueryEngine qe(flat);
+      std::vector<Weight> d(n), dt(n);
+      for (int rep = 0; rep < 20; ++rep) {
+        qe.one_vs_all(3, d, dt);
+        if (d != want) mismatches.fetch_add(1);
+      }
+    });
+  }
+  std::thread writer([&] {
+    FlatLabeling mine = b.dl.flat;  // private copy
+    for (int rep = 0; rep < 20; ++rep) mine.assign(b.dl.labeling);
+  });
+  for (auto& t : readers) t.join();
+  writer.join();
+  EXPECT_EQ(mismatches.load(), 0);
 }
 
 }  // namespace

@@ -1,0 +1,573 @@
+// The hardened serving runtime: every injected fault — corrupt snapshot
+// loads, index-build allocation failure, worker stalls, queue overflow,
+// mid-swap stale reads — must yield a degraded-but-bit-correct answer
+// (equal to Dijkstra on the live graph) with the degradation level
+// observable in the response, plus clean shutdown. The soak test hammers
+// query() from several threads while snapshots swap and faults fire
+// probabilistically; it runs under TSan and ASan+UBSan in CI.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "core/solver.hpp"
+#include "graph/algorithms.hpp"
+#include "graph/generators.hpp"
+#include "labeling/label_io.hpp"
+#include "serving/oracle.hpp"
+#include "test_helpers.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace lowtw::serving {
+namespace {
+
+using graph::VertexId;
+using graph::Weight;
+using graph::WeightedDigraph;
+using namespace std::chrono_literals;
+
+WeightedDigraph make_instance(int n, std::uint64_t seed) {
+  util::Rng rng(seed);
+  graph::Graph ug = graph::gen::ktree(n, 2, rng);
+  return graph::gen::random_orientation(ug, 0.55, 1, 30, rng);
+}
+
+/// All-pairs ground truth, one Dijkstra row per source.
+std::vector<std::vector<Weight>> truth_table(const WeightedDigraph& g) {
+  std::vector<std::vector<Weight>> t;
+  t.reserve(static_cast<std::size_t>(g.num_vertices()));
+  for (VertexId s = 0; s < g.num_vertices(); ++s) {
+    t.push_back(graph::dijkstra(g, s).dist);
+  }
+  return t;
+}
+
+OracleOptions fast_options(FaultInjector* faults = nullptr) {
+  OracleOptions o;
+  o.faults = faults;
+  o.admission.batch_window = 500us;
+  o.admission.default_deadline = 2000ms;  // tests assert on level, not speed
+  return o;
+}
+
+// --- FaultInjector unit behaviour -------------------------------------------
+
+TEST(FaultInjector, NthFiresOnExactHitRange) {
+  FaultInjector fi(7);
+  fi.arm_nth(FaultSite::kWorkerStall, 2, 3);
+  std::vector<bool> fires;
+  for (int i = 0; i < 8; ++i) {
+    fires.push_back(fi.should_fire(FaultSite::kWorkerStall));
+  }
+  EXPECT_EQ(fires, (std::vector<bool>{false, false, true, true, true, false,
+                                      false, false}));
+  EXPECT_EQ(fi.probes(FaultSite::kWorkerStall), 8u);
+  EXPECT_EQ(fi.fired(FaultSite::kWorkerStall), 3u);
+  // Other sites were never probed.
+  EXPECT_EQ(fi.probes(FaultSite::kMidSwapRead), 0u);
+}
+
+TEST(FaultInjector, ProbabilityIsDeterministicInSeedAndHit) {
+  FaultInjector a(42);
+  FaultInjector b(42);
+  FaultInjector c(43);
+  a.arm_probability(FaultSite::kQueueOverflow, 0.5);
+  b.arm_probability(FaultSite::kQueueOverflow, 0.5);
+  c.arm_probability(FaultSite::kQueueOverflow, 0.5);
+  int diff_from_c = 0;
+  for (int i = 0; i < 256; ++i) {
+    const bool fa = a.should_fire(FaultSite::kQueueOverflow);
+    const bool fb = b.should_fire(FaultSite::kQueueOverflow);
+    const bool fc = c.should_fire(FaultSite::kQueueOverflow);
+    EXPECT_EQ(fa, fb) << "hit " << i;
+    if (fa != fc) ++diff_from_c;
+  }
+  // Same seed replays identically; a different seed decorrelates.
+  EXPECT_GT(diff_from_c, 0);
+  // p = 0.5 over 256 hits lands well within [64, 192] unless the mixer is
+  // broken.
+  const auto fired = a.fired(FaultSite::kQueueOverflow);
+  EXPECT_GT(fired, 64u);
+  EXPECT_LT(fired, 192u);
+  a.disarm(FaultSite::kQueueOverflow);
+  EXPECT_FALSE(a.should_fire(FaultSite::kQueueOverflow));
+}
+
+TEST(FaultInjector, ProbabilityExtremesAndNames) {
+  FaultInjector fi(1);
+  fi.arm_probability(FaultSite::kMidSwapRead, 1.0);
+  fi.arm_probability(FaultSite::kWorkerStall, 0.0);
+  for (int i = 0; i < 32; ++i) {
+    EXPECT_TRUE(fi.should_fire(FaultSite::kMidSwapRead));
+    EXPECT_FALSE(fi.should_fire(FaultSite::kWorkerStall));
+  }
+  for (int s = 0; s < kNumFaultSites; ++s) {
+    EXPECT_STRNE(fault_site_name(static_cast<FaultSite>(s)), "?");
+  }
+}
+
+// --- AdmissionQueue unit behaviour ------------------------------------------
+
+TEST(AdmissionQueue, ShedsAtCapacityWithRetryAfter) {
+  AdmissionParams params;
+  params.queue_capacity = 3;
+  params.max_batch = 2;
+  params.batch_window = 1000us;
+  AdmissionQueue q(params);
+  std::vector<AdmissionQueue::SubmitOutcome> outs;
+  for (int i = 0; i < 5; ++i) {
+    outs.push_back(q.submit(0, 1, Clock::now() + 1s));
+  }
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_TRUE(outs[i].reply.has_value()) << i;
+  }
+  for (int i = 3; i < 5; ++i) {
+    EXPECT_FALSE(outs[i].reply.has_value()) << i;
+    EXPECT_EQ(outs[i].reject_reason, ServeStatus::kOverload) << i;
+    // Depth 3 at capacity = ceil to 2 batches + 1 → ≥ 2 windows of wait.
+    EXPECT_GE(outs[i].retry_after, params.batch_window) << i;
+  }
+  EXPECT_EQ(q.depth(), 3u);
+  EXPECT_EQ(q.admitted(), 3u);
+  EXPECT_EQ(q.shed(), 2u);
+  // Hard shutdown fulfills everything pending with kShutdown.
+  q.shutdown(/*drain=*/false);
+  for (int i = 0; i < 3; ++i) {
+    auto r = outs[i].reply->get();
+    EXPECT_EQ(r.status, ServeStatus::kShutdown);
+    EXPECT_EQ(r.level, ServeLevel::kUnserved);
+  }
+  EXPECT_EQ(q.depth(), 0u);
+  // Post-shutdown submits are rejected as kShutdown, not kOverload.
+  auto late = q.submit(0, 1, Clock::now() + 1s);
+  EXPECT_FALSE(late.reply.has_value());
+  EXPECT_EQ(late.reject_reason, ServeStatus::kShutdown);
+}
+
+TEST(AdmissionQueue, SizeTriggerClosesFullBatches) {
+  AdmissionParams params;
+  params.max_batch = 4;
+  params.batch_window = std::chrono::microseconds(60ms);  // only size trigger
+  AdmissionQueue q(params);
+  for (int i = 0; i < 6; ++i) q.submit(i, 0, Clock::now() + 1s);
+  std::vector<Request> batch;
+  ASSERT_TRUE(q.next_batch(batch));
+  ASSERT_EQ(batch.size(), 4u);  // size-triggered, oldest first
+  for (int i = 0; i < 4; ++i) EXPECT_EQ(batch[i].u, i);
+  // The remaining two close on the window via the deadline trigger; drain
+  // them through shutdown so the test never sleeps 60ms.
+  q.shutdown(/*drain=*/true);
+  ASSERT_TRUE(q.next_batch(batch));
+  ASSERT_EQ(batch.size(), 2u);
+  EXPECT_EQ(batch[0].u, 4);
+  for (Request& r : batch) r.reply.set_value(QueryResponse{});
+  EXPECT_FALSE(q.next_batch(batch));  // stopped and empty
+}
+
+TEST(AdmissionQueue, InjectedOverflowShedsLikeRealOverflow) {
+  FaultInjector fi(3);
+  fi.arm_nth(FaultSite::kQueueOverflow, 1, 1);  // second submit sheds
+  AdmissionQueue q(AdmissionParams{}, &fi);
+  EXPECT_TRUE(q.submit(0, 1, Clock::now() + 1s).reply.has_value());
+  auto shed = q.submit(0, 1, Clock::now() + 1s);
+  EXPECT_FALSE(shed.reply.has_value());
+  EXPECT_EQ(shed.reject_reason, ServeStatus::kOverload);
+  EXPECT_GT(shed.retry_after.count(), 0);
+  EXPECT_TRUE(q.submit(0, 1, Clock::now() + 1s).reply.has_value());
+  EXPECT_EQ(q.shed(), 1u);
+  q.shutdown(/*drain=*/false);
+}
+
+// --- Oracle: the happy path and the ladder ----------------------------------
+
+struct ServingFixture : ::testing::Test {
+  ServingFixture()
+      : g(make_instance(48, 91)), truth(truth_table(g)) {}
+  WeightedDigraph g;
+  std::vector<std::vector<Weight>> truth;
+};
+
+TEST_F(ServingFixture, BatchedIndexServesBitEqualToDijkstra) {
+  Oracle oracle(g, fast_options());
+  EXPECT_FALSE(oracle.has_snapshot());
+  EXPECT_EQ(oracle.rebuild_snapshot(), 1u);
+  EXPECT_TRUE(oracle.has_snapshot());
+  EXPECT_EQ(oracle.generation(), 1u);
+  oracle.start();
+  util::Rng rng(5);
+  for (int i = 0; i < 64; ++i) {
+    const auto u = static_cast<VertexId>(rng.next_below(g.num_vertices()));
+    const auto v = static_cast<VertexId>(rng.next_below(g.num_vertices()));
+    QueryResponse r = oracle.query(u, v);
+    ASSERT_EQ(r.status, ServeStatus::kOk);
+    EXPECT_EQ(r.level, ServeLevel::kBatchedIndex);
+    EXPECT_EQ(r.distance, truth[u][v]) << "u=" << u << " v=" << v;
+    EXPECT_EQ(r.snapshot_generation, 1u);
+  }
+  oracle.stop();
+  const OracleStats s = oracle.stats();
+  EXPECT_EQ(s.served_batched_index, 64u);
+  EXPECT_EQ(s.admitted, 64u);
+  EXPECT_EQ(s.timeouts + s.sheds + s.degraded_batches, 0u);
+}
+
+TEST_F(ServingFixture, SubmittedBurstCoalescesIntoBatches) {
+  FaultInjector fi(2);
+  auto opts = fast_options(&fi);
+  opts.admission.batch_window = std::chrono::microseconds(20ms);
+  opts.admission.max_batch = 16;
+  Oracle oracle(g, opts);
+  oracle.rebuild_snapshot();
+  // Stall the first batch briefly so the whole burst queues behind it and
+  // coalesces; the stall is far below every deadline.
+  fi.arm_nth(FaultSite::kWorkerStall, 0, 1);
+  fi.set_stall_duration(5ms);
+  oracle.start();
+  util::Rng rng(6);
+  std::vector<std::pair<VertexId, VertexId>> qs;
+  std::vector<std::future<QueryResponse>> futs;
+  for (int i = 0; i < 48; ++i) {
+    const auto u = static_cast<VertexId>(rng.next_below(g.num_vertices()));
+    const auto v = static_cast<VertexId>(rng.next_below(g.num_vertices()));
+    auto out = oracle.submit(u, v, std::chrono::microseconds(2s));
+    ASSERT_TRUE(out.reply.has_value());
+    qs.emplace_back(u, v);
+    futs.push_back(std::move(*out.reply));
+  }
+  for (std::size_t i = 0; i < futs.size(); ++i) {
+    QueryResponse r = futs[i].get();
+    ASSERT_EQ(r.status, ServeStatus::kOk) << i;
+    EXPECT_EQ(r.level, ServeLevel::kBatchedIndex) << i;
+    EXPECT_EQ(r.distance, truth[qs[i].first][qs[i].second]) << i;
+  }
+  oracle.stop();
+  const OracleStats s = oracle.stats();
+  EXPECT_EQ(s.admitted, 48u);
+  // 48 requests in batches of ≤ 16 is at least 3 batches — and far fewer
+  // than 48 if coalescing works at all.
+  EXPECT_GE(s.batches, 3u);
+  EXPECT_LT(s.batches, 48u);
+}
+
+TEST_F(ServingFixture, HeavySourceGroupsUseTheInvertedRow) {
+  auto opts = fast_options();
+  opts.one_vs_all_min_targets = 8;
+  opts.admission.max_batch = 64;
+  opts.admission.batch_window = std::chrono::microseconds(20ms);
+  Oracle oracle(g, opts);
+  oracle.rebuild_snapshot();
+  oracle.start();
+  // One hot source asked against many targets in one burst: the worker
+  // serves the group as a single inverted one-vs-all row.
+  const VertexId hot = 7;
+  std::vector<std::future<QueryResponse>> futs;
+  for (VertexId v = 0; v < 32; ++v) {
+    auto out = oracle.submit(hot, v, std::chrono::microseconds(2s));
+    ASSERT_TRUE(out.reply.has_value());
+    futs.push_back(std::move(*out.reply));
+  }
+  for (VertexId v = 0; v < 32; ++v) {
+    QueryResponse r = futs[v].get();
+    ASSERT_EQ(r.status, ServeStatus::kOk);
+    EXPECT_EQ(r.level, ServeLevel::kBatchedIndex);
+    EXPECT_EQ(r.distance, truth[hot][v]) << "v=" << v;
+  }
+  oracle.stop();
+}
+
+TEST_F(ServingFixture, IndexBuildFailureDegradesToFlatDecode) {
+  FaultInjector fi(11);
+  fi.arm_nth(FaultSite::kEngineAllocFailure, 0, 1);
+  Oracle oracle(g, fast_options(&fi));
+  oracle.rebuild_snapshot();  // index build fails; snapshot installs anyway
+  EXPECT_EQ(oracle.stats().index_build_failures, 1u);
+  EXPECT_TRUE(oracle.has_snapshot());
+  oracle.start();
+  util::Rng rng(8);
+  for (int i = 0; i < 24; ++i) {
+    const auto u = static_cast<VertexId>(rng.next_below(g.num_vertices()));
+    const auto v = static_cast<VertexId>(rng.next_below(g.num_vertices()));
+    QueryResponse r = oracle.query(u, v);
+    ASSERT_EQ(r.status, ServeStatus::kOk);
+    EXPECT_EQ(r.level, ServeLevel::kFlatDecode);  // degraded, not wrong
+    EXPECT_EQ(r.distance, truth[u][v]);
+  }
+  oracle.stop();
+  const OracleStats s = oracle.stats();
+  EXPECT_EQ(s.served_flat, 24u);
+  EXPECT_GT(s.degraded_batches, 0u);
+  // A clean rebuild restores the fast rung.
+  oracle.rebuild_snapshot();
+  EXPECT_EQ(oracle.generation(), 2u);
+}
+
+TEST_F(ServingFixture, NoSnapshotServesDijkstraRung) {
+  Oracle oracle(g, fast_options());
+  oracle.start();  // never built or loaded a snapshot
+  util::Rng rng(9);
+  for (int i = 0; i < 12; ++i) {
+    const auto u = static_cast<VertexId>(rng.next_below(g.num_vertices()));
+    const auto v = static_cast<VertexId>(rng.next_below(g.num_vertices()));
+    QueryResponse r = oracle.query(u, v);
+    ASSERT_EQ(r.status, ServeStatus::kOk);
+    EXPECT_EQ(r.level, ServeLevel::kDijkstra);
+    EXPECT_EQ(r.distance, truth[u][v]);
+    EXPECT_EQ(r.snapshot_generation, 0u);
+  }
+  oracle.stop();
+  EXPECT_EQ(oracle.stats().served_dijkstra, 12u);
+}
+
+TEST_F(ServingFixture, CorruptLoadRejectedPreviousSnapshotKeepsServing) {
+  // A good artifact, written by the checksummed binary writer.
+  std::stringstream artifact;
+  {
+    Solver solver(g);
+    labeling::io::write_labeling_binary(artifact,
+                                        solver.distance_labeling().flat);
+  }
+  const std::string payload = artifact.str();
+
+  FaultInjector fi(13);
+  Oracle oracle(g, fast_options(&fi));
+  // Cold start: the very first load is corrupted → no snapshot, Dijkstra
+  // rung keeps the service correct.
+  fi.arm_nth(FaultSite::kSnapshotLoadCorruption, 0, 1);
+  {
+    std::istringstream is(payload);
+    EXPECT_FALSE(oracle.load_snapshot(is));
+  }
+  EXPECT_FALSE(oracle.has_snapshot());
+  EXPECT_EQ(oracle.stats().failed_loads, 1u);
+  oracle.start();
+  QueryResponse cold = oracle.query(3, 17);
+  EXPECT_EQ(cold.status, ServeStatus::kOk);
+  EXPECT_EQ(cold.level, ServeLevel::kDijkstra);
+  EXPECT_EQ(cold.distance, truth[3][17]);
+
+  // A clean load installs generation 1 and restores level 0.
+  {
+    std::istringstream is(payload);
+    EXPECT_TRUE(oracle.load_snapshot(is));
+  }
+  EXPECT_EQ(oracle.generation(), 1u);
+  QueryResponse warm = oracle.query(3, 17);
+  EXPECT_EQ(warm.level, ServeLevel::kBatchedIndex);
+  EXPECT_EQ(warm.distance, truth[3][17]);
+
+  // A later corrupted refresh is rejected and generation 1 keeps serving.
+  fi.arm_nth(FaultSite::kSnapshotLoadCorruption,
+             fi.probes(FaultSite::kSnapshotLoadCorruption), 1);
+  {
+    std::istringstream is(payload);
+    EXPECT_FALSE(oracle.load_snapshot(is));
+  }
+  EXPECT_EQ(oracle.generation(), 1u);
+  QueryResponse still = oracle.query(17, 3);
+  EXPECT_EQ(still.status, ServeStatus::kOk);
+  EXPECT_EQ(still.level, ServeLevel::kBatchedIndex);
+  EXPECT_EQ(still.distance, truth[17][3]);
+  oracle.stop();
+  EXPECT_EQ(oracle.stats().failed_loads, 2u);
+}
+
+TEST_F(ServingFixture, MidSwapStaleReadRetriesThenServesLevelZero) {
+  FaultInjector fi(17);
+  Oracle oracle(g, fast_options(&fi));
+  oracle.rebuild_snapshot();
+  oracle.start();
+  // One stale verdict: the worker retries against the fresh snapshot and
+  // still answers at level 0.
+  fi.arm_nth(FaultSite::kMidSwapRead, 0, 1);
+  QueryResponse r = oracle.query(2, 31);
+  EXPECT_EQ(r.status, ServeStatus::kOk);
+  EXPECT_EQ(r.level, ServeLevel::kBatchedIndex);
+  EXPECT_EQ(r.distance, truth[2][31]);
+  EXPECT_EQ(oracle.stats().stale_retries, 1u);
+  EXPECT_EQ(oracle.stats().degraded_batches, 0u);
+
+  // Two consecutive stale verdicts defeat the retry: the batch degrades to
+  // the flat rung — still exact.
+  fi.arm_nth(FaultSite::kMidSwapRead, fi.probes(FaultSite::kMidSwapRead), 2);
+  QueryResponse d = oracle.query(31, 2);
+  EXPECT_EQ(d.status, ServeStatus::kOk);
+  EXPECT_EQ(d.level, ServeLevel::kFlatDecode);
+  EXPECT_EQ(d.distance, truth[31][2]);
+  EXPECT_EQ(oracle.stats().stale_retries, 2u);
+  EXPECT_EQ(oracle.stats().degraded_batches, 1u);
+  oracle.stop();
+}
+
+TEST_F(ServingFixture, StalledWorkerConvertsExpiredRequestsToTimeouts) {
+  FaultInjector fi(19);
+  fi.set_stall_duration(30ms);
+  Oracle oracle(g, fast_options(&fi));
+  oracle.rebuild_snapshot();
+  oracle.start();
+  fi.arm_nth(FaultSite::kWorkerStall, 0, 1);
+  QueryResponse r = oracle.query(1, 2, std::chrono::microseconds(1ms));
+  EXPECT_EQ(r.status, ServeStatus::kTimeout);
+  EXPECT_EQ(r.level, ServeLevel::kUnserved);
+  EXPECT_EQ(r.distance, graph::kInfinity);
+  EXPECT_EQ(oracle.stats().timeouts, 1u);
+  // The stall is gone; the next query serves normally.
+  QueryResponse ok = oracle.query(1, 2);
+  EXPECT_EQ(ok.status, ServeStatus::kOk);
+  EXPECT_EQ(ok.distance, truth[1][2]);
+  oracle.stop();
+}
+
+TEST_F(ServingFixture, InjectedQueueOverflowYieldsRetryAfter) {
+  FaultInjector fi(23);
+  Oracle oracle(g, fast_options(&fi));
+  oracle.rebuild_snapshot();
+  oracle.start();
+  fi.arm_nth(FaultSite::kQueueOverflow, 0, 1);
+  QueryResponse shed = oracle.query(4, 5);
+  EXPECT_EQ(shed.status, ServeStatus::kOverload);
+  EXPECT_EQ(shed.level, ServeLevel::kUnserved);
+  EXPECT_GT(shed.retry_after.count(), 0);
+  // Acting on the backpressure hint succeeds.
+  QueryResponse ok = oracle.query(4, 5);
+  EXPECT_EQ(ok.status, ServeStatus::kOk);
+  EXPECT_EQ(ok.distance, truth[4][5]);
+  oracle.stop();
+  EXPECT_EQ(oracle.stats().sheds, 1u);
+}
+
+TEST_F(ServingFixture, LifecycleVerdictsNeverHang) {
+  Oracle oracle(g, fast_options());
+  oracle.rebuild_snapshot();
+  // Query before start(): immediate kShutdown verdict, no hang.
+  QueryResponse before = oracle.query(0, 1);
+  EXPECT_EQ(before.status, ServeStatus::kShutdown);
+  oracle.start();
+  oracle.start();  // idempotent
+  EXPECT_EQ(oracle.query(0, 1).status, ServeStatus::kOk);
+  oracle.stop();
+  oracle.stop();  // idempotent
+  QueryResponse after = oracle.query(0, 1);
+  EXPECT_EQ(after.status, ServeStatus::kShutdown);
+  // serve_now needs no worker at all.
+  QueryResponse now = oracle.serve_now(0, 1);
+  EXPECT_EQ(now.status, ServeStatus::kOk);
+  EXPECT_EQ(now.distance, truth[0][1]);
+}
+
+TEST_F(ServingFixture, ServeNowMatchesTruthOnBothRungs) {
+  Oracle oracle(g, fast_options());
+  EXPECT_EQ(oracle.serve_now(5, 6).level, ServeLevel::kDijkstra);
+  EXPECT_EQ(oracle.serve_now(5, 6).distance, truth[5][6]);
+  oracle.rebuild_snapshot();
+  QueryResponse r = oracle.serve_now(5, 6);
+  EXPECT_EQ(r.level, ServeLevel::kFlatDecode);
+  EXPECT_EQ(r.distance, truth[5][6]);
+}
+
+// --- the soak: snapshot swaps + probabilistic faults under load --------------
+
+TEST_F(ServingFixture, SoakConcurrentQueriesSnapshotSwapsAndFaults) {
+  FaultInjector fi(0x50a4);
+  fi.set_stall_duration(1ms);
+  fi.arm_probability(FaultSite::kMidSwapRead, 0.15);
+  fi.arm_probability(FaultSite::kWorkerStall, 0.05);
+  fi.arm_probability(FaultSite::kQueueOverflow, 0.02);
+  auto opts = fast_options(&fi);
+  opts.admission.batch_window = 300us;
+  opts.admission.default_deadline = 5000ms;  // soak asserts exactness
+  Oracle oracle(g, opts);
+  oracle.rebuild_snapshot();
+  oracle.start();
+
+  constexpr int kClients = 4;
+  constexpr int kQueriesPerClient = 150;
+  std::atomic<std::uint64_t> wrong{0};
+  std::atomic<std::uint64_t> ok_count{0};
+  std::atomic<std::uint64_t> shed_without_hint{0};
+  std::vector<std::thread> clients;
+  clients.reserve(kClients);
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      util::Rng rng(1000 + static_cast<std::uint64_t>(c));
+      for (int i = 0; i < kQueriesPerClient; ++i) {
+        const auto u =
+            static_cast<VertexId>(rng.next_below(g.num_vertices()));
+        const auto v =
+            static_cast<VertexId>(rng.next_below(g.num_vertices()));
+        QueryResponse r = oracle.query(u, v);
+        switch (r.status) {
+          case ServeStatus::kOk:
+            ok_count.fetch_add(1);
+            if (r.distance != truth[u][v]) wrong.fetch_add(1);
+            break;
+          case ServeStatus::kOverload:
+            if (r.retry_after.count() <= 0) shed_without_hint.fetch_add(1);
+            break;
+          case ServeStatus::kTimeout:
+          case ServeStatus::kShutdown:
+            break;  // allowed verdicts under injected stalls
+        }
+      }
+    });
+  }
+  // Meanwhile: repeated snapshot swaps (fresh generations) racing the
+  // readers — the atomic shared_ptr swap must never tear an answer.
+  const labeling::FlatLabeling flat = [&] {
+    Solver solver(g);
+    return solver.distance_labeling().flat;
+  }();
+  for (int swaps = 0; swaps < 20; ++swaps) {
+    oracle.install_snapshot(flat);
+    std::this_thread::sleep_for(2ms);
+  }
+  for (auto& t : clients) t.join();
+  oracle.stop();
+
+  EXPECT_EQ(wrong.load(), 0u) << "a served distance diverged from Dijkstra";
+  EXPECT_EQ(shed_without_hint.load(), 0u);
+  EXPECT_GT(ok_count.load(), 0u);
+  const OracleStats s = oracle.stats();
+  // Conservation: every admitted request resolved to exactly one verdict.
+  EXPECT_EQ(s.admitted,
+            s.served_batched_index + s.served_flat + s.served_dijkstra +
+                s.timeouts);
+  EXPECT_GE(s.snapshot_installs, 21u);
+  EXPECT_GT(s.batches, 0u);
+}
+
+TEST_F(ServingFixture, HardShutdownUnderLoadFailsPendingCleanly) {
+  FaultInjector fi(29);
+  fi.set_stall_duration(20ms);
+  auto opts = fast_options(&fi);
+  opts.admission.max_batch = 4;  // guarantees a backlog behind the stalls
+  Oracle oracle(g, opts);
+  oracle.rebuild_snapshot();
+  oracle.start();
+  // Stall every batch so submissions pile up behind the worker.
+  fi.arm_probability(FaultSite::kWorkerStall, 1.0);
+  std::vector<std::future<QueryResponse>> futs;
+  for (int i = 0; i < 32; ++i) {
+    auto out = oracle.submit(0, 1, std::chrono::microseconds(10s));
+    if (out.reply.has_value()) futs.push_back(std::move(*out.reply));
+  }
+  oracle.stop(/*drain=*/false);
+  // Every admitted future resolves — served, timed out, or failed with
+  // kShutdown — and none hangs.
+  int shutdown_verdicts = 0;
+  for (auto& f : futs) {
+    QueryResponse r = f.get();
+    if (r.status == ServeStatus::kShutdown) {
+      ++shutdown_verdicts;
+    } else if (r.status == ServeStatus::kOk) {
+      EXPECT_EQ(r.distance, truth[0][1]);
+    }
+  }
+  EXPECT_GT(shutdown_verdicts, 0);  // the stall guaranteed a backlog
+}
+
+}  // namespace
+}  // namespace lowtw::serving

@@ -50,6 +50,7 @@ Mix make_mix(int n, std::size_t q, std::uint64_t seed) {
 void BM_ServeThroughput(benchmark::State& state) {
   const int n = static_cast<int>(state.range(0));
   const auto q = static_cast<std::size_t>(state.range(1));
+  const int workers = static_cast<int>(state.range(2));
   util::Rng rng(29);
   graph::Graph topo = graph::gen::partial_ktree(n, 3, 0.7, rng);
   graph::WeightedDigraph net =
@@ -57,6 +58,7 @@ void BM_ServeThroughput(benchmark::State& state) {
   Mix mix = make_mix(n, q, 31);
 
   serving::OracleOptions opts;
+  opts.pool.workers = workers;
   opts.admission.batch_window = std::chrono::microseconds(100);
   opts.admission.max_batch = 128;
   opts.admission.queue_capacity = 4 * q;
@@ -119,6 +121,7 @@ void BM_ServeThroughput(benchmark::State& state) {
 
   const serving::OracleStats s = oracle.stats();
   state.counters["n"] = n;
+  state.counters["workers"] = workers;
   state.counters["queries"] = static_cast<double>(q);
   state.counters["p50_us"] = latency_us[latency_us.size() / 2];
   state.counters["p99_us"] = latency_us[latency_us.size() * 99 / 100];
@@ -135,9 +138,16 @@ void BM_ServeThroughput(benchmark::State& state) {
   state.SetLabel("open-loop burst vs one-at-a-time query()");
 }
 
+// The worker-count axis (1/2/4/8 on the n=400 mix) measures the scaling of
+// the supervised pool: one shared admission queue, per-worker engine
+// scratch, zero cross-worker decode state.
 BENCHMARK(BM_ServeThroughput)
-    ->Args({400, 2048})
-    ->Args({1000, 2048})
+    ->Args({400, 2048, 1})
+    ->Args({400, 2048, 2})
+    ->Args({400, 2048, 4})
+    ->Args({400, 2048, 8})
+    ->Args({1000, 2048, 1})
+    ->Args({1000, 2048, 4})
     ->Unit(benchmark::kMillisecond)
     ->UseRealTime();
 

@@ -1,0 +1,159 @@
+// Distance-oracle daemon: the full serving stack on a wire.
+//
+//   ./oracle_daemon [--socket /tmp/lowtw-oracle.sock] [--n 400] [--k 3]
+//                   [--workers 4] [--seed 7] [--selftest]
+//
+// Builds a low-treewidth instance, constructs the distance labeling once
+// (the paper's CONGEST-phase preprocessing), starts the supervised
+// multi-worker oracle over it, and exposes the line protocol of
+// serving::Daemon on a unix socket:
+//
+//   $ ./oracle_daemon --socket /tmp/oracle.sock &
+//   $ printf 'Q 1 0 42\nSTATS\nQUIT\n' | nc -U /tmp/oracle.sock
+//   A 1 ok batched-index 137 1
+//   STATS admitted=1 ...
+//   BYE
+//
+// SIGTERM/SIGINT drain gracefully: the handler only writes one byte to a
+// self-pipe; the main thread wakes, stops the daemon (every connection
+// finishes the frame batch it is serving), then drains the oracle so every
+// admitted query is answered before exit.
+//
+// --selftest runs an in-process client instead of serving forever: it
+// round-trips a handful of frames (including a malformed one) through the
+// socket, prints the dialogue, and exits — the smoke path CI exercises.
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "graph/generators.hpp"
+#include "serving/daemon.hpp"
+#include "util/flags.hpp"
+
+namespace {
+
+int g_signal_pipe[2] = {-1, -1};
+
+void on_signal(int) {
+  const char b = 's';
+  [[maybe_unused]] ssize_t n = ::write(g_signal_pipe[1], &b, 1);
+}
+
+// Minimal blocking client for --selftest: send one blob, read until the
+// expected number of '\n'-framed replies arrived.
+std::string roundtrip(const std::string& path, const std::string& request,
+                      int expected_lines) {
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    ::close(fd);
+    return "<connect failed>";
+  }
+  [[maybe_unused]] ssize_t w = ::write(fd, request.data(), request.size());
+  std::string got;
+  char chunk[4096];
+  while (expected_lines > 0) {
+    const ssize_t n = ::read(fd, chunk, sizeof(chunk));
+    if (n <= 0) break;
+    for (ssize_t i = 0; i < n; ++i) {
+      if (chunk[i] == '\n') --expected_lines;
+    }
+    got.append(chunk, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  return got;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace lowtw;
+  util::Flags flags(argc, argv);
+  const std::string socket_path =
+      flags.get_string("socket", "/tmp/lowtw-oracle.sock");
+  const int n = static_cast<int>(flags.get_int("n", 400));
+  const int k = static_cast<int>(flags.get_int("k", 3));
+  const int workers = static_cast<int>(flags.get_int("workers", 4));
+  const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 7));
+  const bool selftest = flags.get_bool("selftest", false);
+
+  util::Rng rng(seed);
+  graph::Graph topo = graph::gen::partial_ktree(n, k, 0.7, rng);
+  graph::WeightedDigraph net = graph::gen::random_orientation(
+      topo, /*both_prob=*/0.9, /*lo=*/1, /*hi=*/100, rng);
+  std::printf("instance: %d vertices, %d arcs\n", net.num_vertices(),
+              net.num_arcs());
+
+  serving::OracleOptions opts;
+  opts.seed = seed;
+  opts.pool.workers = workers;
+  serving::Oracle oracle(net, opts);
+  oracle.rebuild_snapshot();
+  oracle.start();
+  std::printf("oracle: generation %llu, %d workers\n",
+              static_cast<unsigned long long>(oracle.generation()),
+              oracle.num_workers());
+
+  serving::DaemonParams dparams;
+  dparams.socket_path = socket_path;
+  serving::Daemon daemon(oracle, dparams);
+  if (!daemon.start()) {
+    std::perror("daemon start");
+    return 1;
+  }
+  std::printf("listening on %s\n", socket_path.c_str());
+
+  if (selftest) {
+    std::printf("%s",
+                roundtrip(socket_path,
+                          "PING\nQ 1 0 1\nQ 2 0 " + std::to_string(n - 1) +
+                              "\nbogus frame\nSTATS\nQUIT\n",
+                          6)
+                    .c_str());
+    daemon.stop();
+    oracle.stop(/*drain=*/true);
+    const serving::DaemonStats ds = daemon.stats();
+    std::printf("selftest: %llu requests, %llu malformed rejected\n",
+                static_cast<unsigned long long>(ds.requests),
+                static_cast<unsigned long long>(ds.malformed));
+    return 0;
+  }
+
+  // Signal plumbing: handlers must not touch the daemon (locks, joins);
+  // they write a byte, the main thread does the teardown.
+  if (::pipe(g_signal_pipe) != 0) {
+    std::perror("pipe");
+    return 1;
+  }
+  std::signal(SIGTERM, on_signal);
+  std::signal(SIGINT, on_signal);
+  pollfd pfd{g_signal_pipe[0], POLLIN, 0};
+  while (::poll(&pfd, 1, -1) < 0 && errno == EINTR) {
+  }
+  std::printf("signal received: draining\n");
+  daemon.stop();
+  oracle.stop(/*drain=*/true);
+  const serving::OracleStats os = oracle.stats();
+  const serving::DaemonStats ds = daemon.stats();
+  std::printf("served %llu over %llu connections (%llu malformed, "
+              "%llu disconnects); conservation: admitted=%llu == served+"
+              "timeouts+failed=%llu\n",
+              static_cast<unsigned long long>(ds.requests),
+              static_cast<unsigned long long>(ds.connections),
+              static_cast<unsigned long long>(ds.malformed),
+              static_cast<unsigned long long>(ds.disconnects),
+              static_cast<unsigned long long>(os.admitted),
+              static_cast<unsigned long long>(
+                  os.served_batched_index + os.served_flat +
+                  os.served_dijkstra + os.timeouts + os.failed));
+  return 0;
+}

@@ -9,9 +9,10 @@
 # BM_SsspBatch, whose speedup_vs_flat counters track the inverted-index
 # one-vs-all against the flat full-sweep decode), plus the serving runtime's
 # open-loop arm (bench_serving's BM_ServeThroughput: p50/p99 client latency,
-# batch fill, and the batching win vs one-at-a-time query() — wall-time
-# counters only, never gated) — and emits BENCH_separator.json: one record
-# per benchmark with wall time and the CONGEST round counters.
+# batch fill, the batching win vs one-at-a-time query(), and the worker-count
+# scaling axis 1/2/4/8 of the supervised pool — wall-time counters only,
+# never gated) — and emits BENCH_separator.json: one record per benchmark
+# with wall time and the CONGEST round counters.
 #
 # BM_TdParallel / BM_GirthParallel / BM_MatchingParallel rounds are
 # scheduling-invariant (identical for every *_threads value), so they gate
@@ -64,9 +65,9 @@ trap 'rm -f "$tmp_sep" "$tmp_td" "$tmp_girth" "$tmp_matching" "$tmp_dl" "$tmp_se
     '--benchmark_filter=BM_OneVsAllInverted|BM_SsspBatch' \
     --benchmark_format=json >"$tmp_dl"
 # Serving runtime: the open-loop throughput arm (p50/p99 client latency,
-# batching win vs one-at-a-time query()). Wall-time counters only — the
-# serving plane charges no CONGEST rounds, so nothing here is gated by the
-# round-drift check.
+# batching win vs one-at-a-time query(), worker-count axis 1/2/4/8).
+# Wall-time counters only — the serving plane charges no CONGEST rounds, so
+# nothing here is gated by the round-drift check.
 "$BUILD_DIR"/bench_serving --benchmark_filter=BM_ServeThroughput \
     --benchmark_format=json >"$tmp_serve"
 

@@ -14,6 +14,8 @@ const char* to_string(ServeStatus status) {
       return "overload";
     case ServeStatus::kShutdown:
       return "shutdown";
+    case ServeStatus::kFailed:
+      return "failed";
   }
   return "?";
 }
@@ -33,8 +35,8 @@ const char* to_string(ServeLevel level) {
 }
 
 std::chrono::microseconds AdmissionQueue::retry_after_locked() const {
-  // Depth in batches times the coalescing window: how long the worker
-  // plausibly needs to drain what is already queued. Floor one window so
+  // Depth in batches times the coalescing window: how long the workers
+  // plausibly need to drain what is already queued. Floor one window so
   // the hint is never zero.
   const std::size_t batches =
       1 + queue_.size() / std::max<std::size_t>(1, params_.max_batch);
@@ -44,16 +46,19 @@ std::chrono::microseconds AdmissionQueue::retry_after_locked() const {
 AdmissionQueue::SubmitOutcome AdmissionQueue::submit(
     graph::VertexId u, graph::VertexId v, Clock::time_point deadline) {
   SubmitOutcome out;
-  // The injected-overflow probe sits outside the lock: it models the queue
-  // reporting full, which admission must translate into the same explicit
-  // backpressure verdict as the real condition.
-  const bool injected_full =
-      faults_ != nullptr && faults_->should_fire(FaultSite::kQueueOverflow);
   std::unique_lock<std::mutex> lock(mu_);
-  if (stopped_) {
+  // The shutdown verdict outranks everything — including the injected
+  // overflow probe, which used to run before this check and could book a
+  // phantom shed against a queue that was already closed.
+  if (stop_mode_ != StopMode::kRunning) {
     out.reject_reason = ServeStatus::kShutdown;
     return out;
   }
+  // The injected-overflow probe models the queue reporting full, which
+  // admission must translate into the same explicit backpressure verdict
+  // as the real condition.
+  const bool injected_full =
+      faults_ != nullptr && faults_->should_fire(FaultSite::kQueueOverflow);
   if (injected_full || queue_.size() >= params_.queue_capacity) {
     out.reject_reason = ServeStatus::kOverload;
     out.retry_after = retry_after_locked();
@@ -65,6 +70,7 @@ AdmissionQueue::SubmitOutcome AdmissionQueue::submit(
   r.v = v;
   r.deadline = deadline;
   r.enqueued = Clock::now();
+  r.id = next_id_++;
   out.reply = r.reply.get_future();
   queue_.push_back(std::move(r));
   admitted_.fetch_add(1, std::memory_order_relaxed);
@@ -77,14 +83,17 @@ bool AdmissionQueue::next_batch(std::vector<Request>& out) {
   std::unique_lock<std::mutex> lock(mu_);
   for (;;) {
     if (!queue_.empty()) {
-      if (queue_.size() >= params_.max_batch || stopped_) break;
+      if (queue_.size() >= params_.max_batch ||
+          stop_mode_ != StopMode::kRunning) {
+        break;
+      }
       // Deadline trigger: sleep until the oldest request's window closes;
       // a filling queue re-wakes us through the notify in submit().
       const auto close_at = queue_.front().enqueued + params_.batch_window;
       if (Clock::now() >= close_at) break;
       worker_cv_.wait_until(lock, close_at);
     } else {
-      if (stopped_) return false;
+      if (stop_mode_ != StopMode::kRunning) return false;
       worker_cv_.wait(lock);
     }
   }
@@ -97,20 +106,85 @@ bool AdmissionQueue::next_batch(std::vector<Request>& out) {
   return true;
 }
 
+void AdmissionQueue::fail_request(Request& r, ServeStatus status) {
+  QueryResponse resp;
+  resp.status = status;
+  // Count before fulfilling: set_value's release pairs with the waiter's
+  // get() acquire, so an observer woken by this verdict already sees it in
+  // failed() — same ordering contract as the serve counters in
+  // Oracle::serve_batch.
+  failed_.fetch_add(1, std::memory_order_relaxed);
+  r.reply.set_value(resp);
+  r.fulfilled = true;
+}
+
+void AdmissionQueue::requeue(std::vector<Request>&& batch) {
+  std::vector<Request> rescued;
+  std::vector<Request> doomed;
+  rescued.reserve(batch.size());
+  for (Request& r : batch) {
+    if (r.fulfilled) continue;  // answered before the crash; never re-serve
+    if (r.attempts >= params_.max_requeues) {
+      doomed.push_back(std::move(r));  // requeue budget spent: fail, once
+    } else {
+      r.attempts += 1;
+      rescued.push_back(std::move(r));
+    }
+  }
+  batch.clear();
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    // Once nothing can ever drain again (hard stop, or a drain already
+    // swept), re-admitting would strand the requests with open promises —
+    // the PR 6 orphan window. Fail them here instead.
+    const bool dead_end = stop_mode_ == StopMode::kHard ||
+                          (stop_mode_ == StopMode::kDrain && drained_);
+    if (dead_end) {
+      for (Request& r : rescued) doomed.push_back(std::move(r));
+      rescued.clear();
+    } else {
+      // Front of the queue, oldest first: these were admitted before
+      // anything currently pending and their deadlines are the tightest.
+      for (auto it = rescued.rbegin(); it != rescued.rend(); ++it) {
+        queue_.push_front(std::move(*it));
+      }
+      requeued_.fetch_add(rescued.size(), std::memory_order_relaxed);
+    }
+  }
+  if (!rescued.empty()) worker_cv_.notify_all();
+  // Fulfill outside the lock: promise observers may run arbitrary code.
+  for (Request& r : doomed) fail_request(r);
+}
+
 void AdmissionQueue::shutdown(bool drain) {
   std::deque<Request> rejected;
   {
     std::lock_guard<std::mutex> lock(mu_);
-    stopped_ = true;
-    if (!drain) rejected.swap(queue_);
+    if (stop_mode_ == StopMode::kRunning) {
+      stop_mode_ = drain ? StopMode::kDrain : StopMode::kHard;
+    } else if (!drain) {
+      stop_mode_ = StopMode::kHard;  // a hard stop overrides a drain stop
+    }
+    if (stop_mode_ == StopMode::kHard) rejected.swap(queue_);
   }
-  // Fulfill outside the lock: promise observers may run arbitrary code.
-  for (Request& r : rejected) {
-    QueryResponse resp;
-    resp.status = ServeStatus::kShutdown;
-    r.reply.set_value(resp);
-  }
+  for (Request& r : rejected) fail_request(r, ServeStatus::kShutdown);
   worker_cv_.notify_all();
+}
+
+void AdmissionQueue::sweep_after_drain() {
+  std::deque<Request> leftovers;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    drained_ = true;
+    leftovers.swap(queue_);
+  }
+  for (Request& r : leftovers) fail_request(r, ServeStatus::kShutdown);
+}
+
+void AdmissionQueue::reopen() {
+  std::lock_guard<std::mutex> lock(mu_);
+  stop_mode_ = StopMode::kRunning;
+  drained_ = false;
 }
 
 std::size_t AdmissionQueue::depth() const {

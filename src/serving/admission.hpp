@@ -3,11 +3,13 @@
 // Concurrent point queries arrive one (u, v) pair at a time; the batched
 // query plane (labeling/query_plane.hpp) is fastest when fed whole batches.
 // AdmissionQueue sits between the two: clients submit into a bounded queue
-// and block on a per-request future; a single worker drains the queue in
+// and block on a per-request future; serving workers drain the queue in
 // batches shaped by a size-or-deadline trigger — a batch closes as soon as
 // `max_batch` requests are pending, or when the oldest pending request has
 // waited `batch_window` (so a lone query never waits longer than the window
-// for company).
+// for company). The queue is multi-consumer: any number of WorkerPool
+// workers block in next_batch() and each closed batch goes to exactly one
+// of them.
 //
 // Overload policy is shed-don't-grow: when the queue is at capacity (or the
 // kQueueOverflow fault is armed), submit() rejects immediately with an
@@ -15,8 +17,23 @@
 // backpressure they can act on instead of an unbounded queue that converts
 // overload into unbounded latency. Per-request deadlines ride along with
 // each request; expired requests are answered with timeout verdicts by the
-// worker, never silently dropped (every admitted request's future is
-// eventually fulfilled, including through shutdown).
+// worker, never silently dropped.
+//
+// Every admitted request resolves to exactly one verdict, through every
+// failure mode. The accounting is a closed ledger:
+//
+//   submit() calls == admitted + shed
+//   admitted      == served (ok) + timeouts + failed
+//
+// where `failed` counts requests resolved without service: pending requests
+// failed by a hard shutdown, requests a worker crash consumed past the
+// requeue budget, and requeues that arrive after shutdown. submit() after
+// shutdown() begins is a typed kShutdown verdict — never an orphaned
+// request the race window of PR 6 could leave neither drained nor failed
+// (a drain-mode shutdown with every worker already exited used to strand
+// whatever a crashed worker's recovery requeued; requeue() now fails
+// immediately once no worker can ever drain again, and WorkerPool's
+// supervisor sweeps the queue after the last worker is joined).
 #pragma once
 
 #include <chrono>
@@ -43,6 +60,10 @@ enum class ServeStatus {
   kOverload,
   /// The oracle is shutting down (or never started); no distance.
   kShutdown,
+  /// Admitted, then abandoned without service: the serving worker crashed
+  /// past the request's requeue budget, or a crash-recovery requeue landed
+  /// after shutdown. Counted in the `failed` conservation bucket.
+  kFailed,
 };
 
 /// The degradation rung a served distance came from — observable per
@@ -69,12 +90,23 @@ struct QueryResponse {
   std::chrono::microseconds retry_after{0};
 };
 
-/// One admitted point query, owned by the worker once dequeued.
+/// One admitted point query, owned by whichever worker dequeued it (or by
+/// the supervisor while it recovers a dead worker's in-flight batch).
 struct Request {
   graph::VertexId u = graph::kNoVertex;
   graph::VertexId v = graph::kNoVertex;
   Clock::time_point deadline;
   Clock::time_point enqueued;
+  /// Admission-assigned, unique for the queue's lifetime: the dedup key of
+  /// crash recovery — a request is requeued at most once, identified by id,
+  /// so no crash storm can serve (or fail) the same request twice.
+  std::uint64_t id = 0;
+  /// Crash-recovery requeues already consumed (0 on first admission).
+  int attempts = 0;
+  /// Set (by the serving side) the moment `reply` is fulfilled: a crashed
+  /// worker's batch may be partially answered, and recovery must requeue
+  /// only the promises still open.
+  bool fulfilled = false;
   std::promise<QueryResponse> reply;
 };
 
@@ -88,6 +120,9 @@ struct AdmissionParams {
   std::chrono::microseconds batch_window{200};
   /// Deadline applied by Oracle::query() when the caller names none.
   std::chrono::milliseconds default_deadline{50};
+  /// Crash-recovery requeues a request may consume before it is failed
+  /// (the "exactly once" of the supervisor's requeue contract).
+  int max_requeues = 1;
 };
 
 class AdmissionQueue {
@@ -97,7 +132,7 @@ class AdmissionQueue {
       : params_(params), faults_(faults) {}
 
   struct SubmitOutcome {
-    /// Engaged iff admitted; resolves when the worker serves the request.
+    /// Engaged iff admitted; resolves when a worker serves the request.
     std::optional<std::future<QueryResponse>> reply;
     /// kOverload or kShutdown when not admitted.
     ServeStatus reject_reason = ServeStatus::kOk;
@@ -106,26 +141,64 @@ class AdmissionQueue {
     std::chrono::microseconds retry_after{0};
   };
 
-  /// Thread-safe; never blocks on a full queue (sheds instead).
+  /// Thread-safe; never blocks on a full queue (sheds instead). Once
+  /// shutdown() has begun, every submit — including one that raced the
+  /// shutdown — returns the typed kShutdown verdict; nothing is admitted
+  /// into a queue no worker is guaranteed to drain.
   SubmitOutcome submit(graph::VertexId u, graph::VertexId v,
                        Clock::time_point deadline);
 
   /// Worker side: blocks until the size-or-deadline trigger closes a batch,
   /// then moves up to `max_batch` requests into `out` (oldest first).
   /// Returns false once the queue is shut down and (in drain mode) empty.
+  /// Multi-consumer safe.
   bool next_batch(std::vector<Request>& out);
 
-  /// Stops admission. drain=true lets the worker serve what is queued;
+  /// Crash recovery: re-admits a dead worker's unanswered in-flight
+  /// requests at the *front* of the queue (they were admitted first and
+  /// have the oldest deadlines). Each request's requeue budget
+  /// (`max_requeues`) is charged here; over-budget requests are failed with
+  /// kFailed — the requeue-once dedup that makes a crash storm terminate.
+  /// Fulfilled requests are dropped (already answered; requeueing would
+  /// double-serve). After a hard shutdown — or a drain shutdown whose
+  /// drain has already completed — requeued requests are failed
+  /// immediately instead of stranded in a queue nothing will drain.
+  void requeue(std::vector<Request>&& batch);
+
+  /// Resolves a request the serving plane is abandoning (kFailed verdict)
+  /// and counts it in the `failed` conservation bucket.
+  void fail_request(Request& r, ServeStatus status = ServeStatus::kFailed);
+
+  /// Stops admission. drain=true lets the workers serve what is queued;
   /// drain=false fulfills every pending request with kShutdown immediately.
   void shutdown(bool drain);
+
+  /// Fails (kShutdown) anything still pending and marks the drain complete,
+  /// so late requeues fail instead of stranding. WorkerPool's supervisor
+  /// calls this once after the last worker has been joined — the backstop
+  /// that closes the drained-shutdown orphan window.
+  void sweep_after_drain();
+
+  /// Reverses shutdown() so a stopped oracle can start() again. Only legal
+  /// once no worker is blocked in next_batch (all drained and joined).
+  /// Counters are cumulative across reopens.
+  void reopen();
 
   std::size_t depth() const;
   std::uint64_t admitted() const {
     return admitted_.load(std::memory_order_relaxed);
   }
   std::uint64_t shed() const { return shed_.load(std::memory_order_relaxed); }
+  std::uint64_t failed() const {
+    return failed_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t requeued() const {
+    return requeued_.load(std::memory_order_relaxed);
+  }
 
  private:
+  enum class StopMode { kRunning, kDrain, kHard };
+
   std::chrono::microseconds retry_after_locked() const;
 
   AdmissionParams params_;
@@ -134,10 +207,15 @@ class AdmissionQueue {
   mutable std::mutex mu_;
   std::condition_variable worker_cv_;
   std::deque<Request> queue_;
-  bool stopped_ = false;
+  StopMode stop_mode_ = StopMode::kRunning;
+  /// Set by sweep_after_drain(): even drain-mode requeues must fail now.
+  bool drained_ = false;
+  std::uint64_t next_id_ = 1;
 
   std::atomic<std::uint64_t> admitted_{0};
   std::atomic<std::uint64_t> shed_{0};
+  std::atomic<std::uint64_t> failed_{0};
+  std::atomic<std::uint64_t> requeued_{0};
 };
 
 }  // namespace lowtw::serving

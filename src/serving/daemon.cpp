@@ -1,0 +1,360 @@
+#include "serving/daemon.hpp"
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <charconv>
+#include <cstring>
+#include <sstream>
+
+namespace lowtw::serving {
+
+namespace {
+
+// Splits on runs of spaces; frames never legitimately contain tabs.
+std::vector<std::string_view> tokenize(std::string_view line) {
+  std::vector<std::string_view> toks;
+  std::size_t i = 0;
+  while (i < line.size()) {
+    while (i < line.size() && line[i] == ' ') ++i;
+    std::size_t j = i;
+    while (j < line.size() && line[j] != ' ') ++j;
+    if (j > i) toks.push_back(line.substr(i, j - i));
+    i = j;
+  }
+  return toks;
+}
+
+bool parse_i64(std::string_view tok, std::int64_t& out) {
+  const char* first = tok.data();
+  const char* last = tok.data() + tok.size();
+  auto [ptr, ec] = std::from_chars(first, last, out);
+  return ec == std::errc() && ptr == last;
+}
+
+void append_distance(std::string& s, graph::Weight d) {
+  if (d >= graph::kInfinity) {
+    s += "inf";
+  } else {
+    s += std::to_string(d);
+  }
+}
+
+}  // namespace
+
+Daemon::Daemon(Oracle& oracle, DaemonParams params, FaultInjector* faults)
+    : oracle_(oracle), params_(std::move(params)), faults_(faults) {}
+
+Daemon::~Daemon() { stop(); }
+
+bool Daemon::start() {
+  if (running_.load(std::memory_order_acquire)) return true;
+
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (params_.socket_path.empty() ||
+      params_.socket_path.size() >= sizeof(addr.sun_path)) {
+    errno = ENAMETOOLONG;
+    return false;
+  }
+  std::memcpy(addr.sun_path, params_.socket_path.c_str(),
+              params_.socket_path.size() + 1);
+
+  listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (listen_fd_ < 0) return false;
+  ::unlink(params_.socket_path.c_str());  // stale leftover from a crash
+  if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) != 0 ||
+      ::listen(listen_fd_, 64) != 0 || ::pipe(stop_pipe_) != 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return false;
+  }
+  stopping_.store(false, std::memory_order_release);
+  running_.store(true, std::memory_order_release);
+  accept_thread_ = std::thread([this] { accept_main(); });
+  return true;
+}
+
+void Daemon::stop() {
+  if (!running_.exchange(false, std::memory_order_acq_rel)) return;
+  stopping_.store(true, std::memory_order_release);
+  // One byte wakes the accept poll; every connection poll watches the same
+  // read end and sees it readable too (the byte is never consumed).
+  const char wake = 'x';
+  [[maybe_unused]] ssize_t n = ::write(stop_pipe_[1], &wake, 1);
+  if (accept_thread_.joinable()) accept_thread_.join();
+  {
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    for (auto& c : conns_) {
+      if (c->thread.joinable()) c->thread.join();
+    }
+    conns_.clear();
+  }
+  ::close(listen_fd_);
+  listen_fd_ = -1;
+  ::close(stop_pipe_[0]);
+  ::close(stop_pipe_[1]);
+  stop_pipe_[0] = stop_pipe_[1] = -1;
+  ::unlink(params_.socket_path.c_str());
+}
+
+void Daemon::join_finished_conns_locked() {
+  for (auto it = conns_.begin(); it != conns_.end();) {
+    if ((*it)->done.load(std::memory_order_acquire)) {
+      if ((*it)->thread.joinable()) (*it)->thread.join();
+      it = conns_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void Daemon::accept_main() {
+  for (;;) {
+    pollfd fds[2] = {{listen_fd_, POLLIN, 0}, {stop_pipe_[0], POLLIN, 0}};
+    const int rc = ::poll(fds, 2, -1);
+    if (stopping_.load(std::memory_order_acquire)) return;
+    if (rc <= 0) continue;  // EINTR
+    if ((fds[0].revents & POLLIN) == 0) continue;
+    const int fd = ::accept4(listen_fd_, nullptr, nullptr, SOCK_CLOEXEC);
+    if (fd < 0) continue;
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    join_finished_conns_locked();
+    if (static_cast<int>(conns_.size()) >= params_.max_connections) {
+      refused_.fetch_add(1, std::memory_order_relaxed);
+      write_all(fd, "E busy\n");
+      ::close(fd);
+      continue;
+    }
+    connections_.fetch_add(1, std::memory_order_relaxed);
+    auto conn = std::make_unique<Conn>();
+    conn->fd = fd;
+    Conn* raw = conn.get();
+    conn->thread = std::thread([this, raw] {
+      connection_main(raw->fd);
+      raw->done.store(true, std::memory_order_release);
+    });
+    conns_.push_back(std::move(conn));
+  }
+}
+
+bool Daemon::write_all(int fd, const std::string& data) {
+  std::size_t off = 0;
+  while (off < data.size()) {
+    const ssize_t n =
+        ::send(fd, data.data() + off, data.size() - off, MSG_NOSIGNAL);
+    if (n > 0) {
+      off += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    // EPIPE/ECONNRESET/anything: the peer is gone mid-response.
+    disconnects_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  return true;
+}
+
+bool Daemon::handle_frame(std::string_view line, std::vector<std::string>& out,
+                          std::vector<PendingReply>& pending) {
+  if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
+  if (line.empty()) return true;
+  const std::vector<std::string_view> toks = tokenize(line);
+  if (toks.empty()) return true;
+
+  if (toks[0] == "Q") {
+    std::int64_t u = 0;
+    std::int64_t v = 0;
+    std::int64_t deadline_us = 0;
+    const bool arity_ok = toks.size() == 4 || toks.size() == 5;
+    if (!arity_ok || !parse_i64(toks[2], u) || !parse_i64(toks[3], v) ||
+        (toks.size() == 5 &&
+         (!parse_i64(toks[4], deadline_us) || deadline_us <= 0))) {
+      malformed_.fetch_add(1, std::memory_order_relaxed);
+      out.push_back("E parse\n");
+      return true;
+    }
+    // Range-check here: the oracle's submit treats out-of-range vertices as
+    // a caller bug (hard check); on the wire it is just a bad frame.
+    if (u < 0 || u >= oracle_.num_vertices() || v < 0 ||
+        v >= oracle_.num_vertices()) {
+      malformed_.fetch_add(1, std::memory_order_relaxed);
+      out.push_back("E range\n");
+      return true;
+    }
+    std::chrono::microseconds deadline(deadline_us);
+    if (deadline_us == 0) {
+      deadline = params_.default_deadline.count() > 0
+                     ? params_.default_deadline
+                     : std::chrono::microseconds(50000);
+    }
+    requests_.fetch_add(1, std::memory_order_relaxed);
+    AdmissionQueue::SubmitOutcome outcome =
+        oracle_.submit(static_cast<graph::VertexId>(u),
+                       static_cast<graph::VertexId>(v), deadline);
+    if (!outcome.reply.has_value()) {
+      std::string resp = "A ";
+      resp += toks[1];
+      resp += ' ';
+      resp += to_string(outcome.reject_reason);
+      resp += ' ';
+      resp += std::to_string(outcome.retry_after.count());
+      resp += '\n';
+      out.push_back(std::move(resp));
+      return true;
+    }
+    // Park the future; the caller resolves all of a chunk's queries after
+    // submitting all of them, so a pipelined burst shares batches.
+    PendingReply p;
+    p.out_index = out.size();
+    p.id = std::string(toks[1]);
+    p.reply = std::move(*outcome.reply);
+    out.emplace_back();  // placeholder, filled at resolve time
+    pending.push_back(std::move(p));
+    return true;
+  }
+  if (toks[0] == "PING" && toks.size() == 1) {
+    out.push_back("PONG\n");
+    return true;
+  }
+  if (toks[0] == "STATS" && toks.size() == 1) {
+    const OracleStats s = oracle_.stats();
+    std::ostringstream os;
+    os << "STATS admitted=" << s.admitted
+       << " served_batched=" << s.served_batched_index
+       << " served_flat=" << s.served_flat
+       << " served_dijkstra=" << s.served_dijkstra
+       << " timeouts=" << s.timeouts << " sheds=" << s.sheds
+       << " failed=" << s.failed << " requeued=" << s.requeued
+       << " crashes=" << s.pool.crashes << " respawns=" << s.pool.respawns
+       << " generation=" << oracle_.generation() << "\n";
+    out.push_back(os.str());
+    return true;
+  }
+  if (toks[0] == "QUIT" && toks.size() == 1) {
+    out.push_back("BYE\n");
+    return false;
+  }
+  malformed_.fetch_add(1, std::memory_order_relaxed);
+  out.push_back("E unknown-verb\n");
+  return true;
+}
+
+void Daemon::connection_main(int fd) {
+  std::string buffer;
+  auto last_frame = std::chrono::steady_clock::now();
+  bool open = true;
+  while (open) {
+    if (stopping_.load(std::memory_order_acquire)) break;
+    const auto idle =
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            std::chrono::steady_clock::now() - last_frame);
+    const auto budget = params_.idle_timeout - idle;
+    if (budget.count() <= 0) {
+      idle_closes_.fetch_add(1, std::memory_order_relaxed);
+      break;
+    }
+    pollfd fds[2] = {{fd, POLLIN, 0}, {stop_pipe_[0], POLLIN, 0}};
+    const int rc = ::poll(fds, 2, static_cast<int>(budget.count()));
+    if (rc < 0) continue;  // EINTR
+    if (rc == 0) {
+      idle_closes_.fetch_add(1, std::memory_order_relaxed);
+      break;
+    }
+    if (stopping_.load(std::memory_order_acquire)) break;
+    if ((fds[0].revents & (POLLIN | POLLHUP | POLLERR)) == 0) continue;
+
+    char chunk[4096];
+    const ssize_t n = ::read(fd, chunk, sizeof(chunk));
+    if (n == 0) break;  // orderly client close
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    buffer.append(chunk, static_cast<std::size_t>(n));
+
+    // Frame the chunk: every complete line is parsed now, and all the Q
+    // frames it contains are submitted before any future is awaited.
+    std::vector<std::string> out;
+    std::vector<PendingReply> pending;
+    std::size_t start = 0;
+    bool saw_frame = false;
+    for (;;) {
+      const std::size_t nl = buffer.find('\n', start);
+      if (nl == std::string::npos) break;
+      saw_frame = true;
+      if (!handle_frame(
+              std::string_view(buffer).substr(start, nl - start), out,
+              pending)) {
+        open = false;  // QUIT: answer what was parsed, then close
+      }
+      start = nl + 1;
+      if (!open) break;
+    }
+    buffer.erase(0, start);
+    if (saw_frame) last_frame = std::chrono::steady_clock::now();
+    if (buffer.size() > params_.max_line) {
+      // No newline within the budget: framing is lost, close after
+      // flushing what we owe.
+      malformed_.fetch_add(1, std::memory_order_relaxed);
+      out.push_back("E frame-too-long\n");
+      open = false;
+    }
+
+    // Resolve the parked futures in arrival order.
+    for (PendingReply& p : pending) {
+      const QueryResponse r = p.reply.get();
+      std::string resp = "A ";
+      resp += p.id;
+      resp += ' ';
+      if (r.status == ServeStatus::kOk) {
+        resp += "ok ";
+        resp += to_string(r.level);
+        resp += ' ';
+        append_distance(resp, r.distance);
+        resp += ' ';
+        resp += std::to_string(r.snapshot_generation);
+      } else {
+        resp += to_string(r.status);
+        resp += ' ';
+        resp += std::to_string(r.retry_after.count());
+      }
+      resp += '\n';
+      out[p.out_index] = std::move(resp);
+    }
+
+    // One response blob per chunk. The injected client disconnect models
+    // the peer vanishing exactly here — after the oracle answered, before
+    // the bytes leave. Drop them, count it, close; the serving-side ledger
+    // is untouched (the requests were served). Probed only when there is a
+    // response to lose, so hit indices count frames, not read wakeups.
+    std::string blob;
+    for (std::string& s : out) blob += s;
+    if (!blob.empty()) {
+      if (faults_ != nullptr &&
+          faults_->should_fire(FaultSite::kClientDisconnect)) {
+        disconnects_.fetch_add(1, std::memory_order_relaxed);
+        break;
+      }
+      if (!write_all(fd, blob)) break;
+    }
+  }
+  ::close(fd);
+}
+
+DaemonStats Daemon::stats() const {
+  DaemonStats s;
+  s.connections = connections_.load(std::memory_order_relaxed);
+  s.refused = refused_.load(std::memory_order_relaxed);
+  s.requests = requests_.load(std::memory_order_relaxed);
+  s.malformed = malformed_.load(std::memory_order_relaxed);
+  s.disconnects = disconnects_.load(std::memory_order_relaxed);
+  s.idle_closes = idle_closes_.load(std::memory_order_relaxed);
+  return s;
+}
+
+}  // namespace lowtw::serving

@@ -1,0 +1,153 @@
+// Wire front for the serving runtime: a unix-domain socket daemon speaking
+// a line-framed text protocol over serving::Oracle.
+//
+// Frames are single '\n'-terminated lines (an optional trailing '\r' is
+// tolerated). The daemon answers:
+//
+//   Q <id> <u> <v> [deadline_us]   one point query; <id> is an opaque
+//                                  client token echoed back verbatim
+//     -> A <id> ok <level> <distance> <generation>     (served; distance is
+//        the exact d(u,v), "inf" when unreachable; <level> names the
+//        degradation rung that produced it)
+//     -> A <id> <status> <retry_after_us>              (timeout / overload /
+//        shutdown / failed verdicts; retry_after_us is the backpressure
+//        hint, 0 when meaningless)
+//   PING                            -> PONG
+//   STATS                           -> STATS <k>=<v> ... (one line, counters
+//                                      from OracleStats plus the generation)
+//   QUIT                            -> BYE, then the connection closes
+//
+// Anything else — unknown verb, wrong arity, non-numeric vertex, vertex out
+// of range, over-long frame — is rejected with `E <reason>` and the
+// connection stays up (over-long frames close it, since framing is lost).
+// A malformed frame must never crash or wedge the daemon: the parser owns
+// every byte it reads and the serving plane is only reached by well-formed
+// queries.
+//
+// Pipelining: clients may write many Q frames back-to-back. Each read chunk
+// is parsed whole; all its queries are submitted to the admission queue
+// first and their futures resolved in arrival order afterwards, so a
+// pipelined burst coalesces into batches instead of paying one
+// batch-window per frame.
+//
+// Concurrency: one accept thread plus one thread per connection (bounded by
+// max_connections; excess connections get `E busy` and close). Connection
+// threads block on poll({conn, stop-pipe}) with a per-connection idle
+// timeout. stop() wakes every poll through the stop pipe, lets each
+// connection finish the frame it is serving, and joins everything —
+// in-flight queries are answered, nothing is abandoned mid-response. The
+// kClientDisconnect fault site fires just before a response write and
+// simulates the peer vanishing: the daemon drops the bytes, counts the
+// disconnect, and moves on.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serving/oracle.hpp"
+
+namespace lowtw::serving {
+
+struct DaemonParams {
+  /// AF_UNIX socket path; bound (after unlinking any stale leftover) by
+  /// start() and unlinked again by stop(). Must fit sockaddr_un (~100
+  /// chars).
+  std::string socket_path;
+  /// Concurrent connections served; excess accepts answer `E busy`.
+  int max_connections = 32;
+  /// A connection with no complete frame for this long is closed.
+  std::chrono::milliseconds idle_timeout{10000};
+  /// Deadline for Q frames that name none; zero means the oracle default.
+  std::chrono::microseconds default_deadline{0};
+  /// Frames longer than this (no '\n' yet) lose framing: `E frame-too-long`
+  /// and the connection closes.
+  std::size_t max_line = 512;
+};
+
+/// Monotonic wire-side counters (individually atomic).
+struct DaemonStats {
+  std::uint64_t connections = 0;   ///< accepted and served
+  std::uint64_t refused = 0;       ///< over max_connections, answered busy
+  std::uint64_t requests = 0;      ///< Q frames that reached the oracle
+  std::uint64_t malformed = 0;     ///< frames rejected with E
+  std::uint64_t disconnects = 0;   ///< peers gone mid-response (incl. injected)
+  std::uint64_t idle_closes = 0;   ///< connections reaped by the idle timeout
+};
+
+class Daemon {
+ public:
+  /// The oracle must be started by the owner and outlive the daemon; the
+  /// injector (optional) drives kClientDisconnect.
+  Daemon(Oracle& oracle, DaemonParams params, FaultInjector* faults = nullptr);
+  ~Daemon();
+  Daemon(const Daemon&) = delete;
+  Daemon& operator=(const Daemon&) = delete;
+
+  /// Binds and listens on socket_path and spawns the accept loop. Returns
+  /// false (with errno intact) if the socket cannot be set up. Idempotent
+  /// while running.
+  bool start();
+  /// Graceful drain: stops accepting, wakes every connection poll, lets
+  /// each connection finish the frame batch it is serving, joins all
+  /// threads, unlinks the socket. Safe to call from a signal-driven path
+  /// (but not from inside a handler — wire the handler to a self-pipe and
+  /// call stop() from the main loop, as examples/oracle_daemon.cpp does).
+  /// Idempotent; also called by the destructor.
+  void stop();
+
+  bool running() const { return running_.load(std::memory_order_acquire); }
+  const std::string& socket_path() const { return params_.socket_path; }
+  DaemonStats stats() const;
+
+ private:
+  struct Conn {
+    int fd = -1;
+    std::thread thread;
+    std::atomic<bool> done{false};
+  };
+
+  void accept_main();
+  void connection_main(int fd);
+  /// Parses one frame and appends the response to `out`; returns false when
+  /// the connection must close (QUIT, lost framing). Q frames submit into
+  /// the oracle and park their future in `pending` at the position their
+  /// response placeholder occupies in `out`.
+  struct PendingReply {
+    std::size_t out_index;              ///< placeholder slot in `out`
+    std::string id;                     ///< client token, echoed back
+    std::future<QueryResponse> reply;
+  };
+  bool handle_frame(std::string_view line, std::vector<std::string>& out,
+                    std::vector<PendingReply>& pending);
+  /// MSG_NOSIGNAL send loop; false when the peer is gone (counted).
+  bool write_all(int fd, const std::string& data);
+  void join_finished_conns_locked();
+
+  Oracle& oracle_;
+  DaemonParams params_;
+  FaultInjector* faults_;
+
+  int listen_fd_ = -1;
+  int stop_pipe_[2] = {-1, -1};
+  std::thread accept_thread_;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stopping_{false};
+
+  std::mutex conns_mu_;
+  std::vector<std::unique_ptr<Conn>> conns_;
+
+  std::atomic<std::uint64_t> connections_{0};
+  std::atomic<std::uint64_t> refused_{0};
+  std::atomic<std::uint64_t> requests_{0};
+  std::atomic<std::uint64_t> malformed_{0};
+  std::atomic<std::uint64_t> disconnects_{0};
+  std::atomic<std::uint64_t> idle_closes_{0};
+};
+
+}  // namespace lowtw::serving

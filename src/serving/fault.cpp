@@ -29,6 +29,10 @@ const char* fault_site_name(FaultSite site) {
       return "queue-overflow";
     case FaultSite::kMidSwapRead:
       return "mid-swap-read";
+    case FaultSite::kWorkerCrash:
+      return "worker-crash";
+    case FaultSite::kClientDisconnect:
+      return "client-disconnect";
   }
   return "?";
 }

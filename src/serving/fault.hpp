@@ -50,9 +50,20 @@ enum class FaultSite : int {
   /// swapped mid-read — the worker must retry against the fresh snapshot or
   /// degrade to the flat decode.
   kMidSwapRead,
+  /// A serving worker dies mid-batch (the thread unwinds past its batch).
+  /// Probed twice per batch — before any serving work (the whole batch is
+  /// recoverable) and again between the first and second promise
+  /// fulfillments (a *partial* batch: already-answered requests must not be
+  /// served twice). The supervisor must recover the in-flight batch,
+  /// requeue each unanswered request exactly once, and respawn the worker.
+  kWorkerCrash,
+  /// A wire client vanishes between the oracle answering and the daemon
+  /// writing the response — the daemon must drop the bytes, keep its own
+  /// accounting, and never crash or wedge the connection thread.
+  kClientDisconnect,
 };
 
-inline constexpr int kNumFaultSites = 5;
+inline constexpr int kNumFaultSites = 7;
 
 const char* fault_site_name(FaultSite site);
 

@@ -6,6 +6,7 @@
 #include <new>
 #include <sstream>
 #include <string>
+#include <thread>
 
 #include "core/solver.hpp"
 #include "graph/algorithms.hpp"
@@ -21,7 +22,12 @@ using labeling::QueryStatus;
 Oracle::Oracle(graph::WeightedDigraph instance, OracleOptions options)
     : instance_(std::move(instance)),
       options_(options),
-      queue_(options.admission, options.faults) {}
+      queue_(options.admission, options.faults),
+      scratch_(std::max(1, options.pool.workers)),
+      pool_(queue_, options.pool, [this](WorkerContext& ctx,
+                                         std::vector<Request>& batch) {
+        serve_batch(scratch_[ctx.worker], ctx, batch);
+      }) {}
 
 Oracle::~Oracle() { stop(/*drain=*/true); }
 
@@ -95,24 +101,13 @@ bool Oracle::load_snapshot(std::istream& is) {
 // --- serving lifecycle -------------------------------------------------------
 
 void Oracle::start() {
-  std::lock_guard<std::mutex> lock(lifecycle_mu_);
-  if (worker_running_) return;
-  worker_running_ = true;
+  pool_.start();
   accepting_.store(true, std::memory_order_release);
-  worker_ = std::thread([this] { worker_loop(); });
 }
 
 void Oracle::stop(bool drain) {
-  std::lock_guard<std::mutex> lock(lifecycle_mu_);
   accepting_.store(false, std::memory_order_release);
-  queue_.shutdown(drain);
-  if (worker_.joinable()) worker_.join();
-  worker_running_ = false;
-}
-
-void Oracle::worker_loop() {
-  std::vector<Request> batch;
-  while (queue_.next_batch(batch)) serve_batch(batch);
+  pool_.stop(drain);
 }
 
 // --- client API --------------------------------------------------------------
@@ -154,18 +149,18 @@ QueryResponse Oracle::serve_now(VertexId u, VertexId v) {
     r.level = ServeLevel::kFlatDecode;
     r.distance = snap->flat.decode(u, v);
     r.snapshot_generation = snap->generation;
-    served_flat_.fetch_add(1, std::memory_order_relaxed);
   } else {
     r.level = ServeLevel::kDijkstra;
     r.distance = graph::dijkstra(instance_, u).dist[v];
-    served_dijkstra_.fetch_add(1, std::memory_order_relaxed);
   }
+  served_direct_.fetch_add(1, std::memory_order_relaxed);
   return r;
 }
 
-// --- the serving worker ------------------------------------------------------
+// --- the serving workers -----------------------------------------------------
 
-bool Oracle::serve_with_index(SnapshotPtr& snap, std::vector<Request>& reqs,
+bool Oracle::serve_with_index(ServeScratch& scratch, SnapshotPtr& snap,
+                              std::vector<Request>& reqs,
                               const std::vector<std::size_t>& live,
                               std::vector<QueryResponse>& replies) {
   // Group by source: one stable sort of the live indices; every run of
@@ -185,24 +180,25 @@ bool Oracle::serve_with_index(SnapshotPtr& snap, std::vector<Request>& reqs,
     bool inject_stale =
         options_.faults != nullptr &&
         options_.faults->should_fire(FaultSite::kMidSwapRead);
-    engine_.bind(snap->flat, snap->index);
+    scratch.engine.bind(snap->flat, snap->index);
     bool stale = false;
-    batch_.clear();
-    batch_request_of_.clear();
+    scratch.batch.clear();
+    scratch.batch_request_of.clear();
     std::size_t i = 0;
     while (i < order.size()) {
       std::size_t j = i;
       const VertexId u = reqs[order[i]].u;
       while (j < order.size() && reqs[order[j]].u == u) ++j;
       if (j - i >= options_.one_vs_all_min_targets) {
-        row_dist_.resize(n);
-        row_dist_to_.resize(n);
+        scratch.row_dist.resize(n);
+        scratch.row_dist_to.resize(n);
         QueryStatus st;
         if (inject_stale) {
           st = QueryStatus::kStaleGeneration;
           inject_stale = false;
         } else {
-          st = engine_.try_one_vs_all(u, row_dist_, row_dist_to_);
+          st = scratch.engine.try_one_vs_all(u, scratch.row_dist,
+                                             scratch.row_dist_to);
         }
         if (st != QueryStatus::kOk) {
           stale = true;
@@ -212,34 +208,35 @@ bool Oracle::serve_with_index(SnapshotPtr& snap, std::vector<Request>& reqs,
           QueryResponse& r = replies[order[k]];
           r.status = ServeStatus::kOk;
           r.level = ServeLevel::kBatchedIndex;
-          r.distance = row_dist_[static_cast<std::size_t>(reqs[order[k]].v)];
+          r.distance =
+              scratch.row_dist[static_cast<std::size_t>(reqs[order[k]].v)];
           r.snapshot_generation = snap->generation;
         }
       } else {
-        batch_.add_source(u);
+        scratch.batch.add_source(u);
         for (std::size_t k = i; k < j; ++k) {
-          batch_.add_target(reqs[order[k]].v);
-          batch_request_of_.push_back(order[k]);
+          scratch.batch.add_target(reqs[order[k]].v);
+          scratch.batch_request_of.push_back(order[k]);
         }
       }
       i = j;
     }
-    if (!stale && batch_.num_queries() > 0) {
+    if (!stale && scratch.batch.num_queries() > 0) {
       QueryStatus st;
       if (inject_stale) {
         st = QueryStatus::kStaleGeneration;
         inject_stale = false;
       } else {
-        st = engine_.try_run(batch_);
+        st = scratch.engine.try_run(scratch.batch);
       }
       if (st != QueryStatus::kOk) {
         stale = true;
       } else {
-        for (std::size_t q = 0; q < batch_request_of_.size(); ++q) {
-          QueryResponse& r = replies[batch_request_of_[q]];
+        for (std::size_t q = 0; q < scratch.batch_request_of.size(); ++q) {
+          QueryResponse& r = replies[scratch.batch_request_of[q]];
           r.status = ServeStatus::kOk;
           r.level = ServeLevel::kBatchedIndex;
-          r.distance = batch_.results[q];
+          r.distance = scratch.batch.results[q];
           r.snapshot_generation = snap->generation;
         }
       }
@@ -260,11 +257,28 @@ bool Oracle::serve_with_index(SnapshotPtr& snap, std::vector<Request>& reqs,
   return false;
 }
 
-void Oracle::serve_batch(std::vector<Request>& reqs) {
+void Oracle::serve_batch(ServeScratch& scratch, WorkerContext& ctx,
+                         std::vector<Request>& reqs) {
   batches_.fetch_add(1, std::memory_order_relaxed);
+  ctx.beat();
+  // Crash probe 1: the worker dies holding the whole batch — every promise
+  // still open, the supervisor's recovery requeues all of it.
+  if (options_.faults != nullptr &&
+      options_.faults->should_fire(FaultSite::kWorkerCrash)) {
+    throw WorkerCrash{};
+  }
   if (options_.faults != nullptr &&
       options_.faults->should_fire(FaultSite::kWorkerStall)) {
-    std::this_thread::sleep_for(options_.faults->stall_duration());
+    // Injected stall: sleep in slices, polling the abandon flag — the
+    // watchdog's cancellation point. A reaped worker unwinds here and its
+    // batch is recovered; an unreaped stall just finishes late.
+    const auto stall_until = Clock::now() + options_.faults->stall_duration();
+    while (Clock::now() < stall_until) {
+      if (ctx.abandoned.load(std::memory_order_relaxed)) {
+        throw WorkerAbandon{};
+      }
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+    }
   }
   const auto now = Clock::now();
   std::vector<QueryResponse> replies(reqs.size());
@@ -276,20 +290,17 @@ void Oracle::serve_batch(std::vector<Request>& reqs) {
       // converts queued requests into visible timeouts, never silence.
       replies[i].status = ServeStatus::kTimeout;
       replies[i].level = ServeLevel::kUnserved;
-      timeouts_.fetch_add(1, std::memory_order_relaxed);
     } else {
       live.push_back(i);
     }
   }
   try {
     if (!live.empty()) {
+      ctx.beat();
       SnapshotPtr snap = snapshot_ref();
       bool served = false;
       if (snap != nullptr && snap->has_index) {
-        served = serve_with_index(snap, reqs, live, replies);
-        if (served) {
-          served_batched_.fetch_add(live.size(), std::memory_order_relaxed);
-        }
+        served = serve_with_index(scratch, snap, reqs, live, replies);
       }
       if (!served && snap != nullptr) {
         // Level 1: per-pair merge decodes on the snapshot's flat store —
@@ -302,7 +313,6 @@ void Oracle::serve_batch(std::vector<Request>& reqs) {
           r.distance = snap->flat.decode(reqs[idx].u, reqs[idx].v);
           r.snapshot_generation = snap->generation;
         }
-        served_flat_.fetch_add(live.size(), std::memory_order_relaxed);
         served = true;
       }
       if (!served) {
@@ -328,9 +338,12 @@ void Oracle::serve_batch(std::vector<Request>& reqs) {
           }
           i = j;
         }
-        served_dijkstra_.fetch_add(live.size(), std::memory_order_relaxed);
       }
     }
+  } catch (const WorkerCrash&) {
+    throw;  // injected death: let the supervisor recover the batch
+  } catch (const WorkerAbandon&) {
+    throw;
   } catch (...) {
     // Last-ditch guard: no decode exception may turn into a broken promise
     // or a dead worker. Anything still undecided gets the ground truth.
@@ -341,11 +354,45 @@ void Oracle::serve_batch(std::vector<Request>& reqs) {
       r.level = ServeLevel::kDijkstra;
       r.distance =
           graph::dijkstra(instance_, reqs[idx].u).dist[reqs[idx].v];
-      served_dijkstra_.fetch_add(1, std::memory_order_relaxed);
     }
   }
+  ctx.beat();
   for (std::size_t i = 0; i < reqs.size(); ++i) {
+    // Crash probe 2, once per multi-request batch, between the first and
+    // second fulfillments: the partially-answered-batch shape. Request 0 is
+    // already resolved (and counted); recovery must requeue only the rest —
+    // the no-double-serve half of the requeue contract.
+    if (i == 1 && options_.faults != nullptr &&
+        options_.faults->should_fire(FaultSite::kWorkerCrash)) {
+      throw WorkerCrash{};
+    }
+    // Verdict counters tick at fulfillment so a mid-batch crash counts
+    // exactly the promises it resolved — the conservation ledger's anchor.
+    // Counted just *before* set_value: the fulfillment is the release edge
+    // a future-blocked observer synchronizes on, so stats() read after a
+    // get() returns must already see this request's verdict.
+    switch (replies[i].status) {
+      case ServeStatus::kOk:
+        switch (replies[i].level) {
+          case ServeLevel::kBatchedIndex:
+            served_batched_.fetch_add(1, std::memory_order_relaxed);
+            break;
+          case ServeLevel::kFlatDecode:
+            served_flat_.fetch_add(1, std::memory_order_relaxed);
+            break;
+          default:
+            served_dijkstra_.fetch_add(1, std::memory_order_relaxed);
+            break;
+        }
+        break;
+      case ServeStatus::kTimeout:
+        timeouts_.fetch_add(1, std::memory_order_relaxed);
+        break;
+      default:
+        break;  // serve_batch never emits shed/shutdown/failed verdicts
+    }
     reqs[i].reply.set_value(replies[i]);
+    reqs[i].fulfilled = true;
   }
 }
 
@@ -354,9 +401,12 @@ OracleStats Oracle::stats() const {
   s.served_batched_index = served_batched_.load(std::memory_order_relaxed);
   s.served_flat = served_flat_.load(std::memory_order_relaxed);
   s.served_dijkstra = served_dijkstra_.load(std::memory_order_relaxed);
+  s.served_direct = served_direct_.load(std::memory_order_relaxed);
   s.timeouts = timeouts_.load(std::memory_order_relaxed);
   s.sheds = queue_.shed();
+  s.failed = queue_.failed();
   s.admitted = queue_.admitted();
+  s.requeued = queue_.requeued();
   s.batches = batches_.load(std::memory_order_relaxed);
   s.stale_retries = stale_retries_.load(std::memory_order_relaxed);
   s.degraded_batches = degraded_batches_.load(std::memory_order_relaxed);
@@ -364,6 +414,7 @@ OracleStats Oracle::stats() const {
   s.failed_loads = failed_loads_.load(std::memory_order_relaxed);
   s.index_build_failures =
       index_build_failures_.load(std::memory_order_relaxed);
+  s.pool = pool_.stats();
   return s;
 }
 

@@ -15,6 +15,12 @@
 //     trigger; a bounded queue sheds overload with explicit retry-after
 //     verdicts; per-request deadlines yield timeout verdicts instead of
 //     stalled callers.
+//   * A supervised multi-worker serving plane (WorkerPool): N workers
+//     drain the one queue with per-worker QueryEngine scratch
+//     (exec::WorkerLocal), while a supervisor watchdogs heartbeats, reaps
+//     crashed or stalled workers, requeues their in-flight batches exactly
+//     once (dedup by request id — no double-serve), and respawns with
+//     bounded exponential backoff.
 //   * A graceful-degradation ladder, observable per response (ServeLevel):
 //     level 0 serves through the snapshot's inverted/pinned batch engine;
 //     if the index is missing (build failed) or the engine reports a
@@ -25,15 +31,17 @@
 //     the same exact distances — the paper's guarantee that labels decode
 //     to exact d(u, v) is what makes "degraded" mean slower, never wrong.
 //   * Deterministic fault injection (serving/fault.hpp) at every seam the
-//     ladder exists for: corrupt snapshot loads, index-build allocation
-//     failure, worker stalls, queue overflow, mid-swap reads. The
-//     test_serving suite arms each site and proves bit-equality against
-//     Dijkstra plus clean shutdown through all of them.
+//     ladder and the supervisor exist for: corrupt snapshot loads,
+//     index-build allocation failure, worker stalls past the watchdog,
+//     worker crashes mid-batch (whole and partially-answered), queue
+//     overflow, mid-swap reads. The test suites arm each site and prove
+//     bit-equality against Dijkstra plus the conservation ledger
+//     (admitted == served + timeouts + failed; submits == admitted + shed)
+//     through all of them.
 //
-// Threading: clients call query()/submit() from any thread; one worker
-// thread owns batch serving (and the QueryEngine scratch); snapshot
-// installs may come from any thread. stats() and generation() are
-// lock-free reads.
+// Threading: clients call query()/submit() from any thread; N pool workers
+// own batch serving (each with private scratch); snapshot installs may come
+// from any thread. stats() and generation() are lock-free reads.
 #pragma once
 
 #include <atomic>
@@ -42,19 +50,22 @@
 #include <memory>
 #include <mutex>
 #include <optional>
-#include <thread>
 #include <vector>
 
+#include "exec/worker_local.hpp"
 #include "graph/digraph.hpp"
 #include "labeling/query_plane.hpp"
 #include "primitives/engine.hpp"
 #include "serving/admission.hpp"
 #include "serving/fault.hpp"
+#include "serving/worker_pool.hpp"
 
 namespace lowtw::serving {
 
 struct OracleOptions {
   AdmissionParams admission;
+  /// Worker-pool shape: N serving workers + supervisor watchdog/backoff.
+  WorkerPoolParams pool;
   /// Seed for snapshot rebuilds (Solver construction).
   std::uint64_t seed = 0x5eedULL;
   /// Build-side execution width for rebuild_snapshot (SolverOptions::threads).
@@ -72,19 +83,37 @@ struct OracleOptions {
 
 /// Monotonic counters, readable at any time (values are a consistent-enough
 /// snapshot for monitoring; each counter is individually atomic).
+///
+/// Conservation ledger, which the fault drills assert through every
+/// injected failure: every request presented to submit() resolves exactly
+/// once, so
+///
+///   admitted + sheds == (presented)
+///   admitted == served_batched_index + served_flat + served_dijkstra
+///               + timeouts + failed
+///
+/// `failed` counts admitted requests resolved without service: pending
+/// requests failed by a hard shutdown, and requests whose serving worker
+/// crashed past the requeue budget. (`served_direct` is serve_now()'s
+/// caller-thread path — it never enters the queue and is outside the
+/// ledger.)
 struct OracleStats {
   std::uint64_t served_batched_index = 0;
   std::uint64_t served_flat = 0;
   std::uint64_t served_dijkstra = 0;
+  std::uint64_t served_direct = 0;  ///< serve_now() answers (not admitted)
   std::uint64_t timeouts = 0;
   std::uint64_t sheds = 0;
+  std::uint64_t failed = 0;    ///< shutdown-failed + crash-abandoned
   std::uint64_t admitted = 0;
+  std::uint64_t requeued = 0;  ///< crash-recovered requests re-admitted
   std::uint64_t batches = 0;
   std::uint64_t stale_retries = 0;     ///< mid-swap verdicts retried fresh
   std::uint64_t degraded_batches = 0;  ///< batches that fell off level 0
   std::uint64_t snapshot_installs = 0;
   std::uint64_t failed_loads = 0;          ///< corrupt artifacts rejected
   std::uint64_t index_build_failures = 0;  ///< snapshots serving without index
+  WorkerPoolStats pool;  ///< crashes / stall flags / respawns / recoveries
 };
 
 class Oracle {
@@ -121,10 +150,13 @@ class Oracle {
 
   // --- serving ---------------------------------------------------------------
 
-  /// Spawns the serving worker. Idempotent.
+  /// Spawns the worker pool (N workers + supervisor). Idempotent; also
+  /// restarts a stopped oracle (the queue reopens; counters accumulate).
   void start();
   /// Stops serving. drain=true answers everything already admitted before
-  /// the worker exits; drain=false fails pending requests with kShutdown.
+  /// the workers exit; drain=false fails pending requests with kShutdown.
+  /// Crashes during the drain are still recovered — the supervisor outlives
+  /// the last worker and sweeps the queue, so no promise is ever stranded.
   /// Idempotent; also called by the destructor (drain mode).
   void stop(bool drain = true);
 
@@ -145,6 +177,7 @@ class Oracle {
   OracleStats stats() const;
   const graph::WeightedDigraph& instance() const { return instance_; }
   int num_vertices() const { return instance_.num_vertices(); }
+  int num_workers() const { return pool_.num_workers(); }
 
  private:
   /// Immutable once published; destroyed when the last batch using it ends.
@@ -155,6 +188,18 @@ class Oracle {
     std::uint64_t generation = 0;
   };
   using SnapshotPtr = std::shared_ptr<const Snapshot>;
+
+  /// Per-worker serving state (exec::WorkerLocal slot): each pool worker
+  /// decodes through its own engine and batch buffers, so workers never
+  /// share mutable query state — the same contract the parallel query
+  /// plane runs on.
+  struct ServeScratch {
+    labeling::QueryEngine engine;
+    labeling::QueryBatch batch;
+    std::vector<std::size_t> batch_request_of;  ///< batch target j → request
+    std::vector<graph::Weight> row_dist;
+    std::vector<graph::Weight> row_dist_to;
+  };
 
   std::uint64_t install(labeling::FlatLabeling flat);
   /// Copies the current snapshot pointer out of the publish slot. The slot
@@ -174,42 +219,43 @@ class Oracle {
     retired = std::move(snapshot_);
     snapshot_ = std::move(snap);
   }
-  void worker_loop();
-  void serve_batch(std::vector<Request>& batch);
+  /// Serves one batch with one worker's scratch. Fulfills every promise
+  /// (marking Request::fulfilled and counting the verdict) unless a crash/
+  /// abandon unwinds it — then untouched promises stay open for the
+  /// supervisor's recovery.
+  void serve_batch(ServeScratch& scratch, WorkerContext& ctx,
+                   std::vector<Request>& batch);
   /// Level-0 attempt: grouped pinned decodes + inverted one-vs-all rows for
   /// heavy groups. On a stale verdict retries once against the fresh
   /// snapshot (updating `snap`); returns false when the batch must degrade.
-  bool serve_with_index(SnapshotPtr& snap, std::vector<Request>& reqs,
+  bool serve_with_index(ServeScratch& scratch, SnapshotPtr& snap,
+                        std::vector<Request>& reqs,
                         const std::vector<std::size_t>& live,
                         std::vector<QueryResponse>& replies);
 
   graph::WeightedDigraph instance_;
   OracleOptions options_;
   AdmissionQueue queue_;
+  exec::WorkerLocal<ServeScratch> scratch_;
+  WorkerPool pool_;
   mutable std::mutex snapshot_mu_;  ///< guards only the snapshot_ pointer
   SnapshotPtr snapshot_;            ///< current snapshot; swap via publish()
   std::atomic<std::uint64_t> generation_{0};
   std::atomic<std::uint64_t> next_generation_{0};
 
-  std::thread worker_;
-  bool worker_running_ = false;  ///< guarded by lifecycle_mu_
-  std::mutex lifecycle_mu_;
   /// True between start() and stop(): a query against a stopped (or never
   /// started) oracle gets an immediate kShutdown verdict instead of an
   /// admitted request no worker will ever serve.
   std::atomic<bool> accepting_{false};
 
-  // Worker-owned serving state (only the worker thread touches these).
-  labeling::QueryEngine engine_;
-  labeling::QueryBatch batch_;
-  std::vector<std::size_t> batch_request_of_;  ///< batch target j → request
-  std::vector<graph::Weight> row_dist_;
-  std::vector<graph::Weight> row_dist_to_;
-
-  // Stats counters.
+  // Stats counters. The served/timeout counters are incremented at promise
+  // fulfillment (not when a batch is computed): a worker that crashes
+  // mid-batch counts only the requests it actually answered, which is what
+  // keeps the conservation ledger exact through requeues.
   std::atomic<std::uint64_t> served_batched_{0};
   std::atomic<std::uint64_t> served_flat_{0};
   std::atomic<std::uint64_t> served_dijkstra_{0};
+  std::atomic<std::uint64_t> served_direct_{0};
   std::atomic<std::uint64_t> timeouts_{0};
   std::atomic<std::uint64_t> batches_{0};
   std::atomic<std::uint64_t> stale_retries_{0};

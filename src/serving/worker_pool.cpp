@@ -1,0 +1,176 @@
+#include "serving/worker_pool.hpp"
+
+#include <algorithm>
+
+namespace lowtw::serving {
+
+void WorkerPool::start() {
+  std::lock_guard<std::mutex> lock(lifecycle_mu_);
+  if (started_) return;
+  queue_.reopen();
+  stopping_.store(false, std::memory_order_relaxed);
+  hard_stop_.store(false, std::memory_order_relaxed);
+  for (int w = 0; w < params_.workers; ++w) spawn_worker(w);
+  supervisor_ = std::thread([this] { supervisor_main(); });
+  started_ = true;
+}
+
+void WorkerPool::stop(bool drain) {
+  std::lock_guard<std::mutex> lock(lifecycle_mu_);
+  if (!started_) return;
+  if (!drain) hard_stop_.store(true, std::memory_order_relaxed);
+  queue_.shutdown(drain);
+  stopping_.store(true, std::memory_order_release);
+  if (supervisor_.joinable()) supervisor_.join();
+  // The supervisor joined every worker before exiting; this is belt and
+  // braces against a slot it never observed dead.
+  for (Slot& s : slots_) {
+    if (s.thread.joinable()) s.thread.join();
+  }
+  started_ = false;
+}
+
+void WorkerPool::spawn_worker(int w) {
+  Slot& s = slots_[static_cast<std::size_t>(w)];
+  s.ctx.worker = w;
+  s.ctx.abandoned.store(false, std::memory_order_relaxed);
+  s.ctx.beat();
+  s.state.store(kIdle, std::memory_order_release);
+  s.thread = std::thread([this, w] { worker_main(w); });
+}
+
+void WorkerPool::worker_main(int w) {
+  Slot& s = slots_[static_cast<std::size_t>(w)];
+  for (;;) {
+    s.inflight.clear();
+    s.ctx.abandoned.store(false, std::memory_order_relaxed);
+    s.ctx.beat();
+    s.state.store(kIdle, std::memory_order_release);
+    if (!queue_.next_batch(s.inflight)) {
+      s.state.store(kDone, std::memory_order_release);
+      return;
+    }
+    // The batch lives in the slot from here: if this thread dies below,
+    // the supervisor joins it and recovers exactly what is in `inflight`.
+    s.ctx.beat();
+    s.state.store(kServing, std::memory_order_release);
+    try {
+      serve_(s.ctx, s.inflight);
+      s.consecutive_failures.store(0, std::memory_order_relaxed);
+    } catch (const WorkerAbandon&) {
+      // Watchdog reap acknowledged: same recovery as a crash, but the
+      // stall already counted itself via the abandon flag.
+      s.state.store(kCrashed, std::memory_order_release);
+      return;
+    } catch (...) {
+      // WorkerCrash and anything unexpected: the worker is gone; whatever
+      // promises it left open ride out in the slot for the supervisor.
+      crashes_.fetch_add(1, std::memory_order_relaxed);
+      s.state.store(kCrashed, std::memory_order_release);
+      return;
+    }
+  }
+}
+
+void WorkerPool::reap(Slot& s, bool crashed) {
+  if (s.thread.joinable()) s.thread.join();
+  // Post-join the dead thread's writes are visible: recover the batch.
+  if (!s.inflight.empty()) {
+    recovered_batches_.fetch_add(1, std::memory_order_relaxed);
+    queue_.requeue(std::move(s.inflight));
+    s.inflight.clear();
+  }
+  if (crashed) {
+    const int failures =
+        s.consecutive_failures.fetch_add(1, std::memory_order_relaxed) + 1;
+    auto backoff = params_.respawn_backoff_base;
+    for (int i = 1; i < failures && backoff < params_.respawn_backoff_cap;
+         ++i) {
+      backoff *= 2;
+    }
+    s.respawn_at = Clock::now() + std::min(backoff, params_.respawn_backoff_cap);
+  } else {
+    s.respawn_at = Clock::now();  // clean exit: no backoff if ever respawned
+  }
+  s.state.store(kEmpty, std::memory_order_release);
+}
+
+void WorkerPool::supervisor_main() {
+  const auto watchdog_ns =
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          params_.watchdog_timeout)
+          .count();
+  for (;;) {
+    const auto now = Clock::now();
+    // 1. Watchdog: a serving worker whose heartbeat went stale is flagged.
+    //    The flag is acted on at the stall site's poll points; a slow batch
+    //    that never polls finishes normally.
+    for (Slot& s : slots_) {
+      if (s.state.load(std::memory_order_acquire) != kServing) continue;
+      const auto beat = s.ctx.heartbeat_ns.load(std::memory_order_relaxed);
+      if (now.time_since_epoch().count() - beat > watchdog_ns) {
+        if (!s.ctx.abandoned.exchange(true, std::memory_order_relaxed)) {
+          stall_flags_.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    }
+    // 2. Reap the dead: join, recover in-flight requests (requeue-once or
+    //    fail), arm the respawn gate.
+    for (Slot& s : slots_) {
+      const int st = s.state.load(std::memory_order_acquire);
+      if (st == kCrashed) {
+        reap(s, /*crashed=*/true);
+      } else if (st == kDone) {
+        reap(s, /*crashed=*/false);
+      }
+    }
+    // 3. Respawn: keep the pool at full strength while running; during a
+    //    drain-stop respawn only while work remains (a crash mid-drain must
+    //    not strand its requeued batch); never after a hard stop.
+    const bool stopping = stopping_.load(std::memory_order_acquire);
+    const bool hard = hard_stop_.load(std::memory_order_relaxed);
+    const std::size_t depth = queue_.depth();
+    const bool want_workers = !stopping || (!hard && depth > 0);
+    if (want_workers) {
+      for (int w = 0; w < params_.workers; ++w) {
+        Slot& s = slots_[static_cast<std::size_t>(w)];
+        if (s.state.load(std::memory_order_acquire) == kEmpty &&
+            !s.thread.joinable() && now >= s.respawn_at) {
+          // A slot that was never reaped (kEmpty from construction) only
+          // spawns through start(); respawn_at defaults to epoch, so the
+          // check above admits it — but start() already spawned all slots,
+          // so kEmpty here always means "reaped earlier".
+          spawn_worker(w);
+          respawns_.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    }
+    if (stopping) {
+      bool any_alive = false;
+      for (Slot& s : slots_) {
+        const int st = s.state.load(std::memory_order_acquire);
+        if (st == kIdle || st == kServing || st == kCrashed || st == kDone) {
+          any_alive = true;
+          break;
+        }
+      }
+      if (!any_alive && (hard || queue_.depth() == 0)) break;
+    }
+    std::this_thread::sleep_for(params_.supervisor_tick);
+  }
+  // Every worker is joined and nothing can be admitted any more: fail
+  // whatever is still queued (hard stop leftovers, last-instant requeues)
+  // so no promise outlives the pool.
+  queue_.sweep_after_drain();
+}
+
+WorkerPoolStats WorkerPool::stats() const {
+  WorkerPoolStats s;
+  s.crashes = crashes_.load(std::memory_order_relaxed);
+  s.stall_flags = stall_flags_.load(std::memory_order_relaxed);
+  s.respawns = respawns_.load(std::memory_order_relaxed);
+  s.recovered_batches = recovered_batches_.load(std::memory_order_relaxed);
+  return s;
+}
+
+}  // namespace lowtw::serving

@@ -1,0 +1,165 @@
+// Supervised multi-worker serving: N threads drain one AdmissionQueue, one
+// supervisor keeps them alive.
+//
+// Each worker owns a slot: a heartbeat it refreshes at batch boundaries, an
+// in-flight buffer it moves every dequeued batch into *before* serving, and
+// a state word that tells the supervisor what the slot needs. Serving a
+// batch is delegated to the BatchServer callback (Oracle::serve_batch with
+// that worker's private QueryEngine scratch — per-worker via
+// exec::WorkerLocal, so workers never share decode state).
+//
+// The supervisor thread ticks over the slots and absorbs the failure modes
+// a single-worker loop cannot:
+//
+//   * Crash (kWorkerCrash fault, or any unexpected exception): the worker
+//     thread unwinds, leaving its in-flight batch — possibly partially
+//     answered — in the slot. The supervisor joins the corpse, requeues
+//     every still-open request through AdmissionQueue::requeue (requeue
+//     budget charged per request id: exactly one retry, then kFailed — so
+//     a crash storm terminates and nothing is ever served twice), and
+//     respawns the worker with bounded exponential backoff.
+//   * Stall (kWorkerStall fault held past the watchdog): a serving worker
+//     whose heartbeat goes stale is flagged `abandoned`. The stall site
+//     polls the flag at its cancellation points, acknowledges by unwinding
+//     like a crash, and the same recover-requeue-respawn path runs. A
+//     genuinely slow batch that never polls simply finishes — the flag is
+//     advisory, so a false-positive watchdog can delay but never corrupt.
+//   * Shutdown under load: stop(drain) lets workers drain the queue, keeps
+//     the supervisor reaping crashes *during* the drain (respawning while
+//     requeued work remains), and — after the last worker is joined —
+//     sweeps the queue so nothing is left with an open promise. stop(hard)
+//     fails pending immediately and recovery requeues fail instead of
+//     strand.
+//
+// Determinism: which worker serves which batch is scheduling-dependent, but
+// every fault decision is a pure function of (seed, site, hit index) via
+// FaultInjector, every answer is bit-exact at every rung, and the
+// conservation ledger (admitted == served + timeouts + failed) holds for
+// every interleaving — that is what the drills assert, not thread timing.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "serving/admission.hpp"
+#include "serving/fault.hpp"
+
+namespace lowtw::serving {
+
+/// Thrown by a BatchServer to die mid-batch (the injected kWorkerCrash
+/// site raises it); the supervisor recovers the slot's in-flight batch.
+struct WorkerCrash {};
+/// Thrown by a BatchServer acknowledging an `abandoned` flag: the worker
+/// was reaped by the watchdog and unwinds so recovery can requeue.
+struct WorkerAbandon {};
+
+/// Per-worker context handed to the BatchServer. The serve path beats the
+/// heartbeat at its own milestones and polls `abandoned` at cancellation
+/// points (every injected-stall slice); everything else is supervisor-side.
+struct WorkerContext {
+  int worker = 0;
+  std::atomic<bool> abandoned{false};
+  std::atomic<std::int64_t> heartbeat_ns{0};
+
+  void beat() {
+    heartbeat_ns.store(Clock::now().time_since_epoch().count(),
+                       std::memory_order_relaxed);
+  }
+};
+
+struct WorkerPoolParams {
+  int workers = 1;
+  /// A serving worker whose heartbeat is older than this is flagged
+  /// abandoned (stall reap). Idle workers are exempt — blocking on an
+  /// empty queue is not a stall.
+  std::chrono::milliseconds watchdog_timeout{200};
+  /// Supervisor loop period.
+  std::chrono::milliseconds supervisor_tick{1};
+  /// Respawn backoff: base · 2^(consecutive failures − 1), capped.
+  std::chrono::milliseconds respawn_backoff_base{1};
+  std::chrono::milliseconds respawn_backoff_cap{64};
+};
+
+/// Monotonic supervision counters (individually atomic).
+struct WorkerPoolStats {
+  std::uint64_t crashes = 0;        ///< worker threads that unwound mid-batch
+  std::uint64_t stall_flags = 0;    ///< watchdog abandon flags raised
+  std::uint64_t respawns = 0;       ///< workers restarted after a reap
+  std::uint64_t recovered_batches = 0;  ///< in-flight batches recovered
+};
+
+class WorkerPool {
+ public:
+  /// Serves one batch: must fulfill every request's promise (marking
+  /// Request::fulfilled as it goes) or throw — WorkerCrash / WorkerAbandon
+  /// for the injected deaths, anything else is treated as a crash too.
+  using BatchServer = std::function<void(WorkerContext&, std::vector<Request>&)>;
+
+  WorkerPool(AdmissionQueue& queue, WorkerPoolParams params, BatchServer serve)
+      : queue_(queue), params_(params), serve_(std::move(serve)) {
+    if (params_.workers < 1) params_.workers = 1;
+    slots_ = std::vector<Slot>(static_cast<std::size_t>(params_.workers));
+  }
+  ~WorkerPool() { stop(/*drain=*/true); }
+  WorkerPool(const WorkerPool&) = delete;
+  WorkerPool& operator=(const WorkerPool&) = delete;
+
+  /// Spawns the workers and the supervisor; reopens the queue. Idempotent.
+  void start();
+  /// Shuts the queue down (drain or hard), keeps supervising until every
+  /// worker — including ones that crash during the drain — is recovered
+  /// and joined, sweeps the queue, and joins the supervisor. Idempotent.
+  void stop(bool drain);
+
+  int num_workers() const { return params_.workers; }
+  WorkerPoolStats stats() const;
+
+ private:
+  /// Slot lifecycle, owner in parentheses: kEmpty (supervisor: no thread,
+  /// maybe awaiting respawn) → kIdle (worker: blocked in next_batch) →
+  /// kServing (worker: in-flight batch populated) → back to kIdle, or
+  /// kCrashed (worker died, batch recoverable) / kDone (clean exit after
+  /// shutdown). kCrashed/kDone are joined by the supervisor.
+  enum State : int { kEmpty = 0, kIdle, kServing, kCrashed, kDone };
+
+  struct Slot {
+    std::thread thread;
+    WorkerContext ctx;
+    std::atomic<int> state{kEmpty};
+    /// The batch being served; read by the supervisor only after joining a
+    /// kCrashed thread (the join is the happens-before edge).
+    std::vector<Request> inflight;
+    /// Respawn gate: a crashed slot may not restart before this.
+    Clock::time_point respawn_at{};
+    std::atomic<int> consecutive_failures{0};
+  };
+
+  void worker_main(int w);
+  void supervisor_main();
+  void spawn_worker(int w);
+  /// Joins a dead slot, recovers its batch, schedules the respawn gate.
+  void reap(Slot& s, bool crashed);
+
+  AdmissionQueue& queue_;
+  WorkerPoolParams params_;
+  BatchServer serve_;
+  std::vector<Slot> slots_;
+
+  std::thread supervisor_;
+  std::mutex lifecycle_mu_;
+  bool started_ = false;  ///< guarded by lifecycle_mu_
+  std::atomic<bool> stopping_{false};
+  std::atomic<bool> hard_stop_{false};
+
+  std::atomic<std::uint64_t> crashes_{0};
+  std::atomic<std::uint64_t> stall_flags_{0};
+  std::atomic<std::uint64_t> respawns_{0};
+  std::atomic<std::uint64_t> recovered_batches_{0};
+};
+
+}  // namespace lowtw::serving

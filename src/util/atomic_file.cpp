@@ -1,12 +1,47 @@
 #include "util/atomic_file.hpp"
 
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
 #include <cstdio>
+#include <cstring>
 #include <filesystem>
 #include <fstream>
 
 #include "util/check.hpp"
 
 namespace lowtw::util {
+
+namespace detail {
+
+int real_fsync(int fd, const std::string& /*path*/) { return ::fsync(fd); }
+
+FsyncFn fsync_hook = &real_fsync;
+
+}  // namespace detail
+
+namespace {
+
+// Opens `path` read-only, runs the fsync hook on it, closes. Returns false
+// (errno set) when the open or the sync fails. Directories need O_RDONLY +
+// fsync — there is no portable "sync just this dirent" call.
+bool sync_path(const std::string& path, int open_flags) {
+  const int fd = ::open(path.c_str(), open_flags);
+  if (fd < 0) return false;
+  const int rc = detail::fsync_hook(fd, path);
+  const int saved = errno;
+  ::close(fd);
+  errno = saved;
+  return rc == 0;
+}
+
+std::string parent_dir(const std::string& path) {
+  const std::filesystem::path parent = std::filesystem::path(path).parent_path();
+  return parent.empty() ? std::string(".") : parent.string();
+}
+
+}  // namespace
 
 void atomic_write_file(const std::string& path,
                        const std::function<void(std::ostream&)>& write) {
@@ -30,12 +65,32 @@ void atomic_write_file(const std::string& path,
                                  << "' failed; destination untouched");
     }
   }
+  // Durability step 1: the temp file's *data* must be on stable storage
+  // before the rename makes it reachable — otherwise a power cut can leave
+  // the destination name pointing at unwritten blocks.
+  if (!sync_path(tmp, O_RDONLY)) {
+    const int err = errno;
+    std::remove(tmp.c_str());
+    LOWTW_CHECK_MSG(false, "atomic_write_file: fsync '"
+                               << tmp << "' failed: " << std::strerror(err)
+                               << "; destination untouched");
+  }
   std::error_code ec;
   std::filesystem::rename(tmp, path, ec);
   if (ec) {
     std::remove(tmp.c_str());
     LOWTW_CHECK_MSG(false, "atomic_write_file: rename '" << tmp << "' -> '"
                                << path << "' failed: " << ec.message());
+  }
+  // Durability step 2: the rename is a directory mutation; fsync the parent
+  // so the new entry itself survives power loss. The swap already happened,
+  // so failure here is reported without touching the (complete) new file.
+  if (!sync_path(parent_dir(path), O_RDONLY | O_DIRECTORY)) {
+    const int err = errno;
+    LOWTW_CHECK_MSG(false, "atomic_write_file: parent fsync for '"
+                               << path << "' failed: " << std::strerror(err)
+                               << "; new content installed but not yet "
+                                  "guaranteed durable");
   }
 }
 

@@ -1,12 +1,18 @@
-// Crash-safe artifact writes: stream into a sibling temp file, flush, then
-// rename over the destination.
+// Crash-safe artifact writes: stream into a sibling temp file, fsync it,
+// rename over the destination, then fsync the parent directory.
 //
 // A long-lived server restarting after a crash mmaps/loads whatever sits at
 // the artifact path; a writer that died mid-stream must never leave a
 // truncated file there. POSIX rename(2) within one directory is atomic, so
 // readers observe either the complete old artifact or the complete new one —
-// never a prefix. On any failure (a throwing serializer, a bad stream, a
-// failed rename) the temp file is removed and the destination is untouched.
+// never a prefix. Rename alone is only atomic against *process* crashes,
+// though: after a power loss the filesystem may replay the rename before the
+// data blocks it points at are durable, leaving a complete-looking name on
+// garbage. Hence the durability protocol here is the full three-step dance:
+// fsync the temp file (data durable) → rename (name swap) → fsync the parent
+// directory (the directory entry itself durable). On any failure (a throwing
+// serializer, a bad stream, a failed fsync or rename) the temp file is
+// removed and the destination is untouched.
 #pragma once
 
 #include <functional>
@@ -15,11 +21,25 @@
 
 namespace lowtw::util {
 
-/// Invokes `write` on an output stream bound to `path + ".tmp"`, then
-/// flushes and atomically renames the temp over `path`. Rethrows whatever
-/// `write` throws (and throws CheckFailure on stream/rename failure) after
-/// removing the temp; the destination keeps its prior content in every
-/// failure mode.
+namespace detail {
+/// Seam for the durability syscalls: called as fsync_hook(fd, path) once for
+/// the temp file (before the rename) and once for the parent directory
+/// (after). Tests swap it to observe the exact call sequence or to simulate
+/// fsync failure; production leaves the default (::fsync). Returns 0 on
+/// success, -1 with errno set otherwise.
+using FsyncFn = int (*)(int fd, const std::string& path);
+extern FsyncFn fsync_hook;
+int real_fsync(int fd, const std::string& path);
+}  // namespace detail
+
+/// Invokes `write` on an output stream bound to `path + ".tmp"`, flushes,
+/// fsyncs the temp file, atomically renames it over `path`, and fsyncs the
+/// parent directory so the rename itself survives power loss. Rethrows
+/// whatever `write` throws (and throws CheckFailure on stream/fsync/rename
+/// failure) after removing the temp; the destination keeps its prior content
+/// in every failure mode. (A parent-directory fsync failure is reported but
+/// the rename has already happened — the new content is in place, merely not
+/// yet guaranteed durable.)
 void atomic_write_file(const std::string& path,
                        const std::function<void(std::ostream&)>& write);
 

@@ -182,6 +182,128 @@ TEST(AdmissionQueue, InjectedOverflowShedsLikeRealOverflow) {
   q.shutdown(/*drain=*/false);
 }
 
+TEST(AdmissionQueue, SubmitAfterShutdownIsTypedNotShedEvenWithOverflowArmed) {
+  // The regression shape: kQueueOverflow armed AND the queue already shut
+  // down. The shutdown verdict must win without consuming a fault probe —
+  // a phantom shed against a closed queue would break submits==admitted+shed.
+  FaultInjector fi(5);
+  fi.arm_probability(FaultSite::kQueueOverflow, 1.0);
+  AdmissionQueue q(AdmissionParams{}, &fi);
+  q.shutdown(/*drain=*/true);
+  auto out = q.submit(0, 1, Clock::now() + 1s);
+  EXPECT_FALSE(out.reply.has_value());
+  EXPECT_EQ(out.reject_reason, ServeStatus::kShutdown);
+  EXPECT_EQ(q.shed(), 0u);
+  EXPECT_EQ(fi.probes(FaultSite::kQueueOverflow), 0u);
+  EXPECT_EQ(q.admitted(), 0u);
+}
+
+TEST(AdmissionQueue, SubmitShutdownRaceEveryOutcomeIsTypedAndConserved) {
+  // Hammer submit from several threads while shutdown lands mid-storm:
+  // every submit must resolve to admitted / kOverload / kShutdown, admitted
+  // futures must all be fulfilled by the hard stop, and the ledger must
+  // close exactly (no request double-counted or lost in the race window).
+  AdmissionParams params;
+  params.queue_capacity = 16;
+  AdmissionQueue q(params);
+  constexpr int kThreads = 4;
+  std::atomic<std::uint64_t> submits{0};
+  std::atomic<std::uint64_t> admitted{0};
+  std::atomic<std::uint64_t> overload{0};
+  std::atomic<std::uint64_t> shutdown_verdicts{0};
+  std::vector<std::thread> threads;
+  std::vector<std::vector<std::future<QueryResponse>>> futs(kThreads);
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      // Submit flat-out until the shutdown verdict is observed: every
+      // thread is guaranteed to cross the race window.
+      for (int i = 0; i < 5'000'000; ++i) {
+        submits.fetch_add(1);
+        auto out = q.submit(0, 1, Clock::now() + 1s);
+        if (out.reply.has_value()) {
+          admitted.fetch_add(1);
+          futs[t].push_back(std::move(*out.reply));
+        } else if (out.reject_reason == ServeStatus::kOverload) {
+          overload.fetch_add(1);
+        } else {
+          EXPECT_EQ(out.reject_reason, ServeStatus::kShutdown);
+          shutdown_verdicts.fetch_add(1);
+          return;
+        }
+      }
+    });
+  }
+  std::this_thread::sleep_for(1ms);
+  q.shutdown(/*drain=*/false);
+  for (auto& t : threads) t.join();
+  for (auto& per_thread : futs) {
+    for (auto& f : per_thread) {
+      EXPECT_EQ(f.get().status, ServeStatus::kShutdown);
+    }
+  }
+  EXPECT_EQ(admitted.load() + overload.load() + shutdown_verdicts.load(),
+            submits.load());
+  EXPECT_EQ(q.admitted(), admitted.load());
+  EXPECT_EQ(q.shed(), overload.load());
+  EXPECT_EQ(shutdown_verdicts.load(),
+            static_cast<std::uint64_t>(kThreads));  // one per thread, typed
+  EXPECT_EQ(q.depth(), 0u);
+}
+
+TEST(AdmissionQueue, RequeueSkipsFulfilledChargesBudgetThenFails) {
+  AdmissionParams params;
+  params.max_batch = 3;
+  params.max_requeues = 1;
+  AdmissionQueue q(params);
+  std::vector<std::future<QueryResponse>> futs;
+  for (int i = 0; i < 3; ++i) {
+    futs.push_back(std::move(*q.submit(i, 0, Clock::now() + 1s).reply));
+  }
+  std::vector<Request> batch;
+  ASSERT_TRUE(q.next_batch(batch));
+  ASSERT_EQ(batch.size(), 3u);
+  // Simulate a worker that answered request 0, then crashed.
+  QueryResponse served;
+  served.status = ServeStatus::kOk;
+  batch[0].reply.set_value(served);
+  batch[0].fulfilled = true;
+  q.requeue(std::move(batch));
+  // Only the two unanswered requests re-admit, oldest first.
+  EXPECT_EQ(q.depth(), 2u);
+  EXPECT_EQ(q.requeued(), 2u);
+  EXPECT_EQ(futs[0].get().status, ServeStatus::kOk);
+  std::vector<Request> again;
+  ASSERT_TRUE(q.next_batch(again));
+  ASSERT_EQ(again.size(), 2u);
+  EXPECT_EQ(again[0].u, 1);
+  EXPECT_EQ(again[0].attempts, 1);
+  // Second crash: the budget (one requeue) is spent — both fail, exactly
+  // once, with the typed kFailed verdict. The storm terminates.
+  q.requeue(std::move(again));
+  EXPECT_EQ(q.depth(), 0u);
+  EXPECT_EQ(q.failed(), 2u);
+  EXPECT_EQ(futs[1].get().status, ServeStatus::kFailed);
+  EXPECT_EQ(futs[2].get().status, ServeStatus::kFailed);
+  q.shutdown(/*drain=*/false);
+}
+
+TEST(AdmissionQueue, RequeueAfterHardShutdownFailsInsteadOfStranding) {
+  AdmissionQueue q(AdmissionParams{});
+  auto out = q.submit(0, 1, Clock::now() + 1s);
+  std::vector<Request> batch;
+  ASSERT_TRUE(q.next_batch(batch));
+  ASSERT_EQ(batch.size(), 1u);
+  q.shutdown(/*drain=*/false);
+  // The recovery of a worker that died holding this batch arrives after the
+  // hard stop: nothing will ever drain the queue again, so the request must
+  // fail now — not sit forever with an open promise.
+  q.requeue(std::move(batch));
+  EXPECT_EQ(q.depth(), 0u);
+  EXPECT_EQ(q.failed(), 1u);
+  EXPECT_EQ(out.reply->get().status, ServeStatus::kFailed);
+}
+
 // --- Oracle: the happy path and the ladder ----------------------------------
 
 struct ServingFixture : ::testing::Test {
@@ -476,7 +598,9 @@ TEST_F(ServingFixture, SoakConcurrentQueriesSnapshotSwapsAndFaults) {
   fi.arm_probability(FaultSite::kMidSwapRead, 0.15);
   fi.arm_probability(FaultSite::kWorkerStall, 0.05);
   fi.arm_probability(FaultSite::kQueueOverflow, 0.02);
+  fi.arm_probability(FaultSite::kWorkerCrash, 0.03);
   auto opts = fast_options(&fi);
+  opts.pool.workers = 4;  // the supervised multi-worker plane under fire
   opts.admission.batch_window = 300us;
   opts.admission.default_deadline = 5000ms;  // soak asserts exactness
   Oracle oracle(g, opts);
@@ -509,7 +633,8 @@ TEST_F(ServingFixture, SoakConcurrentQueriesSnapshotSwapsAndFaults) {
             break;
           case ServeStatus::kTimeout:
           case ServeStatus::kShutdown:
-            break;  // allowed verdicts under injected stalls
+          case ServeStatus::kFailed:
+            break;  // allowed verdicts under injected stalls and crashes
         }
       }
     });
@@ -531,10 +656,11 @@ TEST_F(ServingFixture, SoakConcurrentQueriesSnapshotSwapsAndFaults) {
   EXPECT_EQ(shed_without_hint.load(), 0u);
   EXPECT_GT(ok_count.load(), 0u);
   const OracleStats s = oracle.stats();
-  // Conservation: every admitted request resolved to exactly one verdict.
+  // Conservation: every admitted request resolved to exactly one verdict,
+  // through crashes, requeues, and the drain — the 5-way closed ledger.
   EXPECT_EQ(s.admitted,
             s.served_batched_index + s.served_flat + s.served_dijkstra +
-                s.timeouts);
+                s.timeouts + s.failed);
   EXPECT_GE(s.snapshot_installs, 21u);
   EXPECT_GT(s.batches, 0u);
 }

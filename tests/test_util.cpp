@@ -1,9 +1,15 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cerrno>
+#include <filesystem>
+#include <fstream>
 #include <numeric>
 #include <set>
+#include <string>
+#include <vector>
 
+#include "util/atomic_file.hpp"
 #include "util/check.hpp"
 #include "util/flags.hpp"
 #include "util/math.hpp"
@@ -135,6 +141,93 @@ TEST(Flags, ParsesForms) {
   EXPECT_EQ(flags.get_string("d", ""), "x");
   EXPECT_EQ(flags.get_int("missing", 9), 9);
   EXPECT_DOUBLE_EQ(flags.get_double("missing", 1.5), 1.5);
+}
+
+// --- atomic_write_file durability -------------------------------------------
+
+/// Swaps the fsync seam for a test body and restores it on scope exit.
+struct FsyncHookGuard {
+  explicit FsyncHookGuard(detail::FsyncFn fn) : prev(detail::fsync_hook) {
+    detail::fsync_hook = fn;
+    calls().clear();
+    fail_tmp() = false;
+  }
+  ~FsyncHookGuard() { detail::fsync_hook = prev; }
+  detail::FsyncFn prev;
+
+  /// Shared recorder state for the hook functions (free function pointers,
+  /// so no captures — hence statics).
+  static std::vector<std::string>& calls() {
+    static std::vector<std::string> c;
+    return c;
+  }
+  static bool& fail_tmp() {
+    static bool f = false;
+    return f;
+  }
+  static int recording_hook(int fd, const std::string& path) {
+    EXPECT_GE(fd, 0) << "hook must receive an open descriptor";
+    calls().push_back(path);
+    if (fail_tmp() && path.size() >= 4 &&
+        path.compare(path.size() - 4, 4, ".tmp") == 0) {
+      errno = EIO;
+      return -1;
+    }
+    return 0;  // skip the real fsync: the sequence is what is under test
+  }
+};
+
+std::string read_file(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  return std::string(std::istreambuf_iterator<char>(is),
+                     std::istreambuf_iterator<char>());
+}
+
+TEST(AtomicFile, FsyncsTempFileThenParentDirectoryAroundRename) {
+  const auto dir = std::filesystem::temp_directory_path() / "lowtw_af_test";
+  std::filesystem::create_directories(dir);
+  const std::string path = (dir / "artifact.bin").string();
+  FsyncHookGuard guard(&FsyncHookGuard::recording_hook);
+  atomic_write_file(path, [](std::ostream& os) { os << "payload-v1"; });
+  // The durability dance, in order: temp file data first (before the rename
+  // can expose the name), parent directory entry second (after).
+  ASSERT_EQ(FsyncHookGuard::calls().size(), 2u);
+  EXPECT_EQ(FsyncHookGuard::calls()[0], path + ".tmp");
+  EXPECT_EQ(std::filesystem::path(FsyncHookGuard::calls()[1]),
+            std::filesystem::path(path).parent_path());
+  EXPECT_EQ(read_file(path), "payload-v1");
+  EXPECT_FALSE(std::filesystem::exists(path + ".tmp"));
+  std::filesystem::remove_all(dir);
+}
+
+TEST(AtomicFile, TempFsyncFailureLeavesDestinationUntouched) {
+  const auto dir = std::filesystem::temp_directory_path() / "lowtw_af_test2";
+  std::filesystem::create_directories(dir);
+  const std::string path = (dir / "artifact.bin").string();
+  atomic_write_file(path, [](std::ostream& os) { os << "old-content"; });
+  FsyncHookGuard guard(&FsyncHookGuard::recording_hook);
+  FsyncHookGuard::fail_tmp() = true;
+  // An fsync failure means the new data may not be durable: the write must
+  // abort before the rename so the old artifact survives, and the temp must
+  // not be left behind.
+  EXPECT_THROW(
+      atomic_write_file(path, [](std::ostream& os) { os << "new-content"; }),
+      CheckFailure);
+  EXPECT_EQ(read_file(path), "old-content");
+  EXPECT_FALSE(std::filesystem::exists(path + ".tmp"));
+  std::filesystem::remove_all(dir);
+}
+
+TEST(AtomicFile, ProductionHookIsRealFsync) {
+  // The seam defaults to the real syscall — tests that never touch the hook
+  // (and production) go through ::fsync.
+  EXPECT_EQ(detail::fsync_hook, &detail::real_fsync);
+  const auto dir = std::filesystem::temp_directory_path() / "lowtw_af_test3";
+  std::filesystem::create_directories(dir);
+  const std::string path = (dir / "artifact.bin").string();
+  atomic_write_file(path, [](std::ostream& os) { os << "durable"; });
+  EXPECT_EQ(read_file(path), "durable");
+  std::filesystem::remove_all(dir);
 }
 
 }  // namespace

@@ -1,0 +1,378 @@
+// The supervised multi-worker serving plane under the expanded fault
+// matrix: worker crash mid-batch (whole and partially-answered), stall past
+// the watchdog, requeue storms, shutdown under load — every drill is
+// seed-driven through FaultInjector and every one asserts the two things
+// the runtime promises: served distances stay bit-equal to Dijkstra at
+// every degradation rung, and the conservation ledger closes exactly
+// (admitted == served + timeouts + failed; submits == admitted + sheds).
+// The multi-worker soak at the bottom is the headline drill CI repeats
+// under TSan and ASan+UBSan.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "core/solver.hpp"
+#include "graph/algorithms.hpp"
+#include "graph/generators.hpp"
+#include "serving/oracle.hpp"
+#include "util/rng.hpp"
+
+namespace lowtw::serving {
+namespace {
+
+using graph::VertexId;
+using graph::Weight;
+using graph::WeightedDigraph;
+using namespace std::chrono_literals;
+
+WeightedDigraph make_instance(int n, std::uint64_t seed) {
+  util::Rng rng(seed);
+  graph::Graph ug = graph::gen::ktree(n, 2, rng);
+  return graph::gen::random_orientation(ug, 0.55, 1, 30, rng);
+}
+
+std::vector<std::vector<Weight>> truth_table(const WeightedDigraph& g) {
+  std::vector<std::vector<Weight>> t;
+  t.reserve(static_cast<std::size_t>(g.num_vertices()));
+  for (VertexId s = 0; s < g.num_vertices(); ++s) {
+    t.push_back(graph::dijkstra(g, s).dist);
+  }
+  return t;
+}
+
+OracleOptions pool_options(FaultInjector* faults, int workers) {
+  OracleOptions o;
+  o.faults = faults;
+  o.pool.workers = workers;
+  o.pool.supervisor_tick = 1ms;
+  o.admission.batch_window = 500us;
+  o.admission.default_deadline = 5000ms;  // drills assert verdicts, not speed
+  return o;
+}
+
+void expect_ledger_closed(const OracleStats& s) {
+  EXPECT_EQ(s.admitted, s.served_batched_index + s.served_flat +
+                            s.served_dijkstra + s.timeouts + s.failed)
+      << "conservation ledger did not close: admitted=" << s.admitted
+      << " served=" << s.served_batched_index + s.served_flat +
+                           s.served_dijkstra
+      << " timeouts=" << s.timeouts << " failed=" << s.failed;
+}
+
+struct WorkerPoolFixture : ::testing::Test {
+  WorkerPoolFixture() : g(make_instance(48, 91)), truth(truth_table(g)) {}
+  WeightedDigraph g;
+  std::vector<std::vector<Weight>> truth;
+};
+
+// --- crash drills ------------------------------------------------------------
+
+TEST_F(WorkerPoolFixture, CrashBeforeServingRecoversWholeBatch) {
+  FaultInjector fi(31);
+  // Probe 0 is the batch-entry probe of the first batch: the worker dies
+  // holding every promise; recovery must requeue all and a respawned (or
+  // sibling) worker must serve them exactly.
+  fi.arm_nth(FaultSite::kWorkerCrash, 0, 1);
+  Oracle oracle(g, pool_options(&fi, 2));
+  oracle.rebuild_snapshot();
+  oracle.start();
+  std::vector<std::future<QueryResponse>> futs;
+  std::vector<std::pair<VertexId, VertexId>> qs;
+  for (int i = 0; i < 8; ++i) {
+    const VertexId u = static_cast<VertexId>(i % g.num_vertices());
+    const VertexId v = static_cast<VertexId>((i * 7 + 3) % g.num_vertices());
+    auto out = oracle.submit(u, v, std::chrono::microseconds(5s));
+    ASSERT_TRUE(out.reply.has_value());
+    qs.emplace_back(u, v);
+    futs.push_back(std::move(*out.reply));
+  }
+  for (std::size_t i = 0; i < futs.size(); ++i) {
+    QueryResponse r = futs[i].get();
+    ASSERT_EQ(r.status, ServeStatus::kOk) << i;
+    EXPECT_EQ(r.distance, truth[qs[i].first][qs[i].second]) << i;
+  }
+  oracle.stop();
+  const OracleStats s = oracle.stats();
+  EXPECT_EQ(s.pool.crashes, 1u);
+  EXPECT_GE(s.pool.recovered_batches, 1u);
+  EXPECT_GE(s.requeued, 1u);
+  EXPECT_EQ(s.failed, 0u);  // one crash is within every request's budget
+  expect_ledger_closed(s);
+}
+
+TEST_F(WorkerPoolFixture, CrashMidFulfillmentNeverDoubleServes) {
+  FaultInjector fi(37);
+  // Probe 0 (batch entry) passes; probe 1 fires between the first and
+  // second promise fulfillments: request 0 is already answered and counted,
+  // the rest must be requeued — and request 0 must NOT be served again
+  // (a second set_value on its promise would throw future_error and kill
+  // the worker for real).
+  fi.arm_nth(FaultSite::kWorkerCrash, 1, 1);
+  auto opts = pool_options(&fi, 1);
+  opts.admission.batch_window = std::chrono::microseconds(20ms);
+  opts.admission.max_batch = 6;
+  Oracle oracle(g, opts);
+  oracle.rebuild_snapshot();
+  oracle.start();
+  std::vector<std::future<QueryResponse>> futs;
+  std::vector<std::pair<VertexId, VertexId>> qs;
+  for (int i = 0; i < 6; ++i) {
+    const VertexId u = static_cast<VertexId>((i * 5) % g.num_vertices());
+    const VertexId v = static_cast<VertexId>((i * 11 + 1) % g.num_vertices());
+    auto out = oracle.submit(u, v, std::chrono::microseconds(5s));
+    ASSERT_TRUE(out.reply.has_value());
+    qs.emplace_back(u, v);
+    futs.push_back(std::move(*out.reply));
+  }
+  for (std::size_t i = 0; i < futs.size(); ++i) {
+    QueryResponse r = futs[i].get();
+    ASSERT_EQ(r.status, ServeStatus::kOk) << i;
+    EXPECT_EQ(r.distance, truth[qs[i].first][qs[i].second]) << i;
+  }
+  oracle.stop();
+  const OracleStats s = oracle.stats();
+  EXPECT_EQ(s.pool.crashes, 1u);
+  EXPECT_GE(s.pool.recovered_batches, 1u);
+  // The partial batch: one request was fulfilled pre-crash, so strictly
+  // fewer than all six were requeued.
+  EXPECT_GE(s.requeued, 1u);
+  EXPECT_LT(s.requeued, 6u);
+  expect_ledger_closed(s);
+}
+
+TEST_F(WorkerPoolFixture, RequeueStormTerminatesInTypedFailures) {
+  FaultInjector fi(41);
+  // Every batch-entry probe fires: first serve crashes, the requeue's serve
+  // crashes again — the one-requeue budget is spent and every request must
+  // resolve kFailed. The drill proves a crash storm terminates instead of
+  // cycling requeues forever, and that respawn backoff keeps the supervisor
+  // making progress.
+  fi.arm_probability(FaultSite::kWorkerCrash, 1.0);
+  auto opts = pool_options(&fi, 2);
+  opts.pool.respawn_backoff_base = 1ms;
+  opts.pool.respawn_backoff_cap = 4ms;
+  Oracle oracle(g, opts);
+  oracle.rebuild_snapshot();
+  oracle.start();
+  std::vector<std::future<QueryResponse>> futs;
+  for (int i = 0; i < 12; ++i) {
+    auto out = oracle.submit(0, 1, std::chrono::microseconds(5s));
+    ASSERT_TRUE(out.reply.has_value());
+    futs.push_back(std::move(*out.reply));
+  }
+  for (auto& f : futs) {
+    EXPECT_EQ(f.get().status, ServeStatus::kFailed);
+  }
+  const OracleStats mid = oracle.stats();
+  EXPECT_EQ(mid.failed, 12u);
+  EXPECT_GE(mid.pool.crashes, 2u);
+  expect_ledger_closed(mid);
+  // Disarm: a respawned worker serves normally again — the storm did not
+  // wedge the pool. (This query is what forces a respawn to have happened;
+  // the failure verdicts above resolve before the backoff gate opens, so
+  // respawns are asserted on the final stats, not mid-storm.)
+  fi.disarm(FaultSite::kWorkerCrash);
+  QueryResponse after = oracle.query(2, 3);
+  EXPECT_EQ(after.status, ServeStatus::kOk);
+  EXPECT_EQ(after.distance, truth[2][3]);
+  oracle.stop();
+  const OracleStats fin = oracle.stats();
+  EXPECT_GE(fin.pool.respawns, 1u);
+  expect_ledger_closed(fin);
+}
+
+// --- stall drills ------------------------------------------------------------
+
+TEST_F(WorkerPoolFixture, StallPastWatchdogIsReapedAndBatchRecovered) {
+  FaultInjector fi(43);
+  // The stall (300ms) dwarfs the watchdog (30ms): the supervisor must flag
+  // the worker, the stall site must acknowledge at a poll point, and the
+  // recovered batch must be served — well before the 300ms stall would
+  // have ended, and exactly.
+  fi.set_stall_duration(300ms);
+  fi.arm_nth(FaultSite::kWorkerStall, 0, 1);
+  auto opts = pool_options(&fi, 2);
+  opts.pool.watchdog_timeout = 30ms;
+  Oracle oracle(g, opts);
+  oracle.rebuild_snapshot();
+  oracle.start();
+  const auto t0 = std::chrono::steady_clock::now();
+  QueryResponse r = oracle.query(3, 17);
+  const auto elapsed = std::chrono::steady_clock::now() - t0;
+  EXPECT_EQ(r.status, ServeStatus::kOk);
+  EXPECT_EQ(r.distance, truth[3][17]);
+  EXPECT_LT(elapsed, 250ms) << "reap should beat the stall duration";
+  oracle.stop();
+  const OracleStats s = oracle.stats();
+  EXPECT_GE(s.pool.stall_flags, 1u);
+  EXPECT_GE(s.pool.recovered_batches, 1u);
+  expect_ledger_closed(s);
+}
+
+TEST_F(WorkerPoolFixture, SlowBatchBelowWatchdogFinishesUnmolested) {
+  FaultInjector fi(47);
+  // The inverse drill: a stall well inside the watchdog budget must NOT be
+  // reaped — the flag stays down and the batch completes on the first try.
+  fi.set_stall_duration(10ms);
+  fi.arm_nth(FaultSite::kWorkerStall, 0, 1);
+  auto opts = pool_options(&fi, 1);
+  opts.pool.watchdog_timeout = 500ms;
+  Oracle oracle(g, opts);
+  oracle.rebuild_snapshot();
+  oracle.start();
+  QueryResponse r = oracle.query(5, 9);
+  EXPECT_EQ(r.status, ServeStatus::kOk);
+  EXPECT_EQ(r.distance, truth[5][9]);
+  oracle.stop();
+  const OracleStats s = oracle.stats();
+  EXPECT_EQ(s.pool.stall_flags, 0u);
+  EXPECT_EQ(s.pool.crashes, 0u);
+  EXPECT_EQ(s.requeued, 0u);
+  expect_ledger_closed(s);
+}
+
+// --- shutdown drills ---------------------------------------------------------
+
+TEST_F(WorkerPoolFixture, DrainShutdownWithCrashesAnswersEverything) {
+  FaultInjector fi(53);
+  fi.arm_probability(FaultSite::kWorkerCrash, 0.25);
+  Oracle oracle(g, pool_options(&fi, 3));
+  oracle.rebuild_snapshot();
+  oracle.start();
+  std::vector<std::future<QueryResponse>> futs;
+  std::vector<std::pair<VertexId, VertexId>> qs;
+  util::Rng rng(54);
+  for (int i = 0; i < 100; ++i) {
+    const auto u = static_cast<VertexId>(rng.next_below(g.num_vertices()));
+    const auto v = static_cast<VertexId>(rng.next_below(g.num_vertices()));
+    auto out = oracle.submit(u, v, std::chrono::microseconds(10s));
+    if (out.reply.has_value()) {
+      qs.emplace_back(u, v);
+      futs.push_back(std::move(*out.reply));
+    }
+  }
+  // Drain-stop while workers are crashing mid-drain: the supervisor must
+  // keep recovering and respawning until the queue is truly empty, then
+  // sweep — every admitted future must resolve, none may hang.
+  oracle.stop(/*drain=*/true);
+  std::uint64_t served = 0;
+  for (std::size_t i = 0; i < futs.size(); ++i) {
+    QueryResponse r = futs[i].get();  // a hang here is the bug
+    if (r.status == ServeStatus::kOk) {
+      ++served;
+      EXPECT_EQ(r.distance, truth[qs[i].first][qs[i].second]) << i;
+    } else {
+      EXPECT_EQ(r.status, ServeStatus::kFailed) << i;
+    }
+  }
+  EXPECT_GT(served, 0u);
+  const OracleStats s = oracle.stats();
+  expect_ledger_closed(s);
+  EXPECT_EQ(s.admitted, static_cast<std::uint64_t>(futs.size()));
+}
+
+TEST_F(WorkerPoolFixture, StopStartCyclesKeepServingAndCounting) {
+  Oracle oracle(g, pool_options(nullptr, 2));
+  oracle.rebuild_snapshot();
+  for (int cycle = 0; cycle < 3; ++cycle) {
+    oracle.start();
+    QueryResponse r = oracle.query(1, 2);
+    ASSERT_EQ(r.status, ServeStatus::kOk) << "cycle " << cycle;
+    EXPECT_EQ(r.distance, truth[1][2]);
+    oracle.stop(/*drain=*/true);
+    EXPECT_EQ(oracle.query(1, 2).status, ServeStatus::kShutdown);
+  }
+  const OracleStats s = oracle.stats();
+  EXPECT_EQ(s.served_batched_index, 3u);  // counters accumulate across cycles
+  expect_ledger_closed(s);
+}
+
+// --- the multi-worker soak (headline drill; CI repeats it under TSan) --------
+
+TEST_F(WorkerPoolFixture, MultiWorkerSoakEveryFaultEveryRungBitExact) {
+  FaultInjector fi(0xd911);
+  fi.set_stall_duration(40ms);
+  fi.arm_probability(FaultSite::kWorkerCrash, 0.04);
+  fi.arm_probability(FaultSite::kWorkerStall, 0.02);
+  fi.arm_probability(FaultSite::kMidSwapRead, 0.10);
+  fi.arm_probability(FaultSite::kQueueOverflow, 0.02);
+  fi.arm_probability(FaultSite::kEngineAllocFailure, 0.3);
+  auto opts = pool_options(&fi, 4);
+  opts.pool.watchdog_timeout = 15ms;
+  opts.admission.batch_window = 300us;
+  Oracle oracle(g, opts);
+  oracle.rebuild_snapshot();
+  oracle.start();
+
+  constexpr int kClients = 4;
+  constexpr int kQueriesPerClient = 120;
+  std::atomic<std::uint64_t> wrong{0};
+  std::atomic<std::uint64_t> submits{0};
+  std::atomic<std::uint64_t> level_seen[3] = {{0}, {0}, {0}};
+  std::vector<std::thread> clients;
+  clients.reserve(kClients);
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      util::Rng rng(7000 + static_cast<std::uint64_t>(c));
+      for (int i = 0; i < kQueriesPerClient; ++i) {
+        const auto u =
+            static_cast<VertexId>(rng.next_below(g.num_vertices()));
+        const auto v =
+            static_cast<VertexId>(rng.next_below(g.num_vertices()));
+        submits.fetch_add(1);
+        QueryResponse r = oracle.query(u, v);
+        if (r.status == ServeStatus::kOk) {
+          // The soak's core claim: whatever rung served it — batched index,
+          // flat decode, or raw Dijkstra — the distance is the distance.
+          if (r.distance != truth[u][v]) wrong.fetch_add(1);
+          level_seen[static_cast<int>(r.level)].fetch_add(1);
+        }
+      }
+    });
+  }
+  // Snapshot churn racing the serving plane; ~30% install index-less
+  // (armed kEngineAllocFailure), pushing batches onto the flat rung.
+  const labeling::FlatLabeling flat = [&] {
+    Solver solver(g);
+    return solver.distance_labeling().flat;
+  }();
+  for (int swaps = 0; swaps < 15; ++swaps) {
+    oracle.install_snapshot(flat);
+    std::this_thread::sleep_for(2ms);
+  }
+  for (auto& t : clients) t.join();
+  // Deterministic flat-rung coverage: the probabilistic alloc-failure and
+  // mid-swap faults *usually* push some batch onto the flat rung during
+  // the storm above, but nothing guarantees a client lands on an
+  // index-less generation. Force it: quiesce the other sites, make the
+  // next index build fail for certain, and serve one query — it must come
+  // back ok, bit-exact, at level 1.
+  fi.disarm_all();
+  fi.arm_probability(FaultSite::kEngineAllocFailure, 1.0);
+  oracle.install_snapshot(flat);
+  submits.fetch_add(1);  // query() rides the same admission ledger
+  const QueryResponse forced = oracle.query(3, 9);
+  ASSERT_EQ(forced.status, ServeStatus::kOk);
+  EXPECT_EQ(forced.distance, truth[3][9]);
+  EXPECT_EQ(forced.level, ServeLevel::kFlatDecode);
+  level_seen[static_cast<int>(forced.level)].fetch_add(1);
+  oracle.stop(/*drain=*/true);
+
+  EXPECT_EQ(wrong.load(), 0u) << "a served distance diverged from Dijkstra";
+  const OracleStats s = oracle.stats();
+  expect_ledger_closed(s);
+  // The outer ledger: every submit was admitted or shed.
+  EXPECT_EQ(submits.load(), s.admitted + s.sheds);
+  // The faults actually happened (seed-deterministic fire set).
+  EXPECT_GT(s.pool.crashes, 0u);
+  EXPECT_GT(s.pool.respawns, 0u);
+  EXPECT_GT(s.pool.recovered_batches, 0u);
+  EXPECT_GT(level_seen[0].load(), 0u);  // batched-index rung exercised
+  EXPECT_GT(level_seen[1].load(), 0u);  // flat rung exercised
+}
+
+}  // namespace
+}  // namespace lowtw::serving

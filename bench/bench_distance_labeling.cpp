@@ -16,6 +16,8 @@
 #include "core/solver.hpp"
 #include "labeling/distance_labeling.hpp"
 #include "labeling/inverted_index.hpp"
+#include "labeling/label_filter.hpp"
+#include "td/partition.hpp"
 
 namespace lowtw::bench {
 namespace {
@@ -302,6 +304,144 @@ void BM_SsspBatch(benchmark::State& state) {
   state.counters["speedup_vs_flat"] = flat_s / batch_s;
 }
 BENCHMARK(BM_SsspBatch)->RangeMultiplier(2)->Range(2048, 8192)
+    ->Iterations(1)->Unit(benchmark::kMillisecond);
+
+// Gated arm (label pruning PR): the goal-directed filter's one-vs-all
+// against the unfiltered inverted kernel on banded / grid (road-like)
+// families, where the TD partition localizes entry winners hardest. Both
+// paths run through QueryEngine so the reported entries_touched are the
+// engine's own exact fold counts; `touch_ratio` (unfiltered / filtered
+// entries per query) is the acceptance metric (≥2 on these families), and
+// `speedup_vs_unfiltered` the measured wall-clock companion. Rows are
+// checked equal before any number is reported; `rounds` is the
+// deterministic TD+DL construction charge (the filter itself charges
+// nothing) and feeds the drift gate.
+void BM_LabelPruning(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const bool grid_family = state.range(1) != 0;
+  // Road-like strips: an 8-wide grid keeps the treewidth (and hence the
+  // label build) bounded while staying long-and-thin like a road network.
+  graph::Graph ug =
+      grid_family ? graph::gen::grid(n / 8, 8) : graph::gen::banded(n, 4);
+  util::Rng wrng(5 * n + (grid_family ? 1 : 0));
+  auto g = graph::gen::random_orientation(ug, 0.6, 1, 30, wrng);
+  auto skel = g.skeleton();
+  const int diameter = graph::double_sweep_diameter(skel);
+
+  primitives::RoundLedger ledger;
+  primitives::Engine engine(
+      primitives::EngineMode::kShortcutModel,
+      primitives::CostModel{skel.num_vertices(), diameter, 1.0}, &ledger);
+  util::Rng rng(103);
+  auto td = td::build_hierarchy(skel, td::TdParams{}, rng, engine);
+  auto dl = labeling::build_distance_labeling(g, skel, td.hierarchy, engine);
+
+  constexpr int kParts = 32;
+  labeling::InvertedHubIndex index(dl.flat);
+  labeling::LabelFilter filter = labeling::LabelFilter::build(
+      dl.flat, index,
+      td::partition_from_hierarchy(td.hierarchy, skel.num_vertices(), kParts),
+      kParts);
+
+  constexpr int kSources = 32;
+  std::vector<graph::VertexId> sources;
+  util::Rng srng(7 * n + 3);
+  for (int i = 0; i < kSources; ++i) {
+    sources.push_back(static_cast<graph::VertexId>(srng.next_below(n)));
+  }
+  std::vector<graph::Weight> dist(static_cast<std::size_t>(n));
+  std::vector<graph::Weight> dist_to(static_cast<std::size_t>(n));
+
+  labeling::QueryEngine plain(dl.flat);
+  plain.bind(dl.flat, index);
+  labeling::QueryEngine pruned(dl.flat);
+  pruned.bind(dl.flat, index);
+  pruned.set_filter(&filter);
+
+  auto engine_pass = [&](labeling::QueryEngine& e) {
+    std::uint64_t acc = 0;
+    for (graph::VertexId s : sources) {
+      if (e.try_one_vs_all(s, dist, dist_to) !=
+          labeling::QueryStatus::kOk) {
+        return std::uint64_t{0};
+      }
+      acc += static_cast<std::uint64_t>(dist[static_cast<std::size_t>(s) / 2] &
+                                        0xffff);
+    }
+    return acc;
+  };
+
+  std::uint64_t check_filtered = 0;
+  for (auto _ : state) {
+    check_filtered = engine_pass(pruned);
+    benchmark::DoNotOptimize(check_filtered);
+  }
+
+  // Full-row equality on every source before reporting anything.
+  std::vector<graph::Weight> fdist(static_cast<std::size_t>(n));
+  std::vector<graph::Weight> fdist_to(static_cast<std::size_t>(n));
+  for (graph::VertexId s : sources) {
+    index.one_vs_all(s, dist, dist_to);
+    filter.one_vs_all(s, fdist, fdist_to);
+    if (dist != fdist || dist_to != fdist_to) {
+      state.SkipWithError("filtered/unfiltered one-vs-all disagreement");
+      return;
+    }
+  }
+
+  // The counter story: one clean pass per engine, exact fold counts.
+  plain.reset_stats();
+  pruned.reset_stats();
+  std::uint64_t check_plain = engine_pass(plain);
+  check_filtered = engine_pass(pruned);
+  if (check_plain != check_filtered) {
+    state.SkipWithError("filtered/unfiltered checksum disagreement");
+    return;
+  }
+  const auto sp = plain.stats();
+  const auto sf = pruned.stats();
+
+  using Clock = std::chrono::steady_clock;
+  constexpr int kWindows = 3;
+  constexpr int kRepsPerWindow = 5;
+  double plain_s = std::numeric_limits<double>::infinity();
+  double filtered_s = std::numeric_limits<double>::infinity();
+  for (int w = 0; w < kWindows; ++w) {
+    auto t0 = Clock::now();
+    for (int r = 0; r < kRepsPerWindow; ++r) {
+      check_plain = engine_pass(plain);
+      benchmark::DoNotOptimize(check_plain);
+    }
+    auto t1 = Clock::now();
+    for (int r = 0; r < kRepsPerWindow; ++r) {
+      check_filtered = engine_pass(pruned);
+      benchmark::DoNotOptimize(check_filtered);
+    }
+    auto t2 = Clock::now();
+    plain_s = std::min(plain_s,
+                       std::chrono::duration<double>(t1 - t0).count());
+    filtered_s = std::min(filtered_s,
+                          std::chrono::duration<double>(t2 - t1).count());
+  }
+
+  state.counters["n"] = n;
+  state.counters["rounds"] = ledger.total();
+  state.counters["parts"] = kParts;
+  state.counters["sources"] = kSources;
+  state.counters["entries_total"] = static_cast<double>(dl.flat.num_entries());
+  state.counters["entries_per_query_unfiltered"] =
+      static_cast<double>(sp.entries_touched) / kSources;
+  state.counters["entries_per_query_filtered"] =
+      static_cast<double>(sf.entries_touched) / kSources;
+  state.counters["touch_ratio"] =
+      static_cast<double>(sp.entries_touched) /
+      static_cast<double>(std::max<std::uint64_t>(1, sf.entries_touched));
+  state.counters["runs_skipped_per_query"] =
+      static_cast<double>(sf.postings_runs_skipped) / kSources;
+  state.counters["speedup_vs_unfiltered"] = plain_s / filtered_s;
+}
+BENCHMARK(BM_LabelPruning)
+    ->ArgsProduct({{2048, 4096, 8192}, {0, 1}})
     ->Iterations(1)->Unit(benchmark::kMillisecond);
 
 }  // namespace

@@ -5,9 +5,11 @@
 # the worker count per record), the label-decode hot path (bench_girth's
 # BM_GirthDecodeKernel), the upper-stack deterministic parallel arms
 # (BM_GirthParallel, BM_MatchingParallel; threads 1/2/4/8), and the batched
-# query plane (bench_distance_labeling's BM_OneVsAllInverted and
-# BM_SsspBatch, whose speedup_vs_flat counters track the inverted-index
-# one-vs-all against the flat full-sweep decode), plus the serving runtime's
+# query plane (bench_distance_labeling's BM_OneVsAllInverted, BM_SsspBatch —
+# whose speedup_vs_flat counters track the inverted-index one-vs-all against
+# the flat full-sweep decode — and BM_LabelPruning, whose touch_ratio counter
+# records the goal-directed filter's entries-touched win), plus the serving
+# runtime's
 # open-loop arm (bench_serving's BM_ServeThroughput: p50/p99 client latency,
 # batch fill, the batching win vs one-at-a-time query(), and the worker-count
 # scaling axis 1/2/4/8 of the supervised pool — wall-time counters only,
@@ -38,6 +40,22 @@ cmake --build "$BUILD_DIR" --target bench_separation bench_tree_decomposition \
       bench_girth bench_matching bench_distance_labeling bench_serving \
       -j"$(nproc)"
 
+# A missing or non-executable bench binary must fail the run loudly (exit
+# non-zero with the binary named), not die mid-pipeline with a cryptic shell
+# error — a silently shorter BENCH_separator.json would defeat the drift gate.
+missing=0
+for bin in bench_separation bench_tree_decomposition bench_girth \
+           bench_matching bench_distance_labeling bench_serving; do
+  if [ ! -x "$BUILD_DIR/$bin" ]; then
+    echo "error: bench binary '$BUILD_DIR/$bin' is missing or not executable" >&2
+    missing=1
+  fi
+done
+if [ "$missing" -ne 0 ]; then
+  echo "error: aborting before any benchmark runs; no output written to $OUT" >&2
+  exit 1
+fi
+
 tmp_sep=$(mktemp)
 tmp_td=$(mktemp)
 tmp_girth=$(mktemp)
@@ -58,11 +76,12 @@ trap 'rm -f "$tmp_sep" "$tmp_td" "$tmp_girth" "$tmp_matching" "$tmp_dl" "$tmp_se
 # Matching: only the deterministic task-parallel arm is gated.
 "$BUILD_DIR"/bench_matching --benchmark_filter=BM_MatchingParallel \
     --benchmark_format=json >"$tmp_matching"
-# Query plane: the inverted-index one-vs-all kernel arm and the facade-level
-# batched SSSP arm (rounds deterministic and gated; speedup_vs_flat is
-# wall-time information).
+# Query plane: the inverted-index one-vs-all kernel arm, the facade-level
+# batched SSSP arm, and the goal-directed pruning arm (rounds deterministic
+# and gated; speedup_vs_flat / speedup_vs_unfiltered are wall-time
+# information, touch_ratio is the exact entries-touched pruning win).
 "$BUILD_DIR"/bench_distance_labeling \
-    '--benchmark_filter=BM_OneVsAllInverted|BM_SsspBatch' \
+    '--benchmark_filter=BM_OneVsAllInverted|BM_SsspBatch|BM_LabelPruning' \
     --benchmark_format=json >"$tmp_dl"
 # Serving runtime: the open-loop throughput arm (p50/p99 client latency,
 # batching win vs one-at-a-time query(), worker-count axis 1/2/4/8).

@@ -3,6 +3,7 @@
 #include <sstream>
 
 #include "graph/algorithms.hpp"
+#include "td/partition.hpp"
 #include "util/check.hpp"
 
 namespace lowtw {
@@ -79,6 +80,22 @@ const labeling::DlResult& Solver::distance_labeling() {
 labeling::QueryEngine& Solver::query_engine() {
   if (!queries_.has_value()) {
     queries_.emplace(distance_labeling().flat, pool());
+    if (options_.filter.enabled) {
+      // The TD hierarchy is already built (the labeling needs it); its
+      // frontier expansion is the free partition the filter flags against.
+      const int n = skeleton_.num_vertices();
+      const int parts = std::max(
+          1, std::min(options_.filter.num_parts > 0 ? options_.filter.num_parts
+                                                    : 16,
+                      n));
+      auto part_of = td::partition_from_hierarchy(
+          tree_decomposition().hierarchy, n, parts);
+      filter_ = labeling::LabelFilter::build(distance_labeling().flat,
+                                             queries_->index(),
+                                             std::move(part_of), parts,
+                                             pool());
+      queries_->set_filter(&*filter_);
+    }
   }
   return *queries_;
 }

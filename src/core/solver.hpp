@@ -34,6 +34,14 @@ struct SolverOptions {
   /// Skips the O(n·m) exact diameter computation when the caller knows D.
   std::optional<int> known_diameter;
   girth::UndirectedGirthParams girth;
+  /// Goal-directed label pruning (labeling::LabelFilter): when enabled, the
+  /// first query_engine() call derives a vertex partition from the TD
+  /// hierarchy, builds the arc-flag/bound filter over the frozen labels
+  /// (TaskPool-parallel, deterministic at any thread count), and attaches
+  /// it — every subsequent sssp / sssp_batch / pairwise decode prunes,
+  /// bit-identical to unfiltered. Rounds are unaffected (decode is free in
+  /// the ledger model).
+  labeling::FilterParams filter;
   /// Execution width for the whole stack. 1 (default) = the legacy
   /// sequential arms; any other value (0 = hardware concurrency) runs the
   /// deterministic per-node-stream TD build, the level-parallel labeling
@@ -116,6 +124,9 @@ class Solver {
   std::optional<td::TdBuildResult> td_;
   std::optional<labeling::DlResult> dl_;
   std::optional<labeling::QueryEngine> queries_;
+  /// Built with queries_ when options_.filter.enabled; owns the filter the
+  /// engine points at (the engine holds a non-owning pointer).
+  std::optional<labeling::LabelFilter> filter_;
 };
 
 }  // namespace lowtw

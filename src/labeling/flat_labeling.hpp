@@ -59,6 +59,10 @@ class FlatLabeling {
   std::size_t entries(graph::VertexId v) const {
     return offsets_[v + 1] - offsets_[v];
   }
+  /// Global position of v's span in the packed entry arrays: sidecars
+  /// aligned with them (the label filter's per-entry flags and bounds)
+  /// address entry i of v as offset(v) + i.
+  std::size_t offset(graph::VertexId v) const { return offsets_[v]; }
   std::size_t max_entries() const;
 
   /// Sorted hub ids of v (paired index-wise with to_hub(v) / from_hub(v)).

@@ -1,0 +1,375 @@
+#include "labeling/label_filter.hpp"
+
+#include <algorithm>
+
+#include "exec/worker_local.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace lowtw::labeling {
+
+using graph::kInfinity;
+using graph::VertexId;
+using graph::Weight;
+
+namespace {
+
+/// Scalar postings relax over one (hub, part) segment — the same fold as
+/// the inverted index's kernel (min is order-invariant, so segment order
+/// preserves bit-exactness against the whole-run relax).
+void relax_segment(const VertexId* pv, const Weight* w, std::size_t m,
+                   Weight leg, Weight* out) {
+  for (std::size_t j = 0; j < m; ++j) {
+    const Weight cand = leg + w[j];
+    if (cand < out[pv[j]]) out[pv[j]] = cand;
+  }
+}
+
+/// Per-worker row scratch for the TaskPool-parallel filter build.
+struct RowScratch {
+  std::vector<Weight> dist;
+  std::vector<Weight> dist_to;
+};
+
+}  // namespace
+
+LabelFilter LabelFilter::build(const FlatLabeling& labels,
+                               const InvertedHubIndex& index,
+                               std::vector<std::int32_t> part_of,
+                               int num_parts, exec::TaskPool* pool) {
+  LOWTW_CHECK_MSG(index.matches(labels),
+                  "label filter: index is stale for the store");
+  LOWTW_CHECK_MSG(num_parts >= 1, "label filter: num_parts must be positive");
+  const int n = labels.num_vertices();
+  LOWTW_CHECK_MSG(part_of.size() == static_cast<std::size_t>(n),
+                  "label filter: partition size " << part_of.size()
+                                                  << " != n " << n);
+  for (const std::int32_t p : part_of) {
+    LOWTW_CHECK_MSG(p >= 0 && p < num_parts,
+                    "label filter: part " << p << " out of range");
+  }
+
+  LabelFilter f;
+  f.num_parts_ = num_parts;
+  f.words_per_entry_ =
+      (static_cast<std::size_t>(num_parts) + 63) / 64;
+  f.part_of_ = std::move(part_of);
+  const std::size_t total = labels.num_entries();
+  f.fwd_flags_.assign(total * f.words_per_entry_, 0);
+  f.bwd_flags_.assign(total * f.words_per_entry_, 0);
+  // -1 = the entry never wins: every (non-negative) leg exceeds it, so the
+  // bound check alone retires direction-dead entries.
+  f.fwd_bound_.assign(total, -1);
+  f.bwd_bound_.assign(total, -1);
+
+  // One exact one-vs-all row per source gives the winner set of every entry
+  // of that source: entry (u, h) wins target v iff its candidate equals the
+  // decoded distance (ties included, so some winner always stays flagged).
+  // Each task writes only its own source's entry slots — disjoint writes,
+  // bit-identical at any worker count.
+  const std::size_t wpe = f.words_per_entry_;
+  auto flag_source = [&](VertexId u, RowScratch& rows) {
+    rows.dist.resize(static_cast<std::size_t>(n));
+    rows.dist_to.resize(static_cast<std::size_t>(n));
+    index.one_vs_all(u, rows.dist, rows.dist_to);
+    auto hubs = labels.hubs(u);
+    auto to = labels.to_hub(u);
+    auto from = labels.from_hub(u);
+    const std::size_t entry_base = labels.offset(u);
+    for (std::size_t i = 0; i < hubs.size(); ++i) {
+      const VertexId h = hubs[i];
+      auto pv = index.vertices(h);
+      auto pto = index.to_hub(h);
+      auto pfrom = index.from_hub(h);
+      const std::size_t e = entry_base + i;
+      std::uint64_t* fw = f.fwd_flags_.data() + e * wpe;
+      std::uint64_t* bw = f.bwd_flags_.data() + e * wpe;
+      if (to[i] < kInfinity) {
+        for (std::size_t j = 0; j < pv.size(); ++j) {
+          const Weight d = rows.dist[pv[j]];
+          if (d < kInfinity && to[i] + pfrom[j] == d) {
+            const std::int32_t p = f.part_of_[pv[j]];
+            fw[p >> 6] |= std::uint64_t{1} << (p & 63);
+            if (pfrom[j] > f.fwd_bound_[e]) f.fwd_bound_[e] = pfrom[j];
+          }
+        }
+      }
+      if (from[i] < kInfinity) {
+        for (std::size_t j = 0; j < pv.size(); ++j) {
+          const Weight d = rows.dist_to[pv[j]];
+          if (d < kInfinity && from[i] + pto[j] == d) {
+            const std::int32_t p = f.part_of_[pv[j]];
+            bw[p >> 6] |= std::uint64_t{1} << (p & 63);
+            if (pto[j] > f.bwd_bound_[e]) f.bwd_bound_[e] = pto[j];
+          }
+        }
+      }
+    }
+  };
+  if (pool != nullptr && n > 1) {
+    exec::WorkerLocal<RowScratch> rows(*pool);
+    pool->run(n, [&](int u, int worker) {
+      flag_source(static_cast<VertexId>(u), rows[worker]);
+    });
+  } else {
+    RowScratch rows;
+    for (VertexId u = 0; u < n; ++u) flag_source(u, rows);
+  }
+
+  f.derive_part_major(index);
+  f.source_ = &labels;
+  f.source_generation_ = labels.generation();
+  return f;
+}
+
+void LabelFilter::derive_part_major(const InvertedHubIndex& index) {
+  const auto hub_bound = static_cast<std::size_t>(index.hub_bound());
+  const auto parts = static_cast<std::size_t>(num_parts_);
+  // Counting-sort each postings run into part segments; scanning runs in
+  // posting order keeps every segment vertex-ascending.
+  seg_offsets_.assign(hub_bound * parts + 1, 0);
+  for (std::size_t h = 0; h < hub_bound; ++h) {
+    for (const VertexId v : index.vertices(static_cast<VertexId>(h))) {
+      ++seg_offsets_[h * parts + static_cast<std::size_t>(part_of_[v]) + 1];
+    }
+  }
+  for (std::size_t s = 0; s + 1 < seg_offsets_.size(); ++s) {
+    seg_offsets_[s + 1] += seg_offsets_[s];
+  }
+  const std::size_t total = index.num_postings();
+  LOWTW_CHECK(seg_offsets_.back() == total);
+  seg_vertices_.resize(total);
+  seg_to_hub_.resize(total);
+  seg_from_hub_.resize(total);
+  std::vector<std::size_t> cursor(seg_offsets_.begin(),
+                                  seg_offsets_.end() - 1);
+  for (std::size_t h = 0; h < hub_bound; ++h) {
+    auto pv = index.vertices(static_cast<VertexId>(h));
+    auto pto = index.to_hub(static_cast<VertexId>(h));
+    auto pfrom = index.from_hub(static_cast<VertexId>(h));
+    for (std::size_t j = 0; j < pv.size(); ++j) {
+      const std::size_t pos =
+          cursor[h * parts + static_cast<std::size_t>(part_of_[pv[j]])]++;
+      seg_vertices_[pos] = pv[j];
+      seg_to_hub_[pos] = pto[j];
+      seg_from_hub_[pos] = pfrom[j];
+    }
+  }
+}
+
+LabelFilter LabelFilter::from_sidecar(const FlatLabeling& labels,
+                                      const InvertedHubIndex& index,
+                                      FilterSidecar sidecar) {
+  LOWTW_CHECK_MSG(index.matches(labels),
+                  "label filter: index is stale for the store");
+  LOWTW_CHECK_MSG(sidecar.num_parts >= 1,
+                  "label filter sidecar: bad part count "
+                      << sidecar.num_parts);
+  const auto n = static_cast<std::size_t>(labels.num_vertices());
+  const std::size_t total = labels.num_entries();
+  const std::size_t wpe =
+      (static_cast<std::size_t>(sidecar.num_parts) + 63) / 64;
+  LOWTW_CHECK_MSG(sidecar.part_of.size() == n,
+                  "label filter sidecar: partition size disagrees with store");
+  LOWTW_CHECK_MSG(sidecar.fwd_flags.size() == total * wpe &&
+                      sidecar.bwd_flags.size() == total * wpe,
+                  "label filter sidecar: flag section size disagrees");
+  LOWTW_CHECK_MSG(sidecar.fwd_bound.size() == total &&
+                      sidecar.bwd_bound.size() == total,
+                  "label filter sidecar: bound section size disagrees");
+  for (const std::int32_t p : sidecar.part_of) {
+    LOWTW_CHECK_MSG(p >= 0 && p < sidecar.num_parts,
+                    "label filter sidecar: part " << p << " out of range");
+  }
+  LabelFilter f;
+  f.num_parts_ = sidecar.num_parts;
+  f.words_per_entry_ = wpe;
+  f.part_of_ = std::move(sidecar.part_of);
+  f.fwd_flags_ = std::move(sidecar.fwd_flags);
+  f.bwd_flags_ = std::move(sidecar.bwd_flags);
+  f.fwd_bound_ = std::move(sidecar.fwd_bound);
+  f.bwd_bound_ = std::move(sidecar.bwd_bound);
+  f.derive_part_major(index);
+  f.source_ = &labels;
+  f.source_generation_ = labels.generation();
+  return f;
+}
+
+FilterSidecar LabelFilter::to_sidecar() const {
+  FilterSidecar out;
+  out.num_parts = num_parts_;
+  out.part_of = part_of_;
+  out.fwd_flags = fwd_flags_;
+  out.bwd_flags = bwd_flags_;
+  out.fwd_bound = fwd_bound_;
+  out.bwd_bound = bwd_bound_;
+  return out;
+}
+
+Weight LabelFilter::decode(VertexId u, VertexId v,
+                           PruneCounters* counters) const {
+  auto hu = source_->hubs(u);
+  auto hv = source_->hubs(v);
+  auto tu = source_->to_hub(u);
+  auto fv = source_->from_hub(v);
+  const std::size_t bu = source_->offset(u);
+  const std::size_t bv = source_->offset(v);
+  const std::int32_t pu = part_of_[u];
+  const std::int32_t pv = part_of_[v];
+  Weight best = kInfinity;
+  std::uint64_t touched = 0;
+  std::size_t i = 0;
+  std::size_t j = 0;
+  while (i < hu.size() && j < hv.size()) {
+    if (hu[i] < hv[j]) {
+      ++i;
+    } else if (hu[i] > hv[j]) {
+      ++j;
+    } else {
+      // A match survives only if both entries can still win a shortest
+      // u → v path: u's entry must reach v's part (fwd flag), v's entry
+      // must be reachable from u's part (bwd flag), and neither leg may
+      // exceed its entry's recorded winning-leg bound. Every winning match
+      // passes all four (it is its own witness), so the min is preserved
+      // exactly; everything skipped is strictly worse than dec(u, v).
+      const std::size_t eu = bu + i;
+      const std::size_t ev = bv + j;
+      if (fwd_flag(eu, pv) && bwd_flag(ev, pu) && fv[j] <= fwd_bound_[eu] &&
+          tu[i] <= bwd_bound_[ev]) {
+        ++touched;
+        const Weight cand = tu[i] + fv[j];
+        if (cand < best) best = cand;
+      }
+      ++i;
+      ++j;
+    }
+  }
+  if (counters != nullptr) counters->entries_touched += touched;
+  return best;
+}
+
+void LabelFilter::one_vs_all(VertexId source, std::span<Weight> out_dist,
+                             std::span<Weight> out_dist_to,
+                             PruneCounters* counters) const {
+  LOWTW_CHECK_MSG(source_ != nullptr &&
+                      source_generation_ == source_->generation(),
+                  "filtered one_vs_all on a stale or empty filter");
+  const auto n = static_cast<std::size_t>(source_->num_vertices());
+  LOWTW_CHECK(out_dist.size() == n);
+  LOWTW_CHECK(out_dist_to.size() == n);
+  std::fill(out_dist.begin(), out_dist.end(), kInfinity);
+  std::fill(out_dist_to.begin(), out_dist_to.end(), kInfinity);
+
+  auto hubs = source_->hubs(source);
+  auto to = source_->to_hub(source);
+  auto from = source_->from_hub(source);
+  const std::size_t entry_base = source_->offset(source);
+  const auto parts = static_cast<std::size_t>(num_parts_);
+  std::uint64_t touched = 0;
+  std::uint64_t skipped = 0;
+  for (std::size_t i = 0; i < hubs.size(); ++i) {
+    const std::size_t seg_base = static_cast<std::size_t>(hubs[i]) * parts;
+    const std::size_t e = entry_base + i;
+    const std::uint64_t* fw = fwd_flags_.data() + e * words_per_entry_;
+    const std::uint64_t* bw = bwd_flags_.data() + e * words_per_entry_;
+    // Only the flagged (hub, part) segments can hold a winner for this
+    // entry; clear-flag segments are skipped whole. Infinite legs skip the
+    // run like the unfiltered kernel.
+    if (to[i] < kInfinity) {
+      for (std::size_t p = 0; p < parts; ++p) {
+        const std::size_t sb = seg_offsets_[seg_base + p];
+        const std::size_t se = seg_offsets_[seg_base + p + 1];
+        if (sb == se) continue;
+        if (((fw[p >> 6] >> (p & 63)) & 1) == 0) {
+          ++skipped;
+          continue;
+        }
+        relax_segment(seg_vertices_.data() + sb, seg_from_hub_.data() + sb,
+                      se - sb, to[i], out_dist.data());
+        touched += se - sb;
+      }
+    }
+    if (from[i] < kInfinity) {
+      for (std::size_t p = 0; p < parts; ++p) {
+        const std::size_t sb = seg_offsets_[seg_base + p];
+        const std::size_t se = seg_offsets_[seg_base + p + 1];
+        if (sb == se) continue;
+        if (((bw[p >> 6] >> (p & 63)) & 1) == 0) {
+          ++skipped;
+          continue;
+        }
+        relax_segment(seg_vertices_.data() + sb, seg_to_hub_.data() + sb,
+                      se - sb, from[i], out_dist_to.data());
+        touched += se - sb;
+      }
+    }
+  }
+  if (counters != nullptr) {
+    counters->entries_touched += touched;
+    counters->postings_runs_skipped += skipped;
+  }
+}
+
+std::vector<std::int32_t> partition_bfs(const graph::WeightedDigraph& g,
+                                        int num_parts, std::uint64_t seed) {
+  LOWTW_CHECK_MSG(num_parts >= 1, "partition_bfs: num_parts must be positive");
+  const int n = g.num_vertices();
+  std::vector<std::int32_t> part(static_cast<std::size_t>(n), -1);
+  if (n == 0) return part;
+  const util::Rng base(seed);
+  const int roots = std::min(num_parts, n);
+  std::vector<std::vector<VertexId>> frontier(
+      static_cast<std::size_t>(num_parts));
+  std::vector<std::size_t> head(static_cast<std::size_t>(num_parts), 0);
+  for (std::int32_t p = 0; p < roots; ++p) {
+    // Each part draws its root from its own fork stream; collisions probe
+    // linearly to the next unclaimed vertex — a pure function of
+    // (seed, num_parts, n).
+    auto root = static_cast<VertexId>(
+        base.fork(static_cast<std::uint64_t>(p))
+            .next_below(static_cast<std::uint64_t>(n)));
+    while (part[root] != -1) root = (root + 1) % n;
+    part[root] = p;
+    frontier[static_cast<std::size_t>(p)].push_back(root);
+  }
+  // Round-robin wavefronts: each part claims one hop of unclaimed
+  // neighbours per round (undirected view — both arc directions), so parts
+  // grow at matched speed regardless of root placement.
+  bool grew = true;
+  while (grew) {
+    grew = false;
+    for (std::int32_t p = 0; p < num_parts; ++p) {
+      auto& q = frontier[static_cast<std::size_t>(p)];
+      std::size_t& h = head[static_cast<std::size_t>(p)];
+      const std::size_t level_end = q.size();
+      for (; h < level_end; ++h) {
+        const VertexId v = q[h];
+        for (const graph::EdgeId e : g.out_arcs(v)) {
+          const VertexId w = g.arc(e).head;
+          if (part[w] == -1) {
+            part[w] = p;
+            q.push_back(w);
+          }
+        }
+        for (const graph::EdgeId e : g.in_arcs(v)) {
+          const VertexId w = g.arc(e).tail;
+          if (part[w] == -1) {
+            part[w] = p;
+            q.push_back(w);
+          }
+        }
+      }
+      if (q.size() > level_end) grew = true;
+    }
+  }
+  // Disconnected leftovers (none for the connected instances this runs on):
+  // deterministic spread by id.
+  for (std::size_t v = 0; v < part.size(); ++v) {
+    if (part[v] == -1) {
+      part[v] = static_cast<std::int32_t>(v % static_cast<std::size_t>(num_parts));
+    }
+  }
+  return part;
+}
+
+}  // namespace lowtw::labeling

@@ -1,0 +1,177 @@
+// Goal-directed pruning filters over the frozen hub-label store.
+//
+// Hub label size drives every hot query path — pairwise merge decodes,
+// inverted-postings scans, and the batch flood charge (3·Σ|label|). Most of
+// that work is provably wasted: a given (u, hub) entry only ever *wins* the
+// decoder's min-fold for targets in a small region of the graph (the side of
+// the separator the hub guards). `LabelFilter` is the arc-flag/bounding idea
+// of warthog's bbaf_labelling / down_distance_filter transplanted onto hub
+// labels: partition the vertices into parts (the TD hierarchy gives one for
+// free — td/partition.hpp; a deterministic multi-source BFS is the fallback),
+// then record per entry which target parts it can begin a shortest path
+// toward, plus a bound on the winning closing leg.
+//
+// Sidecar layout (SoA, aligned with the frozen store's packed entry arrays;
+// entry i of vertex v lives at global slot labels.offset(v) + i):
+//
+//   fwd_flags  — bitset over parts per entry: bit p of entry (u, h) is set
+//                iff some v with part(v) == p has dec(u, v) == to_u[h] +
+//                from_v[h] < inf (h closes a shortest u → v path). Ties
+//                included, so at least one winning entry stays flagged.
+//   bwd_flags  — the mirror for dec(v, u) through from_u[h] + to_v[h].
+//   fwd_bound  — max from_v[h] over winning targets v of the entry (-1 when
+//                it never wins): at decode time a match whose closing leg
+//                exceeds the bound cannot be a winner and is skipped.
+//   bwd_bound  — the mirror bound on to_v[h].
+//
+// Part-major postings: the filter also re-cuts the inverted index's postings
+// into (hub, part) segments (vertex-ascending within each), so the filtered
+// one-vs-all relaxes only the flagged segments of each run and skips whole
+// parts per hub — that is where the ≥2× entries-touched win on banded /
+// road-like families comes from.
+//
+// Exactness: every skip rule only discards candidates that are strictly
+// worse than dec(u, v) or duplicates of a kept winner, so filtered decode is
+// bit-identical to unfiltered decode — property-tested across every graph
+// family, part counts, engine modes, and the serving fault drills. Pruning
+// charges no CONGEST rounds (decode is free in the ledger model).
+//
+// Construction cost is n unfiltered one-vs-all rows (the exact winner sets),
+// fanned TaskPool-parallel over sources; each source writes only its own
+// entry slots, so the build is bit-identical at any worker count.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "exec/task_pool.hpp"
+#include "graph/digraph.hpp"
+#include "labeling/flat_labeling.hpp"
+#include "labeling/inverted_index.hpp"
+
+namespace lowtw::labeling {
+
+/// Pruning effectiveness counters, accumulated by the filtered kernels and
+/// surfaced through QueryEngine stats / the daemon STATS verb.
+struct PruneCounters {
+  /// Weight candidates actually folded into the min (postings relaxed /
+  /// surviving merge matches) — comparable against the unfiltered kernels'
+  /// fold counts (see QueryEngineStats).
+  std::uint64_t entries_touched = 0;
+  /// (hub, part) postings segments skipped because their flag was clear.
+  std::uint64_t postings_runs_skipped = 0;
+};
+
+/// SolverOptions / OracleOptions knob for building a filter.
+struct FilterParams {
+  bool enabled = false;
+  /// Parts in the vertex partition; more parts prune harder but cost
+  /// num_parts bits per entry per direction. 0 = default (16).
+  int num_parts = 16;
+};
+
+/// The raw persisted form (LTWB kind 4 sidecar, label_io): partition +
+/// flags + bounds. The part-major postings are not persisted — they are
+/// re-derived deterministically from the rebuilt inverted index on load.
+struct FilterSidecar {
+  std::int32_t num_parts = 0;
+  std::vector<std::int32_t> part_of;        ///< size n
+  std::vector<std::uint64_t> fwd_flags;     ///< size total * words_per_entry
+  std::vector<std::uint64_t> bwd_flags;     ///< size total * words_per_entry
+  std::vector<graph::Weight> fwd_bound;     ///< size total
+  std::vector<graph::Weight> bwd_bound;     ///< size total
+};
+
+class LabelFilter {
+ public:
+  LabelFilter() = default;
+
+  /// Builds the filter for `labels` through its postings `index` (must match
+  /// the store's current generation). `part_of` maps every vertex to a part
+  /// in [0, num_parts). O(n one-vs-all rows); fans over `pool` when given,
+  /// bit-identical at any worker count.
+  static LabelFilter build(const FlatLabeling& labels,
+                           const InvertedHubIndex& index,
+                           std::vector<std::int32_t> part_of, int num_parts,
+                           exec::TaskPool* pool = nullptr);
+
+  /// Reassembles a filter from a persisted sidecar (validated against the
+  /// store's shape; throws CheckFailure on any inconsistency). The
+  /// part-major postings are re-derived from `index`.
+  static LabelFilter from_sidecar(const FlatLabeling& labels,
+                                  const InvertedHubIndex& index,
+                                  FilterSidecar sidecar);
+  FilterSidecar to_sidecar() const;
+
+  bool empty() const { return source_ == nullptr; }
+  /// True iff built from `labels` at its current generation — same freshness
+  /// contract as InvertedHubIndex::matches; filtered query paths fall back
+  /// to unfiltered decode when stale instead of pruning with wrong flags.
+  bool matches(const FlatLabeling& labels) const {
+    return source_ == &labels && source_generation_ == labels.generation();
+  }
+
+  int num_parts() const { return num_parts_; }
+  std::size_t words_per_entry() const { return words_per_entry_; }
+  std::int32_t part_of(graph::VertexId v) const { return part_of_[v]; }
+
+  /// Flag probes (tests / introspection); `entry` is a global slot index.
+  bool fwd_flag(std::size_t entry, std::int32_t part) const {
+    return (fwd_flags_[entry * words_per_entry_ +
+                       static_cast<std::size_t>(part >> 6)] >>
+            (part & 63)) &
+           1;
+  }
+  bool bwd_flag(std::size_t entry, std::int32_t part) const {
+    return (bwd_flags_[entry * words_per_entry_ +
+                       static_cast<std::size_t>(part >> 6)] >>
+            (part & 63)) &
+           1;
+  }
+
+  /// dec(u, v) with flag + bound pruning; bit-identical to
+  /// FlatLabeling::decode(u, v).
+  graph::Weight decode(graph::VertexId u, graph::VertexId v,
+                       PruneCounters* counters = nullptr) const;
+
+  /// Filtered one-vs-all: relaxes only the flagged (hub, part) segments of
+  /// the source's postings runs. Bit-identical to
+  /// InvertedHubIndex::one_vs_all; spans must be sized num_vertices().
+  void one_vs_all(graph::VertexId source, std::span<graph::Weight> out_dist,
+                  std::span<graph::Weight> out_dist_to,
+                  PruneCounters* counters = nullptr) const;
+
+ private:
+  void derive_part_major(const InvertedHubIndex& index);
+
+  std::int32_t num_parts_ = 0;
+  std::size_t words_per_entry_ = 0;
+  std::vector<std::int32_t> part_of_;
+  std::vector<std::uint64_t> fwd_flags_;
+  std::vector<std::uint64_t> bwd_flags_;
+  std::vector<graph::Weight> fwd_bound_;
+  std::vector<graph::Weight> bwd_bound_;
+
+  /// Part-major postings: segment (h, p) holds the postings of hub h whose
+  /// vertex lies in part p, vertex-ascending; seg_offsets_ has
+  /// hub_bound * num_parts + 1 entries. The min-fold is order-invariant, so
+  /// relaxing segments instead of whole runs preserves bit-exactness.
+  std::vector<std::size_t> seg_offsets_;
+  std::vector<graph::VertexId> seg_vertices_;
+  std::vector<graph::Weight> seg_to_hub_;
+  std::vector<graph::Weight> seg_from_hub_;
+
+  const FlatLabeling* source_ = nullptr;
+  std::uint64_t source_generation_ = 0;
+};
+
+/// Fallback partition when no TD hierarchy is attached (serving installs of
+/// pre-frozen artifacts): round-robin multi-source BFS over the undirected
+/// skeleton from num_parts roots, each root drawn from its own
+/// Rng::fork(part) stream of `seed` — deterministic in (graph, num_parts,
+/// seed), independent of thread count.
+std::vector<std::int32_t> partition_bfs(const graph::WeightedDigraph& g,
+                                        int num_parts, std::uint64_t seed);
+
+}  // namespace lowtw::labeling

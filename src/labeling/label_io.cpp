@@ -1,5 +1,6 @@
 #include "labeling/label_io.hpp"
 
+#include <algorithm>
 #include <fstream>
 #include <istream>
 #include <ostream>
@@ -127,13 +128,16 @@ DistanceLabeling read_labeling(std::istream& is) {
 
 namespace {
 
+namespace binio = util::binio;
+
+/// Kind 3 files stay at version 1 forever (every pre-existing artifact keeps
+/// loading); the filtered kind 4 is the version-2 format.
 constexpr std::uint32_t kLabelingBinaryVersion = 1;
+constexpr std::uint32_t kFilteredBinaryVersion = 2;
 
-}  // namespace
-
-void write_labeling_binary(std::ostream& os, const FlatLabeling& labeling) {
-  namespace binio = util::binio;
-  binio::write_header(os, binio::kKindFlatLabeling, kLabelingBinaryVersion);
+/// The store sections shared by kind 3 and kind 4 (everything after the
+/// 16-byte header).
+void write_flat_payload(std::ostream& os, const FlatLabeling& labeling) {
   const int n = labeling.num_vertices();
   const std::uint64_t total = labeling.num_entries();
   binio::write_pod(os, static_cast<std::int32_t>(n));
@@ -165,12 +169,9 @@ void write_labeling_binary(std::ostream& os, const FlatLabeling& labeling) {
     binio::write_array(os, from.data(), from.size(), &from_sum);
   }
   binio::write_pod(os, from_sum.digest());
-  LOWTW_CHECK_MSG(os.good(), "labeling binary: write failed");
 }
 
-FlatLabeling read_flat_labeling_binary(std::istream& is) {
-  namespace binio = util::binio;
-  binio::read_header(is, binio::kKindFlatLabeling, kLabelingBinaryVersion);
+FlatLabeling read_flat_payload(std::istream& is) {
   const auto n = binio::read_pod<std::int32_t>(is);
   const auto total = binio::read_pod<std::uint64_t>(is);
   LOWTW_CHECK_MSG(n >= 0, "labeling binary: negative vertex count");
@@ -196,17 +197,121 @@ FlatLabeling read_flat_labeling_binary(std::istream& is) {
                                   std::move(to_hub), std::move(from_hub));
 }
 
+/// Sidecar sections (kind 4 only): num_parts, then partition / flag /
+/// bound arrays, each with its own checksum. Sizes are implied by the store
+/// (n, total) plus num_parts, so a reader can bound every read.
+void write_sidecar_payload(std::ostream& os, const FlatLabeling& labeling,
+                           const FilterSidecar& sidecar) {
+  const auto n = static_cast<std::size_t>(labeling.num_vertices());
+  const std::uint64_t total = labeling.num_entries();
+  const std::size_t wpe =
+      (static_cast<std::size_t>(sidecar.num_parts) + 63) / 64;
+  LOWTW_CHECK_MSG(sidecar.num_parts > 0 && sidecar.part_of.size() == n &&
+                      sidecar.fwd_flags.size() == total * wpe &&
+                      sidecar.bwd_flags.size() == total * wpe &&
+                      sidecar.fwd_bound.size() == total &&
+                      sidecar.bwd_bound.size() == total,
+                  "labeling binary: filter sidecar disagrees with store");
+  binio::write_pod(os, sidecar.num_parts);
+  binio::write_array_checked(os, sidecar.part_of.data(), n);
+  binio::write_array_checked(os, sidecar.fwd_flags.data(), total * wpe);
+  binio::write_array_checked(os, sidecar.bwd_flags.data(), total * wpe);
+  binio::write_array_checked(os, sidecar.fwd_bound.data(), total);
+  binio::write_array_checked(os, sidecar.bwd_bound.data(), total);
+}
+
+FilterSidecar read_sidecar_payload(std::istream& is,
+                                   const FlatLabeling& labeling) {
+  FilterSidecar sc;
+  sc.num_parts = binio::read_pod<std::int32_t>(is);
+  LOWTW_CHECK_MSG(sc.num_parts > 0,
+                  "labeling binary: non-positive filter part count");
+  const auto n = static_cast<std::size_t>(labeling.num_vertices());
+  const std::uint64_t total = labeling.num_entries();
+  const std::size_t wpe = (static_cast<std::size_t>(sc.num_parts) + 63) / 64;
+  binio::read_array_checked(is, n, sc.part_of, "filter part_of");
+  binio::read_array_checked(is, total * wpe, sc.fwd_flags, "filter fwd_flags");
+  binio::read_array_checked(is, total * wpe, sc.bwd_flags, "filter bwd_flags");
+  binio::read_array_checked(is, total, sc.fwd_bound, "filter fwd_bound");
+  binio::read_array_checked(is, total, sc.bwd_bound, "filter bwd_bound");
+  return sc;
+}
+
+}  // namespace
+
+void write_labeling_binary(std::ostream& os, const FlatLabeling& labeling) {
+  binio::write_header(os, binio::kKindFlatLabeling, kLabelingBinaryVersion);
+  write_flat_payload(os, labeling);
+  LOWTW_CHECK_MSG(os.good(), "labeling binary: write failed");
+}
+
+void write_labeling_binary(std::ostream& os, const FlatLabeling& labeling,
+                           const FilterSidecar& sidecar) {
+  binio::write_header(os, binio::kKindFlatLabelingFiltered,
+                      kFilteredBinaryVersion);
+  write_flat_payload(os, labeling);
+  write_sidecar_payload(os, labeling, sidecar);
+  LOWTW_CHECK_MSG(os.good(), "labeling binary: write failed");
+}
+
+FlatLabeling read_flat_labeling_binary(std::istream& is) {
+  return read_flat_labeling_binary(is, nullptr);
+}
+
+FlatLabeling read_flat_labeling_binary(
+    std::istream& is, std::optional<FilterSidecar>* sidecar) {
+  if (sidecar != nullptr) sidecar->reset();
+  // Sniff the header by hand: both artifact generations are accepted, and
+  // the (kind, version) pair decides whether sidecar sections follow.
+  char magic[4] = {};
+  is.read(magic, sizeof(magic));
+  LOWTW_CHECK_MSG(is.good() && std::equal(magic, magic + 4, binio::kMagic),
+                  "binary: bad magic");
+  const auto version = binio::read_pod<std::uint32_t>(is);
+  const auto kind = binio::read_pod<std::uint32_t>(is);
+  LOWTW_CHECK_MSG(
+      (kind == binio::kKindFlatLabeling &&
+       version == kLabelingBinaryVersion) ||
+          (kind == binio::kKindFlatLabelingFiltered &&
+           version == kFilteredBinaryVersion),
+      "labeling binary: unsupported kind/version " << kind << "/" << version);
+  const auto endian = binio::read_pod<std::uint32_t>(is);
+  LOWTW_CHECK_MSG(endian == binio::kEndianProbe,
+                  "binary: endianness mismatch");
+  FlatLabeling flat = read_flat_payload(is);
+  if (kind == binio::kKindFlatLabelingFiltered) {
+    // The sidecar is always consumed and validated (a truncated kind-4 file
+    // must fail even for a caller that does not want the filter).
+    FilterSidecar sc = read_sidecar_payload(is, flat);
+    if (sidecar != nullptr) *sidecar = std::move(sc);
+  }
+  return flat;
+}
+
 void write_labeling_binary_file(const std::string& path,
                                 const FlatLabeling& labeling) {
   util::atomic_write_file(
       path, [&](std::ostream& os) { write_labeling_binary(os, labeling); });
 }
 
+void write_labeling_binary_file(const std::string& path,
+                                const FlatLabeling& labeling,
+                                const FilterSidecar& sidecar) {
+  util::atomic_write_file(path, [&](std::ostream& os) {
+    write_labeling_binary(os, labeling, sidecar);
+  });
+}
+
 FlatLabeling read_flat_labeling_binary_file(const std::string& path) {
+  return read_flat_labeling_binary_file(path, nullptr);
+}
+
+FlatLabeling read_flat_labeling_binary_file(
+    const std::string& path, std::optional<FilterSidecar>* sidecar) {
   std::ifstream is(path, std::ios::binary);
   LOWTW_CHECK_MSG(is.is_open(), "labeling binary: cannot open '" << path
                                     << "'");
-  return read_flat_labeling_binary(is);
+  return read_flat_labeling_binary(is, sidecar);
 }
 
 }  // namespace lowtw::labeling::io

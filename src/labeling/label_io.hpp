@@ -21,13 +21,20 @@
 // structurally plausible payload is rejected, not decoded; arrays stream in
 // bounded chunks; and FlatLabeling::from_parts re-validates the structure
 // (monotone offset table, per-span hub sorting) on arrival.
+//
+// LTWB kind 4 (version 2) appends the goal-directed pruning filter's
+// persisted sidecar to the same store payload: i32 num_parts, then part_of /
+// fwd_flags / bwd_flags / fwd_bound / bwd_bound sections, each checksummed.
+// Kind 3 stays frozen at version 1; the sniffing reader accepts both.
 #pragma once
 
 #include <iosfwd>
+#include <optional>
 #include <string>
 
 #include "labeling/flat_labeling.hpp"
 #include "labeling/label.hpp"
+#include "labeling/label_filter.hpp"
 
 namespace lowtw::labeling::io {
 
@@ -47,11 +54,31 @@ FlatLabeling read_flat_labeling(std::istream& is);
 void write_labeling_binary(std::ostream& os, const FlatLabeling& labeling);
 FlatLabeling read_flat_labeling_binary(std::istream& is);
 
+/// Kind-4 artifact (version 2): the kind-3 payload followed by the pruning
+/// filter's persisted sidecar (partition + flags + bounds, each section
+/// checksummed). The sidecar's array sizes must agree with the store
+/// (part_of: n, bounds: total, flags: total·⌈parts/64⌉) — checked on write.
+void write_labeling_binary(std::ostream& os, const FlatLabeling& labeling,
+                           const FilterSidecar& sidecar);
+
+/// Sniffing reader for both artifact generations: accepts kind 3 (version 1,
+/// store only) and kind 4 (version 2, store + filter sidecar). When the
+/// artifact carries a sidecar and `sidecar` is non-null it is filled;
+/// a kind-3 file leaves it nullopt. Corruption anywhere — including inside
+/// the sidecar sections — throws CheckFailure and returns nothing partial.
+FlatLabeling read_flat_labeling_binary(
+    std::istream& is, std::optional<FilterSidecar>* sidecar);
+
 /// File-level artifact IO. Writes are crash-safe (util::atomic_write_file:
 /// temp file + atomic rename), so a serving restart can never load a
 /// truncated labeling.
 void write_labeling_binary_file(const std::string& path,
                                 const FlatLabeling& labeling);
+void write_labeling_binary_file(const std::string& path,
+                                const FlatLabeling& labeling,
+                                const FilterSidecar& sidecar);
 FlatLabeling read_flat_labeling_binary_file(const std::string& path);
+FlatLabeling read_flat_labeling_binary_file(
+    const std::string& path, std::optional<FilterSidecar>* sidecar);
 
 }  // namespace lowtw::labeling::io

@@ -16,7 +16,42 @@ namespace {
 /// TaskPool never shows, fine enough to balance skewed span lengths.
 constexpr std::size_t kPairChunk = 256;
 
+/// Candidates the unfiltered one-vs-all folds for `source`: every posting
+/// of every direction-live hub (the filtered kernel's entries_touched
+/// counts the flagged subset of exactly these).
+std::uint64_t unfiltered_row_touches(const InvertedHubIndex& idx,
+                                     const FlatLabeling& labels,
+                                     VertexId source) {
+  auto hubs = labels.hubs(source);
+  auto to = labels.to_hub(source);
+  auto from = labels.from_hub(source);
+  std::uint64_t touches = 0;
+  for (std::size_t i = 0; i < hubs.size(); ++i) {
+    const auto run = static_cast<std::uint64_t>(idx.postings(hubs[i]));
+    if (to[i] < kInfinity) touches += run;
+    if (from[i] < kInfinity) touches += run;
+  }
+  return touches;
+}
+
 }  // namespace
+
+QueryEngineStats QueryEngine::stats() const {
+  QueryEngineStats out;
+  out.queries = stat_queries_.load(std::memory_order_relaxed);
+  out.filtered_queries = stat_filtered_.load(std::memory_order_relaxed);
+  out.entries_touched = stat_entries_.load(std::memory_order_relaxed);
+  out.postings_runs_skipped =
+      stat_runs_skipped_.load(std::memory_order_relaxed);
+  return out;
+}
+
+void QueryEngine::reset_stats() {
+  stat_queries_.store(0, std::memory_order_relaxed);
+  stat_filtered_.store(0, std::memory_order_relaxed);
+  stat_entries_.store(0, std::memory_order_relaxed);
+  stat_runs_skipped_.store(0, std::memory_order_relaxed);
+}
 
 const char* to_string(QueryStatus status) {
   switch (status) {
@@ -69,7 +104,15 @@ QueryStatus QueryEngine::try_one_vs_all(VertexId source,
   QueryStatus status = QueryStatus::kOk;
   const InvertedHubIndex* idx = checked_index(status);
   if (idx == nullptr) return status;
-  idx->one_vs_all(source, out_dist, out_dist_to);
+  PruneCounters counters;
+  const LabelFilter* filter = active_filter();
+  if (filter != nullptr) {
+    filter->one_vs_all(source, out_dist, out_dist_to, &counters);
+  } else {
+    idx->one_vs_all(source, out_dist, out_dist_to);
+    counters.entries_touched = unfiltered_row_touches(*idx, *labels_, source);
+  }
+  note_query(filter != nullptr, counters);
   return QueryStatus::kOk;
 }
 
@@ -82,14 +125,25 @@ QueryStatus QueryEngine::try_one_vs_all_batch(
   const auto n = static_cast<std::size_t>(idx->num_vertices());
   LOWTW_CHECK(out_dist.size() == sources.size() * n);
   LOWTW_CHECK(out_dist_to.size() == sources.size() * n);
+  const LabelFilter* filter = active_filter();
   auto decode_row = [&](int i) {
     const auto row = static_cast<std::size_t>(i) * n;
-    idx->one_vs_all(sources[static_cast<std::size_t>(i)],
-                    out_dist.subspan(row, n), out_dist_to.subspan(row, n));
+    const VertexId source = sources[static_cast<std::size_t>(i)];
+    PruneCounters counters;
+    if (filter != nullptr) {
+      filter->one_vs_all(source, out_dist.subspan(row, n),
+                         out_dist_to.subspan(row, n), &counters);
+    } else {
+      idx->one_vs_all(source, out_dist.subspan(row, n),
+                      out_dist_to.subspan(row, n));
+      counters.entries_touched =
+          unfiltered_row_touches(*idx, *labels_, source);
+    }
+    note_query(filter != nullptr, counters);
   };
   if (pool_ != nullptr && sources.size() > 1) {
-    // Tasks only read the index and write their own row — bit-identical to
-    // the serial loop for every worker count.
+    // Tasks only read the index/filter and write their own row —
+    // bit-identical to the serial loop for every worker count.
     pool_->run(static_cast<int>(sources.size()),
                [&](int i, int /*worker*/) { decode_row(i); });
   } else {
@@ -124,21 +178,35 @@ QueryStatus QueryEngine::try_run(QueryBatch& batch) {
   const FlatLabeling& labels = *labels_;
   batch.results.resize(batch.targets.size());
   scratch_.resize(static_cast<std::size_t>(fan_workers()));
+  const LabelFilter* filter = active_filter();
   auto decode_group = [&](int i, int worker) {
     const auto si = static_cast<std::size_t>(i);
     const std::size_t begin = batch.run_begin(si);
     const std::size_t end = batch.run_end(si);
     if (begin == end) return;
-    FlatLabeling::DecodeScratch& scratch =
-        scratch_[static_cast<std::size_t>(worker)];
-    labels.pin(batch.sources[si], scratch, FlatLabeling::PinSide::kTo);
-    // Lookahead prefetch hides the span-start miss of the next target while
-    // the current gather runs (same idiom as the girth arc loop).
-    if (begin < end) labels.prefetch_target(batch.targets[begin]);
-    for (std::size_t j = begin; j < end; ++j) {
-      if (j + 1 < end) labels.prefetch_target(batch.targets[j + 1]);
-      batch.results[j] = labels.decode_from_pinned(scratch, batch.targets[j]);
+    PruneCounters counters;
+    if (filter != nullptr) {
+      // Filtered groups go through the flag/bound merge decode: the pinned
+      // gather folds every span element and cannot consult per-entry flags.
+      for (std::size_t j = begin; j < end; ++j) {
+        batch.results[j] =
+            filter->decode(batch.sources[si], batch.targets[j], &counters);
+      }
+    } else {
+      FlatLabeling::DecodeScratch& scratch =
+          scratch_[static_cast<std::size_t>(worker)];
+      labels.pin(batch.sources[si], scratch, FlatLabeling::PinSide::kTo);
+      // Lookahead prefetch hides the span-start miss of the next target
+      // while the current gather runs (same idiom as the girth arc loop).
+      if (begin < end) labels.prefetch_target(batch.targets[begin]);
+      for (std::size_t j = begin; j < end; ++j) {
+        if (j + 1 < end) labels.prefetch_target(batch.targets[j + 1]);
+        batch.results[j] =
+            labels.decode_from_pinned(scratch, batch.targets[j]);
+        counters.entries_touched += labels.entries(batch.targets[j]);
+      }
     }
+    add_touches(counters);
   };
   if (pool_ != nullptr && batch.num_sources() > 1) {
     pool_->run(static_cast<int>(batch.num_sources()), decode_group);
@@ -146,6 +214,10 @@ QueryStatus QueryEngine::try_run(QueryBatch& batch) {
     for (std::size_t i = 0; i < batch.num_sources(); ++i) {
       decode_group(static_cast<int>(i), 0);
     }
+  }
+  stat_queries_.fetch_add(1, std::memory_order_relaxed);
+  if (filter != nullptr) {
+    stat_filtered_.fetch_add(1, std::memory_order_relaxed);
   }
   return QueryStatus::kOk;
 }
@@ -163,16 +235,26 @@ void QueryEngine::many_to_many(std::span<const VertexId> sources,
   LOWTW_CHECK(out.size() == sources.size() * targets.size());
   const FlatLabeling& labels = *labels_;
   scratch_.resize(static_cast<std::size_t>(fan_workers()));
+  const LabelFilter* filter = active_filter();
   auto decode_row = [&](int i, int worker) {
     const auto row = static_cast<std::size_t>(i) * targets.size();
-    FlatLabeling::DecodeScratch& scratch =
-        scratch_[static_cast<std::size_t>(worker)];
-    labels.pin(sources[static_cast<std::size_t>(i)], scratch,
-               FlatLabeling::PinSide::kTo);
-    for (std::size_t j = 0; j < targets.size(); ++j) {
-      if (j + 1 < targets.size()) labels.prefetch_target(targets[j + 1]);
-      out[row + j] = labels.decode_from_pinned(scratch, targets[j]);
+    const VertexId source = sources[static_cast<std::size_t>(i)];
+    PruneCounters counters;
+    if (filter != nullptr) {
+      for (std::size_t j = 0; j < targets.size(); ++j) {
+        out[row + j] = filter->decode(source, targets[j], &counters);
+      }
+    } else {
+      FlatLabeling::DecodeScratch& scratch =
+          scratch_[static_cast<std::size_t>(worker)];
+      labels.pin(source, scratch, FlatLabeling::PinSide::kTo);
+      for (std::size_t j = 0; j < targets.size(); ++j) {
+        if (j + 1 < targets.size()) labels.prefetch_target(targets[j + 1]);
+        out[row + j] = labels.decode_from_pinned(scratch, targets[j]);
+        counters.entries_touched += labels.entries(targets[j]);
+      }
     }
+    add_touches(counters);
   };
   if (pool_ != nullptr && sources.size() > 1) {
     pool_->run(static_cast<int>(sources.size()), decode_row);
@@ -180,6 +262,10 @@ void QueryEngine::many_to_many(std::span<const VertexId> sources,
     for (std::size_t i = 0; i < sources.size(); ++i) {
       decode_row(static_cast<int>(i), 0);
     }
+  }
+  stat_queries_.fetch_add(1, std::memory_order_relaxed);
+  if (filter != nullptr) {
+    stat_filtered_.fetch_add(1, std::memory_order_relaxed);
   }
 }
 
@@ -191,14 +277,23 @@ QueryStatus QueryEngine::try_pairwise(std::span<const QueryPair> pairs,
   }
   LOWTW_CHECK(out.size() == pairs.size());
   const FlatLabeling& labels = *labels_;
+  const LabelFilter* filter = active_filter();
   auto decode_chunk = [&](std::size_t begin, std::size_t end) {
+    PruneCounters counters;
     for (std::size_t i = begin; i < end; ++i) {
       if (i + 1 < end) {
         labels.prefetch_source(pairs[i + 1].u);
         labels.prefetch_target(pairs[i + 1].v);
       }
-      out[i] = labels.decode(pairs[i].u, pairs[i].v);
+      if (filter != nullptr) {
+        out[i] = filter->decode(pairs[i].u, pairs[i].v, &counters);
+      } else {
+        out[i] = labels.decode(pairs[i].u, pairs[i].v);
+        counters.entries_touched += std::min(labels.entries(pairs[i].u),
+                                             labels.entries(pairs[i].v));
+      }
     }
+    add_touches(counters);
   };
   const std::size_t chunks = (pairs.size() + kPairChunk - 1) / kPairChunk;
   if (pool_ != nullptr && chunks > 1) {
@@ -208,6 +303,10 @@ QueryStatus QueryEngine::try_pairwise(std::span<const QueryPair> pairs,
     });
   } else {
     decode_chunk(0, pairs.size());
+  }
+  stat_queries_.fetch_add(1, std::memory_order_relaxed);
+  if (filter != nullptr) {
+    stat_filtered_.fetch_add(1, std::memory_order_relaxed);
   }
   return QueryStatus::kOk;
 }

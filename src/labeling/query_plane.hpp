@@ -23,12 +23,15 @@
 // aggregations as before.
 #pragma once
 
+#include <atomic>
+#include <cstdint>
 #include <span>
 #include <vector>
 
 #include "exec/task_pool.hpp"
 #include "labeling/flat_labeling.hpp"
 #include "labeling/inverted_index.hpp"
+#include "labeling/label_filter.hpp"
 #include "util/check.hpp"
 
 namespace lowtw::labeling {
@@ -86,6 +89,23 @@ enum class QueryStatus {
 
 const char* to_string(QueryStatus status);
 
+/// Monotonic per-engine query/pruning counters (QueryEngine::stats), also
+/// surfaced through the daemon STATS verb. entries_touched counts the label
+/// entries whose weights each kernel folded into its min — postings relaxed
+/// on the one-vs-all paths, span elements gathered on the pinned batch
+/// paths, hub matches folded on the merge paths (the unfiltered pairwise
+/// count is the cheap upper bound min(|label(u)|, |label(v)|)). With a
+/// filter attached the kernels fold only what survived pruning, so the
+/// unfiltered / filtered ratio is the observable pruning win.
+/// postings_runs_skipped counts whole (hub, part) postings segments retired
+/// by a clear part flag.
+struct QueryEngineStats {
+  std::uint64_t queries = 0;           ///< try_* calls answered kOk
+  std::uint64_t filtered_queries = 0;  ///< of those, served through the filter
+  std::uint64_t entries_touched = 0;
+  std::uint64_t postings_runs_skipped = 0;
+};
+
 /// Executes batches against one frozen store. Holds the lazily built
 /// inverted index (rebuilt when the bound store re-freezes — generation
 /// checked) and per-worker pin scratch. Rebindable: loop callers that
@@ -108,6 +128,7 @@ class QueryEngine {
   void bind(const FlatLabeling& labels) {
     labels_ = &labels;
     external_index_ = nullptr;
+    filter_ = nullptr;  // a filter belongs to one store; re-attach after bind
   }
 
   /// Binds a store together with a prebuilt postings index (the serving
@@ -119,8 +140,23 @@ class QueryEngine {
   void bind(const FlatLabeling& labels, const InvertedHubIndex& index) {
     labels_ = &labels;
     external_index_ = &index;
+    filter_ = nullptr;  // a filter belongs to one store; re-attach after bind
   }
   void set_pool(exec::TaskPool* pool) { pool_ = pool; }
+
+  /// Attaches a pruning filter (not owned; must outlive the binding). Every
+  /// query shape consults it: filtered kernels are bit-identical to the
+  /// unfiltered ones, just cheaper. A filter whose generation no longer
+  /// matches the bound store is silently ignored (unfiltered decode), so a
+  /// mid-swap serving batch degrades to correct-but-unpruned instead of
+  /// pruning with stale flags. nullptr detaches.
+  void set_filter(const LabelFilter* filter) { filter_ = filter; }
+  const LabelFilter* filter() const { return filter_; }
+
+  /// Monotonic counters since construction / the last reset_stats(). Safe
+  /// to read while the engine's pool fan is running (individually atomic).
+  QueryEngineStats stats() const;
+  void reset_stats();
   const FlatLabeling& labels() const {
     LOWTW_CHECK_MSG(labels_ != nullptr, "QueryEngine used before bind()");
     return *labels_;
@@ -183,15 +219,43 @@ class QueryEngine {
   /// Shared stale/unbound gate of the index-backed try_* paths: returns the
   /// index to decode through, or nullptr with `status` set.
   const InvertedHubIndex* checked_index(QueryStatus& status);
+  /// The attached filter iff it matches the bound store's current
+  /// generation; nullptr (→ unfiltered decode) otherwise.
+  const LabelFilter* active_filter() const {
+    return filter_ != nullptr && labels_ != nullptr &&
+                   filter_->matches(*labels_)
+               ? filter_
+               : nullptr;
+  }
+  void note_query(bool filtered, const PruneCounters& counters) {
+    stat_queries_.fetch_add(1, std::memory_order_relaxed);
+    if (filtered) stat_filtered_.fetch_add(1, std::memory_order_relaxed);
+    add_touches(counters);
+  }
+  /// Tasks of one fan accumulate locally and flush once; the totals are
+  /// order-invariant sums, so stats stay deterministic at any worker count.
+  void add_touches(const PruneCounters& counters) {
+    stat_entries_.fetch_add(counters.entries_touched,
+                            std::memory_order_relaxed);
+    stat_runs_skipped_.fetch_add(counters.postings_runs_skipped,
+                                 std::memory_order_relaxed);
+  }
 
   const FlatLabeling* labels_ = nullptr;
   /// Prebuilt snapshot index when bound with one; never rebuilt here.
   const InvertedHubIndex* external_index_ = nullptr;
+  const LabelFilter* filter_ = nullptr;  ///< not owned; see set_filter
   exec::TaskPool* pool_ = nullptr;
   InvertedHubIndex index_;
   /// Per-worker pin scratch (exec::WorkerLocal contract: contents never
   /// leak into results — pins are re-issued per source).
   std::vector<FlatLabeling::DecodeScratch> scratch_;
+  // Stats counters (QueryEngineStats). Atomic because pool tasks bump them;
+  // relaxed order is enough for monotonic monitoring counters.
+  std::atomic<std::uint64_t> stat_queries_{0};
+  std::atomic<std::uint64_t> stat_filtered_{0};
+  std::atomic<std::uint64_t> stat_entries_{0};
+  std::atomic<std::uint64_t> stat_runs_skipped_{0};
 };
 
 }  // namespace lowtw::labeling

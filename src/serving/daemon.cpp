@@ -231,6 +231,10 @@ bool Daemon::handle_frame(std::string_view line, std::vector<std::string>& out,
        << " timeouts=" << s.timeouts << " sheds=" << s.sheds
        << " failed=" << s.failed << " requeued=" << s.requeued
        << " crashes=" << s.pool.crashes << " respawns=" << s.pool.respawns
+       << " entries_touched=" << s.entries_touched
+       << " postings_runs_skipped=" << s.postings_runs_skipped
+       << " filtered_queries=" << s.filtered_queries
+       << " filter_build_failures=" << s.filter_build_failures
        << " generation=" << oracle_.generation() << "\n";
     out.push_back(os.str());
     return true;

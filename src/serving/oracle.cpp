@@ -11,6 +11,7 @@
 #include "core/solver.hpp"
 #include "graph/algorithms.hpp"
 #include "labeling/label_io.hpp"
+#include "td/partition.hpp"
 #include "util/check.hpp"
 
 namespace lowtw::serving {
@@ -33,7 +34,9 @@ Oracle::~Oracle() { stop(/*drain=*/true); }
 
 // --- snapshot lifecycle ------------------------------------------------------
 
-std::uint64_t Oracle::install(labeling::FlatLabeling flat) {
+std::uint64_t Oracle::install(labeling::FlatLabeling flat,
+                              std::optional<labeling::FilterSidecar> sidecar,
+                              std::vector<std::int32_t>* hier_parts) {
   auto snap = std::make_shared<Snapshot>();
   const std::uint64_t gen =
       next_generation_.fetch_add(1, std::memory_order_relaxed) + 1;
@@ -51,6 +54,40 @@ std::uint64_t Oracle::install(labeling::FlatLabeling flat) {
     // store; only the postings fast path is missing.
     index_build_failures_.fetch_add(1, std::memory_order_relaxed);
     snap->has_index = false;
+  }
+  // The pruning filter rides on the index (its part-major postings are cut
+  // from it): a persisted sidecar reattaches, otherwise the filter knob
+  // builds one over the hierarchy partition (rebuilds) or the BFS fallback.
+  // Any failure here serves unfiltered — degraded means slower, never wrong.
+  if (snap->has_index &&
+      (sidecar.has_value() || options_.filter.enabled)) {
+    try {
+      if (sidecar.has_value()) {
+        snap->filter = labeling::LabelFilter::from_sidecar(
+            snap->flat, snap->index, std::move(*sidecar));
+      } else {
+        const int n = snap->flat.num_vertices();
+        const int parts = std::max(
+            1, std::min(options_.filter.num_parts > 0
+                            ? options_.filter.num_parts
+                            : 16,
+                        std::max(1, n)));
+        std::vector<std::int32_t> part_of =
+            hier_parts != nullptr
+                ? std::move(*hier_parts)
+                : labeling::partition_bfs(instance_, parts, options_.seed);
+        snap->filter = labeling::LabelFilter::build(
+            snap->flat, snap->index, std::move(part_of), parts);
+      }
+      snap->has_filter = true;
+    } catch (const std::bad_alloc&) {
+      filter_build_failures_.fetch_add(1, std::memory_order_relaxed);
+    } catch (const util::CheckFailure&) {
+      // Inconsistent sidecar that still passed its checksums (e.g. written
+      // for another store shape): serve unfiltered rather than reject the
+      // whole (valid) labeling.
+      filter_build_failures_.fetch_add(1, std::memory_order_relaxed);
+    }
   }
   // Publish, then advance the observable generation: readers that see the
   // new generation are guaranteed to load at least this snapshot.
@@ -73,7 +110,21 @@ std::uint64_t Oracle::rebuild_snapshot() {
   Solver solver(instance_, sopts);
   // The freeze is the snapshot boundary: the solver (and its mutable
   // builders) die here, the copied frozen store lives on in the snapshot.
-  return install(solver.distance_labeling().flat);
+  // With pruning on, the build's own TD hierarchy supplies the partition —
+  // the free one the filter flags against.
+  std::vector<std::int32_t> hier_parts;
+  std::vector<std::int32_t>* parts_ptr = nullptr;
+  if (options_.filter.enabled) {
+    const int n = instance_.num_vertices();
+    const int parts = std::max(
+        1, std::min(options_.filter.num_parts > 0 ? options_.filter.num_parts
+                                                  : 16,
+                    std::max(1, n)));
+    hier_parts = td::partition_from_hierarchy(
+        solver.tree_decomposition().hierarchy, n, parts);
+    parts_ptr = &hier_parts;
+  }
+  return install(solver.distance_labeling().flat, std::nullopt, parts_ptr);
 }
 
 bool Oracle::load_snapshot(std::istream& is) {
@@ -87,8 +138,10 @@ bool Oracle::load_snapshot(std::istream& is) {
   }
   try {
     std::istringstream iss(payload);
-    labeling::FlatLabeling flat = labeling::io::read_flat_labeling_binary(iss);
-    install(std::move(flat));
+    std::optional<labeling::FilterSidecar> sidecar;
+    labeling::FlatLabeling flat =
+        labeling::io::read_flat_labeling_binary(iss, &sidecar);
+    install(std::move(flat), std::move(sidecar));
     return true;
   } catch (const util::CheckFailure&) {
     // Corrupt artifact: reject loudly, change nothing — the previous
@@ -147,7 +200,8 @@ QueryResponse Oracle::serve_now(VertexId u, VertexId v) {
   r.status = ServeStatus::kOk;
   if (SnapshotPtr snap = snapshot_ref()) {
     r.level = ServeLevel::kFlatDecode;
-    r.distance = snap->flat.decode(u, v);
+    r.distance = snap->has_filter ? snap->filter.decode(u, v)
+                                  : snap->flat.decode(u, v);
     r.snapshot_generation = snap->generation;
   } else {
     r.level = ServeLevel::kDijkstra;
@@ -181,6 +235,9 @@ bool Oracle::serve_with_index(ServeScratch& scratch, SnapshotPtr& snap,
         options_.faults != nullptr &&
         options_.faults->should_fire(FaultSite::kMidSwapRead);
     scratch.engine.bind(snap->flat, snap->index);
+    // bind() detaches any previous snapshot's filter; re-attach this
+    // snapshot's (the filter and the store it prunes swap as one unit).
+    scratch.engine.set_filter(snap->has_filter ? &snap->filter : nullptr);
     bool stale = false;
     scratch.batch.clear();
     scratch.batch_request_of.clear();
@@ -414,6 +471,17 @@ OracleStats Oracle::stats() const {
   s.failed_loads = failed_loads_.load(std::memory_order_relaxed);
   s.index_build_failures =
       index_build_failures_.load(std::memory_order_relaxed);
+  s.filter_build_failures =
+      filter_build_failures_.load(std::memory_order_relaxed);
+  // Pruning counters live in the per-worker engines; sum them here (each
+  // worker only ever writes its own slot, so relaxed reads are exact once
+  // the batches they count are fulfilled).
+  for (int w = 0; w < scratch_.size(); ++w) {
+    const labeling::QueryEngineStats es = scratch_[w].engine.stats();
+    s.entries_touched += es.entries_touched;
+    s.postings_runs_skipped += es.postings_runs_skipped;
+    s.filtered_queries += es.filtered_queries;
+  }
   s.pool = pool_.stats();
   return s;
 }

@@ -76,6 +76,13 @@ struct OracleOptions {
   /// A source group at least this large is served as one inverted-index
   /// one-vs-all row instead of per-target pinned decodes.
   std::size_t one_vs_all_min_targets = 64;
+  /// Goal-directed label pruning: when enabled, every snapshot carries a
+  /// labeling::LabelFilter and level-0 batches decode through it (bit-exact,
+  /// just cheaper — no protocol change). rebuild_snapshot derives the
+  /// partition from the build's TD hierarchy; install/load fall back to the
+  /// deterministic BFS partition (or the artifact's persisted sidecar). A
+  /// filter build failure degrades to serving unfiltered, never to an error.
+  labeling::FilterParams filter;
   /// Optional fault injection; not owned, may be null. Must outlive the
   /// oracle when set.
   FaultInjector* faults = nullptr;
@@ -113,6 +120,14 @@ struct OracleStats {
   std::uint64_t snapshot_installs = 0;
   std::uint64_t failed_loads = 0;          ///< corrupt artifacts rejected
   std::uint64_t index_build_failures = 0;  ///< snapshots serving without index
+  std::uint64_t filter_build_failures = 0;  ///< snapshots serving unfiltered
+  /// Pruning observability, summed over the per-worker engines (see
+  /// labeling::QueryEngineStats for the counting contract): label entries
+  /// folded by the serving decodes, whole postings segments skipped by
+  /// part flags, and how many engine batches went through a filter.
+  std::uint64_t entries_touched = 0;
+  std::uint64_t postings_runs_skipped = 0;
+  std::uint64_t filtered_queries = 0;
   WorkerPoolStats pool;  ///< crashes / stall flags / respawns / recoveries
 };
 
@@ -185,6 +200,10 @@ class Oracle {
     labeling::FlatLabeling flat;
     labeling::InvertedHubIndex index;
     bool has_index = false;
+    /// Pruning filter over flat/index (OracleOptions::filter or a persisted
+    /// sidecar); absent when the build failed or pruning is off.
+    labeling::LabelFilter filter;
+    bool has_filter = false;
     std::uint64_t generation = 0;
   };
   using SnapshotPtr = std::shared_ptr<const Snapshot>;
@@ -201,7 +220,15 @@ class Oracle {
     std::vector<graph::Weight> row_dist_to;
   };
 
-  std::uint64_t install(labeling::FlatLabeling flat);
+  /// Freezes `flat` into a new snapshot: postings index, then the pruning
+  /// filter — from `sidecar` when the artifact carried one, else built over
+  /// the hierarchy partition `hier_parts` (rebuilds) or the BFS fallback
+  /// partition (installs), when OracleOptions::filter.enabled. Both extras
+  /// degrade independently: an index failure serves flat, a filter failure
+  /// serves unfiltered.
+  std::uint64_t install(labeling::FlatLabeling flat,
+                        std::optional<labeling::FilterSidecar> sidecar = {},
+                        std::vector<std::int32_t>* hier_parts = nullptr);
   /// Copies the current snapshot pointer out of the publish slot. The slot
   /// is a mutex-guarded shared_ptr rather than std::atomic<shared_ptr>:
   /// libstdc++'s _Sp_atomic releases its embedded spin-lock with a relaxed
@@ -263,6 +290,7 @@ class Oracle {
   std::atomic<std::uint64_t> snapshot_installs_{0};
   std::atomic<std::uint64_t> failed_loads_{0};
   std::atomic<std::uint64_t> index_build_failures_{0};
+  std::atomic<std::uint64_t> filter_build_failures_{0};
 };
 
 }  // namespace lowtw::serving

@@ -1,0 +1,76 @@
+#include "td/partition.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/check.hpp"
+
+namespace lowtw::td {
+
+std::vector<std::int32_t> partition_from_hierarchy(const Hierarchy& hierarchy,
+                                                   int num_vertices,
+                                                   int num_parts) {
+  LOWTW_CHECK_MSG(num_parts >= 1, "partition: num_parts must be positive");
+  LOWTW_CHECK_MSG(!hierarchy.nodes.empty(), "partition: empty hierarchy");
+  std::vector<std::int32_t> part(static_cast<std::size_t>(num_vertices), 0);
+
+  // Frontier expansion: split the largest active component (ties by lowest
+  // node id) until at least num_parts components are active or nothing is
+  // splittable. A split can overshoot (a node has many children); overshoot
+  // components merge into the last part below, keeping ids in range.
+  std::vector<int> active{hierarchy.root};
+  std::vector<char> expanded(hierarchy.nodes.size(), 0);
+  while (static_cast<int>(active.size()) < num_parts) {
+    int best = -1;
+    for (int x : active) {
+      if (hierarchy.nodes[x].children.empty()) continue;
+      if (best == -1 ||
+          hierarchy.nodes[x].comp.size() > hierarchy.nodes[best].comp.size() ||
+          (hierarchy.nodes[x].comp.size() ==
+               hierarchy.nodes[best].comp.size() &&
+           x < best)) {
+        best = x;
+      }
+    }
+    if (best == -1) break;  // every active node is a leaf
+    expanded[best] = 1;
+    active.erase(std::find(active.begin(), active.end(), best));
+    for (int child : hierarchy.nodes[best].children) active.push_back(child);
+  }
+  std::sort(active.begin(), active.end());
+
+  constexpr std::int32_t kUnset = std::numeric_limits<std::int32_t>::max();
+  std::vector<std::int32_t> part_of_node(hierarchy.nodes.size(), kUnset);
+  for (std::size_t i = 0; i < active.size(); ++i) {
+    part_of_node[active[i]] = static_cast<std::int32_t>(
+        std::min(i, static_cast<std::size_t>(num_parts - 1)));
+  }
+  for (int x : active) {
+    for (graph::VertexId v : hierarchy.nodes[x].comp) {
+      part[v] = part_of_node[x];
+    }
+  }
+
+  // Separator vertices consumed by an expansion belong to no active
+  // component: give each the smallest part among the active nodes of its
+  // subtree (bottom-up min over the level order, root last).
+  std::vector<std::int32_t> min_part(hierarchy.nodes.size(), kUnset);
+  const auto levels = hierarchy.levels();
+  for (auto level = levels.rbegin(); level != levels.rend(); ++level) {
+    for (int x : *level) {
+      std::int32_t m = part_of_node[x];
+      for (int child : hierarchy.nodes[x].children) {
+        m = std::min(m, min_part[child]);
+      }
+      min_part[x] = m;
+    }
+  }
+  for (std::size_t x = 0; x < hierarchy.nodes.size(); ++x) {
+    if (!expanded[x]) continue;
+    const std::int32_t p = min_part[x] == kUnset ? 0 : min_part[x];
+    for (graph::VertexId v : hierarchy.nodes[x].separator) part[v] = p;
+  }
+  return part;
+}
+
+}  // namespace lowtw::td

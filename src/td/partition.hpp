@@ -1,0 +1,39 @@
+// Vertex partitions for goal-directed label pruning.
+//
+// The label filter (labeling/label_filter.hpp) needs a coarse vertex → part
+// map to attach arc-flag reachability bitsets to hub entries. Two sources:
+//
+//   * partition_from_hierarchy — the TD hierarchy already *is* a recursive
+//     partition: every internal node splits its component by a balanced
+//     separator. We expand the root's active frontier node-by-node (always
+//     splitting the largest remaining component, ties by node id) until at
+//     least `num_parts` disjoint components are active, then number them in
+//     ascending node-id order. Separator vertices consumed by an expansion
+//     belong to no active component; each is assigned the smallest part id
+//     among the active descendants of its node, keeping parts connected-ish
+//     and the assignment a pure function of the hierarchy.
+//
+//   * partition_bfs (label_filter.hpp) — the fallback when no hierarchy is
+//     attached (serving installs of pre-frozen artifacts): deterministic
+//     multi-source round-robin BFS from per-part Rng::fork-seeded roots.
+//
+// Both are deterministic: same inputs, same parts, at any worker count —
+// the filter build inherits its determinism contract from here.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "td/builder.hpp"
+
+namespace lowtw::td {
+
+/// Derives a `num_vertices`-sized vertex → part map (values in
+/// [0, num_parts)) from the hierarchy by frontier expansion; see file
+/// comment. Requires num_parts ≥ 1. When the hierarchy cannot be split into
+/// num_parts components (few nodes), higher part ids are simply unused.
+std::vector<std::int32_t> partition_from_hierarchy(const Hierarchy& hierarchy,
+                                                   int num_vertices,
+                                                   int num_parts);
+
+}  // namespace lowtw::td

@@ -36,6 +36,8 @@ inline constexpr std::size_t kChunkBytes = std::size_t{1} << 20;
 inline constexpr std::uint32_t kKindCsrGraph = 1;
 inline constexpr std::uint32_t kKindWeightedDigraph = 2;
 inline constexpr std::uint32_t kKindFlatLabeling = 3;
+/// Kind 3 payload + the labeling::FilterSidecar sections (label_io).
+inline constexpr std::uint32_t kKindFlatLabelingFiltered = 4;
 
 template <typename T>
 void write_pod(std::ostream& os, const T& value) {

@@ -1,0 +1,635 @@
+// Goal-directed label pruning must be invisible except in the counters:
+// filtered decode / one-vs-all / batch shapes are bit-identical to the
+// unfiltered kernels across every graph family, part count, engine mode,
+// pool size, and the serving fault drills — while entries_touched drops and
+// postings_runs_skipped rises. Plus the kind-4 artifact round-trip and its
+// corruption/truncation rejection matrix.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <chrono>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/solver.hpp"
+#include "girth/girth.hpp"
+#include "graph/algorithms.hpp"
+#include "graph/generators.hpp"
+#include "labeling/distance_labeling.hpp"
+#include "labeling/inverted_index.hpp"
+#include "labeling/label_filter.hpp"
+#include "labeling/label_io.hpp"
+#include "labeling/query_plane.hpp"
+#include "serving/oracle.hpp"
+#include "td/builder.hpp"
+#include "td/partition.hpp"
+#include "test_helpers.hpp"
+#include "util/check.hpp"
+#include "walks/cdl.hpp"
+
+namespace lowtw {
+namespace {
+
+using graph::kInfinity;
+using graph::VertexId;
+using graph::Weight;
+using graph::WeightedDigraph;
+using labeling::FilterSidecar;
+using labeling::InvertedHubIndex;
+using labeling::LabelFilter;
+using labeling::PruneCounters;
+using labeling::QueryBatch;
+using labeling::QueryEngine;
+using labeling::QueryPair;
+using labeling::QueryStatus;
+using namespace std::chrono_literals;
+
+constexpr int kPartCounts[] = {1, 4, 16};
+
+struct Built {
+  WeightedDigraph g;
+  graph::Graph skel;
+  td::TdBuildResult td;
+  labeling::DlResult dl;
+};
+
+Built build_instance(const test::FamilySpec& spec,
+                     primitives::EngineMode mode =
+                         primitives::EngineMode::kShortcutModel) {
+  Built b;
+  graph::Graph ug = test::make_family(spec);
+  util::Rng rng(spec.seed + 177);
+  b.g = graph::gen::random_orientation(ug, 0.55, 1, 30, rng);
+  b.skel = b.g.skeleton();
+  test::EngineBundle bundle(b.skel, mode);
+  b.td = td::build_hierarchy(b.skel, td::TdParams{}, rng, bundle.engine);
+  b.dl = labeling::build_distance_labeling(b.g, b.skel, b.td.hierarchy,
+                                           bundle.engine);
+  return b;
+}
+
+std::vector<std::int32_t> hier_partition(const Built& b, int parts) {
+  return td::partition_from_hierarchy(b.td.hierarchy, b.g.num_vertices(),
+                                      parts);
+}
+
+// --- partitions --------------------------------------------------------------
+
+TEST(TdPartition, HierarchyPartitionIsValidDeterministicAndSpreads) {
+  Built b = build_instance({"ktree", 90, 2, 2});
+  const int n = b.g.num_vertices();
+  for (int parts : kPartCounts) {
+    auto p = hier_partition(b, parts);
+    ASSERT_EQ(p.size(), static_cast<std::size_t>(n));
+    for (VertexId v = 0; v < n; ++v) {
+      EXPECT_GE(p[v], 0);
+      EXPECT_LT(p[v], parts);
+    }
+    if (parts == 1) {
+      EXPECT_TRUE(std::all_of(p.begin(), p.end(),
+                              [](std::int32_t x) { return x == 0; }));
+    } else {
+      // The frontier expansion must actually split a 90-vertex 2-tree.
+      std::vector<std::int32_t> sorted(p);
+      std::sort(sorted.begin(), sorted.end());
+      sorted.erase(std::unique(sorted.begin(), sorted.end()), sorted.end());
+      EXPECT_GE(sorted.size(), 2u) << parts << " parts";
+    }
+    EXPECT_EQ(p, hier_partition(b, parts));  // pure function of the hierarchy
+  }
+}
+
+TEST(TdPartition, BfsPartitionIsValidAndDeterministicInSeed) {
+  Built b = build_instance({"partial_ktree", 90, 3, 4});
+  const int n = b.g.num_vertices();
+  for (int parts : kPartCounts) {
+    auto p = labeling::partition_bfs(b.g, parts, 99);
+    ASSERT_EQ(p.size(), static_cast<std::size_t>(n));
+    for (VertexId v = 0; v < n; ++v) {
+      EXPECT_GE(p[v], 0);
+      EXPECT_LT(p[v], parts);
+    }
+    EXPECT_EQ(p, labeling::partition_bfs(b.g, parts, 99));
+  }
+  // Different seeds may (and for this family do) move the roots.
+  EXPECT_NE(labeling::partition_bfs(b.g, 4, 1),
+            labeling::partition_bfs(b.g, 4, 2));
+}
+
+// --- the core property: pruned ≡ unpruned ------------------------------------
+
+class LabelFilterSweep : public ::testing::TestWithParam<test::FamilySpec> {};
+
+TEST_P(LabelFilterSweep, DecodeAndOneVsAllBitExactEveryPartCount) {
+  Built b = build_instance(GetParam());
+  const labeling::FlatLabeling& flat = b.dl.flat;
+  const int n = flat.num_vertices();
+  InvertedHubIndex idx(flat);
+  std::vector<Weight> want(static_cast<std::size_t>(n));
+  std::vector<Weight> want_to(static_cast<std::size_t>(n));
+  std::vector<Weight> got(static_cast<std::size_t>(n));
+  std::vector<Weight> got_to(static_cast<std::size_t>(n));
+  for (int parts : kPartCounts) {
+    LabelFilter f =
+        LabelFilter::build(flat, idx, hier_partition(b, parts), parts);
+    EXPECT_TRUE(f.matches(flat));
+    EXPECT_EQ(f.num_parts(), parts);
+    for (VertexId u = 0; u < n; ++u) {
+      idx.one_vs_all(u, want, want_to);
+      PruneCounters c;
+      f.one_vs_all(u, got, got_to, &c);
+      ASSERT_EQ(got, want) << "source " << u << ", " << parts << " parts";
+      ASSERT_EQ(got_to, want_to) << "source " << u;
+      for (VertexId v = 0; v < n; ++v) {
+        ASSERT_EQ(f.decode(u, v), flat.decode(u, v))
+            << u << " -> " << v << ", " << parts << " parts";
+      }
+    }
+  }
+}
+
+TEST_P(LabelFilterSweep, EngineShapesMatchUnfilteredAtEveryPoolSize) {
+  Built b = build_instance(GetParam());
+  const labeling::FlatLabeling& flat = b.dl.flat;
+  const int n = flat.num_vertices();
+  InvertedHubIndex idx(flat);
+  LabelFilter f = LabelFilter::build(flat, idx, hier_partition(b, 4), 4);
+  util::Rng rng(GetParam().seed + 31);
+  std::vector<QueryPair> pairs;
+  for (int i = 0; i < 200; ++i) {
+    pairs.push_back({static_cast<VertexId>(rng.next_below(n)),
+                     static_cast<VertexId>(rng.next_below(n))});
+  }
+  std::vector<VertexId> sources;
+  for (int i = 0; i < 6; ++i) {
+    sources.push_back(static_cast<VertexId>(rng.next_below(n)));
+  }
+  auto fill_batch = [&](QueryBatch& batch) {
+    batch.clear();
+    for (VertexId s : sources) {
+      batch.add_source(s);
+      for (VertexId v = 0; v < n; v += 3) batch.add_target(v);
+    }
+  };
+  for (int workers : {0, 2}) {
+    exec::TaskPool pool(workers == 0 ? 1 : workers);
+    QueryEngine plain(flat, workers == 0 ? nullptr : &pool);
+    QueryEngine pruned(flat, workers == 0 ? nullptr : &pool);
+    pruned.set_filter(&f);
+
+    std::vector<Weight> out_a(pairs.size());
+    std::vector<Weight> out_b(pairs.size());
+    ASSERT_EQ(plain.try_pairwise(pairs, out_a), QueryStatus::kOk);
+    ASSERT_EQ(pruned.try_pairwise(pairs, out_b), QueryStatus::kOk);
+    EXPECT_EQ(out_a, out_b);
+
+    QueryBatch batch_a;
+    QueryBatch batch_b;
+    fill_batch(batch_a);
+    fill_batch(batch_b);
+    ASSERT_EQ(plain.try_run(batch_a), QueryStatus::kOk);
+    ASSERT_EQ(pruned.try_run(batch_b), QueryStatus::kOk);
+    EXPECT_EQ(batch_a.results, batch_b.results);
+
+    const auto rows = sources.size() * static_cast<std::size_t>(n);
+    std::vector<Weight> da(rows), dta(rows), db(rows), dtb(rows);
+    ASSERT_EQ(plain.try_one_vs_all_batch(sources, da, dta), QueryStatus::kOk);
+    ASSERT_EQ(pruned.try_one_vs_all_batch(sources, db, dtb), QueryStatus::kOk);
+    EXPECT_EQ(da, db);
+    EXPECT_EQ(dta, dtb);
+
+    const auto stats = pruned.stats();
+    EXPECT_EQ(stats.filtered_queries, stats.queries);
+    EXPECT_GT(stats.entries_touched, 0u);
+  }
+}
+
+TEST_P(LabelFilterSweep, BuildIsBitIdenticalAtEveryWorkerCount) {
+  Built b = build_instance(GetParam());
+  InvertedHubIndex idx(b.dl.flat);
+  auto part_of = hier_partition(b, 16);
+  LabelFilter serial = LabelFilter::build(b.dl.flat, idx, part_of, 16);
+  const FilterSidecar want = serial.to_sidecar();
+  for (int workers : {2, test::hw_threads()}) {
+    exec::TaskPool pool(workers);
+    LabelFilter par = LabelFilter::build(b.dl.flat, idx, part_of, 16, &pool);
+    const FilterSidecar got = par.to_sidecar();
+    EXPECT_EQ(got.num_parts, want.num_parts);
+    EXPECT_EQ(got.part_of, want.part_of);
+    EXPECT_EQ(got.fwd_flags, want.fwd_flags) << workers << " workers";
+    EXPECT_EQ(got.bwd_flags, want.bwd_flags);
+    EXPECT_EQ(got.fwd_bound, want.fwd_bound);
+    EXPECT_EQ(got.bwd_bound, want.bwd_bound);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Families, LabelFilterSweep,
+    ::testing::Values(test::FamilySpec{"path", 40, 1, 1},
+                      test::FamilySpec{"ktree", 90, 2, 2},
+                      test::FamilySpec{"ktree", 60, 4, 3},
+                      test::FamilySpec{"partial_ktree", 90, 3, 4},
+                      test::FamilySpec{"banded", 96, 4, 5},
+                      test::FamilySpec{"grid", 96, 8, 6},
+                      test::FamilySpec{"cycle_chords", 70, 3, 7},
+                      test::FamilySpec{"apexed_path", 80, 2, 8}),
+    [](const auto& info) { return info.param.name(); });
+
+class LabelFilterModes
+    : public ::testing::TestWithParam<primitives::EngineMode> {};
+
+TEST_P(LabelFilterModes, PrunedDecodeExactInBothEngineModes) {
+  Built b = build_instance({"ktree", 70, 3, 11}, GetParam());
+  InvertedHubIndex idx(b.dl.flat);
+  LabelFilter f = LabelFilter::build(b.dl.flat, idx, hier_partition(b, 4), 4);
+  const int n = b.dl.flat.num_vertices();
+  for (VertexId u = 0; u < n; ++u) {
+    for (VertexId v = 0; v < n; ++v) {
+      ASSERT_EQ(f.decode(u, v), b.dl.flat.decode(u, v));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Modes, LabelFilterModes,
+    ::testing::Values(primitives::EngineMode::kShortcutModel,
+                      primitives::EngineMode::kTreeRealized),
+    [](const auto& info) {
+      return info.param == primitives::EngineMode::kShortcutModel
+                 ? "shortcut"
+                 : "tree_realized";
+    });
+
+// --- staleness, counters, downstream consumers -------------------------------
+
+TEST(LabelFilter, StaleFilterIsSilentlyIgnoredNeverWrong) {
+  Built a = build_instance({"ktree", 60, 2, 21});
+  Built b = build_instance({"partial_ktree", 60, 2, 22});
+  InvertedHubIndex idx(a.dl.flat);
+  LabelFilter f = LabelFilter::build(a.dl.flat, idx, hier_partition(a, 4), 4);
+  QueryEngine engine(a.dl.flat);
+  engine.set_filter(&f);
+  const int n = a.dl.flat.num_vertices();
+  std::vector<QueryPair> pairs;
+  for (VertexId v = 0; v < n; ++v) pairs.push_back({0, v});
+  std::vector<Weight> out(pairs.size());
+  ASSERT_EQ(engine.try_pairwise(pairs, out), QueryStatus::kOk);
+  EXPECT_EQ(engine.stats().filtered_queries, 1u);
+  // Rebind to another store: bind() drops the filter; re-attaching the old
+  // one must be a no-op (matches() fails), not a wrong answer.
+  engine.bind(b.dl.flat);
+  EXPECT_EQ(engine.filter(), nullptr);
+  engine.set_filter(&f);
+  ASSERT_EQ(engine.try_pairwise(pairs, out), QueryStatus::kOk);
+  EXPECT_EQ(engine.stats().filtered_queries, 1u);  // unchanged: ran unfiltered
+  for (std::size_t i = 0; i < pairs.size(); ++i) {
+    EXPECT_EQ(out[i], b.dl.flat.decode(pairs[i].u, pairs[i].v));
+  }
+}
+
+TEST(LabelFilter, CountersShowThePruningWinOnBandedFamilies) {
+  Built b = build_instance({"banded", 120, 4, 33});
+  const int n = b.dl.flat.num_vertices();
+  InvertedHubIndex idx(b.dl.flat);
+  LabelFilter f = LabelFilter::build(b.dl.flat, idx, hier_partition(b, 16), 16);
+  QueryEngine plain(b.dl.flat);
+  QueryEngine pruned(b.dl.flat);
+  pruned.set_filter(&f);
+  std::vector<Weight> d(static_cast<std::size_t>(n));
+  std::vector<Weight> dt(static_cast<std::size_t>(n));
+  for (VertexId s = 0; s < n; ++s) {
+    ASSERT_EQ(plain.try_one_vs_all(s, d, dt), QueryStatus::kOk);
+    ASSERT_EQ(pruned.try_one_vs_all(s, d, dt), QueryStatus::kOk);
+  }
+  const auto sp = plain.stats();
+  const auto sf = pruned.stats();
+  EXPECT_EQ(sp.queries, static_cast<std::uint64_t>(n));
+  EXPECT_EQ(sp.filtered_queries, 0u);
+  EXPECT_EQ(sf.filtered_queries, static_cast<std::uint64_t>(n));
+  // Both one-vs-all counters are exact fold counts, so the ratio is the
+  // honest pruning win; banded graphs with 16 parts prune a lot.
+  EXPECT_LT(sf.entries_touched, sp.entries_touched);
+  EXPECT_GT(sf.postings_runs_skipped, 0u);
+  pruned.reset_stats();
+  EXPECT_EQ(pruned.stats().queries, 0u);
+}
+
+TEST(LabelFilter, GirthCycleFoldMatchesThroughTheFilter) {
+  Built b = build_instance({"cycle_chords", 70, 3, 41});
+  InvertedHubIndex idx(b.dl.flat);
+  LabelFilter f = LabelFilter::build(b.dl.flat, idx, hier_partition(b, 4), 4);
+  QueryEngine plain(b.dl.flat);
+  QueryEngine pruned(b.dl.flat);
+  pruned.set_filter(&f);
+  EXPECT_EQ(girth::directed_cycle_fold(b.g, pruned),
+            girth::directed_cycle_fold(b.g, plain));
+  EXPECT_GT(pruned.stats().filtered_queries, 0u);
+}
+
+TEST(LabelFilter, CdlPairwiseChecksMatchThroughTheFilter) {
+  test::FamilySpec spec{"ktree", 50, 2, 51};
+  util::Rng rng(spec.seed + 17);
+  graph::Graph ug = test::make_family(spec);
+  auto edges = ug.edges();
+  std::vector<Weight> w(edges.size());
+  std::vector<std::int32_t> lab(edges.size());
+  for (std::size_t i = 0; i < edges.size(); ++i) {
+    w[i] = rng.next_in(1, 9);
+    lab[i] = static_cast<std::int32_t>(rng.next_below(2));
+  }
+  auto g = WeightedDigraph::symmetric_from(ug, w, lab);
+  auto skel = g.skeleton();
+  test::EngineBundle bundle(skel);
+  auto td = td::build_hierarchy(skel, td::TdParams{}, rng, bundle.engine);
+  walks::ColoredWalkConstraint cons(2);
+  auto cdl = walks::build_cdl(g, skel, td.hierarchy, cons, bundle.engine);
+  // Any valid partition is exact; the product graph has no TD hierarchy of
+  // its own here, so exercise the modulo partition.
+  const int pn = cdl.labels.num_vertices();
+  std::vector<std::int32_t> part_of(static_cast<std::size_t>(pn));
+  for (VertexId v = 0; v < pn; ++v) part_of[v] = v % 4;
+  InvertedHubIndex idx(cdl.labels);
+  LabelFilter f = LabelFilter::build(cdl.labels, idx, std::move(part_of), 4);
+  QueryEngine plain(cdl.labels);
+  QueryEngine pruned(cdl.labels);
+  pruned.set_filter(&f);
+  std::vector<QueryPair> pairs;
+  for (int i = 0; i < 300; ++i) {
+    auto u = static_cast<VertexId>(rng.next_below(g.num_vertices()));
+    auto v = static_cast<VertexId>(rng.next_below(g.num_vertices()));
+    pairs.push_back(cdl.distance_pair(
+        u, v, static_cast<std::int32_t>(rng.next_below(2))));
+  }
+  std::vector<Weight> out_a(pairs.size());
+  std::vector<Weight> out_b(pairs.size());
+  ASSERT_EQ(plain.try_pairwise(pairs, out_a), QueryStatus::kOk);
+  ASSERT_EQ(pruned.try_pairwise(pairs, out_b), QueryStatus::kOk);
+  EXPECT_EQ(out_a, out_b);
+}
+
+TEST(LabelFilter, SolverKnobPrunesWithoutChangingAnswersOrRounds) {
+  util::Rng rng(61);
+  graph::Graph ug = graph::gen::ktree(80, 2, rng);
+  SolverOptions plain_opts;
+  SolverOptions pruned_opts;
+  pruned_opts.filter.enabled = true;
+  pruned_opts.filter.num_parts = 8;
+  Solver plain(ug, plain_opts);
+  Solver pruned(ug, pruned_opts);
+  for (VertexId s : {VertexId{0}, VertexId{17}, VertexId{63}}) {
+    auto a = plain.sssp(s);
+    auto b = pruned.sssp(s);
+    EXPECT_EQ(a.dist, b.dist) << "source " << s;
+    EXPECT_EQ(a.dist_to, b.dist_to);
+    EXPECT_EQ(a.rounds, b.rounds);  // pruning charges nothing
+  }
+  EXPECT_EQ(plain.report().total, pruned.report().total);
+  const auto stats = pruned.query_engine().stats();
+  EXPECT_GT(stats.filtered_queries, 0u);
+  EXPECT_EQ(stats.filtered_queries, stats.queries);
+}
+
+// --- kind-4 artifact ---------------------------------------------------------
+
+TEST(FilterSidecarIO, Kind4RoundTripsStoreAndSidecar) {
+  Built b = build_instance({"ktree", 60, 3, 71});
+  InvertedHubIndex idx(b.dl.flat);
+  LabelFilter f = LabelFilter::build(b.dl.flat, idx, hier_partition(b, 8), 8);
+  const FilterSidecar want = f.to_sidecar();
+  std::stringstream ss;
+  labeling::io::write_labeling_binary(ss, b.dl.flat, want);
+  std::optional<FilterSidecar> got_sc;
+  labeling::FlatLabeling flat2 =
+      labeling::io::read_flat_labeling_binary(ss, &got_sc);
+  ASSERT_TRUE(got_sc.has_value());
+  EXPECT_EQ(got_sc->num_parts, want.num_parts);
+  EXPECT_EQ(got_sc->part_of, want.part_of);
+  EXPECT_EQ(got_sc->fwd_flags, want.fwd_flags);
+  EXPECT_EQ(got_sc->bwd_flags, want.bwd_flags);
+  EXPECT_EQ(got_sc->fwd_bound, want.fwd_bound);
+  EXPECT_EQ(got_sc->bwd_bound, want.bwd_bound);
+  InvertedHubIndex idx2(flat2);
+  LabelFilter f2 = LabelFilter::from_sidecar(flat2, idx2, std::move(*got_sc));
+  const int n = flat2.num_vertices();
+  for (VertexId u = 0; u < n; u += 3) {
+    for (VertexId v = 0; v < n; ++v) {
+      ASSERT_EQ(f2.decode(u, v), b.dl.flat.decode(u, v));
+    }
+  }
+}
+
+TEST(FilterSidecarIO, Kind4FileRoundTripIsCrashSafePathed) {
+  Built b = build_instance({"banded", 48, 3, 72});
+  InvertedHubIndex idx(b.dl.flat);
+  LabelFilter f = LabelFilter::build(b.dl.flat, idx, hier_partition(b, 4), 4);
+  const std::string path = ::testing::TempDir() + "filtered_labeling.ltwb";
+  labeling::io::write_labeling_binary_file(path, b.dl.flat, f.to_sidecar());
+  std::optional<FilterSidecar> sc;
+  auto flat2 = labeling::io::read_flat_labeling_binary_file(path, &sc);
+  ASSERT_TRUE(sc.has_value());
+  EXPECT_EQ(flat2.num_entries(), b.dl.flat.num_entries());
+  EXPECT_EQ(sc->num_parts, 4);
+}
+
+TEST(FilterSidecarIO, Kind3StillReadsAndYieldsNoSidecar) {
+  Built b = build_instance({"path", 30, 1, 73});
+  std::stringstream ss;
+  labeling::io::write_labeling_binary(ss, b.dl.flat);  // legacy kind 3
+  std::optional<FilterSidecar> sc;
+  auto flat2 = labeling::io::read_flat_labeling_binary(ss, &sc);
+  EXPECT_FALSE(sc.has_value());
+  EXPECT_EQ(flat2.num_entries(), b.dl.flat.num_entries());
+  const int n = flat2.num_vertices();
+  for (VertexId u = 0; u < n; ++u) {
+    for (VertexId v = 0; v < n; ++v) {
+      ASSERT_EQ(flat2.decode(u, v), b.dl.flat.decode(u, v));
+    }
+  }
+}
+
+TEST(FilterSidecarIO, EveryCorruptByteAndTruncationIsRejected) {
+  Built b = build_instance({"ktree", 40, 2, 74});
+  InvertedHubIndex idx(b.dl.flat);
+  LabelFilter f = LabelFilter::build(b.dl.flat, idx, hier_partition(b, 4), 4);
+  std::stringstream ss;
+  labeling::io::write_labeling_binary(ss, b.dl.flat, f.to_sidecar());
+  const std::string bytes = ss.str();
+  // Flip one byte at a sweep of offsets spanning header, store sections, and
+  // every sidecar section; each must fail the read, never return a store.
+  const std::size_t stride = std::max<std::size_t>(1, bytes.size() / 97);
+  for (std::size_t off = 0; off < bytes.size(); off += stride) {
+    std::string mutated = bytes;
+    mutated[off] = static_cast<char>(mutated[off] ^ 0x20);
+    std::istringstream is(mutated);
+    std::optional<FilterSidecar> sc;
+    EXPECT_THROW(labeling::io::read_flat_labeling_binary(is, &sc),
+                 util::CheckFailure)
+        << "offset " << off;
+  }
+  // Truncations, including cuts inside the sidecar tail.
+  for (std::size_t len : {std::size_t{0}, std::size_t{8}, bytes.size() / 3,
+                          bytes.size() / 2, bytes.size() - 9,
+                          bytes.size() - 1}) {
+    std::istringstream is(bytes.substr(0, len));
+    std::optional<FilterSidecar> sc;
+    EXPECT_THROW(labeling::io::read_flat_labeling_binary(is, &sc),
+                 util::CheckFailure)
+        << "length " << len;
+  }
+}
+
+TEST(FilterSidecarIO, ChecksummedButInconsistentSidecarFailsFromSidecar) {
+  Built b = build_instance({"ktree", 40, 2, 75});
+  InvertedHubIndex idx(b.dl.flat);
+  LabelFilter f = LabelFilter::build(b.dl.flat, idx, hier_partition(b, 4), 4);
+  FilterSidecar bad = f.to_sidecar();
+  bad.part_of[0] = bad.num_parts;  // out of range, but sizes stay valid
+  std::stringstream ss;
+  labeling::io::write_labeling_binary(ss, b.dl.flat, bad);
+  std::optional<FilterSidecar> sc;
+  auto flat2 = labeling::io::read_flat_labeling_binary(ss, &sc);
+  ASSERT_TRUE(sc.has_value());  // checksums pass: corruption-at-rest is not
+                                // the failure here, semantic validation is
+  InvertedHubIndex idx2(flat2);
+  EXPECT_THROW(LabelFilter::from_sidecar(flat2, idx2, std::move(*sc)),
+               util::CheckFailure);
+}
+
+// --- serving drills ----------------------------------------------------------
+
+WeightedDigraph make_serving_instance(int n, std::uint64_t seed) {
+  util::Rng rng(seed);
+  graph::Graph ug = graph::gen::ktree(n, 2, rng);
+  return graph::gen::random_orientation(ug, 0.55, 1, 30, rng);
+}
+
+serving::OracleOptions filtered_options(serving::FaultInjector* faults =
+                                            nullptr) {
+  serving::OracleOptions o;
+  o.faults = faults;
+  o.admission.batch_window = 500us;
+  o.admission.default_deadline = 2000ms;
+  o.filter.enabled = true;
+  o.filter.num_parts = 8;
+  return o;
+}
+
+void expect_all_pairs_exact(serving::Oracle& oracle,
+                            const WeightedDigraph& g) {
+  for (VertexId u = 0; u < g.num_vertices(); ++u) {
+    auto truth = graph::dijkstra(g, u);
+    for (VertexId v = 0; v < g.num_vertices(); ++v) {
+      auto r = oracle.query(u, v);
+      ASSERT_EQ(r.status, serving::ServeStatus::kOk) << u << "," << v;
+      ASSERT_EQ(r.distance, truth.dist[static_cast<std::size_t>(v)])
+          << u << " -> " << v;
+    }
+  }
+}
+
+TEST(ServingFilter, RebuildServesFilteredBitExactToDijkstra) {
+  auto g = make_serving_instance(48, 81);
+  serving::Oracle oracle(g, filtered_options());
+  oracle.rebuild_snapshot();
+  oracle.start();
+  expect_all_pairs_exact(oracle, g);
+  oracle.stop();
+  const auto s = oracle.stats();
+  EXPECT_EQ(s.filter_build_failures, 0u);
+  EXPECT_GT(s.filtered_queries, 0u);
+  EXPECT_GT(s.entries_touched, 0u);
+}
+
+TEST(ServingFilter, MidSwapDrillStaysExactWithFilterAttached) {
+  serving::FaultInjector fi(5);
+  auto g = make_serving_instance(40, 82);
+  serving::Oracle oracle(g, filtered_options(&fi));
+  oracle.rebuild_snapshot();
+  oracle.start();
+  fi.arm_probability(serving::FaultSite::kMidSwapRead, 0.3);
+  expect_all_pairs_exact(oracle, g);
+  oracle.stop();
+  EXPECT_GT(fi.fired(serving::FaultSite::kMidSwapRead), 0u);
+}
+
+TEST(ServingFilter, IndexBuildFailureServesFlatRungWithoutFilter) {
+  serving::FaultInjector fi(6);
+  auto g = make_serving_instance(36, 83);
+  serving::Oracle oracle(g, filtered_options(&fi));
+  fi.arm_nth(serving::FaultSite::kEngineAllocFailure, 0, 1);
+  oracle.rebuild_snapshot();  // index dies -> no filter either
+  oracle.start();
+  expect_all_pairs_exact(oracle, g);
+  oracle.stop();
+  const auto s = oracle.stats();
+  EXPECT_EQ(s.index_build_failures, 1u);
+  EXPECT_EQ(s.filtered_queries, 0u);
+  EXPECT_GT(s.served_flat, 0u);
+}
+
+TEST(ServingFilter, Kind4ArtifactLoadsFilteredAndBadSidecarDegrades) {
+  auto g = make_serving_instance(40, 84);
+  // Build the artifact out-of-band (the serving-restart shape).
+  SolverOptions sopts;
+  Solver solver(g, sopts);
+  const auto& flat = solver.distance_labeling().flat;
+  InvertedHubIndex idx(flat);
+  const int parts = 8;
+  LabelFilter f = LabelFilter::build(
+      flat, idx, labeling::partition_bfs(g, parts, 7), parts);
+  serving::OracleOptions opts;  // filter knob OFF: the sidecar alone drives it
+  opts.admission.batch_window = 500us;
+  opts.admission.default_deadline = 2000ms;
+  serving::Oracle oracle(g, opts);
+  {
+    std::stringstream ss;
+    labeling::io::write_labeling_binary(ss, flat, f.to_sidecar());
+    ASSERT_TRUE(oracle.load_snapshot(ss));
+  }
+  oracle.start();
+  expect_all_pairs_exact(oracle, g);
+  EXPECT_GT(oracle.stats().filtered_queries, 0u);
+  EXPECT_EQ(oracle.stats().filter_build_failures, 0u);
+  // A checksummed-but-inconsistent sidecar must not reject the (valid)
+  // labeling: the load succeeds, the filter is dropped, serving stays exact.
+  {
+    FilterSidecar bad = f.to_sidecar();
+    bad.part_of[0] = bad.num_parts;
+    std::stringstream ss;
+    labeling::io::write_labeling_binary(ss, flat, bad);
+    ASSERT_TRUE(oracle.load_snapshot(ss));
+  }
+  expect_all_pairs_exact(oracle, g);
+  oracle.stop();
+  EXPECT_EQ(oracle.stats().filter_build_failures, 1u);
+  EXPECT_EQ(oracle.stats().failed_loads, 0u);
+}
+
+TEST(ServingFilter, CorruptKind4LoadRejectedPreviousSnapshotKeepsServing) {
+  serving::FaultInjector fi(9);
+  auto g = make_serving_instance(36, 85);
+  auto opts = filtered_options(&fi);
+  serving::Oracle oracle(g, opts);
+  oracle.rebuild_snapshot();
+  const auto gen = oracle.generation();
+  SolverOptions sopts;
+  Solver solver(g, sopts);
+  const auto& flat = solver.distance_labeling().flat;
+  InvertedHubIndex idx(flat);
+  LabelFilter f =
+      LabelFilter::build(flat, idx, labeling::partition_bfs(g, 4, 7), 4);
+  fi.arm_nth(serving::FaultSite::kSnapshotLoadCorruption, 0, 1);
+  std::stringstream ss;
+  labeling::io::write_labeling_binary(ss, flat, f.to_sidecar());
+  EXPECT_FALSE(oracle.load_snapshot(ss));
+  EXPECT_EQ(oracle.generation(), gen);  // nothing installed
+  EXPECT_EQ(oracle.stats().failed_loads, 1u);
+  oracle.start();
+  expect_all_pairs_exact(oracle, g);
+  oracle.stop();
+}
+
+}  // namespace
+}  // namespace lowtw

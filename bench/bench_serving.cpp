@@ -5,6 +5,13 @@
 // (p50/p99), sustained queries/second, the achieved batch fill, and the
 // batching win against one-at-a-time query() round trips on the same mix.
 //
+// BM_ColdStart is the restart arm behind the kind-5 frozen image: the same
+// instance brought to serving readiness three ways — a full rebuild (TD +
+// labeling + freeze + transpose + filter), a kind-4 stream load (chunked
+// re-read, then transpose + filter derive on the load path), and a kind-5
+// mmap (validate + borrow, zero build work) — reporting the wall time to
+// the installed snapshot and the first-query latency through it.
+//
 // No rounds counters: serving decodes against a frozen snapshot and
 // charges nothing in the CONGEST ledger (decode is free — rounds are
 // sacred, wall time is the optimization target), so every counter here is
@@ -13,10 +20,16 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
 #include <vector>
 
 #include "bench_common.hpp"
 #include "core/solver.hpp"
+#include "labeling/inverted_index.hpp"
+#include "labeling/label_filter.hpp"
+#include "labeling/label_io.hpp"
 #include "serving/oracle.hpp"
 
 namespace lowtw::bench {
@@ -148,6 +161,127 @@ BENCHMARK(BM_ServeThroughput)
     ->Args({400, 2048, 8})
     ->Args({1000, 2048, 1})
     ->Args({1000, 2048, 4})
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+// --- cold start: rebuild vs kind-4 stream vs kind-5 mmap ---------------------
+
+enum ColdStartMode : int { kRebuild = 0, kStreamKind4 = 1, kMmapKind5 = 2 };
+
+void BM_ColdStart(benchmark::State& state) {
+  namespace fs = std::filesystem;
+  const int n = static_cast<int>(state.range(0));
+  const auto mode = static_cast<ColdStartMode>(state.range(1));
+  util::Rng rng(29);
+  graph::Graph topo = graph::gen::partial_ktree(n, 3, 0.7, rng);
+  graph::WeightedDigraph net =
+      graph::gen::random_orientation(topo, 0.9, 1, 100, rng);
+
+  serving::OracleOptions opts;
+  opts.filter.enabled = true;  // both artifacts carry the pruning filter
+
+  // One reference rebuild: the artifacts both load paths start from, and
+  // the denominator of speedup_vs_rebuild.
+  const std::string kind4_path =
+      (fs::temp_directory_path() /
+       ("lowtw_coldstart_" + std::to_string(n) + ".ltwb"))
+          .string();
+  const std::string image_path =
+      (fs::temp_directory_path() /
+       ("lowtw_coldstart_" + std::to_string(n) + ".img"))
+          .string();
+  double rebuild_ref_us;
+  {
+    serving::Oracle prep(net, opts);
+    const auto t0 = Clock::now();
+    prep.rebuild_snapshot();
+    rebuild_ref_us =
+        std::chrono::duration<double, std::micro>(Clock::now() - t0).count();
+    if (mode == kMmapKind5 && !prep.write_image(image_path)) {
+      state.SkipWithError("write_image refused");
+      return;
+    }
+    if (mode == kStreamKind4) {
+      // The kind-4 artifact: store + filter sidecar, built from the same
+      // labeling the image froze (the deterministic rebuild seed).
+      Solver solver(net);
+      labeling::FlatLabeling flat = solver.distance_labeling().flat;
+      labeling::InvertedHubIndex idx(flat);
+      labeling::LabelFilter filter = labeling::LabelFilter::build(
+          flat, idx,
+          labeling::partition_bfs(net, opts.filter.num_parts, opts.seed),
+          opts.filter.num_parts);
+      labeling::io::write_labeling_binary_file(kind4_path, flat,
+                                               filter.to_sidecar());
+    }
+  }
+
+  const std::pair<graph::VertexId, graph::VertexId> probe{
+      0, static_cast<graph::VertexId>(n - 1)};
+  double load_us_total = 0;
+  double first_query_us_total = 0;
+  for (auto _ : state) {
+    serving::Oracle oracle(net, opts);
+    const auto t0 = Clock::now();
+    bool ok = true;
+    switch (mode) {
+      case kRebuild:
+        oracle.rebuild_snapshot();
+        break;
+      case kStreamKind4: {
+        std::ifstream is(kind4_path, std::ios::binary);
+        ok = oracle.load_snapshot(is);
+        break;
+      }
+      case kMmapKind5:
+        ok = oracle.load_image(image_path);
+        break;
+    }
+    const auto t1 = Clock::now();
+    if (!ok) {
+      state.SkipWithError("snapshot load failed");
+      return;
+    }
+    benchmark::DoNotOptimize(
+        oracle.serve_now(probe.first, probe.second).distance);
+    const auto t2 = Clock::now();
+    load_us_total +=
+        std::chrono::duration<double, std::micro>(t1 - t0).count();
+    first_query_us_total +=
+        std::chrono::duration<double, std::micro>(t2 - t1).count();
+  }
+  const auto iters = static_cast<double>(state.iterations());
+  const double load_us = load_us_total / iters;
+  state.counters["n"] = n;
+  state.counters["load_us"] = load_us;
+  state.counters["first_query_us"] = first_query_us_total / iters;
+  state.counters["speedup_vs_rebuild"] =
+      rebuild_ref_us / std::max(1e-9, load_us);
+  switch (mode) {
+    case kRebuild:
+      state.SetLabel("full rebuild: TD + labeling + freeze + transpose");
+      break;
+    case kStreamKind4:
+      state.SetLabel("kind-4 stream: chunked read + transpose + derive");
+      break;
+    case kMmapKind5:
+      state.SetLabel("kind-5 mmap: validate + borrow, zero build work");
+      break;
+  }
+  std::remove(kind4_path.c_str());
+  std::remove(image_path.c_str());
+}
+
+BENCHMARK(BM_ColdStart)
+    ->Args({400, kRebuild})
+    ->Args({400, kStreamKind4})
+    ->Args({400, kMmapKind5})
+    ->Args({1000, kRebuild})
+    ->Args({1000, kStreamKind4})
+    ->Args({1000, kMmapKind5})
+    ->Args({2000, kRebuild})
+    ->Args({2000, kStreamKind4})
+    ->Args({2000, kMmapKind5})
     ->Unit(benchmark::kMillisecond)
     ->UseRealTime();
 

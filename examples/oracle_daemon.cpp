@@ -2,11 +2,16 @@
 //
 //   ./oracle_daemon [--socket /tmp/lowtw-oracle.sock] [--n 400] [--k 3]
 //                   [--workers 4] [--seed 7] [--selftest]
+//                   [--dimacs net.gr] [--image snap.img]
+//                   [--write-image snap.img]
 //
-// Builds a low-treewidth instance, constructs the distance labeling once
-// (the paper's CONGEST-phase preprocessing), starts the supervised
-// multi-worker oracle over it, and exposes the line protocol of
-// serving::Daemon on a unix socket:
+// Builds a low-treewidth instance (or ingests a real road network from a
+// DIMACS .gr file via --dimacs), constructs the distance labeling once
+// (the paper's CONGEST-phase preprocessing) — or skips the build entirely
+// with --image, which mmaps a kind-5 frozen image written by a previous run
+// (--write-image) and serves zero-copy out of the mapping; a corrupt image
+// falls back to a fresh rebuild. Then starts the supervised multi-worker
+// oracle and exposes the line protocol of serving::Daemon on a unix socket:
 //
 //   $ ./oracle_daemon --socket /tmp/oracle.sock &
 //   $ printf 'Q 1 0 42\nSTATS\nQUIT\n' | nc -U /tmp/oracle.sock
@@ -33,7 +38,9 @@
 #include <string>
 
 #include "graph/generators.hpp"
+#include "graph/graph_io.hpp"
 #include "serving/daemon.hpp"
+#include "util/check.hpp"
 #include "util/flags.hpp"
 
 namespace {
@@ -85,11 +92,26 @@ int main(int argc, char** argv) {
   const int workers = static_cast<int>(flags.get_int("workers", 4));
   const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 7));
   const bool selftest = flags.get_bool("selftest", false);
+  const std::string dimacs_path = flags.get_string("dimacs", "");
+  const std::string image_path = flags.get_string("image", "");
+  const std::string write_image_path = flags.get_string("write-image", "");
 
-  util::Rng rng(seed);
-  graph::Graph topo = graph::gen::partial_ktree(n, k, 0.7, rng);
-  graph::WeightedDigraph net = graph::gen::random_orientation(
-      topo, /*both_prob=*/0.9, /*lo=*/1, /*hi=*/100, rng);
+  graph::WeightedDigraph net;
+  if (!dimacs_path.empty()) {
+    // Real-graph ingestion: stream a DIMACS .gr road network instead of the
+    // synthetic partial k-tree (malformed files fail with a line number).
+    try {
+      net = graph::io::read_dimacs_gr_file(dimacs_path);
+    } catch (const util::CheckFailure& e) {
+      std::fprintf(stderr, "dimacs load failed: %s\n", e.what());
+      return 1;
+    }
+  } else {
+    util::Rng rng(seed);
+    graph::Graph topo = graph::gen::partial_ktree(n, k, 0.7, rng);
+    net = graph::gen::random_orientation(topo, /*both_prob=*/0.9, /*lo=*/1,
+                                         /*hi=*/100, rng);
+  }
   std::printf("instance: %d vertices, %d arcs\n", net.num_vertices(),
               net.num_arcs());
 
@@ -97,11 +119,29 @@ int main(int argc, char** argv) {
   opts.seed = seed;
   opts.pool.workers = workers;
   serving::Oracle oracle(net, opts);
-  oracle.rebuild_snapshot();
+  // Instant restart: mmap the frozen image and serve straight out of the
+  // mapping — no TD/labeling build. A missing or corrupt image is rejected
+  // without installing anything, so fall back to the full rebuild.
+  if (image_path.empty() || !oracle.load_image(image_path)) {
+    if (!image_path.empty()) {
+      std::fprintf(stderr, "image load failed, rebuilding: %s\n",
+                   image_path.c_str());
+    }
+    oracle.rebuild_snapshot();
+  }
+  if (!write_image_path.empty()) {
+    if (oracle.write_image(write_image_path)) {
+      std::printf("wrote frozen image: %s\n", write_image_path.c_str());
+    } else {
+      std::fprintf(stderr, "image write failed (no indexed snapshot)\n");
+    }
+  }
   oracle.start();
-  std::printf("oracle: generation %llu, %d workers\n",
+  const serving::OracleStats boot = oracle.stats();
+  std::printf("oracle: generation %llu, %d workers, snapshot %s in %llu us\n",
               static_cast<unsigned long long>(oracle.generation()),
-              oracle.num_workers());
+              oracle.num_workers(), serving::to_string(boot.snapshot_source),
+              static_cast<unsigned long long>(boot.load_micros));
 
   serving::DaemonParams dparams;
   dparams.socket_path = socket_path;

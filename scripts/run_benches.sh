@@ -13,8 +13,11 @@
 # open-loop arm (bench_serving's BM_ServeThroughput: p50/p99 client latency,
 # batch fill, the batching win vs one-at-a-time query(), and the worker-count
 # scaling axis 1/2/4/8 of the supervised pool — wall-time counters only,
-# never gated) — and emits BENCH_separator.json: one record per benchmark
-# with wall time and the CONGEST round counters.
+# never gated) and its cold-start arm (BM_ColdStart: full rebuild vs kind-4
+# stream load vs kind-5 mmap, with load_us / first_query_us /
+# speedup_vs_rebuild counters — also wall-time only) — and emits
+# BENCH_separator.json: one record per benchmark with wall time and the
+# CONGEST round counters.
 #
 # BM_TdParallel / BM_GirthParallel / BM_MatchingParallel rounds are
 # scheduling-invariant (identical for every *_threads value), so they gate
@@ -84,10 +87,12 @@ trap 'rm -f "$tmp_sep" "$tmp_td" "$tmp_girth" "$tmp_matching" "$tmp_dl" "$tmp_se
     '--benchmark_filter=BM_OneVsAllInverted|BM_SsspBatch|BM_LabelPruning' \
     --benchmark_format=json >"$tmp_dl"
 # Serving runtime: the open-loop throughput arm (p50/p99 client latency,
-# batching win vs one-at-a-time query(), worker-count axis 1/2/4/8).
+# batching win vs one-at-a-time query(), worker-count axis 1/2/4/8) and the
+# cold-start arm (rebuild vs kind-4 stream vs kind-5 mmap restart).
 # Wall-time counters only — the serving plane charges no CONGEST rounds, so
 # nothing here is gated by the round-drift check.
-"$BUILD_DIR"/bench_serving --benchmark_filter=BM_ServeThroughput \
+"$BUILD_DIR"/bench_serving \
+    '--benchmark_filter=BM_ServeThroughput|BM_ColdStart' \
     --benchmark_format=json >"$tmp_serve"
 
 python3 - "$OUT" "$tmp_sep" "$tmp_td" "$tmp_girth" "$tmp_matching" "$tmp_dl" \

@@ -12,16 +12,16 @@ CsrGraph::CsrGraph(const Graph& g) : num_edges_(g.num_edges()) {
   targets_.resize(2 * static_cast<std::size_t>(num_edges_));
   EdgeId pos = 0;
   for (VertexId v = 0; v < n; ++v) {
-    offsets_[v] = pos;
+    offsets_.mut(v) = pos;
     auto nb = g.neighbors(v);
-    std::copy(nb.begin(), nb.end(), targets_.begin() + pos);
+    std::copy(nb.begin(), nb.end(), targets_.mutable_begin() + pos);
     pos += static_cast<EdgeId>(nb.size());
   }
-  offsets_[n] = pos;
+  offsets_.mut(n) = pos;
 }
 
-CsrGraph CsrGraph::from_parts(std::vector<EdgeId> offsets,
-                              std::vector<VertexId> targets) {
+CsrGraph CsrGraph::from_parts(util::ArrayRef<EdgeId> offsets,
+                              util::ArrayRef<VertexId> targets) {
   LOWTW_CHECK_MSG(!offsets.empty() && offsets.front() == 0 &&
                       static_cast<std::size_t>(offsets.back()) ==
                           targets.size(),
@@ -84,17 +84,17 @@ void CsrGraph::assign_induced(const CsrGraph& host,
   // per-vertex sort keeps the contract for unsorted parts.
   targets_.clear();
   for (std::size_t i = 0; i < k; ++i) {
-    offsets_[i] = static_cast<EdgeId>(targets_.size());
+    offsets_.mut(i) = static_cast<EdgeId>(targets_.size());
     for (VertexId w : host.neighbors(part[i])) {
       VertexId lw = to_local[w];
       if (lw != kNoVertex) targets_.push_back(lw);
     }
-    auto begin = targets_.begin() + offsets_[i];
-    if (!std::is_sorted(begin, targets_.end())) {
-      std::sort(begin, targets_.end());
+    auto begin = targets_.mutable_begin() + offsets_[i];
+    if (!std::is_sorted(begin, targets_.mutable_end())) {
+      std::sort(begin, targets_.mutable_end());
     }
   }
-  offsets_[k] = static_cast<EdgeId>(targets_.size());
+  offsets_.mut(k) = static_cast<EdgeId>(targets_.size());
   num_edges_ = static_cast<int>(targets_.size() / 2);
 }
 

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "graph/graph.hpp"
+#include "util/array_ref.hpp"
 
 namespace lowtw::graph {
 
@@ -37,17 +38,27 @@ class CsrGraph {
 
   bool has_edge(VertexId u, VertexId v) const;
 
+  /// Whole packed arrays (persistence writers).
+  std::span<const EdgeId> raw_offsets() const {
+    return {offsets_.data(), offsets_.size()};
+  }
+  std::span<const VertexId> raw_targets() const {
+    return {targets_.data(), targets_.size()};
+  }
+
   /// All edges as (u, v) pairs with u < v, lexicographically sorted (the
   /// same order as Graph::edges()).
   std::vector<std::pair<VertexId, VertexId>> edges() const;
 
   /// Assembles a CSR directly from pre-packed arrays — for callers that can
   /// emit sorted adjacency in one pass (e.g. the CDL product skeleton) and
-  /// skip the mutable Graph + add_edge build entirely. `offsets` must be an
-  /// n+1 prefix-sum table and `targets` sorted within each span (checked);
-  /// the caller guarantees both directions of every edge are present.
-  static CsrGraph from_parts(std::vector<EdgeId> offsets,
-                             std::vector<VertexId> targets);
+  /// skip the mutable Graph + add_edge build entirely, or borrow the arrays
+  /// straight out of an mmapped frozen image (util::ArrayRef::borrowed).
+  /// `offsets` must be an n+1 prefix-sum table and `targets` sorted within
+  /// each span (checked); the caller guarantees both directions of every
+  /// edge are present.
+  static CsrGraph from_parts(util::ArrayRef<EdgeId> offsets,
+                             util::ArrayRef<VertexId> targets);
 
   /// Rebuilds this graph as the subgraph of `host` induced on `part`,
   /// reusing the existing buffers (no allocation once capacity is grown).
@@ -59,8 +70,10 @@ class CsrGraph {
                       std::span<const VertexId> to_local);
 
  private:
-  std::vector<EdgeId> offsets_{0};  ///< size n+1 (default: valid 0-vertex graph)
-  std::vector<VertexId> targets_;   ///< size 2m, sorted within each vertex
+  /// Borrowed-or-owned storage (util::ArrayRef): owned vectors for built
+  /// graphs, read-only borrows into an mmapped frozen image for loaded ones.
+  util::ArrayRef<EdgeId> offsets_{0};  ///< size n+1 (default: valid 0-vertex graph)
+  util::ArrayRef<VertexId> targets_;   ///< size 2m, sorted within each vertex
   int num_edges_ = 0;
 };
 

@@ -1,0 +1,237 @@
+// Streaming reader for the 9th DIMACS Challenge shortest-path formats.
+//
+// The .gr files for real road networks run to hundreds of millions of arc
+// lines, so the reader never materializes the input: a LineScanner pulls the
+// stream in bounded ~1 MiB chunks (the same granularity as the binio array
+// path), carries the partial trailing line between chunks, and hands out
+// std::string_view lines parsed in place with std::from_chars — no per-line
+// allocation, no istream token extraction. Arcs append straight into the
+// WeightedDigraph builder, whose adjacency grows incrementally (chunked CSR
+// construction happens at the CsrGraph freeze downstream).
+//
+// Every malformed shape is rejected with the 1-based line number, so a truck
+// of road data with one bad record fails with an actionable message instead
+// of a silently wrong graph.
+#include <cctype>
+#include <charconv>
+#include <fstream>
+#include <istream>
+#include <limits>
+#include <string>
+#include <string_view>
+
+#include "graph/graph_io.hpp"
+#include "util/binio.hpp"
+#include "util/check.hpp"
+
+namespace lowtw::graph::io {
+
+namespace {
+
+/// Chunked line iterator over an istream: reads binio::kChunkBytes at a
+/// time, compacts the carried tail, and yields one line per next() without
+/// copying line bytes out of the chunk buffer.
+class LineScanner {
+ public:
+  explicit LineScanner(std::istream& is) : is_(is) {
+    buf_.reserve(util::binio::kChunkBytes + 4096);
+  }
+
+  /// Advances to the next line (without the trailing '\n'); returns false
+  /// at end of input. The view is valid until the following next() call.
+  bool next(std::string_view& line) {
+    while (true) {
+      const std::size_t nl = buf_.find('\n', pos_);
+      if (nl != std::string::npos) {
+        line = std::string_view(buf_).substr(pos_, nl - pos_);
+        pos_ = nl + 1;
+        ++line_number_;
+        return true;
+      }
+      if (eof_) {
+        if (pos_ >= buf_.size()) return false;
+        line = std::string_view(buf_).substr(pos_);
+        pos_ = buf_.size();
+        ++line_number_;
+        return true;
+      }
+      // Compact the partial tail to the front, then pull the next chunk.
+      buf_.erase(0, pos_);
+      pos_ = 0;
+      const std::size_t old = buf_.size();
+      buf_.resize(old + util::binio::kChunkBytes);
+      is_.read(buf_.data() + old,
+               static_cast<std::streamsize>(util::binio::kChunkBytes));
+      buf_.resize(old + static_cast<std::size_t>(is_.gcount()));
+      if (is_.gcount() == 0) eof_ = true;
+    }
+  }
+
+  /// 1-based number of the line most recently returned by next().
+  std::size_t line_number() const { return line_number_; }
+
+ private:
+  std::istream& is_;
+  std::string buf_;
+  std::size_t pos_ = 0;
+  std::size_t line_number_ = 0;
+  bool eof_ = false;
+};
+
+bool is_space(char c) { return c == ' ' || c == '\t' || c == '\r'; }
+
+/// Pops the next whitespace-separated token off `rest`; empty when none.
+std::string_view next_token(std::string_view& rest) {
+  std::size_t b = 0;
+  while (b < rest.size() && is_space(rest[b])) ++b;
+  std::size_t e = b;
+  while (e < rest.size() && !is_space(rest[e])) ++e;
+  std::string_view tok = rest.substr(b, e - b);
+  rest.remove_prefix(e);
+  return tok;
+}
+
+std::int64_t parse_int(std::string_view tok, std::size_t line,
+                       const char* what) {
+  std::int64_t value = 0;
+  const auto [ptr, ec] =
+      std::from_chars(tok.data(), tok.data() + tok.size(), value);
+  LOWTW_CHECK_MSG(ec == std::errc{} && ptr == tok.data() + tok.size() &&
+                      !tok.empty(),
+                  "dimacs: line " << line << ": bad " << what << " '" << tok
+                                  << "'");
+  return value;
+}
+
+void check_no_trailing(std::string_view rest, std::size_t line) {
+  LOWTW_CHECK_MSG(next_token(rest).empty(),
+                  "dimacs: line " << line << ": trailing fields");
+}
+
+}  // namespace
+
+WeightedDigraph read_dimacs_gr(std::istream& is) {
+  LineScanner scanner(is);
+  std::string_view line;
+  WeightedDigraph g;
+  std::int64_t n = -1;
+  std::int64_t m = -1;
+  std::int64_t arcs = 0;
+  while (scanner.next(line)) {
+    const std::size_t ln = scanner.line_number();
+    std::string_view rest = line;
+    const std::string_view tag = next_token(rest);
+    if (tag.empty() || tag == "c") continue;  // blank / comment line
+    if (tag == "p") {
+      LOWTW_CHECK_MSG(n < 0, "dimacs: line " << ln << ": duplicate problem line");
+      LOWTW_CHECK_MSG(next_token(rest) == "sp",
+                      "dimacs: line " << ln << ": expected 'p sp <n> <m>'");
+      n = parse_int(next_token(rest), ln, "vertex count");
+      m = parse_int(next_token(rest), ln, "arc count");
+      check_no_trailing(rest, ln);
+      LOWTW_CHECK_MSG(n >= 0 && m >= 0 &&
+                          n <= std::numeric_limits<VertexId>::max(),
+                      "dimacs: line " << ln << ": bad problem size " << n
+                                      << " " << m);
+      g = WeightedDigraph(static_cast<int>(n));
+      continue;
+    }
+    if (tag == "a") {
+      LOWTW_CHECK_MSG(n >= 0,
+                      "dimacs: line " << ln << ": arc before problem line");
+      const std::int64_t u = parse_int(next_token(rest), ln, "tail");
+      const std::int64_t v = parse_int(next_token(rest), ln, "head");
+      const std::int64_t w = parse_int(next_token(rest), ln, "weight");
+      check_no_trailing(rest, ln);
+      LOWTW_CHECK_MSG(u >= 1 && u <= n && v >= 1 && v <= n,
+                      "dimacs: line " << ln << ": vertex out of range [1, "
+                                      << n << "]");
+      LOWTW_CHECK_MSG(w >= 0,
+                      "dimacs: line " << ln << ": negative arc weight " << w);
+      LOWTW_CHECK_MSG(arcs < m, "dimacs: line " << ln
+                                    << ": more arcs than the problem line's "
+                                    << m);
+      g.add_arc(static_cast<VertexId>(u - 1), static_cast<VertexId>(v - 1),
+                static_cast<Weight>(w));
+      ++arcs;
+      continue;
+    }
+    LOWTW_CHECK_MSG(false, "dimacs: line " << ln << ": unknown record '"
+                                           << tag << "'");
+  }
+  LOWTW_CHECK_MSG(n >= 0, "dimacs: missing 'p sp' problem line");
+  LOWTW_CHECK_MSG(arcs == m, "dimacs: arc count " << arcs
+                                 << " disagrees with problem line's " << m);
+  return g;
+}
+
+DimacsCoordinates read_dimacs_co(std::istream& is) {
+  LineScanner scanner(is);
+  std::string_view line;
+  DimacsCoordinates co;
+  std::vector<bool> seen;
+  std::int64_t n = -1;
+  std::int64_t vertices = 0;
+  while (scanner.next(line)) {
+    const std::size_t ln = scanner.line_number();
+    std::string_view rest = line;
+    const std::string_view tag = next_token(rest);
+    if (tag.empty() || tag == "c") continue;
+    if (tag == "p") {
+      LOWTW_CHECK_MSG(n < 0, "dimacs: line " << ln << ": duplicate problem line");
+      LOWTW_CHECK_MSG(next_token(rest) == "aux" && next_token(rest) == "sp" &&
+                          next_token(rest) == "co",
+                      "dimacs: line " << ln
+                                      << ": expected 'p aux sp co <n>'");
+      n = parse_int(next_token(rest), ln, "vertex count");
+      check_no_trailing(rest, ln);
+      LOWTW_CHECK_MSG(n >= 0 && n <= std::numeric_limits<VertexId>::max(),
+                      "dimacs: line " << ln << ": bad vertex count " << n);
+      co.x.assign(static_cast<std::size_t>(n), 0);
+      co.y.assign(static_cast<std::size_t>(n), 0);
+      seen.assign(static_cast<std::size_t>(n), false);
+      continue;
+    }
+    if (tag == "v") {
+      LOWTW_CHECK_MSG(n >= 0,
+                      "dimacs: line " << ln << ": vertex before problem line");
+      const std::int64_t id = parse_int(next_token(rest), ln, "vertex id");
+      const std::int64_t x = parse_int(next_token(rest), ln, "x coordinate");
+      const std::int64_t y = parse_int(next_token(rest), ln, "y coordinate");
+      check_no_trailing(rest, ln);
+      LOWTW_CHECK_MSG(id >= 1 && id <= n,
+                      "dimacs: line " << ln << ": vertex out of range [1, "
+                                      << n << "]");
+      const auto slot = static_cast<std::size_t>(id - 1);
+      LOWTW_CHECK_MSG(!seen[slot], "dimacs: line " << ln
+                                       << ": duplicate coordinates for vertex "
+                                       << id);
+      seen[slot] = true;
+      co.x[slot] = x;
+      co.y[slot] = y;
+      ++vertices;
+      continue;
+    }
+    LOWTW_CHECK_MSG(false, "dimacs: line " << ln << ": unknown record '"
+                                           << tag << "'");
+  }
+  LOWTW_CHECK_MSG(n >= 0, "dimacs: missing 'p aux sp co' problem line");
+  LOWTW_CHECK_MSG(vertices == n, "dimacs: coordinate count "
+                                     << vertices
+                                     << " disagrees with problem line's " << n);
+  return co;
+}
+
+WeightedDigraph read_dimacs_gr_file(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  LOWTW_CHECK_MSG(is.is_open(), "dimacs: cannot open '" << path << "'");
+  return read_dimacs_gr(is);
+}
+
+DimacsCoordinates read_dimacs_co_file(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  LOWTW_CHECK_MSG(is.is_open(), "dimacs: cannot open '" << path << "'");
+  return read_dimacs_co(is);
+}
+
+}  // namespace lowtw::graph::io

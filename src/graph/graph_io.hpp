@@ -24,11 +24,15 @@
 // the digraph path cross-checks the rebuilt adjacency against the degree
 // table).
 //
-// Plus a Graphviz DOT exporter used by the examples for visual inspection.
+// Plus a Graphviz DOT exporter used by the examples for visual inspection,
+// and a streaming reader for the 9th DIMACS Challenge shortest-path formats
+// (.gr graphs / .co coordinates) — the real-road-network ingestion path.
 #pragma once
 
+#include <cstdint>
 #include <iosfwd>
 #include <string>
+#include <vector>
 
 #include "graph/csr.hpp"
 #include "graph/digraph.hpp"
@@ -63,5 +67,38 @@ WeightedDigraph read_digraph_binary_file(const std::string& path);
 /// DOT export of an undirected graph; `highlight` vertices are drawn filled
 /// (used by examples to show separators/matchings).
 std::string to_dot(const Graph& g, std::span<const VertexId> highlight = {});
+
+// --- 9th DIMACS Challenge shortest-path formats ------------------------------
+//
+// .gr:  c <comment>
+//       p sp <n> <m>
+//       a <tail> <head> <weight>      (1-based vertices, m arc lines)
+// .co:  c <comment>
+//       p aux sp co <n>
+//       v <id> <x> <y>                (1-based, exactly one line per vertex)
+//
+// Both readers stream the input in bounded ~1 MiB chunks (dimacs.cpp), so a
+// multi-GB road network never sits in memory twice, and reject malformed
+// input with a CheckFailure naming the offending 1-based line number:
+// unknown record tags, short/overlong records, non-numeric fields,
+// out-of-range vertex ids, negative weights, duplicate headers or
+// coordinates, and arc/vertex counts that disagree with the problem line.
+
+/// Reads a DIMACS .gr shortest-path instance into a weighted digraph
+/// (vertices renumbered to 0-based; arcs keep file order, so arc ids are
+/// the 0-based position of their `a` line).
+WeightedDigraph read_dimacs_gr(std::istream& is);
+WeightedDigraph read_dimacs_gr_file(const std::string& path);
+
+/// Vertex coordinates from a DIMACS .co file, index-aligned with the
+/// renumbered .gr vertices (entry v holds the line for DIMACS id v+1).
+struct DimacsCoordinates {
+  std::vector<std::int64_t> x;
+  std::vector<std::int64_t> y;
+  int num_vertices() const { return static_cast<int>(x.size()); }
+};
+
+DimacsCoordinates read_dimacs_co(std::istream& is);
+DimacsCoordinates read_dimacs_co_file(const std::string& path);
 
 }  // namespace lowtw::graph::io

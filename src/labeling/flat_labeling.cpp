@@ -106,16 +106,16 @@ void FlatLabeling::assign(const DistanceLabeling& labeling) {
   std::size_t pos = 0;
   hub_bound_ = static_cast<VertexId>(n);
   for (std::size_t v = 0; v < n; ++v) {
-    offsets_[v] = pos;
+    offsets_.mut(v) = pos;
     for (const LabelEntry& e : labeling.labels[v].entries) {
-      hub_ids_[pos] = e.hub;
-      to_hub_[pos] = e.to_hub;
-      from_hub_[pos] = e.from_hub;
+      hub_ids_.mut(pos) = e.hub;
+      to_hub_.mut(pos) = e.to_hub;
+      from_hub_.mut(pos) = e.from_hub;
       hub_bound_ = std::max(hub_bound_, e.hub + 1);
       ++pos;
     }
   }
-  offsets_[n] = pos;
+  offsets_.mut(n) = pos;
   generation_ = next_generation();
 }
 
@@ -378,10 +378,10 @@ DistanceLabeling FlatLabeling::thaw() const {
   return out;
 }
 
-FlatLabeling FlatLabeling::from_parts(std::vector<std::size_t> offsets,
-                                      std::vector<VertexId> hub_ids,
-                                      std::vector<Weight> to_hub,
-                                      std::vector<Weight> from_hub) {
+FlatLabeling FlatLabeling::from_parts(util::ArrayRef<std::size_t> offsets,
+                                      util::ArrayRef<VertexId> hub_ids,
+                                      util::ArrayRef<Weight> to_hub,
+                                      util::ArrayRef<Weight> from_hub) {
   LOWTW_CHECK_MSG(!offsets.empty() && offsets.front() == 0 &&
                       offsets.back() == hub_ids.size(),
                   "flat labeling: malformed offset table");

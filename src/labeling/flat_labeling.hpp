@@ -27,6 +27,7 @@
 #include <vector>
 
 #include "labeling/label.hpp"
+#include "util/array_ref.hpp"
 
 namespace lowtw::labeling {
 
@@ -74,6 +75,20 @@ class FlatLabeling {
   }
   std::span<const graph::Weight> from_hub(graph::VertexId v) const {
     return {from_hub_.data() + offsets_[v], entries(v)};
+  }
+
+  /// Whole packed arrays (persistence writers).
+  std::span<const std::size_t> raw_offsets() const {
+    return {offsets_.data(), offsets_.size()};
+  }
+  std::span<const graph::VertexId> raw_hub_ids() const {
+    return {hub_ids_.data(), hub_ids_.size()};
+  }
+  std::span<const graph::Weight> raw_to_hub() const {
+    return {to_hub_.data(), to_hub_.size()};
+  }
+  std::span<const graph::Weight> raw_from_hub() const {
+    return {from_hub_.data(), from_hub_.size()};
   }
 
   /// dec(la(u), la(v)): min over common hubs s of d(u→s) + d(s→v).
@@ -128,19 +143,23 @@ class FlatLabeling {
   /// Thaws back to the builder AoS form (tests / persistence convenience).
   DistanceLabeling thaw() const;
 
-  /// Assembles a store from pre-packed arrays (the label_io reader builds
-  /// these directly from the stream). `offsets` must be a valid n+1 prefix-sum
-  /// table and hubs must be sorted within each span; checked.
-  static FlatLabeling from_parts(std::vector<std::size_t> offsets,
-                                 std::vector<graph::VertexId> hub_ids,
-                                 std::vector<graph::Weight> to_hub,
-                                 std::vector<graph::Weight> from_hub);
+  /// Assembles a store from pre-packed arrays — owned vectors (the label_io
+  /// reader builds these directly from the stream) or read-only borrows into
+  /// an mmapped frozen image (util::ArrayRef::borrowed; the decode kernels
+  /// then run directly on the mapping). `offsets` must be a valid n+1
+  /// prefix-sum table and hubs must be sorted within each span; checked.
+  static FlatLabeling from_parts(util::ArrayRef<std::size_t> offsets,
+                                 util::ArrayRef<graph::VertexId> hub_ids,
+                                 util::ArrayRef<graph::Weight> to_hub,
+                                 util::ArrayRef<graph::Weight> from_hub);
 
  private:
-  std::vector<std::size_t> offsets_{0};  ///< size n+1
-  std::vector<graph::VertexId> hub_ids_;
-  std::vector<graph::Weight> to_hub_;
-  std::vector<graph::Weight> from_hub_;
+  /// Borrowed-or-owned SoA storage; the query kernels are agnostic (they
+  /// only ever touch data()/size(), branch-free in both modes).
+  util::ArrayRef<std::size_t> offsets_{0};  ///< size n+1
+  util::ArrayRef<graph::VertexId> hub_ids_;
+  util::ArrayRef<graph::Weight> to_hub_;
+  util::ArrayRef<graph::Weight> from_hub_;
   /// Exclusive upper bound on hub ids (= n for construction-built labelings;
   /// sizes the dense pin arrays for hand-built ones with out-of-range hubs).
   graph::VertexId hub_bound_ = 0;

@@ -100,9 +100,11 @@ void InvertedHubIndex::assign(const FlatLabeling& labels) {
   // run comes out vertex-sorted without a comparison sort.
   offsets_.assign(hub_bound + 1, 0);
   for (VertexId v = 0; v < n; ++v) {
-    for (VertexId h : labels.hubs(v)) ++offsets_[static_cast<std::size_t>(h) + 1];
+    for (VertexId h : labels.hubs(v)) {
+      ++offsets_.mut(static_cast<std::size_t>(h) + 1);
+    }
   }
-  for (std::size_t h = 0; h < hub_bound; ++h) offsets_[h + 1] += offsets_[h];
+  for (std::size_t h = 0; h < hub_bound; ++h) offsets_.mut(h + 1) += offsets_[h];
   LOWTW_CHECK(offsets_[hub_bound] == total);
 
   vertices_.resize(total);
@@ -115,15 +117,51 @@ void InvertedHubIndex::assign(const FlatLabeling& labels) {
     auto from = labels.from_hub(v);
     for (std::size_t i = 0; i < hubs.size(); ++i) {
       const std::size_t pos = cursor[hubs[i]]++;
-      vertices_[pos] = v;
-      to_hub_[pos] = to[i];
-      from_hub_[pos] = from[i];
+      vertices_.mut(pos) = v;
+      to_hub_.mut(pos) = to[i];
+      from_hub_.mut(pos) = from[i];
     }
   }
 
   num_vertices_ = n;
   source_ = &labels;
   source_generation_ = labels.generation();
+}
+
+InvertedHubIndex InvertedHubIndex::from_parts(
+    const FlatLabeling& source, util::ArrayRef<std::size_t> offsets,
+    util::ArrayRef<VertexId> vertices, util::ArrayRef<Weight> to_hub,
+    util::ArrayRef<Weight> from_hub) {
+  const auto hub_bound = static_cast<std::size_t>(source.hub_bound());
+  const int n = source.num_vertices();
+  LOWTW_CHECK_MSG(offsets.size() == hub_bound + 1,
+                  "inverted from_parts: offset table does not span hub bound");
+  LOWTW_CHECK_MSG(offsets.front() == 0 &&
+                      offsets.back() == source.num_entries(),
+                  "inverted from_parts: postings total mismatch");
+  LOWTW_CHECK_MSG(vertices.size() == source.num_entries() &&
+                      to_hub.size() == vertices.size() &&
+                      from_hub.size() == vertices.size(),
+                  "inverted from_parts: array length mismatch");
+  for (std::size_t h = 0; h < hub_bound; ++h) {
+    LOWTW_CHECK_MSG(offsets[h] <= offsets[h + 1],
+                    "inverted from_parts: offsets not monotone");
+    for (std::size_t i = offsets[h]; i < offsets[h + 1]; ++i) {
+      LOWTW_CHECK_MSG(vertices[i] >= 0 && vertices[i] < n,
+                      "inverted from_parts: vertex out of range");
+      LOWTW_CHECK_MSG(i == offsets[h] || vertices[i - 1] < vertices[i],
+                      "inverted from_parts: postings run not ascending");
+    }
+  }
+  InvertedHubIndex idx;
+  idx.offsets_ = std::move(offsets);
+  idx.vertices_ = std::move(vertices);
+  idx.to_hub_ = std::move(to_hub);
+  idx.from_hub_ = std::move(from_hub);
+  idx.num_vertices_ = n;
+  idx.source_ = &source;
+  idx.source_generation_ = source.generation();
+  return idx;
 }
 
 void InvertedHubIndex::one_vs_all(VertexId source,

@@ -32,6 +32,7 @@
 #include <vector>
 
 #include "labeling/flat_labeling.hpp"
+#include "util/array_ref.hpp"
 
 namespace lowtw::labeling {
 
@@ -77,6 +78,20 @@ class InvertedHubIndex {
     return {from_hub_.data() + offsets_[hub], postings(hub)};
   }
 
+  /// Whole packed arrays (persistence writers).
+  std::span<const std::size_t> raw_offsets() const {
+    return {offsets_.data(), offsets_.size()};
+  }
+  std::span<const graph::VertexId> raw_vertices() const {
+    return {vertices_.data(), vertices_.size()};
+  }
+  std::span<const graph::Weight> raw_to_hub() const {
+    return {to_hub_.data(), to_hub_.size()};
+  }
+  std::span<const graph::Weight> raw_from_hub() const {
+    return {from_hub_.data(), from_hub_.size()};
+  }
+
   /// Batch kernel: decodes `source` against every vertex by merging the
   /// postings runs of source's hubs, writing out_dist[v] = dec(source, v)
   /// and out_dist_to[v] = dec(v, source). Bit-identical to
@@ -86,11 +101,26 @@ class InvertedHubIndex {
   void one_vs_all(graph::VertexId source, std::span<graph::Weight> out_dist,
                   std::span<graph::Weight> out_dist_to) const;
 
+  /// Assembles the index from a pre-built postings transpose — the frozen-
+  /// image load path (the arrays are ArrayRef::borrowed views into the
+  /// mapping, so no transpose work runs on load). Validates structure
+  /// against `source`: the offset table spans the store's hub bound, runs
+  /// are vertex-ascending with ids in range, and the postings total matches
+  /// the store's entry total. Binds to `source` at its current generation —
+  /// the caller must pass the store the image was written from, at its
+  /// final address (e.g. already moved into the serving snapshot).
+  static InvertedHubIndex from_parts(const FlatLabeling& source,
+                                     util::ArrayRef<std::size_t> offsets,
+                                     util::ArrayRef<graph::VertexId> vertices,
+                                     util::ArrayRef<graph::Weight> to_hub,
+                                     util::ArrayRef<graph::Weight> from_hub);
+
  private:
-  std::vector<std::size_t> offsets_;      ///< size hub_bound+1
-  std::vector<graph::VertexId> vertices_;
-  std::vector<graph::Weight> to_hub_;
-  std::vector<graph::Weight> from_hub_;
+  /// Borrowed-or-owned postings storage (see FlatLabeling's storage note).
+  util::ArrayRef<std::size_t> offsets_;      ///< size hub_bound+1
+  util::ArrayRef<graph::VertexId> vertices_;
+  util::ArrayRef<graph::Weight> to_hub_;
+  util::ArrayRef<graph::Weight> from_hub_;
   int num_vertices_ = 0;
   const FlatLabeling* source_ = nullptr;
   std::uint64_t source_generation_ = 0;

@@ -82,25 +82,27 @@ LabelFilter LabelFilter::build(const FlatLabeling& labels,
       auto pto = index.to_hub(h);
       auto pfrom = index.from_hub(h);
       const std::size_t e = entry_base + i;
-      std::uint64_t* fw = f.fwd_flags_.data() + e * wpe;
-      std::uint64_t* bw = f.bwd_flags_.data() + e * wpe;
+      std::uint64_t* fw = f.fwd_flags_.mutable_data() + e * wpe;
+      std::uint64_t* bw = f.bwd_flags_.mutable_data() + e * wpe;
       if (to[i] < kInfinity) {
+        Weight& fwd_bound = f.fwd_bound_.mut(e);
         for (std::size_t j = 0; j < pv.size(); ++j) {
           const Weight d = rows.dist[pv[j]];
           if (d < kInfinity && to[i] + pfrom[j] == d) {
             const std::int32_t p = f.part_of_[pv[j]];
             fw[p >> 6] |= std::uint64_t{1} << (p & 63);
-            if (pfrom[j] > f.fwd_bound_[e]) f.fwd_bound_[e] = pfrom[j];
+            if (pfrom[j] > fwd_bound) fwd_bound = pfrom[j];
           }
         }
       }
       if (from[i] < kInfinity) {
+        Weight& bwd_bound = f.bwd_bound_.mut(e);
         for (std::size_t j = 0; j < pv.size(); ++j) {
           const Weight d = rows.dist_to[pv[j]];
           if (d < kInfinity && from[i] + pto[j] == d) {
             const std::int32_t p = f.part_of_[pv[j]];
             bw[p >> 6] |= std::uint64_t{1} << (p & 63);
-            if (pto[j] > f.bwd_bound_[e]) f.bwd_bound_[e] = pto[j];
+            if (pto[j] > bwd_bound) bwd_bound = pto[j];
           }
         }
       }
@@ -130,11 +132,11 @@ void LabelFilter::derive_part_major(const InvertedHubIndex& index) {
   seg_offsets_.assign(hub_bound * parts + 1, 0);
   for (std::size_t h = 0; h < hub_bound; ++h) {
     for (const VertexId v : index.vertices(static_cast<VertexId>(h))) {
-      ++seg_offsets_[h * parts + static_cast<std::size_t>(part_of_[v]) + 1];
+      ++seg_offsets_.mut(h * parts + static_cast<std::size_t>(part_of_[v]) + 1);
     }
   }
   for (std::size_t s = 0; s + 1 < seg_offsets_.size(); ++s) {
-    seg_offsets_[s + 1] += seg_offsets_[s];
+    seg_offsets_.mut(s + 1) += seg_offsets_[s];
   }
   const std::size_t total = index.num_postings();
   LOWTW_CHECK(seg_offsets_.back() == total);
@@ -150,9 +152,9 @@ void LabelFilter::derive_part_major(const InvertedHubIndex& index) {
     for (std::size_t j = 0; j < pv.size(); ++j) {
       const std::size_t pos =
           cursor[h * parts + static_cast<std::size_t>(part_of_[pv[j]])]++;
-      seg_vertices_[pos] = pv[j];
-      seg_to_hub_[pos] = pto[j];
-      seg_from_hub_[pos] = pfrom[j];
+      seg_vertices_.mut(pos) = pv[j];
+      seg_to_hub_.mut(pos) = pto[j];
+      seg_from_hub_.mut(pos) = pfrom[j];
     }
   }
 }
@@ -198,12 +200,77 @@ LabelFilter LabelFilter::from_sidecar(const FlatLabeling& labels,
 FilterSidecar LabelFilter::to_sidecar() const {
   FilterSidecar out;
   out.num_parts = num_parts_;
-  out.part_of = part_of_;
-  out.fwd_flags = fwd_flags_;
-  out.bwd_flags = bwd_flags_;
-  out.fwd_bound = fwd_bound_;
-  out.bwd_bound = bwd_bound_;
+  out.part_of = part_of_.to_vector();
+  out.fwd_flags = fwd_flags_.to_vector();
+  out.bwd_flags = bwd_flags_.to_vector();
+  out.fwd_bound = fwd_bound_.to_vector();
+  out.bwd_bound = bwd_bound_.to_vector();
   return out;
+}
+
+LabelFilter LabelFilter::from_image_parts(
+    const FlatLabeling& labels, std::int32_t num_parts,
+    util::ArrayRef<std::int32_t> part_of,
+    util::ArrayRef<std::uint64_t> fwd_flags,
+    util::ArrayRef<std::uint64_t> bwd_flags,
+    util::ArrayRef<Weight> fwd_bound, util::ArrayRef<Weight> bwd_bound,
+    util::ArrayRef<std::size_t> seg_offsets,
+    util::ArrayRef<VertexId> seg_vertices,
+    util::ArrayRef<Weight> seg_to_hub,
+    util::ArrayRef<Weight> seg_from_hub) {
+  LOWTW_CHECK_MSG(num_parts >= 1,
+                  "label filter image: bad part count " << num_parts);
+  const int n = labels.num_vertices();
+  const std::size_t total = labels.num_entries();
+  const std::size_t wpe = (static_cast<std::size_t>(num_parts) + 63) / 64;
+  LOWTW_CHECK_MSG(part_of.size() == static_cast<std::size_t>(n),
+                  "label filter image: partition size disagrees with store");
+  LOWTW_CHECK_MSG(fwd_flags.size() == total * wpe &&
+                      bwd_flags.size() == total * wpe,
+                  "label filter image: flag section size disagrees");
+  LOWTW_CHECK_MSG(fwd_bound.size() == total && bwd_bound.size() == total,
+                  "label filter image: bound section size disagrees");
+  for (const std::int32_t p : part_of) {
+    LOWTW_CHECK_MSG(p >= 0 && p < num_parts,
+                    "label filter image: part " << p << " out of range");
+  }
+  const auto hub_bound = static_cast<std::size_t>(labels.hub_bound());
+  const auto parts = static_cast<std::size_t>(num_parts);
+  LOWTW_CHECK_MSG(seg_offsets.size() == hub_bound * parts + 1,
+                  "label filter image: segment table does not span "
+                  "hub_bound x parts");
+  LOWTW_CHECK_MSG(seg_offsets.front() == 0 && seg_offsets.back() == total,
+                  "label filter image: segment totals disagree with store");
+  LOWTW_CHECK_MSG(seg_vertices.size() == total &&
+                      seg_to_hub.size() == total &&
+                      seg_from_hub.size() == total,
+                  "label filter image: segment array length mismatch");
+  for (std::size_t s = 0; s + 1 < seg_offsets.size(); ++s) {
+    LOWTW_CHECK_MSG(seg_offsets[s] <= seg_offsets[s + 1],
+                    "label filter image: segment offsets not monotone");
+    for (std::size_t i = seg_offsets[s]; i < seg_offsets[s + 1]; ++i) {
+      LOWTW_CHECK_MSG(seg_vertices[i] >= 0 && seg_vertices[i] < n,
+                      "label filter image: segment vertex out of range");
+      LOWTW_CHECK_MSG(i == seg_offsets[s] ||
+                          seg_vertices[i - 1] < seg_vertices[i],
+                      "label filter image: segment not vertex-ascending");
+    }
+  }
+  LabelFilter f;
+  f.num_parts_ = num_parts;
+  f.words_per_entry_ = wpe;
+  f.part_of_ = std::move(part_of);
+  f.fwd_flags_ = std::move(fwd_flags);
+  f.bwd_flags_ = std::move(bwd_flags);
+  f.fwd_bound_ = std::move(fwd_bound);
+  f.bwd_bound_ = std::move(bwd_bound);
+  f.seg_offsets_ = std::move(seg_offsets);
+  f.seg_vertices_ = std::move(seg_vertices);
+  f.seg_to_hub_ = std::move(seg_to_hub);
+  f.seg_from_hub_ = std::move(seg_from_hub);
+  f.source_ = &labels;
+  f.source_generation_ = labels.generation();
+  return f;
 }
 
 Weight LabelFilter::decode(VertexId u, VertexId v,

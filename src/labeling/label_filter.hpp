@@ -49,6 +49,7 @@
 #include "graph/digraph.hpp"
 #include "labeling/flat_labeling.hpp"
 #include "labeling/inverted_index.hpp"
+#include "util/array_ref.hpp"
 
 namespace lowtw::labeling {
 
@@ -104,6 +105,27 @@ class LabelFilter {
                                   FilterSidecar sidecar);
   FilterSidecar to_sidecar() const;
 
+  /// Assembles a filter from a frozen image's sections — unlike the kind-4
+  /// sidecar path, the part-major postings segments are persisted too, so
+  /// the load does zero derive work (the arrays are typically
+  /// ArrayRef::borrowed views into the mapping). Validates partition range,
+  /// section shapes against the store, and the segment table's structure
+  /// (monotone offsets spanning hub_bound × num_parts, vertex-ascending
+  /// in-range segments); throws CheckFailure on any inconsistency. Binds to
+  /// `labels` at its current generation — pass the store at its final
+  /// address, as with InvertedHubIndex::from_parts.
+  static LabelFilter from_image_parts(
+      const FlatLabeling& labels, std::int32_t num_parts,
+      util::ArrayRef<std::int32_t> part_of,
+      util::ArrayRef<std::uint64_t> fwd_flags,
+      util::ArrayRef<std::uint64_t> bwd_flags,
+      util::ArrayRef<graph::Weight> fwd_bound,
+      util::ArrayRef<graph::Weight> bwd_bound,
+      util::ArrayRef<std::size_t> seg_offsets,
+      util::ArrayRef<graph::VertexId> seg_vertices,
+      util::ArrayRef<graph::Weight> seg_to_hub,
+      util::ArrayRef<graph::Weight> seg_from_hub);
+
   bool empty() const { return source_ == nullptr; }
   /// True iff built from `labels` at its current generation — same freshness
   /// contract as InvertedHubIndex::matches; filtered query paths fall back
@@ -130,6 +152,37 @@ class LabelFilter {
            1;
   }
 
+  /// Whole packed arrays (persistence writers). The seg_* arrays are the
+  /// part-major postings recut; persisting them lets an image load skip the
+  /// derive pass entirely.
+  std::span<const std::int32_t> raw_part_of() const {
+    return {part_of_.data(), part_of_.size()};
+  }
+  std::span<const std::uint64_t> raw_fwd_flags() const {
+    return {fwd_flags_.data(), fwd_flags_.size()};
+  }
+  std::span<const std::uint64_t> raw_bwd_flags() const {
+    return {bwd_flags_.data(), bwd_flags_.size()};
+  }
+  std::span<const graph::Weight> raw_fwd_bound() const {
+    return {fwd_bound_.data(), fwd_bound_.size()};
+  }
+  std::span<const graph::Weight> raw_bwd_bound() const {
+    return {bwd_bound_.data(), bwd_bound_.size()};
+  }
+  std::span<const std::size_t> raw_seg_offsets() const {
+    return {seg_offsets_.data(), seg_offsets_.size()};
+  }
+  std::span<const graph::VertexId> raw_seg_vertices() const {
+    return {seg_vertices_.data(), seg_vertices_.size()};
+  }
+  std::span<const graph::Weight> raw_seg_to_hub() const {
+    return {seg_to_hub_.data(), seg_to_hub_.size()};
+  }
+  std::span<const graph::Weight> raw_seg_from_hub() const {
+    return {seg_from_hub_.data(), seg_from_hub_.size()};
+  }
+
   /// dec(u, v) with flag + bound pruning; bit-identical to
   /// FlatLabeling::decode(u, v).
   graph::Weight decode(graph::VertexId u, graph::VertexId v,
@@ -147,20 +200,22 @@ class LabelFilter {
 
   std::int32_t num_parts_ = 0;
   std::size_t words_per_entry_ = 0;
-  std::vector<std::int32_t> part_of_;
-  std::vector<std::uint64_t> fwd_flags_;
-  std::vector<std::uint64_t> bwd_flags_;
-  std::vector<graph::Weight> fwd_bound_;
-  std::vector<graph::Weight> bwd_bound_;
+  /// Borrowed-or-owned storage (see FlatLabeling's storage note): built
+  /// filters own their arrays; image-loaded filters borrow the mapping.
+  util::ArrayRef<std::int32_t> part_of_;
+  util::ArrayRef<std::uint64_t> fwd_flags_;
+  util::ArrayRef<std::uint64_t> bwd_flags_;
+  util::ArrayRef<graph::Weight> fwd_bound_;
+  util::ArrayRef<graph::Weight> bwd_bound_;
 
   /// Part-major postings: segment (h, p) holds the postings of hub h whose
   /// vertex lies in part p, vertex-ascending; seg_offsets_ has
   /// hub_bound * num_parts + 1 entries. The min-fold is order-invariant, so
   /// relaxing segments instead of whole runs preserves bit-exactness.
-  std::vector<std::size_t> seg_offsets_;
-  std::vector<graph::VertexId> seg_vertices_;
-  std::vector<graph::Weight> seg_to_hub_;
-  std::vector<graph::Weight> seg_from_hub_;
+  util::ArrayRef<std::size_t> seg_offsets_;
+  util::ArrayRef<graph::VertexId> seg_vertices_;
+  util::ArrayRef<graph::Weight> seg_to_hub_;
+  util::ArrayRef<graph::Weight> seg_from_hub_;
 
   const FlatLabeling* source_ = nullptr;
   std::uint64_t source_generation_ = 0;

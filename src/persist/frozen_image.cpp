@@ -1,0 +1,390 @@
+#include "persist/frozen_image.hpp"
+
+#include <cstring>
+#include <vector>
+
+#include "util/atomic_file.hpp"
+#include "util/binio.hpp"
+#include "util/check.hpp"
+
+namespace lowtw::persist {
+
+namespace binio = util::binio;
+
+using graph::EdgeId;
+using graph::VertexId;
+using graph::Weight;
+
+// Section offsets are stored as u64 and borrowed directly as std::size_t
+// arrays (no widening copy), so the format is only defined on LP64 targets.
+static_assert(sizeof(std::size_t) == 8, "frozen image requires 64-bit size_t");
+static_assert(sizeof(VertexId) == 4 && sizeof(EdgeId) == 4 &&
+                  sizeof(Weight) == 8,
+              "frozen image section element sizes");
+
+namespace {
+
+constexpr std::uint32_t kFrozenImageVersion = 1;
+constexpr std::size_t kSectionAlign = 64;
+
+constexpr std::uint32_t kFlagHasGraph = 1u << 0;
+constexpr std::uint32_t kFlagHasFilter = 1u << 1;
+
+/// Fixed-order section ids; presence of the graph / filter groups is decided
+/// by the header flags, everything else is always there.
+enum SectionId : std::uint32_t {
+  kSecGraphOffsets = 1,
+  kSecGraphTargets = 2,
+  kSecLabelOffsets = 3,
+  kSecLabelHubIds = 4,
+  kSecLabelToHub = 5,
+  kSecLabelFromHub = 6,
+  kSecIdxOffsets = 7,
+  kSecIdxVertices = 8,
+  kSecIdxToHub = 9,
+  kSecIdxFromHub = 10,
+  kSecPartOf = 11,
+  kSecFwdFlags = 12,
+  kSecBwdFlags = 13,
+  kSecFwdBound = 14,
+  kSecBwdBound = 15,
+  kSecSegOffsets = 16,
+  kSecSegVertices = 17,
+  kSecSegToHub = 18,
+  kSecSegFromHub = 19,
+};
+
+/// POD image header, 40 bytes, naturally aligned (no implicit padding).
+/// `reserved` must be zero — with the metadata checksum this keeps every
+/// header byte either validated or checksummed.
+struct ImageHeader {
+  std::uint64_t file_bytes;
+  std::uint32_t section_count;
+  std::uint32_t flags;
+  std::int32_t n;
+  std::int32_t graph_num_edges;
+  std::uint64_t total_entries;
+  std::int32_t num_parts;
+  std::int32_t reserved;
+};
+static_assert(sizeof(ImageHeader) == 40);
+
+/// POD section-table entry, 32 bytes.
+struct SectionEntry {
+  std::uint32_t id;
+  std::uint32_t elem_size;
+  std::uint64_t offset;    ///< from file start, kSectionAlign-aligned
+  std::uint64_t count;     ///< element count
+  std::uint64_t checksum;  ///< FNV-1a over the payload bytes
+};
+static_assert(sizeof(SectionEntry) == 32);
+
+constexpr std::size_t kLtwbHeaderBytes = 16;
+
+std::size_t align_up(std::size_t v) {
+  return (v + kSectionAlign - 1) & ~(kSectionAlign - 1);
+}
+
+/// Writer-side section descriptor: typed data pointer + shape.
+struct PendingSection {
+  std::uint32_t id;
+  std::uint32_t elem_size;
+  const void* data;
+  std::uint64_t count;
+};
+
+template <typename T>
+PendingSection pending(std::uint32_t id, std::span<const T> array) {
+  return {id, static_cast<std::uint32_t>(sizeof(T)), array.data(),
+          array.size()};
+}
+
+/// Sentinel for counts the parser cannot derive from the image header (the
+/// offset tables whose length depends on the data's hub bound); their shape
+/// is re-checked by the downstream from_parts assemblers.
+constexpr std::uint64_t kAnyCount = ~std::uint64_t{0};
+
+/// Parser-side expectation: what the next table entry must look like.
+struct ExpectedSection {
+  std::uint32_t id;
+  std::uint32_t elem_size;
+  std::uint64_t count;  ///< kAnyCount = data-dependent
+};
+
+}  // namespace
+
+void write_frozen_image(std::ostream& os, const labeling::FlatLabeling& labels,
+                        const labeling::InvertedHubIndex& index,
+                        const labeling::LabelFilter* filter,
+                        const graph::CsrGraph* graph) {
+  LOWTW_CHECK_MSG(index.matches(labels),
+                  "frozen image: postings index is stale for the store");
+  if (filter != nullptr) {
+    LOWTW_CHECK_MSG(filter->matches(labels),
+                    "frozen image: filter is stale for the store");
+  }
+  if (graph != nullptr) {
+    LOWTW_CHECK_MSG(graph->num_vertices() == labels.num_vertices(),
+                    "frozen image: graph vertex count disagrees with store");
+  }
+
+  ImageHeader hdr{};
+  hdr.flags = (graph != nullptr ? kFlagHasGraph : 0u) |
+              (filter != nullptr ? kFlagHasFilter : 0u);
+  hdr.n = labels.num_vertices();
+  hdr.graph_num_edges = graph != nullptr ? graph->num_edges() : 0;
+  hdr.total_entries = labels.num_entries();
+  hdr.num_parts = filter != nullptr ? filter->num_parts() : 0;
+  hdr.reserved = 0;
+
+  std::vector<PendingSection> sections;
+  if (graph != nullptr) {
+    sections.push_back(pending(kSecGraphOffsets, graph->raw_offsets()));
+    sections.push_back(pending(kSecGraphTargets, graph->raw_targets()));
+  }
+  sections.push_back(pending(kSecLabelOffsets, labels.raw_offsets()));
+  sections.push_back(pending(kSecLabelHubIds, labels.raw_hub_ids()));
+  sections.push_back(pending(kSecLabelToHub, labels.raw_to_hub()));
+  sections.push_back(pending(kSecLabelFromHub, labels.raw_from_hub()));
+  sections.push_back(pending(kSecIdxOffsets, index.raw_offsets()));
+  sections.push_back(pending(kSecIdxVertices, index.raw_vertices()));
+  sections.push_back(pending(kSecIdxToHub, index.raw_to_hub()));
+  sections.push_back(pending(kSecIdxFromHub, index.raw_from_hub()));
+  if (filter != nullptr) {
+    sections.push_back(pending(kSecPartOf, filter->raw_part_of()));
+    sections.push_back(pending(kSecFwdFlags, filter->raw_fwd_flags()));
+    sections.push_back(pending(kSecBwdFlags, filter->raw_bwd_flags()));
+    sections.push_back(pending(kSecFwdBound, filter->raw_fwd_bound()));
+    sections.push_back(pending(kSecBwdBound, filter->raw_bwd_bound()));
+    sections.push_back(pending(kSecSegOffsets, filter->raw_seg_offsets()));
+    sections.push_back(pending(kSecSegVertices, filter->raw_seg_vertices()));
+    sections.push_back(pending(kSecSegToHub, filter->raw_seg_to_hub()));
+    sections.push_back(pending(kSecSegFromHub, filter->raw_seg_from_hub()));
+  }
+  hdr.section_count = static_cast<std::uint32_t>(sections.size());
+
+  // Lay out the payload (offsets + checksums) before emitting anything, so
+  // the header and table go out finished and the write is one forward pass.
+  std::vector<SectionEntry> table(sections.size());
+  std::size_t cur = kLtwbHeaderBytes + sizeof(ImageHeader) +
+                    sections.size() * sizeof(SectionEntry) +
+                    sizeof(std::uint64_t);
+  for (std::size_t i = 0; i < sections.size(); ++i) {
+    const PendingSection& s = sections[i];
+    const std::size_t offset = align_up(cur);
+    binio::Fnv1a sum;
+    sum.update(s.data, s.count * s.elem_size);
+    table[i] = {s.id, s.elem_size, offset, s.count, sum.digest()};
+    cur = offset + s.count * s.elem_size;
+  }
+  hdr.file_bytes = cur;
+
+  binio::Fnv1a meta_sum;
+  meta_sum.update(&hdr, sizeof(hdr));
+  meta_sum.update(table.data(), table.size() * sizeof(SectionEntry));
+
+  binio::write_header(os, binio::kKindFrozenImage, kFrozenImageVersion);
+  binio::write_pod(os, hdr);
+  binio::write_array(os, table.data(), table.size());
+  binio::write_pod(os, meta_sum.digest());
+  std::size_t written = kLtwbHeaderBytes + sizeof(ImageHeader) +
+                        table.size() * sizeof(SectionEntry) +
+                        sizeof(std::uint64_t);
+  const char zeros[kSectionAlign] = {};
+  for (std::size_t i = 0; i < sections.size(); ++i) {
+    LOWTW_CHECK(table[i].offset >= written);
+    os.write(zeros, static_cast<std::streamsize>(table[i].offset - written));
+    const PendingSection& s = sections[i];
+    // Chunked like every LTWB array write (bounded single-write requests).
+    binio::write_array(os, static_cast<const unsigned char*>(s.data),
+                       s.count * s.elem_size);
+    written = table[i].offset + s.count * s.elem_size;
+  }
+  LOWTW_CHECK_MSG(os.good() && written == hdr.file_bytes,
+                  "frozen image: write failed");
+}
+
+void write_frozen_image_file(const std::string& path,
+                             const labeling::FlatLabeling& labels,
+                             const labeling::InvertedHubIndex& index,
+                             const labeling::LabelFilter* filter,
+                             const graph::CsrGraph* graph) {
+  util::atomic_write_file(path, [&](std::ostream& os) {
+    write_frozen_image(os, labels, index, filter, graph);
+  });
+}
+
+FrozenImageView parse_frozen_image(const std::byte* data, std::size_t size) {
+  // 1. The fixed headers must fit before anything is dereferenced — a
+  //    mapping shorter than the header is rejected here.
+  LOWTW_CHECK_MSG(size >= kLtwbHeaderBytes + sizeof(ImageHeader),
+                  "frozen image: mapping shorter than header (" << size
+                      << " bytes)");
+
+  // 2. LTWB header, field by field (same contract as binio::read_header).
+  LOWTW_CHECK_MSG(std::memcmp(data, binio::kMagic, 4) == 0,
+                  "frozen image: bad magic");
+  std::uint32_t version = 0;
+  std::uint32_t kind = 0;
+  std::uint32_t endian = 0;
+  std::memcpy(&version, data + 4, 4);
+  std::memcpy(&kind, data + 8, 4);
+  std::memcpy(&endian, data + 12, 4);
+  LOWTW_CHECK_MSG(version == kFrozenImageVersion,
+                  "frozen image: unsupported version " << version);
+  LOWTW_CHECK_MSG(kind == binio::kKindFrozenImage,
+                  "frozen image: kind " << kind << ", expected "
+                                        << binio::kKindFrozenImage);
+  LOWTW_CHECK_MSG(endian == binio::kEndianProbe,
+                  "frozen image: endianness mismatch");
+
+  // 3. Image header consistency.
+  ImageHeader hdr{};
+  std::memcpy(&hdr, data + kLtwbHeaderBytes, sizeof(hdr));
+  LOWTW_CHECK_MSG(hdr.file_bytes == size,
+                  "frozen image: header claims " << hdr.file_bytes
+                      << " bytes, mapping has " << size);
+  LOWTW_CHECK_MSG(hdr.reserved == 0, "frozen image: nonzero reserved field");
+  LOWTW_CHECK_MSG((hdr.flags & ~(kFlagHasGraph | kFlagHasFilter)) == 0,
+                  "frozen image: unknown flag bits");
+  const bool has_graph = (hdr.flags & kFlagHasGraph) != 0;
+  const bool has_filter = (hdr.flags & kFlagHasFilter) != 0;
+  LOWTW_CHECK_MSG(hdr.n >= 0, "frozen image: negative vertex count");
+  LOWTW_CHECK_MSG(has_graph ? hdr.graph_num_edges >= 0
+                            : hdr.graph_num_edges == 0,
+                  "frozen image: bad edge count");
+  LOWTW_CHECK_MSG(has_filter ? hdr.num_parts >= 1 : hdr.num_parts == 0,
+                  "frozen image: bad filter part count");
+  const std::uint32_t expected_sections =
+      8u + (has_graph ? 2u : 0u) + (has_filter ? 9u : 0u);
+  LOWTW_CHECK_MSG(hdr.section_count == expected_sections,
+                  "frozen image: section count " << hdr.section_count
+                      << ", expected " << expected_sections);
+
+  // 4. Section table extent, then the metadata checksum over header + table
+  //    (so a flip in any metadata byte is caught even where a range check
+  //    would accept the mutated value).
+  const std::size_t table_off = kLtwbHeaderBytes + sizeof(ImageHeader);
+  const std::size_t table_bytes =
+      static_cast<std::size_t>(hdr.section_count) * sizeof(SectionEntry);
+  const std::size_t meta_end = table_off + table_bytes + sizeof(std::uint64_t);
+  LOWTW_CHECK_MSG(size >= meta_end, "frozen image: truncated section table");
+  std::vector<SectionEntry> table(hdr.section_count);
+  std::memcpy(table.data(), data + table_off, table_bytes);
+  std::uint64_t stored_meta_sum = 0;
+  std::memcpy(&stored_meta_sum, data + table_off + table_bytes, 8);
+  binio::Fnv1a meta_sum;
+  meta_sum.update(&hdr, sizeof(hdr));
+  meta_sum.update(table.data(), table_bytes);
+  LOWTW_CHECK_MSG(stored_meta_sum == meta_sum.digest(),
+                  "frozen image: metadata checksum mismatch");
+
+  // 5. Per-section structure: fixed id order, element sizes, header-implied
+  //    counts, alignment, monotone in-bounds extents, zero padding between
+  //    sections, and the payload checksums. Together with the metadata
+  //    checksum this covers every byte of the file.
+  const auto n64 = static_cast<std::uint64_t>(hdr.n);
+  const std::uint64_t wpe =
+      has_filter ? (static_cast<std::uint64_t>(hdr.num_parts) + 63) / 64 : 0;
+  std::vector<ExpectedSection> expected;
+  if (has_graph) {
+    expected.push_back({kSecGraphOffsets, 4, n64 + 1});
+    expected.push_back(
+        {kSecGraphTargets, 4,
+         2 * static_cast<std::uint64_t>(hdr.graph_num_edges)});
+  }
+  expected.push_back({kSecLabelOffsets, 8, n64 + 1});
+  expected.push_back({kSecLabelHubIds, 4, hdr.total_entries});
+  expected.push_back({kSecLabelToHub, 8, hdr.total_entries});
+  expected.push_back({kSecLabelFromHub, 8, hdr.total_entries});
+  expected.push_back({kSecIdxOffsets, 8, kAnyCount});
+  expected.push_back({kSecIdxVertices, 4, hdr.total_entries});
+  expected.push_back({kSecIdxToHub, 8, hdr.total_entries});
+  expected.push_back({kSecIdxFromHub, 8, hdr.total_entries});
+  if (has_filter) {
+    expected.push_back({kSecPartOf, 4, n64});
+    expected.push_back({kSecFwdFlags, 8, hdr.total_entries * wpe});
+    expected.push_back({kSecBwdFlags, 8, hdr.total_entries * wpe});
+    expected.push_back({kSecFwdBound, 8, hdr.total_entries});
+    expected.push_back({kSecBwdBound, 8, hdr.total_entries});
+    expected.push_back({kSecSegOffsets, 8, kAnyCount});
+    expected.push_back({kSecSegVertices, 4, hdr.total_entries});
+    expected.push_back({kSecSegToHub, 8, hdr.total_entries});
+    expected.push_back({kSecSegFromHub, 8, hdr.total_entries});
+  }
+  LOWTW_CHECK(expected.size() == table.size());
+
+  std::size_t prev_end = meta_end;
+  for (std::size_t i = 0; i < table.size(); ++i) {
+    const SectionEntry& s = table[i];
+    const ExpectedSection& e = expected[i];
+    LOWTW_CHECK_MSG(s.id == e.id, "frozen image: section " << i << " id "
+                                      << s.id << ", expected " << e.id);
+    LOWTW_CHECK_MSG(s.elem_size == e.elem_size,
+                    "frozen image: section " << s.id << " element size "
+                        << s.elem_size << ", expected " << e.elem_size);
+    LOWTW_CHECK_MSG(e.count == kAnyCount || s.count == e.count,
+                    "frozen image: section " << s.id << " count " << s.count
+                        << " disagrees with header shape");
+    LOWTW_CHECK_MSG(s.offset % kSectionAlign == 0,
+                    "frozen image: section " << s.id << " misaligned");
+    LOWTW_CHECK_MSG(s.count <= (size - s.offset) / s.elem_size &&
+                        s.offset >= prev_end && s.offset <= size,
+                    "frozen image: section " << s.id << " out of bounds");
+    for (std::size_t p = prev_end; p < s.offset; ++p) {
+      LOWTW_CHECK_MSG(data[p] == std::byte{0},
+                      "frozen image: nonzero padding byte at " << p);
+    }
+    const std::size_t bytes = static_cast<std::size_t>(s.count) * s.elem_size;
+    binio::Fnv1a sum;
+    sum.update(data + s.offset, bytes);
+    LOWTW_CHECK_MSG(sum.digest() == s.checksum,
+                    "frozen image: checksum mismatch in section " << s.id);
+    prev_end = s.offset + bytes;
+  }
+  LOWTW_CHECK_MSG(prev_end == size,
+                  "frozen image: trailing bytes past last section");
+
+  // 6. Assemble borrowed views (alignment ≥ 64 makes every cast safe).
+  FrozenImageView view;
+  view.n = hdr.n;
+  view.total_entries = hdr.total_entries;
+  view.has_graph = has_graph;
+  view.has_filter = has_filter;
+  view.graph_num_edges = hdr.graph_num_edges;
+  view.num_parts = hdr.num_parts;
+  std::size_t next = 0;
+  auto take = [&](auto& out) {
+    using Ref = std::remove_reference_t<decltype(out)>;
+    using T = std::remove_const_t<std::remove_pointer_t<decltype(out.data())>>;
+    const SectionEntry& s = table[next++];
+    out = Ref::borrowed(reinterpret_cast<const T*>(data + s.offset),
+                        static_cast<std::size_t>(s.count));
+  };
+  if (has_graph) {
+    take(view.graph_offsets);
+    take(view.graph_targets);
+  }
+  take(view.label_offsets);
+  take(view.label_hub_ids);
+  take(view.label_to_hub);
+  take(view.label_from_hub);
+  take(view.idx_offsets);
+  take(view.idx_vertices);
+  take(view.idx_to_hub);
+  take(view.idx_from_hub);
+  if (has_filter) {
+    take(view.part_of);
+    take(view.fwd_flags);
+    take(view.bwd_flags);
+    take(view.fwd_bound);
+    take(view.bwd_bound);
+    take(view.seg_offsets);
+    take(view.seg_vertices);
+    take(view.seg_to_hub);
+    take(view.seg_from_hub);
+  }
+  return view;
+}
+
+}  // namespace lowtw::persist

@@ -1,0 +1,112 @@
+// Relocatable frozen-image format (LTWB kind 5) — the zero-copy snapshot.
+//
+// Kinds 3/4 stream the frozen store element by element: a restart re-reads
+// every array through the chunked binio path, re-runs the postings transpose
+// and the filter's part-major derive, and only then serves. A kind-5 image
+// instead freezes the *entire* serving snapshot — CSR graph (optional), SoA
+// label store, postings transpose, and filter sidecar including the
+// part-major segments — into one arena whose sections are laid out exactly
+// as the in-memory arrays, each at a 64-byte-aligned file offset. Loading is
+// mmap + validate + borrow (util::ArrayRef::borrowed views straight into the
+// mapping): zero build, freeze, transpose, or derive work on the load path.
+//
+// On-disk layout (all offsets from file start, native little-endian):
+//
+//   [0, 16)   LTWB header — magic, version, kind 5, endian probe; every
+//             byte is validated field by field.
+//   ImageHeader (POD below) — file size, section count, feature flags,
+//             store shape. `file_bytes` must equal the mapped size, which
+//             rejects truncation (and growth) before any section is touched.
+//   SectionEntry[section_count] — id / element size / offset / count /
+//             FNV-1a checksum per section, in a fixed id order implied by
+//             the feature flags.
+//   u64 table checksum — FNV-1a over the ImageHeader + section-table bytes,
+//             so a flip anywhere in the metadata is caught even where a
+//             field-range check would accept the mutated value.
+//   payload sections — each at the next 64-byte boundary; gap bytes are
+//             written as zero and *validated* as zero on load, so with the
+//             per-section checksums every byte of the file is covered: any
+//             single-byte corruption anywhere fails the parse.
+//
+// Exhaustively property-tested in tests/test_persistence.cpp: bit-exact
+// serving vs the rebuilt snapshot across graph families and engine modes,
+// plus an every-byte corruption sweep and truncation/tamper drills.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <ostream>
+#include <string>
+
+#include "graph/csr.hpp"
+#include "labeling/flat_labeling.hpp"
+#include "labeling/inverted_index.hpp"
+#include "labeling/label_filter.hpp"
+#include "util/array_ref.hpp"
+
+namespace lowtw::persist {
+
+/// Validated raw view of a mapped frozen image: shape fields plus one
+/// borrowed ArrayRef per section (aliasing the mapping — the caller owns the
+/// mapping's lifetime; see util::MmapFile's note). Absent sections (graph /
+/// filter) are empty refs with the matching flag false.
+struct FrozenImageView {
+  std::int32_t n = 0;
+  std::uint64_t total_entries = 0;
+  bool has_graph = false;
+  bool has_filter = false;
+  std::int32_t graph_num_edges = 0;
+  std::int32_t num_parts = 0;
+
+  util::ArrayRef<graph::EdgeId> graph_offsets;
+  util::ArrayRef<graph::VertexId> graph_targets;
+
+  util::ArrayRef<std::size_t> label_offsets;
+  util::ArrayRef<graph::VertexId> label_hub_ids;
+  util::ArrayRef<graph::Weight> label_to_hub;
+  util::ArrayRef<graph::Weight> label_from_hub;
+
+  util::ArrayRef<std::size_t> idx_offsets;
+  util::ArrayRef<graph::VertexId> idx_vertices;
+  util::ArrayRef<graph::Weight> idx_to_hub;
+  util::ArrayRef<graph::Weight> idx_from_hub;
+
+  util::ArrayRef<std::int32_t> part_of;
+  util::ArrayRef<std::uint64_t> fwd_flags;
+  util::ArrayRef<std::uint64_t> bwd_flags;
+  util::ArrayRef<graph::Weight> fwd_bound;
+  util::ArrayRef<graph::Weight> bwd_bound;
+  util::ArrayRef<std::size_t> seg_offsets;
+  util::ArrayRef<graph::VertexId> seg_vertices;
+  util::ArrayRef<graph::Weight> seg_to_hub;
+  util::ArrayRef<graph::Weight> seg_from_hub;
+};
+
+/// Validates `size` bytes at `data` as a kind-5 frozen image and returns
+/// borrowed section views. Checks, in order: mapping large enough for the
+/// headers, LTWB header fields, image-header consistency (file size, flag
+/// bits, section count, reserved zero), section-table structure (id order,
+/// element sizes, 64-byte alignment, in-bounds monotone extents), the
+/// metadata checksum, zero inter-section padding, and every section's
+/// payload checksum. Throws util::CheckFailure on the first violation —
+/// structural validation of the arrays themselves happens in the
+/// from_parts assemblers downstream.
+FrozenImageView parse_frozen_image(const std::byte* data, std::size_t size);
+
+/// Serializes the snapshot (store + postings index + optional filter +
+/// optional CSR graph) as a kind-5 image. `index` must match `labels`'
+/// current generation, as must `filter` when given.
+void write_frozen_image(std::ostream& os, const labeling::FlatLabeling& labels,
+                        const labeling::InvertedHubIndex& index,
+                        const labeling::LabelFilter* filter = nullptr,
+                        const graph::CsrGraph* graph = nullptr);
+
+/// write_frozen_image through util::atomic_write_file (temp + fsync +
+/// rename), so a crashed writer never leaves a torn image at `path`.
+void write_frozen_image_file(const std::string& path,
+                             const labeling::FlatLabeling& labels,
+                             const labeling::InvertedHubIndex& index,
+                             const labeling::LabelFilter* filter = nullptr,
+                             const graph::CsrGraph* graph = nullptr);
+
+}  // namespace lowtw::persist

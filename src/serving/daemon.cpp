@@ -235,6 +235,8 @@ bool Daemon::handle_frame(std::string_view line, std::vector<std::string>& out,
        << " postings_runs_skipped=" << s.postings_runs_skipped
        << " filtered_queries=" << s.filtered_queries
        << " filter_build_failures=" << s.filter_build_failures
+       << " snapshot=" << to_string(s.snapshot_source)
+       << " load_micros=" << s.load_micros
        << " generation=" << oracle_.generation() << "\n";
     out.push_back(os.str());
     return true;

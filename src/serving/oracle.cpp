@@ -11,6 +11,7 @@
 #include "core/solver.hpp"
 #include "graph/algorithms.hpp"
 #include "labeling/label_io.hpp"
+#include "persist/frozen_image.hpp"
 #include "td/partition.hpp"
 #include "util/check.hpp"
 
@@ -34,7 +35,26 @@ Oracle::~Oracle() { stop(/*drain=*/true); }
 
 // --- snapshot lifecycle ------------------------------------------------------
 
+std::uint64_t Oracle::finish_install(SnapshotPtr snap, std::uint64_t gen,
+                                     SnapshotSource source,
+                                     Clock::time_point t0) {
+  // Publish, then advance the observable generation: readers that see the
+  // new generation are guaranteed to load at least this snapshot.
+  publish(std::move(snap));
+  generation_.store(gen, std::memory_order_release);
+  snapshot_installs_.fetch_add(1, std::memory_order_relaxed);
+  last_source_.store(static_cast<int>(source), std::memory_order_relaxed);
+  last_load_micros_.store(
+      static_cast<std::uint64_t>(
+          std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() -
+                                                                t0)
+              .count()),
+      std::memory_order_relaxed);
+  return gen;
+}
+
 std::uint64_t Oracle::install(labeling::FlatLabeling flat,
+                              SnapshotSource source, Clock::time_point t0,
                               std::optional<labeling::FilterSidecar> sidecar,
                               std::vector<std::int32_t>* hier_parts) {
   auto snap = std::make_shared<Snapshot>();
@@ -89,19 +109,15 @@ std::uint64_t Oracle::install(labeling::FlatLabeling flat,
       filter_build_failures_.fetch_add(1, std::memory_order_relaxed);
     }
   }
-  // Publish, then advance the observable generation: readers that see the
-  // new generation are guaranteed to load at least this snapshot.
-  publish(SnapshotPtr(std::move(snap)));
-  generation_.store(gen, std::memory_order_release);
-  snapshot_installs_.fetch_add(1, std::memory_order_relaxed);
-  return gen;
+  return finish_install(SnapshotPtr(std::move(snap)), gen, source, t0);
 }
 
 std::uint64_t Oracle::install_snapshot(labeling::FlatLabeling flat) {
-  return install(std::move(flat));
+  return install(std::move(flat), SnapshotSource::kLoaded, Clock::now());
 }
 
 std::uint64_t Oracle::rebuild_snapshot() {
+  const auto t0 = Clock::now();
   SolverOptions sopts;
   sopts.seed = options_.seed;
   sopts.engine = options_.engine;
@@ -124,10 +140,12 @@ std::uint64_t Oracle::rebuild_snapshot() {
         solver.tree_decomposition().hierarchy, n, parts);
     parts_ptr = &hier_parts;
   }
-  return install(solver.distance_labeling().flat, std::nullopt, parts_ptr);
+  return install(solver.distance_labeling().flat, SnapshotSource::kRebuilt,
+                 t0, std::nullopt, parts_ptr);
 }
 
 bool Oracle::load_snapshot(std::istream& is) {
+  const auto t0 = Clock::now();
   std::string payload{std::istreambuf_iterator<char>(is),
                       std::istreambuf_iterator<char>()};
   if (options_.faults != nullptr &&
@@ -141,7 +159,7 @@ bool Oracle::load_snapshot(std::istream& is) {
     std::optional<labeling::FilterSidecar> sidecar;
     labeling::FlatLabeling flat =
         labeling::io::read_flat_labeling_binary(iss, &sidecar);
-    install(std::move(flat), std::move(sidecar));
+    install(std::move(flat), SnapshotSource::kLoaded, t0, std::move(sidecar));
     return true;
   } catch (const util::CheckFailure&) {
     // Corrupt artifact: reject loudly, change nothing — the previous
@@ -149,6 +167,82 @@ bool Oracle::load_snapshot(std::istream& is) {
     failed_loads_.fetch_add(1, std::memory_order_relaxed);
     return false;
   }
+}
+
+bool Oracle::load_image(const std::string& path) {
+  const auto t0 = Clock::now();
+  std::shared_ptr<util::MmapFile> mapping;
+  try {
+    mapping = std::make_shared<util::MmapFile>(path);
+  } catch (const util::CheckFailure&) {
+    // Missing or unmappable file: reject loudly, change nothing.
+    failed_loads_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  if (options_.faults != nullptr &&
+      options_.faults->should_fire(FaultSite::kSnapshotLoadCorruption) &&
+      mapping->size() > 0) {
+    // Corruption drill: flip one byte of an in-memory copy and parse that —
+    // the mapping itself is never scribbled on. Every byte of a kind-5
+    // image is covered by a validated field or a checksum, so the parse
+    // must throw; an undetected flip is a format hole and escapes as a
+    // hard failure instead of counting as an ordinary reject.
+    std::vector<std::byte> copy(mapping->data(),
+                                mapping->data() + mapping->size());
+    const std::size_t off = options_.faults->corruption_offset(copy.size());
+    copy[off] ^= std::byte{0x40};
+    try {
+      persist::parse_frozen_image(copy.data(), copy.size());
+    } catch (const util::CheckFailure&) {
+      failed_loads_.fetch_add(1, std::memory_order_relaxed);
+      return false;
+    }
+    LOWTW_CHECK_MSG(false, "frozen image: corrupted byte " << off
+                               << " was not detected");
+  }
+  try {
+    persist::FrozenImageView view =
+        persist::parse_frozen_image(mapping->data(), mapping->size());
+
+    auto snap = std::make_shared<Snapshot>();
+    const std::uint64_t gen =
+        next_generation_.fetch_add(1, std::memory_order_relaxed) + 1;
+    snap->generation = gen;
+    snap->mapping = std::move(mapping);
+    // Assembly order matters: the index and filter bind to the store by
+    // address + generation (matches()), so flat must sit at its final
+    // address — inside the heap-allocated snapshot — before they attach.
+    snap->flat = labeling::FlatLabeling::from_parts(
+        view.label_offsets, view.label_hub_ids, view.label_to_hub,
+        view.label_from_hub);
+    snap->index = labeling::InvertedHubIndex::from_parts(
+        snap->flat, view.idx_offsets, view.idx_vertices, view.idx_to_hub,
+        view.idx_from_hub);
+    snap->has_index = true;
+    if (view.has_filter) {
+      snap->filter = labeling::LabelFilter::from_image_parts(
+          snap->flat, view.num_parts, view.part_of, view.fwd_flags,
+          view.bwd_flags, view.fwd_bound, view.bwd_bound, view.seg_offsets,
+          view.seg_vertices, view.seg_to_hub, view.seg_from_hub);
+      snap->has_filter = true;
+    }
+    finish_install(SnapshotPtr(std::move(snap)), gen,
+                   SnapshotSource::kMmapped, t0);
+    return true;
+  } catch (const util::CheckFailure&) {
+    // Missing, truncated, or corrupt image: reject loudly, change nothing —
+    // the previous snapshot keeps serving.
+    failed_loads_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+}
+
+bool Oracle::write_image(const std::string& path) const {
+  SnapshotPtr snap = snapshot_ref();
+  if (snap == nullptr || !snap->has_index) return false;
+  persist::write_frozen_image_file(path, snap->flat, snap->index,
+                                   snap->has_filter ? &snap->filter : nullptr);
+  return true;
 }
 
 // --- serving lifecycle -------------------------------------------------------
@@ -473,6 +567,9 @@ OracleStats Oracle::stats() const {
       index_build_failures_.load(std::memory_order_relaxed);
   s.filter_build_failures =
       filter_build_failures_.load(std::memory_order_relaxed);
+  s.snapshot_source = static_cast<SnapshotSource>(
+      last_source_.load(std::memory_order_relaxed));
+  s.load_micros = last_load_micros_.load(std::memory_order_relaxed);
   // Pruning counters live in the per-worker engines; sum them here (each
   // worker only ever writes its own slot, so relaxed reads are exact once
   // the batches they count are fulfilled).

@@ -59,8 +59,32 @@
 #include "serving/admission.hpp"
 #include "serving/fault.hpp"
 #include "serving/worker_pool.hpp"
+#include "util/mmap_file.hpp"
 
 namespace lowtw::serving {
+
+/// Provenance of the currently published snapshot — how it came to exist,
+/// surfaced through stats() and the daemon's STATS verb so operators can
+/// tell an instant mmap restart from a full rebuild at a glance.
+enum class SnapshotSource : int {
+  kNone = 0,     ///< no snapshot published yet
+  kRebuilt = 1,  ///< rebuild_snapshot: full TD + labeling build
+  kLoaded = 2,   ///< load_snapshot/install_snapshot: kind-3/4 stream read
+  kMmapped = 3,  ///< load_image: zero-copy kind-5 frozen image
+};
+
+inline const char* to_string(SnapshotSource s) {
+  switch (s) {
+    case SnapshotSource::kRebuilt:
+      return "rebuilt";
+    case SnapshotSource::kLoaded:
+      return "loaded";
+    case SnapshotSource::kMmapped:
+      return "mmapped";
+    default:
+      return "none";
+  }
+}
 
 struct OracleOptions {
   AdmissionParams admission;
@@ -128,6 +152,10 @@ struct OracleStats {
   std::uint64_t entries_touched = 0;
   std::uint64_t postings_runs_skipped = 0;
   std::uint64_t filtered_queries = 0;
+  /// Provenance of the latest snapshot install and how long that install
+  /// took end to end (build/read/map + publish), in microseconds.
+  SnapshotSource snapshot_source = SnapshotSource::kNone;
+  std::uint64_t load_micros = 0;
   WorkerPoolStats pool;  ///< crashes / stall flags / respawns / recoveries
 };
 
@@ -157,6 +185,20 @@ class Oracle {
   /// returned. The kSnapshotLoadCorruption fault site flips a byte of the
   /// payload before parsing.
   bool load_snapshot(std::istream& is);
+  /// Zero-copy restart: maps a kind-5 frozen image (persist/frozen_image)
+  /// and publishes a snapshot whose store, postings index, and filter are
+  /// read-only borrows into the mapping — no build, freeze, transpose, or
+  /// derive work runs. The mapping's lifetime is tied to the snapshot (the
+  /// shared_ptr member below outlives every borrowing structure). Corrupt,
+  /// truncated, or missing images are rejected loudly (failed_loads ticks,
+  /// false returned) without disturbing the serving snapshot; the
+  /// kSnapshotLoadCorruption fault site flips one byte of an in-memory copy
+  /// before parsing, driving the same reject path deterministically.
+  bool load_image(const std::string& path);
+  /// Writes the current snapshot as a kind-5 frozen image via the atomic
+  /// writer. Requires a published snapshot with a postings index (the image
+  /// always carries the transpose); returns false otherwise.
+  bool write_image(const std::string& path) const;
 
   std::uint64_t generation() const {
     return generation_.load(std::memory_order_acquire);
@@ -197,6 +239,10 @@ class Oracle {
  private:
   /// Immutable once published; destroyed when the last batch using it ends.
   struct Snapshot {
+    /// Backing mapping for image-loaded snapshots (null otherwise).
+    /// Declared FIRST: members destroy in reverse declaration order, so the
+    /// structures borrowing into the mapping die before the bytes unmap.
+    std::shared_ptr<util::MmapFile> mapping;
     labeling::FlatLabeling flat;
     labeling::InvertedHubIndex index;
     bool has_index = false;
@@ -226,9 +272,15 @@ class Oracle {
   /// partition (installs), when OracleOptions::filter.enabled. Both extras
   /// degrade independently: an index failure serves flat, a filter failure
   /// serves unfiltered.
-  std::uint64_t install(labeling::FlatLabeling flat,
+  std::uint64_t install(labeling::FlatLabeling flat, SnapshotSource source,
+                        Clock::time_point t0,
                         std::optional<labeling::FilterSidecar> sidecar = {},
                         std::vector<std::int32_t>* hier_parts = nullptr);
+  /// Publish tail shared by every install path: swaps the snapshot in,
+  /// advances the generation, and stamps provenance + install wall time
+  /// (measured from `t0`, the start of the public entry point).
+  std::uint64_t finish_install(SnapshotPtr snap, std::uint64_t gen,
+                               SnapshotSource source, Clock::time_point t0);
   /// Copies the current snapshot pointer out of the publish slot. The slot
   /// is a mutex-guarded shared_ptr rather than std::atomic<shared_ptr>:
   /// libstdc++'s _Sp_atomic releases its embedded spin-lock with a relaxed
@@ -289,6 +341,8 @@ class Oracle {
   std::atomic<std::uint64_t> degraded_batches_{0};
   std::atomic<std::uint64_t> snapshot_installs_{0};
   std::atomic<std::uint64_t> failed_loads_{0};
+  std::atomic<int> last_source_{0};  ///< SnapshotSource of the latest install
+  std::atomic<std::uint64_t> last_load_micros_{0};
   std::atomic<std::uint64_t> index_build_failures_{0};
   std::atomic<std::uint64_t> filter_build_failures_{0};
 };

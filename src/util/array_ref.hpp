@@ -1,0 +1,195 @@
+// Borrowed-or-owned flat array storage for the frozen artifact types.
+//
+// Every frozen structure in the store stack (CsrGraph, FlatLabeling,
+// InvertedHubIndex, LabelFilter) is a handful of immutable SoA arrays. Until
+// now each held `std::vector` members, which forces a serving restart to
+// deserialize every artifact element by element even though the on-disk
+// frozen image is byte-identical to the in-memory layout. `ArrayRef<T>`
+// makes the storage mode a per-array runtime choice:
+//
+//   * owned    — wraps a std::vector<T>; the builder/assign paths mutate it
+//                exactly as before (resize/assign/element writes), and the
+//                cached data pointer re-syncs after every sizing call.
+//   * borrowed — aliases a read-only external buffer (in practice a section
+//                of a util::MmapFile'd frozen image). No copy is ever made;
+//                the borrower's lifetime contract is external (the serving
+//                snapshot keeps the mapping alive via shared_ptr).
+//
+// The hot-path read API (`data()`, `size()`, `operator[] const`, iteration)
+// is branch-free in both modes: `data_`/`size_` are kept synced as an
+// invariant, so query kernels compile to the same loads they issued against
+// a plain vector. Mutation of a borrowed ref is a programming error and
+// asserts (frozen artifacts are never edited in place; re-freezing goes
+// through the owned path).
+//
+// Copy semantics follow the mode: copying an owned ref deep-copies the
+// vector; copying a borrowed ref copies the alias (both refs then point at
+// the same external bytes — correct, because borrowed storage is immutable
+// and externally owned).
+#pragma once
+
+#include <cstddef>
+#include <initializer_list>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace lowtw::util {
+
+template <typename T>
+class ArrayRef {
+ public:
+  ArrayRef() = default;
+  /// Owned: adopts the vector (implicit, so existing from_parts callers
+  /// passing vectors compile unchanged).
+  ArrayRef(std::vector<T> v) : owned_(std::move(v)) { sync_owned(); }
+  ArrayRef(std::initializer_list<T> init) : owned_(init) { sync_owned(); }
+
+  /// Borrowed: aliases `count` elements at `data`. The bytes must stay
+  /// mapped and unchanged for the life of this ref and all its copies.
+  static ArrayRef borrowed(const T* data, std::size_t count) {
+    ArrayRef r;
+    r.data_ = data;
+    r.size_ = count;
+    r.is_borrowed_ = true;
+    return r;
+  }
+
+  ArrayRef(const ArrayRef& other)
+      : owned_(other.owned_),
+        data_(other.data_),
+        size_(other.size_),
+        is_borrowed_(other.is_borrowed_) {
+    if (!is_borrowed_) sync_owned();
+  }
+  ArrayRef(ArrayRef&& other) noexcept
+      : owned_(std::move(other.owned_)),
+        data_(other.data_),
+        size_(other.size_),
+        is_borrowed_(other.is_borrowed_) {
+    if (!is_borrowed_) sync_owned();
+    other.reset_empty();
+  }
+  ArrayRef& operator=(const ArrayRef& other) {
+    if (this != &other) {
+      owned_ = other.owned_;
+      is_borrowed_ = other.is_borrowed_;
+      if (is_borrowed_) {
+        data_ = other.data_;
+        size_ = other.size_;
+      } else {
+        sync_owned();
+      }
+    }
+    return *this;
+  }
+  ArrayRef& operator=(ArrayRef&& other) noexcept {
+    if (this != &other) {
+      owned_ = std::move(other.owned_);
+      is_borrowed_ = other.is_borrowed_;
+      if (is_borrowed_) {
+        data_ = other.data_;
+        size_ = other.size_;
+      } else {
+        sync_owned();
+      }
+      other.reset_empty();
+    }
+    return *this;
+  }
+  ArrayRef& operator=(std::vector<T> v) {
+    owned_ = std::move(v);
+    is_borrowed_ = false;
+    sync_owned();
+    return *this;
+  }
+
+  bool borrowed() const { return is_borrowed_; }
+  bool empty() const { return size_ == 0; }
+  std::size_t size() const { return size_; }
+  const T* data() const { return data_; }
+  const T& operator[](std::size_t i) const { return data_[i]; }
+  const T& front() const { return data_[0]; }
+  const T& back() const { return data_[size_ - 1]; }
+  const T* begin() const { return data_; }
+  const T* end() const { return data_ + size_; }
+
+  /// Deep copy into a plain vector (persistence writers, to_sidecar).
+  std::vector<T> to_vector() const { return std::vector<T>(begin(), end()); }
+
+  // --- owned-mode mutation (builder/assign paths) ----------------------------
+  // Sizing calls on a borrowed ref drop the borrow and start from an empty
+  // owned vector: every builder path overwrites its arrays wholesale, so
+  // there is never content to migrate. Element writes on a borrowed ref are
+  // a bug and assert.
+
+  void resize(std::size_t n) {
+    make_owned();
+    owned_.resize(n);
+    sync_owned();
+  }
+  void assign(std::size_t n, const T& value) {
+    make_owned();
+    owned_.assign(n, value);
+    sync_owned();
+  }
+  void clear() {
+    make_owned();
+    owned_.clear();
+    sync_owned();
+  }
+  void reserve(std::size_t n) {
+    make_owned();
+    owned_.reserve(n);
+    sync_owned();
+  }
+  void push_back(const T& value) {
+    make_owned();
+    owned_.push_back(value);
+    sync_owned();
+  }
+
+  /// Element write access. Deliberately not a non-const operator[]: that
+  /// overload would also capture plain reads through non-const refs and trip
+  /// the borrowed assert on read-only use; `mut` keeps every write explicit.
+  T& mut(std::size_t i) {
+    LOWTW_CHECK_MSG(!is_borrowed_, "ArrayRef: element write on borrowed storage");
+    return owned_[i];
+  }
+  T* mutable_data() {
+    LOWTW_CHECK_MSG(!is_borrowed_, "ArrayRef: mutable_data on borrowed storage");
+    return owned_.data();
+  }
+  typename std::vector<T>::iterator mutable_begin() {
+    LOWTW_CHECK_MSG(!is_borrowed_, "ArrayRef: mutable_begin on borrowed storage");
+    return owned_.begin();
+  }
+  typename std::vector<T>::iterator mutable_end() {
+    LOWTW_CHECK_MSG(!is_borrowed_, "ArrayRef: mutable_end on borrowed storage");
+    return owned_.end();
+  }
+
+ private:
+  void sync_owned() {
+    data_ = owned_.data();
+    size_ = owned_.size();
+    is_borrowed_ = false;
+  }
+  void make_owned() {
+    if (is_borrowed_) {
+      owned_.clear();
+      is_borrowed_ = false;
+    }
+  }
+  void reset_empty() {
+    owned_.clear();
+    sync_owned();
+  }
+
+  std::vector<T> owned_;
+  const T* data_ = nullptr;
+  std::size_t size_ = 0;
+  bool is_borrowed_ = false;
+};
+
+}  // namespace lowtw::util

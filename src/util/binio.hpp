@@ -38,6 +38,10 @@ inline constexpr std::uint32_t kKindWeightedDigraph = 2;
 inline constexpr std::uint32_t kKindFlatLabeling = 3;
 /// Kind 3 payload + the labeling::FilterSidecar sections (label_io).
 inline constexpr std::uint32_t kKindFlatLabelingFiltered = 4;
+/// Relocatable frozen image: one aligned arena holding every frozen
+/// artifact as offset-addressed sections, mmap-loadable without
+/// deserialization (persist/frozen_image).
+inline constexpr std::uint32_t kKindFrozenImage = 5;
 
 template <typename T>
 void write_pod(std::ostream& os, const T& value) {

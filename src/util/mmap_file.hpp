@@ -1,0 +1,47 @@
+// Read-only memory-mapped file — the zero-copy load path for frozen images.
+//
+// A kind-5 frozen image is laid out so every artifact array can be used
+// directly where it lies in the file (offset-addressed sections, 64-byte
+// alignment, native little-endian element layout). `MmapFile` maps the file
+// PROT_READ/MAP_PRIVATE and hands out the byte range; the persist layer
+// validates structure + checksums against the mapping and then borrows
+// ArrayRef views straight into it — load cost is page faults, not
+// deserialization.
+//
+// Lifetime: the serving snapshot holds the mapping via shared_ptr declared
+// before the borrowing members, so retirement of the snapshot destroys the
+// borrowed structures first and unmaps last. Copies are disabled; moves
+// transfer the mapping.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+namespace lowtw::util {
+
+class MmapFile {
+ public:
+  MmapFile() = default;
+  /// Maps `path` read-only. Throws CheckFailure when the file cannot be
+  /// opened, stat'ed, or mapped. An empty file maps to a null range of
+  /// size 0 (valid object, no mapping).
+  explicit MmapFile(const std::string& path);
+  ~MmapFile();
+  MmapFile(const MmapFile&) = delete;
+  MmapFile& operator=(const MmapFile&) = delete;
+  MmapFile(MmapFile&& other) noexcept;
+  MmapFile& operator=(MmapFile&& other) noexcept;
+
+  const std::byte* data() const { return data_; }
+  std::size_t size() const { return size_; }
+  const std::string& path() const { return path_; }
+
+ private:
+  void unmap();
+
+  const std::byte* data_ = nullptr;
+  std::size_t size_ = 0;
+  std::string path_;
+};
+
+}  // namespace lowtw::util

@@ -252,6 +252,10 @@ TEST_F(DaemonFixture, StatsAndQuitFrames) {
   const std::string stats = c.read_line();
   EXPECT_EQ(stats.rfind("STATS admitted=", 0), 0u) << stats;
   EXPECT_NE(stats.find("generation=1"), std::string::npos) << stats;
+  // Snapshot provenance on the wire: the fixture boots through
+  // rebuild_snapshot, so STATS must say so, with the install wall time.
+  EXPECT_NE(stats.find(" snapshot=rebuilt"), std::string::npos) << stats;
+  EXPECT_NE(stats.find(" load_micros="), std::string::npos) << stats;
   EXPECT_EQ(c.read_line(), "BYE");
   EXPECT_TRUE(c.at_eof());
 }

@@ -213,5 +213,133 @@ TEST(GraphBinaryIo, AtomicFileWriteSurvivesMidWriteKill) {
   EXPECT_THROW(io::read_graph_binary_file(path), util::CheckFailure);
 }
 
+// --- DIMACS .gr / .co streaming ingestion ------------------------------------
+
+// Serializes a digraph in DIMACS .gr text (1-based vertices, arcs in id
+// order) — the inverse of read_dimacs_gr, used to round-trip generated
+// instances through the reader.
+std::string to_dimacs_gr(const WeightedDigraph& g) {
+  std::ostringstream os;
+  os << "c generated by test_graph_io\n";
+  os << "p sp " << g.num_vertices() << " " << g.num_arcs() << "\n";
+  for (EdgeId e = 0; e < g.num_arcs(); ++e) {
+    const Arc& a = g.arc(e);
+    os << "a " << a.tail + 1 << " " << a.head + 1 << " " << a.weight << "\n";
+  }
+  return os.str();
+}
+
+TEST(DimacsIo, GrRoundTripPreservesArcsInOrder) {
+  util::Rng rng(23);
+  WeightedDigraph g =
+      gen::random_orientation(sample_graph(90, 17), 0.7, 1, 9999, rng);
+  std::istringstream is(to_dimacs_gr(g));
+  WeightedDigraph back = io::read_dimacs_gr(is);
+  ASSERT_EQ(back.num_vertices(), g.num_vertices());
+  ASSERT_EQ(back.num_arcs(), g.num_arcs());
+  for (EdgeId e = 0; e < g.num_arcs(); ++e) {
+    EXPECT_EQ(back.arc(e).tail, g.arc(e).tail) << "e=" << e;
+    EXPECT_EQ(back.arc(e).head, g.arc(e).head) << "e=" << e;
+    EXPECT_EQ(back.arc(e).weight, g.arc(e).weight) << "e=" << e;
+  }
+}
+
+TEST(DimacsIo, GrHandlesCommentsBlanksAndWhitespace) {
+  std::istringstream is(
+      "c a comment\n"
+      "\n"
+      "p sp 3 2\n"
+      "c interleaved comment\n"
+      "a   1\t2   5\r\n"
+      "a 3 1 7");  // no trailing newline on the last record
+  WeightedDigraph g = io::read_dimacs_gr(is);
+  ASSERT_EQ(g.num_vertices(), 3);
+  ASSERT_EQ(g.num_arcs(), 2);
+  EXPECT_EQ(g.arc(0).tail, 0);
+  EXPECT_EQ(g.arc(0).head, 1);
+  EXPECT_EQ(g.arc(0).weight, 5);
+  EXPECT_EQ(g.arc(1).tail, 2);
+  EXPECT_EQ(g.arc(1).weight, 7);
+}
+
+TEST(DimacsIo, GrStreamsAcrossChunkBoundaries) {
+  // Push the problem line past the first 1 MiB chunk so records straddle
+  // the scanner's refill, including a line split mid-token.
+  std::string text;
+  const std::string filler = "c " + std::string(4093, 'x') + "\n";
+  while (text.size() < (1u << 20) + 512) text += filler;
+  text += "p sp 2 1\na 1 2 42\n";
+  std::istringstream is(text);
+  WeightedDigraph g = io::read_dimacs_gr(is);
+  ASSERT_EQ(g.num_arcs(), 1);
+  EXPECT_EQ(g.arc(0).weight, 42);
+}
+
+// Every malformed shape fails with a CheckFailure naming the 1-based line.
+void expect_gr_rejected_at(const std::string& text, const char* line_tag) {
+  std::istringstream is(text);
+  try {
+    io::read_dimacs_gr(is);
+    FAIL() << "accepted malformed input (wanted failure at " << line_tag
+           << "): " << text;
+  } catch (const util::CheckFailure& e) {
+    EXPECT_NE(std::string(e.what()).find(line_tag), std::string::npos)
+        << "wrong location in: " << e.what();
+  }
+}
+
+TEST(DimacsIo, GrRejectsMalformedInputWithLineNumbers) {
+  expect_gr_rejected_at("p sp 2 1\nz 1 2 3\n", "line 2");          // bad tag
+  expect_gr_rejected_at("a 1 2 3\n", "line 1");           // arc before header
+  expect_gr_rejected_at("p sp 2 1\np sp 2 1\n", "line 2");  // dup header
+  expect_gr_rejected_at("p sp x 1\n", "line 1");              // non-numeric n
+  expect_gr_rejected_at("p sp 2 1\na 1 2 1x\n", "line 2");    // trailing junk
+  expect_gr_rejected_at("p sp 2 1\na 1 2\n", "line 2");       // short record
+  expect_gr_rejected_at("p sp 2 1\na 1 2 3 4\n", "line 2");   // long record
+  expect_gr_rejected_at("p sp 2 1\na 0 2 3\n", "line 2");     // id below 1
+  expect_gr_rejected_at("p sp 2 1\na 1 3 3\n", "line 2");     // id above n
+  expect_gr_rejected_at("p sp 2 1\na 1 2 -4\n", "line 2");    // negative w
+  expect_gr_rejected_at("p sp 2 1\na 1 2 3\na 2 1 3\n", "line 3");  // extra a
+  expect_gr_rejected_at("p sp -1 0\n", "line 1");             // negative n
+  {  // missing header / count mismatch fail at end of stream
+    std::istringstream none("c only comments\n");
+    EXPECT_THROW(io::read_dimacs_gr(none), util::CheckFailure);
+    std::istringstream few("p sp 2 2\na 1 2 3\n");
+    EXPECT_THROW(io::read_dimacs_gr(few), util::CheckFailure);
+  }
+}
+
+TEST(DimacsIo, CoRoundTripAndRejection) {
+  std::istringstream is(
+      "c coords\n"
+      "p aux sp co 3\n"
+      "v 2 -73530767 41085396\n"
+      "v 1 -73110767 41026446\n"
+      "v 3 0 -7\n");
+  io::DimacsCoordinates co = io::read_dimacs_co(is);
+  ASSERT_EQ(co.num_vertices(), 3);
+  EXPECT_EQ(co.x[0], -73110767);
+  EXPECT_EQ(co.y[0], 41026446);
+  EXPECT_EQ(co.x[1], -73530767);
+  EXPECT_EQ(co.y[2], -7);
+
+  auto rejected = [](const std::string& text) {
+    std::istringstream bad(text);
+    EXPECT_THROW(io::read_dimacs_co(bad), util::CheckFailure) << text;
+  };
+  rejected("p aux sp co 1\nv 1 0 0\nv 1 0 0\n");  // duplicate vertex
+  rejected("p aux sp co 2\nv 1 0 0\n");           // missing vertex
+  rejected("p aux sp co 1\nv 2 0 0\n");           // id out of range
+  rejected("p sp co 1\nv 1 0 0\n");               // wrong problem header
+  rejected("v 1 0 0\n");                          // record before header
+}
+
+TEST(DimacsIo, FileReadersRejectMissingPaths) {
+  EXPECT_THROW(io::read_dimacs_gr_file("/nonexistent/x.gr"),
+               util::CheckFailure);
+  EXPECT_THROW(io::read_dimacs_co_file("/nonexistent/x.co"),
+               util::CheckFailure);
+}
+
 }  // namespace
 }  // namespace lowtw::graph

@@ -1,0 +1,564 @@
+// The kind-5 frozen image is the zero-copy restart path, so its tests are
+// paranoid in both directions: (a) a pristine image must reassemble into a
+// store/index/filter that serves bit-identically to the rebuilt snapshot —
+// property-swept across graph families, engine modes, and filter on/off —
+// and (b) *every* single-byte corruption, truncation, growth, and
+// metadata-tamper of the file must be rejected loudly before anything is
+// installed. The oracle-level drills then prove the reject path is safe
+// while serving: a corrupt image leaves the previous snapshot untouched,
+// the deterministic kSnapshotLoadCorruption fault drives the same path,
+// and the mapping outlives both the file on disk and a later snapshot swap.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "graph/algorithms.hpp"
+#include "graph/generators.hpp"
+#include "labeling/distance_labeling.hpp"
+#include "labeling/inverted_index.hpp"
+#include "labeling/label_filter.hpp"
+#include "labeling/label_io.hpp"
+#include "persist/frozen_image.hpp"
+#include "serving/oracle.hpp"
+#include "td/builder.hpp"
+#include "test_helpers.hpp"
+#include "util/binio.hpp"
+#include "util/check.hpp"
+#include "util/mmap_file.hpp"
+
+namespace lowtw {
+namespace {
+
+namespace fs = std::filesystem;
+using graph::VertexId;
+using graph::Weight;
+using labeling::FlatLabeling;
+using labeling::InvertedHubIndex;
+using labeling::LabelFilter;
+
+struct Built {
+  graph::WeightedDigraph g;
+  graph::Graph skel;
+  FlatLabeling flat;
+};
+
+Built build_store(const test::FamilySpec& spec) {
+  Built b;
+  graph::Graph ug = test::make_family(spec);
+  util::Rng rng(spec.seed + 99);
+  b.g = graph::gen::random_orientation(ug, 0.6, 1, 30, rng);
+  b.skel = b.g.skeleton();
+  test::EngineBundle bundle(b.skel);
+  auto td = td::build_hierarchy(b.skel, td::TdParams{}, rng, bundle.engine);
+  b.flat = labeling::build_distance_labeling(b.g, b.skel, td.hierarchy,
+                                             bundle.engine)
+               .flat;
+  return b;
+}
+
+std::string image_bytes(const FlatLabeling& flat, const InvertedHubIndex& idx,
+                        const LabelFilter* filter = nullptr,
+                        const graph::CsrGraph* g = nullptr) {
+  std::stringstream ss;
+  persist::write_frozen_image(ss, flat, idx, filter, g);
+  return ss.str();
+}
+
+const std::byte* bytes(const std::string& s) {
+  return reinterpret_cast<const std::byte*>(s.data());
+}
+
+template <typename T>
+void expect_section_eq(const util::ArrayRef<T>& got, std::span<const T> want,
+                       const char* name) {
+  ASSERT_EQ(got.size(), want.size()) << name;
+  for (std::size_t i = 0; i < want.size(); ++i) {
+    ASSERT_EQ(got[i], want[i]) << name << "[" << i << "]";
+  }
+  // The whole point: the view aliases the image, it never copies.
+  EXPECT_TRUE(got.size() == 0 || got.borrowed()) << name;
+}
+
+// --- round trip: every section, borrowed, byte-exact -------------------------
+
+TEST(FrozenImage, RoundTripPreservesEverySection) {
+  Built b = build_store({"partial_ktree", 70, 3, 11});
+  InvertedHubIndex idx(b.flat);
+  LabelFilter filter = LabelFilter::build(
+      b.flat, idx, labeling::partition_bfs(b.g, 8, 5), 8);
+  graph::CsrGraph csr(b.skel);
+  const std::string img = image_bytes(b.flat, idx, &filter, &csr);
+
+  persist::FrozenImageView v = persist::parse_frozen_image(bytes(img),
+                                                           img.size());
+  EXPECT_EQ(v.n, b.flat.num_vertices());
+  EXPECT_EQ(v.total_entries, b.flat.num_entries());
+  EXPECT_TRUE(v.has_graph);
+  EXPECT_TRUE(v.has_filter);
+  EXPECT_EQ(v.graph_num_edges, csr.num_edges());
+  EXPECT_EQ(v.num_parts, filter.num_parts());
+
+  expect_section_eq(v.graph_offsets, csr.raw_offsets(), "graph_offsets");
+  expect_section_eq(v.graph_targets, csr.raw_targets(), "graph_targets");
+  expect_section_eq(v.label_offsets, b.flat.raw_offsets(), "label_offsets");
+  expect_section_eq(v.label_hub_ids, b.flat.raw_hub_ids(), "label_hub_ids");
+  expect_section_eq(v.label_to_hub, b.flat.raw_to_hub(), "label_to_hub");
+  expect_section_eq(v.label_from_hub, b.flat.raw_from_hub(),
+                    "label_from_hub");
+  expect_section_eq(v.idx_offsets, idx.raw_offsets(), "idx_offsets");
+  expect_section_eq(v.idx_vertices, idx.raw_vertices(), "idx_vertices");
+  expect_section_eq(v.idx_to_hub, idx.raw_to_hub(), "idx_to_hub");
+  expect_section_eq(v.idx_from_hub, idx.raw_from_hub(), "idx_from_hub");
+  expect_section_eq(v.part_of, filter.raw_part_of(), "part_of");
+  expect_section_eq(v.fwd_flags, filter.raw_fwd_flags(), "fwd_flags");
+  expect_section_eq(v.bwd_flags, filter.raw_bwd_flags(), "bwd_flags");
+  expect_section_eq(v.fwd_bound, filter.raw_fwd_bound(), "fwd_bound");
+  expect_section_eq(v.bwd_bound, filter.raw_bwd_bound(), "bwd_bound");
+  expect_section_eq(v.seg_offsets, filter.raw_seg_offsets(), "seg_offsets");
+  expect_section_eq(v.seg_vertices, filter.raw_seg_vertices(),
+                    "seg_vertices");
+  expect_section_eq(v.seg_to_hub, filter.raw_seg_to_hub(), "seg_to_hub");
+  expect_section_eq(v.seg_from_hub, filter.raw_seg_from_hub(),
+                    "seg_from_hub");
+}
+
+TEST(FrozenImage, ViewAssemblesIntoBitExactStoreIndexAndFilter) {
+  Built b = build_store({"banded", 64, 4, 3});
+  InvertedHubIndex idx(b.flat);
+  LabelFilter filter = LabelFilter::build(
+      b.flat, idx, labeling::partition_bfs(b.g, 4, 9), 4);
+  const std::string img = image_bytes(b.flat, idx, &filter);
+
+  persist::FrozenImageView v = persist::parse_frozen_image(bytes(img),
+                                                           img.size());
+  EXPECT_FALSE(v.has_graph);
+  FlatLabeling flat = FlatLabeling::from_parts(
+      v.label_offsets, v.label_hub_ids, v.label_to_hub, v.label_from_hub);
+  InvertedHubIndex iback = InvertedHubIndex::from_parts(
+      flat, v.idx_offsets, v.idx_vertices, v.idx_to_hub, v.idx_from_hub);
+  LabelFilter fback = LabelFilter::from_image_parts(
+      flat, v.num_parts, v.part_of, v.fwd_flags, v.bwd_flags, v.fwd_bound,
+      v.bwd_bound, v.seg_offsets, v.seg_vertices, v.seg_to_hub,
+      v.seg_from_hub);
+  ASSERT_TRUE(iback.matches(flat));
+  ASSERT_TRUE(fback.matches(flat));
+
+  const int n = b.flat.num_vertices();
+  std::vector<Weight> want(static_cast<std::size_t>(n));
+  std::vector<Weight> want_to(static_cast<std::size_t>(n));
+  std::vector<Weight> got(static_cast<std::size_t>(n));
+  std::vector<Weight> got_to(static_cast<std::size_t>(n));
+  for (VertexId u = 0; u < n; u += 3) {
+    idx.one_vs_all(u, want, want_to);
+    iback.one_vs_all(u, got, got_to);
+    EXPECT_EQ(got, want) << "u=" << u;
+    EXPECT_EQ(got_to, want_to) << "u=" << u;
+    for (VertexId w = 0; w < n; w += 5) {
+      EXPECT_EQ(flat.decode(u, w), b.flat.decode(u, w));
+      EXPECT_EQ(fback.decode(u, w), b.flat.decode(u, w));
+    }
+  }
+}
+
+TEST(FrozenImage, HandmadeCornersSurvive) {
+  // Empty labels, infinite legs: the same corners the kind-3 tests pin.
+  labeling::DistanceLabeling dl;
+  dl.labels.resize(3);
+  for (VertexId v = 0; v < 3; ++v) dl.labels[v].owner = v;
+  dl.labels[0].set(1, 5, graph::kInfinity);
+  dl.labels[2].set(0, graph::kInfinity, 2);
+  FlatLabeling flat(dl);
+  InvertedHubIndex idx(flat);
+  const std::string img = image_bytes(flat, idx);
+  persist::FrozenImageView v = persist::parse_frozen_image(bytes(img),
+                                                           img.size());
+  EXPECT_FALSE(v.has_filter);
+  FlatLabeling back = FlatLabeling::from_parts(
+      v.label_offsets, v.label_hub_ids, v.label_to_hub, v.label_from_hub);
+  EXPECT_EQ(back.entries(1), 0u);
+  EXPECT_EQ(back.to_hub(0)[0], 5);
+  EXPECT_EQ(back.from_hub(0)[0], graph::kInfinity);
+}
+
+// --- exhaustive rejection: every byte, every prefix --------------------------
+
+// A small instance that still exercises all 19 section ids (graph + filter).
+std::string small_full_image() {
+  static const std::string img = [] {
+    Built b = build_store({"ktree", 24, 2, 5});
+    InvertedHubIndex idx(b.flat);
+    LabelFilter filter = LabelFilter::build(
+        b.flat, idx, labeling::partition_bfs(b.g, 4, 3), 4);
+    graph::CsrGraph csr(b.skel);
+    return image_bytes(b.flat, idx, &filter, &csr);
+  }();
+  return img;
+}
+
+TEST(FrozenImage, EveryByteCorruptionIsRejected) {
+  const std::string img = small_full_image();
+  ASSERT_NO_THROW(persist::parse_frozen_image(bytes(img), img.size()));
+  // Flip every byte of the file, one at a time: headers are validated field
+  // by field, metadata is under the table checksum, padding is
+  // zero-validated, payload is per-section checksummed — so there must not
+  // be a single offset where a flip goes unnoticed.
+  std::string bad = img;
+  for (std::size_t at = 0; at < img.size(); ++at) {
+    bad[at] = static_cast<char>(bad[at] ^ 0x5a);
+    EXPECT_THROW(persist::parse_frozen_image(bytes(bad), bad.size()),
+                 util::CheckFailure)
+        << "undetected corruption at byte " << at << " of " << img.size();
+    bad[at] = img[at];  // restore for the next offset
+  }
+}
+
+TEST(FrozenImage, EveryTruncationAndAnyGrowthIsRejected) {
+  const std::string img = small_full_image();
+  for (std::size_t cut = 0; cut < img.size(); ++cut) {
+    EXPECT_THROW(persist::parse_frozen_image(bytes(img), cut),
+                 util::CheckFailure)
+        << "undetected truncation to " << cut << " bytes";
+  }
+  std::string grown = img + std::string(1, '\0');
+  EXPECT_THROW(persist::parse_frozen_image(bytes(grown), grown.size()),
+               util::CheckFailure);
+}
+
+// On-disk metadata geometry (frozen_image.cpp): 16-byte LTWB header, 40-byte
+// ImageHeader, then section_count 32-byte SectionEntry records, then the
+// u64 metadata checksum.
+constexpr std::size_t kImageHeaderAt = 16;
+constexpr std::size_t kSectionCountAt = kImageHeaderAt + 8;
+constexpr std::size_t kTableAt = kImageHeaderAt + 40;
+constexpr std::size_t kEntryBytes = 32;
+
+std::uint32_t section_count(const std::string& img) {
+  std::uint32_t c = 0;
+  std::memcpy(&c, img.data() + kSectionCountAt, 4);
+  return c;
+}
+
+// Re-seals the metadata checksum after a deliberate tamper, so the test
+// exercises the *structural* validation behind the checksum, not just the
+// checksum itself.
+void reseal_metadata(std::string& img) {
+  const std::size_t table_bytes = section_count(img) * kEntryBytes;
+  util::binio::Fnv1a sum;
+  sum.update(img.data() + kImageHeaderAt, 40);
+  sum.update(img.data() + kTableAt, table_bytes);
+  const std::uint64_t digest = sum.digest();
+  std::memcpy(img.data() + kTableAt + table_bytes, &digest, 8);
+}
+
+void expect_tamper_rejected(const std::string& img, std::size_t at,
+                            std::uint64_t value, std::size_t width,
+                            const char* what) {
+  std::string bad = img;
+  std::memcpy(bad.data() + at, &value, width);
+  reseal_metadata(bad);
+  EXPECT_THROW(persist::parse_frozen_image(bytes(bad), bad.size()),
+               util::CheckFailure)
+      << what;
+}
+
+TEST(FrozenImage, ResealedMetadataTamperingStillRejected) {
+  const std::string img = small_full_image();
+  {  // reseal alone is the identity — the harness itself must be sound
+    std::string same = img;
+    reseal_metadata(same);
+    ASSERT_EQ(same, img);
+  }
+  auto entry_field = [](std::size_t entry, std::size_t field_off) {
+    return kTableAt + entry * kEntryBytes + field_off;
+  };
+  std::uint64_t off0 = 0;
+  std::memcpy(&off0, img.data() + entry_field(0, 8), 8);
+  std::uint64_t count0 = 0;
+  std::memcpy(&count0, img.data() + entry_field(0, 16), 8);
+
+  // Section-offset tampering: misaligned, overlapping-forward, and pointing
+  // past the end all die on the structural checks even with a valid
+  // metadata checksum.
+  expect_tamper_rejected(img, entry_field(0, 8), off0 + 1, 8, "misaligned");
+  expect_tamper_rejected(img, entry_field(0, 8), off0 + 64, 8,
+                         "shifted into the next section");
+  expect_tamper_rejected(img, entry_field(0, 8), img.size() + 64, 8,
+                         "past the end");
+  // Count inflation (extent escapes the file), id reorder, element size.
+  expect_tamper_rejected(img, entry_field(0, 16), count0 + (1u << 20), 8,
+                         "inflated count");
+  expect_tamper_rejected(img, entry_field(0, 0), 19, 4, "wrong section id");
+  expect_tamper_rejected(img, entry_field(0, 4), 2, 4, "wrong elem size");
+  // ImageHeader tampering: file size, n, section count, flags, reserved.
+  expect_tamper_rejected(img, kImageHeaderAt, img.size() + 64, 8,
+                         "file_bytes grown");
+  expect_tamper_rejected(img, kImageHeaderAt + 24, 25, 4, "n changed");
+  expect_tamper_rejected(img, kSectionCountAt, section_count(img) - 1, 4,
+                         "section dropped");
+  expect_tamper_rejected(img, kImageHeaderAt + 12, 0, 4, "flags cleared");
+  expect_tamper_rejected(img, kImageHeaderAt + 36, 1, 4, "reserved set");
+}
+
+TEST(FrozenImage, MappingShorterThanHeadersIsRejected) {
+  const std::string img = small_full_image();
+  for (std::size_t size : {std::size_t{0}, std::size_t{1}, std::size_t{4},
+                           std::size_t{15}, std::size_t{16}, std::size_t{55},
+                           kTableAt + 3}) {
+    EXPECT_THROW(persist::parse_frozen_image(bytes(img), size),
+                 util::CheckFailure)
+        << "size=" << size;
+  }
+}
+
+TEST(FrozenImage, WrongKindArtifactIsRejected) {
+  // A kind-3 labeling artifact is a valid LTWB stream — but not an image.
+  Built b = build_store({"path", 20, 1, 1});
+  std::stringstream ss;
+  labeling::io::write_labeling_binary(ss, b.flat);
+  const std::string k3 = ss.str();
+  EXPECT_THROW(persist::parse_frozen_image(bytes(k3), k3.size()),
+               util::CheckFailure);
+}
+
+TEST(FrozenImage, AtomicFileWriteMapsAndParses) {
+  Built b = build_store({"cycle_chords", 40, 4, 7});
+  InvertedHubIndex idx(b.flat);
+  const std::string path =
+      (fs::temp_directory_path() / "lowtw_frozen_image_test.img").string();
+  persist::write_frozen_image_file(path, b.flat, idx);
+  EXPECT_FALSE(fs::exists(path + ".tmp"));
+  {
+    util::MmapFile map(path);
+    persist::FrozenImageView v = persist::parse_frozen_image(map.data(),
+                                                             map.size());
+    EXPECT_EQ(v.n, b.flat.num_vertices());
+    EXPECT_EQ(v.total_entries, b.flat.num_entries());
+  }
+  fs::remove(path);
+  EXPECT_THROW(util::MmapFile missing(path), util::CheckFailure);
+}
+
+// --- the serving property: mmapped == rebuilt, across the matrix -------------
+
+class FrozenImageServeSweep
+    : public ::testing::TestWithParam<test::FamilySpec> {};
+
+TEST_P(FrozenImageServeSweep, MmappedServingBitExactVsRebuilt) {
+  const test::FamilySpec spec = GetParam();
+  graph::Graph ug = test::make_family(spec);
+  util::Rng rng(spec.seed + 5);
+  graph::WeightedDigraph net =
+      graph::gen::random_orientation(ug, 0.6, 1, 40, rng);
+  const std::string path =
+      (fs::temp_directory_path() /
+       ("lowtw_image_sweep_" + spec.name() + ".img"))
+          .string();
+  for (auto mode : {primitives::EngineMode::kShortcutModel,
+                    primitives::EngineMode::kTreeRealized}) {
+    for (bool filtered : {false, true}) {
+      serving::OracleOptions opts;
+      opts.seed = spec.seed;
+      opts.engine = mode;
+      opts.filter.enabled = filtered;
+      serving::Oracle built(net, opts);
+      built.rebuild_snapshot();
+      ASSERT_TRUE(built.write_image(path));
+
+      serving::Oracle restarted(net, opts);
+      ASSERT_TRUE(restarted.load_image(path));
+      const serving::OracleStats rs = restarted.stats();
+      EXPECT_EQ(rs.snapshot_source, serving::SnapshotSource::kMmapped);
+      EXPECT_EQ(rs.snapshot_installs, 1u);
+
+      util::Rng qrng(spec.seed ^ 0xace1);
+      const auto n = static_cast<std::uint64_t>(net.num_vertices());
+      for (int i = 0; i < 300; ++i) {
+        const auto u = static_cast<VertexId>(qrng.next_below(n));
+        const auto v = static_cast<VertexId>(qrng.next_below(n));
+        const Weight a = built.serve_now(u, v).distance;
+        const Weight b = restarted.serve_now(u, v).distance;
+        ASSERT_EQ(a, b) << spec.name() << " mode=" << static_cast<int>(mode)
+                        << " filtered=" << filtered << " pair (" << u << ", "
+                        << v << ")";
+        if (i < 16) {
+          ASSERT_EQ(a, graph::dijkstra(net, u).dist[v])
+              << spec.name() << " vs ground truth (" << u << ", " << v << ")";
+        }
+      }
+    }
+  }
+  fs::remove(path);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Families, FrozenImageServeSweep,
+    ::testing::Values(test::FamilySpec{"partial_ktree", 60, 3, 2},
+                      test::FamilySpec{"banded", 64, 4, 4},
+                      test::FamilySpec{"grid", 60, 6, 6},
+                      test::FamilySpec{"apexed_path", 50, 2, 8}),
+    [](const ::testing::TestParamInfo<test::FamilySpec>& info) {
+      return info.param.name();
+    });
+
+// --- oracle drills: the reject path under serving load -----------------------
+
+TEST(OracleImage, CorruptImageRejectedWhilePreviousSnapshotServes) {
+  util::Rng rng(21);
+  graph::Graph ug = graph::gen::partial_ktree(80, 3, 0.6, rng);
+  graph::WeightedDigraph net =
+      graph::gen::random_orientation(ug, 0.8, 1, 50, rng);
+  const std::string path =
+      (fs::temp_directory_path() / "lowtw_image_corrupt_test.img").string();
+
+  serving::OracleOptions opts;
+  serving::Oracle oracle(net, opts);
+  oracle.rebuild_snapshot();
+  ASSERT_TRUE(oracle.write_image(path));
+  const std::uint64_t gen = oracle.generation();
+  std::vector<Weight> before;
+  for (VertexId v = 0; v < net.num_vertices(); v += 7) {
+    before.push_back(oracle.serve_now(0, v).distance);
+  }
+
+  // Flip one payload byte on disk: the load must reject without touching
+  // the published snapshot.
+  {
+    std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
+    ASSERT_TRUE(f.is_open());
+    const auto at = static_cast<std::streamoff>(fs::file_size(path) * 3 / 4);
+    f.seekg(at);
+    char c = 0;
+    f.get(c);
+    f.seekp(at);
+    f.put(static_cast<char>(c ^ 0x10));
+  }
+  EXPECT_FALSE(oracle.load_image(path));
+  serving::OracleStats s = oracle.stats();
+  EXPECT_EQ(s.failed_loads, 1u);
+  EXPECT_EQ(oracle.generation(), gen);
+  EXPECT_EQ(s.snapshot_source, serving::SnapshotSource::kRebuilt);
+
+  // Truncated and missing files take the same loud-reject path.
+  fs::resize_file(path, fs::file_size(path) / 2);
+  EXPECT_FALSE(oracle.load_image(path));
+  fs::remove(path);
+  EXPECT_FALSE(oracle.load_image(path));
+  EXPECT_EQ(oracle.stats().failed_loads, 3u);
+
+  std::size_t i = 0;
+  for (VertexId v = 0; v < net.num_vertices(); v += 7) {
+    EXPECT_EQ(oracle.serve_now(0, v).distance, before[i++]);
+  }
+}
+
+TEST(OracleImage, SnapshotLoadCorruptionFaultDrivesRejectDeterministically) {
+  util::Rng rng(33);
+  graph::Graph ug = graph::gen::partial_ktree(60, 2, 0.6, rng);
+  graph::WeightedDigraph net =
+      graph::gen::random_orientation(ug, 0.8, 1, 50, rng);
+  const std::string path =
+      (fs::temp_directory_path() / "lowtw_image_fault_test.img").string();
+
+  serving::FaultInjector faults(7);
+  serving::OracleOptions opts;
+  opts.faults = &faults;
+  serving::Oracle oracle(net, opts);
+  oracle.rebuild_snapshot();
+  ASSERT_TRUE(oracle.write_image(path));
+
+  // Armed: the drill flips one byte of an in-memory copy before parsing,
+  // and the checksummed parse must reject it — which also re-proves, on
+  // every armed load, that single-byte corruption cannot slip through.
+  faults.arm_nth(serving::FaultSite::kSnapshotLoadCorruption, 0, 2);
+  EXPECT_FALSE(oracle.load_image(path));
+  EXPECT_FALSE(oracle.load_image(path));
+  EXPECT_EQ(faults.fired(serving::FaultSite::kSnapshotLoadCorruption), 2u);
+  EXPECT_EQ(oracle.stats().failed_loads, 2u);
+  EXPECT_EQ(oracle.stats().snapshot_source, serving::SnapshotSource::kRebuilt);
+
+  // Disarmed, the very same file loads and serves.
+  faults.disarm(serving::FaultSite::kSnapshotLoadCorruption);
+  EXPECT_TRUE(oracle.load_image(path));
+  EXPECT_EQ(oracle.stats().snapshot_source, serving::SnapshotSource::kMmapped);
+  fs::remove(path);
+}
+
+TEST(OracleImage, MappingOutlivesFileRemovalAndSnapshotSwap) {
+  util::Rng rng(13);
+  graph::Graph ug = graph::gen::partial_ktree(70, 3, 0.6, rng);
+  graph::WeightedDigraph net =
+      graph::gen::random_orientation(ug, 0.8, 1, 50, rng);
+  const std::string path =
+      (fs::temp_directory_path() / "lowtw_image_lifetime_test.img").string();
+
+  serving::OracleOptions opts;
+  opts.filter.enabled = true;
+  {
+    serving::Oracle writer(net, opts);
+    writer.rebuild_snapshot();
+    ASSERT_TRUE(writer.write_image(path));
+  }
+  serving::Oracle oracle(net, opts);
+  ASSERT_TRUE(oracle.load_image(path));
+  // The mapping must keep the pages alive past the unlink (POSIX contract)
+  // and past a later snapshot swap (the retired snapshot owns it until the
+  // last reader drops the shared_ptr).
+  fs::remove(path);
+  std::vector<Weight> mmapped;
+  for (VertexId v = 0; v < net.num_vertices(); v += 3) {
+    mmapped.push_back(oracle.serve_now(1, v).distance);
+  }
+  oracle.rebuild_snapshot();
+  EXPECT_EQ(oracle.stats().snapshot_source, serving::SnapshotSource::kRebuilt);
+  std::size_t i = 0;
+  for (VertexId v = 0; v < net.num_vertices(); v += 3) {
+    EXPECT_EQ(oracle.serve_now(1, v).distance, mmapped[i]);
+    EXPECT_EQ(graph::dijkstra(net, 1).dist[v], mmapped[i++]);
+  }
+}
+
+TEST(OracleImage, WriteImageRequiresAnIndexedSnapshot) {
+  util::Rng rng(3);
+  graph::Graph ug = graph::gen::path(20);
+  graph::WeightedDigraph net =
+      graph::gen::random_orientation(ug, 0.8, 1, 10, rng);
+  serving::Oracle oracle(net, {});
+  const std::string path =
+      (fs::temp_directory_path() / "lowtw_image_noindex_test.img").string();
+  EXPECT_FALSE(oracle.write_image(path));  // no snapshot published yet
+  EXPECT_FALSE(fs::exists(path));
+}
+
+TEST(OracleImage, StatsReportProvenanceAndLoadTime) {
+  util::Rng rng(17);
+  graph::Graph ug = graph::gen::partial_ktree(50, 2, 0.6, rng);
+  graph::WeightedDigraph net =
+      graph::gen::random_orientation(ug, 0.8, 1, 30, rng);
+  serving::Oracle oracle(net, {});
+  EXPECT_EQ(oracle.stats().snapshot_source, serving::SnapshotSource::kNone);
+  EXPECT_STREQ(serving::to_string(oracle.stats().snapshot_source), "none");
+
+  oracle.rebuild_snapshot();
+  const serving::OracleStats rb = oracle.stats();
+  EXPECT_EQ(rb.snapshot_source, serving::SnapshotSource::kRebuilt);
+  EXPECT_STREQ(serving::to_string(rb.snapshot_source), "rebuilt");
+  EXPECT_GT(rb.load_micros, 0u);
+
+  const std::string path =
+      (fs::temp_directory_path() / "lowtw_image_stats_test.img").string();
+  ASSERT_TRUE(oracle.write_image(path));
+  ASSERT_TRUE(oracle.load_image(path));
+  const serving::OracleStats mm = oracle.stats();
+  EXPECT_EQ(mm.snapshot_source, serving::SnapshotSource::kMmapped);
+  EXPECT_STREQ(serving::to_string(mm.snapshot_source), "mmapped");
+  EXPECT_EQ(mm.snapshot_installs, 2u);
+  fs::remove(path);
+}
+
+}  // namespace
+}  // namespace lowtw

@@ -9,6 +9,7 @@
 #include <string>
 #include <vector>
 
+#include "util/array_ref.hpp"
 #include "util/atomic_file.hpp"
 #include "util/check.hpp"
 #include "util/flags.hpp"
@@ -228,6 +229,77 @@ TEST(AtomicFile, ProductionHookIsRealFsync) {
   atomic_write_file(path, [](std::ostream& os) { os << "durable"; });
   EXPECT_EQ(read_file(path), "durable");
   std::filesystem::remove_all(dir);
+}
+
+// --- ArrayRef: the borrowed-or-owned storage under the frozen artifacts ------
+
+TEST(ArrayRef, OwnedModeBehavesLikeAVector) {
+  ArrayRef<int> r{1, 2, 3};
+  EXPECT_FALSE(r.borrowed());
+  EXPECT_EQ(r.size(), 3u);
+  EXPECT_EQ(r[0], 1);
+  EXPECT_EQ(r.back(), 3);
+  r.push_back(4);
+  r.mut(0) = 9;
+  EXPECT_EQ(r[0], 9);
+  EXPECT_EQ(r.size(), 4u);
+  r.resize(2);
+  EXPECT_EQ(r.to_vector(), (std::vector<int>{9, 2}));
+  r = std::vector<int>{7};
+  EXPECT_EQ(r.size(), 1u);
+  EXPECT_EQ(r.front(), 7);
+  // data()/size() stay synced through growth that reallocates.
+  for (int i = 0; i < 1000; ++i) r.push_back(i);
+  EXPECT_EQ(r.data()[1000], 999);
+  EXPECT_EQ(static_cast<std::size_t>(r.end() - r.begin()), r.size());
+}
+
+TEST(ArrayRef, BorrowedModeAliasesWithoutCopying) {
+  const std::vector<int> backing{10, 20, 30};
+  ArrayRef<int> r = ArrayRef<int>::borrowed(backing.data(), backing.size());
+  EXPECT_TRUE(r.borrowed());
+  EXPECT_EQ(r.data(), backing.data());  // an alias, not a copy
+  EXPECT_EQ(r[2], 30);
+  // Copies of a borrowed ref alias the same external bytes.
+  ArrayRef<int> copy = r;
+  EXPECT_TRUE(copy.borrowed());
+  EXPECT_EQ(copy.data(), backing.data());
+  // to_vector is the explicit deep copy.
+  std::vector<int> deep = r.to_vector();
+  EXPECT_EQ(deep, backing);
+  EXPECT_NE(deep.data(), backing.data());
+}
+
+TEST(ArrayRef, ElementWritesOnBorrowedStorageAreRejected) {
+  const std::vector<int> backing{1, 2};
+  ArrayRef<int> r = ArrayRef<int>::borrowed(backing.data(), backing.size());
+  EXPECT_THROW(r.mut(0), CheckFailure);
+  EXPECT_THROW(r.mutable_data(), CheckFailure);
+  EXPECT_THROW(r.mutable_begin(), CheckFailure);
+}
+
+TEST(ArrayRef, SizingCallsDropTheBorrowAndLeaveTheBackingUntouched) {
+  const std::vector<int> backing{5, 6, 7};
+  ArrayRef<int> r = ArrayRef<int>::borrowed(backing.data(), backing.size());
+  r.assign(2, 42);  // builder-path overwrite: starts owned from scratch
+  EXPECT_FALSE(r.borrowed());
+  EXPECT_NE(r.data(), backing.data());
+  r.mut(0) = 1;
+  EXPECT_EQ(r[0], 1);
+  EXPECT_EQ(backing, (std::vector<int>{5, 6, 7}));
+}
+
+TEST(ArrayRef, CopyingOwnedStorageDeepCopies) {
+  ArrayRef<int> a{1, 2, 3};
+  ArrayRef<int> b = a;
+  b.mut(0) = 99;
+  EXPECT_EQ(a[0], 1);
+  EXPECT_NE(a.data(), b.data());
+  // Move transfers the storage and empties the source.
+  const int* p = b.data();
+  ArrayRef<int> c = std::move(b);
+  EXPECT_EQ(c.data(), p);
+  EXPECT_EQ(c[0], 99);
 }
 
 }  // namespace

@@ -3,7 +3,9 @@
 //   ./oracle_daemon [--socket /tmp/lowtw-oracle.sock] [--n 400] [--k 3]
 //                   [--workers 4] [--seed 7] [--selftest]
 //                   [--dimacs net.gr] [--image snap.img]
-//                   [--write-image snap.img]
+//                   [--write-image snap.img] [--prefault]
+//                   [--cache-capacity 65536] [--cache-shards 8]
+//                   [--row-cache 4]
 //
 // Builds a low-treewidth instance (or ingests a real road network from a
 // DIMACS .gr file via --dimacs), constructs the distance labeling once
@@ -95,6 +97,14 @@ int main(int argc, char** argv) {
   const std::string dimacs_path = flags.get_string("dimacs", "");
   const std::string image_path = flags.get_string("image", "");
   const std::string write_image_path = flags.get_string("write-image", "");
+  // Serving-plane caches: --cache-capacity 0 turns the result cache off
+  // entirely (no probes); --row-cache 0 disables pinned source-row reuse.
+  const auto cache_capacity =
+      static_cast<std::size_t>(flags.get_int("cache-capacity", 1 << 16));
+  const int cache_shards = static_cast<int>(flags.get_int("cache-shards", 8));
+  const auto row_cache =
+      static_cast<std::size_t>(flags.get_int("row-cache", 4));
+  const bool prefault = flags.get_bool("prefault", false);
 
   graph::WeightedDigraph net;
   if (!dimacs_path.empty()) {
@@ -118,6 +128,11 @@ int main(int argc, char** argv) {
   serving::OracleOptions opts;
   opts.seed = seed;
   opts.pool.workers = workers;
+  opts.cache.enabled = cache_capacity > 0;
+  opts.cache.capacity = cache_capacity;
+  opts.cache.shards = cache_shards;
+  opts.row_cache_slots = row_cache;
+  opts.prefault = prefault;
   serving::Oracle oracle(net, opts);
   // Instant restart: mmap the frozen image and serve straight out of the
   // mapping — no TD/labeling build. A missing or corrupt image is rejected
@@ -138,10 +153,13 @@ int main(int argc, char** argv) {
   }
   oracle.start();
   const serving::OracleStats boot = oracle.stats();
-  std::printf("oracle: generation %llu, %d workers, snapshot %s in %llu us\n",
+  std::printf("oracle: generation %llu, %d workers, snapshot %s in %llu us "
+              "(prefault %llu us), cache %s\n",
               static_cast<unsigned long long>(oracle.generation()),
               oracle.num_workers(), serving::to_string(boot.snapshot_source),
-              static_cast<unsigned long long>(boot.load_micros));
+              static_cast<unsigned long long>(boot.load_micros),
+              static_cast<unsigned long long>(boot.prefault_micros),
+              oracle.result_cache() != nullptr ? "on" : "off");
 
   serving::DaemonParams dparams;
   dparams.socket_path = socket_path;

@@ -87,12 +87,14 @@ trap 'rm -f "$tmp_sep" "$tmp_td" "$tmp_girth" "$tmp_matching" "$tmp_dl" "$tmp_se
     '--benchmark_filter=BM_OneVsAllInverted|BM_SsspBatch|BM_LabelPruning' \
     --benchmark_format=json >"$tmp_dl"
 # Serving runtime: the open-loop throughput arm (p50/p99 client latency,
-# batching win vs one-at-a-time query(), worker-count axis 1/2/4/8) and the
-# cold-start arm (rebuild vs kind-4 stream vs kind-5 mmap restart).
+# batching win vs one-at-a-time query(), worker-count axis 1/2/4/8), the
+# cached arm (BM_ServeCached: Zipf skew 0/0.8/1.2 against the
+# generation-keyed result cache, hit_rate + p50_win/p99_win vs cache-off),
+# and the cold-start arm (rebuild vs kind-4 stream vs kind-5 mmap restart).
 # Wall-time counters only — the serving plane charges no CONGEST rounds, so
 # nothing here is gated by the round-drift check.
 "$BUILD_DIR"/bench_serving \
-    '--benchmark_filter=BM_ServeThroughput|BM_ColdStart' \
+    '--benchmark_filter=BM_ServeThroughput|BM_ServeCached|BM_ColdStart' \
     --benchmark_format=json >"$tmp_serve"
 
 python3 - "$OUT" "$tmp_sep" "$tmp_td" "$tmp_girth" "$tmp_matching" "$tmp_dl" \
@@ -101,10 +103,26 @@ import json
 import sys
 
 out_path, *inputs = sys.argv[1:]
+
+# Host metadata: wall-time counters (speedup_vs_1t, p50/p99, qps...) are
+# only comparable between runs on comparable hardware, so the box they were
+# recorded on rides along machine-readably — num_cpus from the benchmark
+# library's context, the cpufreq governor when the sysfs knob is readable.
+# The drift gate ignores this key (it compares rounds* only).
+host = {}
+governor_path = "/sys/devices/system/cpu/cpu0/cpufreq/scaling_governor"
+try:
+    with open(governor_path) as f:
+        host["governor"] = f.read().strip()
+except OSError:
+    host["governor"] = "unknown"
+
 records = []
 for path in inputs:
     data = json.load(open(path))
     ctx = data.get("context", {})
+    if "num_cpus" in ctx and "hardware_concurrency" not in host:
+        host["hardware_concurrency"] = ctx["num_cpus"]
     for b in data.get("benchmarks", []):
         rec = {
             "name": b["name"],
@@ -120,6 +138,7 @@ for path in inputs:
             if key not in skip:
                 rec[key] = value
         records.append(rec)
-json.dump({"benchmarks": records}, open(out_path, "w"), indent=1)
-print(f"wrote {out_path} ({len(records)} records)")
+json.dump({"host": host, "benchmarks": records}, open(out_path, "w"),
+          indent=1)
+print(f"wrote {out_path} ({len(records)} records, host={host})")
 PY

@@ -43,6 +43,7 @@ QueryEngineStats QueryEngine::stats() const {
   out.entries_touched = stat_entries_.load(std::memory_order_relaxed);
   out.postings_runs_skipped =
       stat_runs_skipped_.load(std::memory_order_relaxed);
+  out.row_cache_hits = stat_row_hits_.load(std::memory_order_relaxed);
   return out;
 }
 
@@ -51,6 +52,39 @@ void QueryEngine::reset_stats() {
   stat_filtered_.store(0, std::memory_order_relaxed);
   stat_entries_.store(0, std::memory_order_relaxed);
   stat_runs_skipped_.store(0, std::memory_order_relaxed);
+  stat_row_hits_.store(0, std::memory_order_relaxed);
+}
+
+FlatLabeling::DecodeScratch& QueryEngine::pinned_scratch(
+    int worker, VertexId source, FlatLabeling::PinSide side) {
+  PinSlab& slab = slabs_[static_cast<std::size_t>(worker)];
+  const std::size_t want = std::max<std::size_t>(1, row_cache_slots_);
+  if (slab.slots.size() != want) slab.slots.resize(want);
+  const FlatLabeling& labels = *labels_;
+  const bool want_to = side != FlatLabeling::PinSide::kFrom;
+  const bool want_from = side != FlatLabeling::PinSide::kTo;
+  PinSlab::Slot* victim = &slab.slots[0];
+  if (row_cache_slots_ > 0) {
+    for (PinSlab::Slot& slot : slab.slots) {
+      const FlatLabeling::DecodeScratch& sc = slot.scratch;
+      // A slot is reusable only for the exact (store, generation, source)
+      // it was pinned against with the needed sides scattered — the same
+      // validation pin() itself applies, so a re-frozen or swapped store
+      // can never replay a stale row (FlatLabeling generations are
+      // process-globally unique: no ABA across snapshot retirement).
+      if (sc.owner == &labels && sc.owner_generation == labels.generation() &&
+          sc.pinned == source && (!want_to || sc.to_valid) &&
+          (!want_from || sc.from_valid)) {
+        slot.tick = ++slab.clock;
+        stat_row_hits_.fetch_add(1, std::memory_order_relaxed);
+        return slot.scratch;
+      }
+      if (slot.tick < victim->tick) victim = &slot;
+    }
+  }
+  labels.pin(source, victim->scratch, side);
+  victim->tick = ++slab.clock;
+  return victim->scratch;
 }
 
 const char* to_string(QueryStatus status) {
@@ -177,7 +211,7 @@ QueryStatus QueryEngine::try_run(QueryBatch& batch) {
   }
   const FlatLabeling& labels = *labels_;
   batch.results.resize(batch.targets.size());
-  scratch_.resize(static_cast<std::size_t>(fan_workers()));
+  slabs_.resize(static_cast<std::size_t>(fan_workers()));
   const LabelFilter* filter = active_filter();
   auto decode_group = [&](int i, int worker) {
     const auto si = static_cast<std::size_t>(i);
@@ -193,9 +227,10 @@ QueryStatus QueryEngine::try_run(QueryBatch& batch) {
             filter->decode(batch.sources[si], batch.targets[j], &counters);
       }
     } else {
-      FlatLabeling::DecodeScratch& scratch =
-          scratch_[static_cast<std::size_t>(worker)];
-      labels.pin(batch.sources[si], scratch, FlatLabeling::PinSide::kTo);
+      // Row cache: a source recently pinned by this worker is reused as-is
+      // (the slab slot holds exactly the bytes a fresh pin would scatter).
+      const FlatLabeling::DecodeScratch& scratch = pinned_scratch(
+          worker, batch.sources[si], FlatLabeling::PinSide::kTo);
       // Lookahead prefetch hides the span-start miss of the next target
       // while the current gather runs (same idiom as the girth arc loop).
       if (begin < end) labels.prefetch_target(batch.targets[begin]);
@@ -234,7 +269,7 @@ void QueryEngine::many_to_many(std::span<const VertexId> sources,
   LOWTW_CHECK_MSG(labels_ != nullptr, "QueryEngine used before bind()");
   LOWTW_CHECK(out.size() == sources.size() * targets.size());
   const FlatLabeling& labels = *labels_;
-  scratch_.resize(static_cast<std::size_t>(fan_workers()));
+  slabs_.resize(static_cast<std::size_t>(fan_workers()));
   const LabelFilter* filter = active_filter();
   auto decode_row = [&](int i, int worker) {
     const auto row = static_cast<std::size_t>(i) * targets.size();
@@ -245,9 +280,8 @@ void QueryEngine::many_to_many(std::span<const VertexId> sources,
         out[row + j] = filter->decode(source, targets[j], &counters);
       }
     } else {
-      FlatLabeling::DecodeScratch& scratch =
-          scratch_[static_cast<std::size_t>(worker)];
-      labels.pin(source, scratch, FlatLabeling::PinSide::kTo);
+      const FlatLabeling::DecodeScratch& scratch =
+          pinned_scratch(worker, source, FlatLabeling::PinSide::kTo);
       for (std::size_t j = 0; j < targets.size(); ++j) {
         if (j + 1 < targets.size()) labels.prefetch_target(targets[j + 1]);
         out[row + j] = labels.decode_from_pinned(scratch, targets[j]);

@@ -104,6 +104,9 @@ struct QueryEngineStats {
   std::uint64_t filtered_queries = 0;  ///< of those, served through the filter
   std::uint64_t entries_touched = 0;
   std::uint64_t postings_runs_skipped = 0;
+  /// Batch sources answered from a retained pin slab slot (set_row_cache):
+  /// each hit skips one dense pin scatter. 0 when the row cache is off.
+  std::uint64_t row_cache_hits = 0;
 };
 
 /// Executes batches against one frozen store. Holds the lazily built
@@ -152,6 +155,18 @@ class QueryEngine {
   /// pruning with stale flags. nullptr detaches.
   void set_filter(const LabelFilter* filter) { filter_ = filter; }
   const LabelFilter* filter() const { return filter_; }
+
+  /// Pinned source-row cache: each fan worker retains up to `slots`
+  /// recently pinned source rows (generation-stamped DecodeScratch slabs)
+  /// and reuses one when a batch repeats a source — the dense pin scatter
+  /// is skipped entirely, counted in QueryEngineStats::row_cache_hits.
+  /// Bit-exact: a retained pin holds exactly the scattered bytes a fresh
+  /// pin of the same (store, generation, source, side) would produce, and
+  /// a re-frozen or swapped store invalidates every slot by generation
+  /// mismatch alone. 0 (the default) disables reuse: one slot per worker,
+  /// re-pinned every source — the pre-cache behavior.
+  void set_row_cache(std::size_t slots) { row_cache_slots_ = slots; }
+  std::size_t row_cache_slots() const { return row_cache_slots_; }
 
   /// Monotonic counters since construction / the last reset_stats(). Safe
   /// to read while the engine's pool fan is running (individually atomic).
@@ -241,21 +256,41 @@ class QueryEngine {
                                  std::memory_order_relaxed);
   }
 
+  /// Returns a scratch pinned to `source` on `side` for `worker`: a slab
+  /// slot already holding that pin (row-cache hit, generation-checked), or
+  /// the worker's LRU slot freshly pinned. Touches only worker's own slab.
+  FlatLabeling::DecodeScratch& pinned_scratch(int worker,
+                                              graph::VertexId source,
+                                              FlatLabeling::PinSide side);
+
   const FlatLabeling* labels_ = nullptr;
   /// Prebuilt snapshot index when bound with one; never rebuilt here.
   const InvertedHubIndex* external_index_ = nullptr;
   const LabelFilter* filter_ = nullptr;  ///< not owned; see set_filter
   exec::TaskPool* pool_ = nullptr;
   InvertedHubIndex index_;
-  /// Per-worker pin scratch (exec::WorkerLocal contract: contents never
-  /// leak into results — pins are re-issued per source).
-  std::vector<FlatLabeling::DecodeScratch> scratch_;
+  /// Per-worker pin slabs (exec::WorkerLocal contract: slab contents never
+  /// leak into results — a reused pin holds exactly the bytes a fresh pin
+  /// would). One slot per worker with the row cache off; up to
+  /// row_cache_slots_ retained pins per worker with it on, evicted by the
+  /// slab's LRU clock.
+  struct PinSlab {
+    struct Slot {
+      FlatLabeling::DecodeScratch scratch;
+      std::uint64_t tick = 0;
+    };
+    std::vector<Slot> slots;
+    std::uint64_t clock = 0;  ///< touched only by the owning worker
+  };
+  std::vector<PinSlab> slabs_;
+  std::size_t row_cache_slots_ = 0;
   // Stats counters (QueryEngineStats). Atomic because pool tasks bump them;
   // relaxed order is enough for monotonic monitoring counters.
   std::atomic<std::uint64_t> stat_queries_{0};
   std::atomic<std::uint64_t> stat_filtered_{0};
   std::atomic<std::uint64_t> stat_entries_{0};
   std::atomic<std::uint64_t> stat_runs_skipped_{0};
+  std::atomic<std::uint64_t> stat_row_hits_{0};
 };
 
 }  // namespace lowtw::labeling

@@ -139,6 +139,12 @@ class AdmissionQueue {
     /// Drain-time estimate when shed: depth-proportional batches of the
     /// coalescing window.
     std::chrono::microseconds retry_after{0};
+    /// Engaged only by Oracle::submit's result-cache fast path (never by the
+    /// queue itself): a complete kOk answer produced without admission.
+    /// Exactly one of `immediate` / `reply` / a reject reason is the
+    /// outcome; cached answers sit outside the admission ledger in their own
+    /// `served_cached` bucket (submits == admitted + shed + served_cached).
+    std::optional<QueryResponse> immediate;
   };
 
   /// Thread-safe; never blocks on a full queue (sheds instead). Once

@@ -196,6 +196,24 @@ bool Daemon::handle_frame(std::string_view line, std::vector<std::string>& out,
     AdmissionQueue::SubmitOutcome outcome =
         oracle_.submit(static_cast<graph::VertexId>(u),
                        static_cast<graph::VertexId>(v), deadline);
+    if (outcome.immediate.has_value()) {
+      // Result-cache fast path: a complete answer with no future to park —
+      // the response is formatted here and the admission queue never sees
+      // the request. Wire format is identical to a pooled answer.
+      const QueryResponse& r = *outcome.immediate;
+      cache_fast_.fetch_add(1, std::memory_order_relaxed);
+      std::string resp = "A ";
+      resp += toks[1];
+      resp += " ok ";
+      resp += to_string(r.level);
+      resp += ' ';
+      append_distance(resp, r.distance);
+      resp += ' ';
+      resp += std::to_string(r.snapshot_generation);
+      resp += '\n';
+      out.push_back(std::move(resp));
+      return true;
+    }
     if (!outcome.reply.has_value()) {
       std::string resp = "A ";
       resp += toks[1];
@@ -235,8 +253,15 @@ bool Daemon::handle_frame(std::string_view line, std::vector<std::string>& out,
        << " postings_runs_skipped=" << s.postings_runs_skipped
        << " filtered_queries=" << s.filtered_queries
        << " filter_build_failures=" << s.filter_build_failures
+       << " served_cached=" << s.served_cached
+       << " cache_hits=" << s.cache_hits
+       << " cache_misses=" << s.cache_misses
+       << " cache_evictions=" << s.cache_evictions
+       << " row_cache_hits=" << s.row_cache_hits
+       << " cache_fast=" << cache_fast_.load(std::memory_order_relaxed)
        << " snapshot=" << to_string(s.snapshot_source)
        << " load_micros=" << s.load_micros
+       << " prefault_micros=" << s.prefault_micros
        << " generation=" << oracle_.generation() << "\n";
     out.push_back(os.str());
     return true;
@@ -360,6 +385,7 @@ DaemonStats Daemon::stats() const {
   s.malformed = malformed_.load(std::memory_order_relaxed);
   s.disconnects = disconnects_.load(std::memory_order_relaxed);
   s.idle_closes = idle_closes_.load(std::memory_order_relaxed);
+  s.cache_fast = cache_fast_.load(std::memory_order_relaxed);
   return s;
 }
 

@@ -78,6 +78,10 @@ struct DaemonStats {
   std::uint64_t malformed = 0;     ///< frames rejected with E
   std::uint64_t disconnects = 0;   ///< peers gone mid-response (incl. injected)
   std::uint64_t idle_closes = 0;   ///< connections reaped by the idle timeout
+  /// Q frames answered by the oracle's result-cache fast path — no future
+  /// parked, no admission round trip. Subset of `requests`; matches the
+  /// oracle's served_cached for traffic arriving only through this daemon.
+  std::uint64_t cache_fast = 0;
 };
 
 class Daemon {
@@ -148,6 +152,7 @@ class Daemon {
   std::atomic<std::uint64_t> malformed_{0};
   std::atomic<std::uint64_t> disconnects_{0};
   std::atomic<std::uint64_t> idle_closes_{0};
+  std::atomic<std::uint64_t> cache_fast_{0};
 };
 
 }  // namespace lowtw::serving

@@ -1,5 +1,9 @@
 #include "serving/oracle.hpp"
 
+#if defined(__linux__)
+#include <sys/mman.h>
+#endif
+
 #include <algorithm>
 #include <istream>
 #include <iterator>
@@ -29,7 +33,18 @@ Oracle::Oracle(graph::WeightedDigraph instance, OracleOptions options)
       pool_(queue_, options.pool, [this](WorkerContext& ctx,
                                          std::vector<Request>& batch) {
         serve_batch(scratch_[ctx.worker], ctx, batch);
-      }) {}
+      }) {
+  if (options_.cache.enabled) {
+    cache_ = std::make_unique<ResultCache>(options_.cache);
+  }
+  // Row cache: each worker's engine keeps a slab of recently pinned source
+  // rows. Set once here — scratch_ slots live for the oracle's lifetime
+  // (across WorkerPool stop/start), so the slabs and their hit counters do
+  // too.
+  for (int w = 0; w < scratch_.size(); ++w) {
+    scratch_[w].engine.set_row_cache(options_.row_cache_slots);
+  }
+}
 
 Oracle::~Oracle() { stop(/*drain=*/true); }
 
@@ -179,6 +194,35 @@ bool Oracle::load_image(const std::string& path) {
     failed_loads_.fetch_add(1, std::memory_order_relaxed);
     return false;
   }
+  if (options_.prefault && mapping->size() > 0) {
+    // Populate-on-load: hint the kernel, then touch one byte per page so
+    // the whole image is resident before the parse's checksum walk (which
+    // reads every byte anyway) and before the first query. Sequential
+    // touches convert the random first-query fault pattern into one
+    // readahead-friendly sweep; the wall cost is surfaced, not hidden.
+    const auto pf0 = Clock::now();
+#if defined(__linux__)
+    ::madvise(const_cast<std::byte*>(mapping->data()), mapping->size(),
+              MADV_WILLNEED);
+#endif
+    const std::byte* base = mapping->data();
+    unsigned char sink = 0;
+    for (std::size_t off = 0; off < mapping->size(); off += 4096) {
+      sink = static_cast<unsigned char>(
+          sink ^ std::to_integer<unsigned char>(base[off]));
+    }
+    sink = static_cast<unsigned char>(
+        sink ^ std::to_integer<unsigned char>(base[mapping->size() - 1]));
+    // The fold keeps the loads alive past the optimizer without a volatile
+    // store per page.
+    prefault_sink_.store(sink, std::memory_order_relaxed);
+    prefault_micros_.store(
+        static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::microseconds>(
+                Clock::now() - pf0)
+                .count()),
+        std::memory_order_relaxed);
+  }
   if (options_.faults != nullptr &&
       options_.faults->should_fire(FaultSite::kSnapshotLoadCorruption) &&
       mapping->size() > 0) {
@@ -268,12 +312,34 @@ AdmissionQueue::SubmitOutcome Oracle::submit(
     out.reject_reason = ServeStatus::kShutdown;
     return out;
   }
+  if (cache_ != nullptr) {
+    // Fast path: a hit is a complete verdict with no promise, no queue
+    // round trip, and no batch-window wait. The generation is read with
+    // acquire *before* the probe, so a submit that observes a completed
+    // swap (generation g+1 published) can only ever replay entries inserted
+    // under g+1 — the no-stale-escape half of the invalidation contract.
+    const std::uint64_t gen = generation_.load(std::memory_order_acquire);
+    if (gen != 0) {
+      if (std::optional<ResultCache::Hit> hit = cache_->lookup(u, v, gen)) {
+        AdmissionQueue::SubmitOutcome out;
+        QueryResponse r;
+        r.status = ServeStatus::kOk;
+        r.level = hit->level;
+        r.distance = hit->distance;
+        r.snapshot_generation = gen;
+        out.immediate = r;
+        served_cached_.fetch_add(1, std::memory_order_relaxed);
+        return out;
+      }
+    }
+  }
   return queue_.submit(u, v, Clock::now() + deadline);
 }
 
 QueryResponse Oracle::query(VertexId u, VertexId v,
                             std::chrono::microseconds deadline) {
   AdmissionQueue::SubmitOutcome outcome = submit(u, v, deadline);
+  if (outcome.immediate.has_value()) return *outcome.immediate;
   if (!outcome.reply.has_value()) {
     QueryResponse r;
     r.status = outcome.reject_reason;
@@ -293,11 +359,29 @@ QueryResponse Oracle::serve_now(VertexId u, VertexId v) {
   QueryResponse r;
   r.status = ServeStatus::kOk;
   if (SnapshotPtr snap = snapshot_ref()) {
+    // Probe/insert against the snapshot we actually hold, not the published
+    // generation counter: the entry then always replays exactly this
+    // snapshot's decode, even if a swap lands between the two loads.
+    if (cache_ != nullptr) {
+      if (std::optional<ResultCache::Hit> hit =
+              cache_->lookup(u, v, snap->generation)) {
+        r.level = hit->level;
+        r.distance = hit->distance;
+        r.snapshot_generation = snap->generation;
+        served_direct_.fetch_add(1, std::memory_order_relaxed);
+        return r;
+      }
+    }
     r.level = ServeLevel::kFlatDecode;
     r.distance = snap->has_filter ? snap->filter.decode(u, v)
                                   : snap->flat.decode(u, v);
     r.snapshot_generation = snap->generation;
+    if (cache_ != nullptr) {
+      cache_->insert(u, v, snap->generation, r.distance, r.level);
+    }
   } else {
+    // No snapshot, no caching: a Dijkstra answer reflects the live graph,
+    // which has no generation stamp to invalidate by.
     r.level = ServeLevel::kDijkstra;
     r.distance = graph::dijkstra(instance_, u).dist[v];
   }
@@ -524,6 +608,13 @@ void Oracle::serve_batch(ServeScratch& scratch, WorkerContext& ctx,
     // get() returns must already see this request's verdict.
     switch (replies[i].status) {
       case ServeStatus::kOk:
+        // Publish the exact answer for replay. Dijkstra-rung replies carry
+        // generation 0 (no snapshot) and are skipped — generation 0 is
+        // never probed, so there is nothing to key them by.
+        if (cache_ != nullptr && replies[i].snapshot_generation != 0) {
+          cache_->insert(reqs[i].u, reqs[i].v, replies[i].snapshot_generation,
+                         replies[i].distance, replies[i].level);
+        }
         switch (replies[i].level) {
           case ServeLevel::kBatchedIndex:
             served_batched_.fetch_add(1, std::memory_order_relaxed);
@@ -570,14 +661,26 @@ OracleStats Oracle::stats() const {
   s.snapshot_source = static_cast<SnapshotSource>(
       last_source_.load(std::memory_order_relaxed));
   s.load_micros = last_load_micros_.load(std::memory_order_relaxed);
-  // Pruning counters live in the per-worker engines; sum them here (each
-  // worker only ever writes its own slot, so relaxed reads are exact once
-  // the batches they count are fulfilled).
+  s.served_cached = served_cached_.load(std::memory_order_relaxed);
+  s.prefault_micros = prefault_micros_.load(std::memory_order_relaxed);
+  if (cache_ != nullptr) {
+    const ResultCacheStats cs = cache_->stats();
+    s.cache_hits = cs.hits;
+    s.cache_misses = cs.misses;
+    s.cache_insertions = cs.insertions;
+    s.cache_evictions = cs.evictions;
+  }
+  // Pruning and row-cache counters live in the per-worker engines; sum them
+  // here (each worker only ever writes its own slot, so relaxed reads are
+  // exact once the batches they count are fulfilled). The slots themselves
+  // are never rebuilt — stop()/start() and worker respawns reuse them — so
+  // these sums are monotone for the oracle's lifetime.
   for (int w = 0; w < scratch_.size(); ++w) {
     const labeling::QueryEngineStats es = scratch_[w].engine.stats();
     s.entries_touched += es.entries_touched;
     s.postings_runs_skipped += es.postings_runs_skipped;
     s.filtered_queries += es.filtered_queries;
+    s.row_cache_hits += es.row_cache_hits;
   }
   s.pool = pool_.stats();
   return s;

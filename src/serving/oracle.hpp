@@ -58,6 +58,7 @@
 #include "primitives/engine.hpp"
 #include "serving/admission.hpp"
 #include "serving/fault.hpp"
+#include "serving/result_cache.hpp"
 #include "serving/worker_pool.hpp"
 #include "util/mmap_file.hpp"
 
@@ -107,6 +108,26 @@ struct OracleOptions {
   /// deterministic BFS partition (or the artifact's persisted sidecar). A
   /// filter build failure degrades to serving unfiltered, never to an error.
   labeling::FilterParams filter;
+  /// Generation-keyed result cache (serving/result_cache.hpp). When enabled,
+  /// submit()/query() and the daemon answer repeated (u, v) hits without an
+  /// admission round trip and serve_now() skips the decode; a snapshot swap
+  /// invalidates every entry by generation mismatch alone. Bit-exact:
+  /// cache-on can change latency and the replayed ServeLevel, never a
+  /// distance.
+  ResultCacheParams cache;
+  /// Pinned source-row slots retained per serving worker (the QueryEngine
+  /// row cache): a batch source already resident in a slot skips the dense
+  /// pin scatter entirely. 0 disables reuse (one always-repinned slot, the
+  /// pre-cache behavior); reuse is bit-exact — a retained pin holds the same
+  /// scattered label bytes a fresh pin would produce.
+  std::size_t row_cache_slots = 4;
+  /// Populate-on-load for kind-5 images: load_image issues
+  /// madvise(MADV_WILLNEED) and walks every page of the mapping before
+  /// parsing, so a latency-critical restart pays its page faults as one
+  /// sequential readahead pass instead of random first-query stalls. Wall
+  /// time is reported as OracleStats::prefault_micros (included in
+  /// load_micros).
+  bool prefault = false;
   /// Optional fault injection; not owned, may be null. Must outlive the
   /// oracle when set.
   FaultInjector* faults = nullptr;
@@ -119,15 +140,26 @@ struct OracleOptions {
 /// injected failure: every request presented to submit() resolves exactly
 /// once, so
 ///
-///   admitted + sheds == (presented)
+///   admitted + sheds + served_cached == (presented)
 ///   admitted == served_batched_index + served_flat + served_dijkstra
 ///               + timeouts + failed
 ///
 /// `failed` counts admitted requests resolved without service: pending
 /// requests failed by a hard shutdown, and requests whose serving worker
-/// crashed past the requeue budget. (`served_direct` is serve_now()'s
-/// caller-thread path — it never enters the queue and is outside the
-/// ledger.)
+/// crashed past the requeue budget. `served_cached` counts submits answered
+/// by the result-cache fast path — complete kOk verdicts produced without
+/// admission, so they sit beside `sheds` on the presented side of the
+/// ledger. (`served_direct` is serve_now()'s caller-thread path — it never
+/// enters the queue and is outside the ledger; its cache hits tick
+/// cache_hits, not served_cached.)
+///
+/// Monotonicity: every counter here is non-decreasing for the oracle's
+/// lifetime, *including across stop()/start() cycles*. The per-worker
+/// engine stats summed into entries_touched / postings_runs_skipped /
+/// filtered_queries / row_cache_hits live in `scratch_`, an
+/// exec::WorkerLocal sized at construction and never rebuilt — WorkerPool
+/// respawns and stop/start reuse the same slots, so the sums never step
+/// backward (asserted by StatsMonotoneAcrossStopStart).
 struct OracleStats {
   std::uint64_t served_batched_index = 0;
   std::uint64_t served_flat = 0;
@@ -152,6 +184,20 @@ struct OracleStats {
   std::uint64_t entries_touched = 0;
   std::uint64_t postings_runs_skipped = 0;
   std::uint64_t filtered_queries = 0;
+  /// Result-cache plane (zero when OracleOptions::cache is disabled):
+  /// submits answered entirely from the cache, the cache's own probe and
+  /// churn counters (hits counts serve_now() probes too; hits + misses ==
+  /// lookups), and batch-source pin reuses summed over the per-worker
+  /// engine row caches.
+  std::uint64_t served_cached = 0;
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
+  std::uint64_t cache_insertions = 0;
+  std::uint64_t cache_evictions = 0;
+  std::uint64_t row_cache_hits = 0;
+  /// Wall time of the latest load_image prefault pass (0 when
+  /// OracleOptions::prefault is off or no image was loaded).
+  std::uint64_t prefault_micros = 0;
   /// Provenance of the latest snapshot install and how long that install
   /// took end to end (build/read/map + publish), in microseconds.
   SnapshotSource snapshot_source = SnapshotSource::kNone;
@@ -235,6 +281,9 @@ class Oracle {
   const graph::WeightedDigraph& instance() const { return instance_; }
   int num_vertices() const { return instance_.num_vertices(); }
   int num_workers() const { return pool_.num_workers(); }
+  /// The result cache when OracleOptions::cache is enabled, else nullptr
+  /// (tests and benches probe its stats/capacity directly).
+  const ResultCache* result_cache() const { return cache_.get(); }
 
  private:
   /// Immutable once published; destroyed when the last batch using it ends.
@@ -317,6 +366,10 @@ class Oracle {
   AdmissionQueue queue_;
   exec::WorkerLocal<ServeScratch> scratch_;
   WorkerPool pool_;
+  /// Generation-keyed result cache; null when OracleOptions::cache is off,
+  /// so the cache-off hot path pays zero probes. Lives for the oracle's
+  /// lifetime — invalidation is by generation key, never by teardown.
+  std::unique_ptr<ResultCache> cache_;
   mutable std::mutex snapshot_mu_;  ///< guards only the snapshot_ pointer
   SnapshotPtr snapshot_;            ///< current snapshot; swap via publish()
   std::atomic<std::uint64_t> generation_{0};
@@ -335,6 +388,11 @@ class Oracle {
   std::atomic<std::uint64_t> served_flat_{0};
   std::atomic<std::uint64_t> served_dijkstra_{0};
   std::atomic<std::uint64_t> served_direct_{0};
+  std::atomic<std::uint64_t> served_cached_{0};
+  std::atomic<std::uint64_t> prefault_micros_{0};
+  /// Byte-fold of the prefault walk: an observable data dependency that
+  /// keeps the page-touch loads from being optimized away.
+  std::atomic<unsigned char> prefault_sink_{0};
   std::atomic<std::uint64_t> timeouts_{0};
   std::atomic<std::uint64_t> batches_{0};
   std::atomic<std::uint64_t> stale_retries_{0};

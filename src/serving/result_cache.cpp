@@ -1,0 +1,121 @@
+#include "serving/result_cache.hpp"
+
+#include <algorithm>
+
+namespace lowtw::serving {
+
+namespace {
+
+std::size_t next_pow2(std::size_t x) {
+  std::size_t p = 1;
+  while (p < x) p <<= 1;
+  return p;
+}
+
+/// SplitMix64 finalizer — the same mixer the fault injector and Rng::fork
+/// trust for decorrelation; one application over the pre-mixed key is
+/// enough to spread consecutive (u, v) pairs across shards and sets.
+std::uint64_t mix(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+std::uint64_t pack(graph::VertexId u, graph::VertexId v) {
+  return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(u)) << 32) |
+         static_cast<std::uint64_t>(static_cast<std::uint32_t>(v));
+}
+
+}  // namespace
+
+ResultCache::ResultCache(ResultCacheParams params) {
+  const std::size_t shards =
+      next_pow2(static_cast<std::size_t>(std::max(1, params.shards)));
+  shard_bits_ = 0;
+  for (std::size_t s = shards; s > 1; s >>= 1) ++shard_bits_;
+  const std::size_t want_entries = std::max<std::size_t>(params.capacity, 1);
+  sets_per_shard_ =
+      next_pow2((want_entries + shards * kWays - 1) / (shards * kWays));
+  shards_ = std::vector<Shard>(shards);
+  for (Shard& s : shards_) {
+    s.entries.assign(sets_per_shard_ * kWays, Entry{});
+  }
+}
+
+ResultCache::Entry* ResultCache::set_for(std::uint64_t key,
+                                         std::uint64_t generation,
+                                         Shard*& shard) {
+  // One hash picks shard and set; the generation participates so a swap
+  // redistributes the hot set and old-generation entries do not pile onto
+  // the exact sets the fresh ones need.
+  const std::uint64_t h = mix(key ^ mix(generation));
+  shard = &shards_[h & (shards_.size() - 1)];
+  const std::size_t set = (h >> shard_bits_) & (sets_per_shard_ - 1);
+  return shard->entries.data() + set * kWays;
+}
+
+std::optional<ResultCache::Hit> ResultCache::lookup(graph::VertexId u,
+                                                    graph::VertexId v,
+                                                    std::uint64_t generation) {
+  const std::uint64_t key = pack(u, v);
+  Shard* shard = nullptr;
+  Entry* ways = set_for(key, generation, shard);
+  std::lock_guard<std::mutex> lock(shard->mu);
+  for (std::size_t w = 0; w < kWays; ++w) {
+    Entry& e = ways[w];
+    if (e.key == key && e.generation == generation) {
+      e.tick = ++shard->clock;
+      hits_.fetch_add(1, std::memory_order_relaxed);
+      return Hit{e.distance, e.level};
+    }
+  }
+  misses_.fetch_add(1, std::memory_order_relaxed);
+  return std::nullopt;
+}
+
+void ResultCache::insert(graph::VertexId u, graph::VertexId v,
+                         std::uint64_t generation, graph::Weight distance,
+                         ServeLevel level) {
+  const std::uint64_t key = pack(u, v);
+  Shard* shard = nullptr;
+  Entry* ways = set_for(key, generation, shard);
+  std::lock_guard<std::mutex> lock(shard->mu);
+  Entry* victim = nullptr;
+  for (std::size_t w = 0; w < kWays; ++w) {
+    Entry& e = ways[w];
+    if (e.key == key && e.generation == generation) {
+      victim = &e;  // same exact answer; refresh in place
+      break;
+    }
+    if (e.key == kEmptyKey) {
+      if (victim == nullptr || victim->key != kEmptyKey) victim = &e;
+      continue;
+    }
+    if (victim == nullptr ||
+        (victim->key != kEmptyKey && e.tick < victim->tick)) {
+      victim = &e;
+    }
+  }
+  if (victim->key != kEmptyKey &&
+      !(victim->key == key && victim->generation == generation)) {
+    evictions_.fetch_add(1, std::memory_order_relaxed);
+  }
+  victim->key = key;
+  victim->generation = generation;
+  victim->distance = distance;
+  victim->level = level;
+  victim->tick = ++shard->clock;
+  insertions_.fetch_add(1, std::memory_order_relaxed);
+}
+
+ResultCacheStats ResultCache::stats() const {
+  ResultCacheStats s;
+  s.hits = hits_.load(std::memory_order_relaxed);
+  s.misses = misses_.load(std::memory_order_relaxed);
+  s.insertions = insertions_.load(std::memory_order_relaxed);
+  s.evictions = evictions_.load(std::memory_order_relaxed);
+  return s;
+}
+
+}  // namespace lowtw::serving

@@ -1,0 +1,127 @@
+// Generation-keyed result cache for the serving plane.
+//
+// The paper's decode guarantee makes caching trivially sound: within one
+// snapshot generation every served distance is the exact d(u, v), so a
+// cached answer can be replayed forever — as long as it is never replayed
+// across a generation boundary. ResultCache therefore keys every entry by
+// (u, v, generation) and invalidates purely by key mismatch: a snapshot
+// swap advances the oracle's generation, which makes every older entry
+// structurally unreachable (the lookup key no longer matches) without the
+// swap path taking a single cache lock or walking a single entry. The
+// publish-slot discipline of the snapshot swap is untouched; stale entries
+// age out of the fixed-capacity structure through ordinary LRU eviction.
+//
+// Layout: a power-of-two array of shards, each a set-associative
+// open-addressed table (kWays entries per set, no chaining, no rehashing,
+// no tombstones — the structure never grows past its configured capacity).
+// One SplitMix64 hash of the packed (u, v) key mixed with the generation
+// picks the shard and the set; a lookup scans the set's ways under that
+// shard's mutex, an insert overwrites the least-recently-used way when the
+// set is full (counted as an eviction). Shard mutexes are only ever taken
+// one at a time for a handful of word reads/writes, so contention is
+// bounded by traffic skew across shards, not by total traffic.
+//
+// Correctness contract (property-tested in tests/test_result_cache.cpp):
+// cache-on ≡ cache-off bit-exact — a hit replays a distance some exact
+// serving rung computed at the same generation, so enabling the cache can
+// change latency and the observed ServeLevel, never a distance — and no
+// entry inserted at generation g is ever returned for a lookup at g' ≠ g.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "serving/admission.hpp"
+
+namespace lowtw::serving {
+
+struct ResultCacheParams {
+  /// Master switch: a disabled cache is never consulted (the oracle does
+  /// not even construct one, so cache-off serving pays zero probes).
+  bool enabled = false;
+  /// Total entry budget across all shards; rounded up so each shard holds
+  /// a power-of-two number of kWays-entry sets. This bounds memory — the
+  /// cache never grows, it evicts.
+  std::size_t capacity = 1 << 16;
+  /// Shard count, rounded up to a power of two. More shards spread hot
+  /// mutexes across serving workers; 8 is plenty below ~16 workers.
+  int shards = 8;
+};
+
+/// Monotonic counters (individually atomic; hits + misses == lookups).
+struct ResultCacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t insertions = 0;
+  std::uint64_t evictions = 0;  ///< LRU victims displaced by inserts
+};
+
+class ResultCache {
+ public:
+  struct Hit {
+    graph::Weight distance = graph::kInfinity;
+    /// The degradation rung that originally computed the distance — replayed
+    /// into the response so observers still see how the answer was produced.
+    ServeLevel level = ServeLevel::kUnserved;
+  };
+
+  explicit ResultCache(ResultCacheParams params);
+  ResultCache(const ResultCache&) = delete;
+  ResultCache& operator=(const ResultCache&) = delete;
+
+  /// Probes (u, v, generation). Thread-safe; a hit refreshes the entry's
+  /// recency. Returns nothing on miss — including when the entry exists
+  /// under another generation, which is the whole invalidation story.
+  std::optional<Hit> lookup(graph::VertexId u, graph::VertexId v,
+                            std::uint64_t generation);
+
+  /// Publishes an exact answer under (u, v, generation). Overwrites a
+  /// same-key entry in place (idempotent — the value is exact either way);
+  /// evicts the set's LRU way when full.
+  void insert(graph::VertexId u, graph::VertexId v, std::uint64_t generation,
+              graph::Weight distance, ServeLevel level);
+
+  ResultCacheStats stats() const;
+  /// Actual (rounded-up) entry budget.
+  std::size_t capacity() const {
+    return shards_.size() * sets_per_shard_ * kWays;
+  }
+  int num_shards() const { return static_cast<int>(shards_.size()); }
+
+ private:
+  static constexpr std::size_t kWays = 8;
+  static constexpr std::uint64_t kEmptyKey = ~0ull;  ///< (u,v) pack < 2^63
+
+  struct Entry {
+    std::uint64_t key = kEmptyKey;  ///< (u << 32) | v
+    std::uint64_t generation = 0;
+    std::uint64_t tick = 0;  ///< shard-clock stamp of the last touch
+    graph::Weight distance = graph::kInfinity;
+    ServeLevel level = ServeLevel::kUnserved;
+  };
+
+  struct Shard {
+    std::mutex mu;
+    std::vector<Entry> entries;  ///< sets_per_shard_ * kWays, set-major
+    std::uint64_t clock = 0;     ///< guarded by mu
+  };
+
+  /// Locates the set for a key: shard by the low hash bits, set within the
+  /// shard by the next bits — one hash drives both so related keys spread.
+  Entry* set_for(std::uint64_t key, std::uint64_t generation, Shard*& shard);
+
+  std::vector<Shard> shards_;
+  std::size_t sets_per_shard_ = 1;
+  int shard_bits_ = 0;
+
+  std::atomic<std::uint64_t> hits_{0};
+  std::atomic<std::uint64_t> misses_{0};
+  std::atomic<std::uint64_t> insertions_{0};
+  std::atomic<std::uint64_t> evictions_{0};
+};
+
+}  // namespace lowtw::serving

@@ -135,12 +135,16 @@ struct DaemonFixture : ::testing::Test {
   }
 
   /// Builds oracle + daemon; daemon params tweakable per test before call.
-  void boot(FaultInjector* faults = nullptr, int workers = 2) {
+  /// cached=true enables the generation-keyed result cache, so repeated Q
+  /// frames exercise the daemon's no-round-trip fast path.
+  void boot(FaultInjector* faults = nullptr, int workers = 2,
+            bool cached = false) {
     OracleOptions opts;
     opts.faults = faults;
     opts.pool.workers = workers;
     opts.admission.batch_window = 500us;
     opts.admission.default_deadline = 5000ms;
+    opts.cache.enabled = cached;
     oracle = std::make_unique<Oracle>(g, opts);
     oracle->rebuild_snapshot();
     oracle->start();
@@ -258,6 +262,39 @@ TEST_F(DaemonFixture, StatsAndQuitFrames) {
   EXPECT_NE(stats.find(" load_micros="), std::string::npos) << stats;
   EXPECT_EQ(c.read_line(), "BYE");
   EXPECT_TRUE(c.at_eof());
+}
+
+TEST_F(DaemonFixture, CachedRepeatAnswersFromFastPathBitExact) {
+  boot(/*faults=*/nullptr, /*workers=*/2, /*cached=*/true);
+  Client c(daemon->socket_path());
+  ASSERT_TRUE(c.connected());
+  // The same pair three times in separate frames: the first admits and
+  // serves through a batch, the repeats answer straight from the cache —
+  // byte-identical on the wire (level replayed, distance exact, same
+  // generation) with no admission round trip.
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(c.send("Q r" + std::to_string(i) + " 3 17\n"));
+    EXPECT_EQ(c.read_line(),
+              expected_answer(truth, "r" + std::to_string(i), 3, 17, 1))
+        << "repeat " << i;
+  }
+  ASSERT_TRUE(c.send("STATS\nQUIT\n"));
+  const std::string stats = c.read_line();
+  EXPECT_NE(stats.find(" served_cached="), std::string::npos) << stats;
+  EXPECT_NE(stats.find(" cache_fast="), std::string::npos) << stats;
+  EXPECT_EQ(c.read_line(), "BYE");
+
+  EXPECT_EQ(daemon->stats().requests, 3u);  // Q frames only
+  EXPECT_GE(daemon->stats().cache_fast, 2u);
+  const OracleStats s = oracle->stats();
+  // The conservation ledger closes with the fast path on the presented
+  // side: one admitted batch serve, two cache serves, nothing lost.
+  EXPECT_EQ(s.admitted, 1u);
+  EXPECT_EQ(s.served_cached, 2u);
+  EXPECT_EQ(s.served_batched_index, 1u);
+  // The daemon's fast-path count and the oracle's cache-served count agree
+  // when the daemon is the only client.
+  EXPECT_EQ(daemon->stats().cache_fast, s.served_cached);
 }
 
 TEST_F(DaemonFixture, InjectedClientDisconnectDropsResponseNotDaemon) {
